@@ -1,0 +1,157 @@
+//! Design-choice ablations from DESIGN.md §5: coalescing policy,
+//! certificate strategy (§6.5), passive sampling rate, and middlebox
+//! prevalence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
+use origin_cdn::{DeploymentMode, MiddleboxIncident, PassivePipeline, SampleGroup};
+use origin_dns::name::name;
+use origin_netsim::{HandshakeModel, LinkProfile, SimRng, TlsVersion};
+use origin_tls::{strategy_cost, CertStrategy, CertificateBuilder};
+use origin_webgen::{Dataset, DatasetConfig};
+
+/// Coalescing-policy ablation: the same pages loaded under each
+/// browser policy — the cost of strictness, end to end.
+fn bench_policy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_policy");
+    g.sample_size(10);
+    for kind in [
+        BrowserKind::Chromium,
+        BrowserKind::Firefox,
+        BrowserKind::FirefoxOrigin,
+        BrowserKind::IdealIp,
+        BrowserKind::IdealOrigin,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut d = Dataset::generate(DatasetConfig { sites: 60, ..Default::default() });
+                let sites: Vec<_> = d.successful_sites().cloned().collect();
+                let loader = PageLoader::new(kind);
+                b.iter(|| {
+                    let mut tls = 0u64;
+                    for site in sites.iter().take(20) {
+                        let page = d.page_for(site);
+                        let mut env = UniverseEnv::new(&mut d);
+                        env.flush_dns();
+                        let mut rng = SimRng::seed_from_u64(site.page_seed);
+                        tls += loader.load(&page, &mut env, &mut rng).tls_connections();
+                    }
+                    tls
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// §6.5 certificate-strategy ablation: handshake cost of a
+/// least-effort certificate vs one giant SAN certificate
+/// (10000-sans.badssl.com-style), via the record-flight model.
+fn bench_cert_strategy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cert_strategy");
+    let link = LinkProfile::new(20.0, 50.0);
+    for &sans in &[3usize, 10, 100, 1_000, 5_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(sans), &sans, |b, &sans| {
+            let cert = CertificateBuilder::new(name("site.example"))
+                .sans((0..sans).map(|i| name(&format!("host-{i:05}.site.example"))))
+                .build();
+            b.iter(|| {
+                let hs = HandshakeModel::for_certificate(TlsVersion::Tls13, cert.wire_size());
+                hs.connect_nominal(&link).total().as_micros()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Sampling-rate ablation: pipeline cost vs estimator input volume.
+fn bench_sampling_rates(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(0xAB1A);
+    let group = SampleGroup::build(600, &mut rng);
+    let mut g = c.benchmark_group("ablation_sampling_rate");
+    g.sample_size(10);
+    for &rate in &[0.01f64, 0.10, 1.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(rate), &rate, |b, &rate| {
+            b.iter(|| {
+                let mut p = PassivePipeline::new(DeploymentMode::OriginFrames);
+                p.config.visits = 10_000;
+                p.config.sample_rate = rate;
+                p.run(&group, 3).sampled_records
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Middlebox-prevalence sweep: failed connections vs the share of
+/// clients behind the §6.7 agent.
+fn bench_middlebox_prevalence(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(0xAB1B);
+    let group = SampleGroup::build(400, &mut rng);
+    let mut g = c.benchmark_group("ablation_middlebox");
+    for &share in &[0.0f64, 0.01, 0.05, 0.25] {
+        g.bench_with_input(BenchmarkId::from_parameter(share), &share, |b, &share| {
+            let inc = MiddleboxIncident { affected_client_share: share, vendor_fixed: false };
+            b.iter(|| {
+                let mut rng = SimRng::seed_from_u64(13);
+                let (e, ctl) = inc.simulate(&group, 10_000, true, &mut rng);
+                e.torn_down + ctl.torn_down
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §6.5 strategy comparison: total certificate bytes per connection
+/// for SAN additions vs one giant cert vs secondary certificates.
+fn bench_strategy_bytes(c: &mut Criterion) {
+    let base = CertificateBuilder::new(name("site.example"))
+        .san(name("*.site.example"))
+        .build();
+    let needed: Vec<_> = (0..7)
+        .map(|i| name(&format!("svc{i}.provider.example")))
+        .collect();
+    let mut g = c.benchmark_group("ablation_strategy_bytes");
+    for (label, strat) in [
+        ("least_effort_san", CertStrategy::LeastEffortSan),
+        ("giant_san", CertStrategy::GiantSan),
+        ("secondary_certs", CertStrategy::SecondaryCerts),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &strat, |b, &strat| {
+            b.iter(|| strategy_cost(strat, &base, &needed, 1_000_000, 0.5).total_bytes())
+        });
+    }
+    g.finish();
+}
+
+/// §6.6 transport ablation: connection-setup budgets for H2 over TCP,
+/// H2 + TCP Fast Open, and QUIC/H3 0-RTT.
+fn bench_transport_setup(c: &mut Criterion) {
+    let link = LinkProfile::new(30.0, 50.0);
+    let mut g = c.benchmark_group("ablation_transport");
+    let variants: [(&str, HandshakeModel); 4] = [
+        ("h2_tls12", HandshakeModel { tls: TlsVersion::Tls12, extra_cert_flights: 0, tcp_fast_open: false }),
+        ("h2_tls13", HandshakeModel { tls: TlsVersion::Tls13, extra_cert_flights: 0, tcp_fast_open: false }),
+        ("h2_tfo_tls13", HandshakeModel { tls: TlsVersion::Tls13, extra_cert_flights: 0, tcp_fast_open: true }),
+        ("h3_0rtt", HandshakeModel { tls: TlsVersion::Tls13ZeroRtt, extra_cert_flights: 0, tcp_fast_open: true }),
+    ];
+    for (label, hs) in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &hs, |b, hs| {
+            b.iter(|| hs.connect_nominal(&link).total().as_micros())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_ablation,
+    bench_cert_strategy,
+    bench_strategy_bytes,
+    bench_transport_setup,
+    bench_sampling_rates,
+    bench_middlebox_prevalence
+);
+criterion_main!(benches);

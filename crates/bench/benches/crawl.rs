@@ -1,0 +1,86 @@
+//! Tables 1–7 / Figure 1 regeneration benches: dataset generation,
+//! page materialization, and the measured crawl.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
+use origin_netsim::SimRng;
+use origin_webgen::{Dataset, DatasetConfig};
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_generate");
+    g.sample_size(10);
+    for &sites in &[100u32, 500] {
+        g.bench_with_input(BenchmarkId::from_parameter(sites), &sites, |b, &sites| {
+            b.iter(|| {
+                Dataset::generate(DatasetConfig { sites, ..Default::default() })
+                    .sites()
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_page_materialization(c: &mut Criterion) {
+    let d = Dataset::generate(DatasetConfig { sites: 200, ..Default::default() });
+    let sites: Vec<_> = d.successful_sites().cloned().collect();
+    c.bench_function("page_materialize", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let site = &sites[i % sites.len()];
+            i += 1;
+            d.page_for(site).resources.len()
+        })
+    });
+}
+
+fn bench_page_load(c: &mut Criterion) {
+    // The per-page cost of the full measured crawl (Table 1 unit).
+    let mut g = c.benchmark_group("page_load");
+    g.sample_size(20);
+    for kind in [BrowserKind::Chromium, BrowserKind::Firefox, BrowserKind::IdealOrigin] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut d = Dataset::generate(DatasetConfig { sites: 60, ..Default::default() });
+                let sites: Vec<_> = d.successful_sites().cloned().collect();
+                let loader = PageLoader::new(kind);
+                let mut i = 0;
+                b.iter(|| {
+                    let site = &sites[i % sites.len()];
+                    i += 1;
+                    let page = d.page_for(site);
+                    let mut env = UniverseEnv::new(&mut d);
+                    env.flush_dns();
+                    let mut rng = SimRng::seed_from_u64(site.page_seed);
+                    loader.load(&page, &mut env, &mut rng).request_count()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_full_characterization(c: &mut Criterion) {
+    // One small but complete Tables 1–7 regeneration (the repro
+    // binary's --sites 150 path).
+    let mut g = c.benchmark_group("crawl_characterize");
+    g.sample_size(10);
+    g.bench_function("sites_150", |b| {
+        b.iter(|| {
+            let r = origin_bench::run_crawl(150, 0x0516);
+            (r.characterization.pages, r.plan.total_sites)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dataset_generation,
+    bench_page_materialization,
+    bench_page_load,
+    bench_full_characterization
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Frame codec throughput, including the ORIGIN frame (RFC 8336) and
+//! a full connection handshake exchange.
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use origin_h2::conn::{request_headers, ServerConfig};
+use origin_h2::{Connection, Frame, FrameDecoder, OriginSet, Settings, StreamId};
+
+fn bench_origin_frame(c: &mut Criterion) {
+    let set = OriginSet::from_hosts([
+        "www.example.com",
+        "static.example.com",
+        "img.example.com",
+        "cdnjs.cloudflare.com",
+        "fonts.gstatic.com",
+        "www.google-analytics.com",
+        "cdn.jsdelivr.net",
+    ]);
+    let frame = set.to_frame();
+    let wire = frame.to_bytes();
+    let mut g = c.benchmark_group("origin_frame");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(256);
+            frame.encode(&mut buf);
+            buf.len()
+        })
+    });
+    g.bench_function("decode", |b| {
+        let decoder = FrameDecoder::default();
+        b.iter(|| {
+            let mut buf = BytesMut::from(&wire[..]);
+            decoder.decode(&mut buf).unwrap().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_data_stream(c: &mut Criterion) {
+    // A realistic mixed frame stream: headers + body chunks + pings.
+    let mut stream = BytesMut::new();
+    for i in 0..32u32 {
+        Frame::Data {
+            stream: StreamId(2 * i + 1),
+            data: Bytes::from(vec![0xAB; 1200]),
+            end_stream: i % 4 == 3,
+        }
+        .encode(&mut stream);
+        if i % 8 == 0 {
+            Frame::Ping { ack: false, payload: [i as u8; 8] }.encode(&mut stream);
+        }
+    }
+    let wire = stream.freeze();
+    let mut g = c.benchmark_group("frame_stream");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("decode_mixed", |b| {
+        let decoder = FrameDecoder::default();
+        b.iter(|| {
+            let mut buf = BytesMut::from(&wire[..]);
+            let mut n = 0;
+            while let Some(_f) = decoder.decode(&mut buf).unwrap() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_connection_exchange(c: &mut Criterion) {
+    // Full sans-IO exchange: preface + SETTINGS + ORIGIN + 8 requests.
+    c.bench_function("connection_exchange", |b| {
+        b.iter(|| {
+            let mut client = Connection::client("shop.example", Settings::default());
+            let mut server = Connection::server(ServerConfig {
+                settings: Settings::default(),
+                origin_set: Some(OriginSet::from_hosts(["shop.example", "cdnjs.cloudflare.com"])),
+                authorized: vec![],
+            });
+            for i in 0..8 {
+                client.send_request(
+                    &request_headers("GET", "shop.example", &format!("/r{i}")),
+                    true,
+                );
+            }
+            let mut served = 0;
+            loop {
+                let cb = client.take_outgoing();
+                let sb = server.take_outgoing();
+                if cb.is_empty() && sb.is_empty() {
+                    break;
+                }
+                if !cb.is_empty() {
+                    for ev in server.recv(&cb).unwrap() {
+                        if let origin_h2::Event::Headers { stream, .. } = ev {
+                            server.send_response(stream, 200, b"0123456789abcdef");
+                            served += 1;
+                        }
+                    }
+                }
+                if !sb.is_empty() {
+                    client.recv(&sb).unwrap();
+                }
+            }
+            served
+        })
+    });
+}
+
+criterion_group!(benches, bench_origin_frame, bench_data_stream, bench_connection_exchange);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! HPACK throughput benches plus the Huffman on/off and
+//! dynamic-table-size ablations called out in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use origin_h2::hpack::{Decoder, Encoder, Header};
+
+fn request_headers(i: usize) -> Vec<Header> {
+    vec![
+        Header::new(":method", "GET"),
+        Header::new(":scheme", "https"),
+        Header::new(":authority", "static.example.com"),
+        Header::new(":path", &format!("/assets/app-{i}.js?v=12345")),
+        Header::new("user-agent", "Mozilla/5.0 (X11; Linux x86_64; rv:96.0) Gecko/20100101 Firefox/96.0"),
+        Header::new("accept", "*/*"),
+        Header::new("accept-encoding", "gzip, deflate, br"),
+        Header::new("referer", "https://www.example.com/"),
+        Header::new("cookie", "session=0123456789abcdef0123456789abcdef"),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hpack_encode");
+    for &huffman in &[true, false] {
+        g.bench_with_input(
+            BenchmarkId::new("request_stream", if huffman { "huffman" } else { "plain" }),
+            &huffman,
+            |b, &huffman| {
+                b.iter(|| {
+                    let mut enc = Encoder::new();
+                    enc.use_huffman = huffman;
+                    let mut total = 0usize;
+                    for i in 0..64 {
+                        total += enc.encode(&request_headers(i % 8)).len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut enc = Encoder::new();
+    let blocks: Vec<Vec<u8>> = (0..64).map(|i| enc.encode(&request_headers(i % 8))).collect();
+    let bytes: usize = blocks.iter().map(Vec::len).sum();
+    let mut g = c.benchmark_group("hpack_decode");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("request_stream", |b| {
+        b.iter(|| {
+            let mut dec = Decoder::new();
+            let mut n = 0usize;
+            for blk in &blocks {
+                n += dec.decode(blk).expect("valid").len();
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_sizes(c: &mut Criterion) {
+    // Ablation: wire bytes vs dynamic table capacity.
+    let mut g = c.benchmark_group("hpack_table_size");
+    for &size in &[0usize, 512, 4096, 65_536] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let mut enc = Encoder::new();
+                enc.set_max_table_size(size);
+                let mut total = 0usize;
+                for i in 0..64 {
+                    total += enc.encode(&request_headers(i % 8)).len();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_table_sizes);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! §4 model benches: timeline reconstruction (Figures 2/3/9) and the
+//! certificate planner (Figures 4/5, Tables 8/9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
+use origin_core::certplan::plan_site;
+use origin_core::model::{predict, CoalescingGrouping};
+use origin_netsim::SimRng;
+use origin_webgen::{Dataset, DatasetConfig};
+
+fn fixtures() -> (Dataset, Vec<(origin_web::Page, origin_web::PageLoad)>) {
+    let mut d = Dataset::generate(DatasetConfig { sites: 80, ..Default::default() });
+    let sites: Vec<_> = d.successful_sites().cloned().collect();
+    let loader = PageLoader::new(BrowserKind::Chromium);
+    let mut out = Vec::new();
+    for site in &sites {
+        let page = d.page_for(site);
+        let mut env = UniverseEnv::new(&mut d);
+        env.flush_dns();
+        let mut rng = SimRng::seed_from_u64(site.page_seed);
+        let load = loader.load(&page, &mut env, &mut rng);
+        out.push((page, load));
+    }
+    (d, out)
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let (_d, pages) = fixtures();
+    let mut g = c.benchmark_group("model_predict");
+    for (label, grouping) in [
+        ("ideal_ip", CoalescingGrouping::ByIp),
+        ("ideal_origin", CoalescingGrouping::ByAs),
+        ("cdn_only", CoalescingGrouping::BySingleAs(13335)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &grouping, |b, &grouping| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (page, load) in &pages {
+                    let (p, _) = predict(page, load, grouping);
+                    total += p.tls_connections;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_certplan(c: &mut Criterion) {
+    let (d, pages) = fixtures();
+    c.bench_function("certplan_sites", |b| {
+        b.iter(|| {
+            let mut additions = 0usize;
+            for (page, _) in &pages {
+                let cert = d.universe.cert_for(&page.root_host).cloned();
+                let universe = &d.universe;
+                let plan = plan_site(page, cert.as_ref(), |a, bb| {
+                    a.registrable() == bb.registrable()
+                        || (universe.asn_of_host(a) != 0
+                            && universe.asn_of_host(a) == universe.asn_of_host(bb))
+                });
+                additions += plan.additions.len();
+            }
+            additions
+        })
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_certplan);
+criterion_main!(benches);

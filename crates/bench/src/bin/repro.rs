@@ -1,0 +1,694 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--sites N] [--seed S] [--json <path>] [--only <id>...]
+//! ```
+//!
+//! `--json` additionally writes the raw figure series (CDF samples
+//! for Figures 3/4/9, the Figure 8 time series) to a JSON file for
+//! external plotting.
+//!
+//! ids: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 f2 f3 f4 f5 f6 f7a f7b f8 f9
+//!      passive-ip passive-origin incident ct
+//!
+//! With no `--only`, everything is produced in paper order.
+
+use origin_bench::{asn_label, run_crawl, CrawlResults};
+use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
+use origin_cdn::{
+    ActiveMeasurement, DeploymentMode, LongitudinalRun, MiddleboxIncident, PassivePipeline,
+    SampleGroup, Treatment,
+};
+use origin_core::model::{predict, CoalescingGrouping};
+use origin_netsim::SimRng;
+use origin_stats::table::{pct_change, TextTable};
+use origin_stats::Cdf;
+use origin_tls::CtLogSet;
+
+struct Args {
+    sites: u32,
+    seed: u64,
+    only: Vec<String>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { sites: 4_000, seed: 0x0516, only: Vec::new(), json: None };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.into_iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sites" => args.sites = it.next().and_then(|v| v.parse().ok()).unwrap_or(4_000),
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(0x0516),
+            "--json" => args.json = it.next(),
+            "--only" => {
+                // Consume ids up to (but not including) the next flag.
+                while let Some(tok) = it.peek() {
+                    if tok.starts_with("--") {
+                        break;
+                    }
+                    args.only.push(tok.to_lowercase());
+                    it.next();
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--sites N] [--seed S] [--json path] [--only id...]");
+                std::process::exit(0);
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    args
+}
+
+fn want(args: &Args, id: &str) -> bool {
+    args.only.is_empty() || args.only.iter().any(|o| o == id)
+}
+
+fn main() {
+    let args = parse_args();
+    let needs_crawl = [
+        "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "f1", "f2", "f3", "f4", "f5",
+        "f9", "ct",
+    ]
+    .iter()
+    .any(|id| want(&args, id));
+
+    let crawl = needs_crawl.then(|| {
+        eprintln!("# crawling {} synthetic sites (seed {:#x})…", args.sites, args.seed);
+        run_crawl(args.sites, args.seed)
+    });
+
+    if let Some(r) = &crawl {
+        if want(&args, "t1") {
+            table1(r);
+        }
+        if want(&args, "t2") {
+            table2(r);
+        }
+        if want(&args, "t3") {
+            table3(r);
+        }
+        if want(&args, "t4") {
+            table4(r);
+        }
+        if want(&args, "t5") {
+            table5(r);
+        }
+        if want(&args, "t6") {
+            table6(r);
+        }
+        if want(&args, "t7") {
+            table7(r);
+        }
+        if want(&args, "f1") {
+            figure1(r);
+        }
+        if want(&args, "f2") {
+            figure2(args.seed);
+        }
+        if want(&args, "f3") {
+            figure3(r);
+        }
+        if want(&args, "f4") {
+            figure4(r);
+        }
+        if want(&args, "f5") {
+            figure5(r);
+        }
+        if want(&args, "t8") {
+            table8(r);
+        }
+        if want(&args, "t9") {
+            table9(r);
+        }
+        if want(&args, "f9") {
+            figure9_top(r);
+        }
+        if want(&args, "ct") {
+            ct_impact(r);
+        }
+    }
+
+    // §5 deployment experiments.
+    let needs_sample =
+        ["f6", "f7a", "f7b", "f8", "f9", "passive-ip", "passive-origin", "incident", "privacy"]
+            .iter()
+            .any(|id| want(&args, id));
+    if needs_sample {
+        let mut rng = SimRng::seed_from_u64(args.seed ^ 0x5000);
+        let group = SampleGroup::build(5_000, &mut rng);
+        eprintln!(
+            "# sample group: {} candidates, {} removed (subpage-only), {} in study",
+            5_000,
+            group.removed_subpage_only,
+            group.sites.len()
+        );
+        if want(&args, "f6") {
+            figure6(&group);
+        }
+        if want(&args, "f7a") {
+            figure7(&group, args.seed, true);
+        }
+        if want(&args, "f7b") {
+            figure7(&group, args.seed, false);
+        }
+        if want(&args, "passive-ip") {
+            passive(&group, args.seed, DeploymentMode::IpAligned);
+        }
+        if want(&args, "passive-origin") {
+            passive(&group, args.seed, DeploymentMode::OriginFrames);
+        }
+        if want(&args, "f8") {
+            figure8(&group, args.seed);
+        }
+        if want(&args, "f9") {
+            figure9_bottom(&group, args.seed);
+        }
+        if want(&args, "incident") {
+            incident(&group, args.seed);
+        }
+        if want(&args, "privacy") {
+            privacy(&group, args.seed);
+        }
+    }
+    if want(&args, "scheduling") {
+        scheduling(args.seed);
+    }
+    if let (Some(path), Some(r)) = (&args.json, &crawl) {
+        export_json(path, r);
+    }
+}
+
+/// Write the raw figure series to JSON for external plotting.
+fn export_json(path: &str, r: &CrawlResults) {
+    let (existing, ideal) = r.plan.figure4();
+    let value = serde_json::json!({
+        "figure1": r.characterization.figure1(),
+        "figure3": {
+            "measured_dns": r.measured.dns,
+            "measured_tls": r.measured.tls,
+            "ideal_ip_dns": r.model_ip.dns,
+            "ideal_ip_tls": r.model_ip.tls,
+            "ideal_origin_dns": r.model_origin.dns,
+            "ideal_origin_tls": r.model_origin.tls,
+        },
+        "figure4": { "existing": existing.steps(), "ideal": ideal.steps() },
+        "figure5": r.plan.figure5(),
+        "figure9_top": {
+            "measured_plt": r.measured.plt,
+            "ideal_ip_plt": r.model_ip.plt,
+            "ideal_origin_plt": r.model_origin.plt,
+            "cdn_only_plt": r.model_cdn_plt,
+        },
+    });
+    match std::fs::write(path, serde_json::to_string(&value).expect("series serialize")) {
+        Ok(()) => eprintln!("# wrote figure series to {path}"),
+        Err(e) => eprintln!("# failed to write {path}: {e}"),
+    }
+}
+
+/// §6.1: priority-inversion comparison between one coalesced
+/// connection and parallel connections racing at the bottleneck.
+fn scheduling(seed: u64) {
+    println!("§6.1 scheduling fidelity (mean priority inversions per page)");
+    println!("connections  coalesced  parallel");
+    for k in [2usize, 4, 6, 10] {
+        let (coal, par) = origin_core::scheduling::compare(60, 14, k, seed ^ k as u64);
+        println!("{k:>11}  {coal:>9.1}  {par:>8.1}");
+    }
+    println!("coalesced resources always arrive in intended order; parallel connections cannot enforce cross-connection priority\n");
+}
+
+/// §6.2: quantify the cleartext signals coalescing removes. Each new
+/// TLS connection exposes one plaintext SNI (no ECH in 2021/22) and
+/// each network DNS query over UDP-53 exposes the queried name.
+fn privacy(group: &SampleGroup, seed: u64) {
+    let exposure = |mode: DeploymentMode, browser: BrowserKind| -> (u64, u64) {
+        let m = ActiveMeasurement { mode, browser };
+        let (exp, _) = m.run_both(group, seed ^ 0x9417AC);
+        // SNI exposures = total new TLS connections across visits.
+        let snis: u64 = exp
+            .new_connections
+            .bins()
+            .map(|(v, c)| v * c)
+            .sum();
+        // One render-blocking plaintext DNS query per connection plus
+        // the site lookup per visit (the loader counts them exactly;
+        // approximate here from the same histogram for the report).
+        let visits = exp.new_connections.total();
+        (snis + visits, visits)
+    };
+    let (before_snis, visits) = exposure(DeploymentMode::Baseline, BrowserKind::Firefox);
+    let (after_snis, _) = exposure(DeploymentMode::OriginFrames, BrowserKind::FirefoxOrigin);
+    println!("§6.2 privacy: plaintext third-party SNI+DNS exposures per {visits} visits");
+    println!(
+        "without ORIGIN: {before_snis} | with ORIGIN: {after_snis} ({:+.1}%)",
+        (after_snis as f64 - before_snis as f64) / before_snis.max(1) as f64 * 100.0
+    );
+    println!("each removed exposure is one cleartext signal an on-path observer no longer sees\n");
+}
+
+fn table1(r: &CrawlResults) {
+    let mut t = TextTable::new(
+        "Table 1: successful collection per rank bucket (median page attributes)",
+        &["Rank", "Success", "#Reqs", "PLT (ms)", "#DNS", "#TLS"],
+    );
+    for row in r.characterization.table1() {
+        let label = if row.bucket == u32::MAX {
+            "Total".to_string()
+        } else {
+            format!("{}-{}K", row.bucket * 100, (row.bucket + 1) * 100)
+        };
+        t.row(&[
+            label,
+            row.success.to_string(),
+            format!("{:.0}", row.median_requests),
+            format!("{:.1}", row.median_plt),
+            format!("{:.0}", row.median_dns),
+            format!("{:.0}", row.median_tls),
+        ]);
+    }
+    if let Some(s) = r.characterization.request_summary() {
+        t.row(&[
+            "μ".to_string(),
+            String::new(),
+            format!("{:.0}", s.mean),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn table2(r: &CrawlResults) {
+    let mut t = TextTable::new(
+        "Table 2: top-10 destination ASes for resource requests",
+        &["Rank", "AS Number", "Org. Name", "#Req", "%"],
+    );
+    for (i, e) in r.characterization.as_requests.top(10).iter().enumerate() {
+        t.row(&[
+            (i + 1).to_string(),
+            format!("AS {}", e.key),
+            asn_label(e.key),
+            e.count.to_string(),
+            format!("{:.2}", e.percent),
+        ]);
+    }
+    let top10 = r.characterization.as_requests.top_share(10);
+    let to80 = r.characterization.as_requests.keys_to_reach(80.0);
+    t.row(&[
+        String::new(),
+        String::new(),
+        "Total".to_string(),
+        String::new(),
+        format!("{top10:.2}"),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "ASes to reach 80% of requests: {} (paper: 51) | distinct ASes: {}\n",
+        to80.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+        r.characterization.as_requests.distinct()
+    );
+}
+
+fn table3(r: &CrawlResults) {
+    let mut t = TextTable::new(
+        "Table 3: requests by application protocol / encryption",
+        &["Protocol", "# Requests", "%"],
+    );
+    for e in r.characterization.protocol_requests.top(10) {
+        t.row(&[e.key.to_string(), e.count.to_string(), format!("{:.2}", e.percent)]);
+    }
+    let secure = r.characterization.secure_fraction();
+    t.row(&["Secure".into(), r.characterization.secure_requests.to_string(), format!("{:.2}", secure * 100.0)]);
+    t.row(&[
+        "Insecure".into(),
+        r.characterization.insecure_requests.to_string(),
+        format!("{:.2}", (1.0 - secure) * 100.0),
+    ]);
+    println!("{}", t.render());
+}
+
+fn table4(r: &CrawlResults) {
+    let mut t = TextTable::new(
+        "Table 4: top certificate issuers by validations",
+        &["Certificate Issuer", "# Validations", "%"],
+    );
+    for e in r.characterization.issuers.top(10) {
+        t.row(&[e.key.clone(), e.count.to_string(), format!("{:.2}", e.percent)]);
+    }
+    println!("{}", t.render());
+}
+
+fn table5(r: &CrawlResults) {
+    let mut t =
+        TextTable::new("Table 5: requests by top content types", &["Content Type", "# Req", "%"]);
+    for e in r.characterization.content_types.top(12) {
+        t.row(&[e.key.to_string(), e.count.to_string(), format!("{:.2}", e.percent)]);
+    }
+    println!("{}", t.render());
+}
+
+fn table6(r: &CrawlResults) {
+    let mut t = TextTable::new(
+        "Table 6: top content types per top-3 ASes",
+        &["ASN", "Content Type", "#Req", "%"],
+    );
+    for e in r.characterization.as_requests.top(3) {
+        if let Some(topk) = r.characterization.as_content.get(&e.key) {
+            for c in topk.top(4) {
+                t.row(&[
+                    format!("{} (AS {})", asn_label(e.key), e.key),
+                    c.key.to_string(),
+                    c.count.to_string(),
+                    format!("{:.2}", c.percent),
+                ]);
+            }
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn table7(r: &CrawlResults) {
+    let mut t = TextTable::new(
+        "Table 7: top-10 subresource hostnames",
+        &["Hostname", "#Req", "%"],
+    );
+    for e in r.characterization.hostnames.top(10) {
+        t.row(&[e.key.clone(), e.count.to_string(), format!("{:.2}", e.percent)]);
+    }
+    println!("{}", t.render());
+}
+
+fn figure1(r: &CrawlResults) {
+    println!("Figure 1: unique ASes needed to load a page");
+    println!("as_count  fraction  cdf");
+    for (v, frac, cdf) in r.characterization.figure1().into_iter().take(30) {
+        println!("{v:>8}  {:>8.4}  {cdf:.4}", frac);
+    }
+    println!();
+}
+
+fn figure2(seed: u64) {
+    use origin_webgen::{Dataset, DatasetConfig};
+    let mut d = Dataset::generate(DatasetConfig { sites: 40, seed, ..Default::default() });
+    let site = d
+        .sites()
+        .iter()
+        .find(|s| !s.failed && !s.services.is_empty())
+        .expect("a usable site")
+        .clone();
+    let page = d.page_for(&site);
+    let mut env = UniverseEnv::new(&mut d);
+    env.flush_dns();
+    let loader = PageLoader::new(BrowserKind::Chromium);
+    let mut rng = SimRng::seed_from_u64(site.page_seed);
+    let load = loader.load(&page, &mut env, &mut rng);
+    let (_, recon) = predict(&page, &load, CoalescingGrouping::ByAs);
+    // Only show the first handful of requests, Figure 2 style.
+    let mut before = load.clone();
+    before.requests.truncate(8);
+    let mut after = recon.clone();
+    after.requests.truncate(8);
+    println!("Figure 2: measured vs reconstructed timeline (first 8 requests)");
+    println!("{}", origin_web::waterfall::render_comparison(&before, &after, 70));
+}
+
+fn print_cdf_quantiles(label: &str, cdf: &Cdf) {
+    let q = |p: f64| cdf.quantile(p).unwrap_or(0.0);
+    println!(
+        "{label:<38} p25={:>7.1} median={:>7.1} p75={:>7.1} p90={:>8.1}",
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        q(0.9)
+    );
+}
+
+fn figure3(r: &CrawlResults) {
+    println!("Figure 3: measured vs ideal DNS / TLS counts (CDF quantiles)");
+    print_cdf_quantiles("Measured DNS Requests", &Cdf::from_samples(&r.measured.dns));
+    print_cdf_quantiles("Measured TLS Requests", &Cdf::from_samples(&r.measured.tls));
+    print_cdf_quantiles("Ideal Modelled IP Coalescing (DNS)", &Cdf::from_samples(&r.model_ip.dns));
+    print_cdf_quantiles("Ideal Modelled IP Coalescing (TLS)", &Cdf::from_samples(&r.model_ip.tls));
+    print_cdf_quantiles(
+        "Ideal Modelled Origin Coalescing (DNS)",
+        &Cdf::from_samples(&r.model_origin.dns),
+    );
+    print_cdf_quantiles(
+        "Ideal Modelled Origin Coalescing (TLS)",
+        &Cdf::from_samples(&r.model_origin.tls),
+    );
+    let (m_dns, m_tls, _) = r.measured.medians();
+    let (i_dns, i_tls, _) = r.model_ip.medians();
+    let (o_dns, o_tls, _) = r.model_origin.medians();
+    println!(
+        "reductions: IP dns {} tls {} | ORIGIN dns {} tls {}  (paper: −7%/−19% and −64%/−67%)\n",
+        pct_change(origin_stats::percent_change(m_dns, i_dns)),
+        pct_change(origin_stats::percent_change(m_tls, i_tls)),
+        pct_change(origin_stats::percent_change(m_dns, o_dns)),
+        pct_change(origin_stats::percent_change(m_tls, o_tls)),
+    );
+}
+
+fn figure4(r: &CrawlResults) {
+    let (existing, ideal) = r.plan.figure4();
+    println!("Figure 4: DNS SAN names per certificate, existing vs ideal (CDF)");
+    println!("sans  existing_cdf  ideal_cdf");
+    for x in 0..=15u64 {
+        println!(
+            "{x:>4}  {:>12.4}  {:>9.4}",
+            existing.eval(x as f64),
+            ideal.eval(x as f64)
+        );
+    }
+    println!(
+        "median {} → {} | p75 {} → {}\n",
+        existing.quantile(0.5).unwrap_or(0.0),
+        ideal.quantile(0.5).unwrap_or(0.0),
+        existing.quantile(0.75).unwrap_or(0.0),
+        ideal.quantile(0.75).unwrap_or(0.0)
+    );
+}
+
+fn figure5(r: &CrawlResults) {
+    println!("Figure 5: SAN sizes ranked by existing size (sampled rows)");
+    println!("rank  existing  ideal  changes");
+    let f5 = r.plan.figure5();
+    let mut rank = 1usize;
+    while rank <= f5.len() {
+        let (e, i, c) = f5[rank - 1];
+        println!("{rank:>5}  {e:>8}  {i:>5}  {c:>7}");
+        rank = if rank < 10 { rank + 1 } else { rank * 10 / 3 };
+    }
+    let (b250, a250) = r.plan.sites_above(250);
+    println!(
+        "certificates with >250 SAN names: {b250} → {a250} (paper: 230 → 529, +130%)\n"
+    );
+}
+
+fn table8(r: &CrawlResults) {
+    let (measured, ideal) = r.plan.table8(10);
+    let mut t = TextTable::new(
+        "Table 8: distribution of SAN sizes, measured vs ideal",
+        &["Rank", "Measured #SAN", "Count", "Ideal #SAN", "Count"],
+    );
+    for i in 0..10 {
+        let m = measured.get(i);
+        let d = ideal.get(i);
+        t.row(&[
+            (i + 1).to_string(),
+            m.map(|x| x.0.to_string()).unwrap_or_default(),
+            m.map(|x| x.1.to_string()).unwrap_or_default(),
+            d.map(|x| x.0.to_string()).unwrap_or_default(),
+            d.map(|x| x.1.to_string()).unwrap_or_default(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "unchanged certificates: {:.2}% (paper 62.41%) | ≤10 changes: {:.2}% (paper 92.66%) | SAN-less sites: {} (needing changes: {})\n",
+        r.plan.unchanged_fraction() * 100.0,
+        r.plan.within_changes(10) * 100.0,
+        r.plan.san_less_sites,
+        r.plan.san_less_needing_changes,
+    );
+}
+
+fn table9(r: &CrawlResults) {
+    let mut t = TextTable::new(
+        "Table 9: most frequently needed hostnames per top hosting provider",
+        &["Provider", "#Sites", "Hostname", "Count", "%"],
+    );
+    for (provider, sites, hosts) in r.effective.table9(5).into_iter().take(4) {
+        if provider == "Self-hosted" {
+            continue;
+        }
+        for (host, count, pctg) in hosts {
+            t.row(&[
+                format!("{provider} ({sites} sites)"),
+                sites.to_string(),
+                host,
+                count.to_string(),
+                format!("{pctg:.2}"),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+fn figure9_top(r: &CrawlResults) {
+    println!("Figure 9 (top): modelled PLT CDFs");
+    print_cdf_quantiles("Measured", &Cdf::from_samples(&r.measured.plt));
+    print_cdf_quantiles("I.M. IP Coalescing", &Cdf::from_samples(&r.model_ip.plt));
+    print_cdf_quantiles("I.M. Origin Coalescing", &Cdf::from_samples(&r.model_origin.plt));
+    print_cdf_quantiles("I.M. CDN Origin Coalescing", &Cdf::from_samples(&r.model_cdn_plt));
+    let m = origin_stats::median(&r.measured.plt).unwrap_or(0.0);
+    let ip = origin_stats::median(&r.model_ip.plt).unwrap_or(0.0);
+    let or = origin_stats::median(&r.model_origin.plt).unwrap_or(0.0);
+    let cdn = origin_stats::median(&r.model_cdn_plt).unwrap_or(0.0);
+    println!(
+        "median PLT change: IP {} | ORIGIN {} | CDN-only {}  (paper: −10%, −27%, −1.5%)\n",
+        pct_change(origin_stats::percent_change(m, ip)),
+        pct_change(origin_stats::percent_change(m, or)),
+        pct_change(origin_stats::percent_change(m, cdn)),
+    );
+}
+
+fn ct_impact(r: &CrawlResults) {
+    let changed = r.plan.total_sites - r.plan.unchanged_sites;
+    let hours = CtLogSet::burst_as_hours_of_global_issuance(changed);
+    // Scale the changed-site count up to the paper's dataset size.
+    let scale = 315_796.0 / r.plan.total_sites.max(1) as f64;
+    let scaled = (changed as f64 * scale) as u64;
+    println!("§6.4 CT impact: {changed} certificates to reissue ({:.2}% of sites;", (changed as f64 / r.plan.total_sites as f64) * 100.0);
+    println!(
+        "scaled to the paper's 315,796 sites: {scaled} ≈ {:.2} hours of global issuance (paper: 37.59% → one-time burst ≪ daily volume)\n",
+        CtLogSet::burst_as_hours_of_global_issuance(scaled)
+    );
+    let _ = hours;
+}
+
+fn figure6(group: &SampleGroup) {
+    println!("Figure 6: equal-byte certificate issuance check");
+    println!(
+        "third party: {} ({} bytes) | control decoy: {} ({} bytes)",
+        origin_cdn::THIRD_PARTY_HOST,
+        origin_cdn::THIRD_PARTY_HOST.len(),
+        origin_cdn::CONTROL_DECOY_HOST,
+        origin_cdn::CONTROL_DECOY_HOST.len()
+    );
+    println!(
+        "equal-byte property across {} certificates: {}\n",
+        group.sites.len(),
+        if group.equal_byte_check() { "HOLDS" } else { "VIOLATED" }
+    );
+}
+
+fn figure7(group: &SampleGroup, seed: u64, ip: bool) {
+    let (label, m) = if ip {
+        ("Figure 7a: IP-based coalescing (Firefox v91)", ActiveMeasurement::ip_experiment())
+    } else {
+        ("Figure 7b: ORIGIN frame (Firefox v96)", ActiveMeasurement::origin_experiment())
+    };
+    let (exp, ctl) = m.run_both(group, seed);
+    println!("{label}");
+    println!("new_conns  experiment_cdf  control_cdf");
+    let (ecdf, ccdf) = (exp.cdf(), ctl.cdf());
+    for n in 0..=exp.max_connections().max(ctl.max_connections()) {
+        println!("{n:>9}  {:>14.3}  {:>11.3}", ecdf.eval(n as f64), ccdf.eval(n as f64));
+    }
+    println!(
+        "zero-connection visits: experiment {:.1}% control {:.1}%  (paper: {} )\n",
+        exp.fraction_with(0) * 100.0,
+        ctl.fraction_with(0) * 100.0,
+        if ip { "70% vs 9%" } else { "64% vs 6%" }
+    );
+}
+
+fn passive(group: &SampleGroup, seed: u64, mode: DeploymentMode) {
+    let p = PassivePipeline::new(mode);
+    let r = p.run(group, seed);
+    let label = match mode {
+        DeploymentMode::IpAligned => "§5.2 passive (IP alignment)",
+        DeploymentMode::OriginFrames => "§5.3 passive (ORIGIN frames)",
+        DeploymentMode::Baseline => "baseline passive",
+    };
+    println!("{label}: sampled {} records", r.sampled_records);
+    println!(
+        "new TLS connections to third party per sampled visit: experiment {} / control {}",
+        r.experiment_tp_connections, r.control_tp_connections
+    );
+    println!(
+        "rate reduction: {:.1}% (paper: {}) | coalesced connections observed: {}\n",
+        r.tp_connection_reduction() * 100.0,
+        match mode {
+            DeploymentMode::IpAligned => "56%",
+            DeploymentMode::OriginFrames => "≈50%",
+            DeploymentMode::Baseline => "0%",
+        },
+        r.coalesced_connections
+    );
+}
+
+fn figure8(group: &SampleGroup, seed: u64) {
+    let run = LongitudinalRun::paper_window();
+    let s = run.run(group, DeploymentMode::OriginFrames, seed);
+    println!("Figure 8: daily new TLS connections to the third party");
+    println!("day  experiment  control");
+    for (d, (e, c)) in s
+        .experiment
+        .counts()
+        .iter()
+        .zip(s.control.counts())
+        .enumerate()
+    {
+        if d % 2 == 0 {
+            println!("{d:>3}  {e:>10}  {c:>7}");
+        }
+    }
+    println!(
+        "reduction during deployment (days {}–{}): {:.1}% | before: {:.1}% | after: {:.1}%\n",
+        run.deploy_start_day,
+        run.deploy_end_day,
+        s.reduction(run.deploy_start_day, run.deploy_end_day) * 100.0,
+        s.reduction(0, run.deploy_start_day) * 100.0,
+        s.reduction(run.deploy_end_day, run.days) * 100.0
+    );
+}
+
+fn figure9_bottom(group: &SampleGroup, seed: u64) {
+    let (exp, ctl) = ActiveMeasurement::origin_experiment().run_both(group, seed ^ 0xF9);
+    println!("Figure 9 (bottom): measured PLT at the deployment CDN");
+    print_cdf_quantiles("Control", &Cdf::from_samples(&ctl.plt_ms));
+    print_cdf_quantiles("Experiment", &Cdf::from_samples(&exp.plt_ms));
+    println!(
+        "median PLT change: {} (paper: ≈−1%, 'no worse')\n",
+        pct_change(origin_stats::percent_change(ctl.median_plt(), exp.median_plt()))
+    );
+}
+
+fn incident(group: &SampleGroup, seed: u64) {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x1BC1);
+    let inc = MiddleboxIncident::default();
+    let (exp, ctl) = inc.simulate(group, 50_000, true, &mut rng);
+    println!("§6.7 incident: non-compliant middlebox vs ORIGIN frames");
+    println!(
+        "experiment arm: {}/{} torn down ({:.2}%) | control arm: {}/{} ({:.2}%)",
+        exp.torn_down,
+        exp.attempts,
+        exp.failure_rate() * 100.0,
+        ctl.torn_down,
+        ctl.attempts,
+        ctl.failure_rate() * 100.0
+    );
+    let fixed = MiddleboxIncident { vendor_fixed: true, ..inc };
+    let (exp2, ctl2) = fixed.simulate(group, 50_000, true, &mut rng);
+    println!(
+        "after vendor fix (Sept 2022): {} failures across {} connections\n",
+        exp2.torn_down + ctl2.torn_down,
+        exp2.attempts + ctl2.attempts
+    );
+    let _ = Treatment::Experiment;
+}

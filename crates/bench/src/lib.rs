@@ -1,0 +1,180 @@
+//! Shared experiment harness for the `repro` binary and the Criterion
+//! benches.
+//!
+//! [`run_crawl`] performs the full §3 crawl + §4 model over a
+//! synthetic dataset and returns every series the paper's tables and
+//! figures need; the deployment experiments (§5) are run separately
+//! through `origin-cdn`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
+use origin_core::certplan::{plan_site, EffectiveChanges, PlanSummary};
+use origin_core::characterize::Characterization;
+use origin_core::model::{predict, CoalescingGrouping};
+use origin_netsim::SimRng;
+use origin_webgen::{Dataset, DatasetConfig, PROVIDERS};
+
+/// The AS used for the "deployment-CDN only" model line in Figure 9.
+pub const DEPLOYMENT_CDN_ASN: u32 = 13335;
+
+/// Per-policy sample vectors for CDFs.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesSamples {
+    /// DNS queries per page.
+    pub dns: Vec<f64>,
+    /// New TLS connections per page.
+    pub tls: Vec<f64>,
+    /// Page load times (ms).
+    pub plt: Vec<f64>,
+}
+
+impl SeriesSamples {
+    fn push(&mut self, dns: u64, tls: u64, plt: f64) {
+        self.dns.push(dns as f64);
+        self.tls.push(tls as f64);
+        self.plt.push(plt);
+    }
+
+    /// Median of a component.
+    pub fn medians(&self) -> (f64, f64, f64) {
+        (
+            origin_stats::median(&self.dns).unwrap_or(0.0),
+            origin_stats::median(&self.tls).unwrap_or(0.0),
+            origin_stats::median(&self.plt).unwrap_or(0.0),
+        )
+    }
+}
+
+/// Everything the §3/§4 tables and figures are drawn from.
+pub struct CrawlResults {
+    /// The generated dataset (zones, certs, AS attribution).
+    pub dataset: Dataset,
+    /// Streaming characterization (Tables 1–7, Figure 1).
+    pub characterization: Characterization,
+    /// Measured (Chrome-policy) series.
+    pub measured: SeriesSamples,
+    /// Ideal IP-coalescing model series (Figure 3 blue, Figure 9 top).
+    pub model_ip: SeriesSamples,
+    /// Ideal ORIGIN-coalescing model series (Figure 3 green).
+    pub model_origin: SeriesSamples,
+    /// Deployment-CDN-only model PLTs (Figure 9 dotted).
+    pub model_cdn_plt: Vec<f64>,
+    /// Certificate plan aggregation (Figures 4–5, Table 8).
+    pub plan: PlanSummary,
+    /// Per-provider most-effective changes (Table 9).
+    pub effective: EffectiveChanges,
+}
+
+/// Run the crawl + model over `sites` generated ranks.
+pub fn run_crawl(sites: u32, seed: u64) -> CrawlResults {
+    let config = DatasetConfig { sites, seed, ..Default::default() };
+    let mut dataset = Dataset::generate(config);
+    let mut characterization = Characterization::new(sites, config.tranco_total);
+    let mut measured = SeriesSamples::default();
+    let mut model_ip = SeriesSamples::default();
+    let mut model_origin = SeriesSamples::default();
+    let mut model_cdn_plt = Vec::new();
+    let mut plan = PlanSummary::default();
+    let mut effective = EffectiveChanges::new();
+
+    let site_cfgs: Vec<_> = dataset.successful_sites().cloned().collect();
+    let loader = PageLoader::new(BrowserKind::Chromium);
+    for site in &site_cfgs {
+        let page = dataset.page_for(site);
+
+        // §3: measured crawl (fresh browser session per page).
+        let mut env = UniverseEnv::new(&mut dataset);
+        env.flush_dns();
+        let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+        let load = loader.load(&page, &mut env, &mut rng);
+        characterization.add(&page, &load);
+        measured.push(load.dns_queries(), load.tls_connections(), load.plt());
+
+        // §4.2: model predictions via timeline reconstruction.
+        let (ip, _) = predict(&page, &load, CoalescingGrouping::ByIp);
+        model_ip.push(ip.dns_queries, ip.tls_connections, ip.plt_ms);
+        let (origin, _) = predict(&page, &load, CoalescingGrouping::ByAs);
+        model_origin.push(origin.dns_queries, origin.tls_connections, origin.plt_ms);
+        let (cdn, _) =
+            predict(&page, &load, CoalescingGrouping::BySingleAs(DEPLOYMENT_CDN_ASN));
+        model_cdn_plt.push(cdn.plt_ms);
+
+        // §4.3: certificate plan.
+        let cert = dataset.universe.cert_for(&site.root_host).cloned();
+        let universe = &dataset.universe;
+        let site_plan = plan_site(&page, cert.as_ref(), |a, b| {
+            if a.registrable() == b.registrable() {
+                return true;
+            }
+            let (x, y) = (universe.asn_of_host(a), universe.asn_of_host(b));
+            x != 0 && x == y
+        });
+        plan.add(&site_plan);
+        let provider_label = site
+            .provider
+            .map(|i| PROVIDERS[i].org)
+            .unwrap_or("Self-hosted");
+        effective.add(provider_label, &site_plan);
+    }
+
+    CrawlResults {
+        dataset,
+        characterization,
+        measured,
+        model_ip,
+        model_origin,
+        model_cdn_plt,
+        plan,
+        effective,
+    }
+}
+
+/// Map an ASN to its Table 2 organization name (tail ASes get a
+/// generated label).
+pub fn asn_label(asn: u32) -> String {
+    for p in PROVIDERS.iter() {
+        if p.asn == asn {
+            return p.org.to_string();
+        }
+    }
+    if asn >= 70_000 {
+        format!("Self-hosted AS {asn}")
+    } else if asn >= 60_000 {
+        format!("Tail provider AS {asn}")
+    } else {
+        format!("AS {asn}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_crawl_produces_all_series() {
+        let r = run_crawl(150, 0xBEEF);
+        assert!(r.characterization.pages > 50);
+        assert_eq!(r.measured.dns.len(), r.characterization.pages as usize);
+        assert_eq!(r.model_ip.plt.len(), r.measured.plt.len());
+        assert_eq!(r.model_origin.tls.len(), r.measured.tls.len());
+        assert_eq!(r.model_cdn_plt.len(), r.measured.plt.len());
+        assert_eq!(r.plan.total_sites, r.characterization.pages);
+        // Orderings that define the paper's story.
+        let (m_dns, m_tls, m_plt) = r.measured.medians();
+        let (i_dns, i_tls, i_plt) = r.model_ip.medians();
+        let (o_dns, o_tls, o_plt) = r.model_origin.medians();
+        assert!(o_dns <= i_dns && i_dns <= m_dns);
+        assert!(o_tls <= i_tls && i_tls <= m_tls);
+        assert!(o_plt <= i_plt && i_plt <= m_plt);
+    }
+
+    #[test]
+    fn labels_resolve() {
+        assert_eq!(asn_label(13335), "Cloudflare");
+        assert_eq!(asn_label(15169), "Google");
+        assert!(asn_label(60_005).contains("Tail"));
+        assert!(asn_label(70_123).contains("Self-hosted"));
+    }
+}

@@ -1,0 +1,209 @@
+//! The environment a browser loads pages against.
+
+use origin_dns::{DnsName, QueryAnswer, Resolver};
+use origin_h2::OriginSet;
+use origin_netsim::{LinkProfile, SimRng, SimTime};
+use origin_tls::Certificate;
+use origin_webgen::{Dataset, PROVIDERS};
+use std::net::IpAddr;
+
+/// What the loader needs from "the rest of the Internet". The
+/// synthetic universe implements it for the §3/§4 crawl; the CDN
+/// simulator implements it for the §5 deployment (with its own
+/// certificates, origin sets and anycast addressing).
+pub trait WebEnv {
+    /// Resolve a hostname at simulated time `now`.
+    fn resolve(&mut self, host: &DnsName, now: SimTime, rng: &mut SimRng) -> Option<QueryAnswer>;
+
+    /// The certificate the server presents for connections to `host`.
+    fn cert_for(&self, host: &DnsName) -> Option<&Certificate>;
+
+    /// Origin AS of an address.
+    fn asn_of_ip(&self, ip: &IpAddr) -> u32;
+
+    /// Origin AS serving a hostname.
+    fn asn_of_host(&self, host: &DnsName) -> u32;
+
+    /// Can the server terminating connections for `conn_host` also
+    /// authoritatively serve `new_host` on the same socket? When
+    /// false, a coalescing attempt would draw `421 Misdirected
+    /// Request` (§2.2).
+    fn colocated(&self, conn_host: &DnsName, new_host: &DnsName) -> bool;
+
+    /// The ORIGIN frame origin set the server for `host` advertises
+    /// (None = server has no ORIGIN support — the pre-deployment
+    /// world).
+    fn origin_set_for(&self, host: &DnsName) -> Option<OriginSet>;
+
+    /// Network path profile toward `host`.
+    fn link_for(&self, host: &DnsName) -> LinkProfile;
+}
+
+/// The webgen-backed environment for the §3 crawl: resolves against
+/// the universe's zones, serves the universe's certificates, treats
+/// servers in the same provider AS as colocated, and (by default)
+/// advertises no ORIGIN frames — exactly the 2021 Internet the paper
+/// measured.
+pub struct UniverseEnv<'a> {
+    dataset: &'a mut Dataset,
+    resolver_cache_flushed: bool,
+    resolver: Resolver,
+    /// When set, servers hosted by these provider ASes advertise an
+    /// origin set covering all page hosts they serve (used by the §4
+    /// what-if runs and §5-style deployments on the crawl universe).
+    pub origin_enabled_asns: Vec<u32>,
+}
+
+impl<'a> UniverseEnv<'a> {
+    /// Wrap a dataset. The resolver starts cold (the paper's crawler
+    /// cleared caches between page loads).
+    pub fn new(dataset: &'a mut Dataset) -> Self {
+        // The resolver owns a clone of the zone set; zone state
+        // (round-robin rotation) advances per query like a real
+        // authoritative farm.
+        let zones = dataset.universe.zones.clone();
+        UniverseEnv {
+            dataset,
+            resolver_cache_flushed: false,
+            resolver: Resolver::new(zones, origin_dns::Transport::Udp53),
+            origin_enabled_asns: Vec::new(),
+        }
+    }
+
+    /// Clear the DNS cache (fresh browser session per page, §3.1).
+    pub fn flush_dns(&mut self) {
+        self.resolver.flush_cache();
+        self.resolver_cache_flushed = true;
+    }
+
+    /// The resolver's counters (plaintext exposure etc.).
+    pub fn resolver_stats(&self) -> origin_dns::resolver::ResolverStats {
+        self.resolver.stats()
+    }
+}
+
+impl WebEnv for UniverseEnv<'_> {
+    fn resolve(&mut self, host: &DnsName, now: SimTime, rng: &mut SimRng) -> Option<QueryAnswer> {
+        self.resolver.resolve(host, now, rng)
+    }
+
+    fn cert_for(&self, host: &DnsName) -> Option<&Certificate> {
+        self.dataset.universe.cert_for(host)
+    }
+
+    fn asn_of_ip(&self, ip: &IpAddr) -> u32 {
+        self.dataset.universe.asn_of_ip(ip)
+    }
+
+    fn asn_of_host(&self, host: &DnsName) -> u32 {
+        self.dataset.universe.asn_of_host(host)
+    }
+
+    fn colocated(&self, conn_host: &DnsName, new_host: &DnsName) -> bool {
+        // Same registrable domain → same origin server farm. Same
+        // provider AS → shared CDN edge able to serve both (the §4
+        // model's core assumption, stated in §4.1).
+        if conn_host.registrable() == new_host.registrable() {
+            return true;
+        }
+        let a = self.asn_of_host(conn_host);
+        let b = self.asn_of_host(new_host);
+        a != 0 && a == b
+    }
+
+    fn origin_set_for(&self, host: &DnsName) -> Option<OriginSet> {
+        let asn = self.asn_of_host(host);
+        if !self.origin_enabled_asns.contains(&asn) {
+            return None;
+        }
+        // An ORIGIN-enabled provider advertises the connected host
+        // plus its sibling names on this certificate — the least-
+        // effort configuration §4.3 ends at.
+        let cert = self.cert_for(host)?;
+        let mut set = OriginSet::from_hosts([host.as_str()]);
+        for san in &cert.sans {
+            if !san.is_wildcard() {
+                set.add(origin_h2::OriginEntry::https(san.as_str()));
+            }
+        }
+        Some(set)
+    }
+
+    fn link_for(&self, host: &DnsName) -> LinkProfile {
+        let asn = self.asn_of_host(host);
+        let big = PROVIDERS.iter().any(|p| p.asn == asn);
+        if big {
+            // Nearby CDN edge.
+            LinkProfile::new(32.0, 60.0).with_jitter(0.25)
+        } else {
+            // Tail origins from a single US-East vantage (§3.1): about
+            // half are same-continent, half intercontinental. The
+            // class is a stable per-host property (FNV over the name).
+            let h = host
+                .as_str()
+                .bytes()
+                .fold(0xcbf29ce484222325u64, |acc, b| {
+                    (acc ^ b as u64).wrapping_mul(0x100000001b3)
+                });
+            if h % 2 == 0 {
+                LinkProfile::new(95.0, 25.0).with_jitter(0.30)
+            } else {
+                LinkProfile::new(210.0, 18.0).with_jitter(0.25)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+    use origin_webgen::DatasetConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(DatasetConfig { sites: 50, tranco_total: 500_000, seed: 3 })
+    }
+
+    #[test]
+    fn resolves_and_attributes() {
+        let mut d = dataset();
+        let mut env = UniverseEnv::new(&mut d);
+        let mut rng = SimRng::seed_from_u64(1);
+        let ans = env
+            .resolve(&name("cdnjs.cloudflare.com"), SimTime::ZERO, &mut rng)
+            .expect("service resolves");
+        assert!(!ans.addresses.is_empty());
+        assert_eq!(env.asn_of_ip(&ans.addresses[0]), 13335);
+    }
+
+    #[test]
+    fn colocation_same_provider() {
+        let mut d = dataset();
+        let env = UniverseEnv::new(&mut d);
+        // Two Cloudflare-hosted services are colocated.
+        assert!(env.colocated(&name("cdnjs.cloudflare.com"), &name("ajax.cloudflare.com")));
+        // Cloudflare and Google are not.
+        assert!(!env.colocated(&name("cdnjs.cloudflare.com"), &name("fonts.gstatic.com")));
+        // Same registrable domain always is.
+        assert!(env.colocated(&name("site-000001.com"), &name("www.site-000001.com")));
+    }
+
+    #[test]
+    fn origin_sets_only_for_enabled_asns() {
+        let mut d = dataset();
+        let mut env = UniverseEnv::new(&mut d);
+        assert!(env.origin_set_for(&name("cdnjs.cloudflare.com")).is_none());
+        env.origin_enabled_asns.push(13335);
+        let set = env.origin_set_for(&name("cdnjs.cloudflare.com")).expect("origin set");
+        assert!(set.allows_https_host("cdnjs.cloudflare.com"));
+    }
+
+    #[test]
+    fn links_differ_by_provider_size() {
+        let mut d = dataset();
+        let env = UniverseEnv::new(&mut d);
+        let cdn = env.link_for(&name("cdnjs.cloudflare.com"));
+        let tail = env.link_for(&name("tag0.widget-net-0.net"));
+        assert!(cdn.rtt < tail.rtt);
+    }
+}

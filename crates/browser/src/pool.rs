@@ -1,0 +1,440 @@
+//! The browser connection pool.
+
+use crate::policy::BrowserKind;
+use origin_dns::DnsName;
+use origin_h2::OriginSet;
+use origin_tls::Certificate;
+use origin_web::{FetchMode, Protocol};
+use std::net::IpAddr;
+
+/// Connection pools are partitioned by credentials mode: a CORS-
+/// anonymous or programmatic (XHR/fetch) request never rides a
+/// credentialed element-fetch connection — the behaviour that capped
+/// the paper's §5.3 deployment gains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolPartition {
+    /// Credentialed element fetches.
+    Default,
+    /// CORS-anonymous fetches (fonts, `crossorigin=anonymous`).
+    Anonymous,
+    /// Programmatic XHR / `fetch()` traffic.
+    Programmatic,
+}
+
+impl From<FetchMode> for PoolPartition {
+    fn from(m: FetchMode) -> Self {
+        match m {
+            FetchMode::Normal => PoolPartition::Default,
+            FetchMode::CorsAnonymous => PoolPartition::Anonymous,
+            FetchMode::XhrFetch => PoolPartition::Programmatic,
+        }
+    }
+}
+
+/// One pooled connection.
+#[derive(Debug, Clone)]
+pub struct PooledConnection {
+    /// Hostname the connection was opened for (TLS SNI).
+    pub host: DnsName,
+    /// The established (connected) address.
+    pub ip: IpAddr,
+    /// The full DNS answer set observed when connecting — Firefox
+    /// keeps this *available set* and uses it for transitive
+    /// matching; Chromium keeps only `ip`.
+    pub available_set: Vec<IpAddr>,
+    /// Certificate the server presented.
+    pub cert: Certificate,
+    /// Origin set advertised via ORIGIN frame, if any.
+    pub origin_set: Option<OriginSet>,
+    /// Negotiated protocol.
+    pub protocol: Protocol,
+    /// Pool partition.
+    pub partition: PoolPartition,
+    /// Bytes transferred so far (drives the warm-cwnd estimate).
+    pub bytes_transferred: u64,
+    /// Requests in flight (H1.1 connections serve one at a time).
+    pub in_flight: u32,
+    /// Time (ms from navigation start) this connection finishes its
+    /// current response — HTTP/1.1 connections serialize requests.
+    pub busy_until: f64,
+}
+
+impl PooledConnection {
+    /// Can this connection multiplex (HTTP/2)?
+    pub fn multiplexes(&self) -> bool {
+        self.protocol == Protocol::H2
+    }
+}
+
+/// How a request got (or didn't get) a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReuseDecision {
+    /// Reuse an existing same-host connection (ordinary keep-alive).
+    SameHost(usize),
+    /// Coalesce onto a connection opened for a different host.
+    Coalesce(usize),
+    /// Open a new connection.
+    New,
+}
+
+/// The pool and its reuse logic.
+#[derive(Debug, Default)]
+pub struct ConnectionPool {
+    conns: Vec<PooledConnection>,
+}
+
+impl ConnectionPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pooled connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// All connections.
+    pub fn connections(&self) -> &[PooledConnection] {
+        &self.conns
+    }
+
+    /// Mutable access to one connection.
+    pub fn get_mut(&mut self, idx: usize) -> &mut PooledConnection {
+        &mut self.conns[idx]
+    }
+
+    /// Insert a connection; returns its index.
+    pub fn insert(&mut self, conn: PooledConnection) -> usize {
+        self.conns.push(conn);
+        self.conns.len() - 1
+    }
+
+    /// Decide how a request to `host` (with DNS answer `addrs`, in
+    /// `partition`) gets a connection under `policy`.
+    ///
+    /// `colocated(conn_host)` must answer whether the server behind a
+    /// pooled connection can serve `host` without a 421; it
+    /// represents the server-side half of the decision that the
+    /// client cannot see but experiences as an error + retry.
+    pub fn decide(
+        &self,
+        policy: BrowserKind,
+        host: &DnsName,
+        addrs: &[IpAddr],
+        partition: PoolPartition,
+        max_h1_per_host: u32,
+        start: f64,
+        colocated: impl Fn(&DnsName) -> bool,
+    ) -> ReuseDecision {
+        // The §4 ideal models are structural: they count connections
+        // per service and are blind to pool partitions, HTTP/1.1
+        // serialization, and timing — "the number of TLS handshakes
+        // is equal to the number of separate services" (§4.2).
+        let is_ideal = matches!(policy, BrowserKind::IdealIp | BrowserKind::IdealOrigin);
+
+        // 1. Same-host reuse (keep-alive): H2 always multiplexes; an
+        //    H1.1 connection is only reusable when idle.
+        let mut h1_same_host = 0u32;
+        for (i, c) in self.conns.iter().enumerate() {
+            if (!is_ideal && c.partition != partition) || &c.host != host {
+                continue;
+            }
+            if c.multiplexes() || is_ideal {
+                return ReuseDecision::SameHost(i);
+            }
+            h1_same_host += 1;
+            if c.in_flight == 0 && c.busy_until <= start {
+                return ReuseDecision::SameHost(i);
+            }
+        }
+        if h1_same_host >= max_h1_per_host {
+            // All six H1.1 slots busy: queue behind the least loaded
+            // (modelled as same-host reuse with blocking charged by
+            // the loader).
+            if let Some((i, _)) = self
+                .conns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.partition == partition && &c.host == host)
+                .min_by(|(_, a), (_, b)| {
+                    a.busy_until.partial_cmp(&b.busy_until).expect("finite times")
+                })
+            {
+                return ReuseDecision::SameHost(i);
+            }
+        }
+
+        // 2. Cross-host coalescing (HTTP/2 only, same partition, cert
+        //    must cover the new name, server must actually serve it).
+        for (i, c) in self.conns.iter().enumerate() {
+            if !is_ideal && (c.partition != partition || !c.multiplexes()) {
+                continue;
+            }
+            // Real browsers require the connection's certificate to
+            // cover the new name; the §4 ideal models assume the
+            // least-effort SAN modifications have been applied.
+            if !is_ideal && !c.cert.covers(host) {
+                continue;
+            }
+            if !colocated(&c.host) {
+                continue;
+            }
+            let ip_match = if policy.ip_transitive() {
+                c.available_set.iter().any(|a| addrs.contains(a))
+            } else {
+                addrs.contains(&c.ip)
+            };
+            let origin_match = policy.uses_origin_frame()
+                && c.origin_set
+                    .as_ref()
+                    .map(|s| s.allows_https_host(host.as_str()))
+                    .unwrap_or(false);
+            let allowed = match policy {
+                BrowserKind::Chromium | BrowserKind::Firefox | BrowserKind::IdealIp => ip_match,
+                BrowserKind::FirefoxOrigin => origin_match || ip_match,
+                BrowserKind::IdealOrigin => {
+                    // The model assumes perfect ORIGIN deployment:
+                    // colocation itself implies an advertised origin.
+                    true
+                }
+            };
+            if allowed {
+                return ReuseDecision::Coalesce(i);
+            }
+        }
+        ReuseDecision::New
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+    use origin_dns::record::v4;
+    use origin_tls::CertificateBuilder;
+
+    fn conn(host: &str, ip: IpAddr, set: Vec<IpAddr>, sans: &[&str]) -> PooledConnection {
+        let mut b = CertificateBuilder::new(name(host));
+        for s in sans {
+            b = b.san(name(s));
+        }
+        PooledConnection {
+            host: name(host),
+            ip,
+            available_set: set,
+            cert: b.build(),
+            origin_set: None,
+            protocol: Protocol::H2,
+            partition: PoolPartition::Default,
+            bytes_transferred: 0,
+            in_flight: 0,
+            busy_until: 0.0,
+        }
+    }
+
+    fn always(_: &DnsName) -> bool {
+        true
+    }
+
+    #[test]
+    fn same_host_h2_always_reuses() {
+        let mut pool = ConnectionPool::new();
+        pool.insert(conn("a.com", v4(1, 1, 1, 1), vec![v4(1, 1, 1, 1)], &[]));
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &name("a.com"),
+            &[v4(9, 9, 9, 9)], // even with different DNS answer
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::SameHost(0));
+    }
+
+    #[test]
+    fn chromium_requires_connected_ip() {
+        let mut pool = ConnectionPool::new();
+        // Connected to IPA; available set {IPA, IPB} (the §2.3 example).
+        let ipa = v4(1, 1, 1, 1);
+        let ipb = v4(2, 2, 2, 2);
+        let ipc = v4(3, 3, 3, 3);
+        pool.insert(conn("www.a.com", ipa, vec![ipa, ipb], &["*.a.com", "cdn.a.com"]));
+        // Subresource's DNS answer {IPB, IPC}: Chromium misses…
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &name("cdn.a.com"),
+            &[ipb, ipc],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::New);
+        // …Firefox's transitivity finds IPB in the available set.
+        let d = pool.decide(
+            BrowserKind::Firefox,
+            &name("cdn.a.com"),
+            &[ipb, ipc],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::Coalesce(0));
+    }
+
+    #[test]
+    fn chromium_coalesces_on_exact_ip() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("www.a.com", ip, vec![ip], &["*.a.com"]));
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &name("img.a.com"),
+            &[ip],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::Coalesce(0));
+    }
+
+    #[test]
+    fn cert_coverage_is_mandatory() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("www.a.com", ip, vec![ip], &[])); // no SANs beyond subject
+        let d = pool.decide(
+            BrowserKind::Firefox,
+            &name("cdn.a.com"),
+            &[ip],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::New);
+    }
+
+    #[test]
+    fn colocation_check_prevents_421_path() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("www.a.com", ip, vec![ip], &["other.example"]));
+        let d = pool.decide(
+            BrowserKind::Firefox,
+            &name("other.example"),
+            &[ip],
+            PoolPartition::Default,
+            6,
+            0.0,
+            |_| false, // server would 421
+        );
+        assert_eq!(d, ReuseDecision::New);
+    }
+
+    #[test]
+    fn origin_frame_coalesces_without_ip_match() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        let mut c = conn("www.a.com", ip, vec![ip], &["third.party.com"]);
+        c.origin_set = Some(OriginSet::from_hosts(["www.a.com", "third.party.com"]));
+        pool.insert(c);
+        // DNS answer for the third party has no overlap at all.
+        let answer = [v4(7, 7, 7, 7)];
+        let d = pool.decide(
+            BrowserKind::FirefoxOrigin,
+            &name("third.party.com"),
+            &answer,
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::Coalesce(0));
+        // Plain Firefox (no ORIGIN support) opens a new connection.
+        let d = pool.decide(
+            BrowserKind::Firefox,
+            &name("third.party.com"),
+            &answer,
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::New);
+    }
+
+    #[test]
+    fn partitions_do_not_mix() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("fonts.x.com", ip, vec![ip], &[]));
+        let d = pool.decide(
+            BrowserKind::Firefox,
+            &name("fonts.x.com"),
+            &[ip],
+            PoolPartition::Anonymous,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::New, "anonymous must not reuse default-pool conn");
+    }
+
+    #[test]
+    fn h1_busy_connection_not_reused_until_limit() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        let mut c = conn("old.x.com", ip, vec![ip], &[]);
+        c.protocol = Protocol::H11;
+        c.in_flight = 1;
+        pool.insert(c);
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &name("old.x.com"),
+            &[ip],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::New, "busy H1.1 conn → open another");
+        // At the limit, queue on the least-loaded.
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &name("old.x.com"),
+            &[ip],
+            PoolPartition::Default,
+            1,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::SameHost(0));
+    }
+
+    #[test]
+    fn ideal_origin_coalesces_on_colocation_alone() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("www.a.com", ip, vec![ip], &["svc.example"]));
+        let d = pool.decide(
+            BrowserKind::IdealOrigin,
+            &name("svc.example"),
+            &[], // no DNS performed at all
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::Coalesce(0));
+    }
+}

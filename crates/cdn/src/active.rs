@@ -1,0 +1,223 @@
+//! Client-side active measurement (Figures 7a / 7b).
+//!
+//! The paper repeated its §3 crawl methodology against the sample
+//! set: scripted Firefox page loads (v91 for the IP experiment, v96
+//! for ORIGIN — the only browser with client-side ORIGIN support),
+//! counting new TLS connections to the third-party domain. Zero new
+//! connections means the request coalesced.
+
+use crate::edge::EdgeServer;
+use crate::env::{CdnEnv, DeploymentMode};
+use crate::sample::{SampleGroup, Treatment, THIRD_PARTY_HOST};
+use origin_browser::{BrowserKind, PageLoader};
+use origin_dns::name::name;
+use origin_netsim::SimRng;
+use origin_stats::{Cdf, Histogram};
+
+/// Outcome of one arm of the active measurement.
+#[derive(Debug, Clone)]
+pub struct ActiveResult {
+    /// Distribution of new connections to the third party per visit.
+    pub new_connections: Histogram,
+    /// Page load times across the arm's visits (Figure 9 bottom).
+    pub plt_ms: Vec<f64>,
+}
+
+impl ActiveResult {
+    /// Fraction of visits with exactly `n` new connections.
+    pub fn fraction_with(&self, n: u64) -> f64 {
+        self.new_connections.fraction(n)
+    }
+
+    /// CDF over new-connection counts (the Figure 7 series).
+    pub fn cdf(&self) -> Cdf {
+        let samples: Vec<u64> = self
+            .new_connections
+            .bins()
+            .flat_map(|(v, c)| std::iter::repeat(v).take(c as usize))
+            .collect();
+        Cdf::from_u64(&samples)
+    }
+
+    /// Largest observed new-connection count.
+    pub fn max_connections(&self) -> u64 {
+        self.new_connections.bins().map(|(v, _)| v).max().unwrap_or(0)
+    }
+
+    /// Median PLT for the arm.
+    pub fn median_plt(&self) -> f64 {
+        origin_stats::median(&self.plt_ms).unwrap_or(0.0)
+    }
+}
+
+/// The active-measurement harness.
+pub struct ActiveMeasurement {
+    /// Deployment under test.
+    pub mode: DeploymentMode,
+    /// Browser model (Firefox v91 for §5.2, Firefox+ORIGIN v96 for
+    /// §5.3).
+    pub browser: BrowserKind,
+}
+
+impl ActiveMeasurement {
+    /// The §5.2 configuration.
+    pub fn ip_experiment() -> Self {
+        ActiveMeasurement { mode: DeploymentMode::IpAligned, browser: BrowserKind::Firefox }
+    }
+
+    /// The §5.3 configuration.
+    pub fn origin_experiment() -> Self {
+        ActiveMeasurement {
+            mode: DeploymentMode::OriginFrames,
+            browser: BrowserKind::FirefoxOrigin,
+        }
+    }
+
+    /// Visit every site in one arm once with a fresh browser session
+    /// and count new connections to the third party.
+    pub fn run(&self, group: &SampleGroup, treatment: Treatment, seed: u64) -> ActiveResult {
+        let mut env = CdnEnv::new(group, self.mode);
+        let loader = PageLoader::new(self.browser);
+        let mut hist = Histogram::new();
+        let mut plts = Vec::new();
+        let third_party = name(THIRD_PARTY_HOST);
+        for site in group.arm(treatment) {
+            let page = site.page();
+            let mut rng = SimRng::seed_from_u64(seed ^ site.page_seed);
+            let load = loader.load(&page, &mut env, &mut rng);
+            hist.add(load.new_connections_to(&third_party));
+            plts.push(load.plt());
+        }
+        ActiveResult { new_connections: hist, plt_ms: plts }
+    }
+
+    /// Run both arms.
+    pub fn run_both(&self, group: &SampleGroup, seed: u64) -> (ActiveResult, ActiveResult) {
+        (
+            self.run(group, Treatment::Experiment, seed),
+            self.run(group, Treatment::Control, seed),
+        )
+    }
+
+    /// Wire-level spot check: for `n` sites per arm, run a real
+    /// `origin-h2` exchange against an [`EdgeServer`] and verify the
+    /// client's resulting origin state matches what the analytic
+    /// environment advertises — the consistency the paper relied on
+    /// when it "could test and confirm that ORIGIN is either ignored
+    /// or handled correctly" before deploying globally (§5.3).
+    ///
+    /// Returns the number of sites whose wire behaviour matched.
+    pub fn wire_spot_check(&self, group: &SampleGroup, n: usize) -> usize {
+        use origin_h2::{Connection, Settings};
+        let origin_mode = self.mode == DeploymentMode::OriginFrames;
+        let mut matched = 0;
+        for site in group.sites.iter().take(n) {
+            let mut edge = EdgeServer::for_site(site, origin_mode);
+            let mut client = Connection::client(site.host.as_str(), Settings::default());
+            loop {
+                let c = client.take_outgoing();
+                let e = edge.take_outgoing();
+                if c.is_empty() && e.is_empty() {
+                    break;
+                }
+                if !c.is_empty() {
+                    edge.handle(&c).expect("edge recv");
+                }
+                if !e.is_empty() {
+                    client.recv(&e).expect("client recv");
+                }
+            }
+            let wire_allows = client.origin_allows(THIRD_PARTY_HOST);
+            let expected = origin_mode && site.treatment == Treatment::Experiment;
+            // The browser model additionally checks the certificate.
+            let cert_covers = site.cert.covers(&name(THIRD_PARTY_HOST));
+            if wire_allows == expected && cert_covers == (site.treatment == Treatment::Experiment)
+            {
+                matched += 1;
+            }
+        }
+        matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> SampleGroup {
+        let mut rng = SimRng::seed_from_u64(0xAC71);
+        SampleGroup::build(1_200, &mut rng)
+    }
+
+    #[test]
+    fn ip_experiment_coalesces_experiment_arm() {
+        let g = group();
+        let (exp, ctl) = ActiveMeasurement::ip_experiment().run_both(&g, 42);
+        // Figure 7a shapes: experiment ≈70% zero; control ≈9% zero
+        // with ≈83% exactly one.
+        let exp_zero = exp.fraction_with(0);
+        let ctl_zero = ctl.fraction_with(0);
+        let ctl_one = ctl.fraction_with(1);
+        assert!(exp_zero > 0.55, "experiment zero-conn fraction {exp_zero}");
+        assert!(ctl_zero < 0.2, "control zero-conn fraction {ctl_zero}");
+        assert!(ctl_one > 0.6, "control one-conn fraction {ctl_one}");
+        assert!(exp_zero > ctl_zero + 0.4);
+    }
+
+    #[test]
+    fn origin_experiment_coalesces_without_ip_alignment() {
+        let g = group();
+        let (exp, ctl) = ActiveMeasurement::origin_experiment().run_both(&g, 43);
+        let exp_zero = exp.fraction_with(0);
+        let ctl_zero = ctl.fraction_with(0);
+        assert!(exp_zero > 0.5, "experiment zero-conn fraction {exp_zero}");
+        assert!(ctl_zero < 0.2, "control zero-conn fraction {ctl_zero}");
+        // None of the visits should need more than a handful of
+        // connections (paper: ≤4).
+        assert!(exp.max_connections() <= 4, "max {}", exp.max_connections());
+    }
+
+    #[test]
+    fn baseline_shows_no_treatment_effect() {
+        let g = group();
+        let m = ActiveMeasurement {
+            mode: DeploymentMode::Baseline,
+            browser: BrowserKind::Firefox,
+        };
+        let (exp, ctl) = m.run_both(&g, 44);
+        // Without alignment or ORIGIN frames both arms open real
+        // connections to the third party.
+        assert!(exp.fraction_with(0) < 0.15);
+        assert!(ctl.fraction_with(0) < 0.15);
+    }
+
+    #[test]
+    fn plt_no_worse_with_origin() {
+        // §6.1: "our preliminary evidence suggests 'no worse' is
+        // appropriate" — experiment PLT within a few percent of
+        // control.
+        let g = group();
+        let (exp, ctl) = ActiveMeasurement::origin_experiment().run_both(&g, 45);
+        let (e, c) = (exp.median_plt(), ctl.median_plt());
+        assert!(e <= c * 1.03, "experiment {e} vs control {c}");
+    }
+
+    #[test]
+    fn wire_spot_check_agrees_with_model() {
+        let g = group();
+        let m = ActiveMeasurement::origin_experiment();
+        assert_eq!(m.wire_spot_check(&g, 60), 60);
+        // Pre-deployment: no ORIGIN frames on the wire either.
+        let m = ActiveMeasurement { mode: DeploymentMode::Baseline, browser: BrowserKind::Firefox };
+        assert_eq!(m.wire_spot_check(&g, 60), 60);
+    }
+
+    #[test]
+    fn cdf_is_complete() {
+        let g = group();
+        let (exp, _) = ActiveMeasurement::origin_experiment().run_both(&g, 46);
+        let cdf = exp.cdf();
+        assert_eq!(cdf.len() as u64, exp.new_connections.total());
+        assert_eq!(cdf.eval(exp.max_connections() as f64), 1.0);
+    }
+}

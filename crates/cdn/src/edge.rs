@@ -1,0 +1,196 @@
+//! An edge server terminating real `origin-h2` connections.
+//!
+//! The paper's deployment integrated "a custom connection-termination
+//! process, with ORIGIN support, into the production environment".
+//! [`EdgeServer`] is that process: it accepts sans-IO HTTP/2
+//! connections, presents the per-customer certificate, advertises the
+//! treatment's origin set on stream 0, serves configured authorities,
+//! and answers `421 Misdirected Request` for anything else.
+
+use crate::sample::{SampleSite, Treatment, CONTROL_DECOY_HOST, THIRD_PARTY_HOST};
+use origin_h2::conn::{authority_of, ServerConfig};
+use origin_h2::{Connection, Event, OriginSet, Settings};
+use origin_tls::Certificate;
+
+/// One edge process configured for a sample site's connection.
+pub struct EdgeServer {
+    /// The underlying protocol endpoint.
+    pub conn: Connection,
+    /// The certificate presented during the (modelled) TLS handshake.
+    pub cert: Certificate,
+    /// Requests served so far.
+    pub served: u64,
+    /// 421 responses issued.
+    pub misdirected: u64,
+}
+
+impl EdgeServer {
+    /// Configure an edge connection for `site`: the site's reissued
+    /// certificate, an origin set matching the treatment (when
+    /// `origin_frames` is on), and an authority list covering the
+    /// site plus the third party (the §5.3 deployment serves the
+    /// third party from the same process; the control decoy is
+    /// *advertised but unreachable*, exercising fail-open behaviour).
+    pub fn for_site(site: &SampleSite, origin_frames: bool) -> EdgeServer {
+        let mut authorized = vec![site.host.to_string(), THIRD_PARTY_HOST.to_string()];
+        // Wildcard shard coverage.
+        authorized.push(format!("www.{}", site.host));
+        let origin_set = origin_frames.then(|| {
+            let extra = match site.treatment {
+                Treatment::Experiment => THIRD_PARTY_HOST,
+                Treatment::Control => CONTROL_DECOY_HOST,
+            };
+            OriginSet::from_hosts([site.host.as_str(), extra])
+        });
+        let conn = Connection::server(ServerConfig {
+            settings: Settings::default(),
+            origin_set,
+            authorized,
+        });
+        EdgeServer { conn, cert: site.cert.clone(), served: 0, misdirected: 0 }
+    }
+
+    /// Feed client bytes; serve any complete requests; return the
+    /// protocol events observed.
+    pub fn handle(&mut self, bytes: &[u8]) -> Result<Vec<Event>, origin_h2::H2Error> {
+        let events = self.conn.recv(bytes)?;
+        for ev in &events {
+            if let Event::Headers { stream, headers, .. } = ev {
+                match authority_of(headers) {
+                    Some(authority) if self.conn.is_authorized(authority) => {
+                        self.conn.send_response(*stream, 200, b"{\"ok\":true}");
+                        self.served += 1;
+                    }
+                    _ => {
+                        self.conn.send_misdirected(*stream);
+                        self.misdirected += 1;
+                    }
+                }
+            }
+        }
+        Ok(events)
+    }
+
+    /// Drain bytes for the client.
+    pub fn take_outgoing(&mut self) -> bytes::Bytes {
+        self.conn.take_outgoing()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SampleGroup;
+    use origin_h2::conn::{request_headers, status_of};
+    use origin_h2::Settings;
+    use origin_netsim::SimRng;
+
+    fn site(treatment: Treatment) -> SampleSite {
+        let mut rng = SimRng::seed_from_u64(0xED6E);
+        let g = SampleGroup::build(50, &mut rng);
+        g.sites.into_iter().find(|s| s.treatment == treatment).expect("site")
+    }
+
+    /// Pump client and edge to quiescence.
+    fn pump(client: &mut Connection, edge: &mut EdgeServer) -> Vec<Event> {
+        let mut client_events = Vec::new();
+        loop {
+            let c_out = client.take_outgoing();
+            let e_out = edge.take_outgoing();
+            if c_out.is_empty() && e_out.is_empty() {
+                break;
+            }
+            if !c_out.is_empty() {
+                edge.handle(&c_out).expect("edge recv");
+            }
+            if !e_out.is_empty() {
+                client_events.extend(client.recv(&e_out).expect("client recv"));
+            }
+        }
+        client_events
+    }
+
+    #[test]
+    fn experiment_edge_advertises_third_party_on_the_wire() {
+        let s = site(Treatment::Experiment);
+        let mut edge = EdgeServer::for_site(&s, true);
+        let mut client = Connection::client(s.host.as_str(), Settings::default());
+        let events = pump(&mut client, &mut edge);
+        let origins = events
+            .iter()
+            .find_map(|e| match e {
+                Event::OriginReceived { origins } => Some(origins.clone()),
+                _ => None,
+            })
+            .expect("ORIGIN frame received");
+        assert!(origins.contains(&format!("https://{THIRD_PARTY_HOST}")));
+        assert!(client.origin_allows(THIRD_PARTY_HOST));
+        // The client also checks the certificate before coalescing.
+        assert!(edge.cert.covers(&origin_dns::name::name(THIRD_PARTY_HOST)));
+    }
+
+    #[test]
+    fn control_edge_advertises_decoy_only() {
+        let s = site(Treatment::Control);
+        let mut edge = EdgeServer::for_site(&s, true);
+        let mut client = Connection::client(s.host.as_str(), Settings::default());
+        pump(&mut client, &mut edge);
+        assert!(!client.origin_allows(THIRD_PARTY_HOST));
+        assert!(client.origin_allows(CONTROL_DECOY_HOST));
+    }
+
+    #[test]
+    fn coalesced_request_is_served_on_same_connection() {
+        let s = site(Treatment::Experiment);
+        let mut edge = EdgeServer::for_site(&s, true);
+        let mut client = Connection::client(s.host.as_str(), Settings::default());
+        pump(&mut client, &mut edge);
+        // Root request, then a coalesced third-party request.
+        client.send_request(&request_headers("GET", s.host.as_str(), "/"), true);
+        client
+            .send_request(&request_headers("GET", THIRD_PARTY_HOST, "/ajax/libs/x.js"), true);
+        let events = pump(&mut client, &mut edge);
+        let statuses: Vec<u16> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Headers { headers, .. } => status_of(headers),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(statuses, vec![200, 200]);
+        assert_eq!(edge.served, 2);
+        assert_eq!(edge.misdirected, 0);
+        assert_eq!(client.streams_opened(), 2);
+    }
+
+    #[test]
+    fn unconfigured_authority_gets_421() {
+        let s = site(Treatment::Control);
+        let mut edge = EdgeServer::for_site(&s, true);
+        let mut client = Connection::client(s.host.as_str(), Settings::default());
+        pump(&mut client, &mut edge);
+        // The decoy is advertised but not actually served: a client
+        // that tried to use it gets 421 and must fail open.
+        client.send_request(&request_headers("GET", CONTROL_DECOY_HOST, "/x"), true);
+        let events = pump(&mut client, &mut edge);
+        let status = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Headers { headers, .. } => status_of(headers),
+                _ => None,
+            })
+            .expect("response");
+        assert_eq!(status, 421);
+        assert_eq!(edge.misdirected, 1);
+    }
+
+    #[test]
+    fn pre_deployment_edge_sends_no_origin_frame() {
+        let s = site(Treatment::Experiment);
+        let mut edge = EdgeServer::for_site(&s, false);
+        let mut client = Connection::client(s.host.as_str(), Settings::default());
+        let events = pump(&mut client, &mut edge);
+        assert!(!events.iter().any(|e| matches!(e, Event::OriginReceived { .. })));
+        assert_eq!(edge.conn.origin_frames, 0);
+    }
+}

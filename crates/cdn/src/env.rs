@@ -1,0 +1,238 @@
+//! The deployment environment the browsers load sample pages against.
+
+use crate::sample::{SampleGroup, SampleSite, Treatment, CONTROL_DECOY_HOST, THIRD_PARTY_HOST};
+use origin_browser::WebEnv;
+use origin_dns::name::name;
+use origin_dns::{DnsName, QueryAnswer};
+use origin_h2::{OriginEntry, OriginSet};
+use origin_netsim::{LinkProfile, SimDuration, SimRng, SimTime};
+use origin_tls::{Certificate, CertificateAuthority, CtLogSet, KnownIssuer};
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// Which §5 deployment is live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentMode {
+    /// Pre-deployment: sample domains and the third party on their
+    /// ordinary separate addresses, no ORIGIN frames.
+    Baseline,
+    /// §5.2: DNS aligned — one single address serves all sample
+    /// domains *and* the third party (limited to two datacenters in
+    /// the paper; address alignment is what matters here).
+    IpAligned,
+    /// §5.3: DNS reverted; sample group moved to an isolated anycast
+    /// address; edges send ORIGIN frames matching each certificate.
+    OriginFrames,
+}
+
+/// The CDN-side world state for the experiment.
+pub struct CdnEnv<'a> {
+    group: &'a SampleGroup,
+    /// Active deployment mode.
+    pub mode: DeploymentMode,
+    site_index: HashMap<DnsName, usize>,
+    third_party_cert: Certificate,
+    /// The shared address of the §5.2 alignment.
+    shared_ip: IpAddr,
+    /// The isolated anycast address of the §5.3 deployment.
+    anycast_ip: IpAddr,
+    /// Per-domain ordinary addresses (baseline/§5.3 third party).
+    ordinary_ips: HashMap<DnsName, IpAddr>,
+    /// DNS queries observed (privacy accounting).
+    pub dns_queries: u64,
+}
+
+/// The deployment CDN's AS (Cloudflare in the paper's Table 2).
+pub const CDN_ASN: u32 = 13335;
+
+impl<'a> CdnEnv<'a> {
+    /// Wire up the environment for a sample group.
+    pub fn new(group: &'a SampleGroup, mode: DeploymentMode) -> Self {
+        let mut ca = CertificateAuthority::new(KnownIssuer::CloudflareEcc);
+        let mut ct = CtLogSet::default_operators();
+        let third_party_cert = ca
+            .issue(
+                name(THIRD_PARTY_HOST),
+                &[name("*.cloudflare.com")],
+                0,
+                &mut ct,
+            )
+            .expect("third-party cert");
+        let mut site_index = HashMap::new();
+        let mut ordinary_ips = HashMap::new();
+        for (i, s) in group.sites.iter().enumerate() {
+            site_index.insert(s.host.clone(), i);
+            // Deterministic ordinary per-domain VIPs.
+            let d = (i % 200) as u8;
+            ordinary_ips
+                .insert(s.host.clone(), IpAddr::V4(Ipv4Addr::new(104, 16, 1 + (i / 200) as u8, d)));
+        }
+        ordinary_ips.insert(name(THIRD_PARTY_HOST), IpAddr::V4(Ipv4Addr::new(104, 17, 0, 1)));
+        CdnEnv {
+            group,
+            mode,
+            site_index,
+            third_party_cert,
+            shared_ip: IpAddr::V4(Ipv4Addr::new(104, 18, 0, 1)),
+            anycast_ip: IpAddr::V4(Ipv4Addr::new(104, 19, 0, 1)),
+            ordinary_ips,
+            dns_queries: 0,
+        }
+    }
+
+    fn site_of(&self, host: &DnsName) -> Option<&SampleSite> {
+        self.site_index.get(host).map(|&i| &self.group.sites[i])
+    }
+
+    /// The address a hostname resolves to under the current mode.
+    pub fn address_of(&self, host: &DnsName) -> Option<IpAddr> {
+        let is_third_party = host.as_str() == THIRD_PARTY_HOST;
+        let is_sample = self.site_index.contains_key(host);
+        if !is_third_party && !is_sample {
+            return None;
+        }
+        Some(match self.mode {
+            DeploymentMode::Baseline => self.ordinary_ips[host],
+            DeploymentMode::IpAligned => self.shared_ip,
+            DeploymentMode::OriginFrames => {
+                if is_sample {
+                    self.anycast_ip
+                } else {
+                    self.ordinary_ips[host]
+                }
+            }
+        })
+    }
+}
+
+impl WebEnv for CdnEnv<'_> {
+    fn resolve(&mut self, host: &DnsName, _now: SimTime, rng: &mut SimRng) -> Option<QueryAnswer> {
+        let addr = self.address_of(host)?;
+        self.dns_queries += 1;
+        Some(QueryAnswer {
+            addresses: vec![addr],
+            from_cache: false,
+            latency: SimDuration::from_millis_f64(12.0 + rng.exponential(8.0)),
+        })
+    }
+
+    fn cert_for(&self, host: &DnsName) -> Option<&Certificate> {
+        if host.as_str() == THIRD_PARTY_HOST {
+            return Some(&self.third_party_cert);
+        }
+        self.site_of(host).map(|s| &s.cert)
+    }
+
+    fn asn_of_ip(&self, _ip: &IpAddr) -> u32 {
+        CDN_ASN
+    }
+
+    fn asn_of_host(&self, _host: &DnsName) -> u32 {
+        CDN_ASN
+    }
+
+    fn colocated(&self, _conn_host: &DnsName, _new_host: &DnsName) -> bool {
+        // One CDN serves the whole sample; edges are configured for
+        // every sample authority, so no coalescing attempt 421s.
+        true
+    }
+
+    fn origin_set_for(&self, host: &DnsName) -> Option<OriginSet> {
+        if self.mode != DeploymentMode::OriginFrames {
+            return None;
+        }
+        // ORIGIN frames are "populated with either the third party or
+        // control domain to match the sample's certificate" (§5.3).
+        let site = self.site_of(host)?;
+        let mut set = OriginSet::from_hosts([host.as_str()]);
+        match site.treatment {
+            Treatment::Experiment => set.add(OriginEntry::https(THIRD_PARTY_HOST)),
+            Treatment::Control => set.add(OriginEntry::https(CONTROL_DECOY_HOST)),
+        }
+        Some(set)
+    }
+
+    fn link_for(&self, _host: &DnsName) -> LinkProfile {
+        LinkProfile::new(22.0, 60.0).with_jitter(0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> SampleGroup {
+        let mut rng = SimRng::seed_from_u64(7);
+        SampleGroup::build(200, &mut rng)
+    }
+
+    #[test]
+    fn baseline_separate_addresses() {
+        let g = group();
+        let env = CdnEnv::new(&g, DeploymentMode::Baseline);
+        let site = &g.sites[0];
+        let a = env.address_of(&site.host).unwrap();
+        let tp = env.address_of(&name(THIRD_PARTY_HOST)).unwrap();
+        assert_ne!(a, tp);
+    }
+
+    #[test]
+    fn ip_aligned_shares_one_address() {
+        let g = group();
+        let env = CdnEnv::new(&g, DeploymentMode::IpAligned);
+        let a = env.address_of(&g.sites[0].host).unwrap();
+        let b = env.address_of(&g.sites[1].host).unwrap();
+        let tp = env.address_of(&name(THIRD_PARTY_HOST)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, tp);
+    }
+
+    #[test]
+    fn origin_mode_reverts_dns_and_isolates_sample() {
+        let g = group();
+        let env = CdnEnv::new(&g, DeploymentMode::OriginFrames);
+        let a = env.address_of(&g.sites[0].host).unwrap();
+        let b = env.address_of(&g.sites[1].host).unwrap();
+        let tp = env.address_of(&name(THIRD_PARTY_HOST)).unwrap();
+        assert_eq!(a, b, "sample group on one isolated anycast address");
+        assert_ne!(a, tp, "third party restored to its own addressing");
+    }
+
+    #[test]
+    fn origin_sets_match_treatment() {
+        let g = group();
+        let env = CdnEnv::new(&g, DeploymentMode::OriginFrames);
+        for s in &g.sites {
+            let set = env.origin_set_for(&s.host).expect("origin set in §5.3 mode");
+            match s.treatment {
+                Treatment::Experiment => {
+                    assert!(set.allows_https_host(THIRD_PARTY_HOST));
+                    assert!(!set.allows_https_host(CONTROL_DECOY_HOST));
+                }
+                Treatment::Control => {
+                    assert!(set.allows_https_host(CONTROL_DECOY_HOST));
+                    assert!(!set.allows_https_host(THIRD_PARTY_HOST));
+                }
+            }
+        }
+        // No ORIGIN frames outside §5.3.
+        let env = CdnEnv::new(&g, DeploymentMode::IpAligned);
+        assert!(env.origin_set_for(&g.sites[0].host).is_none());
+    }
+
+    #[test]
+    fn unknown_hosts_do_not_resolve() {
+        let g = group();
+        let mut env = CdnEnv::new(&g, DeploymentMode::Baseline);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert!(env.resolve(&name("unrelated.example"), SimTime::ZERO, &mut rng).is_none());
+    }
+
+    #[test]
+    fn third_party_cert_covers_itself() {
+        let g = group();
+        let env = CdnEnv::new(&g, DeploymentMode::Baseline);
+        let c = env.cert_for(&name(THIRD_PARTY_HOST)).unwrap();
+        assert!(c.covers(&name(THIRD_PARTY_HOST)));
+    }
+}

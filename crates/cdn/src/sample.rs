@@ -1,0 +1,266 @@
+//! The sample group and the Figure 6 certificate setup.
+
+use origin_dns::name::name;
+use origin_dns::DnsName;
+use origin_netsim::SimRng;
+use origin_tls::{Certificate, CertificateAuthority, CtLogSet, KnownIssuer};
+use origin_web::{ContentType, FetchMode, Page, Resource};
+
+/// The coalesced third-party domain. In the paper this is a domain
+/// "used by ∼50% of the top 1M websites … over 5 Billion daily
+/// requests" hosted by the deployment CDN — i.e. the cdnjs service.
+pub const THIRD_PARTY_HOST: &str = "cdnjs.cloudflare.com";
+
+/// The control group's decoy: a valid, unused domain with exactly the
+/// same byte length as [`THIRD_PARTY_HOST`] so both treatment groups'
+/// certificates grow by the same number of bytes (Figure 6).
+pub const CONTROL_DECOY_HOST: &str = "cdnj0.cloudflare.com";
+
+/// Treatment assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Treatment {
+    /// Certificate (and, in §5.3, ORIGIN frame) carries the real
+    /// third-party domain.
+    Experiment,
+    /// Certificate carries the equal-length decoy.
+    Control,
+}
+
+/// One domain in the sample group.
+#[derive(Debug, Clone)]
+pub struct SampleSite {
+    /// The customer domain.
+    pub host: DnsName,
+    /// Treatment arm.
+    pub treatment: Treatment,
+    /// The certificate currently served (reissued at setup).
+    pub cert: Certificate,
+    /// How this page requests the third party. The §5.3 discovery:
+    /// `crossorigin=anonymous` and XHR/fetch subresource requests do
+    /// not coalesce.
+    pub third_party_fetch: FetchMode,
+    /// Number of third-party subresources the page requests.
+    pub third_party_requests: u32,
+    /// Per-site RNG seed for page materialization.
+    pub page_seed: u64,
+}
+
+impl SampleSite {
+    /// Build this site's page: root + a few first-party resources +
+    /// its third-party requests.
+    pub fn page(&self) -> Page {
+        let mut rng = SimRng::seed_from_u64(self.page_seed);
+        let mut page = Page::new(1, self.host.clone(), 12_000);
+        let n_fp = 3 + rng.index(6);
+        for i in 0..n_fp {
+            let ct = if i == 0 { ContentType::Css } else { ContentType::Javascript };
+            page.push(Resource::new(
+                self.host.clone(),
+                &format!("/assets/fp{i}.bin"),
+                ct,
+                8_000 + i as u64 * 1_000,
+            ));
+        }
+        // A tail of sites never fires the third-party tag from the
+        // landing page (consent banners, lazy loading) — the source
+        // of the paper's ~9%/6% zero-connection *control* visits.
+        let tag_blocked = rng.chance(0.08);
+        for j in 0..self.third_party_requests {
+            // Secondary requests occasionally go through a different
+            // fetch path (a beacon via fetch() next to the script
+            // tag), which lands in another connection pool partition.
+            let fetch = if j > 0 && rng.chance(0.12) {
+                FetchMode::XhrFetch
+            } else {
+                self.third_party_fetch
+            };
+            let mut r = Resource::new(
+                name(THIRD_PARTY_HOST),
+                &format!("/ajax/libs/lib{j}.min.js"),
+                ContentType::Javascript,
+                15_000,
+            )
+            .discovered_by(1)
+            .fetch_mode(fetch);
+            if tag_blocked {
+                r.protocol = origin_web::Protocol::NA;
+            }
+            page.push(r);
+        }
+        page
+    }
+}
+
+/// The assembled sample group.
+pub struct SampleGroup {
+    /// Sites in the study (after the subpage-only filter).
+    pub sites: Vec<SampleSite>,
+    /// Sites removed because only their subpages request the third
+    /// party (the paper dropped 22%).
+    pub removed_subpage_only: u32,
+    /// CT logs that received the reissues.
+    pub ct_logs: CtLogSet,
+}
+
+impl SampleGroup {
+    /// Build the sample: `n` candidate domains (paper: 5000), the
+    /// subpage-only filter, random treatment assignment, and the
+    /// equal-byte certificate reissue.
+    pub fn build(n: u32, rng: &mut SimRng) -> SampleGroup {
+        let mut ca = CertificateAuthority::new(KnownIssuer::CloudflareEcc);
+        let mut ct = CtLogSet::default_operators();
+        let mut sites = Vec::new();
+        let mut removed = 0;
+        for i in 0..n {
+            // 22% of candidates only request the third party from
+            // subpages; active measurement can't trigger those.
+            if rng.chance(0.22) {
+                removed += 1;
+                continue;
+            }
+            let host = name(&format!("sample-{i:05}.example"));
+            let treatment =
+                if rng.chance(0.5) { Treatment::Experiment } else { Treatment::Control };
+            let added = match treatment {
+                Treatment::Experiment => name(THIRD_PARTY_HOST),
+                Treatment::Control => name(CONTROL_DECOY_HOST),
+            };
+            let cert = ca
+                .issue(host.clone(), &[name(&format!("*.{host}")), added], 0, &mut ct)
+                .expect("sample certs stay small");
+            // Fetch-mode mix: most pages embed the third party as a
+            // plain script; a tail uses XHR/fetch or anonymous mode
+            // (the §5.3 obstruction).
+            let u = rng.unit();
+            let third_party_fetch = if u < 0.75 {
+                FetchMode::Normal
+            } else if u < 0.88 {
+                FetchMode::XhrFetch
+            } else {
+                FetchMode::CorsAnonymous
+            };
+            sites.push(SampleSite {
+                host,
+                treatment,
+                cert,
+                third_party_fetch,
+                third_party_requests: 1 + rng.index(3) as u32,
+                page_seed: rng.next_u64(),
+            });
+        }
+        SampleGroup { sites, removed_subpage_only: removed, ct_logs: ct }
+    }
+
+    /// Sites in one arm.
+    pub fn arm(&self, treatment: Treatment) -> impl Iterator<Item = &SampleSite> {
+        self.sites.iter().filter(move |s| s.treatment == treatment)
+    }
+
+    /// Verify the Figure 6 integrity property: every certificate in
+    /// both arms grew by the same number of SAN bytes.
+    pub fn equal_byte_check(&self) -> bool {
+        assert_eq!(THIRD_PARTY_HOST.len(), CONTROL_DECOY_HOST.len());
+        let mut sizes: Vec<u64> = Vec::new();
+        for s in &self.sites {
+            let added: u64 = s
+                .cert
+                .sans
+                .iter()
+                .filter(|n| {
+                    n.as_str() == THIRD_PARTY_HOST || n.as_str() == CONTROL_DECOY_HOST
+                })
+                .map(|n| n.wire_len() as u64 + 2)
+                .sum();
+            sizes.push(added);
+        }
+        sizes.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+use rand::RngCore;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> SampleGroup {
+        let mut rng = SimRng::seed_from_u64(0x5A11);
+        SampleGroup::build(1_000, &mut rng)
+    }
+
+    #[test]
+    fn decoy_matches_length() {
+        assert_eq!(THIRD_PARTY_HOST.len(), CONTROL_DECOY_HOST.len());
+        assert_ne!(THIRD_PARTY_HOST, CONTROL_DECOY_HOST);
+    }
+
+    #[test]
+    fn subpage_filter_removes_about_22_percent() {
+        let g = group();
+        let frac = g.removed_subpage_only as f64 / 1_000.0;
+        assert!((0.18..=0.26).contains(&frac), "removed {frac}");
+    }
+
+    #[test]
+    fn arms_are_roughly_balanced() {
+        let g = group();
+        let exp = g.arm(Treatment::Experiment).count();
+        let ctl = g.arm(Treatment::Control).count();
+        let ratio = exp as f64 / (exp + ctl) as f64;
+        assert!((0.45..=0.55).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn certificates_cover_their_arm_domain() {
+        let g = group();
+        for s in &g.sites {
+            assert!(s.cert.covers(&s.host));
+            match s.treatment {
+                Treatment::Experiment => {
+                    assert!(s.cert.covers(&name(THIRD_PARTY_HOST)));
+                    assert!(!s.cert.covers(&name(CONTROL_DECOY_HOST)));
+                }
+                Treatment::Control => {
+                    assert!(s.cert.covers(&name(CONTROL_DECOY_HOST)));
+                    assert!(!s.cert.covers(&name(THIRD_PARTY_HOST)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_byte_property_holds() {
+        assert!(group().equal_byte_check());
+    }
+
+    #[test]
+    fn reissues_land_in_ct_logs() {
+        let g = group();
+        // Every site's cert in all three logs.
+        assert_eq!(g.ct_logs.total_entries(), g.sites.len() as u64 * 3);
+    }
+
+    #[test]
+    fn pages_request_the_third_party() {
+        let g = group();
+        let s = &g.sites[0];
+        let page = s.page();
+        let tp = page
+            .resources
+            .iter()
+            .filter(|r| r.host.as_str() == THIRD_PARTY_HOST)
+            .count() as u32;
+        assert_eq!(tp, s.third_party_requests);
+        assert_eq!(page.resources[0].host, s.host);
+        // Deterministic regeneration.
+        assert_eq!(s.page(), page);
+    }
+
+    #[test]
+    fn fetch_mode_mix_present() {
+        let g = group();
+        let normal = g.sites.iter().filter(|s| s.third_party_fetch == FetchMode::Normal).count();
+        let frac = normal as f64 / g.sites.len() as f64;
+        assert!((0.63..=0.77).contains(&frac), "normal fetch share {frac}");
+    }
+}

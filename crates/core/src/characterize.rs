@@ -1,0 +1,295 @@
+//! §3.3 dataset characterization (Tables 1–7, Figure 1).
+
+use origin_stats::{Histogram, Summary, TopK};
+use origin_web::har::PageLoad;
+use origin_web::{ContentType, Page, Protocol};
+use std::collections::HashMap;
+
+/// Streaming aggregator over `(page, load)` pairs reproducing the
+/// paper's dataset characterization. Feed every successful crawl via
+/// [`Characterization::add`], then read the table accessors.
+#[derive(Default)]
+pub struct Characterization {
+    /// Per-rank-bucket data: (bucket index → per-page samples).
+    buckets: HashMap<u32, BucketSamples>,
+    /// Requests per destination AS (Table 2).
+    pub as_requests: TopK<u32>,
+    /// Requests per protocol (Table 3 top).
+    pub protocol_requests: TopK<&'static str>,
+    /// Secure vs insecure (Table 3 bottom).
+    pub secure_requests: u64,
+    /// Insecure request count.
+    pub insecure_requests: u64,
+    /// Certificate issuers by validations (Table 4).
+    pub issuers: TopK<String>,
+    /// Requests per content type (Table 5).
+    pub content_types: TopK<&'static str>,
+    /// Per-AS content types (Table 6).
+    pub as_content: HashMap<u32, TopK<&'static str>>,
+    /// Subresource hostnames (Table 7).
+    pub hostnames: TopK<String>,
+    /// Unique ASes per page (Figure 1).
+    pub ases_per_page: Histogram,
+    /// Total pages characterized.
+    pub pages: u64,
+    /// Total requests.
+    pub total_requests: u64,
+    /// Rank-bucket width used for Table 1 (paper: 100K).
+    pub bucket_width: u32,
+    /// Scale factor mapping generated ranks onto the nominal Tranco
+    /// space (tranco_total / generated_sites).
+    pub rank_scale: f64,
+}
+
+#[derive(Default)]
+struct BucketSamples {
+    requests: Vec<f64>,
+    plt: Vec<f64>,
+    dns: Vec<f64>,
+    tls: Vec<f64>,
+    success: u64,
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Bucket index (0 = ranks 1–100K).
+    pub bucket: u32,
+    /// Successful page loads in the bucket.
+    pub success: u64,
+    /// Median requests per page.
+    pub median_requests: f64,
+    /// Median page load time (ms).
+    pub median_plt: f64,
+    /// Median DNS queries.
+    pub median_dns: f64,
+    /// Median TLS connections.
+    pub median_tls: f64,
+}
+
+impl Characterization {
+    /// New aggregator for a dataset generated with `sites` ranks
+    /// standing in for `tranco_total` (paper: 500K).
+    pub fn new(sites: u32, tranco_total: u32) -> Self {
+        Characterization {
+            bucket_width: 100_000,
+            rank_scale: tranco_total as f64 / sites.max(1) as f64,
+            ..Default::default()
+        }
+    }
+
+    /// Add one successful page load.
+    pub fn add(&mut self, page: &Page, load: &PageLoad) {
+        self.pages += 1;
+        let scaled_rank = (load.rank as f64 * self.rank_scale) as u32;
+        let bucket = scaled_rank.saturating_sub(1) / self.bucket_width;
+        let b = self.buckets.entry(bucket).or_default();
+        b.success += 1;
+        b.requests.push(load.request_count() as f64 - 1.0); // subrequests
+        b.plt.push(load.plt());
+        b.dns.push(load.dns_queries() as f64);
+        b.tls.push(load.tls_connections() as f64);
+
+        self.ases_per_page.add(load.distinct_ases());
+
+        for (i, r) in load.requests.iter().enumerate() {
+            self.total_requests += 1;
+            self.as_requests.add(r.asn);
+            self.protocol_requests.add(r.protocol.label());
+            if r.secure {
+                self.secure_requests += 1;
+            } else {
+                self.insecure_requests += 1;
+            }
+            if let Some(issuer) = &r.cert_issuer {
+                self.issuers.add(issuer.clone());
+            }
+            let ct = page.resources[i].content_type;
+            self.content_types.add(ct.mime());
+            self.as_content.entry(r.asn).or_default().add(ct.mime());
+            if i != 0 {
+                self.hostnames.add(r.host.to_string());
+            }
+        }
+    }
+
+    /// Table 1 rows in bucket order, plus the whole-dataset row.
+    pub fn table1(&self) -> Vec<Table1Row> {
+        let mut buckets: Vec<u32> = self.buckets.keys().copied().collect();
+        buckets.sort_unstable();
+        let mut rows = Vec::new();
+        let mut all = BucketSamples::default();
+        for bkt in buckets {
+            let b = &self.buckets[&bkt];
+            rows.push(Table1Row {
+                bucket: bkt,
+                success: b.success,
+                median_requests: origin_stats::median(&b.requests).unwrap_or(0.0),
+                median_plt: origin_stats::median(&b.plt).unwrap_or(0.0),
+                median_dns: origin_stats::median(&b.dns).unwrap_or(0.0),
+                median_tls: origin_stats::median(&b.tls).unwrap_or(0.0),
+            });
+            all.success += b.success;
+            all.requests.extend_from_slice(&b.requests);
+            all.plt.extend_from_slice(&b.plt);
+            all.dns.extend_from_slice(&b.dns);
+            all.tls.extend_from_slice(&b.tls);
+        }
+        rows.push(Table1Row {
+            bucket: u32::MAX, // sentinel: the "Total" row
+            success: all.success,
+            median_requests: origin_stats::median(&all.requests).unwrap_or(0.0),
+            median_plt: origin_stats::median(&all.plt).unwrap_or(0.0),
+            median_dns: origin_stats::median(&all.dns).unwrap_or(0.0),
+            median_tls: origin_stats::median(&all.tls).unwrap_or(0.0),
+        });
+        rows
+    }
+
+    /// Whole-dataset request-count summary (the `μ` row of Table 1).
+    pub fn request_summary(&self) -> Option<Summary> {
+        let all: Vec<f64> = self
+            .buckets
+            .values()
+            .flat_map(|b| b.requests.iter().copied())
+            .collect();
+        Summary::from_samples(&all)
+    }
+
+    /// Fraction of requests secured with HTTPS (Table 3: 98.53%).
+    pub fn secure_fraction(&self) -> f64 {
+        let total = self.secure_requests + self.insecure_requests;
+        if total == 0 {
+            0.0
+        } else {
+            self.secure_requests as f64 / total as f64
+        }
+    }
+
+    /// Figure 1 series: `(as_count, fraction_of_pages)` plus CDF.
+    pub fn figure1(&self) -> Vec<(u64, f64, f64)> {
+        self.ases_per_page
+            .bins()
+            .map(|(v, c)| {
+                (v, c as f64 / self.pages.max(1) as f64, self.ases_per_page.cdf_at(v))
+            })
+            .collect()
+    }
+}
+
+/// Fraction of requests using a protocol that can coalesce at all
+/// (HTTP/2; §6.6 notes HTTP/3 has no ORIGIN standard).
+pub fn coalescible_protocol_fraction(c: &Characterization) -> f64 {
+    let h2 = c.protocol_requests.count(&Protocol::H2.label());
+    if c.total_requests == 0 {
+        0.0
+    } else {
+        h2 as f64 / c.total_requests as f64
+    }
+}
+
+/// The Table 5 mime labels in paper order, for rendering.
+pub fn table5_labels() -> Vec<&'static str> {
+    ContentType::table5().iter().map(|ct| ct.mime()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+    use origin_web::har::{Phase, RequestTiming};
+    use origin_web::Resource;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn sample(rank: u32) -> (Page, PageLoad) {
+        let mut page = Page::new(rank, name("site.com"), 1_000);
+        page.push(Resource::new(name("cdn.site.com"), "/a.js", ContentType::Javascript, 10));
+        let ip = IpAddr::V4(Ipv4Addr::new(1, 2, 3, 4));
+        let mk = |idx: usize, host: &str, asn: u32| RequestTiming {
+            resource_index: idx,
+            host: name(host),
+            ip,
+            asn,
+            start: 0.0,
+            phase: Phase { dns: 10.0, connect: 20.0, ssl: 20.0, wait: 30.0, receive: 5.0, ..Default::default() },
+            did_dns: true,
+            new_connection: true,
+            coalesced: false,
+            protocol: Protocol::H2,
+            cert_issuer: Some("Test CA".into()),
+            secure: true,
+            extra_connections: 0,
+            extra_dns: 0,
+        };
+        let load = PageLoad {
+            rank,
+            root_host: name("site.com"),
+            requests: vec![mk(0, "site.com", 100), mk(1, "cdn.site.com", 200)],
+        };
+        (page, load)
+    }
+
+    #[test]
+    fn accumulates_counts() {
+        let mut c = Characterization::new(100, 500_000);
+        let (p, l) = sample(1);
+        c.add(&p, &l);
+        let (p2, l2) = sample(60);
+        c.add(&p2, &l2);
+        assert_eq!(c.pages, 2);
+        assert_eq!(c.total_requests, 4);
+        assert_eq!(c.secure_fraction(), 1.0);
+        assert_eq!(c.as_requests.count(&100), 2);
+        assert_eq!(c.issuers.count(&"Test CA".to_string()), 4);
+        // Root not counted as subresource hostname.
+        assert_eq!(c.hostnames.count(&"site.com".to_string()), 0);
+        assert_eq!(c.hostnames.count(&"cdn.site.com".to_string()), 2);
+    }
+
+    #[test]
+    fn table1_buckets_by_scaled_rank() {
+        let mut c = Characterization::new(100, 500_000);
+        // rank 1 → scaled 5_000 → bucket 0; rank 60 → 300_000 → bucket 2.
+        let (p, l) = sample(1);
+        c.add(&p, &l);
+        let (p2, l2) = sample(60);
+        c.add(&p2, &l2);
+        let rows = c.table1();
+        assert_eq!(rows.len(), 3); // two buckets + total
+        assert_eq!(rows[0].bucket, 0);
+        assert_eq!(rows[1].bucket, 2);
+        assert_eq!(rows[2].bucket, u32::MAX);
+        assert_eq!(rows[2].success, 2);
+        assert_eq!(rows[0].median_requests, 1.0);
+        assert_eq!(rows[0].median_dns, 2.0);
+    }
+
+    #[test]
+    fn figure1_fractions_sum_to_one() {
+        let mut c = Characterization::new(100, 500_000);
+        for rank in 1..=10 {
+            let (p, l) = sample(rank);
+            c.add(&p, &l);
+        }
+        let f: f64 = c.figure1().iter().map(|(_, frac, _)| frac).sum();
+        assert!((f - 1.0).abs() < 1e-9);
+        // Every page touched exactly 2 ASes.
+        assert_eq!(c.figure1()[0].0, 2);
+        assert_eq!(c.figure1()[0].2, 1.0);
+    }
+
+    #[test]
+    fn h2_fraction() {
+        let mut c = Characterization::new(100, 500_000);
+        let (p, l) = sample(1);
+        c.add(&p, &l);
+        assert_eq!(coalescible_protocol_fraction(&c), 1.0);
+    }
+
+    #[test]
+    fn table5_labels_present() {
+        let labels = table5_labels();
+        assert_eq!(labels[0], "application/javascript");
+        assert_eq!(labels.len(), 12);
+    }
+}

@@ -1,0 +1,223 @@
+//! §4.2 predictions: ideal DNS queries, TLS connections, certificate
+//! validations, and reconstructed PLTs.
+//!
+//! "In an ideal coalescing, the number of DNS queries, TLS
+//! handshakes, and certificate validations is equal to the number of
+//! separate services (not domains or hostnames) needed to serve all
+//! webpage resources."
+
+use crate::reconstruct::reconstruct;
+use origin_web::har::PageLoad;
+use origin_web::Page;
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+/// How requests are grouped into "one connection suffices" classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoalescingGrouping {
+    /// Ideal IP-based coalescing: any set of ≥2 connections to the
+    /// same IP address collapses to one ("our model assumes no
+    /// changes and looks for missed opportunities").
+    ByIp,
+    /// Ideal ORIGIN coalescing: one connection per origin AS — the
+    /// model's proxy for "separate services", justified in §4.1 by
+    /// the assumption that every server in an ASN can authoritatively
+    /// serve all content for that ASN.
+    ByAs,
+    /// ORIGIN coalescing enabled at a single provider only (the
+    /// Figure 9 dotted line): requests to `asn` group together;
+    /// everything else keeps its measured behaviour.
+    BySingleAs(u32),
+}
+
+/// One page's predicted ideal counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelPrediction {
+    /// Predicted DNS queries.
+    pub dns_queries: u64,
+    /// Predicted new TLS connections.
+    pub tls_connections: u64,
+    /// Predicted certificate validations (= TLS connections).
+    pub cert_validations: u64,
+    /// Reconstructed page load time (ms).
+    pub plt_ms: f64,
+}
+
+/// Decide, per request, whether the model coalesces it, and return
+/// the indices of coalescable requests plus the count of groups that
+/// still need a connection.
+///
+/// A request is coalescable when an earlier request in the page
+/// already contacted its group (IP or AS). Requests that never opened
+/// a connection in the measured load (reused/failed/N-A) keep their
+/// behaviour — the model only removes *redundant* setups.
+fn coalescable_set(
+    measured: &PageLoad,
+    grouping: CoalescingGrouping,
+) -> (Vec<bool>, u64) {
+    let n = measured.requests.len();
+    let mut coalescable = vec![false; n];
+    let mut seen_ips: HashSet<IpAddr> = HashSet::new();
+    let mut seen_as: HashSet<u32> = HashSet::new();
+    let mut groups = 0u64;
+    for (i, r) in measured.requests.iter().enumerate() {
+        if !r.new_connection {
+            continue; // already reused, or never connected
+        }
+        let first_of_group = match grouping {
+            CoalescingGrouping::ByIp => seen_ips.insert(r.ip),
+            CoalescingGrouping::ByAs => seen_as.insert(r.asn),
+            CoalescingGrouping::BySingleAs(asn) => {
+                if r.asn == asn {
+                    seen_as.insert(asn)
+                } else {
+                    true // outside the deployment: keep measured behaviour
+                }
+            }
+        };
+        if first_of_group {
+            groups += 1;
+        } else if i != 0 {
+            coalescable[i] = true;
+        }
+    }
+    (coalescable, groups)
+}
+
+/// Predict one page's ideal counts and reconstructed PLT.
+pub fn predict(
+    page: &Page,
+    measured: &PageLoad,
+    grouping: CoalescingGrouping,
+) -> (ModelPrediction, PageLoad) {
+    let (coalescable, _groups) = coalescable_set(measured, grouping);
+    let mut reconstructed = reconstruct(page, measured, |i| coalescable[i]);
+    // The ideal models also collapse the client-race duplicates
+    // (happy-eyeballs second connections, speculative queries): those
+    // duplicate an existing connection by definition.
+    if !matches!(grouping, CoalescingGrouping::BySingleAs(_)) {
+        for r in &mut reconstructed.requests {
+            r.extra_connections = 0;
+            r.extra_dns = 0;
+        }
+    }
+    let prediction = ModelPrediction {
+        dns_queries: reconstructed.dns_queries(),
+        tls_connections: reconstructed.tls_connections(),
+        cert_validations: reconstructed.tls_connections(),
+        plt_ms: reconstructed.plt(),
+    };
+    (prediction, reconstructed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+    use origin_web::har::{Phase, RequestTiming};
+    use origin_web::{ContentType, Page, Protocol, Resource};
+    use std::net::Ipv4Addr;
+
+    fn ip(d: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, d))
+    }
+
+    fn req(idx: usize, host: &str, ip_: IpAddr, asn: u32, new_conn: bool) -> RequestTiming {
+        RequestTiming {
+            resource_index: idx,
+            host: name(host),
+            ip: ip_,
+            asn,
+            start: idx as f64 * 100.0,
+            phase: Phase {
+                dns: if new_conn { 20.0 } else { 0.0 },
+                connect: if new_conn { 40.0 } else { 0.0 },
+                ssl: if new_conn { 20.0 } else { 0.0 },
+                wait: 30.0,
+                receive: 10.0,
+                ..Default::default()
+            },
+            did_dns: new_conn,
+            new_connection: new_conn,
+            coalesced: false,
+            protocol: Protocol::H2,
+            cert_issuer: None,
+            secure: true,
+            extra_connections: 0,
+            extra_dns: 0,
+        }
+    }
+
+    /// root (AS 1, ip 1), shard (AS 1, ip 1), service-a (AS 2, ip 2),
+    /// service-b (AS 2, ip 3), reused request to root host.
+    fn fixture() -> (Page, PageLoad) {
+        let mut page = Page::new(1, name("site.com"), 1_000);
+        page.push(Resource::new(name("static.site.com"), "/a.css", ContentType::Css, 100));
+        page.push(Resource::new(name("x.svc.net"), "/x.js", ContentType::Javascript, 100));
+        page.push(Resource::new(name("y.svc.net"), "/y.js", ContentType::Javascript, 100));
+        page.push(Resource::new(name("site.com"), "/img.png", ContentType::Png, 100));
+        let load = PageLoad {
+            rank: 1,
+            root_host: name("site.com"),
+            requests: vec![
+                req(0, "site.com", ip(1), 1, true),
+                req(1, "static.site.com", ip(1), 1, true),
+                req(2, "x.svc.net", ip(2), 2, true),
+                req(3, "y.svc.net", ip(3), 2, true),
+                req(4, "site.com", ip(1), 1, false),
+            ],
+        };
+        (page, load)
+    }
+
+    #[test]
+    fn by_ip_collapses_same_ip_only() {
+        let (page, load) = fixture();
+        assert_eq!(load.tls_connections(), 4);
+        let (pred, recon) = predict(&page, &load, CoalescingGrouping::ByIp);
+        // shard shares ip(1) with root → coalesces; services differ.
+        assert_eq!(pred.tls_connections, 3);
+        assert_eq!(pred.dns_queries, 3);
+        assert!(recon.requests[1].coalesced);
+        assert!(!recon.requests[2].coalesced);
+        assert!(!recon.requests[3].coalesced);
+    }
+
+    #[test]
+    fn by_as_collapses_services() {
+        let (page, load) = fixture();
+        let (pred, recon) = predict(&page, &load, CoalescingGrouping::ByAs);
+        // Two groups: AS1, AS2.
+        assert_eq!(pred.tls_connections, 2);
+        assert_eq!(pred.cert_validations, 2);
+        assert!(recon.requests[1].coalesced);
+        assert!(recon.requests[3].coalesced);
+    }
+
+    #[test]
+    fn single_as_only_touches_that_as() {
+        let (page, load) = fixture();
+        let (pred, recon) = predict(&page, &load, CoalescingGrouping::BySingleAs(2));
+        // AS2's second connection coalesces; AS1's shard does not.
+        assert_eq!(pred.tls_connections, 3);
+        assert!(!recon.requests[1].coalesced);
+        assert!(recon.requests[3].coalesced);
+    }
+
+    #[test]
+    fn reused_requests_untouched() {
+        let (page, load) = fixture();
+        let (_, recon) = predict(&page, &load, CoalescingGrouping::ByAs);
+        assert!(!recon.requests[4].coalesced);
+        assert!(!recon.requests[4].new_connection);
+    }
+
+    #[test]
+    fn plt_improves_with_coalescing() {
+        let (page, load) = fixture();
+        let (ip_pred, _) = predict(&page, &load, CoalescingGrouping::ByIp);
+        let (as_pred, _) = predict(&page, &load, CoalescingGrouping::ByAs);
+        assert!(ip_pred.plt_ms <= load.plt());
+        assert!(as_pred.plt_ms <= ip_pred.plt_ms);
+    }
+}

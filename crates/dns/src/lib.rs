@@ -1,0 +1,30 @@
+//! Simulated DNS substrate.
+//!
+//! Connection coalescing interacts with DNS in two load-bearing ways
+//! the paper measures:
+//!
+//! 1. **IP-based coalescing** (Chromium, Firefox) begins with a DNS
+//!    query for every subresource hostname; the *address sets* that
+//!    zones return — and how load balancing rotates them — decide
+//!    whether the browser sees a match with its connected set (§2.3).
+//! 2. **Privacy**: each plaintext UDP/TCP-53 query leaks user activity
+//!    on-path; ORIGIN coalescing removes those queries entirely
+//!    (§6.2). The resolver keeps per-transport counters so experiments
+//!    can report exactly how much cleartext disappeared.
+//!
+//! The crate is sans-IO: an authoritative [`Zone`] set is queried by a
+//! caching [`Resolver`] whose notion of time is supplied by the
+//! caller (simulated microseconds), so TTL expiry is deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod name;
+pub mod record;
+pub mod resolver;
+pub mod zone;
+
+pub use name::DnsName;
+pub use record::{RecordSet, Rotation};
+pub use resolver::{QueryAnswer, Resolver, Transport};
+pub use zone::{Zone, ZoneSet};

@@ -1,0 +1,249 @@
+//! Validated DNS names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A validated, normalized (lowercase, no trailing dot) DNS hostname.
+///
+/// Validation follows the RFC 1035 preferred-name syntax with the
+/// modern allowance for digits-first labels and underscores (seen in
+/// service names like `_dns.resolver.arpa`): labels are 1–63 octets of
+/// `[a-z0-9_-]`, not starting or ending with `-`, full name ≤253
+/// octets. A leading `*` label is allowed so the same type can carry
+/// certificate wildcard patterns (`*.example.com`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DnsName(String);
+
+/// Why a string failed to parse as a [`DnsName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// Empty input or empty label (consecutive dots).
+    EmptyLabel,
+    /// Name exceeds 253 octets.
+    TooLong,
+    /// A label exceeds 63 octets.
+    LabelTooLong,
+    /// A label contains a character outside `[a-z0-9_-]`.
+    BadCharacter(char),
+    /// A label starts or ends with a hyphen.
+    BadHyphen,
+    /// `*` appears somewhere other than as the entire leftmost label.
+    BadWildcard,
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty name or label"),
+            NameError::TooLong => write!(f, "name longer than 253 octets"),
+            NameError::LabelTooLong => write!(f, "label longer than 63 octets"),
+            NameError::BadCharacter(c) => write!(f, "invalid character {c:?}"),
+            NameError::BadHyphen => write!(f, "label starts or ends with '-'"),
+            NameError::BadWildcard => write!(f, "wildcard must be the entire leftmost label"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+impl DnsName {
+    /// Parse and normalize a hostname.
+    pub fn parse(s: &str) -> Result<Self, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        let lower = s.to_ascii_lowercase();
+        if lower.len() > 253 {
+            return Err(NameError::TooLong);
+        }
+        for (i, label) in lower.split('.').enumerate() {
+            if label.is_empty() {
+                return Err(NameError::EmptyLabel);
+            }
+            if label.len() > 63 {
+                return Err(NameError::LabelTooLong);
+            }
+            if label == "*" {
+                if i != 0 {
+                    return Err(NameError::BadWildcard);
+                }
+                continue;
+            }
+            if label.contains('*') {
+                return Err(NameError::BadWildcard);
+            }
+            if label.starts_with('-') || label.ends_with('-') {
+                return Err(NameError::BadHyphen);
+            }
+            for c in label.chars() {
+                if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_') {
+                    return Err(NameError::BadCharacter(c));
+                }
+            }
+        }
+        Ok(DnsName(lower))
+    }
+
+    /// The normalized name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Labels from leftmost to rightmost.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// True when the leftmost label is `*`.
+    pub fn is_wildcard(&self) -> bool {
+        self.0.starts_with("*.")
+    }
+
+    /// The name with the leftmost label removed
+    /// (`a.b.example.com → b.example.com`), or `None` for a
+    /// single-label name.
+    pub fn parent(&self) -> Option<DnsName> {
+        self.0.split_once('.').map(|(_, rest)| DnsName(rest.to_string()))
+    }
+
+    /// True when `self` is a strict subdomain of `other`
+    /// (`www.example.com` is a subdomain of `example.com`; a name is
+    /// not a subdomain of itself).
+    pub fn is_subdomain_of(&self, other: &DnsName) -> bool {
+        self.0.len() > other.0.len()
+            && self.0.ends_with(other.as_str())
+            && self.0.as_bytes()[self.0.len() - other.0.len() - 1] == b'.'
+    }
+
+    /// The registrable domain under a simplified public-suffix model:
+    /// the last two labels, or three when the name ends with a common
+    /// two-part suffix such as `co.uk` / `com.au`. Good enough for
+    /// grouping sharded subdomains by site, which is all the dataset
+    /// characterization needs.
+    pub fn registrable(&self) -> DnsName {
+        const TWO_PART_SUFFIXES: &[&str] = &[
+            "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp",
+            "ne.jp", "or.jp", "com.br", "com.cn", "com.mx", "co.in", "co.kr", "co.za",
+        ];
+        let labels: Vec<&str> = self.0.split('.').collect();
+        let n = labels.len();
+        if n <= 2 {
+            return self.clone();
+        }
+        let last_two = format!("{}.{}", labels[n - 2], labels[n - 1]);
+        let keep = if TWO_PART_SUFFIXES.contains(&last_two.as_str()) { 3 } else { 2 };
+        if n <= keep {
+            return self.clone();
+        }
+        DnsName(labels[n - keep..].join("."))
+    }
+
+    /// Wire-format encoded length in bytes: one length octet per label
+    /// plus the label bytes plus the root octet. Used for certificate
+    /// SAN size accounting.
+    pub fn wire_len(&self) -> usize {
+        self.labels().map(|l| 1 + l.len()).sum::<usize>() + 1
+    }
+}
+
+impl FromStr for DnsName {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnsName::parse(s)
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for DnsName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Parse a name, panicking on failure — for literals in tests and
+/// generators where the input is known valid.
+pub fn name(s: &str) -> DnsName {
+    DnsName::parse(s).unwrap_or_else(|e| panic!("invalid DNS name {s:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_normalizes() {
+        let n = DnsName::parse("WWW.Example.COM.").unwrap();
+        assert_eq!(n.as_str(), "www.example.com");
+        assert_eq!(n.label_count(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert_eq!(DnsName::parse(""), Err(NameError::EmptyLabel));
+        assert_eq!(DnsName::parse("a..b"), Err(NameError::EmptyLabel));
+        assert_eq!(DnsName::parse("exa mple.com"), Err(NameError::BadCharacter(' ')));
+        assert_eq!(DnsName::parse("-bad.com"), Err(NameError::BadHyphen));
+        assert_eq!(DnsName::parse("bad-.com"), Err(NameError::BadHyphen));
+        assert!(matches!(DnsName::parse(&"a".repeat(64)), Err(NameError::LabelTooLong)));
+        let long = format!("{}.com", "a.".repeat(130));
+        assert!(matches!(DnsName::parse(&long), Err(_)));
+    }
+
+    #[test]
+    fn wildcard_rules() {
+        assert!(DnsName::parse("*.example.com").unwrap().is_wildcard());
+        assert!(!name("www.example.com").is_wildcard());
+        assert_eq!(DnsName::parse("www.*.com"), Err(NameError::BadWildcard));
+        assert_eq!(DnsName::parse("w*w.example.com"), Err(NameError::BadWildcard));
+    }
+
+    #[test]
+    fn underscore_labels_allowed() {
+        assert!(DnsName::parse("_dns.resolver.arpa").is_ok());
+    }
+
+    #[test]
+    fn parent_and_subdomain() {
+        let n = name("a.b.example.com");
+        assert_eq!(n.parent().unwrap(), name("b.example.com"));
+        assert!(n.is_subdomain_of(&name("example.com")));
+        assert!(n.is_subdomain_of(&name("b.example.com")));
+        assert!(!n.is_subdomain_of(&n));
+        assert!(!name("notexample.com").is_subdomain_of(&name("example.com")));
+        assert_eq!(name("com").parent(), None);
+    }
+
+    #[test]
+    fn registrable_domain() {
+        assert_eq!(name("images.shop.example.com").registrable(), name("example.com"));
+        assert_eq!(name("example.com").registrable(), name("example.com"));
+        assert_eq!(name("www.bbc.co.uk").registrable(), name("bbc.co.uk"));
+        assert_eq!(name("bbc.co.uk").registrable(), name("bbc.co.uk"));
+        assert_eq!(name("com").registrable(), name("com"));
+    }
+
+    #[test]
+    fn wire_len_counts_label_octets() {
+        // www(3)+1 example(7)+1 com(3)+1 + root(1) = 17
+        assert_eq!(name("www.example.com").wire_len(), 17);
+    }
+
+    #[test]
+    fn display_and_fromstr() {
+        let n: DnsName = "Example.COM".parse().unwrap();
+        assert_eq!(n.to_string(), "example.com");
+    }
+}

@@ -1,0 +1,160 @@
+//! Address record sets and load-balancing rotation.
+
+use origin_netsim::SimRng;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// How an authoritative server orders/subsets the address set in its
+/// answers. The paper (§2.3) leans on the fact that "DNS operators
+/// have long been able to return any or all addresses from a set" —
+/// rotation is exactly what breaks Chromium's strict IP matching while
+/// Firefox's transitive matching survives it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rotation {
+    /// Always answer with the full set in registration order.
+    Fixed,
+    /// Rotate the starting offset on every answer (classic
+    /// round-robin), returning the full set.
+    RoundRobin,
+    /// Answer with a random subset of `n` addresses.
+    RandomSubset(usize),
+}
+
+/// The authoritative address data for one name: a set of IPs, a TTL,
+/// and a rotation policy.
+#[derive(Debug, Clone)]
+pub struct RecordSet {
+    addresses: Vec<IpAddr>,
+    /// Time-to-live in seconds.
+    pub ttl_secs: u32,
+    /// Answer rotation policy.
+    pub rotation: Rotation,
+    /// Monotonic counter driving round-robin rotation.
+    serial: u32,
+}
+
+impl RecordSet {
+    /// Create a record set. Panics on an empty address list — a name
+    /// with no addresses should simply be absent from the zone.
+    pub fn new(addresses: Vec<IpAddr>, ttl_secs: u32) -> Self {
+        assert!(!addresses.is_empty(), "record set must have at least one address");
+        RecordSet { addresses, ttl_secs, rotation: Rotation::Fixed, serial: 0 }
+    }
+
+    /// Single-address convenience constructor with a 300 s TTL.
+    pub fn single(addr: IpAddr) -> Self {
+        RecordSet::new(vec![addr], 300)
+    }
+
+    /// Set the rotation policy.
+    pub fn with_rotation(mut self, rotation: Rotation) -> Self {
+        if let Rotation::RandomSubset(n) = rotation {
+            assert!(n > 0, "subset size must be positive");
+        }
+        self.rotation = rotation;
+        self
+    }
+
+    /// The full registered address set.
+    pub fn addresses(&self) -> &[IpAddr] {
+        &self.addresses
+    }
+
+    /// Produce one answer according to the rotation policy. Mutates
+    /// round-robin state; random subsets draw from `rng`.
+    pub fn answer(&mut self, rng: &mut SimRng) -> Vec<IpAddr> {
+        match self.rotation {
+            Rotation::Fixed => self.addresses.clone(),
+            Rotation::RoundRobin => {
+                let n = self.addresses.len();
+                let start = (self.serial as usize) % n;
+                self.serial = self.serial.wrapping_add(1);
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(self.addresses[(start + i) % n]);
+                }
+                out
+            }
+            Rotation::RandomSubset(k) => {
+                let k = k.min(self.addresses.len());
+                let mut idx: Vec<usize> = (0..self.addresses.len()).collect();
+                rng.shuffle(&mut idx);
+                idx.truncate(k);
+                idx.sort_unstable(); // deterministic order within the subset
+                idx.into_iter().map(|i| self.addresses[i]).collect()
+            }
+        }
+    }
+}
+
+/// Build an IPv4 address from an AS-scoped (net, host) pair; a helper
+/// for generators that allocate address space per provider.
+pub fn v4(a: u8, b: u8, c: u8, d: u8) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(a, b, c, d))
+}
+
+/// Build an IPv6 address from four 32-bit groups.
+pub fn v6(a: u16, b: u16, c: u16, d: u16) -> IpAddr {
+    IpAddr::V6(Ipv6Addr::new(a, b, c, d, 0, 0, 0, 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(0xD15)
+    }
+
+    #[test]
+    fn fixed_answers_full_set_in_order() {
+        let mut rs = RecordSet::new(vec![v4(10, 0, 0, 1), v4(10, 0, 0, 2)], 60);
+        let mut r = rng();
+        assert_eq!(rs.answer(&mut r), vec![v4(10, 0, 0, 1), v4(10, 0, 0, 2)]);
+        assert_eq!(rs.answer(&mut r), vec![v4(10, 0, 0, 1), v4(10, 0, 0, 2)]);
+    }
+
+    #[test]
+    fn round_robin_rotates_start() {
+        let mut rs = RecordSet::new(vec![v4(1, 1, 1, 1), v4(2, 2, 2, 2), v4(3, 3, 3, 3)], 60)
+            .with_rotation(Rotation::RoundRobin);
+        let mut r = rng();
+        assert_eq!(rs.answer(&mut r)[0], v4(1, 1, 1, 1));
+        assert_eq!(rs.answer(&mut r)[0], v4(2, 2, 2, 2));
+        assert_eq!(rs.answer(&mut r)[0], v4(3, 3, 3, 3));
+        assert_eq!(rs.answer(&mut r)[0], v4(1, 1, 1, 1));
+        // Full set always present.
+        assert_eq!(rs.answer(&mut r).len(), 3);
+    }
+
+    #[test]
+    fn random_subset_size_and_membership() {
+        let all = vec![v4(1, 0, 0, 1), v4(1, 0, 0, 2), v4(1, 0, 0, 3), v4(1, 0, 0, 4)];
+        let mut rs = RecordSet::new(all.clone(), 60).with_rotation(Rotation::RandomSubset(2));
+        let mut r = rng();
+        for _ in 0..50 {
+            let ans = rs.answer(&mut r);
+            assert_eq!(ans.len(), 2);
+            assert!(ans.iter().all(|a| all.contains(a)));
+        }
+    }
+
+    #[test]
+    fn random_subset_larger_than_set_clamps() {
+        let mut rs = RecordSet::new(vec![v4(9, 9, 9, 9)], 60)
+            .with_rotation(Rotation::RandomSubset(5));
+        let mut r = rng();
+        assert_eq!(rs.answer(&mut r), vec![v4(9, 9, 9, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address")]
+    fn empty_set_panics() {
+        RecordSet::new(vec![], 60);
+    }
+
+    #[test]
+    fn v6_helper() {
+        let a = v6(0x2606, 0x4700, 0, 1);
+        assert!(matches!(a, IpAddr::V6(_)));
+    }
+}

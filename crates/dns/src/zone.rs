@@ -1,0 +1,180 @@
+//! Authoritative zones.
+
+use crate::name::DnsName;
+use crate::record::RecordSet;
+use origin_netsim::SimRng;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// One authoritative zone: a mapping from names (exact or wildcard) to
+/// address record sets.
+#[derive(Debug, Clone, Default)]
+pub struct Zone {
+    exact: HashMap<DnsName, RecordSet>,
+    /// Wildcard entries keyed by the parent domain the `*` covers
+    /// (`*.example.com` is stored under `example.com`).
+    wildcard: HashMap<DnsName, RecordSet>,
+}
+
+impl Zone {
+    /// New empty zone.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a record set for `name`. A wildcard name
+    /// (`*.example.com`) covers all direct and nested subdomains of
+    /// its parent, with exact entries taking precedence — matching the
+    /// way operators use wildcard A records.
+    pub fn insert(&mut self, name: DnsName, records: RecordSet) {
+        if name.is_wildcard() {
+            let parent = name.parent().expect("wildcard has a parent");
+            self.wildcard.insert(parent, records);
+        } else {
+            self.exact.insert(name, records);
+        }
+    }
+
+    /// Number of registered entries (exact + wildcard).
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.wildcard.len()
+    }
+
+    /// True when the zone has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.wildcard.is_empty()
+    }
+
+    /// Answer a query, applying the record set's rotation policy.
+    /// Returns `None` when no entry covers the name (NXDOMAIN).
+    pub fn resolve(&mut self, name: &DnsName, rng: &mut SimRng) -> Option<Answer> {
+        if let Some(rs) = self.exact.get_mut(name) {
+            return Some(Answer { addresses: rs.answer(rng), ttl_secs: rs.ttl_secs });
+        }
+        // Walk ancestors looking for a covering wildcard.
+        let mut cursor = name.parent();
+        while let Some(parent) = cursor {
+            if let Some(rs) = self.wildcard.get_mut(&parent) {
+                return Some(Answer { addresses: rs.answer(rng), ttl_secs: rs.ttl_secs });
+            }
+            cursor = parent.parent();
+        }
+        None
+    }
+
+    /// Read-only view of the registered address set for a name
+    /// (exact entries only; no rotation applied).
+    pub fn registered(&self, name: &DnsName) -> Option<&[IpAddr]> {
+        self.exact.get(name).map(|rs| rs.addresses())
+    }
+
+    /// Iterate exact entries.
+    pub fn names(&self) -> impl Iterator<Item = &DnsName> {
+        self.exact.keys()
+    }
+}
+
+/// A resolved answer: the address set and its TTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answer {
+    /// Addresses in answer order.
+    pub addresses: Vec<IpAddr>,
+    /// Time-to-live in seconds.
+    pub ttl_secs: u32,
+}
+
+/// A collection of zones acting as "the DNS": one global authoritative
+/// view, which is all the reproduction needs (delegation chasing adds
+/// latency realism but no coalescing behaviour).
+#[derive(Debug, Clone, Default)]
+pub struct ZoneSet {
+    zone: Zone,
+}
+
+impl ZoneSet {
+    /// New empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a record set for a name anywhere in the namespace.
+    pub fn insert(&mut self, name: DnsName, records: RecordSet) {
+        self.zone.insert(name, records);
+    }
+
+    /// Answer a query.
+    pub fn resolve(&mut self, name: &DnsName, rng: &mut SimRng) -> Option<Answer> {
+        self.zone.resolve(name, rng)
+    }
+
+    /// Read-only registered addresses for a name.
+    pub fn registered(&self, name: &DnsName) -> Option<&[IpAddr]> {
+        self.zone.registered(name)
+    }
+
+    /// Total registered entries.
+    pub fn len(&self) -> usize {
+        self.zone.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.zone.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::name;
+    use crate::record::v4;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let mut z = Zone::new();
+        z.insert(name("www.example.com"), RecordSet::single(v4(10, 0, 0, 1)));
+        let a = z.resolve(&name("www.example.com"), &mut rng()).unwrap();
+        assert_eq!(a.addresses, vec![v4(10, 0, 0, 1)]);
+        assert!(z.resolve(&name("other.example.com"), &mut rng()).is_none());
+    }
+
+    #[test]
+    fn wildcard_covers_subdomains() {
+        let mut z = Zone::new();
+        z.insert(name("*.cdn.example.com"), RecordSet::single(v4(10, 0, 0, 9)));
+        assert!(z.resolve(&name("a.cdn.example.com"), &mut rng()).is_some());
+        assert!(z.resolve(&name("x.y.cdn.example.com"), &mut rng()).is_some());
+        // The parent itself is not covered by the wildcard.
+        assert!(z.resolve(&name("cdn.example.com"), &mut rng()).is_none());
+    }
+
+    #[test]
+    fn exact_beats_wildcard() {
+        let mut z = Zone::new();
+        z.insert(name("*.example.com"), RecordSet::single(v4(1, 1, 1, 1)));
+        z.insert(name("www.example.com"), RecordSet::single(v4(2, 2, 2, 2)));
+        let a = z.resolve(&name("www.example.com"), &mut rng()).unwrap();
+        assert_eq!(a.addresses, vec![v4(2, 2, 2, 2)]);
+    }
+
+    #[test]
+    fn ttl_propagates() {
+        let mut z = Zone::new();
+        z.insert(name("x.com"), RecordSet::new(vec![v4(1, 2, 3, 4)], 42));
+        assert_eq!(z.resolve(&name("x.com"), &mut rng()).unwrap().ttl_secs, 42);
+    }
+
+    #[test]
+    fn zoneset_delegates() {
+        let mut zs = ZoneSet::new();
+        assert!(zs.is_empty());
+        zs.insert(name("a.com"), RecordSet::single(v4(5, 5, 5, 5)));
+        assert_eq!(zs.len(), 1);
+        assert!(zs.resolve(&name("a.com"), &mut rng()).is_some());
+        assert_eq!(zs.registered(&name("a.com")).unwrap(), &[v4(5, 5, 5, 5)]);
+    }
+}

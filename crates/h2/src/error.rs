@@ -1,0 +1,234 @@
+//! HTTP/2 error codes and library error types.
+
+use crate::stream::StreamId;
+use std::fmt;
+
+/// RFC 7540 §7 error codes, as carried in RST_STREAM and GOAWAY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names are the spec's own vocabulary
+pub enum ErrorCode {
+    NoError,
+    ProtocolError,
+    InternalError,
+    FlowControlError,
+    SettingsTimeout,
+    StreamClosed,
+    FrameSizeError,
+    RefusedStream,
+    Cancel,
+    CompressionError,
+    ConnectError,
+    EnhanceYourCalm,
+    InadequateSecurity,
+    Http11Required,
+    /// A code outside the registered range (forward compatibility:
+    /// unknown codes must be treated as `InternalError`-equivalent but
+    /// preserved on the wire).
+    Unknown(u32),
+}
+
+impl ErrorCode {
+    /// Wire value.
+    pub fn to_u32(self) -> u32 {
+        match self {
+            ErrorCode::NoError => 0x0,
+            ErrorCode::ProtocolError => 0x1,
+            ErrorCode::InternalError => 0x2,
+            ErrorCode::FlowControlError => 0x3,
+            ErrorCode::SettingsTimeout => 0x4,
+            ErrorCode::StreamClosed => 0x5,
+            ErrorCode::FrameSizeError => 0x6,
+            ErrorCode::RefusedStream => 0x7,
+            ErrorCode::Cancel => 0x8,
+            ErrorCode::CompressionError => 0x9,
+            ErrorCode::ConnectError => 0xa,
+            ErrorCode::EnhanceYourCalm => 0xb,
+            ErrorCode::InadequateSecurity => 0xc,
+            ErrorCode::Http11Required => 0xd,
+            ErrorCode::Unknown(v) => v,
+        }
+    }
+
+    /// Parse a wire value.
+    pub fn from_u32(v: u32) -> Self {
+        match v {
+            0x0 => ErrorCode::NoError,
+            0x1 => ErrorCode::ProtocolError,
+            0x2 => ErrorCode::InternalError,
+            0x3 => ErrorCode::FlowControlError,
+            0x4 => ErrorCode::SettingsTimeout,
+            0x5 => ErrorCode::StreamClosed,
+            0x6 => ErrorCode::FrameSizeError,
+            0x7 => ErrorCode::RefusedStream,
+            0x8 => ErrorCode::Cancel,
+            0x9 => ErrorCode::CompressionError,
+            0xa => ErrorCode::ConnectError,
+            0xb => ErrorCode::EnhanceYourCalm,
+            0xc => ErrorCode::InadequateSecurity,
+            0xd => ErrorCode::Http11Required,
+            other => ErrorCode::Unknown(other),
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Errors raised while encoding or decoding frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Frame length field exceeds the negotiated SETTINGS_MAX_FRAME_SIZE.
+    TooLarge {
+        /// Advertised payload length.
+        len: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// Payload length is invalid for the frame type (e.g. PING ≠ 8,
+    /// RST_STREAM ≠ 4, SETTINGS not a multiple of 6).
+    BadLength {
+        /// The frame type.
+        kind: &'static str,
+        /// Observed payload length.
+        len: usize,
+    },
+    /// A frame that requires a stream id arrived on stream 0, or vice
+    /// versa.
+    BadStreamId {
+        /// The frame type.
+        kind: &'static str,
+        /// The stream id observed.
+        id: u32,
+    },
+    /// Padding length exceeds payload size.
+    BadPadding,
+    /// A string field (e.g. ORIGIN entry) is not valid ASCII.
+    BadString,
+    /// HPACK decoding failed.
+    Hpack(HpackError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds max {max}")
+            }
+            FrameError::BadLength { kind, len } => {
+                write!(f, "invalid payload length {len} for {kind}")
+            }
+            FrameError::BadStreamId { kind, id } => {
+                write!(f, "invalid stream id {id} for {kind}")
+            }
+            FrameError::BadPadding => write!(f, "padding exceeds payload"),
+            FrameError::BadString => write!(f, "non-ASCII string field"),
+            FrameError::Hpack(e) => write!(f, "hpack: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Errors raised by the HPACK codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HpackError {
+    /// Input ended mid-field.
+    Truncated,
+    /// An integer exceeded the implementation limit (2^32).
+    IntegerOverflow,
+    /// An index pointed outside the static+dynamic table.
+    BadIndex(usize),
+    /// Huffman decoding hit an invalid sequence (including the
+    /// spec-prohibited EOS symbol).
+    BadHuffman,
+    /// A dynamic table size update exceeded the protocol maximum.
+    TableSizeUpdateTooLarge,
+}
+
+impl fmt::Display for HpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HpackError::Truncated => write!(f, "truncated header block"),
+            HpackError::IntegerOverflow => write!(f, "integer overflow"),
+            HpackError::BadIndex(i) => write!(f, "index {i} out of table range"),
+            HpackError::BadHuffman => write!(f, "invalid huffman sequence"),
+            HpackError::TableSizeUpdateTooLarge => write!(f, "table size update too large"),
+        }
+    }
+}
+
+impl std::error::Error for HpackError {}
+
+impl From<HpackError> for FrameError {
+    fn from(e: HpackError) -> Self {
+        FrameError::Hpack(e)
+    }
+}
+
+/// Connection-level errors surfaced by [`crate::Connection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H2Error {
+    /// A malformed frame.
+    Frame(FrameError),
+    /// A protocol violation that must kill the connection.
+    Connection(ErrorCode, &'static str),
+    /// A violation scoped to one stream.
+    Stream(StreamId, ErrorCode, &'static str),
+    /// Peer closed the connection with GOAWAY.
+    GoAway(ErrorCode),
+    /// The client preface was malformed (server side only).
+    BadPreface,
+}
+
+impl fmt::Display for H2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H2Error::Frame(e) => write!(f, "frame error: {e}"),
+            H2Error::Connection(code, msg) => write!(f, "connection error {code}: {msg}"),
+            H2Error::Stream(id, code, msg) => write!(f, "stream {id} error {code}: {msg}"),
+            H2Error::GoAway(code) => write!(f, "peer sent GOAWAY ({code})"),
+            H2Error::BadPreface => write!(f, "malformed client preface"),
+        }
+    }
+}
+
+impl std::error::Error for H2Error {}
+
+impl From<FrameError> for H2Error {
+    fn from(e: FrameError) -> Self {
+        H2Error::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_code_roundtrip() {
+        for v in 0..=0xd_u32 {
+            let c = ErrorCode::from_u32(v);
+            assert_eq!(c.to_u32(), v);
+            assert!(!matches!(c, ErrorCode::Unknown(_)));
+        }
+    }
+
+    #[test]
+    fn unknown_codes_preserved() {
+        let c = ErrorCode::from_u32(0xdead);
+        assert_eq!(c, ErrorCode::Unknown(0xdead));
+        assert_eq!(c.to_u32(), 0xdead);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FrameError::BadLength { kind: "PING", len: 7 };
+        assert!(e.to_string().contains("PING"));
+        let e: H2Error = e.into();
+        assert!(e.to_string().contains("frame error"));
+        assert!(HpackError::BadIndex(99).to_string().contains("99"));
+    }
+}

@@ -1,0 +1,450 @@
+//! HPACK Huffman coding (RFC 7541 §5.2 and Appendix B).
+//!
+//! The code table is canonical: within each bit length, codes are
+//! assigned to symbols in increasing symbol order, and the first code
+//! of each length extends the previous length's last code. A unit
+//! test reconstructs the table from the bit lengths alone and asserts
+//! equality, so a transcription error in any code value is caught
+//! structurally; the RFC's Appendix C vectors pin the ASCII range.
+
+use crate::error::HpackError;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// `(code, bit_length)` for symbols 0–255 plus EOS (index 256).
+pub const TABLE: [(u32, u8); 257] = [
+    (0x1ff8, 13),
+    (0x7fffd8, 23),
+    (0xfffffe2, 28),
+    (0xfffffe3, 28),
+    (0xfffffe4, 28),
+    (0xfffffe5, 28),
+    (0xfffffe6, 28),
+    (0xfffffe7, 28),
+    (0xfffffe8, 28),
+    (0xffffea, 24),
+    (0x3ffffffc, 30),
+    (0xfffffe9, 28),
+    (0xfffffea, 28),
+    (0x3ffffffd, 30),
+    (0xfffffeb, 28),
+    (0xfffffec, 28),
+    (0xfffffed, 28),
+    (0xfffffee, 28),
+    (0xfffffef, 28),
+    (0xffffff0, 28),
+    (0xffffff1, 28),
+    (0xffffff2, 28),
+    (0x3ffffffe, 30),
+    (0xffffff3, 28),
+    (0xffffff4, 28),
+    (0xffffff5, 28),
+    (0xffffff6, 28),
+    (0xffffff7, 28),
+    (0xffffff8, 28),
+    (0xffffff9, 28),
+    (0xffffffa, 28),
+    (0xffffffb, 28),
+    (0x14, 6),
+    (0x3f8, 10),
+    (0x3f9, 10),
+    (0xffa, 12),
+    (0x1ff9, 13),
+    (0x15, 6),
+    (0xf8, 8),
+    (0x7fa, 11),
+    (0x3fa, 10),
+    (0x3fb, 10),
+    (0xf9, 8),
+    (0x7fb, 11),
+    (0xfa, 8),
+    (0x16, 6),
+    (0x17, 6),
+    (0x18, 6),
+    (0x0, 5),
+    (0x1, 5),
+    (0x2, 5),
+    (0x19, 6),
+    (0x1a, 6),
+    (0x1b, 6),
+    (0x1c, 6),
+    (0x1d, 6),
+    (0x1e, 6),
+    (0x1f, 6),
+    (0x5c, 7),
+    (0xfb, 8),
+    (0x7ffc, 15),
+    (0x20, 6),
+    (0xffb, 12),
+    (0x3fc, 10),
+    (0x1ffa, 13),
+    (0x21, 6),
+    (0x5d, 7),
+    (0x5e, 7),
+    (0x5f, 7),
+    (0x60, 7),
+    (0x61, 7),
+    (0x62, 7),
+    (0x63, 7),
+    (0x64, 7),
+    (0x65, 7),
+    (0x66, 7),
+    (0x67, 7),
+    (0x68, 7),
+    (0x69, 7),
+    (0x6a, 7),
+    (0x6b, 7),
+    (0x6c, 7),
+    (0x6d, 7),
+    (0x6e, 7),
+    (0x6f, 7),
+    (0x70, 7),
+    (0x71, 7),
+    (0x72, 7),
+    (0xfc, 8),
+    (0x73, 7),
+    (0xfd, 8),
+    (0x1ffb, 13),
+    (0x7fff0, 19),
+    (0x1ffc, 13),
+    (0x3ffc, 14),
+    (0x22, 6),
+    (0x7ffd, 15),
+    (0x3, 5),
+    (0x23, 6),
+    (0x4, 5),
+    (0x24, 6),
+    (0x5, 5),
+    (0x25, 6),
+    (0x26, 6),
+    (0x27, 6),
+    (0x6, 5),
+    (0x74, 7),
+    (0x75, 7),
+    (0x28, 6),
+    (0x29, 6),
+    (0x2a, 6),
+    (0x7, 5),
+    (0x2b, 6),
+    (0x76, 7),
+    (0x2c, 6),
+    (0x8, 5),
+    (0x9, 5),
+    (0x2d, 6),
+    (0x77, 7),
+    (0x78, 7),
+    (0x79, 7),
+    (0x7a, 7),
+    (0x7b, 7),
+    (0x7ffe, 15),
+    (0x7fc, 11),
+    (0x3ffd, 14),
+    (0x1ffd, 13),
+    (0xffffffc, 28),
+    (0xfffe6, 20),
+    (0x3fffd2, 22),
+    (0xfffe7, 20),
+    (0xfffe8, 20),
+    (0x3fffd3, 22),
+    (0x3fffd4, 22),
+    (0x3fffd5, 22),
+    (0x7fffd9, 23),
+    (0x3fffd6, 22),
+    (0x7fffda, 23),
+    (0x7fffdb, 23),
+    (0x7fffdc, 23),
+    (0x7fffdd, 23),
+    (0x7fffde, 23),
+    (0xffffeb, 24),
+    (0x7fffdf, 23),
+    (0xffffec, 24),
+    (0xffffed, 24),
+    (0x3fffd7, 22),
+    (0x7fffe0, 23),
+    (0xffffee, 24),
+    (0x7fffe1, 23),
+    (0x7fffe2, 23),
+    (0x7fffe3, 23),
+    (0x7fffe4, 23),
+    (0x1fffdc, 21),
+    (0x3fffd8, 22),
+    (0x7fffe5, 23),
+    (0x3fffd9, 22),
+    (0x7fffe6, 23),
+    (0x7fffe7, 23),
+    (0xffffef, 24),
+    (0x3fffda, 22),
+    (0x1fffdd, 21),
+    (0xfffe9, 20),
+    (0x3fffdb, 22),
+    (0x3fffdc, 22),
+    (0x7fffe8, 23),
+    (0x7fffe9, 23),
+    (0x1fffde, 21),
+    (0x7fffea, 23),
+    (0x3fffdd, 22),
+    (0x3fffde, 22),
+    (0xfffff0, 24),
+    (0x1fffdf, 21),
+    (0x3fffdf, 22),
+    (0x7fffeb, 23),
+    (0x7fffec, 23),
+    (0x1fffe0, 21),
+    (0x1fffe1, 21),
+    (0x3fffe0, 22),
+    (0x1fffe2, 21),
+    (0x7fffed, 23),
+    (0x3fffe1, 22),
+    (0x7fffee, 23),
+    (0x7fffef, 23),
+    (0xfffea, 20),
+    (0x3fffe2, 22),
+    (0x3fffe3, 22),
+    (0x3fffe4, 22),
+    (0x7ffff0, 23),
+    (0x3fffe5, 22),
+    (0x3fffe6, 22),
+    (0x7ffff1, 23),
+    (0x3ffffe0, 26),
+    (0x3ffffe1, 26),
+    (0xfffeb, 20),
+    (0x7fff1, 19),
+    (0x3fffe7, 22),
+    (0x7ffff2, 23),
+    (0x3fffe8, 22),
+    (0x1ffffec, 25),
+    (0x3ffffe2, 26),
+    (0x3ffffe3, 26),
+    (0x3ffffe4, 26),
+    (0x7ffffde, 27),
+    (0x7ffffdf, 27),
+    (0x3ffffe5, 26),
+    (0xfffff1, 24),
+    (0x1ffffed, 25),
+    (0x7fff2, 19),
+    (0x1fffe3, 21),
+    (0x3ffffe6, 26),
+    (0x7ffffe0, 27),
+    (0x7ffffe1, 27),
+    (0x3ffffe7, 26),
+    (0x7ffffe2, 27),
+    (0xfffff2, 24),
+    (0x1fffe4, 21),
+    (0x1fffe5, 21),
+    (0x3ffffe8, 26),
+    (0x3ffffe9, 26),
+    (0xffffffd, 28),
+    (0x7ffffe3, 27),
+    (0x7ffffe4, 27),
+    (0x7ffffe5, 27),
+    (0xfffec, 20),
+    (0xfffff3, 24),
+    (0xfffed, 20),
+    (0x1fffe6, 21),
+    (0x3fffe9, 22),
+    (0x1fffe7, 21),
+    (0x1fffe8, 21),
+    (0x7ffff3, 23),
+    (0x3fffea, 22),
+    (0x3fffeb, 22),
+    (0x1ffffee, 25),
+    (0x1ffffef, 25),
+    (0xfffff4, 24),
+    (0xfffff5, 24),
+    (0x3ffffea, 26),
+    (0x7ffff4, 23),
+    (0x3ffffeb, 26),
+    (0x7ffffe6, 27),
+    (0x3ffffec, 26),
+    (0x3ffffed, 26),
+    (0x7ffffe7, 27),
+    (0x7ffffe8, 27),
+    (0x7ffffe9, 27),
+    (0x7ffffea, 27),
+    (0x7ffffeb, 27),
+    (0xffffffe, 28),
+    (0x7ffffec, 27),
+    (0x7ffffed, 27),
+    (0x7ffffee, 27),
+    (0x7ffffef, 27),
+    (0x7fffff0, 27),
+    (0x3ffffee, 26),
+    (0x3fffffff, 30),
+];
+
+/// Length in bytes of the Huffman encoding of `data`.
+pub fn encoded_len(data: &[u8]) -> usize {
+    let bits: u64 = data.iter().map(|&b| TABLE[b as usize].1 as u64).sum();
+    (bits as usize).div_ceil(8)
+}
+
+/// Huffman-encode `data`, appending to `out`.
+pub fn encode(data: &[u8], out: &mut Vec<u8>) {
+    let mut acc: u64 = 0;
+    let mut nbits: u32 = 0;
+    for &b in data {
+        let (code, len) = TABLE[b as usize];
+        acc = (acc << len) | code as u64;
+        nbits += len as u32;
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        // Pad with the EOS prefix (all ones).
+        let pad = 8 - nbits;
+        out.push(((acc << pad) as u8) | ((1u16 << pad) - 1) as u8);
+    }
+}
+
+fn decode_map() -> &'static HashMap<(u32, u8), u16> {
+    static MAP: OnceLock<HashMap<(u32, u8), u16>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        let mut m = HashMap::with_capacity(257);
+        for (sym, &(code, len)) in TABLE.iter().enumerate() {
+            m.insert((code, len), sym as u16);
+        }
+        m
+    })
+}
+
+/// Decode a Huffman-encoded string.
+///
+/// Errors on: a decoded EOS symbol, padding longer than 7 bits, or
+/// padding that is not all-ones (RFC 7541 §5.2 requirements).
+pub fn decode(data: &[u8]) -> Result<Vec<u8>, HpackError> {
+    let map = decode_map();
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut code: u32 = 0;
+    let mut len: u8 = 0;
+    for &byte in data {
+        for bit in (0..8).rev() {
+            code = (code << 1) | ((byte >> bit) & 1) as u32;
+            len += 1;
+            if len > 30 {
+                return Err(HpackError::BadHuffman);
+            }
+            if let Some(&sym) = map.get(&(code, len)) {
+                if sym == 256 {
+                    // EOS must not appear in the body.
+                    return Err(HpackError::BadHuffman);
+                }
+                out.push(sym as u8);
+                code = 0;
+                len = 0;
+            }
+        }
+    }
+    // Remaining bits are padding: at most 7 bits, all ones.
+    if len >= 8 {
+        return Err(HpackError::BadHuffman);
+    }
+    if len > 0 && code != (1u32 << len) - 1 {
+        return Err(HpackError::BadHuffman);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rebuild the canonical code from the bit lengths alone and check
+    /// every constant. HPACK's table is canonical: sort symbols by
+    /// (length, symbol); each code is previous+1 shifted up by the
+    /// length difference.
+    #[test]
+    fn table_is_canonical() {
+        let mut syms: Vec<usize> = (0..257).collect();
+        syms.sort_by_key(|&s| (TABLE[s].1, s));
+        let mut code: u64 = 0;
+        let mut prev_len: u8 = 0;
+        for &s in &syms {
+            let len = TABLE[s].1;
+            code <<= len - prev_len;
+            assert_eq!(
+                TABLE[s].0 as u64, code,
+                "symbol {s} code mismatch: table={:#x} canonical={code:#x} len={len}",
+                TABLE[s].0
+            );
+            code += 1;
+            prev_len = len;
+        }
+        // Complete code: Kraft sum must be exactly 1.
+        let kraft: f64 = TABLE.iter().map(|&(_, l)| 2f64.powi(-(l as i32))).sum();
+        assert!((kraft - 1.0).abs() < 1e-12, "kraft={kraft}");
+    }
+
+    #[test]
+    fn rfc7541_appendix_c_vectors() {
+        let cases: &[(&str, &[u8])] = &[
+            ("www.example.com", &[0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff]),
+            ("no-cache", &[0xa8, 0xeb, 0x10, 0x64, 0x9c, 0xbf]),
+            ("custom-key", &[0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xa9, 0x7d, 0x7f]),
+            ("custom-value", &[0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xb8, 0xe8, 0xb4, 0xbf]),
+            ("private", &[0xae, 0xc3, 0x77, 0x1a, 0x4b]),
+            (
+                "Mon, 21 Oct 2013 20:13:21 GMT",
+                &[
+                    0xd0, 0x7a, 0xbe, 0x94, 0x10, 0x54, 0xd4, 0x44, 0xa8, 0x20, 0x05, 0x95,
+                    0x04, 0x0b, 0x81, 0x66, 0xe0, 0x82, 0xa6, 0x2d, 0x1b, 0xff,
+                ],
+            ),
+            (
+                "https://www.example.com",
+                &[
+                    0x9d, 0x29, 0xad, 0x17, 0x18, 0x63, 0xc7, 0x8f, 0x0b, 0x97, 0xc8, 0xe9,
+                    0xae, 0x82, 0xae, 0x43, 0xd3,
+                ],
+            ),
+            ("gzip", &[0x9b, 0xd9, 0xab]),
+        ];
+        for (plain, wire) in cases {
+            let mut enc = Vec::new();
+            encode(plain.as_bytes(), &mut enc);
+            assert_eq!(&enc, wire, "encoding {plain:?}");
+            assert_eq!(decode(wire).unwrap(), plain.as_bytes(), "decoding {plain:?}");
+            assert_eq!(encoded_len(plain.as_bytes()), wire.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_symbols() {
+        let all: Vec<u8> = (0..=255).collect();
+        let mut enc = Vec::new();
+        encode(&all, &mut enc);
+        assert_eq!(decode(&enc).unwrap(), all);
+    }
+
+    #[test]
+    fn empty_string() {
+        let mut enc = Vec::new();
+        encode(&[], &mut enc);
+        assert!(enc.is_empty());
+        assert_eq!(decode(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bad_padding_rejected() {
+        // 'a' = 00011 (5 bits) + 3 zero pad bits (must be ones).
+        assert_eq!(decode(&[0b0001_1000]), Err(HpackError::BadHuffman));
+        // Correct padding decodes.
+        assert_eq!(decode(&[0b0001_1111]).unwrap(), b"a");
+    }
+
+    #[test]
+    fn eos_in_body_rejected() {
+        // EOS is 30 ones; a full byte run of 0xff × 4 contains it.
+        assert_eq!(decode(&[0xff, 0xff, 0xff, 0xff]), Err(HpackError::BadHuffman));
+    }
+
+    #[test]
+    fn whole_byte_padding_rejected() {
+        // 'a' then a full 0xff byte of padding (8 bits ≥ 8 → error).
+        let mut enc = Vec::new();
+        encode(b"a", &mut enc);
+        enc.push(0xff);
+        assert_eq!(decode(&enc), Err(HpackError::BadHuffman));
+    }
+}

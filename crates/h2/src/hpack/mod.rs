@@ -1,0 +1,524 @@
+//! HPACK header compression (RFC 7541).
+//!
+//! [`Encoder`] and [`Decoder`] hold per-connection state (the dynamic
+//! table) and must each be used for exactly one direction of one
+//! connection. All four literal representations, indexed fields,
+//! Huffman string coding and dynamic table size updates are
+//! implemented.
+
+pub mod huffman;
+pub mod table;
+
+use crate::error::HpackError;
+use table::{find_index, find_name_index, lookup, DynamicTable, Entry};
+
+/// A header field (name must be lowercase per HTTP/2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Field name.
+    pub name: String,
+    /// Field value.
+    pub value: String,
+    /// Sensitive fields are encoded never-indexed (RFC 7541 §7.1.3).
+    pub sensitive: bool,
+}
+
+impl Header {
+    /// Construct a regular header.
+    pub fn new(name: &str, value: &str) -> Self {
+        Header { name: name.to_ascii_lowercase(), value: value.to_string(), sensitive: false }
+    }
+
+    /// Construct a sensitive (never-indexed) header.
+    pub fn sensitive(name: &str, value: &str) -> Self {
+        Header { sensitive: true, ..Header::new(name, value) }
+    }
+}
+
+// ---- integer primitives (RFC 7541 §5.1) ----
+
+/// Encode an integer with an N-bit prefix; `first` carries the bits
+/// above the prefix (representation discriminator).
+fn encode_int(value: usize, prefix_bits: u8, first: u8, out: &mut Vec<u8>) {
+    debug_assert!((1..=8).contains(&prefix_bits));
+    let max_prefix = (1usize << prefix_bits) - 1;
+    if value < max_prefix {
+        out.push(first | value as u8);
+        return;
+    }
+    out.push(first | max_prefix as u8);
+    let mut rest = value - max_prefix;
+    while rest >= 128 {
+        out.push((rest % 128 + 128) as u8);
+        rest /= 128;
+    }
+    out.push(rest as u8);
+}
+
+/// Decode an integer with an N-bit prefix from `buf[*pos..]`.
+fn decode_int(buf: &[u8], pos: &mut usize, prefix_bits: u8) -> Result<usize, HpackError> {
+    if *pos >= buf.len() {
+        return Err(HpackError::Truncated);
+    }
+    let max_prefix = (1usize << prefix_bits) - 1;
+    let mut value = (buf[*pos] as usize) & max_prefix;
+    *pos += 1;
+    if value < max_prefix {
+        return Ok(value);
+    }
+    let mut shift = 0u32;
+    loop {
+        if *pos >= buf.len() {
+            return Err(HpackError::Truncated);
+        }
+        let b = buf[*pos];
+        *pos += 1;
+        let add = ((b & 0x7f) as usize)
+            .checked_shl(shift)
+            .ok_or(HpackError::IntegerOverflow)?;
+        value = value.checked_add(add).ok_or(HpackError::IntegerOverflow)?;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(HpackError::IntegerOverflow);
+        }
+    }
+}
+
+// ---- string primitives (RFC 7541 §5.2) ----
+
+fn encode_string(s: &str, use_huffman: bool, out: &mut Vec<u8>) {
+    let raw = s.as_bytes();
+    if use_huffman {
+        let hlen = huffman::encoded_len(raw);
+        if hlen < raw.len() {
+            encode_int(hlen, 7, 0x80, out);
+            huffman::encode(raw, out);
+            return;
+        }
+    }
+    encode_int(raw.len(), 7, 0x00, out);
+    out.extend_from_slice(raw);
+}
+
+fn decode_string(buf: &[u8], pos: &mut usize) -> Result<String, HpackError> {
+    if *pos >= buf.len() {
+        return Err(HpackError::Truncated);
+    }
+    let huffman_coded = buf[*pos] & 0x80 != 0;
+    let len = decode_int(buf, pos, 7)?;
+    if *pos + len > buf.len() {
+        return Err(HpackError::Truncated);
+    }
+    let raw = &buf[*pos..*pos + len];
+    *pos += len;
+    let bytes = if huffman_coded { huffman::decode(raw)? } else { raw.to_vec() };
+    // Header contents in this stack are UTF-8 (the simulation only
+    // produces ASCII); undecodable octets degrade to U+FFFD.
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+// ---- encoder ----
+
+/// HPACK encoder for one direction of one connection.
+pub struct Encoder {
+    dynamic: DynamicTable,
+    /// Whether to Huffman-code strings when it helps.
+    pub use_huffman: bool,
+    /// A pending dynamic-table size update to emit at the start of
+    /// the next header block.
+    pending_resize: Option<usize>,
+}
+
+impl Encoder {
+    /// Encoder with the default 4096-octet dynamic table.
+    pub fn new() -> Self {
+        Encoder { dynamic: DynamicTable::new(4096), use_huffman: true, pending_resize: None }
+    }
+
+    /// Set the dynamic table capacity (from the peer's
+    /// SETTINGS_HEADER_TABLE_SIZE); emits a size update in the next
+    /// block.
+    pub fn set_max_table_size(&mut self, size: usize) {
+        self.dynamic.set_max_size(size);
+        self.pending_resize = Some(size);
+    }
+
+    /// Current dynamic table occupancy in octets.
+    pub fn table_size(&self) -> usize {
+        self.dynamic.size()
+    }
+
+    /// Encode a header list into one header block.
+    pub fn encode(&mut self, headers: &[Header]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(headers.len() * 16);
+        if let Some(size) = self.pending_resize.take() {
+            encode_int(size, 5, 0x20, &mut out);
+        }
+        for h in headers {
+            self.encode_one(h, &mut out);
+        }
+        out
+    }
+
+    fn encode_one(&mut self, h: &Header, out: &mut Vec<u8>) {
+        if h.sensitive {
+            // Literal never indexed (0x10).
+            match find_name_index(&self.dynamic, &h.name) {
+                Some(i) => encode_int(i, 4, 0x10, out),
+                None => {
+                    encode_int(0, 4, 0x10, out);
+                    encode_string(&h.name, self.use_huffman, out);
+                }
+            }
+            encode_string(&h.value, self.use_huffman, out);
+            return;
+        }
+        if let Some(i) = find_index(&self.dynamic, &h.name, &h.value) {
+            // Indexed field (1xxxxxxx).
+            encode_int(i, 7, 0x80, out);
+            return;
+        }
+        // Literal with incremental indexing (01xxxxxx).
+        match find_name_index(&self.dynamic, &h.name) {
+            Some(i) => encode_int(i, 6, 0x40, out),
+            None => {
+                encode_int(0, 6, 0x40, out);
+                encode_string(&h.name, self.use_huffman, out);
+            }
+        }
+        encode_string(&h.value, self.use_huffman, out);
+        self.dynamic.insert(Entry { name: h.name.clone(), value: h.value.clone() });
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---- decoder ----
+
+/// HPACK decoder for one direction of one connection.
+pub struct Decoder {
+    dynamic: DynamicTable,
+    /// Protocol ceiling for dynamic table size updates
+    /// (our SETTINGS_HEADER_TABLE_SIZE).
+    pub max_allowed_table_size: usize,
+}
+
+impl Decoder {
+    /// Decoder with the default 4096-octet table.
+    pub fn new() -> Self {
+        Decoder { dynamic: DynamicTable::new(4096), max_allowed_table_size: 4096 }
+    }
+
+    /// Current dynamic table occupancy in octets.
+    pub fn table_size(&self) -> usize {
+        self.dynamic.size()
+    }
+
+    /// Decode one complete header block.
+    pub fn decode(&mut self, block: &[u8]) -> Result<Vec<Header>, HpackError> {
+        let mut pos = 0;
+        let mut out = Vec::new();
+        while pos < block.len() {
+            let b = block[pos];
+            if b & 0x80 != 0 {
+                // Indexed field.
+                let idx = decode_int(block, &mut pos, 7)?;
+                let e = lookup(&self.dynamic, idx).ok_or(HpackError::BadIndex(idx))?;
+                out.push(Header { name: e.name, value: e.value, sensitive: false });
+            } else if b & 0x40 != 0 {
+                // Literal with incremental indexing.
+                let idx = decode_int(block, &mut pos, 6)?;
+                let name = self.literal_name(block, &mut pos, idx)?;
+                let value = decode_string(block, &mut pos)?;
+                self.dynamic.insert(Entry { name: name.clone(), value: value.clone() });
+                out.push(Header { name, value, sensitive: false });
+            } else if b & 0x20 != 0 {
+                // Dynamic table size update.
+                let size = decode_int(block, &mut pos, 5)?;
+                if size > self.max_allowed_table_size {
+                    return Err(HpackError::TableSizeUpdateTooLarge);
+                }
+                self.dynamic.set_max_size(size);
+            } else {
+                // Literal without indexing (0x00) or never indexed (0x10).
+                let sensitive = b & 0x10 != 0;
+                let idx = decode_int(block, &mut pos, 4)?;
+                let name = self.literal_name(block, &mut pos, idx)?;
+                let value = decode_string(block, &mut pos)?;
+                out.push(Header { name, value, sensitive });
+            }
+        }
+        Ok(out)
+    }
+
+    fn literal_name(
+        &self,
+        block: &[u8],
+        pos: &mut usize,
+        idx: usize,
+    ) -> Result<String, HpackError> {
+        if idx == 0 {
+            decode_string(block, pos)
+        } else {
+            Ok(lookup(&self.dynamic, idx).ok_or(HpackError::BadIndex(idx))?.name)
+        }
+    }
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(n: &str, v: &str) -> Header {
+        Header::new(n, v)
+    }
+
+    #[test]
+    fn integer_primitives_rfc_examples() {
+        // RFC 7541 C.1.1: 10 with 5-bit prefix → 0x0a.
+        let mut out = Vec::new();
+        encode_int(10, 5, 0, &mut out);
+        assert_eq!(out, [0x0a]);
+        // C.1.2: 1337 with 5-bit prefix → 1f 9a 0a.
+        let mut out = Vec::new();
+        encode_int(1337, 5, 0, &mut out);
+        assert_eq!(out, [0x1f, 0x9a, 0x0a]);
+        // C.1.3: 42 on an 8-bit prefix → 0x2a.
+        let mut out = Vec::new();
+        encode_int(42, 8, 0, &mut out);
+        assert_eq!(out, [0x2a]);
+        // Roundtrips.
+        for v in [0usize, 1, 30, 31, 32, 127, 128, 1337, 65_535, 1 << 20] {
+            for prefix in 1..=8u8 {
+                let mut out = Vec::new();
+                encode_int(v, prefix, 0, &mut out);
+                let mut pos = 0;
+                assert_eq!(decode_int(&out, &mut pos, prefix).unwrap(), v);
+                assert_eq!(pos, out.len());
+            }
+        }
+    }
+
+    #[test]
+    fn integer_truncation_detected() {
+        let mut pos = 0;
+        assert_eq!(decode_int(&[], &mut pos, 5), Err(HpackError::Truncated));
+        // Continuation byte promised but absent.
+        let mut pos = 0;
+        assert_eq!(decode_int(&[0x1f, 0x80], &mut pos, 5), Err(HpackError::Truncated));
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        // 6 continuation bytes exceed the shift limit.
+        let buf = [0x1f, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut pos = 0;
+        assert_eq!(decode_int(&buf, &mut pos, 5), Err(HpackError::IntegerOverflow));
+    }
+
+    #[test]
+    fn rfc_c2_1_literal_with_indexing() {
+        // C.2.1: custom-key: custom-header (no huffman).
+        let mut enc = Encoder::new();
+        enc.use_huffman = false;
+        let block = enc.encode(&[h("custom-key", "custom-header")]);
+        assert_eq!(
+            block,
+            [
+                0x40, 0x0a, b'c', b'u', b's', b't', b'o', b'm', b'-', b'k', b'e', b'y', 0x0d,
+                b'c', b'u', b's', b't', b'o', b'm', b'-', b'h', b'e', b'a', b'd', b'e', b'r'
+            ]
+        );
+        let mut dec = Decoder::new();
+        assert_eq!(dec.decode(&block).unwrap(), vec![h("custom-key", "custom-header")]);
+        assert_eq!(dec.table_size(), 55);
+    }
+
+    #[test]
+    fn rfc_c2_4_indexed_field() {
+        // :method: GET is static index 2 → 0x82.
+        let mut enc = Encoder::new();
+        let block = enc.encode(&[h(":method", "GET")]);
+        assert_eq!(block, [0x82]);
+    }
+
+    #[test]
+    fn rfc_c3_request_sequence_without_huffman() {
+        // RFC 7541 C.3: three requests on one connection.
+        let mut enc = Encoder::new();
+        enc.use_huffman = false;
+        let mut dec = Decoder::new();
+
+        let req1 = [
+            h(":method", "GET"),
+            h(":scheme", "http"),
+            h(":path", "/"),
+            h(":authority", "www.example.com"),
+        ];
+        let b1 = enc.encode(&req1);
+        assert_eq!(
+            b1,
+            [
+                0x82, 0x86, 0x84, 0x41, 0x0f, b'w', b'w', b'w', b'.', b'e', b'x', b'a', b'm',
+                b'p', b'l', b'e', b'.', b'c', b'o', b'm'
+            ]
+        );
+        assert_eq!(dec.decode(&b1).unwrap(), req1);
+        assert_eq!(dec.table_size(), 57);
+
+        let req2 = [
+            h(":method", "GET"),
+            h(":scheme", "http"),
+            h(":path", "/"),
+            h(":authority", "www.example.com"),
+            h("cache-control", "no-cache"),
+        ];
+        let b2 = enc.encode(&req2);
+        // RFC 7541 C.3.2 wire bytes: the authority now hits the
+        // dynamic table (index 62 → 0xbe).
+        assert_eq!(
+            b2,
+            [0x82, 0x86, 0x84, 0xbe, 0x58, 0x08, b'n', b'o', b'-', b'c', b'a', b'c', b'h', b'e']
+        );
+        assert_eq!(dec.decode(&b2).unwrap(), req2);
+        assert_eq!(dec.table_size(), 110);
+
+        let req3 = [
+            h(":method", "GET"),
+            h(":scheme", "https"),
+            h(":path", "/index.html"),
+            h(":authority", "www.example.com"),
+            h("custom-key", "custom-value"),
+        ];
+        let b3 = enc.encode(&req3);
+        assert_eq!(dec.decode(&b3).unwrap(), req3);
+        assert_eq!(dec.table_size(), 164);
+    }
+
+    #[test]
+    fn huffman_request_roundtrip() {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let req = [
+            h(":method", "GET"),
+            h(":scheme", "https"),
+            h(":path", "/style/main.css?v=12345"),
+            h(":authority", "static.example.com"),
+            h("user-agent", "Mozilla/5.0 (X11; Linux x86_64) Firefox/96.0"),
+            h("accept-encoding", "gzip, deflate"),
+        ];
+        let block = enc.encode(&req);
+        assert_eq!(dec.decode(&block).unwrap(), req);
+        // Second identical request should compress dramatically via
+        // the dynamic table.
+        let block2 = enc.encode(&req);
+        assert!(block2.len() < block.len() / 2, "{} vs {}", block2.len(), block.len());
+        assert_eq!(dec.decode(&block2).unwrap(), req);
+    }
+
+    #[test]
+    fn sensitive_headers_never_indexed() {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let hdr = Header::sensitive("authorization", "Bearer secret-token");
+        let b1 = enc.encode(std::slice::from_ref(&hdr));
+        let got = dec.decode(&b1).unwrap();
+        assert_eq!(got[0].value, "Bearer secret-token");
+        assert!(got[0].sensitive);
+        // Never-indexed: a repeat encodes to the same size (no table
+        // hit for the value).
+        let b2 = enc.encode(std::slice::from_ref(&hdr));
+        assert_eq!(b1.len(), b2.len());
+        assert_eq!(enc.table_size(), 0);
+    }
+
+    #[test]
+    fn table_size_update_emitted_and_honored() {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        // Warm the tables.
+        let hdrs = [h("x-first", "one")];
+        dec.decode(&enc.encode(&hdrs)).unwrap();
+        assert!(dec.table_size() > 0);
+        // Shrink to zero: next block starts with a size update that
+        // flushes the peer table.
+        enc.set_max_table_size(0);
+        let block = enc.encode(&[h("x-second", "two")]);
+        assert_eq!(block[0] & 0xe0, 0x20, "first octet must be a size update");
+        dec.decode(&block).unwrap();
+        assert_eq!(dec.table_size(), 0);
+    }
+
+    #[test]
+    fn oversized_table_update_rejected() {
+        let mut dec = Decoder::new();
+        let mut block = Vec::new();
+        encode_int(65_536, 5, 0x20, &mut block);
+        assert_eq!(dec.decode(&block), Err(HpackError::TableSizeUpdateTooLarge));
+    }
+
+    #[test]
+    fn bad_index_rejected() {
+        let mut dec = Decoder::new();
+        // Indexed field 70 with empty dynamic table.
+        let mut block = Vec::new();
+        encode_int(70, 7, 0x80, &mut block);
+        assert_eq!(dec.decode(&block), Err(HpackError::BadIndex(70)));
+        // Index 0 is never valid for an indexed field.
+        assert_eq!(dec.decode(&[0x80]), Err(HpackError::BadIndex(0)));
+    }
+
+    #[test]
+    fn truncated_string_rejected() {
+        let mut dec = Decoder::new();
+        // Literal w/ incremental indexing, new name, 10-byte string but
+        // only 2 present.
+        let block = [0x40, 0x0a, b'a', b'b'];
+        assert_eq!(dec.decode(&block), Err(HpackError::Truncated));
+    }
+
+    #[test]
+    fn response_header_sequence() {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let resp = [
+            h(":status", "200"),
+            h("content-type", "text/html; charset=utf-8"),
+            h("content-length", "12345"),
+            h("server", "origin-edge/1.0"),
+        ];
+        let block = enc.encode(&resp);
+        assert_eq!(dec.decode(&block).unwrap(), resp);
+    }
+
+    #[test]
+    fn non_ascii_value_roundtrip() {
+        // UTF-8 values survive both plain and Huffman paths.
+        for use_huffman in [false, true] {
+            let mut enc = Encoder::new();
+            enc.use_huffman = use_huffman;
+            let mut dec = Decoder::new();
+            let hdr = Header {
+                name: "x-blob".into(),
+                value: "gr\u{00fc}n \u{0001}".into(),
+                sensitive: false,
+            };
+            let block = enc.encode(std::slice::from_ref(&hdr));
+            let got = dec.decode(&block).unwrap();
+            assert_eq!(got[0].value, hdr.value);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! HPACK static and dynamic tables (RFC 7541 §2.3).
+
+use std::collections::VecDeque;
+
+/// The RFC 7541 Appendix A static table (1-indexed on the wire).
+pub const STATIC_TABLE: [(&str, &str); 61] = [
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+];
+
+/// A header field as stored in the tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Header name (lowercase).
+    pub name: String,
+    /// Header value.
+    pub value: String,
+}
+
+impl Entry {
+    /// RFC 7541 §4.1 size: name length + value length + 32 octets of
+    /// bookkeeping overhead.
+    pub fn size(&self) -> usize {
+        self.name.len() + self.value.len() + 32
+    }
+}
+
+/// The FIFO dynamic table with size-based eviction.
+#[derive(Debug, Clone)]
+pub struct DynamicTable {
+    entries: VecDeque<Entry>,
+    size: usize,
+    max_size: usize,
+}
+
+impl DynamicTable {
+    /// New table with the given capacity (SETTINGS_HEADER_TABLE_SIZE).
+    pub fn new(max_size: usize) -> Self {
+        DynamicTable { entries: VecDeque::new(), size: 0, max_size }
+    }
+
+    /// Current occupied size in octets.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current capacity.
+    pub fn max_size(&self) -> usize {
+        self.max_size
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resize (dynamic table size update); evicts as needed.
+    pub fn set_max_size(&mut self, max_size: usize) {
+        self.max_size = max_size;
+        self.evict();
+    }
+
+    /// Insert at the head (index 1 of the dynamic section). An entry
+    /// larger than the whole table empties it (RFC 7541 §4.4).
+    pub fn insert(&mut self, entry: Entry) {
+        let sz = entry.size();
+        if sz > self.max_size {
+            self.entries.clear();
+            self.size = 0;
+            return;
+        }
+        self.size += sz;
+        self.entries.push_front(entry);
+        self.evict();
+    }
+
+    /// Entry at dynamic index `i` (0-based from most recent).
+    pub fn get(&self, i: usize) -> Option<&Entry> {
+        self.entries.get(i)
+    }
+
+    /// Find the index (0-based) of an exact (name, value) match.
+    pub fn find(&self, name: &str, value: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name && e.value == value)
+    }
+
+    /// Find the index (0-based) of a name-only match.
+    pub fn find_name(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    fn evict(&mut self) {
+        while self.size > self.max_size {
+            let e = self.entries.pop_back().expect("size>0 implies entries");
+            self.size -= e.size();
+        }
+    }
+}
+
+/// Resolve a wire index (1-based, static-then-dynamic address space)
+/// to a header entry.
+pub fn lookup(dynamic: &DynamicTable, index: usize) -> Option<Entry> {
+    if index == 0 {
+        return None;
+    }
+    if index <= STATIC_TABLE.len() {
+        let (n, v) = STATIC_TABLE[index - 1];
+        return Some(Entry { name: n.to_string(), value: v.to_string() });
+    }
+    dynamic.get(index - STATIC_TABLE.len() - 1).cloned()
+}
+
+/// Find the wire index for an exact match, searching static then
+/// dynamic.
+pub fn find_index(dynamic: &DynamicTable, name: &str, value: &str) -> Option<usize> {
+    for (i, (n, v)) in STATIC_TABLE.iter().enumerate() {
+        if *n == name && *v == value {
+            return Some(i + 1);
+        }
+    }
+    dynamic.find(name, value).map(|i| i + STATIC_TABLE.len() + 1)
+}
+
+/// Find a wire index whose *name* matches (for literal-with-indexed-
+/// name representations).
+pub fn find_name_index(dynamic: &DynamicTable, name: &str) -> Option<usize> {
+    for (i, (n, _)) in STATIC_TABLE.iter().enumerate() {
+        if *n == name {
+            return Some(i + 1);
+        }
+    }
+    dynamic.find_name(name).map(|i| i + STATIC_TABLE.len() + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(name: &str, value: &str) -> Entry {
+        Entry { name: name.into(), value: value.into() }
+    }
+
+    #[test]
+    fn static_table_spot_checks() {
+        assert_eq!(STATIC_TABLE[0], (":authority", ""));
+        assert_eq!(STATIC_TABLE[1], (":method", "GET"));
+        assert_eq!(STATIC_TABLE[6], (":scheme", "https"));
+        assert_eq!(STATIC_TABLE[7], (":status", "200"));
+        assert_eq!(STATIC_TABLE[60], ("www-authenticate", ""));
+        assert_eq!(STATIC_TABLE.len(), 61);
+    }
+
+    #[test]
+    fn entry_size_includes_overhead() {
+        assert_eq!(e("ab", "cde").size(), 2 + 3 + 32);
+    }
+
+    #[test]
+    fn insert_and_index_order() {
+        let mut t = DynamicTable::new(4096);
+        t.insert(e("a", "1"));
+        t.insert(e("b", "2"));
+        // Most recent first.
+        assert_eq!(t.get(0).unwrap().name, "b");
+        assert_eq!(t.get(1).unwrap().name, "a");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn eviction_on_overflow() {
+        // Each entry is 34 octets; cap to fit exactly two.
+        let mut t = DynamicTable::new(68);
+        t.insert(e("a", "1"));
+        t.insert(e("b", "2"));
+        t.insert(e("c", "3"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(0).unwrap().name, "c");
+        assert_eq!(t.get(1).unwrap().name, "b");
+        assert!(t.size() <= 68);
+    }
+
+    #[test]
+    fn oversized_entry_clears_table() {
+        let mut t = DynamicTable::new(40);
+        t.insert(e("a", "1"));
+        assert_eq!(t.len(), 1);
+        t.insert(e("name-way-too-long", "value-way-too-long"));
+        assert!(t.is_empty());
+        assert_eq!(t.size(), 0);
+    }
+
+    #[test]
+    fn resize_evicts() {
+        let mut t = DynamicTable::new(4096);
+        t.insert(e("a", "1"));
+        t.insert(e("b", "2"));
+        t.set_max_size(34);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0).unwrap().name, "b");
+    }
+
+    #[test]
+    fn wire_index_lookup() {
+        let mut t = DynamicTable::new(4096);
+        assert_eq!(lookup(&t, 0), None);
+        assert_eq!(lookup(&t, 2).unwrap(), e(":method", "GET"));
+        assert_eq!(lookup(&t, 61).unwrap(), e("www-authenticate", ""));
+        assert_eq!(lookup(&t, 62), None);
+        t.insert(e("x-custom", "v"));
+        assert_eq!(lookup(&t, 62).unwrap(), e("x-custom", "v"));
+        assert_eq!(lookup(&t, 63), None);
+    }
+
+    #[test]
+    fn find_index_prefers_static() {
+        let t = DynamicTable::new(4096);
+        assert_eq!(find_index(&t, ":method", "GET"), Some(2));
+        assert_eq!(find_index(&t, ":method", "PUT"), None);
+        assert_eq!(find_name_index(&t, ":method"), Some(2));
+        assert_eq!(find_name_index(&t, "cookie"), Some(32));
+    }
+
+    #[test]
+    fn find_index_searches_dynamic() {
+        let mut t = DynamicTable::new(4096);
+        t.insert(e("x-a", "1"));
+        t.insert(e("x-b", "2"));
+        assert_eq!(find_index(&t, "x-b", "2"), Some(62));
+        assert_eq!(find_index(&t, "x-a", "1"), Some(63));
+        assert_eq!(find_name_index(&t, "x-a"), Some(63));
+    }
+}

@@ -1,0 +1,132 @@
+//! SETTINGS parameters (RFC 7540 §6.5.2).
+
+/// SETTINGS_HEADER_TABLE_SIZE.
+pub const SETTINGS_HEADER_TABLE_SIZE: u16 = 0x1;
+/// SETTINGS_ENABLE_PUSH.
+pub const SETTINGS_ENABLE_PUSH: u16 = 0x2;
+/// SETTINGS_MAX_CONCURRENT_STREAMS.
+pub const SETTINGS_MAX_CONCURRENT_STREAMS: u16 = 0x3;
+/// SETTINGS_INITIAL_WINDOW_SIZE.
+pub const SETTINGS_INITIAL_WINDOW_SIZE: u16 = 0x4;
+/// SETTINGS_MAX_FRAME_SIZE.
+pub const SETTINGS_MAX_FRAME_SIZE: u16 = 0x5;
+/// SETTINGS_MAX_HEADER_LIST_SIZE.
+pub const SETTINGS_MAX_HEADER_LIST_SIZE: u16 = 0x6;
+
+/// An endpoint's settings, with RFC 7540 defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Settings {
+    /// HPACK dynamic table size the peer may use when encoding toward
+    /// us.
+    pub header_table_size: u32,
+    /// Whether server push is permitted.
+    pub enable_push: bool,
+    /// Maximum concurrent streams the peer may open (None =
+    /// unlimited).
+    pub max_concurrent_streams: Option<u32>,
+    /// Initial stream-level flow-control window.
+    pub initial_window_size: u32,
+    /// Largest frame payload we accept.
+    pub max_frame_size: u32,
+    /// Advisory maximum header list size (None = unlimited).
+    pub max_header_list_size: Option<u32>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            header_table_size: 4_096,
+            enable_push: true,
+            max_concurrent_streams: None,
+            initial_window_size: 65_535,
+            max_frame_size: 16_384,
+            max_header_list_size: None,
+        }
+    }
+}
+
+impl Settings {
+    /// Serialize to `(identifier, value)` pairs, emitting only values
+    /// that differ from the defaults (endpoints commonly omit
+    /// defaults).
+    pub fn to_params(&self) -> Vec<(u16, u32)> {
+        let d = Settings::default();
+        let mut out = Vec::new();
+        if self.header_table_size != d.header_table_size {
+            out.push((SETTINGS_HEADER_TABLE_SIZE, self.header_table_size));
+        }
+        if self.enable_push != d.enable_push {
+            out.push((SETTINGS_ENABLE_PUSH, self.enable_push as u32));
+        }
+        if let Some(v) = self.max_concurrent_streams {
+            out.push((SETTINGS_MAX_CONCURRENT_STREAMS, v));
+        }
+        if self.initial_window_size != d.initial_window_size {
+            out.push((SETTINGS_INITIAL_WINDOW_SIZE, self.initial_window_size));
+        }
+        if self.max_frame_size != d.max_frame_size {
+            out.push((SETTINGS_MAX_FRAME_SIZE, self.max_frame_size));
+        }
+        if let Some(v) = self.max_header_list_size {
+            out.push((SETTINGS_MAX_HEADER_LIST_SIZE, v));
+        }
+        out
+    }
+
+    /// Apply received `(identifier, value)` pairs. Unknown identifiers
+    /// are ignored (RFC 7540 §6.5.2).
+    pub fn apply(&mut self, params: &[(u16, u32)]) {
+        for &(id, value) in params {
+            match id {
+                SETTINGS_HEADER_TABLE_SIZE => self.header_table_size = value,
+                SETTINGS_ENABLE_PUSH => self.enable_push = value != 0,
+                SETTINGS_MAX_CONCURRENT_STREAMS => self.max_concurrent_streams = Some(value),
+                SETTINGS_INITIAL_WINDOW_SIZE => self.initial_window_size = value,
+                SETTINGS_MAX_FRAME_SIZE => self.max_frame_size = value,
+                SETTINGS_MAX_HEADER_LIST_SIZE => self.max_header_list_size = Some(value),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_serialize_empty() {
+        assert!(Settings::default().to_params().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_non_defaults() {
+        let s = Settings {
+            header_table_size: 8_192,
+            enable_push: false,
+            max_concurrent_streams: Some(128),
+            initial_window_size: 1 << 20,
+            max_frame_size: 32_768,
+            max_header_list_size: Some(16_384),
+        };
+        let mut out = Settings::default();
+        out.apply(&s.to_params());
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn unknown_identifiers_ignored() {
+        let mut s = Settings::default();
+        s.apply(&[(0x99, 7), (0xffff, 0)]);
+        assert_eq!(s, Settings::default());
+    }
+
+    #[test]
+    fn enable_push_is_boolean() {
+        let mut s = Settings::default();
+        s.apply(&[(SETTINGS_ENABLE_PUSH, 0)]);
+        assert!(!s.enable_push);
+        s.apply(&[(SETTINGS_ENABLE_PUSH, 1)]);
+        assert!(s.enable_push);
+    }
+}

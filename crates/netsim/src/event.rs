@@ -1,0 +1,236 @@
+//! Timed event queue.
+//!
+//! A classic discrete-event scheduler: events are popped in time
+//! order, and events scheduled for the same instant are delivered in
+//! insertion (FIFO) order so runs are deterministic.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry: `Reverse`-ordered by `(time, seq)`.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// The queue tracks the current simulated time: popping an event
+/// advances the clock to that event's timestamp. Scheduling an event
+/// in the past is a logic error and panics — a simulation that does
+/// so would silently reorder causality otherwise.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// New queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        self.heap.push(Scheduled { time: at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "heap produced an out-of-order event");
+        self.now = s.time;
+        self.processed += 1;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Drain and deliver every event to `handler`, which may schedule
+    /// more events. Runs until the queue is empty or `max_events` is
+    /// hit (a runaway-loop backstop); returns the number delivered.
+    pub fn run<F: FnMut(&mut EventQueue<E>, SimTime, E)>(
+        &mut self,
+        max_events: u64,
+        mut handler: F,
+    ) -> u64 {
+        let mut delivered = 0;
+        while delivered < max_events {
+            // Pop manually so the handler can reschedule through us.
+            let Some(s) = self.heap.pop() else { break };
+            self.now = s.time;
+            self.processed += 1;
+            delivered += 1;
+            handler(self, s.time, s.event);
+        }
+        delivered
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        assert_eq!(q.next().unwrap().1, "a");
+        assert_eq!(q.next().unwrap().1, "b");
+        assert_eq!(q.next().unwrap().1, "c");
+        assert!(q.next().is_none());
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.next().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.next();
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.next();
+        q.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), 0);
+        q.next();
+        q.schedule_in(SimDuration::from_millis(5), 1);
+        let (t, e) = q.next().unwrap();
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(e, 1);
+    }
+
+    #[test]
+    fn run_drains_with_rescheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 0u32);
+        let delivered = q.run(100, |q, _t, n| {
+            if n < 4 {
+                q.schedule_in(SimDuration::from_millis(1), n + 1);
+            }
+        });
+        assert_eq!(delivered, 5);
+        assert_eq!(q.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn run_respects_max_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 0u32);
+        // Infinite self-rescheduling loop capped by the backstop.
+        let delivered = q.run(50, |q, _t, n| {
+            q.schedule_in(SimDuration::from_millis(1), n + 1);
+        });
+        assert_eq!(delivered, 50);
+        assert_eq!(q.pending(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,195 @@
+//! Fault injection.
+//!
+//! Two fault classes matter for the paper's deployment story:
+//!
+//! 1. Ordinary packet loss/corruption (kept for workload realism, in
+//!    the spirit of smoltcp's `--drop-chance`/`--corrupt-chance`
+//!    example options).
+//! 2. The §6.7 incident: a non-compliant HTTP/2 middlebox (an
+//!    antivirus network agent) that, instead of ignoring unknown frame
+//!    types as RFC 7540 §4.1 requires, tears down the TLS connection
+//!    when it sees an ORIGIN frame. [`Middlebox`] models any on-path
+//!    device that inspects frame type codes.
+
+use crate::rng::SimRng;
+
+/// Probabilistic packet-level fault injection.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Probability a packet is silently dropped.
+    pub drop_chance: f64,
+    /// Probability a delivered packet is corrupted.
+    pub corrupt_chance: f64,
+}
+
+impl FaultInjector {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultInjector { drop_chance: 0.0, corrupt_chance: 0.0 }
+    }
+
+    /// Construct with the given probabilities (each clamped [0,1]).
+    pub fn new(drop_chance: f64, corrupt_chance: f64) -> Self {
+        FaultInjector {
+            drop_chance: drop_chance.clamp(0.0, 1.0),
+            corrupt_chance: corrupt_chance.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Decide the fate of one packet.
+    pub fn apply(&self, rng: &mut SimRng) -> PacketFate {
+        if rng.chance(self.drop_chance) {
+            PacketFate::Dropped
+        } else if rng.chance(self.corrupt_chance) {
+            PacketFate::Corrupted
+        } else {
+            PacketFate::Delivered
+        }
+    }
+}
+
+/// Outcome of passing one packet through a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Delivered intact.
+    Delivered,
+    /// Silently dropped.
+    Dropped,
+    /// Delivered with corrupted payload.
+    Corrupted,
+}
+
+/// Verdict from a middlebox observing an HTTP/2 frame on a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiddleboxVerdict {
+    /// Frame forwarded unchanged.
+    Forward,
+    /// Frame silently discarded (connection survives).
+    DropFrame,
+    /// Connection torn down — the §6.7 failure mode.
+    TearDown,
+}
+
+/// An on-path device that observes HTTP/2 frame type codes.
+///
+/// Implementations are deliberately ignorant of frame payloads: real
+/// interception stacks key off the one-byte type field, which is all
+/// the §6.7 bug needed.
+pub trait Middlebox {
+    /// Inspect a frame type code (the raw `u8` on the wire) and decide
+    /// what happens.
+    fn inspect(&self, frame_type: u8) -> MiddleboxVerdict;
+
+    /// Human-readable name for logs and incident reports.
+    fn name(&self) -> &str;
+}
+
+/// A standards-compliant pass-through (RFC 7540 §4.1: implementations
+/// must ignore and discard unknown frame types — middleboxes should
+/// simply forward them).
+#[derive(Debug, Clone, Default)]
+pub struct CompliantMiddlebox;
+
+impl Middlebox for CompliantMiddlebox {
+    fn inspect(&self, _frame_type: u8) -> MiddleboxVerdict {
+        MiddleboxVerdict::Forward
+    }
+    fn name(&self) -> &str {
+        "compliant"
+    }
+}
+
+/// The §6.7 bug: any frame type outside the RFC 7540 core set tears
+/// the connection down. ORIGIN (0x0c) and ALTSVC (0x0a) are both
+/// "unknown" to such a stack.
+#[derive(Debug, Clone)]
+pub struct NonCompliantMiddlebox {
+    /// Highest frame type code the stack recognizes. RFC 7540 defines
+    /// 0x00 (DATA) through 0x09 (CONTINUATION).
+    pub max_known_type: u8,
+}
+
+impl Default for NonCompliantMiddlebox {
+    fn default() -> Self {
+        // Knows only the RFC 7540 core frames.
+        NonCompliantMiddlebox { max_known_type: 0x09 }
+    }
+}
+
+impl Middlebox for NonCompliantMiddlebox {
+    fn inspect(&self, frame_type: u8) -> MiddleboxVerdict {
+        if frame_type <= self.max_known_type {
+            MiddleboxVerdict::Forward
+        } else {
+            MiddleboxVerdict::TearDown
+        }
+    }
+    fn name(&self) -> &str {
+        "non-compliant antivirus agent"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORIGIN_FRAME_TYPE: u8 = 0x0c;
+    const ALTSVC_FRAME_TYPE: u8 = 0x0a;
+    const DATA_FRAME_TYPE: u8 = 0x00;
+
+    #[test]
+    fn no_faults_always_delivers() {
+        let f = FaultInjector::none();
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(f.apply(&mut rng), PacketFate::Delivered);
+        }
+    }
+
+    #[test]
+    fn full_drop_always_drops() {
+        let f = FaultInjector::new(1.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        assert_eq!(f.apply(&mut rng), PacketFate::Dropped);
+    }
+
+    #[test]
+    fn probabilities_clamped() {
+        let f = FaultInjector::new(7.0, -3.0);
+        assert_eq!(f.drop_chance, 1.0);
+        assert_eq!(f.corrupt_chance, 0.0);
+    }
+
+    #[test]
+    fn drop_rate_close_to_p() {
+        let f = FaultInjector::new(0.15, 0.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        let drops = (0..10_000)
+            .filter(|_| f.apply(&mut rng) == PacketFate::Dropped)
+            .count();
+        assert!((1_300..1_700).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn compliant_forwards_everything() {
+        let m = CompliantMiddlebox;
+        assert_eq!(m.inspect(DATA_FRAME_TYPE), MiddleboxVerdict::Forward);
+        assert_eq!(m.inspect(ORIGIN_FRAME_TYPE), MiddleboxVerdict::Forward);
+        assert_eq!(m.inspect(0xff), MiddleboxVerdict::Forward);
+    }
+
+    #[test]
+    fn non_compliant_kills_origin_frames() {
+        let m = NonCompliantMiddlebox::default();
+        assert_eq!(m.inspect(DATA_FRAME_TYPE), MiddleboxVerdict::Forward);
+        assert_eq!(m.inspect(0x09), MiddleboxVerdict::Forward);
+        assert_eq!(m.inspect(ALTSVC_FRAME_TYPE), MiddleboxVerdict::TearDown);
+        assert_eq!(m.inspect(ORIGIN_FRAME_TYPE), MiddleboxVerdict::TearDown);
+    }
+
+    #[test]
+    fn middlebox_names() {
+        assert_eq!(CompliantMiddlebox.name(), "compliant");
+        assert!(NonCompliantMiddlebox::default().name().contains("non-compliant"));
+    }
+}

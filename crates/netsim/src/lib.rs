@@ -1,0 +1,40 @@
+//! Deterministic discrete-event network simulator.
+//!
+//! The paper's measurements ran against the real Internet; this crate
+//! is the substitute substrate (see DESIGN.md §2). It follows the
+//! sans-IO, event-driven idiom: protocol models never touch sockets or
+//! the wall clock — a [`SimTime`] owned by an [`EventQueue`] is the
+//! only notion of time, so every experiment is exactly reproducible
+//! from a seed.
+//!
+//! Components:
+//!
+//! - [`SimTime`]/[`SimDuration`] — microsecond-resolution simulated
+//!   time.
+//! - [`EventQueue`] — a monotonic priority queue of timed events with
+//!   FIFO tie-breaking.
+//! - [`LinkProfile`] — per-path latency/bandwidth model with a
+//!   slow-start-aware transfer-time estimator.
+//! - [`tcp`] — TCP + TLS connection-establishment cost model
+//!   (handshake RTT accounting, happy-eyeballs raceable).
+//! - [`fault`] — fault injection: probabilistic packet drops and the
+//!   §6.7 non-compliant middlebox that tears down connections carrying
+//!   unknown HTTP/2 frame types.
+//! - [`rng`] — seeded RNG plumbing so all randomness is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fault;
+pub mod link;
+pub mod rng;
+pub mod tcp;
+pub mod time;
+
+pub use event::EventQueue;
+pub use fault::{FaultInjector, Middlebox, MiddleboxVerdict};
+pub use link::LinkProfile;
+pub use rng::SimRng;
+pub use tcp::{ConnectionCost, HandshakeModel, TlsVersion};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,184 @@
+//! TCP + TLS connection-establishment cost model.
+//!
+//! The paper's model (§4.1) removes exactly the DNS and
+//! "Connect (TCP+TLS)" phases for coalesced requests, so the
+//! reproduction needs an explicit account of where those round trips
+//! come from. [`HandshakeModel`] turns a [`LinkProfile`] into the
+//! blocking durations a browser would observe for each handshake
+//! variant.
+
+use crate::link::LinkProfile;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// TLS protocol versions with distinct handshake round-trip costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlsVersion {
+    /// TLS 1.2: 2 RTT full handshake.
+    Tls12,
+    /// TLS 1.3: 1 RTT full handshake.
+    Tls13,
+    /// TLS 1.3 with 0-RTT resumption (§6.6 discussion).
+    Tls13ZeroRtt,
+}
+
+/// Cost breakdown of establishing a new connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionCost {
+    /// TCP three-way-handshake time (client-observed: one RTT).
+    pub tcp: SimDuration,
+    /// TLS handshake time after TCP is up.
+    pub tls: SimDuration,
+}
+
+impl ConnectionCost {
+    /// Total blocking connect time (the HAR "connect"+"ssl" phases).
+    pub fn total(&self) -> SimDuration {
+        self.tcp + self.tls
+    }
+}
+
+/// Parameters of the handshake cost model.
+#[derive(Debug, Clone)]
+pub struct HandshakeModel {
+    /// TLS version negotiated on new connections.
+    pub tls: TlsVersion,
+    /// Extra round trips incurred when the server certificate exceeds
+    /// one TLS record flight (large-SAN certificates, §6.5). This is
+    /// the per-flight cost multiplied by `extra_cert_flights`.
+    pub extra_cert_flights: u32,
+    /// Whether TCP Fast Open folds part of the TLS exchange into the
+    /// SYN (§6.6), saving one RTT on repeat connections.
+    pub tcp_fast_open: bool,
+}
+
+impl Default for HandshakeModel {
+    fn default() -> Self {
+        HandshakeModel {
+            tls: TlsVersion::Tls13,
+            extra_cert_flights: 0,
+            tcp_fast_open: false,
+        }
+    }
+}
+
+impl HandshakeModel {
+    /// Model for a certificate whose wire size is `cert_bytes`:
+    /// certificates larger than one 16 KB TLS record add one flight
+    /// per additional record (§6.5).
+    pub fn for_certificate(tls: TlsVersion, cert_bytes: u64) -> Self {
+        const TLS_RECORD: u64 = 16 * 1024;
+        let flights = if cert_bytes == 0 { 0 } else { ((cert_bytes - 1) / TLS_RECORD) as u32 };
+        HandshakeModel { tls, extra_cert_flights: flights, tcp_fast_open: false }
+    }
+
+    /// RTT multiplier for the TLS portion of the handshake.
+    fn tls_rtts(&self) -> f64 {
+        let base = match self.tls {
+            TlsVersion::Tls12 => 2.0,
+            TlsVersion::Tls13 => 1.0,
+            TlsVersion::Tls13ZeroRtt => 0.0,
+        };
+        base + self.extra_cert_flights as f64
+    }
+
+    /// Cost of a fresh TCP+TLS connection over `link`, with jitter.
+    pub fn connect(&self, link: &LinkProfile, rng: &mut SimRng) -> ConnectionCost {
+        let tcp_rtts = if self.tcp_fast_open { 0.0 } else { 1.0 };
+        let tcp = scale_rtt(link, tcp_rtts, rng);
+        let tls = scale_rtt(link, self.tls_rtts(), rng);
+        ConnectionCost { tcp, tls }
+    }
+
+    /// Deterministic (jitter-free) connect cost; used by the
+    /// analytical model where the paper subtracts the *minimum*
+    /// observed DNS/connect time.
+    pub fn connect_nominal(&self, link: &LinkProfile) -> ConnectionCost {
+        let tcp_rtts = if self.tcp_fast_open { 0.0 } else { 1.0 };
+        ConnectionCost {
+            tcp: scale_nominal(link, tcp_rtts),
+            tls: scale_nominal(link, self.tls_rtts()),
+        }
+    }
+}
+
+fn scale_rtt(link: &LinkProfile, rtts: f64, rng: &mut SimRng) -> SimDuration {
+    if rtts == 0.0 {
+        return SimDuration::ZERO;
+    }
+    let base = SimDuration::from_millis_f64(link.rtt.as_millis_f64() * rtts);
+    link.jittered(base, rng)
+}
+
+fn scale_nominal(link: &LinkProfile, rtts: f64) -> SimDuration {
+    SimDuration::from_millis_f64(link.rtt.as_millis_f64() * rtts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> LinkProfile {
+        LinkProfile::new(20.0, 50.0)
+    }
+
+    #[test]
+    fn tls13_is_one_rtt() {
+        let m = HandshakeModel::default();
+        let c = m.connect_nominal(&link());
+        assert_eq!(c.tcp, SimDuration::from_millis(20));
+        assert_eq!(c.tls, SimDuration::from_millis(20));
+        assert_eq!(c.total(), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn tls12_is_two_rtt() {
+        let m = HandshakeModel { tls: TlsVersion::Tls12, ..Default::default() };
+        assert_eq!(m.connect_nominal(&link()).tls, SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn zero_rtt_has_free_tls() {
+        let m = HandshakeModel { tls: TlsVersion::Tls13ZeroRtt, ..Default::default() };
+        assert_eq!(m.connect_nominal(&link()).tls, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn tcp_fast_open_skips_tcp_rtt() {
+        let m = HandshakeModel { tcp_fast_open: true, ..Default::default() };
+        assert_eq!(m.connect_nominal(&link()).tcp, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn small_cert_adds_no_flights() {
+        let m = HandshakeModel::for_certificate(TlsVersion::Tls13, 4_000);
+        assert_eq!(m.extra_cert_flights, 0);
+    }
+
+    #[test]
+    fn oversized_cert_adds_flights() {
+        // 40 KB certificate = 3 records = 2 extra flights.
+        let m = HandshakeModel::for_certificate(TlsVersion::Tls13, 40 * 1024);
+        assert_eq!(m.extra_cert_flights, 2);
+        let c = m.connect_nominal(&link());
+        assert_eq!(c.tls, SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn cert_exactly_one_record_is_free() {
+        let m = HandshakeModel::for_certificate(TlsVersion::Tls13, 16 * 1024);
+        assert_eq!(m.extra_cert_flights, 0);
+    }
+
+    #[test]
+    fn jittered_connect_within_bounds() {
+        let l = LinkProfile::new(20.0, 50.0).with_jitter(0.2);
+        let m = HandshakeModel::default();
+        let mut rng = SimRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let c = m.connect(&l, &mut rng);
+            let total = c.total().as_millis_f64();
+            assert!((32.0..=48.0).contains(&total), "total={total}");
+        }
+    }
+}

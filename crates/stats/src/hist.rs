@@ -1,0 +1,176 @@
+//! Integer-valued frequency distributions.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A frequency distribution over integer values.
+///
+/// Used for Figure 1's bar series (number of unique ASes contacted per
+/// page) and Table 8 (distribution of SAN-entry counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a sample iterator.
+    pub fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Self::new();
+        for x in iter {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Record one observation of `value`.
+    pub fn add(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record `n` observations of `value`.
+    pub fn add_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of observations equal to `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Fraction of observations equal to `value` (0.0 when empty).
+    pub fn fraction(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// `(value, count)` pairs in ascending value order.
+    pub fn bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// `(value, count)` pairs sorted by descending count; ties broken
+    /// by ascending value. This is Table 8's "rank by count" ordering.
+    pub fn ranked(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.bins().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Fraction of observations with value ≤ `x` — the histogram's CDF.
+    pub fn cdf_at(&self, x: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self
+            .counts
+            .range(..=x)
+            .map(|(_, &c)| c)
+            .sum();
+        cum as f64 / self.total as f64
+    }
+
+    /// The smallest value `v` with CDF(v) ≥ q, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let threshold = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (&v, &c) in &self.counts {
+            cum += c;
+            if cum >= threshold {
+                return Some(v);
+            }
+        }
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.bins() {
+            self.add_n(v, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.count(3), 0);
+        assert_eq!(h.fraction(3), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.cdf_at(10), 0.0);
+    }
+
+    #[test]
+    fn add_and_count() {
+        let h = Histogram::from_iter([2, 2, 5]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(5), 1);
+        assert!((h.fraction(2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_quantile() {
+        let h = Histogram::from_iter([1, 2, 3, 4]);
+        assert_eq!(h.cdf_at(2), 0.5);
+        assert_eq!(h.quantile(0.5), Some(2));
+        assert_eq!(h.quantile(0.75), Some(3));
+        assert_eq!(h.quantile(1.0), Some(4));
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn ranked_order() {
+        let h = Histogram::from_iter([7, 7, 7, 3, 3, 9]);
+        assert_eq!(h.ranked(), vec![(7, 3), (3, 2), (9, 1)]);
+    }
+
+    #[test]
+    fn ranked_tie_breaks_ascending_value() {
+        let h = Histogram::from_iter([4, 4, 2, 2]);
+        assert_eq!(h.ranked(), vec![(2, 2), (4, 2)]);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Histogram::from_iter([1, 2]);
+        let b = Histogram::from_iter([2, 3]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+    }
+
+    #[test]
+    fn add_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.add_n(5, 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.count(5), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Top-k counters for the paper's breakdown tables.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One row of a top-k breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TopEntry<K> {
+    /// The counted key (AS, hostname, issuer, content type, …).
+    pub key: K,
+    /// Number of observations.
+    pub count: u64,
+    /// Share of all observations, in percent.
+    pub percent: f64,
+}
+
+/// Counts occurrences of keys and reports the most frequent ones with
+/// their share of the total — the shape of Tables 2, 4, 5, 6, 7 and 9.
+#[derive(Debug, Clone)]
+pub struct TopK<K: Eq + Hash> {
+    counts: HashMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Eq + Hash + Clone + Ord> TopK<K> {
+    /// New empty counter.
+    pub fn new() -> Self {
+        TopK { counts: HashMap::new(), total: 0 }
+    }
+
+    /// Count one observation of `key`.
+    pub fn add(&mut self, key: K) {
+        self.add_n(key, 1);
+    }
+
+    /// Count `n` observations of `key`.
+    pub fn add_n(&mut self, key: K, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(key).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Total observations across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count for one key.
+    pub fn count(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// The `k` most frequent keys, descending by count (ties broken by
+    /// ascending key for determinism), with percentages of the total.
+    pub fn top(&self, k: usize) -> Vec<TopEntry<K>> {
+        let mut entries: Vec<(&K, &u64)> = self.counts.iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        entries
+            .into_iter()
+            .take(k)
+            .map(|(key, &count)| TopEntry {
+                key: key.clone(),
+                count,
+                percent: if self.total == 0 {
+                    0.0
+                } else {
+                    count as f64 / self.total as f64 * 100.0
+                },
+            })
+            .collect()
+    }
+
+    /// Cumulative share (percent) held by the top `k` keys — e.g. the
+    /// paper's "the top-10 ASes service more than 60% of requests".
+    pub fn top_share(&self, k: usize) -> f64 {
+        self.top(k).iter().map(|e| e.percent).sum()
+    }
+
+    /// The smallest number of keys whose cumulative share reaches
+    /// `target_percent` — e.g. "it takes 51 ASes to service 80% of the
+    /// requests". Returns `None` when the total share never reaches the
+    /// target.
+    pub fn keys_to_reach(&self, target_percent: f64) -> Option<usize> {
+        let all = self.top(self.counts.len());
+        let mut cum = 0.0;
+        for (i, e) in all.iter().enumerate() {
+            cum += e.percent;
+            if cum >= target_percent {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+}
+
+impl<K: Eq + Hash + Clone + Ord> Default for TopK<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone + Ord> FromIterator<K> for TopK<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut t = TopK::new();
+        for k in iter {
+            t.add(k);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let t: TopK<&str> = TopK::new();
+        assert_eq!(t.total(), 0);
+        assert!(t.top(5).is_empty());
+        assert_eq!(t.keys_to_reach(50.0), None);
+    }
+
+    #[test]
+    fn counting_and_percent() {
+        let t: TopK<&str> = ["a", "a", "a", "b"].into_iter().collect();
+        let top = t.top(2);
+        assert_eq!(top[0].key, "a");
+        assert_eq!(top[0].count, 3);
+        assert_eq!(top[0].percent, 75.0);
+        assert_eq!(top[1].key, "b");
+        assert_eq!(top[1].percent, 25.0);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let t: TopK<&str> = ["b", "a"].into_iter().collect();
+        let top = t.top(2);
+        assert_eq!(top[0].key, "a");
+        assert_eq!(top[1].key, "b");
+    }
+
+    #[test]
+    fn top_share_and_keys_to_reach() {
+        let mut t: TopK<u32> = TopK::new();
+        t.add_n(1, 50);
+        t.add_n(2, 30);
+        t.add_n(3, 20);
+        assert_eq!(t.top_share(1), 50.0);
+        assert_eq!(t.top_share(2), 80.0);
+        assert_eq!(t.keys_to_reach(80.0), Some(2));
+        assert_eq!(t.keys_to_reach(81.0), Some(3));
+        assert_eq!(t.keys_to_reach(100.0), Some(3));
+        assert_eq!(t.keys_to_reach(101.0), None);
+    }
+
+    #[test]
+    fn top_truncates() {
+        let t: TopK<u32> = (0..10).collect();
+        assert_eq!(t.top(3).len(), 3);
+        assert_eq!(t.distinct(), 10);
+    }
+
+    #[test]
+    fn add_n_zero_is_noop() {
+        let mut t: TopK<&str> = TopK::new();
+        t.add_n("x", 0);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.distinct(), 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Leaf certificates and their wire-size model.
+
+use crate::san;
+use origin_dns::DnsName;
+use serde::Serialize;
+
+/// Subject public key algorithm. Key type dominates base certificate
+/// size: RSA-2048 leaves are ≈400 bytes larger than ECDSA P-256 ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum KeyType {
+    /// RSA with 2048-bit modulus.
+    Rsa2048,
+    /// ECDSA over P-256 — what the deployment CDN issues by default.
+    EcdsaP256,
+}
+
+/// A leaf (end-entity) certificate.
+///
+/// Validity is measured in abstract days since an epoch so the model
+/// does not depend on wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Certificate {
+    /// Unique serial number assigned by the issuing CA.
+    pub serial: u64,
+    /// Subject common name.
+    pub subject: DnsName,
+    /// Subject Alternative Names (exact names and wildcard patterns).
+    /// The subject CN is conventionally repeated here.
+    pub sans: Vec<DnsName>,
+    /// Display name of the issuing CA (Table 4 vocabulary).
+    pub issuer: String,
+    /// First valid day (inclusive).
+    pub not_before_day: u32,
+    /// Last valid day (inclusive).
+    pub not_after_day: u32,
+    /// Subject key algorithm.
+    pub key_type: KeyType,
+}
+
+impl Certificate {
+    /// Does this certificate cover `name` (exact or wildcard SAN)?
+    pub fn covers(&self, name: &DnsName) -> bool {
+        san::any_covers(&self.sans, name)
+    }
+
+    /// Is the certificate valid on `day`?
+    pub fn valid_on(&self, day: u32) -> bool {
+        (self.not_before_day..=self.not_after_day).contains(&day)
+    }
+
+    /// Number of DNS SAN entries.
+    pub fn san_count(&self) -> usize {
+        self.sans.len()
+    }
+
+    /// Estimated DER-encoded size in bytes.
+    ///
+    /// Calibrated against real leaf certificates: an ECDSA P-256 leaf
+    /// with a handful of SANs is ≈1.0 KB, RSA-2048 ≈1.4 KB, and each
+    /// SAN entry adds its dNSName encoding (wire length + 2 bytes of
+    /// ASN.1 tag/length overhead). This is the quantity the §6.5
+    /// 16 KB-record analysis needs: `10000-sans.badssl.com`-style
+    /// certificates blow through multiple records.
+    pub fn wire_size(&self) -> u64 {
+        let base: u64 = match self.key_type {
+            KeyType::Rsa2048 => 1_000,
+            KeyType::EcdsaP256 => 600,
+        };
+        // tbsCertificate skeleton + signature + issuer/subject RDNs.
+        let skeleton: u64 = 380;
+        let san_bytes: u64 = self
+            .sans
+            .iter()
+            .map(|n| n.wire_len() as u64 + 2)
+            .sum();
+        base + skeleton + san_bytes
+    }
+
+    /// Number of 16 KB TLS records the certificate alone occupies.
+    pub fn tls_records(&self) -> u64 {
+        self.wire_size().div_ceil(16 * 1024).max(1)
+    }
+
+    /// Byte length of the encoded SAN extension alone — what the §5.1
+    /// equal-byte-padding experiment design controls for (Figure 6).
+    pub fn san_bytes(&self) -> u64 {
+        self.sans.iter().map(|n| n.wire_len() as u64 + 2).sum()
+    }
+}
+
+/// Builder for certificates outside the CA issuance path (tests,
+/// synthetic dataset bootstrap).
+#[derive(Debug, Clone)]
+pub struct CertificateBuilder {
+    subject: DnsName,
+    sans: Vec<DnsName>,
+    issuer: String,
+    not_before_day: u32,
+    not_after_day: u32,
+    key_type: KeyType,
+    serial: u64,
+}
+
+impl CertificateBuilder {
+    /// Start building a certificate for `subject`. The subject is
+    /// automatically the first SAN.
+    pub fn new(subject: DnsName) -> Self {
+        CertificateBuilder {
+            sans: vec![subject.clone()],
+            subject,
+            issuer: "Test CA".to_string(),
+            not_before_day: 0,
+            not_after_day: 90,
+            key_type: KeyType::EcdsaP256,
+            serial: 0,
+        }
+    }
+
+    /// Add a SAN entry (deduplicated, order-preserving).
+    pub fn san(mut self, name: DnsName) -> Self {
+        if !self.sans.contains(&name) {
+            self.sans.push(name);
+        }
+        self
+    }
+
+    /// Add many SAN entries.
+    pub fn sans<I: IntoIterator<Item = DnsName>>(mut self, names: I) -> Self {
+        for n in names {
+            if !self.sans.contains(&n) {
+                self.sans.push(n);
+            }
+        }
+        self
+    }
+
+    /// Set the issuer display name.
+    pub fn issuer(mut self, issuer: &str) -> Self {
+        self.issuer = issuer.to_string();
+        self
+    }
+
+    /// Set the validity window in days.
+    pub fn validity(mut self, not_before_day: u32, not_after_day: u32) -> Self {
+        assert!(not_before_day <= not_after_day, "inverted validity window");
+        self.not_before_day = not_before_day;
+        self.not_after_day = not_after_day;
+        self
+    }
+
+    /// Set the key type.
+    pub fn key_type(mut self, kt: KeyType) -> Self {
+        self.key_type = kt;
+        self
+    }
+
+    /// Set the serial number.
+    pub fn serial(mut self, serial: u64) -> Self {
+        self.serial = serial;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Certificate {
+        Certificate {
+            serial: self.serial,
+            subject: self.subject,
+            sans: self.sans,
+            issuer: self.issuer,
+            not_before_day: self.not_before_day,
+            not_after_day: self.not_after_day,
+            key_type: self.key_type,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+
+    fn cert() -> Certificate {
+        CertificateBuilder::new(name("www.example.com"))
+            .san(name("example.com"))
+            .san(name("*.static.example.com"))
+            .build()
+    }
+
+    #[test]
+    fn subject_is_first_san() {
+        let c = cert();
+        assert_eq!(c.sans[0], name("www.example.com"));
+        assert_eq!(c.san_count(), 3);
+    }
+
+    #[test]
+    fn covers_exact_and_wildcard_sans() {
+        let c = cert();
+        assert!(c.covers(&name("www.example.com")));
+        assert!(c.covers(&name("example.com")));
+        assert!(c.covers(&name("img.static.example.com")));
+        assert!(!c.covers(&name("static.example.com")));
+        assert!(!c.covers(&name("evil.com")));
+    }
+
+    #[test]
+    fn builder_dedupes_sans() {
+        let c = CertificateBuilder::new(name("a.com"))
+            .san(name("a.com"))
+            .sans(vec![name("b.com"), name("b.com")])
+            .build();
+        assert_eq!(c.san_count(), 2);
+    }
+
+    #[test]
+    fn validity_window() {
+        let c = CertificateBuilder::new(name("a.com")).validity(10, 100).build();
+        assert!(!c.valid_on(9));
+        assert!(c.valid_on(10));
+        assert!(c.valid_on(100));
+        assert!(!c.valid_on(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted validity")]
+    fn inverted_validity_panics() {
+        CertificateBuilder::new(name("a.com")).validity(5, 1);
+    }
+
+    #[test]
+    fn wire_size_grows_with_sans() {
+        let small = CertificateBuilder::new(name("a.com")).build();
+        let big = CertificateBuilder::new(name("a.com"))
+            .sans((0..100).map(|i| name(&format!("host{i}.a.com"))))
+            .build();
+        assert!(big.wire_size() > small.wire_size());
+        assert!(small.wire_size() < 1_200);
+    }
+
+    #[test]
+    fn rsa_larger_than_ecdsa() {
+        let e = CertificateBuilder::new(name("a.com")).key_type(KeyType::EcdsaP256).build();
+        let r = CertificateBuilder::new(name("a.com")).key_type(KeyType::Rsa2048).build();
+        assert!(r.wire_size() > e.wire_size());
+    }
+
+    #[test]
+    fn huge_san_cert_spans_multiple_records() {
+        // ~800 SANs with ~27-byte names ≈ 23 KB: the §6.5 regime where
+        // the certificate no longer fits one 16 KB TLS record.
+        let big = CertificateBuilder::new(name("a.com"))
+            .sans((0..800).map(|i| name(&format!("subdomain-label-{i:04}.a.com"))))
+            .build();
+        assert!(big.tls_records() >= 2, "records={}", big.tls_records());
+        let small = CertificateBuilder::new(name("a.com")).build();
+        assert_eq!(small.tls_records(), 1);
+    }
+
+    #[test]
+    fn san_bytes_matches_equal_length_names() {
+        // The §5.1 design: control and experiment add same-length
+        // third-party names so SAN byte deltas are identical.
+        let exp = CertificateBuilder::new(name("site.com"))
+            .san(name("unpopular.resource.com"))
+            .build();
+        let ctl = CertificateBuilder::new(name("site.com"))
+            .san(name("00popular.resource.com"))
+            .build();
+        assert_eq!(exp.san_bytes(), ctl.san_bytes());
+    }
+}

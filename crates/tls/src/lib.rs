@@ -1,0 +1,39 @@
+//! Certificate and TLS model.
+//!
+//! Everything the paper asks of "certificates" is structural: which
+//! DNS names a certificate covers (SAN membership and RFC 6125
+//! wildcard matching), who issued it, how big it is on the wire (the
+//! §6.5 16 KB-TLS-record discussion), how issuance load lands on
+//! Certificate Transparency logs (§6.4), and how clients validate
+//! chains. This crate models exactly that — no real cryptography, but
+//! the full decision surface, so the §4 certificate-modification
+//! planner and the §5 reissue experiment run against the same checks
+//! real clients perform.
+//!
+//! - [`san`] — name matching per RFC 6125 (wildcards cover exactly one
+//!   left-most label).
+//! - [`cert`] — [`Certificate`] with SAN list, issuer, validity,
+//!   serial, and a DER-calibrated wire-size estimator.
+//! - [`ca`] — [`CertificateAuthority`] with per-CA SAN-count limits
+//!   (Let's Encrypt 100, Comodo 2000, …) and reissue support.
+//! - [`ctlog`] — append-only Certificate Transparency ledger with
+//!   per-operator load accounting.
+//! - [`validate`] — trust-store chain validation and a validation
+//!   counter (the paper's "certificate validations" metric).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ca;
+pub mod cert;
+pub mod ctlog;
+pub mod san;
+pub mod strategy;
+pub mod validate;
+
+pub use ca::{CaError, CertificateAuthority, KnownIssuer};
+pub use cert::{Certificate, CertificateBuilder, KeyType};
+pub use ctlog::{CtLog, CtLogSet};
+pub use san::{covers, wildcard_matches};
+pub use strategy::{cost as strategy_cost, CertStrategy, StrategyCost};
+pub use validate::{ValidationError, Validator};

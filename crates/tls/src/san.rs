@@ -1,0 +1,91 @@
+//! Subject Alternative Name matching (RFC 6125 rules).
+
+use origin_dns::DnsName;
+
+/// Does the wildcard `pattern` (e.g. `*.example.com`) match `name`?
+///
+/// RFC 6125 §6.4.3 rules as implemented by browsers:
+/// - the wildcard covers exactly **one** left-most label
+///   (`*.example.com` matches `www.example.com` but neither
+///   `example.com` nor `a.b.example.com`);
+/// - the wildcard must be the entire left-most label (enforced at
+///   [`DnsName`] parse time);
+/// - matching is case-insensitive (names are normalized lowercase).
+pub fn wildcard_matches(pattern: &DnsName, name: &DnsName) -> bool {
+    if !pattern.is_wildcard() {
+        return false;
+    }
+    let Some(parent) = pattern.parent() else { return false };
+    match name.parent() {
+        Some(name_parent) => name_parent == parent,
+        None => false,
+    }
+}
+
+/// Does `entry` (exact name or wildcard pattern) cover `name`?
+pub fn covers(entry: &DnsName, name: &DnsName) -> bool {
+    if entry.is_wildcard() {
+        wildcard_matches(entry, name)
+    } else {
+        entry == name
+    }
+}
+
+/// Does any entry of a SAN list cover `name`?
+pub fn any_covers<'a, I: IntoIterator<Item = &'a DnsName>>(entries: I, name: &DnsName) -> bool {
+    entries.into_iter().any(|e| covers(e, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+
+    #[test]
+    fn wildcard_matches_one_label() {
+        let p = name("*.example.com");
+        assert!(wildcard_matches(&p, &name("www.example.com")));
+        assert!(wildcard_matches(&p, &name("api.example.com")));
+    }
+
+    #[test]
+    fn wildcard_does_not_match_parent() {
+        let p = name("*.example.com");
+        assert!(!wildcard_matches(&p, &name("example.com")));
+    }
+
+    #[test]
+    fn wildcard_does_not_match_nested() {
+        let p = name("*.example.com");
+        assert!(!wildcard_matches(&p, &name("a.b.example.com")));
+    }
+
+    #[test]
+    fn wildcard_does_not_match_sibling() {
+        let p = name("*.example.com");
+        assert!(!wildcard_matches(&p, &name("www.example.org")));
+        assert!(!wildcard_matches(&p, &name("www.badexample.com")));
+    }
+
+    #[test]
+    fn non_wildcard_pattern_never_wildcard_matches() {
+        assert!(!wildcard_matches(&name("www.example.com"), &name("www.example.com")));
+    }
+
+    #[test]
+    fn covers_exact_and_wildcard() {
+        assert!(covers(&name("www.example.com"), &name("www.example.com")));
+        assert!(!covers(&name("www.example.com"), &name("api.example.com")));
+        assert!(covers(&name("*.example.com"), &name("api.example.com")));
+    }
+
+    #[test]
+    fn any_covers_list() {
+        let sans = vec![name("example.com"), name("*.example.com")];
+        assert!(any_covers(&sans, &name("example.com")));
+        assert!(any_covers(&sans, &name("cdn.example.com")));
+        assert!(!any_covers(&sans, &name("x.cdn.example.com")));
+        let empty: Vec<DnsName> = vec![];
+        assert!(!any_covers(&empty, &name("example.com")));
+    }
+}

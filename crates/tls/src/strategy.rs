@@ -1,0 +1,213 @@
+//! §6.5: SAN, ORIGIN, or Secondary Certificates?
+//!
+//! The paper weighs three ways an operator can make names coalescable
+//! and the wire costs of each:
+//!
+//! 1. **Least-effort SAN additions** — add only the coalescable names
+//!    each site actually needs (the paper's recommendation; ≤7 names
+//!    covers 75% of sites).
+//! 2. **One giant SAN certificate** — a single certificate carrying
+//!    every hosted name. Permitted by IETF standards but rejected:
+//!    beyond one 16 KB TLS record the handshake grows extra flights,
+//!    and browsers fail outright on extreme certs
+//!    (`10000-sans.badssl.com`).
+//! 3. **Secondary certificate frames**
+//!    (draft-ietf-httpbis-http2-secondary-certs) — keep the base
+//!    certificate small and send additional certificates on stream 0
+//!    on demand. Saves the base handshake but retransmits a complete
+//!    X.509 (key + signature, the largest fields) per extra scope.
+//!
+//! This module prices all three so the trade-off is quantitative.
+
+use crate::cert::{Certificate, CertificateBuilder, KeyType};
+use origin_dns::DnsName;
+
+/// One 16 KB TLS record (RFC 8446 §5.1) — the §6.5 threshold.
+pub const TLS_RECORD_BYTES: u64 = 16 * 1024;
+
+/// How an operator makes extra names coalescable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertStrategy {
+    /// Add only the needed names to the existing certificate.
+    LeastEffortSan,
+    /// One certificate carrying every hosted name.
+    GiantSan,
+    /// Small base certificate + secondary CERTIFICATE frames on
+    /// demand.
+    SecondaryCerts,
+}
+
+/// Wire-cost breakdown of a strategy for one connection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyCost {
+    /// Bytes of certificate material in the TLS handshake itself.
+    pub handshake_cert_bytes: u64,
+    /// Bytes of certificate material sent post-handshake (secondary
+    /// certificate frames).
+    pub post_handshake_bytes: u64,
+    /// Extra TLS record flights in the handshake beyond the first.
+    pub extra_flights: u32,
+    /// Whether real browsers are known to fail on this configuration
+    /// (the `10000-sans.badssl.com` SSL-protocol-error regime).
+    pub browser_breakage_risk: bool,
+}
+
+impl StrategyCost {
+    /// Total certificate bytes moved for the connection.
+    pub fn total_bytes(&self) -> u64 {
+        self.handshake_cert_bytes + self.post_handshake_bytes
+    }
+}
+
+/// Fixed per-certificate overhead a secondary certificate re-transmits
+/// (public key + signature + skeleton) even when it carries one name.
+fn base_cert_bytes(key: KeyType) -> u64 {
+    CertificateBuilder::new(origin_dns::name::name("x.example"))
+        .key_type(key)
+        .build()
+        .wire_size()
+}
+
+/// Price a strategy for a site that needs `needed_names` coalescable
+/// names beyond its base certificate, on an infrastructure hosting
+/// `total_hosted_names` (the giant-cert denominator). `used_fraction`
+/// is the share of secondary scopes a typical connection actually
+/// requests (secondary certs are on-demand).
+pub fn cost(
+    strategy: CertStrategy,
+    base_cert: &Certificate,
+    needed_names: &[DnsName],
+    total_hosted_names: u64,
+    used_fraction: f64,
+) -> StrategyCost {
+    let per_name: u64 = needed_names.iter().map(|n| n.wire_len() as u64 + 2).sum::<u64>()
+        / needed_names.len().max(1) as u64;
+    match strategy {
+        CertStrategy::LeastEffortSan => {
+            let added: u64 = needed_names.iter().map(|n| n.wire_len() as u64 + 2).sum();
+            let size = base_cert.wire_size() + added;
+            StrategyCost {
+                handshake_cert_bytes: size,
+                post_handshake_bytes: 0,
+                extra_flights: extra_flights(size),
+                browser_breakage_risk: false,
+            }
+        }
+        CertStrategy::GiantSan => {
+            // Average name length from the needed set, scaled to the
+            // whole infrastructure.
+            let per = per_name.max(20);
+            let size = base_cert.wire_size() + per * total_hosted_names;
+            StrategyCost {
+                handshake_cert_bytes: size,
+                post_handshake_bytes: 0,
+                extra_flights: extra_flights(size),
+                // Browsers present SSL protocol errors on extreme
+                // certificates (§6.5, 10000-sans.badssl.com).
+                browser_breakage_risk: total_hosted_names >= 5_000,
+            }
+        }
+        CertStrategy::SecondaryCerts => {
+            let base = base_cert.wire_size();
+            // Each used scope costs a complete certificate: skeleton +
+            // key + signature + its names.
+            let scopes = (needed_names.len() as f64 * used_fraction).ceil() as u64;
+            let per_secondary = base_cert_bytes(base_cert.key_type) + per_name;
+            StrategyCost {
+                handshake_cert_bytes: base,
+                post_handshake_bytes: scopes * per_secondary,
+                extra_flights: extra_flights(base),
+                browser_breakage_risk: false,
+            }
+        }
+    }
+}
+
+fn extra_flights(cert_bytes: u64) -> u32 {
+    if cert_bytes == 0 {
+        0
+    } else {
+        ((cert_bytes - 1) / TLS_RECORD_BYTES) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+
+    fn base() -> Certificate {
+        CertificateBuilder::new(name("site.example")).san(name("*.site.example")).build()
+    }
+
+    fn needed() -> Vec<DnsName> {
+        vec![
+            name("cdnjs.cloudflare.com"),
+            name("fonts.gstatic.com"),
+            name("www.google-analytics.com"),
+        ]
+    }
+
+    #[test]
+    fn least_effort_stays_in_one_record() {
+        let c = cost(CertStrategy::LeastEffortSan, &base(), &needed(), 1_000_000, 1.0);
+        assert_eq!(c.extra_flights, 0);
+        assert!(!c.browser_breakage_risk);
+        assert!(c.total_bytes() < TLS_RECORD_BYTES);
+        assert_eq!(c.post_handshake_bytes, 0);
+    }
+
+    #[test]
+    fn giant_san_blows_the_record_budget() {
+        // A CDN hosting a million names cannot ship one certificate
+        // (§4.3: "a single large certificate with all hosted names …
+        // is unreasonable").
+        let c = cost(CertStrategy::GiantSan, &base(), &needed(), 1_000_000, 1.0);
+        assert!(c.extra_flights > 100);
+        assert!(c.browser_breakage_risk);
+        // Even a 1000-name cert exceeds one record.
+        let c = cost(CertStrategy::GiantSan, &base(), &needed(), 1_000, 1.0);
+        assert!(c.extra_flights >= 1, "flights {}", c.extra_flights);
+    }
+
+    #[test]
+    fn secondary_certs_keep_handshake_small_but_pay_per_scope() {
+        let c = cost(CertStrategy::SecondaryCerts, &base(), &needed(), 1_000_000, 1.0);
+        assert_eq!(c.extra_flights, 0, "base handshake stays one record");
+        assert!(c.post_handshake_bytes > 0);
+        // Each secondary carries a full key+signature: more expensive
+        // per name than SAN additions (§6.5's criticism).
+        let san = cost(CertStrategy::LeastEffortSan, &base(), &needed(), 1_000_000, 1.0);
+        let san_added = san.handshake_cert_bytes - base().wire_size();
+        assert!(
+            c.post_handshake_bytes > san_added * 3,
+            "secondary {} vs san-added {san_added}",
+            c.post_handshake_bytes
+        );
+    }
+
+    #[test]
+    fn on_demand_fraction_scales_secondary_cost() {
+        let all = cost(CertStrategy::SecondaryCerts, &base(), &needed(), 0, 1.0);
+        let some = cost(CertStrategy::SecondaryCerts, &base(), &needed(), 0, 0.34);
+        assert!(some.post_handshake_bytes < all.post_handshake_bytes);
+        assert!(some.post_handshake_bytes > 0);
+    }
+
+    #[test]
+    fn crossover_point_exists() {
+        // For small infrastructures a giant SAN is fine; the
+        // crossover where it exceeds one record sits in the hundreds
+        // of names — matching §6.5's observed CA limits (100–2000).
+        let mut crossover = None;
+        for n in (50..3_000).step_by(50) {
+            let c = cost(CertStrategy::GiantSan, &base(), &needed(), n, 1.0);
+            if c.extra_flights > 0 {
+                crossover = Some(n);
+                break;
+            }
+        }
+        let n = crossover.expect("crossover in range");
+        assert!((200..=1_000).contains(&n), "crossover at {n}");
+    }
+}

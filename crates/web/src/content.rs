@@ -1,0 +1,157 @@
+//! Content types (the Table 5 vocabulary).
+
+use serde::Serialize;
+
+/// Subresource content types, covering the paper's Table 5 top-12
+/// plus a catch-all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+pub enum ContentType {
+    /// `application/javascript`.
+    Javascript,
+    /// `image/jpeg`.
+    Jpeg,
+    /// `image/png`.
+    Png,
+    /// `text/html`.
+    Html,
+    /// `image/gif`.
+    Gif,
+    /// `text/css`.
+    Css,
+    /// `text/javascript` (obsolete media type, §3.3 notes Google
+    /// still serves it).
+    TextJavascript,
+    /// `application/json`.
+    Json,
+    /// `application/x-javascript` (another legacy JS type).
+    XJavascript,
+    /// `font/woff2`.
+    Woff2,
+    /// `image/webp`.
+    Webp,
+    /// `text/plain`.
+    Plain,
+    /// Everything else.
+    Other,
+}
+
+impl ContentType {
+    /// The MIME string, matching Table 5 rows.
+    pub fn mime(self) -> &'static str {
+        match self {
+            ContentType::Javascript => "application/javascript",
+            ContentType::Jpeg => "image/jpeg",
+            ContentType::Png => "image/png",
+            ContentType::Html => "text/html",
+            ContentType::Gif => "image/gif",
+            ContentType::Css => "text/css",
+            ContentType::TextJavascript => "text/javascript",
+            ContentType::Json => "application/json",
+            ContentType::XJavascript => "application/x-javascript",
+            ContentType::Woff2 => "font/woff2",
+            ContentType::Webp => "image/webp",
+            ContentType::Plain => "text/plain",
+            ContentType::Other => "application/octet-stream",
+        }
+    }
+
+    /// Is this type render-blocking when referenced from the document
+    /// head (scripts and stylesheets block parsing; images don't)?
+    pub fn is_render_blocking(self) -> bool {
+        matches!(
+            self,
+            ContentType::Javascript
+                | ContentType::TextJavascript
+                | ContentType::XJavascript
+                | ContentType::Css
+        )
+    }
+
+    /// Is this a script type (any of the three JS MIME spellings)?
+    pub fn is_script(self) -> bool {
+        matches!(
+            self,
+            ContentType::Javascript | ContentType::TextJavascript | ContentType::XJavascript
+        )
+    }
+
+    /// Is this a font type? Fonts are fetched CORS-anonymously per
+    /// the CSS font-fetch rules — the §5.3 coalescing obstruction.
+    pub fn is_font(self) -> bool {
+        matches!(self, ContentType::Woff2)
+    }
+
+    /// Typical transfer size in bytes (median-ish, used by generators
+    /// as the log-normal median).
+    pub fn typical_size(self) -> u64 {
+        match self {
+            ContentType::Javascript | ContentType::TextJavascript | ContentType::XJavascript => {
+                22_000
+            }
+            ContentType::Jpeg => 45_000,
+            ContentType::Png => 18_000,
+            ContentType::Html => 14_000,
+            ContentType::Gif => 2_500,
+            ContentType::Css => 12_000,
+            ContentType::Json => 3_000,
+            ContentType::Woff2 => 20_000,
+            ContentType::Webp => 30_000,
+            ContentType::Plain => 1_500,
+            ContentType::Other => 8_000,
+        }
+    }
+
+    /// The Table 5 top-12 in paper order (most- to least-requested).
+    pub fn table5() -> &'static [ContentType] {
+        &[
+            ContentType::Javascript,
+            ContentType::Jpeg,
+            ContentType::Png,
+            ContentType::Html,
+            ContentType::Gif,
+            ContentType::Css,
+            ContentType::TextJavascript,
+            ContentType::Json,
+            ContentType::XJavascript,
+            ContentType::Woff2,
+            ContentType::Webp,
+            ContentType::Plain,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mimes_match_table5() {
+        assert_eq!(ContentType::Javascript.mime(), "application/javascript");
+        assert_eq!(ContentType::TextJavascript.mime(), "text/javascript");
+        assert_eq!(ContentType::Woff2.mime(), "font/woff2");
+        assert_eq!(ContentType::table5().len(), 12);
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(ContentType::Javascript.is_render_blocking());
+        assert!(ContentType::Css.is_render_blocking());
+        assert!(!ContentType::Jpeg.is_render_blocking());
+        assert!(!ContentType::Woff2.is_render_blocking());
+    }
+
+    #[test]
+    fn script_and_font_helpers() {
+        assert!(ContentType::XJavascript.is_script());
+        assert!(!ContentType::Json.is_script());
+        assert!(ContentType::Woff2.is_font());
+        assert!(!ContentType::Css.is_font());
+    }
+
+    #[test]
+    fn sizes_positive() {
+        for ct in ContentType::table5() {
+            assert!(ct.typical_size() > 0);
+        }
+    }
+}

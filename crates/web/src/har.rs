@@ -1,0 +1,266 @@
+//! HAR-style request timelines.
+//!
+//! Times are fractional milliseconds from navigation start, matching
+//! the HTTP Archive format the paper's WebPageTest collection
+//! produced. A [`RequestTiming`] carries the phase breakdown the §4.1
+//! reconstruction edits; a [`PageLoad`] is one page's full record.
+
+use crate::page::Protocol;
+use origin_dns::DnsName;
+use serde::Serialize;
+use std::net::IpAddr;
+
+/// The HAR phases of one request, as durations in milliseconds.
+///
+/// `dns`, `connect` and `ssl` are zero for requests that reused a
+/// connection — exactly the phases the paper's model removes when a
+/// request is coalescable.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct Phase {
+    /// Queueing/blocked time before the request could be dispatched.
+    pub blocked: f64,
+    /// DNS resolution time (0 when cached or coalesced).
+    pub dns: f64,
+    /// TCP connect time (0 when reused).
+    pub connect: f64,
+    /// TLS handshake time (0 when reused).
+    pub ssl: f64,
+    /// Time writing the request.
+    pub send: f64,
+    /// Server think time to first byte.
+    pub wait: f64,
+    /// Body download time.
+    pub receive: f64,
+}
+
+impl Phase {
+    /// Total request duration.
+    pub fn total(&self) -> f64 {
+        self.blocked + self.dns + self.connect + self.ssl + self.send + self.wait + self.receive
+    }
+
+    /// The setup cost a coalesced request avoids (dns+connect+ssl).
+    pub fn setup(&self) -> f64 {
+        self.dns + self.connect + self.ssl
+    }
+}
+
+/// One request's record in a page load.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RequestTiming {
+    /// Index into the page's resource list.
+    pub resource_index: usize,
+    /// Hostname requested.
+    pub host: DnsName,
+    /// Destination IP the connection used.
+    pub ip: IpAddr,
+    /// Origin AS of the destination IP.
+    pub asn: u32,
+    /// Start time (ms from navigation start).
+    pub start: f64,
+    /// Phase durations.
+    pub phase: Phase,
+    /// Whether this request performed a DNS query on the network.
+    pub did_dns: bool,
+    /// Whether this request opened a new TCP+TLS connection (and so
+    /// validated a certificate).
+    pub new_connection: bool,
+    /// Whether the request was coalesced onto an existing connection
+    /// for a *different* hostname (connection reuse for the same
+    /// hostname is ordinary keep-alive, not coalescing).
+    pub coalesced: bool,
+    /// Application protocol.
+    pub protocol: Protocol,
+    /// Issuer of the certificate validated on this connection (only
+    /// set when `new_connection`).
+    pub cert_issuer: Option<String>,
+    /// Whether the request went over HTTPS.
+    pub secure: bool,
+    /// Extra connections opened by client races (happy-eyeballs
+    /// duplicates, speculative pre-connects) attributed to this
+    /// request — §4.2's "race conditions … make multiple connections
+    /// for the same sets of resources".
+    pub extra_connections: u8,
+    /// Extra DNS queries from the same race behaviour.
+    pub extra_dns: u8,
+}
+
+impl RequestTiming {
+    /// End time (ms).
+    pub fn end(&self) -> f64 {
+        self.start + self.phase.total()
+    }
+}
+
+/// One full page-load record: the HAR-equivalent for our model.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PageLoad {
+    /// Tranco rank of the page.
+    pub rank: u32,
+    /// Root hostname.
+    pub root_host: DnsName,
+    /// Per-request records in dispatch order.
+    pub requests: Vec<RequestTiming>,
+}
+
+impl PageLoad {
+    /// Page load time: the latest request end (ms).
+    pub fn plt(&self) -> f64 {
+        self.requests.iter().map(|r| r.end()).fold(0.0, f64::max)
+    }
+
+    /// Number of network DNS queries (including race duplicates).
+    pub fn dns_queries(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|r| r.did_dns as u64 + r.extra_dns as u64)
+            .sum()
+    }
+
+    /// Number of new TLS connections (= certificate validations),
+    /// including race duplicates; plain-HTTP connections don't count.
+    pub fn tls_connections(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|r| {
+                if r.secure {
+                    r.new_connection as u64 + r.extra_connections as u64
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Number of requests (including the root document).
+    pub fn request_count(&self) -> u64 {
+        self.requests.len() as u64
+    }
+
+    /// Distinct destination ASes touched (Figure 1's x-axis).
+    pub fn distinct_ases(&self) -> u64 {
+        let mut ases: Vec<u32> = self.requests.iter().map(|r| r.asn).collect();
+        ases.sort_unstable();
+        ases.dedup();
+        ases.len() as u64
+    }
+
+    /// Requests that were coalesced onto a connection opened for a
+    /// different hostname.
+    pub fn coalesced_requests(&self) -> u64 {
+        self.requests.iter().filter(|r| r.coalesced).count() as u64
+    }
+
+    /// New TLS connections made to a specific host (the §5 active
+    /// measurement: "# new connections to subresource; 0 =
+    /// coalescing").
+    pub fn new_connections_to(&self, host: &DnsName) -> u64 {
+        self.requests
+            .iter()
+            .filter(|r| &r.host == host)
+            .map(|r| r.new_connection as u64 + r.extra_connections as u64)
+            .sum()
+    }
+
+    /// Serialize to pretty JSON (HAR-adjacent export).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PageLoad serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+    use std::net::Ipv4Addr;
+
+    fn t(
+        idx: usize,
+        host: &str,
+        start: f64,
+        dns: f64,
+        connect: f64,
+        receive: f64,
+        asn: u32,
+    ) -> RequestTiming {
+        RequestTiming {
+            resource_index: idx,
+            host: name(host),
+            ip: IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1)),
+            asn,
+            start,
+            phase: Phase {
+                blocked: 1.0,
+                dns,
+                connect,
+                ssl: connect / 2.0,
+                send: 0.5,
+                wait: 20.0,
+                receive,
+                ..Default::default()
+            },
+            did_dns: dns > 0.0,
+            new_connection: connect > 0.0,
+            coalesced: false,
+            protocol: Protocol::H2,
+            cert_issuer: None,
+            secure: true,
+            extra_connections: 0,
+            extra_dns: 0,
+        }
+    }
+
+    fn load() -> PageLoad {
+        PageLoad {
+            rank: 1,
+            root_host: name("www.example.com"),
+            requests: vec![
+                t(0, "www.example.com", 0.0, 15.0, 40.0, 30.0, 100),
+                t(1, "static.example.com", 90.0, 12.0, 40.0, 10.0, 100),
+                t(2, "fonts.cdnhost.com", 95.0, 18.0, 40.0, 5.0, 200),
+            ],
+        }
+    }
+
+    #[test]
+    fn phase_totals() {
+        let p = Phase { blocked: 1.0, dns: 2.0, connect: 3.0, ssl: 4.0, send: 5.0, wait: 6.0, receive: 7.0 };
+        assert_eq!(p.total(), 28.0);
+        assert_eq!(p.setup(), 9.0);
+    }
+
+    #[test]
+    fn plt_is_latest_end() {
+        let l = load();
+        let ends: Vec<f64> = l.requests.iter().map(|r| r.end()).collect();
+        assert_eq!(l.plt(), ends.iter().cloned().fold(0.0, f64::max));
+        assert!(l.plt() > 90.0);
+    }
+
+    #[test]
+    fn counters() {
+        let l = load();
+        assert_eq!(l.dns_queries(), 3);
+        assert_eq!(l.tls_connections(), 3);
+        assert_eq!(l.request_count(), 3);
+        assert_eq!(l.distinct_ases(), 2);
+        assert_eq!(l.coalesced_requests(), 0);
+        assert_eq!(l.new_connections_to(&name("fonts.cdnhost.com")), 1);
+        assert_eq!(l.new_connections_to(&name("missing.example")), 0);
+    }
+
+    #[test]
+    fn json_export_has_fields() {
+        let j = load().to_json();
+        assert!(j.contains("\"rank\""));
+        assert!(j.contains("fonts.cdnhost.com"));
+        assert!(j.contains("\"dns\""));
+    }
+
+    #[test]
+    fn empty_page_plt_zero() {
+        let l = PageLoad { rank: 1, root_host: name("a.com"), requests: vec![] };
+        assert_eq!(l.plt(), 0.0);
+        assert_eq!(l.distinct_ases(), 0);
+    }
+}

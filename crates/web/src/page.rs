@@ -1,0 +1,301 @@
+//! Pages and their resource dependency trees.
+
+use crate::content::ContentType;
+use origin_dns::DnsName;
+use serde::Serialize;
+
+/// Application protocol a request was served over (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Protocol {
+    /// HTTP/2.
+    H2,
+    /// HTTP/1.1.
+    H11,
+    /// HTTP/3 (pre-standard Google draft, "h3-Q050").
+    H3Q050,
+    /// QUIC (gQUIC).
+    Quic,
+    /// HTTP/1.0.
+    H10,
+    /// HTTP/0.9.
+    H09,
+    /// Protocol not recorded (failed/aborted requests).
+    NA,
+}
+
+impl Protocol {
+    /// Display string matching Table 3 rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::H2 => "HTTP/2",
+            Protocol::H11 => "HTTP/1.1",
+            Protocol::H3Q050 => "H3-Q050",
+            Protocol::Quic => "QUIC",
+            Protocol::H10 => "HTTP/1.0",
+            Protocol::H09 => "HTTP/0.9",
+            Protocol::NA => "N/A",
+        }
+    }
+
+    /// Can connections carrying this protocol be coalesced at all?
+    /// Only HTTP/2 supports coalescing + ORIGIN (§6.6: HTTP/3 has no
+    /// ORIGIN standard yet).
+    pub fn supports_coalescing(self) -> bool {
+        matches!(self, Protocol::H2)
+    }
+}
+
+/// How a subresource is fetched; decides CORS behaviour.
+///
+/// The paper found (§5.3) that subresources requested with
+/// `crossorigin=anonymous` or via `XMLHttpRequest`/`fetch` did not
+/// coalesce in Firefox, capping the measured reduction near 50%.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum FetchMode {
+    /// Plain element fetch (img, script without crossorigin, link).
+    Normal,
+    /// CORS-anonymous fetch (fonts, `crossorigin=anonymous` scripts).
+    CorsAnonymous,
+    /// Programmatic XHR / `fetch()` request.
+    XhrFetch,
+}
+
+impl FetchMode {
+    /// Whether Firefox's implementation coalesces this fetch onto an
+    /// ORIGIN-advertised connection (the §5.3 observation: anonymous
+    /// and programmatic fetches use a separate, uncoalesced pool).
+    pub fn firefox_coalescible(self) -> bool {
+        matches!(self, FetchMode::Normal)
+    }
+}
+
+/// One resource in a page: where it lives, what it is, and which
+/// earlier resource discovered it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Resource {
+    /// Hostname serving the resource.
+    pub host: DnsName,
+    /// URL path.
+    pub path: String,
+    /// Content type.
+    pub content_type: ContentType,
+    /// Transfer size in bytes.
+    pub size: u64,
+    /// Index (into the page's resource list) of the resource whose
+    /// parsing discovered this one; `None` for resources referenced
+    /// directly by the root document. The root itself uses `None`.
+    pub discovered_by: Option<usize>,
+    /// Fetch mode (CORS behaviour).
+    pub fetch_mode: FetchMode,
+    /// Protocol the origin negotiates for this resource.
+    pub protocol: Protocol,
+    /// Whether the request is HTTPS (Table 3: 98.53% secure).
+    pub secure: bool,
+}
+
+impl Resource {
+    /// A plain HTTPS HTTP/2 resource.
+    pub fn new(host: DnsName, path: &str, content_type: ContentType, size: u64) -> Self {
+        Resource {
+            host,
+            path: path.to_string(),
+            content_type,
+            size,
+            discovered_by: None,
+            fetch_mode: FetchMode::Normal,
+            protocol: Protocol::H2,
+            secure: true,
+        }
+    }
+
+    /// Set the discovering parent.
+    pub fn discovered_by(mut self, parent: usize) -> Self {
+        self.discovered_by = Some(parent);
+        self
+    }
+
+    /// Set the fetch mode.
+    pub fn fetch_mode(mut self, mode: FetchMode) -> Self {
+        self.fetch_mode = mode;
+        self
+    }
+
+    /// Full URL string.
+    pub fn url(&self) -> String {
+        let scheme = if self.secure { "https" } else { "http" };
+        format!("{scheme}://{}{}", self.host, self.path)
+    }
+}
+
+/// A web page: the root document plus its subresources.
+///
+/// Resource 0 is always the root HTML document; `discovered_by`
+/// indices form a forest rooted there (an index must be smaller than
+/// the referring resource's own index, so iteration order is a valid
+/// discovery order).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Page {
+    /// Tranco-style popularity rank (1 = most popular).
+    pub rank: u32,
+    /// The site's root document host.
+    pub root_host: DnsName,
+    /// Resources; index 0 is the root document.
+    pub resources: Vec<Resource>,
+}
+
+impl Page {
+    /// Create a page with its root document resource.
+    pub fn new(rank: u32, root_host: DnsName, root_size: u64) -> Self {
+        let root = Resource::new(root_host.clone(), "/", ContentType::Html, root_size);
+        Page { rank, root_host, resources: vec![root] }
+    }
+
+    /// Append a subresource; returns its index.
+    ///
+    /// # Panics
+    /// Panics if `discovered_by` points at itself or a later index.
+    pub fn push(&mut self, resource: Resource) -> usize {
+        let idx = self.resources.len();
+        if let Some(parent) = resource.discovered_by {
+            assert!(parent < idx, "resource {idx} discovered by later resource {parent}");
+        }
+        self.resources.push(resource);
+        idx
+    }
+
+    /// Number of subresource requests (excludes the root document).
+    pub fn subrequest_count(&self) -> usize {
+        self.resources.len() - 1
+    }
+
+    /// Distinct hostnames across all resources.
+    pub fn distinct_hosts(&self) -> Vec<&DnsName> {
+        let mut hosts: Vec<&DnsName> = self.resources.iter().map(|r| &r.host).collect();
+        hosts.sort();
+        hosts.dedup();
+        hosts
+    }
+
+    /// The children of resource `idx` in discovery order.
+    pub fn children_of(&self, idx: usize) -> Vec<usize> {
+        self.resources
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                *i != 0
+                    && match r.discovered_by {
+                        Some(p) => p == idx,
+                        // Root-referenced resources are children of 0.
+                        None => idx == 0 && *i != 0,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Discovery depth of a resource (root = 0; root-referenced
+    /// subresources = 1).
+    pub fn depth_of(&self, idx: usize) -> usize {
+        let mut depth = 0;
+        let mut cursor = idx;
+        while let Some(parent) = self.resources[cursor].discovered_by {
+            depth += 1;
+            cursor = parent;
+            debug_assert!(depth <= self.resources.len(), "discovery cycle");
+        }
+        // The walk ends at the root (cursor 0) or at a root-referenced
+        // resource whose implicit parent is the root document.
+        if cursor != 0 {
+            depth += 1;
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+
+    fn page() -> Page {
+        let mut p = Page::new(1, name("www.example.com"), 14_000);
+        let css = p.push(Resource::new(
+            name("static.example.com"),
+            "/css/style.css",
+            ContentType::Css,
+            12_000,
+        ));
+        p.push(
+            Resource::new(name("fonts.cdnhost.com"), "/fonts/arial.woff", ContentType::Woff2, 20_000)
+                .discovered_by(css)
+                .fetch_mode(FetchMode::CorsAnonymous),
+        );
+        p.push(Resource::new(
+            name("static.example.com"),
+            "/js/jquery.js",
+            ContentType::Javascript,
+            30_000,
+        ));
+        p
+    }
+
+    #[test]
+    fn root_is_resource_zero() {
+        let p = page();
+        assert_eq!(p.resources[0].content_type, ContentType::Html);
+        assert_eq!(p.resources[0].path, "/");
+        assert_eq!(p.subrequest_count(), 3);
+    }
+
+    #[test]
+    fn distinct_hosts_deduped() {
+        let p = page();
+        let hosts = p.distinct_hosts();
+        assert_eq!(hosts.len(), 3);
+    }
+
+    #[test]
+    fn children_and_depth() {
+        let p = page();
+        // css (1) and jquery (3) are root-referenced; font (2) is a
+        // child of css.
+        assert_eq!(p.children_of(0), vec![1, 3]);
+        assert_eq!(p.children_of(1), vec![2]);
+        assert_eq!(p.depth_of(0), 0);
+        assert_eq!(p.depth_of(1), 1);
+        assert_eq!(p.depth_of(2), 2);
+        assert_eq!(p.depth_of(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "discovered by later")]
+    fn forward_reference_panics() {
+        let mut p = Page::new(1, name("a.com"), 1_000);
+        p.push(Resource::new(name("b.com"), "/x", ContentType::Css, 10).discovered_by(5));
+    }
+
+    #[test]
+    fn url_formatting() {
+        let r = Resource::new(name("a.com"), "/x.js", ContentType::Javascript, 10);
+        assert_eq!(r.url(), "https://a.com/x.js");
+        let mut r2 = r.clone();
+        r2.secure = false;
+        assert_eq!(r2.url(), "http://a.com/x.js");
+    }
+
+    #[test]
+    fn fetch_mode_coalescibility() {
+        assert!(FetchMode::Normal.firefox_coalescible());
+        assert!(!FetchMode::CorsAnonymous.firefox_coalescible());
+        assert!(!FetchMode::XhrFetch.firefox_coalescible());
+    }
+
+    #[test]
+    fn protocol_labels_and_coalescing() {
+        assert_eq!(Protocol::H2.label(), "HTTP/2");
+        assert_eq!(Protocol::H3Q050.label(), "H3-Q050");
+        assert!(Protocol::H2.supports_coalescing());
+        assert!(!Protocol::H11.supports_coalescing());
+        assert!(!Protocol::H3Q050.supports_coalescing());
+    }
+}

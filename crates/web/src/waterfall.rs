@@ -1,0 +1,168 @@
+//! Text waterfall rendering (Figure 2).
+//!
+//! Renders a [`PageLoad`] as an aligned ASCII waterfall so the
+//! Figure 2 before/after comparison can be printed by the `repro`
+//! harness and the `waterfall` example.
+
+use crate::har::PageLoad;
+
+/// Glyphs used for the phase bars.
+const GLYPH_BLOCKED: char = '░';
+const GLYPH_DNS: char = 'D';
+const GLYPH_CONNECT: char = 'C';
+const GLYPH_SEND_WAIT: char = '▒';
+const GLYPH_RECEIVE: char = '█';
+
+/// Render a waterfall, `width` columns for the time axis.
+pub fn render(load: &PageLoad, width: usize) -> String {
+    let plt = load.plt().max(1.0);
+    let scale = width as f64 / plt;
+    let label_w = load
+        .requests
+        .iter()
+        .map(|r| r.host.as_str().len())
+        .max()
+        .unwrap_or(0)
+        .max(8);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:label_w$}  0ms{:>pad$}\n",
+        "host",
+        format!("{:.0}ms", plt),
+        pad = width
+    ));
+    for r in &load.requests {
+        let mut bar = String::new();
+        let col = |ms: f64| (ms * scale).round() as usize;
+        let start = col(r.start);
+        bar.extend(std::iter::repeat(' ').take(start));
+        let mut push_seg = |dur: f64, glyph: char| {
+            let n = col(dur).max(if dur > 0.0 { 1 } else { 0 });
+            bar.extend(std::iter::repeat(glyph).take(n));
+        };
+        push_seg(r.phase.blocked, GLYPH_BLOCKED);
+        push_seg(r.phase.dns, GLYPH_DNS);
+        push_seg(r.phase.connect + r.phase.ssl, GLYPH_CONNECT);
+        push_seg(r.phase.send + r.phase.wait, GLYPH_SEND_WAIT);
+        push_seg(r.phase.receive, GLYPH_RECEIVE);
+        let marker = if r.coalesced {
+            " (coalesced)"
+        } else if r.new_connection {
+            ""
+        } else {
+            " (reused)"
+        };
+        out.push_str(&format!("{:label_w$}  {bar}{marker}\n", r.host.as_str()));
+    }
+    out.push_str(&format!(
+        "PLT {:.1}ms | {} requests | {} DNS | {} TLS | {} coalesced\n",
+        load.plt(),
+        load.request_count(),
+        load.dns_queries(),
+        load.tls_connections(),
+        load.coalesced_requests()
+    ));
+    out
+}
+
+/// Render two waterfalls (measured vs reconstructed) side by side
+/// vertically, with a delta line — the Figure 2 presentation.
+pub fn render_comparison(before: &PageLoad, after: &PageLoad, width: usize) -> String {
+    let mut out = String::new();
+    out.push_str("== measured ==\n");
+    out.push_str(&render(before, width));
+    out.push_str("\n== reconstructed (coalesced) ==\n");
+    out.push_str(&render(after, width));
+    let saved = before.plt() - after.plt();
+    out.push_str(&format!(
+        "\ntime saved: {saved:.1}ms ({:.1}%)\n",
+        saved / before.plt().max(1.0) * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::har::{Phase, RequestTiming};
+    use crate::page::Protocol;
+    use origin_dns::name::name;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn load() -> PageLoad {
+        PageLoad {
+            rank: 1,
+            root_host: name("www.example.com"),
+            requests: vec![
+                RequestTiming {
+                    resource_index: 0,
+                    host: name("www.example.com"),
+                    ip: IpAddr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+                    asn: 13335,
+                    start: 0.0,
+                    phase: Phase {
+                        dns: 15.0,
+                        connect: 20.0,
+                        ssl: 20.0,
+                        wait: 30.0,
+                        receive: 15.0,
+                        ..Default::default()
+                    },
+                    did_dns: true,
+                    new_connection: true,
+                    coalesced: false,
+                    protocol: Protocol::H2,
+                    cert_issuer: None,
+                    secure: true,
+                    extra_connections: 0,
+                    extra_dns: 0,
+                },
+                RequestTiming {
+                    resource_index: 1,
+                    host: name("static.example.com"),
+                    ip: IpAddr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+                    asn: 13335,
+                    start: 100.0,
+                    phase: Phase { wait: 20.0, receive: 10.0, ..Default::default() },
+                    did_dns: false,
+                    new_connection: false,
+                    coalesced: true,
+                    protocol: Protocol::H2,
+                    cert_issuer: None,
+                    secure: true,
+                    extra_connections: 0,
+                    extra_dns: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_contains_hosts_and_summary() {
+        let r = render(&load(), 60);
+        assert!(r.contains("www.example.com"));
+        assert!(r.contains("static.example.com"));
+        assert!(r.contains("(coalesced)"));
+        assert!(r.contains("PLT"));
+        assert!(r.contains('D'), "dns glyph present");
+        assert!(r.contains('C'), "connect glyph present");
+    }
+
+    #[test]
+    fn comparison_reports_savings() {
+        let before = load();
+        let mut after = load();
+        after.requests[1].start = 60.0;
+        let r = render_comparison(&before, &after, 40);
+        assert!(r.contains("time saved"));
+        assert!(r.contains("measured"));
+        assert!(r.contains("reconstructed"));
+    }
+
+    #[test]
+    fn empty_load_renders() {
+        let l = PageLoad { rank: 1, root_host: name("a.com"), requests: vec![] };
+        let r = render(&l, 40);
+        assert!(r.contains("PLT 0.0ms"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic web universe and Tranco-like dataset generator.
+//!
+//! The paper's dataset — 315,796 successfully crawled pages from the
+//! Tranco top-500K — is not redistributable, so this crate generates
+//! a *statistically matched* synthetic universe instead (DESIGN.md
+//! §2 records the substitution argument):
+//!
+//! - an AS/provider topology whose request-share concentration matches
+//!   Table 2 (top-10 ASes ≈ 64% of requests, ~51 ASes for 80%);
+//! - a third-party service catalog matching Table 7's top subresource
+//!   hostnames and Table 9's provider groupings;
+//! - per-site certificates whose SAN-size distribution matches
+//!   Table 8's measured column and whose issuer mix matches Table 4;
+//! - per-page resource trees whose request counts, content types
+//!   (Tables 5–6), protocol mix (Table 3), sharding and AS spread
+//!   (Figure 1) match the published marginals.
+//!
+//! Everything is generated deterministically from a seed: the same
+//! [`DatasetConfig`] always yields byte-identical pages, and pages
+//! are materialized lazily so half-million-site datasets don't need
+//! half a million resident HARs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dist;
+pub mod services;
+pub mod universe;
+
+pub use dataset::{Dataset, DatasetConfig, SiteConfig};
+pub use services::{ServiceDef, SERVICES};
+pub use universe::{ProviderDef, Universe, PROVIDERS};

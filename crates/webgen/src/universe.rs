@@ -1,0 +1,276 @@
+//! The provider/AS topology and per-host network state.
+
+use crate::services::SERVICES;
+use origin_dns::record::{v4, RecordSet, Rotation};
+use origin_dns::{DnsName, ZoneSet};
+use origin_netsim::SimRng;
+use origin_tls::{Certificate, CertificateAuthority, CtLogSet, KnownIssuer};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// A hosting/CDN provider in the synthetic topology.
+#[derive(Debug, Clone, Copy)]
+pub struct ProviderDef {
+    /// Organization name (Table 2 vocabulary).
+    pub org: &'static str,
+    /// Autonomous system number.
+    pub asn: u32,
+    /// First octet of the provider's synthetic /8 (for IP→AS
+    /// attribution).
+    pub net: u8,
+    /// Default certificate issuer for sites hosted here.
+    pub issuer: KnownIssuer,
+    /// Fraction of sites hosted by this provider (Table 9: Cloudflare
+    /// 24.74%, Amazon 7.75%, Google 5.09%, …). Zero for pure
+    /// third-party-only ASes like Facebook.
+    pub hosting_share: f64,
+}
+
+/// The top-10 destination ASes of Table 2 (plus their Table 9 hosting
+/// shares). Tail ASes are generated on top of these.
+pub const PROVIDERS: [ProviderDef; 10] = [
+    ProviderDef { org: "Google", asn: 15169, net: 8, issuer: KnownIssuer::GoogleTrustServices, hosting_share: 0.0509 },
+    ProviderDef { org: "Cloudflare", asn: 13335, net: 104, issuer: KnownIssuer::CloudflareEcc, hosting_share: 0.2474 },
+    ProviderDef { org: "Amazon 02", asn: 16509, net: 52, issuer: KnownIssuer::Amazon, hosting_share: 0.0775 },
+    ProviderDef { org: "Amazon AES", asn: 14618, net: 54, issuer: KnownIssuer::Amazon, hosting_share: 0.022 },
+    ProviderDef { org: "Fastly", asn: 54113, net: 151, issuer: KnownIssuer::DigiCertHighAssurance, hosting_share: 0.030 },
+    ProviderDef { org: "Akamai AS", asn: 16625, net: 23, issuer: KnownIssuer::DigiCertSecureServer, hosting_share: 0.024 },
+    ProviderDef { org: "Facebook", asn: 32934, net: 157, issuer: KnownIssuer::DigiCertHighAssurance, hosting_share: 0.0 },
+    ProviderDef { org: "Akamai Intl. B.V.", asn: 20940, net: 92, issuer: KnownIssuer::DigiCertSecureServer, hosting_share: 0.012 },
+    ProviderDef { org: "OVH SAS", asn: 16276, net: 141, issuer: KnownIssuer::LetsEncrypt, hosting_share: 0.028 },
+    ProviderDef { org: "Hetzner Online GmbH", asn: 24940, net: 88, issuer: KnownIssuer::LetsEncrypt, hosting_share: 0.024 },
+];
+
+/// Number of synthetic tail ASes (small hosts, regional ISPs,
+/// universities) beyond the named providers. The paper observed
+/// 13,316 distinct ASes; the tail here is scaled down but preserves
+/// the concentration shape (top-10 ≈ 64% of requests).
+pub const TAIL_AS_COUNT: u32 = 400;
+
+/// ASN assigned to tail AS index `i`.
+pub fn tail_asn(i: u32) -> u32 {
+    60_000 + i
+}
+
+/// The shared network state of the synthetic web: DNS zones, server
+/// certificates, IP→AS attribution, and per-host provider mapping.
+pub struct Universe {
+    /// Authoritative DNS for everything.
+    pub zones: ZoneSet,
+    certs: HashMap<DnsName, Certificate>,
+    ip_asn: HashMap<IpAddr, u32>,
+    host_asn: HashMap<DnsName, u32>,
+    cas: HashMap<KnownIssuer, CertificateAuthority>,
+    /// Shared front-end (anycast/VIP) address pools per provider AS.
+    /// Big CDNs terminate many hostnames on few addresses — the
+    /// phenomenon that makes IP-based coalescing possible at all and
+    /// that §5.2's single-address alignment exploits deliberately.
+    vip_pools: HashMap<u32, Vec<IpAddr>>,
+    /// CT logs receiving all issuance.
+    pub ct_logs: CtLogSet,
+}
+
+impl Universe {
+    /// An empty universe with the service catalog's hosts registered.
+    pub fn new(rng: &mut SimRng) -> Self {
+        let mut u = Universe {
+            zones: ZoneSet::new(),
+            certs: HashMap::new(),
+            ip_asn: HashMap::new(),
+            host_asn: HashMap::new(),
+            cas: HashMap::new(),
+            vip_pools: HashMap::new(),
+            ct_logs: CtLogSet::default_operators(),
+        };
+        u.register_services(rng);
+        u
+    }
+
+    /// Allocate an IP inside a provider's /8 and record its AS.
+    pub fn alloc_ip(&mut self, net: u8, asn: u32, rng: &mut SimRng) -> IpAddr {
+        loop {
+            let ip = v4(
+                net,
+                rng.range_u64(0, 256) as u8,
+                rng.range_u64(0, 256) as u8,
+                rng.range_u64(1, 255) as u8,
+            );
+            if !self.ip_asn.contains_key(&ip) {
+                self.ip_asn.insert(ip, asn);
+                return ip;
+            }
+        }
+    }
+
+    /// Number of shared front-end addresses per provider pool.
+    pub const VIP_POOL_SIZE: usize = 24;
+
+    /// Draw an address from a provider's shared front-end pool
+    /// (created on first use). Distinct hostnames on the same provider
+    /// frequently land on the same VIP.
+    pub fn provider_vip(&mut self, net: u8, asn: u32, rng: &mut SimRng) -> IpAddr {
+        if !self.vip_pools.contains_key(&asn) {
+            let pool: Vec<IpAddr> =
+                (0..Self::VIP_POOL_SIZE).map(|_| self.alloc_ip(net, asn, rng)).collect();
+            self.vip_pools.insert(asn, pool);
+        }
+        *rng.choose(&self.vip_pools[&asn])
+    }
+
+    /// The origin AS of an address (0 if unknown).
+    pub fn asn_of_ip(&self, ip: &IpAddr) -> u32 {
+        self.ip_asn.get(ip).copied().unwrap_or(0)
+    }
+
+    /// The AS serving a hostname (0 if unknown).
+    pub fn asn_of_host(&self, host: &DnsName) -> u32 {
+        self.host_asn.get(host).copied().unwrap_or(0)
+    }
+
+    /// The certificate a server presents for connections to `host`.
+    /// Falls back through parent domains so sharded subdomains find
+    /// their site certificate.
+    pub fn cert_for(&self, host: &DnsName) -> Option<&Certificate> {
+        if let Some(c) = self.certs.get(host) {
+            return Some(c);
+        }
+        let mut cursor = host.parent();
+        while let Some(parent) = cursor {
+            if let Some(c) = self.certs.get(&parent) {
+                return Some(c);
+            }
+            cursor = parent.parent();
+        }
+        None
+    }
+
+    /// Replace the certificate presented for `host` (the §5 reissue
+    /// path).
+    pub fn set_cert(&mut self, host: DnsName, cert: Certificate) {
+        self.certs.insert(host, cert);
+    }
+
+    /// Register a host: DNS records plus AS attribution.
+    pub fn register_host(
+        &mut self,
+        host: DnsName,
+        addresses: Vec<IpAddr>,
+        asn: u32,
+        rotation: Rotation,
+    ) {
+        let rs = RecordSet::new(addresses, 300).with_rotation(rotation);
+        self.zones.insert(host.clone(), rs);
+        self.host_asn.insert(host, asn);
+    }
+
+    /// Issue a certificate from a provider's CA, logging to CT.
+    pub fn issue_cert(
+        &mut self,
+        issuer: KnownIssuer,
+        subject: DnsName,
+        extra_sans: &[DnsName],
+    ) -> Certificate {
+        let ca = self
+            .cas
+            .entry(issuer)
+            .or_insert_with(|| CertificateAuthority::new(issuer));
+        ca.issue(subject, extra_sans, 0, &mut self.ct_logs)
+            .expect("generator stays within SAN limits")
+    }
+
+    /// Total certificates issued across all CAs.
+    pub fn certs_issued(&self) -> u64 {
+        self.cas.values().map(|ca| ca.issued_count()).sum()
+    }
+
+    /// Register the fixed third-party service catalog: every service
+    /// hostname gets 2–4 addresses in its provider's space, wildcard
+    /// DNS coverage, and a provider-issued certificate (services are
+    /// professionally operated; their own certs are in order).
+    fn register_services(&mut self, rng: &mut SimRng) {
+        // Group service hosts by their certificate parent so services
+        // sharing a cert (e.g. *.googlesyndication.com) get one.
+        for svc in SERVICES.iter() {
+            let provider = &PROVIDERS[svc.provider];
+            let host = origin_dns::name::name(svc.host);
+            let n_addrs = 2 + (rng.range_u64(0, 3) as usize);
+            let addrs: Vec<IpAddr> = (0..n_addrs)
+                .map(|_| self.provider_vip(provider.net, provider.asn, rng))
+                .collect();
+            // Services rotate answers (load balancing) — the behaviour
+            // that defeats Chromium's strict IP matching (§2.3).
+            self.register_host(host.clone(), addrs, provider.asn, Rotation::RoundRobin);
+            let cert = self.issue_cert(
+                provider.issuer,
+                host.clone(),
+                &[origin_dns::name::name(&format!("*.{}", host.registrable()))],
+            );
+            self.set_cert(host, cert);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_dns::name::name;
+
+    fn universe() -> (Universe, SimRng) {
+        let mut rng = SimRng::seed_from_u64(0x0516);
+        let u = Universe::new(&mut rng);
+        (u, rng)
+    }
+
+    #[test]
+    fn services_registered_with_dns_and_certs() {
+        let (mut u, mut rng) = universe();
+        let host = name("cdnjs.cloudflare.com");
+        let ans = u.zones.resolve(&host, &mut rng).expect("service resolves");
+        assert!(!ans.addresses.is_empty());
+        assert_eq!(u.asn_of_host(&host), 13335);
+        for ip in &ans.addresses {
+            assert_eq!(u.asn_of_ip(ip), 13335);
+        }
+        let cert = u.cert_for(&host).expect("service cert");
+        assert!(cert.covers(&host));
+    }
+
+    #[test]
+    fn cert_fallback_walks_parents() {
+        let (mut u, _) = universe();
+        let cert = u.issue_cert(KnownIssuer::LetsEncrypt, name("site.com"), &[name("*.site.com")]);
+        u.set_cert(name("site.com"), cert);
+        let c = u.cert_for(&name("static.site.com")).expect("fallback cert");
+        assert_eq!(c.subject, name("site.com"));
+        assert!(u.cert_for(&name("unrelated.net")).is_none());
+    }
+
+    #[test]
+    fn alloc_ip_unique_and_attributed() {
+        let (mut u, mut rng) = universe();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let ip = u.alloc_ip(8, 15169, &mut rng);
+            assert!(seen.insert(ip), "duplicate ip {ip}");
+            assert_eq!(u.asn_of_ip(&ip), 15169);
+        }
+    }
+
+    #[test]
+    fn provider_table_matches_paper_top10() {
+        assert_eq!(PROVIDERS[0].org, "Google");
+        assert_eq!(PROVIDERS[0].asn, 15169);
+        assert_eq!(PROVIDERS[1].asn, 13335);
+        assert!((PROVIDERS[1].hosting_share - 0.2474).abs() < 1e-9);
+        assert_eq!(PROVIDERS.len(), 10);
+        // Facebook hosts no third-party sites.
+        assert_eq!(PROVIDERS[6].hosting_share, 0.0);
+    }
+
+    #[test]
+    fn certs_are_ct_logged() {
+        let (u, _) = universe();
+        assert!(u.certs_issued() > 0);
+        assert_eq!(u.ct_logs.total_entries(), u.certs_issued() * 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Crawl a synthetic web dataset and run the paper's §4 best-case
+//! coalescing model over it.
+//!
+//! ```sh
+//! cargo run --release --example crawl_and_model -- [sites]
+//! ```
+//!
+//! Prints the Figure 3 medians (measured vs ideal IP vs ideal ORIGIN
+//! DNS/TLS counts) and the Figure 9 PLT predictions.
+
+use respect_origin::browser::{BrowserKind, PageLoader, UniverseEnv};
+use respect_origin::model::model::{predict, CoalescingGrouping};
+use respect_origin::netsim::SimRng;
+use respect_origin::webgen::{Dataset, DatasetConfig};
+
+fn main() {
+    let sites: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    println!("generating {sites} synthetic sites…");
+    let mut dataset = Dataset::generate(DatasetConfig { sites, ..Default::default() });
+    let site_cfgs: Vec<_> = dataset.successful_sites().cloned().collect();
+    println!("{} crawls succeeded ({} failed, like the paper's non-200/CAPTCHA losses)",
+        site_cfgs.len(), sites as usize - site_cfgs.len());
+
+    let loader = PageLoader::new(BrowserKind::Chromium);
+    let mut measured = (vec![], vec![], vec![]); // dns, tls, plt
+    let mut ideal_ip = (vec![], vec![], vec![]);
+    let mut ideal_origin = (vec![], vec![], vec![]);
+    for site in &site_cfgs {
+        let page = dataset.page_for(site);
+        let mut env = UniverseEnv::new(&mut dataset);
+        env.flush_dns(); // fresh browser session per page (§3.1)
+        let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+        let load = loader.load(&page, &mut env, &mut rng);
+        measured.0.push(load.dns_queries() as f64);
+        measured.1.push(load.tls_connections() as f64);
+        measured.2.push(load.plt());
+        let (ip, _) = predict(&page, &load, CoalescingGrouping::ByIp);
+        ideal_ip.0.push(ip.dns_queries as f64);
+        ideal_ip.1.push(ip.tls_connections as f64);
+        ideal_ip.2.push(ip.plt_ms);
+        let (origin, _) = predict(&page, &load, CoalescingGrouping::ByAs);
+        ideal_origin.0.push(origin.dns_queries as f64);
+        ideal_origin.1.push(origin.tls_connections as f64);
+        ideal_origin.2.push(origin.plt_ms);
+    }
+
+    let med = |v: &[f64]| respect_origin::stats::median(v).unwrap_or(0.0);
+    println!("\n                         DNS     TLS     PLT");
+    println!(
+        "measured (Chrome)      {:>5.1}  {:>6.1}  {:>7.0}ms",
+        med(&measured.0), med(&measured.1), med(&measured.2)
+    );
+    println!(
+        "ideal IP coalescing    {:>5.1}  {:>6.1}  {:>7.0}ms",
+        med(&ideal_ip.0), med(&ideal_ip.1), med(&ideal_ip.2)
+    );
+    println!(
+        "ideal ORIGIN frames    {:>5.1}  {:>6.1}  {:>7.0}ms",
+        med(&ideal_origin.0), med(&ideal_origin.1), med(&ideal_origin.2)
+    );
+    println!(
+        "\nORIGIN reductions: DNS {:+.1}% | TLS {:+.1}% | PLT {:+.1}%   (paper: −64%, −67%, −27%)",
+        respect_origin::stats::percent_change(med(&measured.0), med(&ideal_origin.0)),
+        respect_origin::stats::percent_change(med(&measured.1), med(&ideal_origin.1)),
+        respect_origin::stats::percent_change(med(&measured.2), med(&ideal_origin.2)),
+    );
+}

@@ -1,0 +1,43 @@
+//! Render the Figure 2 waterfall: a measured page-load timeline and
+//! its §4.1 reconstruction under ORIGIN coalescing.
+//!
+//! ```sh
+//! cargo run --release --example waterfall
+//! ```
+
+use respect_origin::browser::{BrowserKind, PageLoader, UniverseEnv};
+use respect_origin::model::model::{predict, CoalescingGrouping};
+use respect_origin::netsim::SimRng;
+use respect_origin::web::waterfall;
+use respect_origin::webgen::{Dataset, DatasetConfig};
+
+fn main() {
+    let mut dataset = Dataset::generate(DatasetConfig { sites: 60, ..Default::default() });
+    // Pick a small page so the waterfall is readable.
+    let site = dataset
+        .sites()
+        .iter()
+        .filter(|s| !s.failed && !s.services.is_empty())
+        .min_by_key(|s| s.n_requests)
+        .expect("a usable site")
+        .clone();
+    let page = dataset.page_for(&site);
+    let mut env = UniverseEnv::new(&mut dataset);
+    env.flush_dns();
+    let loader = PageLoader::new(BrowserKind::Chromium);
+    let mut rng = SimRng::seed_from_u64(site.page_seed);
+    let measured = loader.load(&page, &mut env, &mut rng);
+    let (_, reconstructed) = predict(&page, &measured, CoalescingGrouping::ByAs);
+
+    let mut before = measured.clone();
+    let mut after = reconstructed.clone();
+    before.requests.truncate(10);
+    after.requests.truncate(10);
+    println!("{}", waterfall::render_comparison(&before, &after, 80));
+    println!(
+        "full page: {} requests | measured PLT {:.0}ms → reconstructed {:.0}ms",
+        measured.request_count(),
+        measured.plt(),
+        reconstructed.plt()
+    );
+}

@@ -1,0 +1,346 @@
+//! Property-based tests over the core data structures and protocol
+//! invariants.
+
+use proptest::prelude::*;
+use respect_origin::h2::hpack::{Decoder, Encoder, Header};
+use respect_origin::h2::hpack::huffman;
+use respect_origin::h2::{Frame, FrameDecoder};
+use respect_origin::dns::DnsName;
+use respect_origin::tls::{covers, CertificateBuilder};
+use bytes::BytesMut;
+
+// ---- Huffman ----
+
+proptest! {
+    #[test]
+    fn huffman_roundtrips_any_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut enc = Vec::new();
+        huffman::encode(&data, &mut enc);
+        let dec = huffman::decode(&enc).expect("self-encoded data decodes");
+        prop_assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn huffman_never_expands_past_bound(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Worst-case code is 30 bits per symbol.
+        let mut enc = Vec::new();
+        huffman::encode(&data, &mut enc);
+        prop_assert!(enc.len() <= data.len() * 30 / 8 + 1);
+        prop_assert_eq!(huffman::encoded_len(&data), enc.len());
+    }
+
+    #[test]
+    fn huffman_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Arbitrary bytes may fail to decode, but must never panic.
+        let _ = huffman::decode(&data);
+    }
+}
+
+// ---- HPACK ----
+
+fn header_strategy() -> impl Strategy<Value = Header> {
+    (
+        "[a-z][a-z0-9-]{0,24}",
+        "[ -~]{0,48}",
+        any::<bool>(),
+    )
+        .prop_map(|(name, value, sensitive)| Header {
+            name,
+            value,
+            sensitive,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hpack_roundtrips_header_lists(
+        headers in proptest::collection::vec(header_strategy(), 0..24),
+        use_huffman in any::<bool>(),
+    ) {
+        let mut enc = Encoder::new();
+        enc.use_huffman = use_huffman;
+        let mut dec = Decoder::new();
+        let block = enc.encode(&headers);
+        let out = dec.decode(&block).expect("self-encoded block decodes");
+        prop_assert_eq!(out.len(), headers.len());
+        for (a, b) in out.iter().zip(&headers) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(&a.value, &b.value);
+        }
+    }
+
+    #[test]
+    fn hpack_stateful_stream_roundtrips(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(header_strategy(), 0..8), 1..6),
+    ) {
+        // One encoder/decoder pair across many blocks: dynamic-table
+        // state must stay synchronized.
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        for headers in &blocks {
+            let block = enc.encode(headers);
+            let out = dec.decode(&block).expect("stream stays in sync");
+            prop_assert_eq!(out.len(), headers.len());
+            for (a, b) in out.iter().zip(headers) {
+                prop_assert_eq!(&a.name, &b.name);
+                prop_assert_eq!(&a.value, &b.value);
+            }
+        }
+    }
+
+    #[test]
+    fn hpack_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut dec = Decoder::new();
+        let _ = dec.decode(&data);
+    }
+}
+
+// ---- frame codec ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let decoder = FrameDecoder::default();
+        let mut buf = BytesMut::from(&data[..]);
+        // Drain until error or exhaustion; must never panic.
+        loop {
+            match decoder.decode(&mut buf) {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn origin_frame_roundtrips(hosts in proptest::collection::vec("[a-z]{1,12}\\.[a-z]{2,6}", 0..12)) {
+        let origins: Vec<String> = hosts.iter().map(|h| format!("https://{h}")).collect();
+        let frame = Frame::Origin { origins: origins.clone() };
+        let mut buf = BytesMut::new();
+        frame.encode(&mut buf);
+        let decoder = FrameDecoder::default();
+        let out = decoder.decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(out, frame);
+    }
+
+    #[test]
+    fn data_frames_roundtrip(
+        stream in 1u32..1000,
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+        end in any::<bool>(),
+    ) {
+        let frame = Frame::Data {
+            stream: respect_origin::h2::StreamId(stream),
+            data: bytes::Bytes::from(payload),
+            end_stream: end,
+        };
+        let mut buf = BytesMut::new();
+        frame.encode(&mut buf);
+        let out = FrameDecoder::default().decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(out, frame);
+    }
+}
+
+// ---- DNS names & SAN matching ----
+
+proptest! {
+    #[test]
+    fn dns_name_display_reparses(labels in proptest::collection::vec("[a-z][a-z0-9]{0,10}", 1..5)) {
+        let s = labels.join(".");
+        let n = DnsName::parse(&s).expect("constructed names parse");
+        let again = DnsName::parse(&n.to_string()).unwrap();
+        prop_assert_eq!(n, again);
+    }
+
+    #[test]
+    fn dns_parse_never_panics(s in "\\PC{0,64}") {
+        let _ = DnsName::parse(&s);
+    }
+
+    #[test]
+    fn wildcard_covers_exactly_one_extra_label(
+        sub in "[a-z]{1,8}",
+        subsub in "[a-z]{1,8}",
+        base in "[a-z]{2,8}\\.[a-z]{2,4}",
+    ) {
+        let pattern = DnsName::parse(&format!("*.{base}")).unwrap();
+        let one = DnsName::parse(&format!("{sub}.{base}")).unwrap();
+        let two = DnsName::parse(&format!("{subsub}.{sub}.{base}")).unwrap();
+        let parent = DnsName::parse(&base).unwrap();
+        prop_assert!(covers(&pattern, &one));
+        prop_assert!(!covers(&pattern, &two));
+        prop_assert!(!covers(&pattern, &parent));
+    }
+
+    #[test]
+    fn cert_covers_all_its_exact_sans(
+        sans in proptest::collection::vec("[a-z]{2,8}\\.[a-z]{2,8}\\.[a-z]{2,3}", 1..20),
+    ) {
+        let subject = DnsName::parse(&sans[0]).unwrap();
+        let cert = CertificateBuilder::new(subject)
+            .sans(sans.iter().map(|s| DnsName::parse(s).unwrap()))
+            .build();
+        for s in &sans {
+            prop_assert!(cert.covers(&DnsName::parse(s).unwrap()));
+        }
+        prop_assert!(!cert.covers(&DnsName::parse("definitely.not.present.example").unwrap()));
+    }
+}
+
+// ---- stats ----
+
+proptest! {
+    #[test]
+    fn quantiles_are_monotone(mut xs in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q25 = respect_origin::stats::quantile(&xs, 0.25).unwrap();
+        let q50 = respect_origin::stats::quantile(&xs, 0.50).unwrap();
+        let q75 = respect_origin::stats::quantile(&xs, 0.75).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        prop_assert!(q25 >= xs[0] && q75 <= *xs.last().unwrap());
+    }
+
+    #[test]
+    fn cdf_bounds(xs in proptest::collection::vec(0u64..1000, 0..200), probe in 0u64..1200) {
+        let cdf = respect_origin::stats::Cdf::from_u64(&xs);
+        let p = cdf.eval(probe as f64);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}
+
+// ---- ORIGIN entries ----
+
+proptest! {
+    #[test]
+    fn origin_entry_ascii_roundtrips(
+        host in "[a-z]{1,10}(\\.[a-z]{2,8}){1,3}",
+        port in proptest::option::of(1u16..65535),
+    ) {
+        use respect_origin::h2::OriginEntry;
+        let s = match port {
+            Some(p) => format!("https://{host}:{p}"),
+            None => format!("https://{host}"),
+        };
+        let e = OriginEntry::parse(&s).expect("valid origin parses");
+        let again = OriginEntry::parse(&e.ascii()).expect("serialization reparses");
+        prop_assert_eq!(e, again);
+    }
+
+    #[test]
+    fn origin_entry_parse_never_panics(s in "\\PC{0,64}") {
+        let _ = respect_origin::h2::OriginEntry::parse(&s);
+    }
+}
+
+// ---- timeline reconstruction ----
+
+mod reconstruct_props {
+    use super::*;
+    use respect_origin::dns::DnsName;
+    use respect_origin::model::reconstruct;
+    use respect_origin::web::har::{PageLoad, Phase, RequestTiming};
+    use respect_origin::web::{ContentType, Page, Protocol, Resource};
+    use std::net::{IpAddr, Ipv4Addr};
+
+    /// A random page + consistent measured load: each resource either
+    /// chains off an earlier one or hangs off the root; phases are
+    /// arbitrary non-negative values.
+    fn page_and_load_strategy() -> impl Strategy<Value = (Page, PageLoad, Vec<bool>)> {
+        proptest::collection::vec(
+            (
+                0.0f64..200.0, // dns
+                0.0f64..300.0, // connect
+                0.0f64..100.0, // wait
+                0.0f64..100.0, // receive
+                any::<bool>(), // chains off previous resource
+                any::<bool>(), // coalescable?
+            ),
+            1..40,
+        )
+        .prop_map(|rows| {
+            let root_host = DnsName::parse("root.example").unwrap();
+            let mut page = Page::new(1, root_host.clone(), 1_000);
+            let ip = IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1));
+            let mk = |idx: usize, start: f64, dns: f64, connect: f64, wait: f64, receive: f64| {
+                RequestTiming {
+                    resource_index: idx,
+                    host: DnsName::parse(&format!("h{idx}.example")).unwrap(),
+                    ip,
+                    asn: 1,
+                    start,
+                    phase: Phase {
+                        dns,
+                        connect,
+                        ssl: connect / 2.0,
+                        wait,
+                        receive,
+                        ..Default::default()
+                    },
+                    did_dns: dns > 0.0,
+                    new_connection: connect > 0.0,
+                    coalesced: false,
+                    protocol: Protocol::H2,
+                    cert_issuer: None,
+                    secure: true,
+                    extra_connections: 0,
+                    extra_dns: 0,
+                }
+            };
+            let mut requests =
+                vec![mk(0, 0.0, 20.0, 40.0, 30.0, 10.0)];
+            let mut coalescable = vec![false];
+            for (i, (dns, connect, wait, receive, chain, coal)) in rows.into_iter().enumerate() {
+                let idx = i + 1;
+                let mut r = Resource::new(
+                    DnsName::parse(&format!("h{idx}.example")).unwrap(),
+                    "/r",
+                    ContentType::Javascript,
+                    1_000,
+                );
+                if chain && idx > 1 {
+                    r.discovered_by = Some(idx - 1);
+                }
+                page.push(r);
+                // Start after the parent finishes (consistent timeline).
+                let parent = page.resources[idx].discovered_by.unwrap_or(0);
+                let start = requests[parent].end() + 1.0;
+                requests.push(mk(idx, start, dns, connect, wait, receive));
+                coalescable.push(coal);
+            }
+            let load = PageLoad { rank: 1, root_host, requests };
+            (page, load, coalescable)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn reconstruction_invariants((page, load, coalescable) in page_and_load_strategy()) {
+            let out = reconstruct(&page, &load, |i| coalescable[i]);
+            // PLT never increases; counts never increase.
+            prop_assert!(out.plt() <= load.plt() + 1e-9);
+            prop_assert!(out.dns_queries() <= load.dns_queries());
+            prop_assert!(out.tls_connections() <= load.tls_connections());
+            // Non-coalesced requests keep their phase durations.
+            for (i, (a, b)) in load.requests.iter().zip(&out.requests).enumerate() {
+                prop_assert!(b.start >= 0.0);
+                if i == 0 || !coalescable[i] {
+                    prop_assert_eq!(a.phase, b.phase);
+                } else {
+                    prop_assert_eq!(b.phase.setup(), 0.0);
+                    prop_assert!(b.coalesced);
+                }
+                // Requests never move later.
+                prop_assert!(b.start <= a.start + 1e-9);
+            }
+            // Idempotence: reconstructing again changes nothing.
+            let again = reconstruct(&page, &out, |i| coalescable[i]);
+            prop_assert_eq!(again.plt(), out.plt());
+        }
+    }
+}
