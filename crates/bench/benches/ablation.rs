@@ -26,14 +26,17 @@ fn bench_policy_ablation(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,
             |b, &kind| {
-                let mut d = Dataset::generate(DatasetConfig { sites: 60, ..Default::default() });
+                let d = Dataset::generate(DatasetConfig {
+                    sites: 60,
+                    ..Default::default()
+                });
                 let sites: Vec<_> = d.successful_sites().cloned().collect();
                 let loader = PageLoader::new(kind);
                 b.iter(|| {
                     let mut tls = 0u64;
                     for site in sites.iter().take(20) {
                         let page = d.page_for(site);
-                        let mut env = UniverseEnv::new(&mut d);
+                        let mut env = UniverseEnv::new(&d);
                         env.flush_dns();
                         let mut rng = SimRng::seed_from_u64(site.page_seed);
                         tls += loader.load(&page, &mut env, &mut rng).tls_connections();
@@ -93,7 +96,10 @@ fn bench_middlebox_prevalence(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_middlebox");
     for &share in &[0.0f64, 0.01, 0.05, 0.25] {
         g.bench_with_input(BenchmarkId::from_parameter(share), &share, |b, &share| {
-            let inc = MiddleboxIncident { affected_client_share: share, vendor_fixed: false };
+            let inc = MiddleboxIncident {
+                affected_client_share: share,
+                vendor_fixed: false,
+            };
             b.iter(|| {
                 let mut rng = SimRng::seed_from_u64(13);
                 let (e, ctl) = inc.simulate(&group, 10_000, true, &mut rng);
@@ -132,10 +138,38 @@ fn bench_transport_setup(c: &mut Criterion) {
     let link = LinkProfile::new(30.0, 50.0);
     let mut g = c.benchmark_group("ablation_transport");
     let variants: [(&str, HandshakeModel); 4] = [
-        ("h2_tls12", HandshakeModel { tls: TlsVersion::Tls12, extra_cert_flights: 0, tcp_fast_open: false }),
-        ("h2_tls13", HandshakeModel { tls: TlsVersion::Tls13, extra_cert_flights: 0, tcp_fast_open: false }),
-        ("h2_tfo_tls13", HandshakeModel { tls: TlsVersion::Tls13, extra_cert_flights: 0, tcp_fast_open: true }),
-        ("h3_0rtt", HandshakeModel { tls: TlsVersion::Tls13ZeroRtt, extra_cert_flights: 0, tcp_fast_open: true }),
+        (
+            "h2_tls12",
+            HandshakeModel {
+                tls: TlsVersion::Tls12,
+                extra_cert_flights: 0,
+                tcp_fast_open: false,
+            },
+        ),
+        (
+            "h2_tls13",
+            HandshakeModel {
+                tls: TlsVersion::Tls13,
+                extra_cert_flights: 0,
+                tcp_fast_open: false,
+            },
+        ),
+        (
+            "h2_tfo_tls13",
+            HandshakeModel {
+                tls: TlsVersion::Tls13,
+                extra_cert_flights: 0,
+                tcp_fast_open: true,
+            },
+        ),
+        (
+            "h3_0rtt",
+            HandshakeModel {
+                tls: TlsVersion::Tls13ZeroRtt,
+                extra_cert_flights: 0,
+                tcp_fast_open: true,
+            },
+        ),
     ];
     for (label, hs) in variants {
         g.bench_with_input(BenchmarkId::from_parameter(label), &hs, |b, hs| {

@@ -12,9 +12,12 @@ fn bench_dataset_generation(c: &mut Criterion) {
     for &sites in &[100u32, 500] {
         g.bench_with_input(BenchmarkId::from_parameter(sites), &sites, |b, &sites| {
             b.iter(|| {
-                Dataset::generate(DatasetConfig { sites, ..Default::default() })
-                    .sites()
-                    .len()
+                Dataset::generate(DatasetConfig {
+                    sites,
+                    ..Default::default()
+                })
+                .sites()
+                .len()
             })
         });
     }
@@ -22,7 +25,10 @@ fn bench_dataset_generation(c: &mut Criterion) {
 }
 
 fn bench_page_materialization(c: &mut Criterion) {
-    let d = Dataset::generate(DatasetConfig { sites: 200, ..Default::default() });
+    let d = Dataset::generate(DatasetConfig {
+        sites: 200,
+        ..Default::default()
+    });
     let sites: Vec<_> = d.successful_sites().cloned().collect();
     c.bench_function("page_materialize", |b| {
         let mut i = 0;
@@ -38,12 +44,19 @@ fn bench_page_load(c: &mut Criterion) {
     // The per-page cost of the full measured crawl (Table 1 unit).
     let mut g = c.benchmark_group("page_load");
     g.sample_size(20);
-    for kind in [BrowserKind::Chromium, BrowserKind::Firefox, BrowserKind::IdealOrigin] {
+    for kind in [
+        BrowserKind::Chromium,
+        BrowserKind::Firefox,
+        BrowserKind::IdealOrigin,
+    ] {
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("{kind:?}")),
             &kind,
             |b, &kind| {
-                let mut d = Dataset::generate(DatasetConfig { sites: 60, ..Default::default() });
+                let d = Dataset::generate(DatasetConfig {
+                    sites: 60,
+                    ..Default::default()
+                });
                 let sites: Vec<_> = d.successful_sites().cloned().collect();
                 let loader = PageLoader::new(kind);
                 let mut i = 0;
@@ -51,7 +64,7 @@ fn bench_page_load(c: &mut Criterion) {
                     let site = &sites[i % sites.len()];
                     i += 1;
                     let page = d.page_for(site);
-                    let mut env = UniverseEnv::new(&mut d);
+                    let mut env = UniverseEnv::new(&d);
                     env.flush_dns();
                     let mut rng = SimRng::seed_from_u64(site.page_seed);
                     loader.load(&page, &mut env, &mut rng).request_count()
@@ -76,11 +89,33 @@ fn bench_full_characterization(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_crawl_scaling(c: &mut Criterion) {
+    // Thread-scaling of the sharded crawl (fixed sites + seed, so
+    // every thread count computes the byte-identical result and the
+    // ratio of times is pure parallel speedup).
+    let mut g = c.benchmark_group("crawl_scaling");
+    g.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let r = origin_bench::run_crawl_threads(400, 0x0516, threads);
+                    (r.characterization.pages, r.plan.total_sites)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_dataset_generation,
     bench_page_materialization,
     bench_page_load,
-    bench_full_characterization
+    bench_full_characterization,
+    bench_crawl_scaling
 );
 criterion_main!(benches);

@@ -48,7 +48,11 @@ fn bench_data_stream(c: &mut Criterion) {
         }
         .encode(&mut stream);
         if i % 8 == 0 {
-            Frame::Ping { ack: false, payload: [i as u8; 8] }.encode(&mut stream);
+            Frame::Ping {
+                ack: false,
+                payload: [i as u8; 8],
+            }
+            .encode(&mut stream);
         }
     }
     let wire = stream.freeze();
@@ -75,7 +79,10 @@ fn bench_connection_exchange(c: &mut Criterion) {
             let mut client = Connection::client("shop.example", Settings::default());
             let mut server = Connection::server(ServerConfig {
                 settings: Settings::default(),
-                origin_set: Some(OriginSet::from_hosts(["shop.example", "cdnjs.cloudflare.com"])),
+                origin_set: Some(OriginSet::from_hosts([
+                    "shop.example",
+                    "cdnjs.cloudflare.com",
+                ])),
                 authorized: vec![],
             });
             for i in 0..8 {
@@ -108,5 +115,10 @@ fn bench_connection_exchange(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_origin_frame, bench_data_stream, bench_connection_exchange);
+criterion_group!(
+    benches,
+    bench_origin_frame,
+    bench_data_stream,
+    bench_connection_exchange
+);
 criterion_main!(benches);

@@ -10,7 +10,10 @@ fn request_headers(i: usize) -> Vec<Header> {
         Header::new(":scheme", "https"),
         Header::new(":authority", "static.example.com"),
         Header::new(":path", &format!("/assets/app-{i}.js?v=12345")),
-        Header::new("user-agent", "Mozilla/5.0 (X11; Linux x86_64; rv:96.0) Gecko/20100101 Firefox/96.0"),
+        Header::new(
+            "user-agent",
+            "Mozilla/5.0 (X11; Linux x86_64; rv:96.0) Gecko/20100101 Firefox/96.0",
+        ),
         Header::new("accept", "*/*"),
         Header::new("accept-encoding", "gzip, deflate, br"),
         Header::new("referer", "https://www.example.com/"),
@@ -42,7 +45,9 @@ fn bench_encode(c: &mut Criterion) {
 
 fn bench_decode(c: &mut Criterion) {
     let mut enc = Encoder::new();
-    let blocks: Vec<Vec<u8>> = (0..64).map(|i| enc.encode(&request_headers(i % 8))).collect();
+    let blocks: Vec<Vec<u8>> = (0..64)
+        .map(|i| enc.encode(&request_headers(i % 8)))
+        .collect();
     let bytes: usize = blocks.iter().map(Vec::len).sum();
     let mut g = c.benchmark_group("hpack_decode");
     g.throughput(Throughput::Bytes(bytes as u64));

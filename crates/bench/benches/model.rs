@@ -9,13 +9,16 @@ use origin_netsim::SimRng;
 use origin_webgen::{Dataset, DatasetConfig};
 
 fn fixtures() -> (Dataset, Vec<(origin_web::Page, origin_web::PageLoad)>) {
-    let mut d = Dataset::generate(DatasetConfig { sites: 80, ..Default::default() });
+    let d = Dataset::generate(DatasetConfig {
+        sites: 80,
+        ..Default::default()
+    });
     let sites: Vec<_> = d.successful_sites().cloned().collect();
     let loader = PageLoader::new(BrowserKind::Chromium);
     let mut out = Vec::new();
     for site in &sites {
         let page = d.page_for(site);
-        let mut env = UniverseEnv::new(&mut d);
+        let mut env = UniverseEnv::new(&d);
         env.flush_dns();
         let mut rng = SimRng::seed_from_u64(site.page_seed);
         let load = loader.load(&page, &mut env, &mut rng);
@@ -32,16 +35,20 @@ fn bench_predict(c: &mut Criterion) {
         ("ideal_origin", CoalescingGrouping::ByAs),
         ("cdn_only", CoalescingGrouping::BySingleAs(13335)),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(label), &grouping, |b, &grouping| {
-            b.iter(|| {
-                let mut total = 0u64;
-                for (page, load) in &pages {
-                    let (p, _) = predict(page, load, grouping);
-                    total += p.tls_connections;
-                }
-                total
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &grouping,
+            |b, &grouping| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for (page, load) in &pages {
+                        let (p, _) = predict(page, load, grouping);
+                        total += p.tls_connections;
+                    }
+                    total
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -1,19 +1,23 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--sites N] [--seed S] [--json <path>] [--only <id>...]
+//! repro [--sites N] [--seed S] [--threads N] [--json <path>] [--only <id>...]
 //! ```
+//!
+//! `--threads` shards the crawl and the §5 active measurements over
+//! worker threads (default: available parallelism). Output is
+//! bit-identical for any thread count.
 //!
 //! `--json` additionally writes the raw figure series (CDF samples
 //! for Figures 3/4/9, the Figure 8 time series) to a JSON file for
 //! external plotting.
 //!
 //! ids: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 f2 f3 f4 f5 f6 f7a f7b f8 f9
-//!      passive-ip passive-origin incident ct
+//!      passive-ip passive-origin incident ct privacy scheduling
 //!
 //! With no `--only`, everything is produced in paper order.
 
-use origin_bench::{asn_label, run_crawl, CrawlResults};
+use origin_bench::{asn_label, run_crawl_threads, CrawlResults};
 use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
 use origin_cdn::{
     ActiveMeasurement, DeploymentMode, LongitudinalRun, MiddleboxIncident, PassivePipeline,
@@ -28,35 +32,111 @@ use origin_tls::CtLogSet;
 struct Args {
     sites: u32,
     seed: u64,
+    threads: usize,
     only: Vec<String>,
     json: Option<String>,
 }
 
+const USAGE: &str =
+    "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--only id...]";
+
+/// Every id `--only` accepts.
+const ALL_IDS: &[&str] = &[
+    "t1",
+    "t2",
+    "t3",
+    "t4",
+    "t5",
+    "t6",
+    "t7",
+    "t8",
+    "t9",
+    "f1",
+    "f2",
+    "f3",
+    "f4",
+    "f5",
+    "f6",
+    "f7a",
+    "f7b",
+    "f8",
+    "f9",
+    "passive-ip",
+    "passive-origin",
+    "incident",
+    "ct",
+    "privacy",
+    "scheduling",
+];
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+/// The required value of flag `flag`, parsed; malformed or missing
+/// values are hard errors, never silent defaults.
+fn parse_value<T: std::str::FromStr>(
+    flag: &str,
+    value: Option<String>,
+    check: impl Fn(&T) -> bool,
+) -> T {
+    let raw = value.unwrap_or_else(|| die(&format!("{flag} requires a value")));
+    match raw.parse::<T>() {
+        Ok(v) if check(&v) => v,
+        _ => die(&format!("invalid value {raw:?} for {flag}")),
+    }
+}
+
 fn parse_args() -> Args {
-    let mut args = Args { sites: 4_000, seed: 0x0516, only: Vec::new(), json: None };
+    let mut args = Args {
+        sites: 4_000,
+        seed: 0x0516,
+        threads: 0,
+        only: Vec::new(),
+        json: None,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.into_iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--sites" => args.sites = it.next().and_then(|v| v.parse().ok()).unwrap_or(4_000),
-            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(0x0516),
-            "--json" => args.json = it.next(),
+            "--sites" => args.sites = parse_value("--sites", it.next(), |&n: &u32| n > 0),
+            "--seed" => args.seed = parse_value("--seed", it.next(), |_| true),
+            "--threads" => args.threads = parse_value("--threads", it.next(), |&n: &usize| n > 0),
+            "--json" => {
+                args.json = Some(it.next().unwrap_or_else(|| die("--json requires a path")))
+            }
             "--only" => {
                 // Consume ids up to (but not including) the next flag.
                 while let Some(tok) = it.peek() {
                     if tok.starts_with("--") {
                         break;
                     }
-                    args.only.push(tok.to_lowercase());
+                    let id = tok.to_lowercase();
+                    if !ALL_IDS.contains(&id.as_str()) {
+                        die(&format!(
+                            "unknown --only id {id:?} (known: {})",
+                            ALL_IDS.join(" ")
+                        ));
+                    }
+                    args.only.push(id);
                     it.next();
+                }
+                if args.only.is_empty() {
+                    die("--only requires at least one id");
                 }
             }
             "--help" | "-h" => {
-                println!("usage: repro [--sites N] [--seed S] [--json path] [--only id...]");
+                println!("{USAGE}");
                 std::process::exit(0);
             }
-            other => eprintln!("ignoring unknown argument {other:?}"),
+            other => die(&format!("unknown argument {other:?}")),
         }
+    }
+    // Default to all available cores; results are identical either way.
+    if args.threads == 0 {
+        args.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     }
     args
 }
@@ -68,15 +148,18 @@ fn want(args: &Args, id: &str) -> bool {
 fn main() {
     let args = parse_args();
     let needs_crawl = [
-        "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "f1", "f2", "f3", "f4", "f5",
-        "f9", "ct",
+        "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "f1", "f2", "f3", "f4", "f5", "f9",
+        "ct",
     ]
     .iter()
     .any(|id| want(&args, id));
 
     let crawl = needs_crawl.then(|| {
-        eprintln!("# crawling {} synthetic sites (seed {:#x})…", args.sites, args.seed);
-        run_crawl(args.sites, args.seed)
+        eprintln!(
+            "# crawling {} synthetic sites (seed {:#x}, {} threads)…",
+            args.sites, args.seed, args.threads
+        );
+        run_crawl_threads(args.sites, args.seed, args.threads)
     });
 
     if let Some(r) = &crawl {
@@ -131,10 +214,19 @@ fn main() {
     }
 
     // §5 deployment experiments.
-    let needs_sample =
-        ["f6", "f7a", "f7b", "f8", "f9", "passive-ip", "passive-origin", "incident", "privacy"]
-            .iter()
-            .any(|id| want(&args, id));
+    let needs_sample = [
+        "f6",
+        "f7a",
+        "f7b",
+        "f8",
+        "f9",
+        "passive-ip",
+        "passive-origin",
+        "incident",
+        "privacy",
+    ]
+    .iter()
+    .any(|id| want(&args, id));
     if needs_sample {
         let mut rng = SimRng::seed_from_u64(args.seed ^ 0x5000);
         let group = SampleGroup::build(5_000, &mut rng);
@@ -148,10 +240,10 @@ fn main() {
             figure6(&group);
         }
         if want(&args, "f7a") {
-            figure7(&group, args.seed, true);
+            figure7(&group, args.seed, args.threads, true);
         }
         if want(&args, "f7b") {
-            figure7(&group, args.seed, false);
+            figure7(&group, args.seed, args.threads, false);
         }
         if want(&args, "passive-ip") {
             passive(&group, args.seed, DeploymentMode::IpAligned);
@@ -163,13 +255,13 @@ fn main() {
             figure8(&group, args.seed);
         }
         if want(&args, "f9") {
-            figure9_bottom(&group, args.seed);
+            figure9_bottom(&group, args.seed, args.threads);
         }
         if want(&args, "incident") {
             incident(&group, args.seed);
         }
         if want(&args, "privacy") {
-            privacy(&group, args.seed);
+            privacy(&group, args.seed, args.threads);
         }
     }
     if want(&args, "scheduling") {
@@ -180,29 +272,74 @@ fn main() {
     }
 }
 
+/// Render an f64 as JSON (shortest round-trip form).
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render a slice as a JSON array with a per-element renderer.
+fn jarr<T>(xs: &[T], f: impl Fn(&T) -> String) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&f(x));
+    }
+    s.push(']');
+    s
+}
+
+fn jarr_f64(xs: &[f64]) -> String {
+    jarr(xs, |&x| jf(x))
+}
+
 /// Write the raw figure series to JSON for external plotting.
+///
+/// Hand-rolled (the workspace has no serde dependency); emitted keys
+/// and shapes match what `serde_json` produced before: tuples become
+/// arrays.
 fn export_json(path: &str, r: &CrawlResults) {
     let (existing, ideal) = r.plan.figure4();
-    let value = serde_json::json!({
-        "figure1": r.characterization.figure1(),
-        "figure3": {
-            "measured_dns": r.measured.dns,
-            "measured_tls": r.measured.tls,
-            "ideal_ip_dns": r.model_ip.dns,
-            "ideal_ip_tls": r.model_ip.tls,
-            "ideal_origin_dns": r.model_origin.dns,
-            "ideal_origin_tls": r.model_origin.tls,
-        },
-        "figure4": { "existing": existing.steps(), "ideal": ideal.steps() },
-        "figure5": r.plan.figure5(),
-        "figure9_top": {
-            "measured_plt": r.measured.plt,
-            "ideal_ip_plt": r.model_ip.plt,
-            "ideal_origin_plt": r.model_origin.plt,
-            "cdn_only_plt": r.model_cdn_plt,
-        },
-    });
-    match std::fs::write(path, serde_json::to_string(&value).expect("series serialize")) {
+    let value = format!(
+        concat!(
+            "{{\"figure1\":{},",
+            "\"figure3\":{{\"measured_dns\":{},\"measured_tls\":{},",
+            "\"ideal_ip_dns\":{},\"ideal_ip_tls\":{},",
+            "\"ideal_origin_dns\":{},\"ideal_origin_tls\":{}}},",
+            "\"figure4\":{{\"existing\":{},\"ideal\":{}}},",
+            "\"figure5\":{},",
+            "\"figure9_top\":{{\"measured_plt\":{},\"ideal_ip_plt\":{},",
+            "\"ideal_origin_plt\":{},\"cdn_only_plt\":{}}}}}"
+        ),
+        jarr(&r.characterization.figure1(), |&(v, frac, cdf)| format!(
+            "[{v},{},{}]",
+            jf(frac),
+            jf(cdf)
+        )),
+        jarr_f64(&r.measured.dns),
+        jarr_f64(&r.measured.tls),
+        jarr_f64(&r.model_ip.dns),
+        jarr_f64(&r.model_ip.tls),
+        jarr_f64(&r.model_origin.dns),
+        jarr_f64(&r.model_origin.tls),
+        jarr(&existing.steps(), |&(x, p)| format!(
+            "[{},{}]",
+            jf(x),
+            jf(p)
+        )),
+        jarr(&ideal.steps(), |&(x, p)| format!("[{},{}]", jf(x), jf(p))),
+        jarr(&r.plan.figure5(), |&(e, i, c)| format!("[{e},{i},{c}]")),
+        jarr_f64(&r.measured.plt),
+        jarr_f64(&r.model_ip.plt),
+        jarr_f64(&r.model_origin.plt),
+        jarr_f64(&r.model_cdn_plt),
+    );
+    match std::fs::write(path, value) {
         Ok(()) => eprintln!("# wrote figure series to {path}"),
         Err(e) => eprintln!("# failed to write {path}: {e}"),
     }
@@ -223,16 +360,12 @@ fn scheduling(seed: u64) {
 /// §6.2: quantify the cleartext signals coalescing removes. Each new
 /// TLS connection exposes one plaintext SNI (no ECH in 2021/22) and
 /// each network DNS query over UDP-53 exposes the queried name.
-fn privacy(group: &SampleGroup, seed: u64) {
+fn privacy(group: &SampleGroup, seed: u64, threads: usize) {
     let exposure = |mode: DeploymentMode, browser: BrowserKind| -> (u64, u64) {
         let m = ActiveMeasurement { mode, browser };
-        let (exp, _) = m.run_both(group, seed ^ 0x9417AC);
+        let (exp, _) = m.run_both_threads(group, seed ^ 0x9417AC, threads);
         // SNI exposures = total new TLS connections across visits.
-        let snis: u64 = exp
-            .new_connections
-            .bins()
-            .map(|(v, c)| v * c)
-            .sum();
+        let snis: u64 = exp.new_connections.bins().map(|(v, c)| v * c).sum();
         // One render-blocking plaintext DNS query per connection plus
         // the site lookup per visit (the loader counts them exactly;
         // approximate here from the same histogram for the report).
@@ -319,10 +452,18 @@ fn table3(r: &CrawlResults) {
         &["Protocol", "# Requests", "%"],
     );
     for e in r.characterization.protocol_requests.top(10) {
-        t.row(&[e.key.to_string(), e.count.to_string(), format!("{:.2}", e.percent)]);
+        t.row(&[
+            e.key.to_string(),
+            e.count.to_string(),
+            format!("{:.2}", e.percent),
+        ]);
     }
     let secure = r.characterization.secure_fraction();
-    t.row(&["Secure".into(), r.characterization.secure_requests.to_string(), format!("{:.2}", secure * 100.0)]);
+    t.row(&[
+        "Secure".into(),
+        r.characterization.secure_requests.to_string(),
+        format!("{:.2}", secure * 100.0),
+    ]);
     t.row(&[
         "Insecure".into(),
         r.characterization.insecure_requests.to_string(),
@@ -337,16 +478,26 @@ fn table4(r: &CrawlResults) {
         &["Certificate Issuer", "# Validations", "%"],
     );
     for e in r.characterization.issuers.top(10) {
-        t.row(&[e.key.clone(), e.count.to_string(), format!("{:.2}", e.percent)]);
+        t.row(&[
+            e.key.clone(),
+            e.count.to_string(),
+            format!("{:.2}", e.percent),
+        ]);
     }
     println!("{}", t.render());
 }
 
 fn table5(r: &CrawlResults) {
-    let mut t =
-        TextTable::new("Table 5: requests by top content types", &["Content Type", "# Req", "%"]);
+    let mut t = TextTable::new(
+        "Table 5: requests by top content types",
+        &["Content Type", "# Req", "%"],
+    );
     for e in r.characterization.content_types.top(12) {
-        t.row(&[e.key.to_string(), e.count.to_string(), format!("{:.2}", e.percent)]);
+        t.row(&[
+            e.key.to_string(),
+            e.count.to_string(),
+            format!("{:.2}", e.percent),
+        ]);
     }
     println!("{}", t.render());
 }
@@ -377,7 +528,11 @@ fn table7(r: &CrawlResults) {
         &["Hostname", "#Req", "%"],
     );
     for e in r.characterization.hostnames.top(10) {
-        t.row(&[e.key.clone(), e.count.to_string(), format!("{:.2}", e.percent)]);
+        t.row(&[
+            e.key.clone(),
+            e.count.to_string(),
+            format!("{:.2}", e.percent),
+        ]);
     }
     println!("{}", t.render());
 }
@@ -393,7 +548,11 @@ fn figure1(r: &CrawlResults) {
 
 fn figure2(seed: u64) {
     use origin_webgen::{Dataset, DatasetConfig};
-    let mut d = Dataset::generate(DatasetConfig { sites: 40, seed, ..Default::default() });
+    let d = Dataset::generate(DatasetConfig {
+        sites: 40,
+        seed,
+        ..Default::default()
+    });
     let site = d
         .sites()
         .iter()
@@ -401,7 +560,7 @@ fn figure2(seed: u64) {
         .expect("a usable site")
         .clone();
     let page = d.page_for(&site);
-    let mut env = UniverseEnv::new(&mut d);
+    let mut env = UniverseEnv::new(&d);
     env.flush_dns();
     let loader = PageLoader::new(BrowserKind::Chromium);
     let mut rng = SimRng::seed_from_u64(site.page_seed);
@@ -413,7 +572,10 @@ fn figure2(seed: u64) {
     let mut after = recon.clone();
     after.requests.truncate(8);
     println!("Figure 2: measured vs reconstructed timeline (first 8 requests)");
-    println!("{}", origin_web::waterfall::render_comparison(&before, &after, 70));
+    println!(
+        "{}",
+        origin_web::waterfall::render_comparison(&before, &after, 70)
+    );
 }
 
 fn print_cdf_quantiles(label: &str, cdf: &Cdf) {
@@ -431,8 +593,14 @@ fn figure3(r: &CrawlResults) {
     println!("Figure 3: measured vs ideal DNS / TLS counts (CDF quantiles)");
     print_cdf_quantiles("Measured DNS Requests", &Cdf::from_samples(&r.measured.dns));
     print_cdf_quantiles("Measured TLS Requests", &Cdf::from_samples(&r.measured.tls));
-    print_cdf_quantiles("Ideal Modelled IP Coalescing (DNS)", &Cdf::from_samples(&r.model_ip.dns));
-    print_cdf_quantiles("Ideal Modelled IP Coalescing (TLS)", &Cdf::from_samples(&r.model_ip.tls));
+    print_cdf_quantiles(
+        "Ideal Modelled IP Coalescing (DNS)",
+        &Cdf::from_samples(&r.model_ip.dns),
+    );
+    print_cdf_quantiles(
+        "Ideal Modelled IP Coalescing (TLS)",
+        &Cdf::from_samples(&r.model_ip.tls),
+    );
     print_cdf_quantiles(
         "Ideal Modelled Origin Coalescing (DNS)",
         &Cdf::from_samples(&r.model_origin.dns),
@@ -484,9 +652,7 @@ fn figure5(r: &CrawlResults) {
         rank = if rank < 10 { rank + 1 } else { rank * 10 / 3 };
     }
     let (b250, a250) = r.plan.sites_above(250);
-    println!(
-        "certificates with >250 SAN names: {b250} → {a250} (paper: 230 → 529, +130%)\n"
-    );
+    println!("certificates with >250 SAN names: {b250} → {a250} (paper: 230 → 529, +130%)\n");
 }
 
 fn table8(r: &CrawlResults) {
@@ -542,8 +708,14 @@ fn figure9_top(r: &CrawlResults) {
     println!("Figure 9 (top): modelled PLT CDFs");
     print_cdf_quantiles("Measured", &Cdf::from_samples(&r.measured.plt));
     print_cdf_quantiles("I.M. IP Coalescing", &Cdf::from_samples(&r.model_ip.plt));
-    print_cdf_quantiles("I.M. Origin Coalescing", &Cdf::from_samples(&r.model_origin.plt));
-    print_cdf_quantiles("I.M. CDN Origin Coalescing", &Cdf::from_samples(&r.model_cdn_plt));
+    print_cdf_quantiles(
+        "I.M. Origin Coalescing",
+        &Cdf::from_samples(&r.model_origin.plt),
+    );
+    print_cdf_quantiles(
+        "I.M. CDN Origin Coalescing",
+        &Cdf::from_samples(&r.model_cdn_plt),
+    );
     let m = origin_stats::median(&r.measured.plt).unwrap_or(0.0);
     let ip = origin_stats::median(&r.model_ip.plt).unwrap_or(0.0);
     let or = origin_stats::median(&r.model_origin.plt).unwrap_or(0.0);
@@ -562,7 +734,10 @@ fn ct_impact(r: &CrawlResults) {
     // Scale the changed-site count up to the paper's dataset size.
     let scale = 315_796.0 / r.plan.total_sites.max(1) as f64;
     let scaled = (changed as f64 * scale) as u64;
-    println!("§6.4 CT impact: {changed} certificates to reissue ({:.2}% of sites;", (changed as f64 / r.plan.total_sites as f64) * 100.0);
+    println!(
+        "§6.4 CT impact: {changed} certificates to reissue ({:.2}% of sites;",
+        (changed as f64 / r.plan.total_sites as f64) * 100.0
+    );
     println!(
         "scaled to the paper's 315,796 sites: {scaled} ≈ {:.2} hours of global issuance (paper: 37.59% → one-time burst ≪ daily volume)\n",
         CtLogSet::burst_as_hours_of_global_issuance(scaled)
@@ -582,22 +757,36 @@ fn figure6(group: &SampleGroup) {
     println!(
         "equal-byte property across {} certificates: {}\n",
         group.sites.len(),
-        if group.equal_byte_check() { "HOLDS" } else { "VIOLATED" }
+        if group.equal_byte_check() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }
 
-fn figure7(group: &SampleGroup, seed: u64, ip: bool) {
+fn figure7(group: &SampleGroup, seed: u64, threads: usize, ip: bool) {
     let (label, m) = if ip {
-        ("Figure 7a: IP-based coalescing (Firefox v91)", ActiveMeasurement::ip_experiment())
+        (
+            "Figure 7a: IP-based coalescing (Firefox v91)",
+            ActiveMeasurement::ip_experiment(),
+        )
     } else {
-        ("Figure 7b: ORIGIN frame (Firefox v96)", ActiveMeasurement::origin_experiment())
+        (
+            "Figure 7b: ORIGIN frame (Firefox v96)",
+            ActiveMeasurement::origin_experiment(),
+        )
     };
-    let (exp, ctl) = m.run_both(group, seed);
+    let (exp, ctl) = m.run_both_threads(group, seed, threads);
     println!("{label}");
     println!("new_conns  experiment_cdf  control_cdf");
     let (ecdf, ccdf) = (exp.cdf(), ctl.cdf());
     for n in 0..=exp.max_connections().max(ctl.max_connections()) {
-        println!("{n:>9}  {:>14.3}  {:>11.3}", ecdf.eval(n as f64), ccdf.eval(n as f64));
+        println!(
+            "{n:>9}  {:>14.3}  {:>11.3}",
+            ecdf.eval(n as f64),
+            ccdf.eval(n as f64)
+        );
     }
     println!(
         "zero-connection visits: experiment {:.1}% control {:.1}%  (paper: {} )\n",
@@ -658,14 +847,18 @@ fn figure8(group: &SampleGroup, seed: u64) {
     );
 }
 
-fn figure9_bottom(group: &SampleGroup, seed: u64) {
-    let (exp, ctl) = ActiveMeasurement::origin_experiment().run_both(group, seed ^ 0xF9);
+fn figure9_bottom(group: &SampleGroup, seed: u64, threads: usize) {
+    let (exp, ctl) =
+        ActiveMeasurement::origin_experiment().run_both_threads(group, seed ^ 0xF9, threads);
     println!("Figure 9 (bottom): measured PLT at the deployment CDN");
     print_cdf_quantiles("Control", &Cdf::from_samples(&ctl.plt_ms));
     print_cdf_quantiles("Experiment", &Cdf::from_samples(&exp.plt_ms));
     println!(
         "median PLT change: {} (paper: ≈−1%, 'no worse')\n",
-        pct_change(origin_stats::percent_change(ctl.median_plt(), exp.median_plt()))
+        pct_change(origin_stats::percent_change(
+            ctl.median_plt(),
+            exp.median_plt()
+        ))
     );
 }
 
@@ -683,7 +876,10 @@ fn incident(group: &SampleGroup, seed: u64) {
         ctl.attempts,
         ctl.failure_rate() * 100.0
     );
-    let fixed = MiddleboxIncident { vendor_fixed: true, ..inc };
+    let fixed = MiddleboxIncident {
+        vendor_fixed: true,
+        ..inc
+    };
     let (exp2, ctl2) = fixed.simulate(group, 50_000, true, &mut rng);
     println!(
         "after vendor fix (Sept 2022): {} failures across {} connections\n",

@@ -14,7 +14,9 @@ use origin_core::certplan::{plan_site, EffectiveChanges, PlanSummary};
 use origin_core::characterize::Characterization;
 use origin_core::model::{predict, CoalescingGrouping};
 use origin_netsim::SimRng;
-use origin_webgen::{Dataset, DatasetConfig, PROVIDERS};
+use origin_webgen::{Dataset, DatasetConfig, SiteConfig, PROVIDERS};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The AS used for the "deployment-CDN only" model line in Figure 9.
 pub const DEPLOYMENT_CDN_ASN: u32 = 13335;
@@ -35,6 +37,14 @@ impl SeriesSamples {
         self.dns.push(dns as f64);
         self.tls.push(tls as f64);
         self.plt.push(plt);
+    }
+
+    /// Append another shard's samples. Merging rank-ordered shards in
+    /// rank order reproduces the sequential sample order exactly.
+    pub fn merge(&mut self, other: SeriesSamples) {
+        self.dns.extend(other.dns);
+        self.tls.extend(other.tls);
+        self.plt.extend(other.plt);
     }
 
     /// Median of a component.
@@ -67,67 +77,170 @@ pub struct CrawlResults {
     pub effective: EffectiveChanges,
 }
 
-/// Run the crawl + model over `sites` generated ranks.
+/// One shard's worth of crawl output: every accumulator a worker fills
+/// while walking its contiguous rank range. Merging shards in rank
+/// order reconstructs exactly what a sequential pass would produce.
+struct ShardAccum {
+    characterization: Characterization,
+    measured: SeriesSamples,
+    model_ip: SeriesSamples,
+    model_origin: SeriesSamples,
+    model_cdn_plt: Vec<f64>,
+    plan: PlanSummary,
+    effective: EffectiveChanges,
+}
+
+impl ShardAccum {
+    fn new(sites: u32, tranco_total: u32) -> Self {
+        ShardAccum {
+            characterization: Characterization::new(sites, tranco_total),
+            measured: SeriesSamples::default(),
+            model_ip: SeriesSamples::default(),
+            model_origin: SeriesSamples::default(),
+            model_cdn_plt: Vec::new(),
+            plan: PlanSummary::default(),
+            effective: EffectiveChanges::new(),
+        }
+    }
+
+    fn merge(&mut self, other: ShardAccum) {
+        self.characterization.merge(other.characterization);
+        self.measured.merge(other.measured);
+        self.model_ip.merge(other.model_ip);
+        self.model_origin.merge(other.model_origin);
+        self.model_cdn_plt.extend(other.model_cdn_plt);
+        self.plan.merge(other.plan);
+        self.effective.merge(other.effective);
+    }
+}
+
+/// Crawl + model one site into `acc`. Every site is self-contained:
+/// fresh browser session (its own [`UniverseEnv`] over the shared
+/// read-only dataset) and an RNG seeded purely from the site's own
+/// `page_seed` — no state crosses site boundaries, which is what makes
+/// sharding over threads exact rather than approximate.
+fn crawl_site(dataset: &Dataset, loader: &PageLoader, site: &SiteConfig, acc: &mut ShardAccum) {
+    let page = dataset.page_for(site);
+
+    // §3: measured crawl (fresh browser session per page).
+    let mut env = UniverseEnv::new(dataset);
+    env.flush_dns();
+    let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+    let load = loader.load(&page, &mut env, &mut rng);
+    acc.characterization.add(&page, &load);
+    acc.measured
+        .push(load.dns_queries(), load.tls_connections(), load.plt());
+
+    // §4.2: model predictions via timeline reconstruction.
+    let (ip, _) = predict(&page, &load, CoalescingGrouping::ByIp);
+    acc.model_ip
+        .push(ip.dns_queries, ip.tls_connections, ip.plt_ms);
+    let (origin, _) = predict(&page, &load, CoalescingGrouping::ByAs);
+    acc.model_origin
+        .push(origin.dns_queries, origin.tls_connections, origin.plt_ms);
+    let (cdn, _) = predict(
+        &page,
+        &load,
+        CoalescingGrouping::BySingleAs(DEPLOYMENT_CDN_ASN),
+    );
+    acc.model_cdn_plt.push(cdn.plt_ms);
+
+    // §4.3: certificate plan.
+    let cert = dataset.universe.cert_for(&site.root_host).cloned();
+    let universe = &dataset.universe;
+    let site_plan = plan_site(&page, cert.as_ref(), |a, b| {
+        if a.registrable() == b.registrable() {
+            return true;
+        }
+        let (x, y) = (universe.asn_of_host(a), universe.asn_of_host(b));
+        x != 0 && x == y
+    });
+    acc.plan.add(&site_plan);
+    let provider_label = site
+        .provider
+        .map(|i| PROVIDERS[i].org)
+        .unwrap_or("Self-hosted");
+    acc.effective.add(provider_label, &site_plan);
+}
+
+/// Run the crawl + model over `sites` generated ranks, using all
+/// available cores. Results are bit-identical for any thread count;
+/// see [`run_crawl_threads`].
 pub fn run_crawl(sites: u32, seed: u64) -> CrawlResults {
-    let config = DatasetConfig { sites, seed, ..Default::default() };
-    let mut dataset = Dataset::generate(config);
-    let mut characterization = Characterization::new(sites, config.tranco_total);
-    let mut measured = SeriesSamples::default();
-    let mut model_ip = SeriesSamples::default();
-    let mut model_origin = SeriesSamples::default();
-    let mut model_cdn_plt = Vec::new();
-    let mut plan = PlanSummary::default();
-    let mut effective = EffectiveChanges::new();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_crawl_threads(sites, seed, threads)
+}
 
-    let site_cfgs: Vec<_> = dataset.successful_sites().cloned().collect();
-    let loader = PageLoader::new(BrowserKind::Chromium);
-    for site in &site_cfgs {
-        let page = dataset.page_for(site);
+/// Run the crawl + model over `sites` generated ranks on `threads`
+/// worker threads.
+///
+/// The site list is cut into contiguous rank-ordered chunks (a few per
+/// thread, so a slow chunk doesn't idle the other workers); workers
+/// claim chunks off a shared counter, crawl each site into a
+/// per-chunk [`ShardAccum`], and the chunks are merged back in rank
+/// order. Because each site's RNG is seeded only from its own
+/// `page_seed` and each page load runs in its own session environment,
+/// the merged output is byte-identical to a sequential crawl — the
+/// thread count changes wall-clock time and nothing else.
+pub fn run_crawl_threads(sites: u32, seed: u64, threads: usize) -> CrawlResults {
+    let threads = threads.max(1);
+    let config = DatasetConfig {
+        sites,
+        seed,
+        ..Default::default()
+    };
+    let dataset = Dataset::generate(config);
+    let site_cfgs: Vec<SiteConfig> = dataset.successful_sites().cloned().collect();
 
-        // §3: measured crawl (fresh browser session per page).
-        let mut env = UniverseEnv::new(&mut dataset);
-        env.flush_dns();
-        let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
-        let load = loader.load(&page, &mut env, &mut rng);
-        characterization.add(&page, &load);
-        measured.push(load.dns_queries(), load.tls_connections(), load.plt());
+    // Over-split so chunk-duration variance load-balances; contiguous
+    // chunks keep the rank order trivially reconstructable.
+    let n_chunks = (threads * 4).min(site_cfgs.len()).max(1);
+    let chunk_size = site_cfgs.len().div_ceil(n_chunks);
+    let next_chunk = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ShardAccum>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
 
-        // §4.2: model predictions via timeline reconstruction.
-        let (ip, _) = predict(&page, &load, CoalescingGrouping::ByIp);
-        model_ip.push(ip.dns_queries, ip.tls_connections, ip.plt_ms);
-        let (origin, _) = predict(&page, &load, CoalescingGrouping::ByAs);
-        model_origin.push(origin.dns_queries, origin.tls_connections, origin.plt_ms);
-        let (cdn, _) =
-            predict(&page, &load, CoalescingGrouping::BySingleAs(DEPLOYMENT_CDN_ASN));
-        model_cdn_plt.push(cdn.plt_ms);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n_chunks) {
+            scope.spawn(|| {
+                let loader = PageLoader::new(BrowserKind::Chromium);
+                loop {
+                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    // Ceil-sized chunks can overrun the tail: clamp,
+                    // leaving trailing chunks empty (merge identity).
+                    let start = (chunk * chunk_size).min(site_cfgs.len());
+                    let end = (start + chunk_size).min(site_cfgs.len());
+                    let mut acc = ShardAccum::new(sites, config.tranco_total);
+                    for site in &site_cfgs[start..end] {
+                        crawl_site(&dataset, &loader, site, &mut acc);
+                    }
+                    *slots[chunk].lock().unwrap() = Some(acc);
+                }
+            });
+        }
+    });
 
-        // §4.3: certificate plan.
-        let cert = dataset.universe.cert_for(&site.root_host).cloned();
-        let universe = &dataset.universe;
-        let site_plan = plan_site(&page, cert.as_ref(), |a, b| {
-            if a.registrable() == b.registrable() {
-                return true;
-            }
-            let (x, y) = (universe.asn_of_host(a), universe.asn_of_host(b));
-            x != 0 && x == y
-        });
-        plan.add(&site_plan);
-        let provider_label = site
-            .provider
-            .map(|i| PROVIDERS[i].org)
-            .unwrap_or("Self-hosted");
-        effective.add(provider_label, &site_plan);
+    // Rank-ordered merge: chunk 0, 1, 2, … — the deterministic spine.
+    let mut total = ShardAccum::new(sites, config.tranco_total);
+    for slot in slots {
+        let acc = slot
+            .into_inner()
+            .unwrap()
+            .expect("every chunk was claimed and completed");
+        total.merge(acc);
     }
 
     CrawlResults {
         dataset,
-        characterization,
-        measured,
-        model_ip,
-        model_origin,
-        model_cdn_plt,
-        plan,
-        effective,
+        characterization: total.characterization,
+        measured: total.measured,
+        model_ip: total.model_ip,
+        model_origin: total.model_origin,
+        model_cdn_plt: total.model_cdn_plt,
+        plan: total.plan,
+        effective: total.effective,
     }
 }
 

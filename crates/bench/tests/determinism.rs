@@ -1,0 +1,116 @@
+//! The sharded crawl's headline guarantee: the thread count changes
+//! wall-clock time and nothing else. Every series, table, and counter
+//! must come out identical whether the crawl runs on 1, 2, or 8
+//! workers — this is what makes `repro --threads N` artifacts
+//! byte-comparable across machines.
+
+use origin_bench::{run_crawl_threads, CrawlResults};
+use origin_cdn::{ActiveMeasurement, SampleGroup, Treatment};
+use origin_netsim::SimRng;
+
+const SITES: u32 = 300;
+const SEED: u64 = 0xD373;
+
+fn assert_results_equal(a: &CrawlResults, b: &CrawlResults, label: &str) {
+    // Raw per-site series, in rank order.
+    assert_eq!(a.measured.dns, b.measured.dns, "{label}: measured dns");
+    assert_eq!(a.measured.tls, b.measured.tls, "{label}: measured tls");
+    assert_eq!(a.measured.plt, b.measured.plt, "{label}: measured plt");
+    assert_eq!(a.model_ip.plt, b.model_ip.plt, "{label}: model ip plt");
+    assert_eq!(
+        a.model_origin.plt, b.model_origin.plt,
+        "{label}: model origin plt"
+    );
+    assert_eq!(a.model_cdn_plt, b.model_cdn_plt, "{label}: model cdn plt");
+    // Characterization tables.
+    assert_eq!(
+        a.characterization.pages, b.characterization.pages,
+        "{label}: pages"
+    );
+    assert_eq!(
+        a.characterization.table1(),
+        b.characterization.table1(),
+        "{label}: table1"
+    );
+    assert_eq!(
+        a.characterization.as_requests.top(25),
+        b.characterization.as_requests.top(25),
+        "{label}: table2"
+    );
+    assert_eq!(
+        a.characterization.hostnames.top(25),
+        b.characterization.hostnames.top(25),
+        "{label}: table7"
+    );
+    assert_eq!(
+        a.characterization.figure1(),
+        b.characterization.figure1(),
+        "{label}: figure1"
+    );
+    // Certificate planning.
+    assert_eq!(a.plan.per_site, b.plan.per_site, "{label}: plan per-site");
+    assert_eq!(
+        a.plan.total_sites, b.plan.total_sites,
+        "{label}: plan totals"
+    );
+    assert_eq!(a.plan.table8(10), b.plan.table8(10), "{label}: table8");
+    assert_eq!(
+        a.effective.table9(10),
+        b.effective.table9(10),
+        "{label}: table9"
+    );
+}
+
+#[test]
+fn crawl_identical_across_thread_counts() {
+    let one = run_crawl_threads(SITES, SEED, 1);
+    let two = run_crawl_threads(SITES, SEED, 2);
+    let eight = run_crawl_threads(SITES, SEED, 8);
+    assert_results_equal(&one, &two, "1 vs 2 threads");
+    assert_results_equal(&one, &eight, "1 vs 8 threads");
+}
+
+#[test]
+fn active_measurement_identical_across_thread_counts() {
+    let mut rng = SimRng::seed_from_u64(0xAC7);
+    let group = SampleGroup::build(600, &mut rng);
+    let m = ActiveMeasurement::origin_experiment();
+    let seq = m.run(&group, Treatment::Experiment, 42);
+    let one = m.run_threads(&group, Treatment::Experiment, 42, 1);
+    let four = m.run_threads(&group, Treatment::Experiment, 42, 4);
+    assert_eq!(seq.plt_ms, one.plt_ms, "sequential vs 1 thread");
+    assert_eq!(seq.plt_ms, four.plt_ms, "sequential vs 4 threads");
+    assert_eq!(seq.fraction_with(0), four.fraction_with(0));
+    assert_eq!(seq.cdf(), four.cdf());
+}
+
+#[test]
+fn series_samples_merge_identities() {
+    use origin_bench::SeriesSamples;
+    let mut x = SeriesSamples::default();
+    x.dns.extend([1.0, 2.0]);
+    x.tls.extend([3.0]);
+    x.plt.extend([4.0, 5.0]);
+    // empty ⊕ x == x.
+    let mut from_empty = SeriesSamples::default();
+    from_empty.merge(x.clone());
+    assert_eq!(from_empty.dns, x.dns);
+    assert_eq!(from_empty.plt, x.plt);
+    // x ⊕ empty == x.
+    let mut with_empty = x.clone();
+    with_empty.merge(SeriesSamples::default());
+    assert_eq!(with_empty.tls, x.tls);
+    // Concatenation is associative: (x ⊕ y) ⊕ z == x ⊕ (y ⊕ z).
+    let mut y = SeriesSamples::default();
+    y.dns.push(9.0);
+    let mut z = SeriesSamples::default();
+    z.dns.push(11.0);
+    let mut xy_z = x.clone();
+    xy_z.merge(y.clone());
+    xy_z.merge(z.clone());
+    let mut yz = y.clone();
+    yz.merge(z.clone());
+    let mut x_yz = x.clone();
+    x_yz.merge(yz);
+    assert_eq!(xy_z.dns, x_yz.dns);
+}

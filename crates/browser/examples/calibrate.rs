@@ -5,16 +5,36 @@ use origin_netsim::SimRng;
 use origin_webgen::{Dataset, DatasetConfig};
 
 fn main() {
-    let n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(800);
-    let mut d = Dataset::generate(DatasetConfig { sites: n, ..Default::default() });
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    let d = Dataset::generate(DatasetConfig {
+        sites: n,
+        ..Default::default()
+    });
     let sites: Vec<_> = d.sites().iter().filter(|s| !s.failed).cloned().collect();
-    for kind in [BrowserKind::Chromium, BrowserKind::IdealIp, BrowserKind::IdealOrigin] {
-        let mut reqs = vec![]; let mut dns = vec![]; let mut tls = vec![]; let mut ases = vec![]; let mut plt = vec![]; let mut hosts = vec![];
-        let mut plt_ip = vec![]; let mut plt_as = vec![]; let mut plt_cdn = vec![];
-        let mut dns_ip = vec![]; let mut tls_ip = vec![]; let mut dns_as = vec![]; let mut tls_as = vec![];
+    for kind in [
+        BrowserKind::Chromium,
+        BrowserKind::IdealIp,
+        BrowserKind::IdealOrigin,
+    ] {
+        let mut reqs = vec![];
+        let mut dns = vec![];
+        let mut tls = vec![];
+        let mut ases = vec![];
+        let mut plt = vec![];
+        let mut hosts = vec![];
+        let mut plt_ip = vec![];
+        let mut plt_as = vec![];
+        let mut plt_cdn = vec![];
+        let mut dns_ip = vec![];
+        let mut tls_ip = vec![];
+        let mut dns_as = vec![];
+        let mut tls_as = vec![];
         for site in &sites {
             let page = d.page_for(site);
-            let mut env = UniverseEnv::new(&mut d);
+            let mut env = UniverseEnv::new(&d);
             env.flush_dns();
             let loader = PageLoader::new(kind);
             let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xbeef);
@@ -29,14 +49,26 @@ fn main() {
                 let (p_ip, _) = predict(&page, &pl, CoalescingGrouping::ByIp);
                 let (p_as, _) = predict(&page, &pl, CoalescingGrouping::ByAs);
                 let (p_cdn, _) = predict(&page, &pl, CoalescingGrouping::BySingleAs(13335));
-                plt_ip.push(p_ip.plt_ms); plt_as.push(p_as.plt_ms); plt_cdn.push(p_cdn.plt_ms);
-                dns_ip.push(p_ip.dns_queries as f64); tls_ip.push(p_ip.tls_connections as f64);
-                dns_as.push(p_as.dns_queries as f64); tls_as.push(p_as.tls_connections as f64);
+                plt_ip.push(p_ip.plt_ms);
+                plt_as.push(p_as.plt_ms);
+                plt_cdn.push(p_cdn.plt_ms);
+                dns_ip.push(p_ip.dns_queries as f64);
+                tls_ip.push(p_ip.tls_connections as f64);
+                dns_as.push(p_as.dns_queries as f64);
+                tls_as.push(p_as.tls_connections as f64);
             }
         }
         let med = |v: &[f64]| origin_stats::median(v).unwrap();
-        println!("{:?}: reqs={:.0} hosts={:.0} dns={:.1} tls={:.1} ases={:.1} plt={:.0}ms",
-            kind, med(&reqs), med(&hosts), med(&dns), med(&tls), med(&ases), med(&plt));
+        println!(
+            "{:?}: reqs={:.0} hosts={:.0} dns={:.1} tls={:.1} ases={:.1} plt={:.0}ms",
+            kind,
+            med(&reqs),
+            med(&hosts),
+            med(&dns),
+            med(&tls),
+            med(&ases),
+            med(&plt)
+        );
         if kind == BrowserKind::Chromium {
             let m = med(&plt);
             println!("  model(recon): IP dns={:.1} tls={:.1} plt={:.0} ({:+.1}%) | ORIGIN dns={:.1} tls={:.1} plt={:.0} ({:+.1}%) | CDN plt={:.0} ({:+.1}%)",

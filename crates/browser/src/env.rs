@@ -1,6 +1,6 @@
 //! The environment a browser loads pages against.
 
-use origin_dns::{DnsName, QueryAnswer, Resolver};
+use origin_dns::{DnsName, QueryAnswer, ResolverState};
 use origin_h2::OriginSet;
 use origin_netsim::{LinkProfile, SimRng, SimTime};
 use origin_tls::Certificate;
@@ -45,9 +45,9 @@ pub trait WebEnv {
 /// advertises no ORIGIN frames — exactly the 2021 Internet the paper
 /// measured.
 pub struct UniverseEnv<'a> {
-    dataset: &'a mut Dataset,
+    dataset: &'a Dataset,
     resolver_cache_flushed: bool,
-    resolver: Resolver,
+    resolver: ResolverState,
     /// When set, servers hosted by these provider ASes advertise an
     /// origin set covering all page hosts they serve (used by the §4
     /// what-if runs and §5-style deployments on the crawl universe).
@@ -57,15 +57,17 @@ pub struct UniverseEnv<'a> {
 impl<'a> UniverseEnv<'a> {
     /// Wrap a dataset. The resolver starts cold (the paper's crawler
     /// cleared caches between page loads).
-    pub fn new(dataset: &'a mut Dataset) -> Self {
-        // The resolver owns a clone of the zone set; zone state
-        // (round-robin rotation) advances per query like a real
-        // authoritative farm.
-        let zones = dataset.universe.zones.clone();
+    ///
+    /// The dataset is borrowed read-only: all mutable resolver state
+    /// (cache, round-robin rotation serials) lives in this env, so any
+    /// number of envs — one per crawl worker — can share one dataset.
+    /// Rotation still advances per query like a real authoritative
+    /// farm, via the session's serial overlay.
+    pub fn new(dataset: &'a Dataset) -> Self {
         UniverseEnv {
             dataset,
             resolver_cache_flushed: false,
-            resolver: Resolver::new(zones, origin_dns::Transport::Udp53),
+            resolver: ResolverState::new(origin_dns::Transport::Udp53),
             origin_enabled_asns: Vec::new(),
         }
     }
@@ -84,7 +86,8 @@ impl<'a> UniverseEnv<'a> {
 
 impl WebEnv for UniverseEnv<'_> {
     fn resolve(&mut self, host: &DnsName, now: SimTime, rng: &mut SimRng) -> Option<QueryAnswer> {
-        self.resolver.resolve(host, now, rng)
+        self.resolver
+            .resolve(&self.dataset.universe.zones, host, now, rng)
     }
 
     fn cert_for(&self, host: &DnsName) -> Option<&Certificate> {
@@ -139,12 +142,9 @@ impl WebEnv for UniverseEnv<'_> {
             // Tail origins from a single US-East vantage (§3.1): about
             // half are same-continent, half intercontinental. The
             // class is a stable per-host property (FNV over the name).
-            let h = host
-                .as_str()
-                .bytes()
-                .fold(0xcbf29ce484222325u64, |acc, b| {
-                    (acc ^ b as u64).wrapping_mul(0x100000001b3)
-                });
+            let h = host.as_str().bytes().fold(0xcbf29ce484222325u64, |acc, b| {
+                (acc ^ b as u64).wrapping_mul(0x100000001b3)
+            });
             if h % 2 == 0 {
                 LinkProfile::new(95.0, 25.0).with_jitter(0.30)
             } else {
@@ -161,13 +161,17 @@ mod tests {
     use origin_webgen::DatasetConfig;
 
     fn dataset() -> Dataset {
-        Dataset::generate(DatasetConfig { sites: 50, tranco_total: 500_000, seed: 3 })
+        Dataset::generate(DatasetConfig {
+            sites: 50,
+            tranco_total: 500_000,
+            seed: 3,
+        })
     }
 
     #[test]
     fn resolves_and_attributes() {
-        let mut d = dataset();
-        let mut env = UniverseEnv::new(&mut d);
+        let d = dataset();
+        let mut env = UniverseEnv::new(&d);
         let mut rng = SimRng::seed_from_u64(1);
         let ans = env
             .resolve(&name("cdnjs.cloudflare.com"), SimTime::ZERO, &mut rng)
@@ -178,8 +182,8 @@ mod tests {
 
     #[test]
     fn colocation_same_provider() {
-        let mut d = dataset();
-        let env = UniverseEnv::new(&mut d);
+        let d = dataset();
+        let env = UniverseEnv::new(&d);
         // Two Cloudflare-hosted services are colocated.
         assert!(env.colocated(&name("cdnjs.cloudflare.com"), &name("ajax.cloudflare.com")));
         // Cloudflare and Google are not.
@@ -190,18 +194,20 @@ mod tests {
 
     #[test]
     fn origin_sets_only_for_enabled_asns() {
-        let mut d = dataset();
-        let mut env = UniverseEnv::new(&mut d);
+        let d = dataset();
+        let mut env = UniverseEnv::new(&d);
         assert!(env.origin_set_for(&name("cdnjs.cloudflare.com")).is_none());
         env.origin_enabled_asns.push(13335);
-        let set = env.origin_set_for(&name("cdnjs.cloudflare.com")).expect("origin set");
+        let set = env
+            .origin_set_for(&name("cdnjs.cloudflare.com"))
+            .expect("origin set");
         assert!(set.allows_https_host("cdnjs.cloudflare.com"));
     }
 
     #[test]
     fn links_differ_by_provider_size() {
-        let mut d = dataset();
-        let env = UniverseEnv::new(&mut d);
+        let d = dataset();
+        let env = UniverseEnv::new(&d);
         let cdn = env.link_for(&name("cdnjs.cloudflare.com"));
         let tail = env.link_for(&name("tag0.widget-net-0.net"));
         assert!(cdn.rtt < tail.rtt);

@@ -65,7 +65,9 @@ pub struct PageLoader {
 impl PageLoader {
     /// Loader with default config for `kind`.
     pub fn new(kind: BrowserKind) -> Self {
-        PageLoader { config: BrowserConfig::new(kind) }
+        PageLoader {
+            config: BrowserConfig::new(kind),
+        }
     }
 
     /// Simulate one page load. The environment's DNS cache should be
@@ -83,7 +85,11 @@ impl PageLoader {
         let mut main_thread_free = 0.0f64;
 
         for (idx, res) in page.resources.iter().enumerate() {
-            let parent = if idx == 0 { None } else { Some(res.discovered_by.unwrap_or(0)) };
+            let parent = if idx == 0 {
+                None
+            } else {
+                Some(res.discovered_by.unwrap_or(0))
+            };
             let start = if let Some(p) = parent {
                 // A child dispatches after its discovering resource
                 // finishes plus the CPU time to parse/execute the
@@ -97,8 +103,9 @@ impl PageLoader {
                 } else {
                     rng.log_normal(8.0, 0.5)
                 };
-                let dep_ready =
-                    ready[p] + parent_cpu + self.config.dispatch_delay_ms * (1.0 + seq as f64 * 6.0);
+                let dep_ready = ready[p]
+                    + parent_cpu
+                    + self.config.dispatch_delay_ms * (1.0 + seq as f64 * 6.0);
                 // The main thread must also have worked through the
                 // handling slices of every earlier resource.
                 dep_ready.max(main_thread_free)
@@ -114,7 +121,11 @@ impl PageLoader {
             timings.push(timing);
         }
 
-        PageLoad { rank: page.rank, root_host: page.root_host.clone(), requests: timings }
+        PageLoad {
+            rank: page.rank,
+            root_host: page.root_host.clone(),
+            requests: timings,
+        }
     }
 
     fn run_request(
@@ -179,18 +190,18 @@ impl PageLoader {
             );
         let skip_dns_probe = origin_trusted
             || !self.config.kind.dns_before_coalesce()
-            && !matches!(
-                pool.decide(
-                    self.config.kind,
-                    &host,
-                    &[],
-                    partition,
-                    self.config.max_h1_per_host,
-                    start,
-                    |ch| env.colocated(ch, &host),
-                ),
-                ReuseDecision::New
-            );
+                && !matches!(
+                    pool.decide(
+                        self.config.kind,
+                        &host,
+                        &[],
+                        partition,
+                        self.config.max_h1_per_host,
+                        start,
+                        |ch| env.colocated(ch, &host),
+                    ),
+                    ReuseDecision::New
+                );
         if !skip_dns_probe {
             match env.resolve(&host, now, rng) {
                 Some(ans) => {
@@ -206,7 +217,10 @@ impl PageLoader {
                         ip: placeholder_ip,
                         asn,
                         start,
-                        phase: Phase { dns: 15.0, ..Default::default() },
+                        phase: Phase {
+                            dns: 15.0,
+                            ..Default::default()
+                        },
                         did_dns: true,
                         new_connection: false,
                         coalesced: false,
@@ -233,7 +247,10 @@ impl PageLoader {
             |ch| env.colocated(ch, &host),
         );
 
-        let mut phase = Phase { dns: dns_ms, ..Default::default() };
+        let mut phase = Phase {
+            dns: dns_ms,
+            ..Default::default()
+        };
         let mut new_connection = false;
         let mut coalesced = false;
         let mut extra_connections = 0u8;
@@ -324,7 +341,11 @@ impl PageLoader {
             resource_index: idx,
             host,
             ip,
-            asn: if ip == placeholder_ip { asn } else { env.asn_of_ip(&ip).max(asn) },
+            asn: if ip == placeholder_ip {
+                asn
+            } else {
+                env.asn_of_ip(&ip).max(asn)
+            },
             start,
             phase,
             did_dns,
@@ -346,10 +367,14 @@ mod tests {
     use origin_webgen::{Dataset, DatasetConfig};
 
     fn dataset() -> Dataset {
-        Dataset::generate(DatasetConfig { sites: 120, tranco_total: 500_000, seed: 11 })
+        Dataset::generate(DatasetConfig {
+            sites: 120,
+            tranco_total: 500_000,
+            seed: 11,
+        })
     }
 
-    fn load_first_page(kind: BrowserKind, d: &mut Dataset) -> PageLoad {
+    fn load_first_page(kind: BrowserKind, d: &Dataset) -> PageLoad {
         let site = d
             .sites()
             .iter()
@@ -366,10 +391,10 @@ mod tests {
 
     #[test]
     fn load_produces_timing_per_resource() {
-        let mut d = dataset();
+        let d = dataset();
         let site = d.sites().iter().find(|s| !s.failed).unwrap().clone();
         let page = d.page_for(&site);
-        let pl = load_first_page(BrowserKind::Chromium, &mut d);
+        let pl = load_first_page(BrowserKind::Chromium, &d);
         assert_eq!(pl.requests.len(), page.resources.len());
         assert!(pl.plt() > 0.0);
         // Root request always opens a connection and queries DNS.
@@ -379,8 +404,8 @@ mod tests {
 
     #[test]
     fn dns_once_per_host() {
-        let mut d = dataset();
-        let pl = load_first_page(BrowserKind::Chromium, &mut d);
+        let d = dataset();
+        let pl = load_first_page(BrowserKind::Chromium, &d);
         // Network DNS queries ≤ distinct hosts (cache hits after the
         // first query per host).
         let distinct_hosts: std::collections::HashSet<_> =
@@ -391,8 +416,8 @@ mod tests {
 
     #[test]
     fn same_host_requests_reuse_connections() {
-        let mut d = dataset();
-        let pl = load_first_page(BrowserKind::Chromium, &mut d);
+        let d = dataset();
+        let pl = load_first_page(BrowserKind::Chromium, &d);
         // New H2 connections ≤ distinct hosts + races.
         let distinct_hosts: std::collections::HashSet<_> =
             pl.requests.iter().map(|r| r.host.clone()).collect();
@@ -406,10 +431,10 @@ mod tests {
 
     #[test]
     fn ideal_origin_fewer_connections_than_chromium() {
-        let mut d1 = dataset();
-        let chromium = load_first_page(BrowserKind::Chromium, &mut d1);
-        let mut d2 = dataset();
-        let ideal = load_first_page(BrowserKind::IdealOrigin, &mut d2);
+        let d1 = dataset();
+        let chromium = load_first_page(BrowserKind::Chromium, &d1);
+        let d2 = dataset();
+        let ideal = load_first_page(BrowserKind::IdealOrigin, &d2);
         assert!(
             ideal.tls_connections() <= chromium.tls_connections(),
             "ideal {} vs chromium {}",
@@ -427,34 +452,39 @@ mod tests {
 
     #[test]
     fn ideal_ip_between_measured_and_origin() {
-        let mut d1 = dataset();
-        let measured = load_first_page(BrowserKind::Chromium, &mut d1);
-        let mut d2 = dataset();
-        let ideal_ip = load_first_page(BrowserKind::IdealIp, &mut d2);
-        let mut d3 = dataset();
-        let ideal_origin = load_first_page(BrowserKind::IdealOrigin, &mut d3);
+        let d1 = dataset();
+        let measured = load_first_page(BrowserKind::Chromium, &d1);
+        let d2 = dataset();
+        let ideal_ip = load_first_page(BrowserKind::IdealIp, &d2);
+        let d3 = dataset();
+        let ideal_origin = load_first_page(BrowserKind::IdealOrigin, &d3);
         assert!(ideal_ip.tls_connections() <= measured.tls_connections());
         assert!(ideal_origin.tls_connections() <= ideal_ip.tls_connections());
     }
 
     #[test]
     fn deterministic_under_fixed_seed() {
-        let mut d1 = dataset();
-        let a = load_first_page(BrowserKind::Firefox, &mut d1);
-        let mut d2 = dataset();
-        let b = load_first_page(BrowserKind::Firefox, &mut d2);
+        let d1 = dataset();
+        let a = load_first_page(BrowserKind::Firefox, &d1);
+        let d2 = dataset();
+        let b = load_first_page(BrowserKind::Firefox, &d2);
         assert_eq!(a, b);
     }
 
     #[test]
     fn coalesced_requests_have_no_setup_phases() {
-        let mut d = dataset();
-        let sites: Vec<_> =
-            d.sites().iter().filter(|s| !s.failed).take(10).cloned().collect();
+        let d = dataset();
+        let sites: Vec<_> = d
+            .sites()
+            .iter()
+            .filter(|s| !s.failed)
+            .take(10)
+            .cloned()
+            .collect();
         let mut total_coalesced = 0;
         for site in sites {
             let page = d.page_for(&site);
-            let mut env = UniverseEnv::new(&mut d);
+            let mut env = UniverseEnv::new(&d);
             env.flush_dns();
             let loader = PageLoader::new(BrowserKind::IdealOrigin);
             let mut rng = SimRng::seed_from_u64(99);
@@ -468,6 +498,9 @@ mod tests {
             }
             total_coalesced += pl.coalesced_requests();
         }
-        assert!(total_coalesced > 0, "ideal origin should coalesce across 10 pages");
+        assert!(
+            total_coalesced > 0,
+            "ideal origin should coalesce across 10 pages"
+        );
     }
 }

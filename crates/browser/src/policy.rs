@@ -39,7 +39,10 @@ impl BrowserKind {
 
     /// Does IP matching extend to the full answer set (transitivity)?
     pub fn ip_transitive(self) -> bool {
-        matches!(self, BrowserKind::Firefox | BrowserKind::FirefoxOrigin | BrowserKind::IdealIp)
+        matches!(
+            self,
+            BrowserKind::Firefox | BrowserKind::FirefoxOrigin | BrowserKind::IdealIp
+        )
     }
 
     /// Does this policy honour ORIGIN frames?
@@ -60,7 +63,10 @@ impl BrowserKind {
     /// don't — §4.2 calls the races out as the gap between measured
     /// DNS and TLS counts.
     pub fn models_races(self) -> bool {
-        matches!(self, BrowserKind::Chromium | BrowserKind::Firefox | BrowserKind::FirefoxOrigin)
+        matches!(
+            self,
+            BrowserKind::Chromium | BrowserKind::Firefox | BrowserKind::FirefoxOrigin
+        )
     }
 
     /// Human-readable label for reports.
@@ -100,7 +106,10 @@ mod tests {
     fn firefox_origin_still_queries_dns() {
         let k = BrowserKind::FirefoxOrigin;
         assert!(k.uses_origin_frame());
-        assert!(k.dns_before_coalesce(), "§6.8: Firefox conservatively queries DNS");
+        assert!(
+            k.dns_before_coalesce(),
+            "§6.8: Firefox conservatively queries DNS"
+        );
     }
 
     #[test]
@@ -115,7 +124,10 @@ mod tests {
 
     #[test]
     fn labels_match_figure3_legend() {
-        assert_eq!(BrowserKind::IdealOrigin.label(), "Ideal Modelled Origin Coalescing");
+        assert_eq!(
+            BrowserKind::IdealOrigin.label(),
+            "Ideal Modelled Origin Coalescing"
+        );
         assert_eq!(BrowserKind::IdealIp.label(), "Ideal Modelled IP Coalescing");
     }
 }

@@ -122,6 +122,7 @@ impl ConnectionPool {
     /// pooled connection can serve `host` without a 421; it
     /// represents the server-side half of the decision that the
     /// client cannot see but experiences as an error + retry.
+    #[allow(clippy::too_many_arguments)] // one decision, eight independent inputs
     pub fn decide(
         &self,
         policy: BrowserKind,
@@ -163,7 +164,9 @@ impl ConnectionPool {
                 .enumerate()
                 .filter(|(_, c)| c.partition == partition && &c.host == host)
                 .min_by(|(_, a), (_, b)| {
-                    a.busy_until.partial_cmp(&b.busy_until).expect("finite times")
+                    a.busy_until
+                        .partial_cmp(&b.busy_until)
+                        .expect("finite times")
                 })
             {
                 return ReuseDecision::SameHost(i);
@@ -265,7 +268,12 @@ mod tests {
         let ipa = v4(1, 1, 1, 1);
         let ipb = v4(2, 2, 2, 2);
         let ipc = v4(3, 3, 3, 3);
-        pool.insert(conn("www.a.com", ipa, vec![ipa, ipb], &["*.a.com", "cdn.a.com"]));
+        pool.insert(conn(
+            "www.a.com",
+            ipa,
+            vec![ipa, ipb],
+            &["*.a.com", "cdn.a.com"],
+        ));
         // Subresource's DNS answer {IPB, IPC}: Chromium misses…
         let d = pool.decide(
             BrowserKind::Chromium,
@@ -387,7 +395,11 @@ mod tests {
             0.0,
             always,
         );
-        assert_eq!(d, ReuseDecision::New, "anonymous must not reuse default-pool conn");
+        assert_eq!(
+            d,
+            ReuseDecision::New,
+            "anonymous must not reuse default-pool conn"
+        );
     }
 
     #[test]

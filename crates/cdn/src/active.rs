@@ -24,6 +24,15 @@ pub struct ActiveResult {
 }
 
 impl ActiveResult {
+    /// Fold another shard's arm results into this one. PLTs
+    /// concatenate in call order, so merging visit-ordered shards in
+    /// order reproduces the sequential series; the histogram is a
+    /// commutative counter.
+    pub fn merge(&mut self, other: ActiveResult) {
+        self.new_connections.merge(&other.new_connections);
+        self.plt_ms.extend(other.plt_ms);
+    }
+
     /// Fraction of visits with exactly `n` new connections.
     pub fn fraction_with(&self, n: u64) -> f64 {
         self.new_connections.fraction(n)
@@ -34,14 +43,18 @@ impl ActiveResult {
         let samples: Vec<u64> = self
             .new_connections
             .bins()
-            .flat_map(|(v, c)| std::iter::repeat(v).take(c as usize))
+            .flat_map(|(v, c)| std::iter::repeat_n(v, c as usize))
             .collect();
         Cdf::from_u64(&samples)
     }
 
     /// Largest observed new-connection count.
     pub fn max_connections(&self) -> u64 {
-        self.new_connections.bins().map(|(v, _)| v).max().unwrap_or(0)
+        self.new_connections
+            .bins()
+            .map(|(v, _)| v)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Median PLT for the arm.
@@ -62,7 +75,10 @@ pub struct ActiveMeasurement {
 impl ActiveMeasurement {
     /// The §5.2 configuration.
     pub fn ip_experiment() -> Self {
-        ActiveMeasurement { mode: DeploymentMode::IpAligned, browser: BrowserKind::Firefox }
+        ActiveMeasurement {
+            mode: DeploymentMode::IpAligned,
+            browser: BrowserKind::Firefox,
+        }
     }
 
     /// The §5.3 configuration.
@@ -88,7 +104,10 @@ impl ActiveMeasurement {
             hist.add(load.new_connections_to(&third_party));
             plts.push(load.plt());
         }
-        ActiveResult { new_connections: hist, plt_ms: plts }
+        ActiveResult {
+            new_connections: hist,
+            plt_ms: plts,
+        }
     }
 
     /// Run both arms.
@@ -96,6 +115,90 @@ impl ActiveMeasurement {
         (
             self.run(group, Treatment::Experiment, seed),
             self.run(group, Treatment::Control, seed),
+        )
+    }
+
+    /// Like [`ActiveMeasurement::run`] but sharded over `threads`
+    /// worker threads. Each visit runs in a fresh browser session with
+    /// an RNG seeded only from `seed ^ site.page_seed`, so sites are
+    /// independent; workers claim contiguous visit-ordered chunks and
+    /// the chunks merge back in order — the result is byte-identical
+    /// to the sequential run for any thread count.
+    pub fn run_threads(
+        &self,
+        group: &SampleGroup,
+        treatment: Treatment,
+        seed: u64,
+        threads: usize,
+    ) -> ActiveResult {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let threads = threads.max(1);
+        let sites: Vec<_> = group.arm(treatment).collect();
+        let n_chunks = (threads * 4).min(sites.len()).max(1);
+        let chunk_size = sites.len().div_ceil(n_chunks);
+        let next_chunk = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ActiveResult>>> =
+            (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let third_party = name(THIRD_PARTY_HOST);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(n_chunks) {
+                scope.spawn(|| {
+                    let mut env = CdnEnv::new(group, self.mode);
+                    let loader = PageLoader::new(self.browser);
+                    loop {
+                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= n_chunks {
+                            break;
+                        }
+                        // Ceil-sized chunks can overrun the tail:
+                        // clamp, leaving trailing chunks empty
+                        // (merge identity).
+                        let start = (chunk * chunk_size).min(sites.len());
+                        let end = (start + chunk_size).min(sites.len());
+                        let mut result = ActiveResult {
+                            new_connections: Histogram::new(),
+                            plt_ms: Vec::new(),
+                        };
+                        for site in &sites[start..end] {
+                            let page = site.page();
+                            let mut rng = SimRng::seed_from_u64(seed ^ site.page_seed);
+                            let load = loader.load(&page, &mut env, &mut rng);
+                            result
+                                .new_connections
+                                .add(load.new_connections_to(&third_party));
+                            result.plt_ms.push(load.plt());
+                        }
+                        *slots[chunk].lock().unwrap() = Some(result);
+                    }
+                });
+            }
+        });
+
+        let mut total = ActiveResult {
+            new_connections: Histogram::new(),
+            plt_ms: Vec::new(),
+        };
+        for slot in slots {
+            let r = slot.into_inner().unwrap().expect("every chunk completed");
+            total.merge(r);
+        }
+        total
+    }
+
+    /// Run both arms sharded over `threads` worker threads; see
+    /// [`ActiveMeasurement::run_threads`].
+    pub fn run_both_threads(
+        &self,
+        group: &SampleGroup,
+        seed: u64,
+        threads: usize,
+    ) -> (ActiveResult, ActiveResult) {
+        (
+            self.run_threads(group, Treatment::Experiment, seed, threads),
+            self.run_threads(group, Treatment::Control, seed, threads),
         )
     }
 
@@ -131,8 +234,7 @@ impl ActiveMeasurement {
             let expected = origin_mode && site.treatment == Treatment::Experiment;
             // The browser model additionally checks the certificate.
             let cert_covers = site.cert.covers(&name(THIRD_PARTY_HOST));
-            if wire_allows == expected && cert_covers == (site.treatment == Treatment::Experiment)
-            {
+            if wire_allows == expected && cert_covers == (site.treatment == Treatment::Experiment) {
                 matched += 1;
             }
         }
@@ -208,7 +310,10 @@ mod tests {
         let m = ActiveMeasurement::origin_experiment();
         assert_eq!(m.wire_spot_check(&g, 60), 60);
         // Pre-deployment: no ORIGIN frames on the wire either.
-        let m = ActiveMeasurement { mode: DeploymentMode::Baseline, browser: BrowserKind::Firefox };
+        let m = ActiveMeasurement {
+            mode: DeploymentMode::Baseline,
+            browser: BrowserKind::Firefox,
+        };
         assert_eq!(m.wire_spot_check(&g, 60), 60);
     }
 

@@ -47,7 +47,12 @@ impl EdgeServer {
             origin_set,
             authorized,
         });
-        EdgeServer { conn, cert: site.cert.clone(), served: 0, misdirected: 0 }
+        EdgeServer {
+            conn,
+            cert: site.cert.clone(),
+            served: 0,
+            misdirected: 0,
+        }
     }
 
     /// Feed client bytes; serve any complete requests; return the
@@ -55,7 +60,10 @@ impl EdgeServer {
     pub fn handle(&mut self, bytes: &[u8]) -> Result<Vec<Event>, origin_h2::H2Error> {
         let events = self.conn.recv(bytes)?;
         for ev in &events {
-            if let Event::Headers { stream, headers, .. } = ev {
+            if let Event::Headers {
+                stream, headers, ..
+            } = ev
+            {
                 match authority_of(headers) {
                     Some(authority) if self.conn.is_authorized(authority) => {
                         self.conn.send_response(*stream, 200, b"{\"ok\":true}");
@@ -88,7 +96,10 @@ mod tests {
     fn site(treatment: Treatment) -> SampleSite {
         let mut rng = SimRng::seed_from_u64(0xED6E);
         let g = SampleGroup::build(50, &mut rng);
-        g.sites.into_iter().find(|s| s.treatment == treatment).expect("site")
+        g.sites
+            .into_iter()
+            .find(|s| s.treatment == treatment)
+            .expect("site")
     }
 
     /// Pump client and edge to quiescence.
@@ -147,8 +158,10 @@ mod tests {
         pump(&mut client, &mut edge);
         // Root request, then a coalesced third-party request.
         client.send_request(&request_headers("GET", s.host.as_str(), "/"), true);
-        client
-            .send_request(&request_headers("GET", THIRD_PARTY_HOST, "/ajax/libs/x.js"), true);
+        client.send_request(
+            &request_headers("GET", THIRD_PARTY_HOST, "/ajax/libs/x.js"),
+            true,
+        );
         let events = pump(&mut client, &mut edge);
         let statuses: Vec<u16> = events
             .iter()
@@ -190,7 +203,9 @@ mod tests {
         let mut edge = EdgeServer::for_site(&s, false);
         let mut client = Connection::client(s.host.as_str(), Settings::default());
         let events = pump(&mut client, &mut edge);
-        assert!(!events.iter().any(|e| matches!(e, Event::OriginReceived { .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, Event::OriginReceived { .. })));
         assert_eq!(edge.conn.origin_frames, 0);
     }
 }

@@ -64,10 +64,15 @@ impl<'a> CdnEnv<'a> {
             site_index.insert(s.host.clone(), i);
             // Deterministic ordinary per-domain VIPs.
             let d = (i % 200) as u8;
-            ordinary_ips
-                .insert(s.host.clone(), IpAddr::V4(Ipv4Addr::new(104, 16, 1 + (i / 200) as u8, d)));
+            ordinary_ips.insert(
+                s.host.clone(),
+                IpAddr::V4(Ipv4Addr::new(104, 16, 1 + (i / 200) as u8, d)),
+            );
         }
-        ordinary_ips.insert(name(THIRD_PARTY_HOST), IpAddr::V4(Ipv4Addr::new(104, 17, 0, 1)));
+        ordinary_ips.insert(
+            name(THIRD_PARTY_HOST),
+            IpAddr::V4(Ipv4Addr::new(104, 17, 0, 1)),
+        );
         CdnEnv {
             group,
             mode,
@@ -203,7 +208,9 @@ mod tests {
         let g = group();
         let env = CdnEnv::new(&g, DeploymentMode::OriginFrames);
         for s in &g.sites {
-            let set = env.origin_set_for(&s.host).expect("origin set in §5.3 mode");
+            let set = env
+                .origin_set_for(&s.host)
+                .expect("origin set in §5.3 mode");
             match s.treatment {
                 Treatment::Experiment => {
                     assert!(set.allows_https_host(THIRD_PARTY_HOST));
@@ -225,7 +232,9 @@ mod tests {
         let g = group();
         let mut env = CdnEnv::new(&g, DeploymentMode::Baseline);
         let mut rng = SimRng::seed_from_u64(1);
-        assert!(env.resolve(&name("unrelated.example"), SimTime::ZERO, &mut rng).is_none());
+        assert!(env
+            .resolve(&name("unrelated.example"), SimTime::ZERO, &mut rng)
+            .is_none());
     }
 
     #[test]

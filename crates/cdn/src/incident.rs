@@ -12,7 +12,9 @@
 //! may or may not send ORIGIN frames.
 
 use crate::sample::{SampleGroup, Treatment};
-use origin_netsim::fault::{CompliantMiddlebox, Middlebox, MiddleboxVerdict, NonCompliantMiddlebox};
+use origin_netsim::fault::{
+    CompliantMiddlebox, Middlebox, MiddleboxVerdict, NonCompliantMiddlebox,
+};
 use origin_netsim::SimRng;
 
 /// The ORIGIN frame's wire type code (RFC 8336).
@@ -29,7 +31,10 @@ pub struct MiddleboxIncident {
 
 impl Default for MiddleboxIncident {
     fn default() -> Self {
-        MiddleboxIncident { affected_client_share: 0.03, vendor_fixed: false }
+        MiddleboxIncident {
+            affected_client_share: 0.03,
+            vendor_fixed: false,
+        }
     }
 }
 
@@ -87,10 +92,17 @@ impl MiddleboxIncident {
             // server's SETTINGS (0x04) always; ORIGIN (0x0c) when the
             // deployment is live.
             let mut verdict = MiddleboxVerdict::Forward;
-            let frames: &[u8] =
-                if origin_enabled { &[0x04, ORIGIN_FRAME_TYPE] } else { &[0x04] };
+            let frames: &[u8] = if origin_enabled {
+                &[0x04, ORIGIN_FRAME_TYPE]
+            } else {
+                &[0x04]
+            };
             for &ft in frames {
-                let v = if behind_buggy { buggy.inspect(ft) } else { clean.inspect(ft) };
+                let v = if behind_buggy {
+                    buggy.inspect(ft)
+                } else {
+                    clean.inspect(ft)
+                };
                 if v == MiddleboxVerdict::TearDown {
                     verdict = v;
                     break;
@@ -130,18 +142,32 @@ mod tests {
     fn origin_deployment_surfaces_the_bug_in_both_arms() {
         let g = group();
         let mut rng = SimRng::seed_from_u64(2);
-        let inc = MiddleboxIncident { affected_client_share: 0.03, vendor_fixed: false };
+        let inc = MiddleboxIncident {
+            affected_client_share: 0.03,
+            vendor_fixed: false,
+        };
         let (exp, ctl) = inc.simulate(&g, 40_000, true, &mut rng);
         // Failure rate ≈ affected share, in both arms.
-        assert!((0.02..=0.045).contains(&exp.failure_rate()), "{}", exp.failure_rate());
-        assert!((0.02..=0.045).contains(&ctl.failure_rate()), "{}", ctl.failure_rate());
+        assert!(
+            (0.02..=0.045).contains(&exp.failure_rate()),
+            "{}",
+            exp.failure_rate()
+        );
+        assert!(
+            (0.02..=0.045).contains(&ctl.failure_rate()),
+            "{}",
+            ctl.failure_rate()
+        );
     }
 
     #[test]
     fn vendor_fix_clears_failures() {
         let g = group();
         let mut rng = SimRng::seed_from_u64(3);
-        let inc = MiddleboxIncident { affected_client_share: 0.03, vendor_fixed: true };
+        let inc = MiddleboxIncident {
+            affected_client_share: 0.03,
+            vendor_fixed: true,
+        };
         let (exp, ctl) = inc.simulate(&g, 20_000, true, &mut rng);
         assert_eq!(exp.torn_down + ctl.torn_down, 0);
     }
@@ -150,8 +176,14 @@ mod tests {
     fn failure_rate_scales_with_prevalence() {
         let g = group();
         let mut rng = SimRng::seed_from_u64(4);
-        let low = MiddleboxIncident { affected_client_share: 0.01, vendor_fixed: false };
-        let high = MiddleboxIncident { affected_client_share: 0.20, vendor_fixed: false };
+        let low = MiddleboxIncident {
+            affected_client_share: 0.01,
+            vendor_fixed: false,
+        };
+        let high = MiddleboxIncident {
+            affected_client_share: 0.20,
+            vendor_fixed: false,
+        };
         let (e1, c1) = low.simulate(&g, 30_000, true, &mut rng);
         let (e2, c2) = high.simulate(&g, 30_000, true, &mut rng);
         let total_low = (e1.torn_down + c1.torn_down) as f64 / (e1.attempts + c1.attempts) as f64;

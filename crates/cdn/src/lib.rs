@@ -44,4 +44,4 @@ pub use env::{CdnEnv, DeploymentMode};
 pub use incident::{IncidentReport, MiddleboxIncident};
 pub use longitudinal::LongitudinalRun;
 pub use passive::{PassivePipeline, PassiveReport};
-pub use sample::{SampleGroup, SampleSite, Treatment, THIRD_PARTY_HOST, CONTROL_DECOY_HOST};
+pub use sample::{SampleGroup, SampleSite, Treatment, CONTROL_DECOY_HOST, THIRD_PARTY_HOST};

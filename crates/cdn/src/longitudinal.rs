@@ -57,16 +57,16 @@ impl LongitudinalRun {
         let baseline_pipeline = PassivePipeline::new(DeploymentMode::Baseline);
         for d in 0..self.days {
             let in_window = (self.deploy_start_day..self.deploy_end_day).contains(&d);
-            let pipeline =
-                if in_window { &active_pipeline } else { &baseline_pipeline };
+            let pipeline = if in_window {
+                &active_pipeline
+            } else {
+                &baseline_pipeline
+            };
             for _ in 0..self.visits_per_day {
                 let site = &group.sites[rng.index(group.sites.len())];
                 let t = d as f64 * day + rng.unit() * day;
-                let coalesces = pipeline.visit_coalesces(
-                    site.treatment,
-                    site.third_party_fetch,
-                    &mut rng,
-                );
+                let coalesces =
+                    pipeline.visit_coalesces(site.treatment, site.third_party_fetch, &mut rng);
                 if !coalesces {
                     // One new TLS connection to the third party.
                     match site.treatment {
@@ -76,14 +76,19 @@ impl LongitudinalRun {
                 }
             }
         }
-        LongitudinalSeries { experiment, control }
+        LongitudinalSeries {
+            experiment,
+            control,
+        }
     }
 }
 
 impl LongitudinalSeries {
     /// Mean daily rates inside a day range: `(experiment, control)`.
     pub fn mean_rates(&self, start_day: u32, end_day: u32) -> (f64, f64) {
-        let e = self.experiment.mean_rate(start_day as usize, end_day as usize);
+        let e = self
+            .experiment
+            .mean_rate(start_day as usize, end_day as usize);
         let c = self.control.mean_rate(start_day as usize, end_day as usize);
         (e * 86_400.0, c * 86_400.0)
     }

@@ -14,11 +14,10 @@
 
 use crate::env::DeploymentMode;
 use crate::sample::{SampleGroup, Treatment, THIRD_PARTY_HOST};
-use crossbeam::channel;
 use origin_netsim::SimRng;
 use origin_web::FetchMode;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 /// One sampled log record (the paper's privacy-reduced schema).
@@ -119,7 +118,10 @@ pub struct PassivePipeline {
 impl PassivePipeline {
     /// Build for a deployment mode with default traffic.
     pub fn new(mode: DeploymentMode) -> Self {
-        PassivePipeline { mode, config: TrafficConfig::default() }
+        PassivePipeline {
+            mode,
+            config: TrafficConfig::default(),
+        }
     }
 
     /// Does a single visit coalesce its third-party requests?
@@ -147,7 +149,7 @@ impl PassivePipeline {
     /// by index and each visit derives its own RNG).
     pub fn run(&self, group: &SampleGroup, seed: u64) -> PassiveReport {
         let report = Arc::new(Mutex::new(PassiveReport::default()));
-        let (tx, rx) = channel::unbounded::<LogRecord>();
+        let (tx, rx) = mpsc::channel::<LogRecord>();
 
         // Collector thread: consumes sampled records and aggregates —
         // the paper's restricted-access query side.
@@ -155,7 +157,7 @@ impl PassivePipeline {
         let collector = thread::spawn(move || {
             let mut seen_coalesced_conns = std::collections::HashSet::new();
             for rec in rx {
-                let mut r = collector_report.lock();
+                let mut r = collector_report.lock().unwrap();
                 r.sampled_records += 1;
                 if rec.host == THIRD_PARTY_HOST {
                     if rec.host_differs_from_sni {
@@ -187,11 +189,12 @@ impl PassivePipeline {
                 scope.spawn(move || {
                     let mut conn_counter: u64 = (w as u64) << 48;
                     for v in (w as u64..visits).step_by(workers) {
-                        let mut rng = SimRng::seed_from_u64(seed ^ v.wrapping_mul(0x9e3779b97f4a7c15));
+                        let mut rng =
+                            SimRng::seed_from_u64(seed ^ v.wrapping_mul(0x9e3779b97f4a7c15));
                         let site = &group_sites[rng.index(group_sites.len())];
                         let t = rng.unit() * pipeline.config.window_secs;
                         {
-                            let mut r = report.lock();
+                            let mut r = report.lock().unwrap();
                             match site.treatment {
                                 Treatment::Experiment => r.experiment_visits += 1,
                                 Treatment::Control => r.control_visits += 1,
@@ -200,8 +203,11 @@ impl PassivePipeline {
                         // The site connection itself.
                         conn_counter += 1;
                         let site_conn = conn_counter;
-                        let coalesces =
-                            pipeline.visit_coalesces(site.treatment, site.third_party_fetch, &mut rng);
+                        let coalesces = pipeline.visit_coalesces(
+                            site.treatment,
+                            site.third_party_fetch,
+                            &mut rng,
+                        );
                         let mut site_arrivals: u32 = 1;
                         let emit = |rec: LogRecord, rng: &mut SimRng| {
                             if rng.chance(pipeline.config.sample_rate) {
@@ -265,7 +271,10 @@ impl PassivePipeline {
             drop(tx);
         });
         collector.join().expect("collector thread");
-        Arc::try_unwrap(report).expect("all workers done").into_inner()
+        Arc::try_unwrap(report)
+            .expect("all workers done")
+            .into_inner()
+            .expect("report lock not poisoned")
     }
 }
 
@@ -279,7 +288,11 @@ mod tests {
     }
 
     fn config(visits: u64) -> TrafficConfig {
-        TrafficConfig { visits, sample_rate: 0.05, ..Default::default() }
+        TrafficConfig {
+            visits,
+            sample_rate: 0.05,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -321,7 +334,11 @@ mod tests {
     fn sampling_rate_controls_volume() {
         let g = group();
         let mut p = PassivePipeline::new(DeploymentMode::Baseline);
-        p.config = TrafficConfig { visits: 40_000, sample_rate: 0.01, ..Default::default() };
+        p.config = TrafficConfig {
+            visits: 40_000,
+            sample_rate: 0.01,
+            ..Default::default()
+        };
         let r1 = p.run(&g, 4);
         p.config.sample_rate = 0.10;
         let r10 = p.run(&g, 4);
@@ -332,7 +349,11 @@ mod tests {
     fn deterministic_across_worker_counts() {
         let g = group();
         let mut p = PassivePipeline::new(DeploymentMode::OriginFrames);
-        p.config = TrafficConfig { visits: 20_000, workers: 1, ..config(20_000) };
+        p.config = TrafficConfig {
+            visits: 20_000,
+            workers: 1,
+            ..config(20_000)
+        };
         let a = p.run(&g, 5);
         p.config.workers = 8;
         let b = p.run(&g, 5);

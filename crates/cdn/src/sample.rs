@@ -53,7 +53,11 @@ impl SampleSite {
         let mut page = Page::new(1, self.host.clone(), 12_000);
         let n_fp = 3 + rng.index(6);
         for i in 0..n_fp {
-            let ct = if i == 0 { ContentType::Css } else { ContentType::Javascript };
+            let ct = if i == 0 {
+                ContentType::Css
+            } else {
+                ContentType::Javascript
+            };
             page.push(Resource::new(
                 self.host.clone(),
                 &format!("/assets/fp{i}.bin"),
@@ -119,14 +123,22 @@ impl SampleGroup {
                 continue;
             }
             let host = name(&format!("sample-{i:05}.example"));
-            let treatment =
-                if rng.chance(0.5) { Treatment::Experiment } else { Treatment::Control };
+            let treatment = if rng.chance(0.5) {
+                Treatment::Experiment
+            } else {
+                Treatment::Control
+            };
             let added = match treatment {
                 Treatment::Experiment => name(THIRD_PARTY_HOST),
                 Treatment::Control => name(CONTROL_DECOY_HOST),
             };
             let cert = ca
-                .issue(host.clone(), &[name(&format!("*.{host}")), added], 0, &mut ct)
+                .issue(
+                    host.clone(),
+                    &[name(&format!("*.{host}")), added],
+                    0,
+                    &mut ct,
+                )
                 .expect("sample certs stay small");
             // Fetch-mode mix: most pages embed the third party as a
             // plain script; a tail uses XHR/fetch or anonymous mode
@@ -148,7 +160,11 @@ impl SampleGroup {
                 page_seed: rng.next_u64(),
             });
         }
-        SampleGroup { sites, removed_subpage_only: removed, ct_logs: ct }
+        SampleGroup {
+            sites,
+            removed_subpage_only: removed,
+            ct_logs: ct,
+        }
     }
 
     /// Sites in one arm.
@@ -166,9 +182,7 @@ impl SampleGroup {
                 .cert
                 .sans
                 .iter()
-                .filter(|n| {
-                    n.as_str() == THIRD_PARTY_HOST || n.as_str() == CONTROL_DECOY_HOST
-                })
+                .filter(|n| n.as_str() == THIRD_PARTY_HOST || n.as_str() == CONTROL_DECOY_HOST)
                 .map(|n| n.wire_len() as u64 + 2)
                 .sum();
             sizes.push(added);
@@ -176,8 +190,6 @@ impl SampleGroup {
         sizes.windows(2).all(|w| w[0] == w[1])
     }
 }
-
-use rand::RngCore;
 
 #[cfg(test)]
 mod tests {
@@ -259,7 +271,11 @@ mod tests {
     #[test]
     fn fetch_mode_mix_present() {
         let g = group();
-        let normal = g.sites.iter().filter(|s| s.third_party_fetch == FetchMode::Normal).count();
+        let normal = g
+            .sites
+            .iter()
+            .filter(|s| s.third_party_fetch == FetchMode::Normal)
+            .count();
         let frac = normal as f64 / g.sites.len() as f64;
         assert!((0.63..=0.77).contains(&frac), "normal fetch share {frac}");
     }

@@ -61,8 +61,20 @@ pub fn plan_site(
             additions.push(r.host.clone());
         }
     }
-    CertPlan { rank: page.rank, root_host: page.root_host.clone(), existing_sans, additions }
+    CertPlan {
+        rank: page.rank,
+        root_host: page.root_host.clone(),
+        existing_sans,
+        additions,
+    }
 }
+
+/// One side of Table 8: `(san_size, site_count)` rows by frequency.
+pub type Table8Side = Vec<(u64, u64)>;
+
+/// One Table 9 row: provider, customer-site count, and its top-k
+/// `(hostname, count, percent-of-sites)` additions.
+pub type Table9Row = (String, u64, Vec<(String, u64, f64)>);
 
 /// Aggregate over all sites: the Figure 4/5 and Table 8 inputs.
 #[derive(Default)]
@@ -105,6 +117,21 @@ impl PlanSummary {
         }
     }
 
+    /// Fold a shard's summary into this one. `per_site` concatenates
+    /// in call order — merge rank-ordered shards in rank order to
+    /// reproduce the sequential Figure 5 series byte for byte; the
+    /// histograms and counters are order-independent.
+    pub fn merge(&mut self, other: PlanSummary) {
+        self.existing.merge(&other.existing);
+        self.ideal.merge(&other.ideal);
+        self.changes.merge(&other.changes);
+        self.per_site.extend(other.per_site);
+        self.unchanged_sites += other.unchanged_sites;
+        self.total_sites += other.total_sites;
+        self.san_less_sites += other.san_less_sites;
+        self.san_less_needing_changes += other.san_less_needing_changes;
+    }
+
     /// Fraction of sites needing no change (paper: 62.41%).
     pub fn unchanged_fraction(&self) -> f64 {
         if self.total_sites == 0 {
@@ -122,11 +149,7 @@ impl PlanSummary {
 
     /// Figure 4 CDFs: `(existing, ideal)`.
     pub fn figure4(&self) -> (Cdf, Cdf) {
-        let existing: Vec<u64> = self
-            .per_site
-            .iter()
-            .map(|&(e, _)| e as u64)
-            .collect();
+        let existing: Vec<u64> = self.per_site.iter().map(|&(e, _)| e as u64).collect();
         let ideal: Vec<u64> = self.per_site.iter().map(|&(_, i)| i as u64).collect();
         (Cdf::from_u64(&existing), Cdf::from_u64(&ideal))
     }
@@ -134,12 +157,9 @@ impl PlanSummary {
     /// Figure 5 series: sites ranked by existing SAN size
     /// (descending); each entry is `(existing, ideal, changes)`.
     pub fn figure5(&self) -> Vec<(u32, u32, u32)> {
-        let mut v: Vec<(u32, u32, u32)> = self
-            .per_site
-            .iter()
-            .map(|&(e, i)| (e, i, i - e))
-            .collect();
-        v.sort_by(|a, b| b.0.cmp(&a.0));
+        let mut v: Vec<(u32, u32, u32)> =
+            self.per_site.iter().map(|&(e, i)| (e, i, i - e)).collect();
+        v.sort_by_key(|&(e, _, _)| std::cmp::Reverse(e));
         v
     }
 
@@ -160,7 +180,7 @@ impl PlanSummary {
     }
 
     /// Table 8: top-`k` SAN sizes by site count, measured vs ideal.
-    pub fn table8(&self, k: usize) -> (Vec<(u64, u64)>, Vec<(u64, u64)>) {
+    pub fn table8(&self, k: usize) -> (Table8Side, Table8Side) {
         let mut measured = self.existing.ranked();
         measured.truncate(k);
         let mut ideal = self.ideal.ranked();
@@ -198,10 +218,20 @@ impl EffectiveChanges {
         }
     }
 
+    /// Fold a shard's accumulator into this one; all fields are
+    /// commutative counters, so any merge order gives the same table.
+    pub fn merge(&mut self, other: EffectiveChanges) {
+        for (provider, changes) in other.per_provider {
+            let p = self.per_provider.entry(provider).or_default();
+            p.sites += changes.sites;
+            p.hostnames.merge(&changes.hostnames);
+        }
+    }
+
     /// Table 9 rows: `(provider, site_count, top-k hostnames with the
     /// count and percent-of-provider-sites using each)`.
-    pub fn table9(&self, k: usize) -> Vec<(String, u64, Vec<(String, u64, f64)>)> {
-        let mut rows: Vec<(String, u64, Vec<(String, u64, f64)>)> = self
+    pub fn table9(&self, k: usize) -> Vec<Table9Row> {
+        let mut rows: Vec<Table9Row> = self
             .per_provider
             .iter()
             .map(|(name, p)| {
@@ -235,9 +265,24 @@ mod tests {
 
     fn page() -> Page {
         let mut p = Page::new(1, name("site.com"), 1_000);
-        p.push(Resource::new(name("static.site.com"), "/a.css", ContentType::Css, 10));
-        p.push(Resource::new(name("cdnjs.cloudflare.com"), "/x.js", ContentType::Javascript, 10));
-        p.push(Resource::new(name("fonts.gstatic.com"), "/f.woff2", ContentType::Woff2, 10));
+        p.push(Resource::new(
+            name("static.site.com"),
+            "/a.css",
+            ContentType::Css,
+            10,
+        ));
+        p.push(Resource::new(
+            name("cdnjs.cloudflare.com"),
+            "/x.js",
+            ContentType::Javascript,
+            10,
+        ));
+        p.push(Resource::new(
+            name("fonts.gstatic.com"),
+            "/f.woff2",
+            ContentType::Woff2,
+            10,
+        ));
         p
     }
 
@@ -256,7 +301,9 @@ mod tests {
 
     #[test]
     fn plan_adds_missing_same_provider_hosts() {
-        let cert = CertificateBuilder::new(name("site.com")).san(name("*.site.com")).build();
+        let cert = CertificateBuilder::new(name("site.com"))
+            .san(name("*.site.com"))
+            .build();
         let plan = plan_site(&page(), Some(&cert), same_provider);
         // static.site.com is covered by the wildcard; cdnjs is same
         // provider but absent; fonts.gstatic.com is another provider.
@@ -287,8 +334,15 @@ mod tests {
     #[test]
     fn duplicate_hosts_deduped() {
         let mut p = page();
-        p.push(Resource::new(name("cdnjs.cloudflare.com"), "/y.js", ContentType::Javascript, 10));
-        let cert = CertificateBuilder::new(name("site.com")).san(name("*.site.com")).build();
+        p.push(Resource::new(
+            name("cdnjs.cloudflare.com"),
+            "/y.js",
+            ContentType::Javascript,
+            10,
+        ));
+        let cert = CertificateBuilder::new(name("site.com"))
+            .san(name("*.site.com"))
+            .build();
         let plan = plan_site(&p, Some(&cert), same_provider);
         assert_eq!(plan.additions.len(), 1);
     }
@@ -296,7 +350,9 @@ mod tests {
     #[test]
     fn summary_statistics() {
         let mut s = PlanSummary::default();
-        let cert = CertificateBuilder::new(name("site.com")).san(name("*.site.com")).build();
+        let cert = CertificateBuilder::new(name("site.com"))
+            .san(name("*.site.com"))
+            .build();
         let changed = plan_site(&page(), Some(&cert), same_provider);
         let full_cert = CertificateBuilder::new(name("site.com"))
             .san(name("*.site.com"))
@@ -321,9 +377,83 @@ mod tests {
     }
 
     #[test]
+    fn summary_merge_matches_sequential_add() {
+        let cert = CertificateBuilder::new(name("site.com"))
+            .san(name("*.site.com"))
+            .build();
+        let changed = plan_site(&page(), Some(&cert), same_provider);
+        let san_less = plan_site(&page(), None, same_provider);
+
+        let mut seq = PlanSummary::default();
+        seq.add(&changed);
+        seq.add(&san_less);
+        seq.add(&changed);
+
+        let mut lo = PlanSummary::default();
+        lo.add(&changed);
+        lo.add(&san_less);
+        let mut hi = PlanSummary::default();
+        hi.add(&changed);
+        let mut merged = PlanSummary::default();
+        merged.merge(lo);
+        merged.merge(hi);
+
+        assert_eq!(merged.total_sites, seq.total_sites);
+        assert_eq!(merged.per_site, seq.per_site);
+        assert_eq!(merged.san_less_sites, seq.san_less_sites);
+        assert_eq!(
+            merged.san_less_needing_changes,
+            seq.san_less_needing_changes
+        );
+        assert_eq!(merged.table8(5), seq.table8(5));
+        assert_eq!(merged.figure5(), seq.figure5());
+
+        // x ⊕ empty == x.
+        let mut alone = PlanSummary::default();
+        alone.add(&changed);
+        let rows = alone.table8(5);
+        alone.merge(PlanSummary::default());
+        assert_eq!(alone.table8(5), rows);
+        assert_eq!(alone.total_sites, 1);
+    }
+
+    #[test]
+    fn effective_changes_merge_matches_sequential_add() {
+        let cert = CertificateBuilder::new(name("site.com"))
+            .san(name("*.site.com"))
+            .build();
+        let plan = plan_site(&page(), Some(&cert), same_provider);
+
+        let mut seq = EffectiveChanges::new();
+        seq.add("Cloudflare", &plan);
+        seq.add("Fastly", &plan);
+        seq.add("Cloudflare", &plan);
+
+        let mut lo = EffectiveChanges::new();
+        lo.add("Cloudflare", &plan);
+        lo.add("Fastly", &plan);
+        let mut hi = EffectiveChanges::new();
+        hi.add("Cloudflare", &plan);
+        let mut merged = EffectiveChanges::new();
+        merged.merge(lo);
+        merged.merge(hi);
+        assert_eq!(merged.table9(5), seq.table9(5));
+
+        // empty ⊕ x == x.
+        let mut from_empty = EffectiveChanges::new();
+        let mut x = EffectiveChanges::new();
+        x.add("Akamai", &plan);
+        let rows = x.table9(5);
+        from_empty.merge(x);
+        assert_eq!(from_empty.table9(5), rows);
+    }
+
+    #[test]
     fn effective_changes_table9() {
         let mut e = EffectiveChanges::new();
-        let cert = CertificateBuilder::new(name("site.com")).san(name("*.site.com")).build();
+        let cert = CertificateBuilder::new(name("site.com"))
+            .san(name("*.site.com"))
+            .build();
         let plan = plan_site(&page(), Some(&cert), same_provider);
         e.add("Cloudflare", &plan);
         e.add("Cloudflare", &plan);

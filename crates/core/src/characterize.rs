@@ -113,6 +113,35 @@ impl Characterization {
         }
     }
 
+    /// Fold a shard's characterization into this one. Per-bucket
+    /// sample vectors are concatenated in call order, so merging
+    /// rank-ordered shards in rank order reproduces the sequential
+    /// sample order exactly (and medians sort anyway); every other
+    /// field is a commutative counter.
+    pub fn merge(&mut self, other: Characterization) {
+        for (bucket, samples) in other.buckets {
+            let b = self.buckets.entry(bucket).or_default();
+            b.requests.extend(samples.requests);
+            b.plt.extend(samples.plt);
+            b.dns.extend(samples.dns);
+            b.tls.extend(samples.tls);
+            b.success += samples.success;
+        }
+        self.as_requests.merge(&other.as_requests);
+        self.protocol_requests.merge(&other.protocol_requests);
+        self.secure_requests += other.secure_requests;
+        self.insecure_requests += other.insecure_requests;
+        self.issuers.merge(&other.issuers);
+        self.content_types.merge(&other.content_types);
+        for (asn, topk) in &other.as_content {
+            self.as_content.entry(*asn).or_default().merge(topk);
+        }
+        self.hostnames.merge(&other.hostnames);
+        self.ases_per_page.merge(&other.ases_per_page);
+        self.pages += other.pages;
+        self.total_requests += other.total_requests;
+    }
+
     /// Table 1 rows in bucket order, plus the whole-dataset row.
     pub fn table1(&self) -> Vec<Table1Row> {
         let mut buckets: Vec<u32> = self.buckets.keys().copied().collect();
@@ -171,7 +200,11 @@ impl Characterization {
         self.ases_per_page
             .bins()
             .map(|(v, c)| {
-                (v, c as f64 / self.pages.max(1) as f64, self.ases_per_page.cdf_at(v))
+                (
+                    v,
+                    c as f64 / self.pages.max(1) as f64,
+                    self.ases_per_page.cdf_at(v),
+                )
             })
             .collect()
     }
@@ -203,7 +236,12 @@ mod tests {
 
     fn sample(rank: u32) -> (Page, PageLoad) {
         let mut page = Page::new(rank, name("site.com"), 1_000);
-        page.push(Resource::new(name("cdn.site.com"), "/a.js", ContentType::Javascript, 10));
+        page.push(Resource::new(
+            name("cdn.site.com"),
+            "/a.js",
+            ContentType::Javascript,
+            10,
+        ));
         let ip = IpAddr::V4(Ipv4Addr::new(1, 2, 3, 4));
         let mk = |idx: usize, host: &str, asn: u32| RequestTiming {
             resource_index: idx,
@@ -211,7 +249,14 @@ mod tests {
             ip,
             asn,
             start: 0.0,
-            phase: Phase { dns: 10.0, connect: 20.0, ssl: 20.0, wait: 30.0, receive: 5.0, ..Default::default() },
+            phase: Phase {
+                dns: 10.0,
+                connect: 20.0,
+                ssl: 20.0,
+                wait: 30.0,
+                receive: 5.0,
+                ..Default::default()
+            },
             did_dns: true,
             new_connection: true,
             coalesced: false,
@@ -276,6 +321,45 @@ mod tests {
         // Every page touched exactly 2 ASes.
         assert_eq!(c.figure1()[0].0, 2);
         assert_eq!(c.figure1()[0].2, 1.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_add() {
+        // Sequential reference over ranks 1..=6.
+        let mut seq = Characterization::new(100, 500_000);
+        for rank in 1..=6 {
+            let (p, l) = sample(rank);
+            seq.add(&p, &l);
+        }
+        // Same pages split over two rank-ordered shards.
+        let mut lo = Characterization::new(100, 500_000);
+        let mut hi = Characterization::new(100, 500_000);
+        for rank in 1..=3 {
+            let (p, l) = sample(rank);
+            lo.add(&p, &l);
+        }
+        for rank in 4..=6 {
+            let (p, l) = sample(rank);
+            hi.add(&p, &l);
+        }
+        let mut merged = Characterization::new(100, 500_000);
+        merged.merge(lo);
+        merged.merge(hi);
+        assert_eq!(merged.pages, seq.pages);
+        assert_eq!(merged.total_requests, seq.total_requests);
+        assert_eq!(merged.table1(), seq.table1());
+        assert_eq!(merged.figure1(), seq.figure1());
+        assert_eq!(merged.as_requests.top(10), seq.as_requests.top(10));
+        assert_eq!(merged.hostnames.top(10), seq.hostnames.top(10));
+
+        // empty ⊕ x == x.
+        let mut from_empty = Characterization::new(100, 500_000);
+        let mut x = Characterization::new(100, 500_000);
+        let (p, l) = sample(2);
+        x.add(&p, &l);
+        let x_rows = x.table1();
+        from_empty.merge(x);
+        assert_eq!(from_empty.table1(), x_rows);
     }
 
     #[test]

@@ -51,10 +51,7 @@ pub struct ModelPrediction {
 /// already contacted its group (IP or AS). Requests that never opened
 /// a connection in the measured load (reused/failed/N-A) keep their
 /// behaviour — the model only removes *redundant* setups.
-fn coalescable_set(
-    measured: &PageLoad,
-    grouping: CoalescingGrouping,
-) -> (Vec<bool>, u64) {
+fn coalescable_set(measured: &PageLoad, grouping: CoalescingGrouping) -> (Vec<bool>, u64) {
     let n = measured.requests.len();
     let mut coalescable = vec![false; n];
     let mut seen_ips: HashSet<IpAddr> = HashSet::new();
@@ -152,10 +149,30 @@ mod tests {
     /// service-b (AS 2, ip 3), reused request to root host.
     fn fixture() -> (Page, PageLoad) {
         let mut page = Page::new(1, name("site.com"), 1_000);
-        page.push(Resource::new(name("static.site.com"), "/a.css", ContentType::Css, 100));
-        page.push(Resource::new(name("x.svc.net"), "/x.js", ContentType::Javascript, 100));
-        page.push(Resource::new(name("y.svc.net"), "/y.js", ContentType::Javascript, 100));
-        page.push(Resource::new(name("site.com"), "/img.png", ContentType::Png, 100));
+        page.push(Resource::new(
+            name("static.site.com"),
+            "/a.css",
+            ContentType::Css,
+            100,
+        ));
+        page.push(Resource::new(
+            name("x.svc.net"),
+            "/x.js",
+            ContentType::Javascript,
+            100,
+        ));
+        page.push(Resource::new(
+            name("y.svc.net"),
+            "/y.js",
+            ContentType::Javascript,
+            100,
+        ));
+        page.push(Resource::new(
+            name("site.com"),
+            "/img.png",
+            ContentType::Png,
+            100,
+        ));
         let load = PageLoad {
             rank: 1,
             root_host: name("site.com"),

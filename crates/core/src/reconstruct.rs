@@ -45,7 +45,11 @@ pub fn reconstruct(
 
         // Parent in the discovery graph (root-referenced resources
         // implicitly descend from the root document).
-        let parent = if i == 0 { None } else { Some(page.resources[i].discovered_by.unwrap_or(0)) };
+        let parent = if i == 0 {
+            None
+        } else {
+            Some(page.resources[i].discovered_by.unwrap_or(0))
+        };
 
         // Shift the start by however much the parent finished
         // earlier; the dispatch gap itself is preserved.
@@ -90,8 +94,13 @@ mod tests {
             5_000,
         ));
         page.push(
-            Resource::new(name("fonts.cdnhost.com"), "/arial.woff", ContentType::Woff2, 8_000)
-                .discovered_by(css),
+            Resource::new(
+                name("fonts.cdnhost.com"),
+                "/arial.woff",
+                ContentType::Woff2,
+                8_000,
+            )
+            .discovered_by(css),
         );
         let ip = IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1));
         let req = |idx: usize, host: &str, start: f64, setup: f64| RequestTiming {

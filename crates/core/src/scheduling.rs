@@ -68,7 +68,10 @@ pub fn deliver_coalesced(resources: &[ScheduledResource]) -> DeliveryOutcome {
         .map(|s| ((s.0 - 1) / 2) as usize)
         .collect();
     let inversions = count_inversions(resources, &arrival_order);
-    DeliveryOutcome { arrival_order, inversions }
+    DeliveryOutcome {
+        arrival_order,
+        inversions,
+    }
 }
 
 /// Deliver over `k` parallel connections that share the bottleneck:
@@ -100,7 +103,10 @@ pub fn deliver_parallel(
     finish.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
     let arrival_order: Vec<usize> = finish.into_iter().map(|(_, i)| i).collect();
     let inversions = count_inversions(resources, &arrival_order);
-    DeliveryOutcome { arrival_order, inversions }
+    DeliveryOutcome {
+        arrival_order,
+        inversions,
+    }
 }
 
 /// Run the §6.1 comparison over `trials` random workloads; returns
@@ -119,7 +125,10 @@ pub fn compare(trials: u32, resources_per_page: usize, k: usize, seed: u64) -> (
         coal_total += deliver_coalesced(&resources).inversions;
         par_total += deliver_parallel(&resources, k, &link, &mut rng).inversions;
     }
-    (coal_total as f64 / trials as f64, par_total as f64 / trials as f64)
+    (
+        coal_total as f64 / trials as f64,
+        par_total as f64 / trials as f64,
+    )
 }
 
 #[cfg(test)]
@@ -128,10 +137,22 @@ mod tests {
 
     fn resources() -> Vec<ScheduledResource> {
         vec![
-            ScheduledResource { weight: 10, size: 10_000 },
-            ScheduledResource { weight: 200, size: 40_000 },
-            ScheduledResource { weight: 100, size: 5_000 },
-            ScheduledResource { weight: 250, size: 80_000 },
+            ScheduledResource {
+                weight: 10,
+                size: 10_000,
+            },
+            ScheduledResource {
+                weight: 200,
+                size: 40_000,
+            },
+            ScheduledResource {
+                weight: 100,
+                size: 5_000,
+            },
+            ScheduledResource {
+                weight: 250,
+                size: 80_000,
+            },
         ]
     }
 

@@ -26,5 +26,5 @@ pub mod zone;
 
 pub use name::DnsName;
 pub use record::{RecordSet, Rotation};
-pub use resolver::{QueryAnswer, Resolver, Transport};
-pub use zone::{Zone, ZoneSet};
+pub use resolver::{QueryAnswer, Resolver, ResolverState, ResolverStats, Transport};
+pub use zone::{SerialKey, Zone, ZoneSet};

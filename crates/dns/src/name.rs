@@ -1,6 +1,5 @@
 //! Validated DNS names.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -12,8 +11,7 @@ use std::str::FromStr;
 /// `[a-z0-9_-]`, not starting or ending with `-`, full name ≤253
 /// octets. A leading `*` label is allowed so the same type can carry
 /// certificate wildcard patterns (`*.example.com`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DnsName(String);
 
 /// Why a string failed to parse as a [`DnsName`].
@@ -111,7 +109,9 @@ impl DnsName {
     /// (`a.b.example.com → b.example.com`), or `None` for a
     /// single-label name.
     pub fn parent(&self) -> Option<DnsName> {
-        self.0.split_once('.').map(|(_, rest)| DnsName(rest.to_string()))
+        self.0
+            .split_once('.')
+            .map(|(_, rest)| DnsName(rest.to_string()))
     }
 
     /// True when `self` is a strict subdomain of `other`
@@ -130,8 +130,8 @@ impl DnsName {
     /// characterization needs.
     pub fn registrable(&self) -> DnsName {
         const TWO_PART_SUFFIXES: &[&str] = &[
-            "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp",
-            "ne.jp", "or.jp", "com.br", "com.cn", "com.mx", "co.in", "co.kr", "co.za",
+            "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp", "ne.jp",
+            "or.jp", "com.br", "com.cn", "com.mx", "co.in", "co.kr", "co.za",
         ];
         let labels: Vec<&str> = self.0.split('.').collect();
         let n = labels.len();
@@ -139,7 +139,11 @@ impl DnsName {
             return self.clone();
         }
         let last_two = format!("{}.{}", labels[n - 2], labels[n - 1]);
-        let keep = if TWO_PART_SUFFIXES.contains(&last_two.as_str()) { 3 } else { 2 };
+        let keep = if TWO_PART_SUFFIXES.contains(&last_two.as_str()) {
+            3
+        } else {
+            2
+        };
         if n <= keep {
             return self.clone();
         }
@@ -194,12 +198,18 @@ mod tests {
     fn rejects_bad_names() {
         assert_eq!(DnsName::parse(""), Err(NameError::EmptyLabel));
         assert_eq!(DnsName::parse("a..b"), Err(NameError::EmptyLabel));
-        assert_eq!(DnsName::parse("exa mple.com"), Err(NameError::BadCharacter(' ')));
+        assert_eq!(
+            DnsName::parse("exa mple.com"),
+            Err(NameError::BadCharacter(' '))
+        );
         assert_eq!(DnsName::parse("-bad.com"), Err(NameError::BadHyphen));
         assert_eq!(DnsName::parse("bad-.com"), Err(NameError::BadHyphen));
-        assert!(matches!(DnsName::parse(&"a".repeat(64)), Err(NameError::LabelTooLong)));
+        assert!(matches!(
+            DnsName::parse(&"a".repeat(64)),
+            Err(NameError::LabelTooLong)
+        ));
         let long = format!("{}.com", "a.".repeat(130));
-        assert!(matches!(DnsName::parse(&long), Err(_)));
+        assert!(DnsName::parse(&long).is_err());
     }
 
     #[test]
@@ -207,7 +217,10 @@ mod tests {
         assert!(DnsName::parse("*.example.com").unwrap().is_wildcard());
         assert!(!name("www.example.com").is_wildcard());
         assert_eq!(DnsName::parse("www.*.com"), Err(NameError::BadWildcard));
-        assert_eq!(DnsName::parse("w*w.example.com"), Err(NameError::BadWildcard));
+        assert_eq!(
+            DnsName::parse("w*w.example.com"),
+            Err(NameError::BadWildcard)
+        );
     }
 
     #[test]
@@ -228,7 +241,10 @@ mod tests {
 
     #[test]
     fn registrable_domain() {
-        assert_eq!(name("images.shop.example.com").registrable(), name("example.com"));
+        assert_eq!(
+            name("images.shop.example.com").registrable(),
+            name("example.com")
+        );
         assert_eq!(name("example.com").registrable(), name("example.com"));
         assert_eq!(name("www.bbc.co.uk").registrable(), name("bbc.co.uk"));
         assert_eq!(name("bbc.co.uk").registrable(), name("bbc.co.uk"));

@@ -36,8 +36,16 @@ impl RecordSet {
     /// Create a record set. Panics on an empty address list — a name
     /// with no addresses should simply be absent from the zone.
     pub fn new(addresses: Vec<IpAddr>, ttl_secs: u32) -> Self {
-        assert!(!addresses.is_empty(), "record set must have at least one address");
-        RecordSet { addresses, ttl_secs, rotation: Rotation::Fixed, serial: 0 }
+        assert!(
+            !addresses.is_empty(),
+            "record set must have at least one address"
+        );
+        RecordSet {
+            addresses,
+            ttl_secs,
+            rotation: Rotation::Fixed,
+            serial: 0,
+        }
     }
 
     /// Single-address convenience constructor with a 300 s TTL.
@@ -62,12 +70,23 @@ impl RecordSet {
     /// Produce one answer according to the rotation policy. Mutates
     /// round-robin state; random subsets draw from `rng`.
     pub fn answer(&mut self, rng: &mut SimRng) -> Vec<IpAddr> {
+        let mut serial = self.serial;
+        let out = self.answer_shared(&mut serial, rng);
+        self.serial = serial;
+        out
+    }
+
+    /// Produce one answer with the round-robin serial held externally,
+    /// leaving `self` untouched. This is what lets many resolver
+    /// sessions share one read-only zone set: each session keeps its
+    /// own serial overlay.
+    pub fn answer_shared(&self, serial: &mut u32, rng: &mut SimRng) -> Vec<IpAddr> {
         match self.rotation {
             Rotation::Fixed => self.addresses.clone(),
             Rotation::RoundRobin => {
                 let n = self.addresses.len();
-                let start = (self.serial as usize) % n;
-                self.serial = self.serial.wrapping_add(1);
+                let start = (*serial as usize) % n;
+                *serial = serial.wrapping_add(1);
                 let mut out = Vec::with_capacity(n);
                 for i in 0..n {
                     out.push(self.addresses[(start + i) % n]);
@@ -128,7 +147,12 @@ mod tests {
 
     #[test]
     fn random_subset_size_and_membership() {
-        let all = vec![v4(1, 0, 0, 1), v4(1, 0, 0, 2), v4(1, 0, 0, 3), v4(1, 0, 0, 4)];
+        let all = vec![
+            v4(1, 0, 0, 1),
+            v4(1, 0, 0, 2),
+            v4(1, 0, 0, 3),
+            v4(1, 0, 0, 4),
+        ];
         let mut rs = RecordSet::new(all.clone(), 60).with_rotation(Rotation::RandomSubset(2));
         let mut r = rng();
         for _ in 0..50 {
@@ -140,8 +164,8 @@ mod tests {
 
     #[test]
     fn random_subset_larger_than_set_clamps() {
-        let mut rs = RecordSet::new(vec![v4(9, 9, 9, 9)], 60)
-            .with_rotation(Rotation::RandomSubset(5));
+        let mut rs =
+            RecordSet::new(vec![v4(9, 9, 9, 9)], 60).with_rotation(Rotation::RandomSubset(5));
         let mut r = rng();
         assert_eq!(rs.answer(&mut r), vec![v4(9, 9, 9, 9)]);
     }

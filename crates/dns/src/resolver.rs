@@ -1,7 +1,7 @@
 //! Caching stub resolver with per-transport privacy accounting.
 
 use crate::name::DnsName;
-use crate::zone::{Answer, ZoneSet};
+use crate::zone::{Answer, SerialKey, ZoneSet};
 use origin_netsim::{SimDuration, SimRng, SimTime};
 use std::collections::HashMap;
 
@@ -57,14 +57,22 @@ struct CacheEntry {
     expires: SimTime,
 }
 
-/// A caching stub resolver over a [`ZoneSet`].
+/// The mutable half of a caching stub resolver: cache, rotation
+/// serials, transport and latency model, and counters — everything a
+/// resolver *session* owns, with the authoritative [`ZoneSet`]
+/// borrowed read-only at each query.
+///
+/// This split is what lets many sessions (one per crawl worker)
+/// resolve against one shared zone set concurrently: the zones never
+/// mutate; every session carries its own `ResolverState`.
 ///
 /// Latency model: cache hits are free; network queries cost one
 /// resolver round trip (configurable base latency with exponential
 /// tail jitter, reflecting real-world recursive lookup behaviour).
-pub struct Resolver {
-    zones: ZoneSet,
+pub struct ResolverState {
     cache: HashMap<DnsName, CacheEntry>,
+    /// Per-session round-robin serials overlaying the shared zones.
+    serials: HashMap<SerialKey, u32>,
     /// Transport used for network queries.
     pub transport: Transport,
     /// Base network-lookup latency.
@@ -74,14 +82,14 @@ pub struct Resolver {
     stats: ResolverStats,
 }
 
-impl Resolver {
-    /// Create a resolver over `zones` with a 30 ms base lookup cost
-    /// and a 60 ms-mean exponential tail — a cold recursive resolver
-    /// doing upstream work, as the paper's cache-flushed crawls saw.
-    pub fn new(zones: ZoneSet, transport: Transport) -> Self {
-        Resolver {
-            zones,
+impl ResolverState {
+    /// A fresh session with a 30 ms base lookup cost and a 60 ms-mean
+    /// exponential tail — a cold recursive resolver doing upstream
+    /// work, as the paper's cache-flushed crawls saw.
+    pub fn new(transport: Transport) -> Self {
+        ResolverState {
             cache: HashMap::new(),
+            serials: HashMap::new(),
             transport,
             base_latency: SimDuration::from_millis(30),
             tail_mean_ms: 60.0,
@@ -106,25 +114,22 @@ impl Resolver {
         self.stats = ResolverStats::default();
     }
 
-    /// Drop all cached entries — the paper's active measurements start
-    /// every page load with a fresh browser session to "eliminate DNS
-    /// and resource caching effects" (§3.1).
+    /// Drop all session state (cache and rotation serials) — the
+    /// paper's active measurements start every page load with a fresh
+    /// browser session to "eliminate DNS and resource caching effects"
+    /// (§3.1).
     pub fn flush_cache(&mut self) {
         self.cache.clear();
+        self.serials.clear();
     }
 
-    /// Mutable access to the underlying zones (deployments change DNS
-    /// during experiments, e.g. §5.2's single-address alignment).
-    pub fn zones_mut(&mut self) -> &mut ZoneSet {
-        &mut self.zones
-    }
-
-    /// Resolve `name` at simulated time `now`.
+    /// Resolve `name` against `zones` at simulated time `now`.
     ///
     /// Returns `None` on NXDOMAIN. Cache entries expire strictly after
     /// their TTL.
     pub fn resolve(
         &mut self,
+        zones: &ZoneSet,
         name: &DnsName,
         now: SimTime,
         rng: &mut SimRng,
@@ -145,8 +150,11 @@ impl Resolver {
             self.stats.plaintext_queries += 1;
         }
         let latency = self.network_latency(rng);
-        match self.zones.resolve(name, rng) {
-            Some(Answer { addresses, ttl_secs }) => {
+        match zones.resolve_shared(name, &mut self.serials, rng) {
+            Some(Answer {
+                addresses,
+                ttl_secs,
+            }) => {
                 self.cache.insert(
                     name.clone(),
                     CacheEntry {
@@ -154,7 +162,11 @@ impl Resolver {
                         expires: now + SimDuration::from_secs(ttl_secs as u64),
                     },
                 );
-                Some(QueryAnswer { addresses, from_cache: false, latency })
+                Some(QueryAnswer {
+                    addresses,
+                    from_cache: false,
+                    latency,
+                })
             }
             None => {
                 self.stats.nxdomain += 1;
@@ -164,8 +176,73 @@ impl Resolver {
     }
 
     fn network_latency(&self, rng: &mut SimRng) -> SimDuration {
-        let tail = if self.tail_mean_ms > 0.0 { rng.exponential(self.tail_mean_ms) } else { 0.0 };
+        let tail = if self.tail_mean_ms > 0.0 {
+            rng.exponential(self.tail_mean_ms)
+        } else {
+            0.0
+        };
         self.base_latency + SimDuration::from_millis_f64(tail)
+    }
+}
+
+/// A caching stub resolver owning its [`ZoneSet`] — the convenient
+/// single-threaded wrapper around [`ResolverState`].
+pub struct Resolver {
+    zones: ZoneSet,
+    state: ResolverState,
+}
+
+impl Resolver {
+    /// Create a resolver over `zones`; see [`ResolverState::new`] for
+    /// the latency defaults.
+    pub fn new(zones: ZoneSet, transport: Transport) -> Self {
+        Resolver {
+            zones,
+            state: ResolverState::new(transport),
+        }
+    }
+
+    /// Replace the latency model.
+    pub fn with_latency(mut self, base: SimDuration, tail_mean_ms: f64) -> Self {
+        self.state = self.state.with_latency(base, tail_mean_ms);
+        self
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> ResolverStats {
+        self.state.stats()
+    }
+
+    /// Reset counters (cache is preserved).
+    pub fn reset_stats(&mut self) {
+        self.state.reset_stats();
+    }
+
+    /// Drop all cached entries and rotation state.
+    pub fn flush_cache(&mut self) {
+        self.state.flush_cache();
+    }
+
+    /// Transport used for network queries.
+    pub fn transport(&self) -> Transport {
+        self.state.transport
+    }
+
+    /// Mutable access to the underlying zones (deployments change DNS
+    /// during experiments, e.g. §5.2's single-address alignment).
+    pub fn zones_mut(&mut self) -> &mut ZoneSet {
+        &mut self.zones
+    }
+
+    /// Resolve `name` at simulated time `now`; see
+    /// [`ResolverState::resolve`].
+    pub fn resolve(
+        &mut self,
+        name: &DnsName,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<QueryAnswer> {
+        self.state.resolve(&self.zones, name, now, rng)
     }
 }
 
@@ -177,7 +254,10 @@ mod tests {
 
     fn setup() -> (Resolver, SimRng) {
         let mut zones = ZoneSet::new();
-        zones.insert(name("www.example.com"), RecordSet::new(vec![v4(10, 0, 0, 1)], 60));
+        zones.insert(
+            name("www.example.com"),
+            RecordSet::new(vec![v4(10, 0, 0, 1)], 60),
+        );
         (
             Resolver::new(zones, Transport::Udp53).with_latency(SimDuration::from_millis(15), 0.0),
             SimRng::seed_from_u64(7),
@@ -191,7 +271,13 @@ mod tests {
         let a1 = r.resolve(&name("www.example.com"), t0, &mut rng).unwrap();
         assert!(!a1.from_cache);
         assert_eq!(a1.latency, SimDuration::from_millis(15));
-        let a2 = r.resolve(&name("www.example.com"), t0 + SimDuration::from_secs(1), &mut rng).unwrap();
+        let a2 = r
+            .resolve(
+                &name("www.example.com"),
+                t0 + SimDuration::from_secs(1),
+                &mut rng,
+            )
+            .unwrap();
         assert!(a2.from_cache);
         assert_eq!(a2.latency, SimDuration::ZERO);
         let s = r.stats();
@@ -203,7 +289,8 @@ mod tests {
     #[test]
     fn ttl_expiry_forces_requery() {
         let (mut r, mut rng) = setup();
-        r.resolve(&name("www.example.com"), SimTime::ZERO, &mut rng).unwrap();
+        r.resolve(&name("www.example.com"), SimTime::ZERO, &mut rng)
+            .unwrap();
         // 61 s later the 60 s TTL has lapsed.
         let a = r
             .resolve(&name("www.example.com"), SimTime::from_secs(61), &mut rng)
@@ -215,7 +302,9 @@ mod tests {
     #[test]
     fn nxdomain_counts() {
         let (mut r, mut rng) = setup();
-        assert!(r.resolve(&name("missing.example.com"), SimTime::ZERO, &mut rng).is_none());
+        assert!(r
+            .resolve(&name("missing.example.com"), SimTime::ZERO, &mut rng)
+            .is_none());
         assert_eq!(r.stats().nxdomain, 1);
     }
 
@@ -235,7 +324,8 @@ mod tests {
     #[test]
     fn flush_cache_forces_requery() {
         let (mut r, mut rng) = setup();
-        r.resolve(&name("www.example.com"), SimTime::ZERO, &mut rng).unwrap();
+        r.resolve(&name("www.example.com"), SimTime::ZERO, &mut rng)
+            .unwrap();
         r.flush_cache();
         let a = r
             .resolve(&name("www.example.com"), SimTime::from_secs(1), &mut rng)
@@ -247,8 +337,8 @@ mod tests {
     fn latency_tail_adds() {
         let mut zones = ZoneSet::new();
         zones.insert(name("x.com"), RecordSet::single(v4(1, 1, 1, 1)));
-        let mut r = Resolver::new(zones, Transport::Udp53)
-            .with_latency(SimDuration::from_millis(15), 10.0);
+        let mut r =
+            Resolver::new(zones, Transport::Udp53).with_latency(SimDuration::from_millis(15), 10.0);
         let mut rng = SimRng::seed_from_u64(2);
         let a = r.resolve(&name("x.com"), SimTime::ZERO, &mut rng).unwrap();
         assert!(a.latency >= SimDuration::from_millis(15));

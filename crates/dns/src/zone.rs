@@ -49,13 +49,54 @@ impl Zone {
     /// Returns `None` when no entry covers the name (NXDOMAIN).
     pub fn resolve(&mut self, name: &DnsName, rng: &mut SimRng) -> Option<Answer> {
         if let Some(rs) = self.exact.get_mut(name) {
-            return Some(Answer { addresses: rs.answer(rng), ttl_secs: rs.ttl_secs });
+            return Some(Answer {
+                addresses: rs.answer(rng),
+                ttl_secs: rs.ttl_secs,
+            });
         }
         // Walk ancestors looking for a covering wildcard.
         let mut cursor = name.parent();
         while let Some(parent) = cursor {
             if let Some(rs) = self.wildcard.get_mut(&parent) {
-                return Some(Answer { addresses: rs.answer(rng), ttl_secs: rs.ttl_secs });
+                return Some(Answer {
+                    addresses: rs.answer(rng),
+                    ttl_secs: rs.ttl_secs,
+                });
+            }
+            cursor = parent.parent();
+        }
+        None
+    }
+
+    /// Like [`Zone::resolve`] but with all round-robin serials held
+    /// externally in `serials`, leaving the zone itself read-only.
+    /// Each resolver session keeps its own overlay, so many sessions
+    /// can share one zone set across threads.
+    pub fn resolve_shared(
+        &self,
+        name: &DnsName,
+        serials: &mut HashMap<SerialKey, u32>,
+        rng: &mut SimRng,
+    ) -> Option<Answer> {
+        let (rs, key) = self.lookup(name)?;
+        let serial = serials.entry(key).or_insert(0);
+        Some(Answer {
+            addresses: rs.answer_shared(serial, rng),
+            ttl_secs: rs.ttl_secs,
+        })
+    }
+
+    /// The record set covering `name`, plus the serial-overlay key
+    /// identifying it (exact entries take precedence over wildcards).
+    fn lookup(&self, name: &DnsName) -> Option<(&RecordSet, SerialKey)> {
+        if let Some(rs) = self.exact.get(name) {
+            return Some((rs, (name.clone(), false)));
+        }
+        // Walk ancestors looking for a covering wildcard.
+        let mut cursor = name.parent();
+        while let Some(parent) = cursor {
+            if let Some(rs) = self.wildcard.get(&parent) {
+                return Some((rs, (parent, true)));
             }
             cursor = parent.parent();
         }
@@ -73,6 +114,12 @@ impl Zone {
         self.exact.keys()
     }
 }
+
+/// Key identifying one record set in a zone for external rotation
+/// state: the matched map key plus whether it was a wildcard entry
+/// (an exact `example.com` and a `*.example.com` wildcard share the
+/// map key but are distinct record sets).
+pub type SerialKey = (DnsName, bool);
 
 /// A resolved answer: the address set and its TTL.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +152,17 @@ impl ZoneSet {
     /// Answer a query.
     pub fn resolve(&mut self, name: &DnsName, rng: &mut SimRng) -> Option<Answer> {
         self.zone.resolve(name, rng)
+    }
+
+    /// Answer a query with rotation serials held externally (shared
+    /// read-only zones; see [`Zone::resolve_shared`]).
+    pub fn resolve_shared(
+        &self,
+        name: &DnsName,
+        serials: &mut HashMap<SerialKey, u32>,
+        rng: &mut SimRng,
+    ) -> Option<Answer> {
+        self.zone.resolve_shared(name, serials, rng)
     }
 
     /// Read-only registered addresses for a name.
@@ -145,9 +203,14 @@ mod tests {
     #[test]
     fn wildcard_covers_subdomains() {
         let mut z = Zone::new();
-        z.insert(name("*.cdn.example.com"), RecordSet::single(v4(10, 0, 0, 9)));
+        z.insert(
+            name("*.cdn.example.com"),
+            RecordSet::single(v4(10, 0, 0, 9)),
+        );
         assert!(z.resolve(&name("a.cdn.example.com"), &mut rng()).is_some());
-        assert!(z.resolve(&name("x.y.cdn.example.com"), &mut rng()).is_some());
+        assert!(z
+            .resolve(&name("x.y.cdn.example.com"), &mut rng())
+            .is_some());
         // The parent itself is not covered by the wildcard.
         assert!(z.resolve(&name("cdn.example.com"), &mut rng()).is_none());
     }

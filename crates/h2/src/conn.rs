@@ -243,7 +243,10 @@ impl Connection {
 
     /// State of a stream (Idle if unknown).
     pub fn stream_state(&self, id: StreamId) -> StreamState {
-        self.streams.get(&id).map(|s| s.state).unwrap_or(StreamState::Idle)
+        self.streams
+            .get(&id)
+            .map(|s| s.state)
+            .unwrap_or(StreamState::Idle)
     }
 
     /// Streams currently open (not closed) from this endpoint's view.
@@ -270,8 +273,11 @@ impl Connection {
     }
 
     fn send_settings(&mut self) {
-        Frame::Settings { ack: false, params: self.local_settings.to_params() }
-            .encode(&mut self.send_buf);
+        Frame::Settings {
+            ack: false,
+            params: self.local_settings.to_params(),
+        }
+        .encode(&mut self.send_buf);
     }
 
     // ---- sending ----
@@ -325,21 +331,41 @@ impl Connection {
     fn write_header_block(&mut self, stream: StreamId, fragment: Bytes, end_stream: bool) {
         let max = self.remote_settings.max_frame_size as usize;
         if fragment.len() <= max {
-            Frame::Headers { stream, fragment, end_stream, end_headers: true, priority: None }
-                .encode(&mut self.send_buf);
+            Frame::Headers {
+                stream,
+                fragment,
+                end_stream,
+                end_headers: true,
+                priority: None,
+            }
+            .encode(&mut self.send_buf);
             return;
         }
         let mut rest = fragment;
         let first = rest.split_to(max);
-        Frame::Headers { stream, fragment: first, end_stream, end_headers: false, priority: None }
-            .encode(&mut self.send_buf);
+        Frame::Headers {
+            stream,
+            fragment: first,
+            end_stream,
+            end_headers: false,
+            priority: None,
+        }
+        .encode(&mut self.send_buf);
         while rest.len() > max {
             let chunk = rest.split_to(max);
-            Frame::Continuation { stream, fragment: chunk, end_headers: false }
-                .encode(&mut self.send_buf);
-        }
-        Frame::Continuation { stream, fragment: rest, end_headers: true }
+            Frame::Continuation {
+                stream,
+                fragment: chunk,
+                end_headers: false,
+            }
             .encode(&mut self.send_buf);
+        }
+        Frame::Continuation {
+            stream,
+            fragment: rest,
+            end_headers: true,
+        }
+        .encode(&mut self.send_buf);
     }
 
     /// Server: send a complete response in one HEADERS (+ optional
@@ -397,13 +423,16 @@ impl Connection {
             }
             let rec = self.streams.get_mut(&item.stream).expect("stream exists");
             loop {
-                let window =
-                    rec.send_window.min(self.conn_send_window).max(0) as usize;
+                let window = rec.send_window.min(self.conn_send_window).max(0) as usize;
                 if item.data.is_empty() {
                     if item.end_stream {
                         // Zero-length END_STREAM always fits.
-                        Frame::Data { stream: item.stream, data: Bytes::new(), end_stream: true }
-                            .encode(&mut self.send_buf);
+                        Frame::Data {
+                            stream: item.stream,
+                            data: Bytes::new(),
+                            end_stream: true,
+                        }
+                        .encode(&mut self.send_buf);
                         rec.state = rec.state.on_send_end_stream();
                     }
                     break;
@@ -436,13 +465,22 @@ impl Connection {
 
     /// Send a PING.
     pub fn send_ping(&mut self, payload: [u8; 8]) {
-        Frame::Ping { ack: false, payload }.encode(&mut self.send_buf);
+        Frame::Ping {
+            ack: false,
+            payload,
+        }
+        .encode(&mut self.send_buf);
     }
 
     /// Send GOAWAY and mark the connection closing.
     pub fn send_goaway(&mut self, code: ErrorCode) {
         let last = StreamId(self.next_stream_id.saturating_sub(2));
-        Frame::GoAway { last_stream: last, code, debug: Bytes::new() }.encode(&mut self.send_buf);
+        Frame::GoAway {
+            last_stream: last,
+            code,
+            debug: Bytes::new(),
+        }
+        .encode(&mut self.send_buf);
         self.goaway_sent = true;
     }
 
@@ -460,7 +498,10 @@ impl Connection {
             None => false,
             Some(cfg) => {
                 cfg.authorized.is_empty()
-                    || cfg.authorized.iter().any(|a| a.eq_ignore_ascii_case(authority))
+                    || cfg
+                        .authorized
+                        .iter()
+                        .any(|a| a.eq_ignore_ascii_case(authority))
             }
         }
     }
@@ -508,7 +549,11 @@ impl Connection {
                     self.remote_settings.apply(&params);
                     self.hpack_enc
                         .set_max_table_size(self.remote_settings.header_table_size as usize);
-                    Frame::Settings { ack: true, params: vec![] }.encode(&mut self.send_buf);
+                    Frame::Settings {
+                        ack: true,
+                        params: vec![],
+                    }
+                    .encode(&mut self.send_buf);
                     events.push(Event::SettingsReceived);
                 }
             }
@@ -520,7 +565,13 @@ impl Connection {
                     events.push(Event::PingReceived);
                 }
             }
-            Frame::Headers { stream, fragment, end_stream, end_headers, priority } => {
+            Frame::Headers {
+                stream,
+                fragment,
+                end_stream,
+                end_headers,
+                priority,
+            } => {
                 if let Some(spec) = priority {
                     self.priorities.apply(stream, spec);
                 }
@@ -534,7 +585,11 @@ impl Connection {
                     });
                 }
             }
-            Frame::Continuation { stream, fragment, end_headers } => {
+            Frame::Continuation {
+                stream,
+                fragment,
+                end_headers,
+            } => {
                 let Some(mut pending) = self.pending_headers.take() else {
                     return Err(H2Error::Connection(
                         ErrorCode::ProtocolError,
@@ -555,7 +610,11 @@ impl Connection {
                     self.pending_headers = Some(pending);
                 }
             }
-            Frame::Data { stream, data, end_stream } => {
+            Frame::Data {
+                stream,
+                data,
+                end_stream,
+            } => {
                 let Some(rec) = self.streams.get_mut(&stream) else {
                     return Err(H2Error::Stream(
                         stream,
@@ -580,15 +639,26 @@ impl Connection {
                 if rec.recv_window < init / 2 {
                     let inc = (init - rec.recv_window) as u32;
                     rec.recv_window = init;
-                    Frame::WindowUpdate { stream, increment: inc }.encode(&mut self.send_buf);
+                    Frame::WindowUpdate {
+                        stream,
+                        increment: inc,
+                    }
+                    .encode(&mut self.send_buf);
                 }
                 if self.conn_recv_window < 32_768 {
                     let inc = (65_535 - self.conn_recv_window) as u32;
                     self.conn_recv_window = 65_535;
-                    Frame::WindowUpdate { stream: StreamId::CONNECTION, increment: inc }
-                        .encode(&mut self.send_buf);
+                    Frame::WindowUpdate {
+                        stream: StreamId::CONNECTION,
+                        increment: inc,
+                    }
+                    .encode(&mut self.send_buf);
                 }
-                events.push(Event::Data { stream, data, end_stream });
+                events.push(Event::Data {
+                    stream,
+                    data,
+                    end_stream,
+                });
             }
             Frame::RstStream { stream, code } => {
                 if let Some(rec) = self.streams.get_mut(&stream) {
@@ -605,7 +675,9 @@ impl Connection {
                 }
                 self.flush_pending_data();
             }
-            Frame::GoAway { last_stream, code, .. } => {
+            Frame::GoAway {
+                last_stream, code, ..
+            } => {
                 self.goaway_received = true;
                 events.push(Event::GoAway { code, last_stream });
             }
@@ -629,8 +701,11 @@ impl Connection {
             Frame::PushPromise { promised, .. } => {
                 // Push bodies are not modelled; refuse the stream so a
                 // compliant peer stops.
-                Frame::RstStream { stream: promised, code: ErrorCode::RefusedStream }
-                    .encode(&mut self.send_buf);
+                Frame::RstStream {
+                    stream: promised,
+                    code: ErrorCode::RefusedStream,
+                }
+                .encode(&mut self.send_buf);
             }
             Frame::Priority { stream, spec } => {
                 self.priorities.apply(stream, spec);
@@ -662,7 +737,11 @@ impl Connection {
             recv_window: self.local_settings.initial_window_size as i64,
         });
         rec.state = rec.state.on_recv_headers(end_stream);
-        events.push(Event::Headers { stream, headers, end_stream });
+        events.push(Event::Headers {
+            stream,
+            headers,
+            end_stream,
+        });
         Ok(())
     }
 }
@@ -679,12 +758,18 @@ pub fn request_headers(method: &str, authority: &str, path: &str) -> Vec<Header>
 
 /// Extract the `:authority` pseudo-header from a decoded request.
 pub fn authority_of(headers: &[Header]) -> Option<&str> {
-    headers.iter().find(|h| h.name == ":authority").map(|h| h.value.as_str())
+    headers
+        .iter()
+        .find(|h| h.name == ":authority")
+        .map(|h| h.value.as_str())
 }
 
 /// Extract the `:status` pseudo-header from a decoded response.
 pub fn status_of(headers: &[Header]) -> Option<u16> {
-    headers.iter().find(|h| h.name == ":status").and_then(|h| h.value.parse().ok())
+    headers
+        .iter()
+        .find(|h| h.name == ":status")
+        .and_then(|h| h.value.parse().ok())
 }
 
 #[cfg(test)]
@@ -755,9 +840,11 @@ mod tests {
         let req = se
             .iter()
             .find_map(|e| match e {
-                Event::Headers { stream, headers, end_stream } => {
-                    Some((*stream, headers.clone(), *end_stream))
-                }
+                Event::Headers {
+                    stream,
+                    headers,
+                    end_stream,
+                } => Some((*stream, headers.clone(), *end_stream)),
                 _ => None,
             })
             .expect("server saw request");
@@ -806,7 +893,10 @@ mod tests {
                 _ => None,
             })
             .expect("client received ORIGIN frame");
-        assert_eq!(got, vec!["https://shop.example", "https://cdnjs.cloudflare.com"]);
+        assert_eq!(
+            got,
+            vec!["https://shop.example", "https://cdnjs.cloudflare.com"]
+        );
         // Client origin state updated: coalescing now allowed for the
         // third-party host.
         assert!(c.origin_allows("cdnjs.cloudflare.com"));
@@ -829,13 +919,17 @@ mod tests {
     fn misdirected_request_gets_421() {
         let (mut c, mut s) = pair();
         pump(&mut c, &mut s);
-        let stream =
-            c.send_request(&request_headers("GET", "unconfigured.example", "/x.js"), true);
+        let stream = c.send_request(
+            &request_headers("GET", "unconfigured.example", "/x.js"),
+            true,
+        );
         let (_, se) = pump(&mut c, &mut s);
         let (req_stream, headers) = se
             .iter()
             .find_map(|e| match e {
-                Event::Headers { stream, headers, .. } => Some((*stream, headers.clone())),
+                Event::Headers {
+                    stream, headers, ..
+                } => Some((*stream, headers.clone())),
                 _ => None,
             })
             .unwrap();
@@ -876,7 +970,13 @@ mod tests {
         pump(&mut c, &mut s);
         s.send_goaway(ErrorCode::NoError);
         let (ce, _) = pump(&mut c, &mut s);
-        assert!(matches!(ce.last(), Some(Event::GoAway { code: ErrorCode::NoError, .. })));
+        assert!(matches!(
+            ce.last(),
+            Some(Event::GoAway {
+                code: ErrorCode::NoError,
+                ..
+            })
+        ));
         assert!(c.is_closing());
         assert!(s.is_closing());
     }
@@ -954,7 +1054,12 @@ mod tests {
             .sum();
         assert_eq!(got, 40_000);
         // The client must have replenished its windows.
-        assert!(ce.iter().filter(|e| matches!(e, Event::Data { .. })).count() >= 3);
+        assert!(
+            ce.iter()
+                .filter(|e| matches!(e, Event::Data { .. }))
+                .count()
+                >= 3
+        );
     }
 
     #[test]
@@ -964,10 +1069,16 @@ mod tests {
         let stream = c.send_request(&request_headers("GET", "www.example.com", "/"), true);
         pump(&mut c, &mut s);
         // Server refuses.
-        Frame::RstStream { stream, code: ErrorCode::RefusedStream }
-            .encode(&mut s.send_buf);
+        Frame::RstStream {
+            stream,
+            code: ErrorCode::RefusedStream,
+        }
+        .encode(&mut s.send_buf);
         let (ce, _) = pump(&mut c, &mut s);
-        assert!(ce.contains(&Event::StreamReset { stream, code: ErrorCode::RefusedStream }));
+        assert!(ce.contains(&Event::StreamReset {
+            stream,
+            code: ErrorCode::RefusedStream
+        }));
         assert_eq!(c.stream_state(stream), StreamState::Closed);
     }
 
@@ -1034,7 +1145,10 @@ mod tests {
     fn concurrency_limit_enforced() {
         let mut c = Connection::client("www.example.com", Settings::default());
         let mut s = Connection::server(ServerConfig {
-            settings: Settings { max_concurrent_streams: Some(2), ..Default::default() },
+            settings: Settings {
+                max_concurrent_streams: Some(2),
+                ..Default::default()
+            },
             ..Default::default()
         });
         pump(&mut c, &mut s);
@@ -1133,8 +1247,11 @@ mod tests {
         let order = s.priorities.transmission_order();
         assert_eq!(order, vec![StreamId(1), StreamId(3)]);
         // RST removes from the tree.
-        Frame::RstStream { stream: StreamId(1), code: ErrorCode::Cancel }
-            .encode(&mut c.send_buf);
+        Frame::RstStream {
+            stream: StreamId(1),
+            code: ErrorCode::Cancel,
+        }
+        .encode(&mut c.send_buf);
         pump(&mut c, &mut s);
         assert_eq!(s.priorities.transmission_order(), vec![StreamId(3)]);
     }
@@ -1170,7 +1287,9 @@ mod tests {
                 _ => None,
             })
             .expect("server reassembles the split block");
-        assert!(got.iter().any(|h| h.name == "cookie" && h.value.len() == 40_000));
+        assert!(got
+            .iter()
+            .any(|h| h.name == "cookie" && h.value.len() == 40_000));
     }
 
     #[test]
@@ -1185,9 +1304,16 @@ mod tests {
             priority: None,
         }
         .encode(&mut c.send_buf);
-        Frame::Ping { ack: false, payload: [0; 8] }.encode(&mut c.send_buf);
+        Frame::Ping {
+            ack: false,
+            payload: [0; 8],
+        }
+        .encode(&mut c.send_buf);
         let out = c.take_outgoing();
         let err = s.recv(&out).unwrap_err();
-        assert!(matches!(err, H2Error::Connection(ErrorCode::ProtocolError, _)));
+        assert!(matches!(
+            err,
+            H2Error::Connection(ErrorCode::ProtocolError, _)
+        ));
     }
 }

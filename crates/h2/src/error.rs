@@ -225,7 +225,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = FrameError::BadLength { kind: "PING", len: 7 };
+        let e = FrameError::BadLength {
+            kind: "PING",
+            len: 7,
+        };
         assert!(e.to_string().contains("PING"));
         let e: H2Error = e.into();
         assert!(e.to_string().contains("frame error"));

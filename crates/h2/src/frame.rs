@@ -117,7 +117,12 @@ impl FrameHeader {
         let flags = buf[4];
         let stream_id =
             StreamId(u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]) & 0x7fff_ffff);
-        FrameHeader { length, kind, flags, stream_id }
+        FrameHeader {
+            length,
+            kind,
+            flags,
+            stream_id,
+        }
     }
 
     /// Serialize into 9 octets.
@@ -292,21 +297,32 @@ impl Frame {
             | Frame::AltSvc { stream, .. }
             | Frame::WindowUpdate { stream, .. }
             | Frame::Unknown { stream, .. } => *stream,
-            Frame::Settings { .. } | Frame::Ping { .. } | Frame::GoAway { .. } | Frame::Origin { .. } => {
-                StreamId::CONNECTION
-            }
+            Frame::Settings { .. }
+            | Frame::Ping { .. }
+            | Frame::GoAway { .. }
+            | Frame::Origin { .. } => StreamId::CONNECTION,
         }
     }
 
     /// Serialize the frame (header + payload) into `dst`.
     pub fn encode(&self, dst: &mut BytesMut) {
         match self {
-            Frame::Data { stream, data, end_stream } => {
+            Frame::Data {
+                stream,
+                data,
+                end_stream,
+            } => {
                 let flags = if *end_stream { FLAG_END_STREAM } else { 0 };
                 header(dst, data.len(), FrameType::Data, flags, *stream);
                 dst.extend_from_slice(data);
             }
-            Frame::Headers { stream, fragment, end_stream, end_headers, priority } => {
+            Frame::Headers {
+                stream,
+                fragment,
+                end_stream,
+                end_headers,
+                priority,
+            } => {
                 let mut flags = 0;
                 if *end_stream {
                     flags |= FLAG_END_STREAM;
@@ -318,7 +334,13 @@ impl Frame {
                 if priority.is_some() {
                     flags |= FLAG_PRIORITY;
                 }
-                header(dst, fragment.len() + extra, FrameType::Headers, flags, *stream);
+                header(
+                    dst,
+                    fragment.len() + extra,
+                    FrameType::Headers,
+                    flags,
+                    *stream,
+                );
                 if let Some(p) = priority {
                     put_priority(dst, p);
                 }
@@ -334,15 +356,32 @@ impl Frame {
             }
             Frame::Settings { ack, params } => {
                 let flags = if *ack { FLAG_ACK } else { 0 };
-                header(dst, params.len() * 6, FrameType::Settings, flags, StreamId::CONNECTION);
+                header(
+                    dst,
+                    params.len() * 6,
+                    FrameType::Settings,
+                    flags,
+                    StreamId::CONNECTION,
+                );
                 for (id, val) in params {
                     dst.put_u16(*id);
                     dst.put_u32(*val);
                 }
             }
-            Frame::PushPromise { stream, promised, fragment, end_headers } => {
+            Frame::PushPromise {
+                stream,
+                promised,
+                fragment,
+                end_headers,
+            } => {
                 let flags = if *end_headers { FLAG_END_HEADERS } else { 0 };
-                header(dst, fragment.len() + 4, FrameType::PushPromise, flags, *stream);
+                header(
+                    dst,
+                    fragment.len() + 4,
+                    FrameType::PushPromise,
+                    flags,
+                    *stream,
+                );
                 dst.put_u32(promised.0 & 0x7fff_ffff);
                 dst.extend_from_slice(fragment);
             }
@@ -351,8 +390,18 @@ impl Frame {
                 header(dst, 8, FrameType::Ping, flags, StreamId::CONNECTION);
                 dst.extend_from_slice(payload);
             }
-            Frame::GoAway { last_stream, code, debug } => {
-                header(dst, 8 + debug.len(), FrameType::GoAway, 0, StreamId::CONNECTION);
+            Frame::GoAway {
+                last_stream,
+                code,
+                debug,
+            } => {
+                header(
+                    dst,
+                    8 + debug.len(),
+                    FrameType::GoAway,
+                    0,
+                    StreamId::CONNECTION,
+                );
                 dst.put_u32(last_stream.0 & 0x7fff_ffff);
                 dst.put_u32(code.to_u32());
                 dst.extend_from_slice(debug);
@@ -361,13 +410,27 @@ impl Frame {
                 header(dst, 4, FrameType::WindowUpdate, 0, *stream);
                 dst.put_u32(increment & 0x7fff_ffff);
             }
-            Frame::Continuation { stream, fragment, end_headers } => {
+            Frame::Continuation {
+                stream,
+                fragment,
+                end_headers,
+            } => {
                 let flags = if *end_headers { FLAG_END_HEADERS } else { 0 };
                 header(dst, fragment.len(), FrameType::Continuation, flags, *stream);
                 dst.extend_from_slice(fragment);
             }
-            Frame::AltSvc { stream, origin, value } => {
-                header(dst, 2 + origin.len() + value.len(), FrameType::AltSvc, 0, *stream);
+            Frame::AltSvc {
+                stream,
+                origin,
+                value,
+            } => {
+                header(
+                    dst,
+                    2 + origin.len() + value.len(),
+                    FrameType::AltSvc,
+                    0,
+                    *stream,
+                );
                 dst.put_u16(origin.len() as u16);
                 dst.extend_from_slice(origin);
                 dst.extend_from_slice(value);
@@ -381,7 +444,12 @@ impl Frame {
                     dst.extend_from_slice(o.as_bytes());
                 }
             }
-            Frame::Unknown { kind, flags, stream, payload } => {
+            Frame::Unknown {
+                kind,
+                flags,
+                stream,
+                payload,
+            } => {
                 let h = FrameHeader {
                     length: payload.len() as u32,
                     kind: *kind,
@@ -403,7 +471,13 @@ impl Frame {
 }
 
 fn header(dst: &mut BytesMut, len: usize, kind: FrameType, flags: u8, stream: StreamId) {
-    FrameHeader { length: len as u32, kind: kind.to_u8(), flags, stream_id: stream }.encode(dst);
+    FrameHeader {
+        length: len as u32,
+        kind: kind.to_u8(),
+        flags,
+        stream_id: stream,
+    }
+    .encode(dst);
 }
 
 fn put_priority(dst: &mut BytesMut, p: &PrioritySpec) {
@@ -437,7 +511,9 @@ pub struct FrameDecoder {
 
 impl Default for FrameDecoder {
     fn default() -> Self {
-        FrameDecoder { max_frame_size: DEFAULT_MAX_FRAME_SIZE }
+        FrameDecoder {
+            max_frame_size: DEFAULT_MAX_FRAME_SIZE,
+        }
     }
 }
 
@@ -457,7 +533,10 @@ impl FrameDecoder {
         let head = FrameHeader::parse(&hdr);
         let len = head.length as usize;
         if len > self.max_frame_size {
-            return Err(FrameError::TooLarge { len, max: self.max_frame_size });
+            return Err(FrameError::TooLarge {
+                len,
+                max: self.max_frame_size,
+            });
         }
         if src.len() < 9 + len {
             return Ok(None);
@@ -475,19 +554,32 @@ impl FrameDecoder {
         match kind {
             FrameType::Data => {
                 if stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "DATA", id: 0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "DATA",
+                        id: 0,
+                    });
                 }
                 let data = strip_padding(payload, flags)?;
-                Ok(Frame::Data { stream, data, end_stream: flags & FLAG_END_STREAM != 0 })
+                Ok(Frame::Data {
+                    stream,
+                    data,
+                    end_stream: flags & FLAG_END_STREAM != 0,
+                })
             }
             FrameType::Headers => {
                 if stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "HEADERS", id: 0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "HEADERS",
+                        id: 0,
+                    });
                 }
                 let mut body = strip_padding(payload, flags)?;
                 let priority = if flags & FLAG_PRIORITY != 0 {
                     if body.len() < 5 {
-                        return Err(FrameError::BadLength { kind: "HEADERS", len: body.len() });
+                        return Err(FrameError::BadLength {
+                            kind: "HEADERS",
+                            len: body.len(),
+                        });
                     }
                     Some(get_priority(&mut body))
                 } else {
@@ -503,32 +595,59 @@ impl FrameDecoder {
             }
             FrameType::Priority => {
                 if payload.len() != 5 {
-                    return Err(FrameError::BadLength { kind: "PRIORITY", len: payload.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "PRIORITY",
+                        len: payload.len(),
+                    });
                 }
                 if stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "PRIORITY", id: 0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "PRIORITY",
+                        id: 0,
+                    });
                 }
-                Ok(Frame::Priority { stream, spec: get_priority(payload) })
+                Ok(Frame::Priority {
+                    stream,
+                    spec: get_priority(payload),
+                })
             }
             FrameType::RstStream => {
                 if payload.len() != 4 {
-                    return Err(FrameError::BadLength { kind: "RST_STREAM", len: payload.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "RST_STREAM",
+                        len: payload.len(),
+                    });
                 }
                 if stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "RST_STREAM", id: 0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "RST_STREAM",
+                        id: 0,
+                    });
                 }
-                Ok(Frame::RstStream { stream, code: ErrorCode::from_u32(payload.get_u32()) })
+                Ok(Frame::RstStream {
+                    stream,
+                    code: ErrorCode::from_u32(payload.get_u32()),
+                })
             }
             FrameType::Settings => {
                 if !stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "SETTINGS", id: stream.0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "SETTINGS",
+                        id: stream.0,
+                    });
                 }
                 let ack = flags & FLAG_ACK != 0;
                 if ack && !payload.is_empty() {
-                    return Err(FrameError::BadLength { kind: "SETTINGS(ACK)", len: payload.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "SETTINGS(ACK)",
+                        len: payload.len(),
+                    });
                 }
-                if payload.len() % 6 != 0 {
-                    return Err(FrameError::BadLength { kind: "SETTINGS", len: payload.len() });
+                if !payload.len().is_multiple_of(6) {
+                    return Err(FrameError::BadLength {
+                        kind: "SETTINGS",
+                        len: payload.len(),
+                    });
                 }
                 let mut params = Vec::with_capacity(payload.len() / 6);
                 while payload.remaining() >= 6 {
@@ -538,11 +657,17 @@ impl FrameDecoder {
             }
             FrameType::PushPromise => {
                 if stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "PUSH_PROMISE", id: 0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "PUSH_PROMISE",
+                        id: 0,
+                    });
                 }
                 let mut body = strip_padding(payload, flags)?;
                 if body.len() < 4 {
-                    return Err(FrameError::BadLength { kind: "PUSH_PROMISE", len: body.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "PUSH_PROMISE",
+                        len: body.len(),
+                    });
                 }
                 let promised = StreamId(body.get_u32() & 0x7fff_ffff);
                 Ok(Frame::PushPromise {
@@ -554,35 +679,63 @@ impl FrameDecoder {
             }
             FrameType::Ping => {
                 if payload.len() != 8 {
-                    return Err(FrameError::BadLength { kind: "PING", len: payload.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "PING",
+                        len: payload.len(),
+                    });
                 }
                 if !stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "PING", id: stream.0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "PING",
+                        id: stream.0,
+                    });
                 }
                 let mut p = [0u8; 8];
                 p.copy_from_slice(&payload[..8]);
-                Ok(Frame::Ping { ack: flags & FLAG_ACK != 0, payload: p })
+                Ok(Frame::Ping {
+                    ack: flags & FLAG_ACK != 0,
+                    payload: p,
+                })
             }
             FrameType::GoAway => {
                 if payload.len() < 8 {
-                    return Err(FrameError::BadLength { kind: "GOAWAY", len: payload.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "GOAWAY",
+                        len: payload.len(),
+                    });
                 }
                 if !stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "GOAWAY", id: stream.0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "GOAWAY",
+                        id: stream.0,
+                    });
                 }
                 let last_stream = StreamId(payload.get_u32() & 0x7fff_ffff);
                 let code = ErrorCode::from_u32(payload.get_u32());
-                Ok(Frame::GoAway { last_stream, code, debug: payload.clone() })
+                Ok(Frame::GoAway {
+                    last_stream,
+                    code,
+                    debug: payload.clone(),
+                })
             }
             FrameType::WindowUpdate => {
                 if payload.len() != 4 {
-                    return Err(FrameError::BadLength { kind: "WINDOW_UPDATE", len: payload.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "WINDOW_UPDATE",
+                        len: payload.len(),
+                    });
                 }
-                Ok(Frame::WindowUpdate { stream, increment: payload.get_u32() & 0x7fff_ffff })
+                Ok(Frame::WindowUpdate {
+                    stream,
+                    increment: payload.get_u32() & 0x7fff_ffff,
+                })
             }
             FrameType::Continuation => {
                 if stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "CONTINUATION", id: 0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "CONTINUATION",
+                        id: 0,
+                    });
                 }
                 Ok(Frame::Continuation {
                     stream,
@@ -592,14 +745,24 @@ impl FrameDecoder {
             }
             FrameType::AltSvc => {
                 if payload.len() < 2 {
-                    return Err(FrameError::BadLength { kind: "ALTSVC", len: payload.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "ALTSVC",
+                        len: payload.len(),
+                    });
                 }
                 let origin_len = payload.get_u16() as usize;
                 if payload.len() < origin_len {
-                    return Err(FrameError::BadLength { kind: "ALTSVC", len: payload.len() });
+                    return Err(FrameError::BadLength {
+                        kind: "ALTSVC",
+                        len: payload.len(),
+                    });
                 }
                 let origin = payload.split_to(origin_len);
-                Ok(Frame::AltSvc { stream, origin, value: payload.clone() })
+                Ok(Frame::AltSvc {
+                    stream,
+                    origin,
+                    value: payload.clone(),
+                })
             }
             FrameType::Origin => {
                 // RFC 8336 §2: ORIGIN frames on a non-zero stream or
@@ -607,16 +770,25 @@ impl FrameDecoder {
                 // codec surfaces structural errors; the connection
                 // layer decides to ignore.
                 if !stream.is_connection() {
-                    return Err(FrameError::BadStreamId { kind: "ORIGIN", id: stream.0 });
+                    return Err(FrameError::BadStreamId {
+                        kind: "ORIGIN",
+                        id: stream.0,
+                    });
                 }
                 let mut origins = Vec::new();
                 while payload.has_remaining() {
                     if payload.remaining() < 2 {
-                        return Err(FrameError::BadLength { kind: "ORIGIN", len: payload.remaining() });
+                        return Err(FrameError::BadLength {
+                            kind: "ORIGIN",
+                            len: payload.remaining(),
+                        });
                     }
                     let len = payload.get_u16() as usize;
                     if payload.remaining() < len {
-                        return Err(FrameError::BadLength { kind: "ORIGIN", len: payload.remaining() });
+                        return Err(FrameError::BadLength {
+                            kind: "ORIGIN",
+                            len: payload.remaining(),
+                        });
                     }
                     let entry = payload.split_to(len);
                     let s = std::str::from_utf8(&entry).map_err(|_| FrameError::BadString)?;
@@ -696,15 +868,24 @@ mod tests {
 
     #[test]
     fn settings_roundtrip() {
-        let f = Frame::Settings { ack: false, params: vec![(0x3, 100), (0x4, 65_535)] };
+        let f = Frame::Settings {
+            ack: false,
+            params: vec![(0x3, 100), (0x4, 65_535)],
+        };
         assert_eq!(roundtrip(f.clone()), f);
-        let ack = Frame::Settings { ack: true, params: vec![] };
+        let ack = Frame::Settings {
+            ack: true,
+            params: vec![],
+        };
         assert_eq!(roundtrip(ack.clone()), ack);
     }
 
     #[test]
     fn ping_goaway_window_roundtrip() {
-        let p = Frame::Ping { ack: true, payload: [1, 2, 3, 4, 5, 6, 7, 8] };
+        let p = Frame::Ping {
+            ack: true,
+            payload: [1, 2, 3, 4, 5, 6, 7, 8],
+        };
         assert_eq!(roundtrip(p.clone()), p);
         let g = Frame::GoAway {
             last_stream: StreamId(9),
@@ -712,17 +893,27 @@ mod tests {
             debug: Bytes::from_static(b"bye"),
         };
         assert_eq!(roundtrip(g.clone()), g);
-        let w = Frame::WindowUpdate { stream: StreamId(0), increment: 0x7fff_ffff };
+        let w = Frame::WindowUpdate {
+            stream: StreamId(0),
+            increment: 0x7fff_ffff,
+        };
         assert_eq!(roundtrip(w.clone()), w);
     }
 
     #[test]
     fn rst_priority_continuation_pushpromise_altsvc_roundtrip() {
-        let r = Frame::RstStream { stream: StreamId(7), code: ErrorCode::Cancel };
+        let r = Frame::RstStream {
+            stream: StreamId(7),
+            code: ErrorCode::Cancel,
+        };
         assert_eq!(roundtrip(r.clone()), r);
         let p = Frame::Priority {
             stream: StreamId(7),
-            spec: PrioritySpec { exclusive: false, depends_on: StreamId(0), weight: 15 },
+            spec: PrioritySpec {
+                exclusive: false,
+                depends_on: StreamId(0),
+                weight: 15,
+            },
         };
         assert_eq!(roundtrip(p.clone()), p);
         let c = Frame::Continuation {
@@ -780,7 +971,10 @@ mod tests {
 
     #[test]
     fn partial_input_returns_none() {
-        let f = Frame::Ping { ack: false, payload: [0; 8] };
+        let f = Frame::Ping {
+            ack: false,
+            payload: [0; 8],
+        };
         let bytes = f.to_bytes();
         let dec = FrameDecoder::default();
         for cut in 0..bytes.len() {
@@ -792,8 +986,16 @@ mod tests {
     #[test]
     fn two_frames_in_one_buffer() {
         let mut buf = BytesMut::new();
-        Frame::Ping { ack: false, payload: [1; 8] }.encode(&mut buf);
-        Frame::Ping { ack: true, payload: [2; 8] }.encode(&mut buf);
+        Frame::Ping {
+            ack: false,
+            payload: [1; 8],
+        }
+        .encode(&mut buf);
+        Frame::Ping {
+            ack: true,
+            payload: [2; 8],
+        }
+        .encode(&mut buf);
         let dec = FrameDecoder::default();
         let f1 = dec.decode(&mut buf).unwrap().unwrap();
         let f2 = dec.decode(&mut buf).unwrap().unwrap();
@@ -805,10 +1007,18 @@ mod tests {
     #[test]
     fn oversized_frame_rejected() {
         let mut buf = BytesMut::new();
-        FrameHeader { length: 20_000, kind: 0, flags: 0, stream_id: StreamId(1) }
-            .encode(&mut buf);
+        FrameHeader {
+            length: 20_000,
+            kind: 0,
+            flags: 0,
+            stream_id: StreamId(1),
+        }
+        .encode(&mut buf);
         let dec = FrameDecoder::default();
-        assert!(matches!(dec.decode(&mut buf), Err(FrameError::TooLarge { .. })));
+        assert!(matches!(
+            dec.decode(&mut buf),
+            Err(FrameError::TooLarge { .. })
+        ));
     }
 
     #[test]
@@ -816,21 +1026,48 @@ mod tests {
         let dec = FrameDecoder::default();
         // PING with 7-byte payload
         let mut buf = BytesMut::new();
-        FrameHeader { length: 7, kind: 0x06, flags: 0, stream_id: StreamId(0) }.encode(&mut buf);
+        FrameHeader {
+            length: 7,
+            kind: 0x06,
+            flags: 0,
+            stream_id: StreamId(0),
+        }
+        .encode(&mut buf);
         buf.extend_from_slice(&[0; 7]);
-        assert!(matches!(dec.decode(&mut buf), Err(FrameError::BadLength { kind: "PING", .. })));
+        assert!(matches!(
+            dec.decode(&mut buf),
+            Err(FrameError::BadLength { kind: "PING", .. })
+        ));
         // SETTINGS with length 5
         let mut buf = BytesMut::new();
-        FrameHeader { length: 5, kind: 0x04, flags: 0, stream_id: StreamId(0) }.encode(&mut buf);
+        FrameHeader {
+            length: 5,
+            kind: 0x04,
+            flags: 0,
+            stream_id: StreamId(0),
+        }
+        .encode(&mut buf);
         buf.extend_from_slice(&[0; 5]);
-        assert!(matches!(dec.decode(&mut buf), Err(FrameError::BadLength { kind: "SETTINGS", .. })));
+        assert!(matches!(
+            dec.decode(&mut buf),
+            Err(FrameError::BadLength {
+                kind: "SETTINGS",
+                ..
+            })
+        ));
     }
 
     #[test]
     fn data_on_stream_zero_rejected() {
         let dec = FrameDecoder::default();
         let mut buf = BytesMut::new();
-        FrameHeader { length: 1, kind: 0x00, flags: 0, stream_id: StreamId(0) }.encode(&mut buf);
+        FrameHeader {
+            length: 1,
+            kind: 0x00,
+            flags: 0,
+            stream_id: StreamId(0),
+        }
+        .encode(&mut buf);
         buf.put_u8(0xaa);
         assert!(matches!(
             dec.decode(&mut buf),
@@ -842,7 +1079,13 @@ mod tests {
     fn origin_on_nonzero_stream_rejected() {
         let dec = FrameDecoder::default();
         let mut buf = BytesMut::new();
-        FrameHeader { length: 0, kind: 0x0c, flags: 0, stream_id: StreamId(3) }.encode(&mut buf);
+        FrameHeader {
+            length: 0,
+            kind: 0x0c,
+            flags: 0,
+            stream_id: StreamId(3),
+        }
+        .encode(&mut buf);
         assert!(matches!(
             dec.decode(&mut buf),
             Err(FrameError::BadStreamId { kind: "ORIGIN", .. })
@@ -854,10 +1097,19 @@ mod tests {
         let dec = FrameDecoder::default();
         let mut buf = BytesMut::new();
         // Entry claims 10 bytes but only 3 are present.
-        FrameHeader { length: 5, kind: 0x0c, flags: 0, stream_id: StreamId(0) }.encode(&mut buf);
+        FrameHeader {
+            length: 5,
+            kind: 0x0c,
+            flags: 0,
+            stream_id: StreamId(0),
+        }
+        .encode(&mut buf);
         buf.put_u16(10);
         buf.extend_from_slice(b"abc");
-        assert!(matches!(dec.decode(&mut buf), Err(FrameError::BadLength { kind: "ORIGIN", .. })));
+        assert!(matches!(
+            dec.decode(&mut buf),
+            Err(FrameError::BadLength { kind: "ORIGIN", .. })
+        ));
     }
 
     #[test]
@@ -878,15 +1130,24 @@ mod tests {
         let f = dec.decode(&mut buf).unwrap().unwrap();
         assert_eq!(
             f,
-            Frame::Data { stream: StreamId(1), data: Bytes::from_static(b"hi"), end_stream: true }
+            Frame::Data {
+                stream: StreamId(1),
+                data: Bytes::from_static(b"hi"),
+                end_stream: true
+            }
         );
     }
 
     #[test]
     fn pad_exceeding_payload_rejected() {
         let mut buf = BytesMut::new();
-        FrameHeader { length: 2, kind: 0x00, flags: FLAG_PADDED, stream_id: StreamId(1) }
-            .encode(&mut buf);
+        FrameHeader {
+            length: 2,
+            kind: 0x00,
+            flags: FLAG_PADDED,
+            stream_id: StreamId(1),
+        }
+        .encode(&mut buf);
         buf.put_u8(200); // pad length 200 > remaining 1
         buf.put_u8(0);
         let dec = FrameDecoder::default();

@@ -379,23 +379,34 @@ mod tests {
     #[test]
     fn rfc7541_appendix_c_vectors() {
         let cases: &[(&str, &[u8])] = &[
-            ("www.example.com", &[0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff]),
+            (
+                "www.example.com",
+                &[
+                    0xf1, 0xe3, 0xc2, 0xe5, 0xf2, 0x3a, 0x6b, 0xa0, 0xab, 0x90, 0xf4, 0xff,
+                ],
+            ),
             ("no-cache", &[0xa8, 0xeb, 0x10, 0x64, 0x9c, 0xbf]),
-            ("custom-key", &[0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xa9, 0x7d, 0x7f]),
-            ("custom-value", &[0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xb8, 0xe8, 0xb4, 0xbf]),
+            (
+                "custom-key",
+                &[0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xa9, 0x7d, 0x7f],
+            ),
+            (
+                "custom-value",
+                &[0x25, 0xa8, 0x49, 0xe9, 0x5b, 0xb8, 0xe8, 0xb4, 0xbf],
+            ),
             ("private", &[0xae, 0xc3, 0x77, 0x1a, 0x4b]),
             (
                 "Mon, 21 Oct 2013 20:13:21 GMT",
                 &[
-                    0xd0, 0x7a, 0xbe, 0x94, 0x10, 0x54, 0xd4, 0x44, 0xa8, 0x20, 0x05, 0x95,
-                    0x04, 0x0b, 0x81, 0x66, 0xe0, 0x82, 0xa6, 0x2d, 0x1b, 0xff,
+                    0xd0, 0x7a, 0xbe, 0x94, 0x10, 0x54, 0xd4, 0x44, 0xa8, 0x20, 0x05, 0x95, 0x04,
+                    0x0b, 0x81, 0x66, 0xe0, 0x82, 0xa6, 0x2d, 0x1b, 0xff,
                 ],
             ),
             (
                 "https://www.example.com",
                 &[
-                    0x9d, 0x29, 0xad, 0x17, 0x18, 0x63, 0xc7, 0x8f, 0x0b, 0x97, 0xc8, 0xe9,
-                    0xae, 0x82, 0xae, 0x43, 0xd3,
+                    0x9d, 0x29, 0xad, 0x17, 0x18, 0x63, 0xc7, 0x8f, 0x0b, 0x97, 0xc8, 0xe9, 0xae,
+                    0x82, 0xae, 0x43, 0xd3,
                 ],
             ),
             ("gzip", &[0x9b, 0xd9, 0xab]),
@@ -404,7 +415,11 @@ mod tests {
             let mut enc = Vec::new();
             encode(plain.as_bytes(), &mut enc);
             assert_eq!(&enc, wire, "encoding {plain:?}");
-            assert_eq!(decode(wire).unwrap(), plain.as_bytes(), "decoding {plain:?}");
+            assert_eq!(
+                decode(wire).unwrap(),
+                plain.as_bytes(),
+                "decoding {plain:?}"
+            );
             assert_eq!(encoded_len(plain.as_bytes()), wire.len());
         }
     }
@@ -436,7 +451,10 @@ mod tests {
     #[test]
     fn eos_in_body_rejected() {
         // EOS is 30 ones; a full byte run of 0xff × 4 contains it.
-        assert_eq!(decode(&[0xff, 0xff, 0xff, 0xff]), Err(HpackError::BadHuffman));
+        assert_eq!(
+            decode(&[0xff, 0xff, 0xff, 0xff]),
+            Err(HpackError::BadHuffman)
+        );
     }
 
     #[test]

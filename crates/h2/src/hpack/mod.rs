@@ -26,12 +26,19 @@ pub struct Header {
 impl Header {
     /// Construct a regular header.
     pub fn new(name: &str, value: &str) -> Self {
-        Header { name: name.to_ascii_lowercase(), value: value.to_string(), sensitive: false }
+        Header {
+            name: name.to_ascii_lowercase(),
+            value: value.to_string(),
+            sensitive: false,
+        }
     }
 
     /// Construct a sensitive (never-indexed) header.
     pub fn sensitive(name: &str, value: &str) -> Self {
-        Header { sensitive: true, ..Header::new(name, value) }
+        Header {
+            sensitive: true,
+            ..Header::new(name, value)
+        }
     }
 }
 
@@ -114,7 +121,11 @@ fn decode_string(buf: &[u8], pos: &mut usize) -> Result<String, HpackError> {
     }
     let raw = &buf[*pos..*pos + len];
     *pos += len;
-    let bytes = if huffman_coded { huffman::decode(raw)? } else { raw.to_vec() };
+    let bytes = if huffman_coded {
+        huffman::decode(raw)?
+    } else {
+        raw.to_vec()
+    };
     // Header contents in this stack are UTF-8 (the simulation only
     // produces ASCII); undecodable octets degrade to U+FFFD.
     Ok(String::from_utf8_lossy(&bytes).into_owned())
@@ -135,7 +146,11 @@ pub struct Encoder {
 impl Encoder {
     /// Encoder with the default 4096-octet dynamic table.
     pub fn new() -> Self {
-        Encoder { dynamic: DynamicTable::new(4096), use_huffman: true, pending_resize: None }
+        Encoder {
+            dynamic: DynamicTable::new(4096),
+            use_huffman: true,
+            pending_resize: None,
+        }
     }
 
     /// Set the dynamic table capacity (from the peer's
@@ -190,7 +205,10 @@ impl Encoder {
             }
         }
         encode_string(&h.value, self.use_huffman, out);
-        self.dynamic.insert(Entry { name: h.name.clone(), value: h.value.clone() });
+        self.dynamic.insert(Entry {
+            name: h.name.clone(),
+            value: h.value.clone(),
+        });
     }
 }
 
@@ -213,7 +231,10 @@ pub struct Decoder {
 impl Decoder {
     /// Decoder with the default 4096-octet table.
     pub fn new() -> Self {
-        Decoder { dynamic: DynamicTable::new(4096), max_allowed_table_size: 4096 }
+        Decoder {
+            dynamic: DynamicTable::new(4096),
+            max_allowed_table_size: 4096,
+        }
     }
 
     /// Current dynamic table occupancy in octets.
@@ -231,14 +252,25 @@ impl Decoder {
                 // Indexed field.
                 let idx = decode_int(block, &mut pos, 7)?;
                 let e = lookup(&self.dynamic, idx).ok_or(HpackError::BadIndex(idx))?;
-                out.push(Header { name: e.name, value: e.value, sensitive: false });
+                out.push(Header {
+                    name: e.name,
+                    value: e.value,
+                    sensitive: false,
+                });
             } else if b & 0x40 != 0 {
                 // Literal with incremental indexing.
                 let idx = decode_int(block, &mut pos, 6)?;
                 let name = self.literal_name(block, &mut pos, idx)?;
                 let value = decode_string(block, &mut pos)?;
-                self.dynamic.insert(Entry { name: name.clone(), value: value.clone() });
-                out.push(Header { name, value, sensitive: false });
+                self.dynamic.insert(Entry {
+                    name: name.clone(),
+                    value: value.clone(),
+                });
+                out.push(Header {
+                    name,
+                    value,
+                    sensitive: false,
+                });
             } else if b & 0x20 != 0 {
                 // Dynamic table size update.
                 let size = decode_int(block, &mut pos, 5)?;
@@ -252,7 +284,11 @@ impl Decoder {
                 let idx = decode_int(block, &mut pos, 4)?;
                 let name = self.literal_name(block, &mut pos, idx)?;
                 let value = decode_string(block, &mut pos)?;
-                out.push(Header { name, value, sensitive });
+                out.push(Header {
+                    name,
+                    value,
+                    sensitive,
+                });
             }
         }
         Ok(out)
@@ -267,7 +303,9 @@ impl Decoder {
         if idx == 0 {
             decode_string(block, pos)
         } else {
-            Ok(lookup(&self.dynamic, idx).ok_or(HpackError::BadIndex(idx))?.name)
+            Ok(lookup(&self.dynamic, idx)
+                .ok_or(HpackError::BadIndex(idx))?
+                .name)
         }
     }
 }
@@ -318,7 +356,10 @@ mod tests {
         assert_eq!(decode_int(&[], &mut pos, 5), Err(HpackError::Truncated));
         // Continuation byte promised but absent.
         let mut pos = 0;
-        assert_eq!(decode_int(&[0x1f, 0x80], &mut pos, 5), Err(HpackError::Truncated));
+        assert_eq!(
+            decode_int(&[0x1f, 0x80], &mut pos, 5),
+            Err(HpackError::Truncated)
+        );
     }
 
     #[test]
@@ -326,7 +367,10 @@ mod tests {
         // 6 continuation bytes exceed the shift limit.
         let buf = [0x1f, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
         let mut pos = 0;
-        assert_eq!(decode_int(&buf, &mut pos, 5), Err(HpackError::IntegerOverflow));
+        assert_eq!(
+            decode_int(&buf, &mut pos, 5),
+            Err(HpackError::IntegerOverflow)
+        );
     }
 
     #[test]
@@ -338,12 +382,15 @@ mod tests {
         assert_eq!(
             block,
             [
-                0x40, 0x0a, b'c', b'u', b's', b't', b'o', b'm', b'-', b'k', b'e', b'y', 0x0d,
-                b'c', b'u', b's', b't', b'o', b'm', b'-', b'h', b'e', b'a', b'd', b'e', b'r'
+                0x40, 0x0a, b'c', b'u', b's', b't', b'o', b'm', b'-', b'k', b'e', b'y', 0x0d, b'c',
+                b'u', b's', b't', b'o', b'm', b'-', b'h', b'e', b'a', b'd', b'e', b'r'
             ]
         );
         let mut dec = Decoder::new();
-        assert_eq!(dec.decode(&block).unwrap(), vec![h("custom-key", "custom-header")]);
+        assert_eq!(
+            dec.decode(&block).unwrap(),
+            vec![h("custom-key", "custom-header")]
+        );
         assert_eq!(dec.table_size(), 55);
     }
 
@@ -372,8 +419,8 @@ mod tests {
         assert_eq!(
             b1,
             [
-                0x82, 0x86, 0x84, 0x41, 0x0f, b'w', b'w', b'w', b'.', b'e', b'x', b'a', b'm',
-                b'p', b'l', b'e', b'.', b'c', b'o', b'm'
+                0x82, 0x86, 0x84, 0x41, 0x0f, b'w', b'w', b'w', b'.', b'e', b'x', b'a', b'm', b'p',
+                b'l', b'e', b'.', b'c', b'o', b'm'
             ]
         );
         assert_eq!(dec.decode(&b1).unwrap(), req1);
@@ -425,7 +472,12 @@ mod tests {
         // Second identical request should compress dramatically via
         // the dynamic table.
         let block2 = enc.encode(&req);
-        assert!(block2.len() < block.len() / 2, "{} vs {}", block2.len(), block.len());
+        assert!(
+            block2.len() < block.len() / 2,
+            "{} vs {}",
+            block2.len(),
+            block.len()
+        );
         assert_eq!(dec.decode(&block2).unwrap(), req);
     }
 

@@ -95,7 +95,11 @@ pub struct DynamicTable {
 impl DynamicTable {
     /// New table with the given capacity (SETTINGS_HEADER_TABLE_SIZE).
     pub fn new(max_size: usize) -> Self {
-        DynamicTable { entries: VecDeque::new(), size: 0, max_size }
+        DynamicTable {
+            entries: VecDeque::new(),
+            size: 0,
+            max_size,
+        }
     }
 
     /// Current occupied size in octets.
@@ -145,7 +149,9 @@ impl DynamicTable {
 
     /// Find the index (0-based) of an exact (name, value) match.
     pub fn find(&self, name: &str, value: &str) -> Option<usize> {
-        self.entries.iter().position(|e| e.name == name && e.value == value)
+        self.entries
+            .iter()
+            .position(|e| e.name == name && e.value == value)
     }
 
     /// Find the index (0-based) of a name-only match.
@@ -169,7 +175,10 @@ pub fn lookup(dynamic: &DynamicTable, index: usize) -> Option<Entry> {
     }
     if index <= STATIC_TABLE.len() {
         let (n, v) = STATIC_TABLE[index - 1];
-        return Some(Entry { name: n.to_string(), value: v.to_string() });
+        return Some(Entry {
+            name: n.to_string(),
+            value: v.to_string(),
+        });
     }
     dynamic.get(index - STATIC_TABLE.len() - 1).cloned()
 }
@@ -182,7 +191,9 @@ pub fn find_index(dynamic: &DynamicTable, name: &str, value: &str) -> Option<usi
             return Some(i + 1);
         }
     }
-    dynamic.find(name, value).map(|i| i + STATIC_TABLE.len() + 1)
+    dynamic
+        .find(name, value)
+        .map(|i| i + STATIC_TABLE.len() + 1)
 }
 
 /// Find a wire index whose *name* matches (for literal-with-indexed-
@@ -201,7 +212,10 @@ mod tests {
     use super::*;
 
     fn e(name: &str, value: &str) -> Entry {
-        Entry { name: name.into(), value: value.into() }
+        Entry {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub struct OriginEntry {
 impl OriginEntry {
     /// An `https` origin on the default port.
     pub fn https(host: &str) -> Self {
-        OriginEntry { scheme: "https".to_string(), host: host.to_ascii_lowercase(), port: 443 }
+        OriginEntry {
+            scheme: "https".to_string(),
+            host: host.to_ascii_lowercase(),
+            port: 443,
+        }
     }
 
     /// Parse an ASCII origin serialization.
@@ -68,7 +72,11 @@ impl OriginEntry {
         if host.is_empty() || host.contains('/') {
             return None;
         }
-        Some(OriginEntry { scheme, host: host.to_ascii_lowercase(), port })
+        Some(OriginEntry {
+            scheme,
+            host: host.to_ascii_lowercase(),
+            port,
+        })
     }
 
     /// ASCII serialization, omitting the scheme-default port.
@@ -154,7 +162,9 @@ impl OriginSet {
 
     /// Serialize into an ORIGIN frame (stream 0).
     pub fn to_frame(&self) -> Frame {
-        Frame::Origin { origins: self.entries.iter().map(|e| e.ascii()).collect() }
+        Frame::Origin {
+            origins: self.entries.iter().map(|e| e.ascii()).collect(),
+        }
     }
 
     /// Parse a received ORIGIN frame's entries, silently skipping
@@ -185,13 +195,17 @@ pub enum ClientOriginState {
 impl ClientOriginState {
     /// Initial state for a connection to `host`.
     pub fn connect_https(host: &str) -> Self {
-        ClientOriginState::Implicit { connected: OriginEntry::https(host) }
+        ClientOriginState::Implicit {
+            connected: OriginEntry::https(host),
+        }
     }
 
     /// Handle a received ORIGIN frame: the origin set is replaced
     /// wholesale (not merged) by the frame contents.
     pub fn on_origin_frame(&mut self, origins: &[String]) {
-        *self = ClientOriginState::Explicit { set: OriginSet::from_frame_entries(origins) };
+        *self = ClientOriginState::Explicit {
+            set: OriginSet::from_frame_entries(origins),
+        };
     }
 
     /// Has an explicit origin set been received?
@@ -234,7 +248,9 @@ mod tests {
         assert_eq!(o.ascii(), "https://example.com:8443");
         // Default port collapses in serialization.
         assert_eq!(
-            OriginEntry::parse("https://example.com:443").unwrap().ascii(),
+            OriginEntry::parse("https://example.com:443")
+                .unwrap()
+                .ascii(),
             "https://example.com"
         );
     }
@@ -275,7 +291,9 @@ mod tests {
     fn frame_roundtrip() {
         let set = OriginSet::from_hosts(["example.com", "static.example.com"]);
         let frame = set.to_frame();
-        let Frame::Origin { origins } = &frame else { panic!("not an ORIGIN frame") };
+        let Frame::Origin { origins } = &frame else {
+            panic!("not an ORIGIN frame")
+        };
         let back = OriginSet::from_frame_entries(origins);
         assert_eq!(back, set);
     }

@@ -38,7 +38,11 @@ impl PriorityTree {
         let mut nodes = HashMap::new();
         nodes.insert(
             StreamId::CONNECTION,
-            Node { parent: StreamId::CONNECTION, weight: 16, children: Vec::new() },
+            Node {
+                parent: StreamId::CONNECTION,
+                weight: 16,
+                children: Vec::new(),
+            },
         );
         PriorityTree { nodes }
     }
@@ -58,7 +62,11 @@ impl PriorityTree {
     pub fn insert(&mut self, stream: StreamId) {
         self.apply(
             stream,
-            PrioritySpec { exclusive: false, depends_on: StreamId::CONNECTION, weight: 15 },
+            PrioritySpec {
+                exclusive: false,
+                depends_on: StreamId::CONNECTION,
+                weight: 15,
+            },
         );
     }
 
@@ -81,7 +89,11 @@ impl PriorityTree {
             let old_parent = self.nodes[&stream].parent;
             self.detach(depends_on);
             self.nodes.get_mut(&depends_on).unwrap().parent = old_parent;
-            self.nodes.get_mut(&old_parent).unwrap().children.push(depends_on);
+            self.nodes
+                .get_mut(&old_parent)
+                .unwrap()
+                .children
+                .push(depends_on);
         }
         self.detach(stream);
         let weight = spec.weight as u16 + 1;
@@ -99,7 +111,11 @@ impl PriorityTree {
             for c in &adopted {
                 self.nodes.get_mut(c).unwrap().parent = stream;
             }
-            self.nodes.get_mut(&stream).unwrap().children.append(&mut adopted);
+            self.nodes
+                .get_mut(&stream)
+                .unwrap()
+                .children
+                .append(&mut adopted);
         } else {
             let node = self.nodes.entry(stream).or_insert(Node {
                 parent: depends_on,
@@ -109,7 +125,11 @@ impl PriorityTree {
             node.parent = depends_on;
             node.weight = weight;
         }
-        self.nodes.get_mut(&depends_on).unwrap().children.push(stream);
+        self.nodes
+            .get_mut(&depends_on)
+            .unwrap()
+            .children
+            .push(stream);
     }
 
     /// Remove a closed stream; its children are re-parented to its
@@ -118,7 +138,9 @@ impl PriorityTree {
         if stream.is_connection() {
             return;
         }
-        let Some(node) = self.nodes.remove(&stream) else { return };
+        let Some(node) = self.nodes.remove(&stream) else {
+            return;
+        };
         let parent = node.parent;
         if let Some(p) = self.nodes.get_mut(&parent) {
             p.children.retain(|&c| c != stream);
@@ -159,7 +181,9 @@ impl PriorityTree {
     /// Bandwidth share of `stream` among its siblings (weight /
     /// Σ sibling weights).
     pub fn sibling_share(&self, stream: StreamId) -> f64 {
-        let Some(node) = self.nodes.get(&stream) else { return 0.0 };
+        let Some(node) = self.nodes.get(&stream) else {
+            return 0.0;
+        };
         let siblings = &self.nodes[&node.parent].children;
         let total: u32 = siblings.iter().map(|s| self.nodes[s].weight as u32).sum();
         if total == 0 {
@@ -198,7 +222,11 @@ mod tests {
     use super::*;
 
     fn spec(depends_on: u32, weight: u8, exclusive: bool) -> PrioritySpec {
-        PrioritySpec { exclusive, depends_on: StreamId(depends_on), weight }
+        PrioritySpec {
+            exclusive,
+            depends_on: StreamId(depends_on),
+            weight,
+        }
     }
 
     #[test]

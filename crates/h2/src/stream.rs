@@ -22,7 +22,7 @@ impl StreamId {
 
     /// Server-initiated (pushed) streams are even and non-zero.
     pub fn is_server_initiated(self) -> bool {
-        self.0 != 0 && self.0 % 2 == 0
+        self.0 != 0 && self.0.is_multiple_of(2)
     }
 
     /// The next stream id initiated by the same peer.

@@ -91,7 +91,11 @@ impl<E> EventQueue<E> {
             self.now,
             at
         );
-        self.heap.push(Scheduled { time: at, seq: self.seq, event });
+        self.heap.push(Scheduled {
+            time: at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 
@@ -102,6 +106,7 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
+    #[allow(clippy::should_implement_trait)] // by-value Option pair, not an Iterator
     pub fn next(&mut self) -> Option<(SimTime, E)> {
         let s = self.heap.pop()?;
         debug_assert!(s.time >= self.now, "heap produced an out-of-order event");

@@ -25,7 +25,10 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// No faults.
     pub fn none() -> Self {
-        FaultInjector { drop_chance: 0.0, corrupt_chance: 0.0 }
+        FaultInjector {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+        }
     }
 
     /// Construct with the given probabilities (each clamped [0,1]).
@@ -112,7 +115,9 @@ pub struct NonCompliantMiddlebox {
 impl Default for NonCompliantMiddlebox {
     fn default() -> Self {
         // Knows only the RFC 7540 core frames.
-        NonCompliantMiddlebox { max_known_type: 0x09 }
+        NonCompliantMiddlebox {
+            max_known_type: 0x09,
+        }
     }
 }
 
@@ -190,6 +195,8 @@ mod tests {
     #[test]
     fn middlebox_names() {
         assert_eq!(CompliantMiddlebox.name(), "compliant");
-        assert!(NonCompliantMiddlebox::default().name().contains("non-compliant"));
+        assert!(NonCompliantMiddlebox::default()
+            .name()
+            .contains("non-compliant"));
     }
 }

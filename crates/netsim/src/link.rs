@@ -103,7 +103,9 @@ impl LinkProfile {
         }
         // Serialization time at the bottleneck plus the RTT rounds.
         let serialize = bytes as f64 / self.bandwidth_bps as f64;
-        SimDuration::from_millis_f64(rtts as f64 * self.rtt.as_millis_f64() * 0.5 + serialize * 1_000.0)
+        SimDuration::from_millis_f64(
+            rtts as f64 * self.rtt.as_millis_f64() * 0.5 + serialize * 1_000.0,
+        )
     }
 
     /// Congestion window (in segments) a connection reaches after

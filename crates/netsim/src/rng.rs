@@ -4,22 +4,34 @@
 //! sampling, group assignment, fault injection) draws from a
 //! [`SimRng`] derived from an explicit seed, so whole experiments are
 //! reproducible and sub-components can be given independent streams.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ seeded through a
+//! SplitMix64 expansion, so the repo carries no external RNG
+//! dependency and the streams are identical on every platform.
 
 /// A deterministic RNG with support for deriving independent
 /// sub-streams by label, so adding randomness in one component never
 /// perturbs another.
 pub struct SimRng {
-    rng: StdRng,
+    s: [u64; 4],
     seed: u64,
 }
 
 impl SimRng {
     /// Create from an explicit seed.
+    ///
+    /// The 64-bit seed is expanded into the 256-bit xoshiro state with
+    /// SplitMix64, the seeding scheme its authors recommend; a
+    /// xoshiro state of all zeroes (unreachable this way) would be a
+    /// fixed point.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { rng: StdRng::seed_from_u64(seed), seed }
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = splitmix64(x);
+        }
+        SimRng { s, seed }
     }
 
     /// The seed this stream was created from.
@@ -41,9 +53,38 @@ impl SimRng {
         SimRng::seed_from_u64(mixed)
     }
 
-    /// Uniform f64 in [0, 1).
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output (upper half of the 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with raw output.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform f64 in [0, 1), using the top 53 bits of a draw.
     pub fn unit(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to [0, 1]).
@@ -58,21 +99,33 @@ impl SimRng {
     }
 
     /// Uniform integer in `[lo, hi)`. Panics when `lo >= hi`.
+    ///
+    /// Unbiased via Lemire's multiply-shift rejection.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.rng.gen_range(lo..hi)
+        let span = hi - lo;
+        let mut m = (self.next_u64() as u128) * (span as u128);
+        let mut low = m as u64;
+        if low < span {
+            let threshold = span.wrapping_neg() % span;
+            while low < threshold {
+                m = (self.next_u64() as u128) * (span as u128);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform usize in `[0, n)`. Panics when n == 0.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.rng.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Uniform f64 in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range");
-        self.rng.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// A sample from an exponential distribution with the given mean.
@@ -141,21 +194,6 @@ impl SimRng {
     /// Choose one element of a non-empty slice.
     pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
         &xs[self.index(xs.len())]
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.rng.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.rng.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.rng.try_fill_bytes(dest)
     }
 }
 
@@ -270,5 +308,17 @@ mod tests {
         }
         let xs = [1, 2, 3];
         assert!(xs.contains(r.choose(&xs)));
+    }
+
+    #[test]
+    fn fill_bytes_deterministic_and_full() {
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+        assert!(ba.iter().any(|&x| x != 0));
     }
 }

@@ -68,8 +68,16 @@ impl HandshakeModel {
     /// per additional record (§6.5).
     pub fn for_certificate(tls: TlsVersion, cert_bytes: u64) -> Self {
         const TLS_RECORD: u64 = 16 * 1024;
-        let flights = if cert_bytes == 0 { 0 } else { ((cert_bytes - 1) / TLS_RECORD) as u32 };
-        HandshakeModel { tls, extra_cert_flights: flights, tcp_fast_open: false }
+        let flights = if cert_bytes == 0 {
+            0
+        } else {
+            ((cert_bytes - 1) / TLS_RECORD) as u32
+        };
+        HandshakeModel {
+            tls,
+            extra_cert_flights: flights,
+            tcp_fast_open: false,
+        }
     }
 
     /// RTT multiplier for the TLS portion of the handshake.
@@ -133,19 +141,28 @@ mod tests {
 
     #[test]
     fn tls12_is_two_rtt() {
-        let m = HandshakeModel { tls: TlsVersion::Tls12, ..Default::default() };
+        let m = HandshakeModel {
+            tls: TlsVersion::Tls12,
+            ..Default::default()
+        };
         assert_eq!(m.connect_nominal(&link()).tls, SimDuration::from_millis(40));
     }
 
     #[test]
     fn zero_rtt_has_free_tls() {
-        let m = HandshakeModel { tls: TlsVersion::Tls13ZeroRtt, ..Default::default() };
+        let m = HandshakeModel {
+            tls: TlsVersion::Tls13ZeroRtt,
+            ..Default::default()
+        };
         assert_eq!(m.connect_nominal(&link()).tls, SimDuration::ZERO);
     }
 
     #[test]
     fn tcp_fast_open_skips_tcp_rtt() {
-        let m = HandshakeModel { tcp_fast_open: true, ..Default::default() };
+        let m = HandshakeModel {
+            tcp_fast_open: true,
+            ..Default::default()
+        };
         assert_eq!(m.connect_nominal(&link()).tcp, SimDuration::ZERO);
     }
 

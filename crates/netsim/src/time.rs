@@ -73,7 +73,10 @@ impl SimDuration {
 
     /// Construct from fractional milliseconds (rounded to whole µs).
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms >= 0.0 && ms.is_finite(), "negative or non-finite duration");
+        assert!(
+            ms >= 0.0 && ms.is_finite(),
+            "negative or non-finite duration"
+        );
         SimDuration((ms * 1_000.0).round() as u64)
     }
 
@@ -177,7 +180,10 @@ mod tests {
         assert_eq!(t, SimTime::from_millis(15));
         assert_eq!(t - SimTime::from_millis(10), SimDuration::from_millis(5));
         // saturating when "earlier" is later
-        assert_eq!(SimTime::from_millis(1) - SimTime::from_millis(9), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_millis(9),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -188,8 +194,9 @@ mod tests {
             d.saturating_sub(SimDuration::from_millis(20)),
             SimDuration::ZERO
         );
-        let total: SimDuration =
-            [SimDuration::from_millis(1), SimDuration::from_millis(2)].into_iter().sum();
+        let total: SimDuration = [SimDuration::from_millis(1), SimDuration::from_millis(2)]
+            .into_iter()
+            .sum();
         assert_eq!(total, SimDuration::from_millis(3));
     }
 

@@ -1,7 +1,6 @@
 //! Empirical CDFs for the paper's figure series.
 
 use crate::quantile_sorted;
-use serde::Serialize;
 
 /// An empirical cumulative distribution function.
 ///
@@ -9,7 +8,7 @@ use serde::Serialize;
 /// to regenerate Figure 1 (unique ASes per page), Figure 3 (DNS/TLS
 /// counts), Figure 4 (SAN sizes), Figure 7 (new connections) and
 /// Figure 9 (page load times).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -118,10 +117,7 @@ mod tests {
     #[test]
     fn steps_deduplicate() {
         let c = Cdf::from_u64(&[5, 5, 7]);
-        assert_eq!(
-            c.steps(),
-            vec![(5.0, 2.0 / 3.0), (7.0, 1.0)]
-        );
+        assert_eq!(c.steps(), vec![(5.0, 2.0 / 3.0), (7.0, 1.0)]);
     }
 
     #[test]

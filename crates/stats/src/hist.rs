@@ -1,13 +1,12 @@
 //! Integer-valued frequency distributions.
 
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// A frequency distribution over integer values.
 ///
 /// Used for Figure 1's bar series (number of unique ASes contacted per
 /// page) and Table 8 (distribution of SAN-entry counts).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     counts: BTreeMap<u64, u64>,
     total: u64,
@@ -20,6 +19,7 @@ impl Histogram {
     }
 
     /// Build from a sample iterator.
+    #[allow(clippy::should_implement_trait)] // inherent constructor used as Histogram::from_iter
     pub fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
         let mut h = Self::new();
         for x in iter {
@@ -80,11 +80,7 @@ impl Histogram {
         if self.total == 0 {
             return 0.0;
         }
-        let cum: u64 = self
-            .counts
-            .range(..=x)
-            .map(|(_, &c)| c)
-            .sum();
+        let cum: u64 = self.counts.range(..=x).map(|(_, &c)| c).sum();
         cum as f64 / self.total as f64
     }
 

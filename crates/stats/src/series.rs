@@ -1,13 +1,11 @@
 //! Bucketed time series for longitudinal plots (Figure 8).
 
-use serde::Serialize;
-
 /// A time series of event counts bucketed into fixed-width windows.
 ///
 /// Figure 8 plots new-TLS-connections-per-second for control and
 /// experiment groups over a two-week deployment; this type accumulates
 /// raw event timestamps and reports per-bucket rates.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     /// Bucket width in the same unit as the timestamps (e.g. seconds).
     bucket_width: f64,
@@ -22,7 +20,10 @@ impl TimeSeries {
         assert!(bucket_width > 0.0, "bucket width must be positive");
         assert!(horizon > 0.0, "horizon must be positive");
         let n = (horizon / bucket_width).ceil() as usize;
-        TimeSeries { bucket_width, buckets: vec![0; n] }
+        TimeSeries {
+            bucket_width,
+            buckets: vec![0; n],
+        }
     }
 
     /// Record one event at time `t`. Events outside `[0, horizon)` are

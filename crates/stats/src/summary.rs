@@ -1,12 +1,11 @@
 //! Five-number summaries used for the per-bucket rows of Table 1.
 
 use crate::{mean, quantile_sorted};
-use serde::Serialize;
 
 /// A distribution summary: count, min/max, mean, and the quartiles.
 ///
 /// Built once from a sample set; all accessors are O(1).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,

@@ -25,7 +25,8 @@ impl TextTable {
     /// Append a data row. Rows shorter than the header are padded with
     /// empty cells; longer rows are allowed and widen the table.
     pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -59,15 +60,15 @@ impl TextTable {
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..ncols {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 if i > 0 {
                     line.push_str("  ");
                 }
                 line.push_str(cell);
-                let pad = widths[i].saturating_sub(cell.chars().count());
+                let pad = width.saturating_sub(cell.chars().count());
                 if i + 1 < ncols {
-                    line.extend(std::iter::repeat(' ').take(pad));
+                    line.extend(std::iter::repeat_n(' ', pad));
                 }
             }
             line
@@ -81,7 +82,7 @@ impl TextTable {
         if !self.header.is_empty() {
             out.push_str(&fmt_row(&self.header));
             out.push('\n');
-            out.extend(std::iter::repeat('-').take(total_width));
+            out.extend(std::iter::repeat_n('-', total_width));
             out.push('\n');
         }
         for row in &self.rows {

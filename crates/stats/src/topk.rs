@@ -1,11 +1,10 @@
 //! Top-k counters for the paper's breakdown tables.
 
-use serde::Serialize;
 use std::collections::HashMap;
 use std::hash::Hash;
 
 /// One row of a top-k breakdown.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopEntry<K> {
     /// The counted key (AS, hostname, issuer, content type, …).
     pub key: K,
@@ -26,7 +25,10 @@ pub struct TopK<K: Eq + Hash> {
 impl<K: Eq + Hash + Clone + Ord> TopK<K> {
     /// New empty counter.
     pub fn new() -> Self {
-        TopK { counts: HashMap::new(), total: 0 }
+        TopK {
+            counts: HashMap::new(),
+            total: 0,
+        }
     }
 
     /// Count one observation of `key`.
@@ -41,6 +43,15 @@ impl<K: Eq + Hash + Clone + Ord> TopK<K> {
         }
         *self.counts.entry(key).or_insert(0) += n;
         self.total += n;
+    }
+
+    /// Fold another counter into this one. Addition is commutative and
+    /// associative, so any merge order yields the same counter — which
+    /// is what keeps sharded crawls bit-identical to sequential ones.
+    pub fn merge(&mut self, other: &TopK<K>) {
+        for (key, &n) in &other.counts {
+            self.add_n(key.clone(), n);
+        }
     }
 
     /// Total observations across all keys.
@@ -167,6 +178,30 @@ mod tests {
         let t: TopK<u32> = (0..10).collect();
         assert_eq!(t.top(3).len(), 3);
         assert_eq!(t.distinct(), 10);
+    }
+
+    #[test]
+    fn merge_identity_and_associativity() {
+        let a: TopK<&str> = ["a", "a", "b"].into_iter().collect();
+        let b: TopK<&str> = ["b", "c"].into_iter().collect();
+        let c: TopK<&str> = ["c", "c", "d"].into_iter().collect();
+        // empty ⊕ x == x and x ⊕ empty == x.
+        let mut left = TopK::new();
+        left.merge(&a);
+        assert_eq!(left.top(10), a.top(10));
+        let mut right = a.clone();
+        right.merge(&TopK::new());
+        assert_eq!(right.top(10), a.top(10));
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c.top(10), a_bc.top(10));
+        assert_eq!(ab_c.total(), 8);
     }
 
     #[test]

@@ -135,7 +135,12 @@ pub struct CertificateAuthority {
 impl CertificateAuthority {
     /// New CA for a known issuer.
     pub fn new(issuer: KnownIssuer) -> Self {
-        CertificateAuthority { issuer, next_serial: 1, issued: 0, validity_days: 90 }
+        CertificateAuthority {
+            issuer,
+            next_serial: 1,
+            issued: 0,
+            validity_days: 90,
+        }
     }
 
     /// The issuer identity.
@@ -168,7 +173,10 @@ impl CertificateAuthority {
         }
         let limit = self.issuer.san_limit();
         if sans.len() > limit {
-            return Err(CaError::TooManySans { requested: sans.len(), limit });
+            return Err(CaError::TooManySans {
+                requested: sans.len(),
+                limit,
+            });
         }
         let cert = Certificate {
             serial: self.next_serial,
@@ -230,7 +238,13 @@ mod tests {
         let mut ct = CtLogSet::default_operators();
         let sans: Vec<DnsName> = (0..100).map(|i| name(&format!("h{i}.a.com"))).collect();
         let err = ca.issue(name("a.com"), &sans, 0, &mut ct).unwrap_err();
-        assert_eq!(err, CaError::TooManySans { requested: 101, limit: 100 });
+        assert_eq!(
+            err,
+            CaError::TooManySans {
+                requested: 101,
+                limit: 100
+            }
+        );
     }
 
     #[test]
@@ -263,8 +277,12 @@ mod tests {
     fn reissue_dedupes() {
         let mut ca = CertificateAuthority::new(KnownIssuer::CloudflareEcc);
         let mut ct = CtLogSet::default_operators();
-        let orig = ca.issue(name("site.com"), &[name("x.com")], 0, &mut ct).unwrap();
-        let re = ca.reissue_with_sans(&orig, &[name("x.com")], 0, &mut ct).unwrap();
+        let orig = ca
+            .issue(name("site.com"), &[name("x.com")], 0, &mut ct)
+            .unwrap();
+        let re = ca
+            .reissue_with_sans(&orig, &[name("x.com")], 0, &mut ct)
+            .unwrap();
         assert_eq!(re.san_count(), 2);
     }
 

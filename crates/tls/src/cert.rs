@@ -2,11 +2,10 @@
 
 use crate::san;
 use origin_dns::DnsName;
-use serde::Serialize;
 
 /// Subject public key algorithm. Key type dominates base certificate
 /// size: RSA-2048 leaves are ≈400 bytes larger than ECDSA P-256 ones.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KeyType {
     /// RSA with 2048-bit modulus.
     Rsa2048,
@@ -18,7 +17,7 @@ pub enum KeyType {
 ///
 /// Validity is measured in abstract days since an epoch so the model
 /// does not depend on wall-clock time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Certificate {
     /// Unique serial number assigned by the issuing CA.
     pub serial: u64,
@@ -68,11 +67,7 @@ impl Certificate {
         };
         // tbsCertificate skeleton + signature + issuer/subject RDNs.
         let skeleton: u64 = 380;
-        let san_bytes: u64 = self
-            .sans
-            .iter()
-            .map(|n| n.wire_len() as u64 + 2)
-            .sum();
+        let san_bytes: u64 = self.sans.iter().map(|n| n.wire_len() as u64 + 2).sum();
         base + skeleton + san_bytes
     }
 
@@ -214,7 +209,9 @@ mod tests {
 
     #[test]
     fn validity_window() {
-        let c = CertificateBuilder::new(name("a.com")).validity(10, 100).build();
+        let c = CertificateBuilder::new(name("a.com"))
+            .validity(10, 100)
+            .build();
         assert!(!c.valid_on(9));
         assert!(c.valid_on(10));
         assert!(c.valid_on(100));
@@ -239,8 +236,12 @@ mod tests {
 
     #[test]
     fn rsa_larger_than_ecdsa() {
-        let e = CertificateBuilder::new(name("a.com")).key_type(KeyType::EcdsaP256).build();
-        let r = CertificateBuilder::new(name("a.com")).key_type(KeyType::Rsa2048).build();
+        let e = CertificateBuilder::new(name("a.com"))
+            .key_type(KeyType::EcdsaP256)
+            .build();
+        let r = CertificateBuilder::new(name("a.com"))
+            .key_type(KeyType::Rsa2048)
+            .build();
         assert!(r.wire_size() > e.wire_size());
     }
 

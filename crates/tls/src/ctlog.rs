@@ -33,7 +33,10 @@ pub struct CtEntry {
 impl CtLog {
     /// New empty log.
     pub fn new(operator: &str) -> Self {
-        CtLog { operator: operator.to_string(), entries: Vec::new() }
+        CtLog {
+            operator: operator.to_string(),
+            entries: Vec::new(),
+        }
     }
 
     /// Append a certificate. CT logs are append-only; there is no
@@ -112,7 +115,10 @@ impl CtLogSet {
 
     /// Per-operator entry counts.
     pub fn per_operator(&self) -> Vec<(&str, u64)> {
-        self.logs.iter().map(|l| (l.operator.as_str(), l.len() as u64)).collect()
+        self.logs
+            .iter()
+            .map(|l| (l.operator.as_str(), l.len() as u64))
+            .collect()
     }
 
     /// The §6.4 feasibility check: a one-time burst of `burst` reissued
@@ -132,7 +138,9 @@ mod tests {
     use origin_dns::name::name;
 
     fn cert(serial: u64) -> Certificate {
-        CertificateBuilder::new(name("a.com")).serial(serial).build()
+        CertificateBuilder::new(name("a.com"))
+            .serial(serial)
+            .build()
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub fn wildcard_matches(pattern: &DnsName, name: &DnsName) -> bool {
     if !pattern.is_wildcard() {
         return false;
     }
-    let Some(parent) = pattern.parent() else { return false };
+    let Some(parent) = pattern.parent() else {
+        return false;
+    };
     match name.parent() {
         Some(name_parent) => name_parent == parent,
         None => false,
@@ -69,7 +71,10 @@ mod tests {
 
     #[test]
     fn non_wildcard_pattern_never_wildcard_matches() {
-        assert!(!wildcard_matches(&name("www.example.com"), &name("www.example.com")));
+        assert!(!wildcard_matches(
+            &name("www.example.com"),
+            &name("www.example.com")
+        ));
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub fn cost(
     total_hosted_names: u64,
     used_fraction: f64,
 ) -> StrategyCost {
-    let per_name: u64 = needed_names.iter().map(|n| n.wire_len() as u64 + 2).sum::<u64>()
+    let per_name: u64 = needed_names
+        .iter()
+        .map(|n| n.wire_len() as u64 + 2)
+        .sum::<u64>()
         / needed_names.len().max(1) as u64;
     match strategy {
         CertStrategy::LeastEffortSan => {
@@ -137,7 +140,9 @@ mod tests {
     use origin_dns::name::name;
 
     fn base() -> Certificate {
-        CertificateBuilder::new(name("site.example")).san(name("*.site.example")).build()
+        CertificateBuilder::new(name("site.example"))
+            .san(name("*.site.example"))
+            .build()
     }
 
     fn needed() -> Vec<DnsName> {
@@ -150,7 +155,13 @@ mod tests {
 
     #[test]
     fn least_effort_stays_in_one_record() {
-        let c = cost(CertStrategy::LeastEffortSan, &base(), &needed(), 1_000_000, 1.0);
+        let c = cost(
+            CertStrategy::LeastEffortSan,
+            &base(),
+            &needed(),
+            1_000_000,
+            1.0,
+        );
         assert_eq!(c.extra_flights, 0);
         assert!(!c.browser_breakage_risk);
         assert!(c.total_bytes() < TLS_RECORD_BYTES);
@@ -172,12 +183,24 @@ mod tests {
 
     #[test]
     fn secondary_certs_keep_handshake_small_but_pay_per_scope() {
-        let c = cost(CertStrategy::SecondaryCerts, &base(), &needed(), 1_000_000, 1.0);
+        let c = cost(
+            CertStrategy::SecondaryCerts,
+            &base(),
+            &needed(),
+            1_000_000,
+            1.0,
+        );
         assert_eq!(c.extra_flights, 0, "base handshake stays one record");
         assert!(c.post_handshake_bytes > 0);
         // Each secondary carries a full key+signature: more expensive
         // per name than SAN additions (§6.5's criticism).
-        let san = cost(CertStrategy::LeastEffortSan, &base(), &needed(), 1_000_000, 1.0);
+        let san = cost(
+            CertStrategy::LeastEffortSan,
+            &base(),
+            &needed(),
+            1_000_000,
+            1.0,
+        );
         let san_added = san.handshake_cert_bytes - base().wire_size();
         assert!(
             c.post_handshake_bytes > san_added * 3,

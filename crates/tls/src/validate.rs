@@ -41,11 +41,20 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::UntrustedIssuer(i) => write!(f, "untrusted issuer {i:?}"),
-            ValidationError::Expired { today, not_after_day } => {
+            ValidationError::Expired {
+                today,
+                not_after_day,
+            } => {
                 write!(f, "expired: today={today} not_after={not_after_day}")
             }
-            ValidationError::NotYetValid { today, not_before_day } => {
-                write!(f, "not yet valid: today={today} not_before={not_before_day}")
+            ValidationError::NotYetValid {
+                today,
+                not_before_day,
+            } => {
+                write!(
+                    f,
+                    "not yet valid: today={today} not_before={not_before_day}"
+                )
             }
             ValidationError::NameMismatch(n) => write!(f, "no SAN covers {n}"),
             ValidationError::Revoked(serial) => write!(f, "certificate {serial} revoked"),
@@ -123,7 +132,10 @@ impl Validator {
             });
         }
         if today > cert.not_after_day {
-            return Err(ValidationError::Expired { today, not_after_day: cert.not_after_day });
+            return Err(ValidationError::Expired {
+                today,
+                not_after_day: cert.not_after_day,
+            });
         }
         if self.revoked_serials.contains(&cert.serial) {
             return Err(ValidationError::Revoked(cert.serial));
@@ -155,14 +167,18 @@ mod tests {
     fn valid_cert_passes_and_counts() {
         let mut v = Validator::trust_all_known();
         assert!(v.validate(&cert(), &name("www.example.com"), 50).is_ok());
-        assert!(v.validate(&cert(), &name("img.cdn.example.com"), 50).is_ok());
+        assert!(v
+            .validate(&cert(), &name("img.cdn.example.com"), 50)
+            .is_ok());
         assert_eq!(v.validations(), 2);
     }
 
     #[test]
     fn untrusted_issuer_fails() {
         let mut v = Validator::new(vec![]);
-        let err = v.validate(&cert(), &name("www.example.com"), 50).unwrap_err();
+        let err = v
+            .validate(&cert(), &name("www.example.com"), 50)
+            .unwrap_err();
         assert!(matches!(err, ValidationError::UntrustedIssuer(_)));
         // Failure still counts as a validation performed.
         assert_eq!(v.validations(), 1);

@@ -1,10 +1,8 @@
 //! Content types (the Table 5 vocabulary).
 
-use serde::Serialize;
-
 /// Subresource content types, covering the paper's Table 5 top-12
 /// plus a catch-all.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ContentType {
     /// `application/javascript`.
     Javascript,

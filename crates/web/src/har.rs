@@ -7,7 +7,6 @@
 
 use crate::page::Protocol;
 use origin_dns::DnsName;
-use serde::Serialize;
 use std::net::IpAddr;
 
 /// The HAR phases of one request, as durations in milliseconds.
@@ -15,7 +14,7 @@ use std::net::IpAddr;
 /// `dns`, `connect` and `ssl` are zero for requests that reused a
 /// connection — exactly the phases the paper's model removes when a
 /// request is coalescable.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Phase {
     /// Queueing/blocked time before the request could be dispatched.
     pub blocked: f64,
@@ -46,7 +45,7 @@ impl Phase {
 }
 
 /// One request's record in a page load.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestTiming {
     /// Index into the page's resource list.
     pub resource_index: usize,
@@ -93,7 +92,7 @@ impl RequestTiming {
 }
 
 /// One full page-load record: the HAR-equivalent for our model.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PageLoad {
     /// Tranco rank of the page.
     pub rank: u32,
@@ -164,7 +163,97 @@ impl PageLoad {
 
     /// Serialize to pretty JSON (HAR-adjacent export).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("PageLoad serializes")
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"rank\": {},\n", self.rank));
+        out.push_str(&format!(
+            "  \"root_host\": {},\n",
+            json_str(self.root_host.as_str())
+        ));
+        out.push_str("  \"requests\": [");
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!(
+                "      \"resource_index\": {},\n",
+                r.resource_index
+            ));
+            out.push_str(&format!("      \"host\": {},\n", json_str(r.host.as_str())));
+            out.push_str(&format!("      \"ip\": {},\n", json_str(&r.ip.to_string())));
+            out.push_str(&format!("      \"asn\": {},\n", r.asn));
+            out.push_str(&format!("      \"start\": {},\n", json_f64(r.start)));
+            out.push_str(&format!(
+                "      \"phase\": {{ \"blocked\": {}, \"dns\": {}, \"connect\": {}, \"ssl\": {}, \"send\": {}, \"wait\": {}, \"receive\": {} }},\n",
+                json_f64(r.phase.blocked),
+                json_f64(r.phase.dns),
+                json_f64(r.phase.connect),
+                json_f64(r.phase.ssl),
+                json_f64(r.phase.send),
+                json_f64(r.phase.wait),
+                json_f64(r.phase.receive),
+            ));
+            out.push_str(&format!("      \"did_dns\": {},\n", r.did_dns));
+            out.push_str(&format!(
+                "      \"new_connection\": {},\n",
+                r.new_connection
+            ));
+            out.push_str(&format!("      \"coalesced\": {},\n", r.coalesced));
+            out.push_str(&format!(
+                "      \"protocol\": {},\n",
+                json_str(&format!("{:?}", r.protocol))
+            ));
+            out.push_str(&format!(
+                "      \"cert_issuer\": {},\n",
+                match &r.cert_issuer {
+                    Some(s) => json_str(s),
+                    None => "null".to_string(),
+                }
+            ));
+            out.push_str(&format!("      \"secure\": {},\n", r.secure));
+            out.push_str(&format!(
+                "      \"extra_connections\": {},\n",
+                r.extra_connections
+            ));
+            out.push_str(&format!("      \"extra_dns\": {}\n", r.extra_dns));
+            out.push_str("    }");
+        }
+        if self.requests.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an f64 as JSON (shortest round-trip form; non-finite → null).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -197,7 +286,6 @@ mod tests {
                 send: 0.5,
                 wait: 20.0,
                 receive,
-                ..Default::default()
             },
             did_dns: dns > 0.0,
             new_connection: connect > 0.0,
@@ -224,7 +312,15 @@ mod tests {
 
     #[test]
     fn phase_totals() {
-        let p = Phase { blocked: 1.0, dns: 2.0, connect: 3.0, ssl: 4.0, send: 5.0, wait: 6.0, receive: 7.0 };
+        let p = Phase {
+            blocked: 1.0,
+            dns: 2.0,
+            connect: 3.0,
+            ssl: 4.0,
+            send: 5.0,
+            wait: 6.0,
+            receive: 7.0,
+        };
         assert_eq!(p.total(), 28.0);
         assert_eq!(p.setup(), 9.0);
     }
@@ -259,7 +355,11 @@ mod tests {
 
     #[test]
     fn empty_page_plt_zero() {
-        let l = PageLoad { rank: 1, root_host: name("a.com"), requests: vec![] };
+        let l = PageLoad {
+            rank: 1,
+            root_host: name("a.com"),
+            requests: vec![],
+        };
         assert_eq!(l.plt(), 0.0);
         assert_eq!(l.distinct_ases(), 0);
     }

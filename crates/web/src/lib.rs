@@ -12,7 +12,7 @@
 //!   (`crossorigin=anonymous`, XHR/fetch) that blocked coalescing in
 //!   the paper's §5.3 deployment.
 //! - [`har`] — HAR-style request timelines and page-level rollups
-//!   (PLT, DNS/TLS counts), serializable with serde.
+//!   (PLT, DNS/TLS counts), exportable as JSON.
 //! - [`waterfall`] — text waterfall rendering (Figure 2).
 
 #![forbid(unsafe_code)]

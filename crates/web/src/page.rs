@@ -2,10 +2,9 @@
 
 use crate::content::ContentType;
 use origin_dns::DnsName;
-use serde::Serialize;
 
 /// Application protocol a request was served over (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// HTTP/2.
     H2,
@@ -50,7 +49,7 @@ impl Protocol {
 /// The paper found (§5.3) that subresources requested with
 /// `crossorigin=anonymous` or via `XMLHttpRequest`/`fetch` did not
 /// coalesce in Firefox, capping the measured reduction near 50%.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FetchMode {
     /// Plain element fetch (img, script without crossorigin, link).
     Normal,
@@ -71,7 +70,7 @@ impl FetchMode {
 
 /// One resource in a page: where it lives, what it is, and which
 /// earlier resource discovered it.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Resource {
     /// Hostname serving the resource.
     pub host: DnsName,
@@ -133,7 +132,7 @@ impl Resource {
 /// indices form a forest rooted there (an index must be smaller than
 /// the referring resource's own index, so iteration order is a valid
 /// discovery order).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Page {
     /// Tranco-style popularity rank (1 = most popular).
     pub rank: u32,
@@ -147,7 +146,11 @@ impl Page {
     /// Create a page with its root document resource.
     pub fn new(rank: u32, root_host: DnsName, root_size: u64) -> Self {
         let root = Resource::new(root_host.clone(), "/", ContentType::Html, root_size);
-        Page { rank, root_host, resources: vec![root] }
+        Page {
+            rank,
+            root_host,
+            resources: vec![root],
+        }
     }
 
     /// Append a subresource; returns its index.
@@ -157,7 +160,10 @@ impl Page {
     pub fn push(&mut self, resource: Resource) -> usize {
         let idx = self.resources.len();
         if let Some(parent) = resource.discovered_by {
-            assert!(parent < idx, "resource {idx} discovered by later resource {parent}");
+            assert!(
+                parent < idx,
+                "resource {idx} discovered by later resource {parent}"
+            );
         }
         self.resources.push(resource);
         idx
@@ -226,9 +232,14 @@ mod tests {
             12_000,
         ));
         p.push(
-            Resource::new(name("fonts.cdnhost.com"), "/fonts/arial.woff", ContentType::Woff2, 20_000)
-                .discovered_by(css)
-                .fetch_mode(FetchMode::CorsAnonymous),
+            Resource::new(
+                name("fonts.cdnhost.com"),
+                "/fonts/arial.woff",
+                ContentType::Woff2,
+                20_000,
+            )
+            .discovered_by(css)
+            .fetch_mode(FetchMode::CorsAnonymous),
         );
         p.push(Resource::new(
             name("static.example.com"),

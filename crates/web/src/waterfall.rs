@@ -35,10 +35,10 @@ pub fn render(load: &PageLoad, width: usize) -> String {
         let mut bar = String::new();
         let col = |ms: f64| (ms * scale).round() as usize;
         let start = col(r.start);
-        bar.extend(std::iter::repeat(' ').take(start));
+        bar.extend(std::iter::repeat_n(' ', start));
         let mut push_seg = |dur: f64, glyph: char| {
             let n = col(dur).max(if dur > 0.0 { 1 } else { 0 });
-            bar.extend(std::iter::repeat(glyph).take(n));
+            bar.extend(std::iter::repeat_n(glyph, n));
         };
         push_seg(r.phase.blocked, GLYPH_BLOCKED);
         push_seg(r.phase.dns, GLYPH_DNS);
@@ -123,7 +123,11 @@ mod tests {
                     ip: IpAddr::V4(Ipv4Addr::new(1, 1, 1, 1)),
                     asn: 13335,
                     start: 100.0,
-                    phase: Phase { wait: 20.0, receive: 10.0, ..Default::default() },
+                    phase: Phase {
+                        wait: 20.0,
+                        receive: 10.0,
+                        ..Default::default()
+                    },
                     did_dns: false,
                     new_connection: false,
                     coalesced: true,
@@ -161,7 +165,11 @@ mod tests {
 
     #[test]
     fn empty_load_renders() {
-        let l = PageLoad { rank: 1, root_host: name("a.com"), requests: vec![] };
+        let l = PageLoad {
+            rank: 1,
+            root_host: name("a.com"),
+            requests: vec![],
+        };
         let r = render(&l, 40);
         assert!(r.contains("PLT 0.0ms"));
     }

@@ -10,7 +10,6 @@ use origin_dns::record::Rotation;
 use origin_dns::DnsName;
 use origin_netsim::SimRng;
 use origin_tls::KnownIssuer;
-use rand::RngCore;
 use origin_web::{ContentType, FetchMode, Page, Protocol, Resource};
 
 /// Dataset generation parameters.
@@ -27,7 +26,11 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        DatasetConfig { sites: 20_000, tranco_total: 500_000, seed: 0x0516 }
+        DatasetConfig {
+            sites: 20_000,
+            tranco_total: 500_000,
+            seed: 0x0516,
+        }
     }
 }
 
@@ -145,7 +148,11 @@ impl Dataset {
             let cfg = Self::generate_site(rank, config, &mut universe, &mut site_rng);
             sites.push(cfg);
         }
-        Dataset { config, universe, sites }
+        Dataset {
+            config,
+            universe,
+            sites,
+        }
     }
 
     /// All sites (including failed crawls).
@@ -169,7 +176,10 @@ impl Dataset {
         // rate gradient matches Table 1 regardless of dataset size.
         let scaled_rank =
             (rank as u64 * config.tranco_total as u64 / config.sites.max(1) as u64) as u32;
-        let failed = !rng.chance(dist::success_rate_for_rank(scaled_rank, config.tranco_total));
+        let failed = !rng.chance(dist::success_rate_for_rank(
+            scaled_rank,
+            config.tranco_total,
+        ));
 
         // Hosting: walk the named providers' shares, else self-host.
         let mut provider: Option<usize> = None;
@@ -191,7 +201,11 @@ impl Dataset {
             Some(i) => PROVIDERS[i].net,
             None => 170 + (rank % 60) as u8,
         };
-        let n_addrs = if provider.is_some() { 2 } else { 1 + rng.index(2) };
+        let n_addrs = if provider.is_some() {
+            2
+        } else {
+            1 + rng.index(2)
+        };
         let root_addrs: Vec<std::net::IpAddr> = (0..n_addrs)
             .map(|_| {
                 if provider.is_some() {
@@ -202,8 +216,11 @@ impl Dataset {
                 }
             })
             .collect();
-        let rotation =
-            if provider.is_some() { Rotation::RoundRobin } else { Rotation::Fixed };
+        let rotation = if provider.is_some() {
+            Rotation::RoundRobin
+        } else {
+            Rotation::Fixed
+        };
         universe.register_host(root_host.clone(), root_addrs.clone(), asn, rotation);
 
         // Shards.
@@ -286,8 +303,9 @@ impl Dataset {
                 if universe.asn_of_host(&host) == 0 {
                     let svc_asn = s.asn();
                     let svc_net = 200 + (t % 50) as u8;
-                    let addrs: Vec<std::net::IpAddr> =
-                        (0..2).map(|_| universe.alloc_ip(svc_net, svc_asn, rng)).collect();
+                    let addrs: Vec<std::net::IpAddr> = (0..2)
+                        .map(|_| universe.alloc_ip(svc_net, svc_asn, rng))
+                        .collect();
                     universe.register_host(host.clone(), addrs, svc_asn, Rotation::RoundRobin);
                     let issuer = sample_tail_issuer(rng);
                     let cert = universe.issue_cert(issuer, host.clone(), &[]);
@@ -381,7 +399,10 @@ impl Dataset {
                 let big = if i < fp_hosts.len() {
                     site.provider.is_some()
                 } else {
-                    !matches!(site.services.get(i - fp_hosts.len()), Some(ServiceRef::Tail(_)))
+                    !matches!(
+                        site.services.get(i - fp_hosts.len()),
+                        Some(ServiceRef::Tail(_))
+                    )
                 };
                 dist::sample_host_protocol(&mut rng, big)
             })
@@ -447,8 +468,7 @@ impl Dataset {
         // in the §4.1 reconstruction.
         let mut last_first_contact: Option<usize> = None;
         let mut seen_groups_emit: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        let mut emitted = 0usize;
-        for &(slot_idx, j) in &order {
+        for (emitted, &(slot_idx, j)) in order.iter().enumerate() {
             let slot = &slots[slot_idx];
             {
                 let content = match &slot.content {
@@ -463,9 +483,19 @@ impl Dataset {
                 };
                 let size = (rng.log_normal(content.typical_size() as f64, 0.9) as u64)
                     .clamp(200, 6_000_000);
-                let path = format!("/{}/r{}-{}.{}", slot.host.as_str().split('.').next().unwrap_or("x"), slot_idx, j, ext_of(content));
+                let path = format!(
+                    "/{}/r{}-{}.{}",
+                    slot.host.as_str().split('.').next().unwrap_or("x"),
+                    slot_idx,
+                    j,
+                    ext_of(content)
+                );
                 let mut r = Resource::new(slot.host.clone(), &path, content, size);
-                r.fetch_mode = if content.is_font() { FetchMode::CorsAnonymous } else { slot.fetch };
+                r.fetch_mode = if content.is_font() {
+                    FetchMode::CorsAnonymous
+                } else {
+                    slot.fetch
+                };
                 r.protocol = if rng.chance(dist::REQUEST_NA_RATE) {
                     Protocol::NA
                 } else {
@@ -506,7 +536,6 @@ impl Dataset {
                 if content == ContentType::Css {
                     css_indices.push(idx);
                 }
-                emitted += 1;
             }
         }
         page
@@ -627,7 +656,11 @@ mod tests {
     use super::*;
 
     fn small() -> Dataset {
-        Dataset::generate(DatasetConfig { sites: 300, tranco_total: 500_000, seed: 42 })
+        Dataset::generate(DatasetConfig {
+            sites: 300,
+            tranco_total: 500_000,
+            seed: 42,
+        })
     }
 
     #[test]
@@ -656,16 +689,16 @@ mod tests {
 
     #[test]
     fn hosting_shares_roughly_match() {
-        let d = Dataset::generate(DatasetConfig { sites: 3_000, tranco_total: 500_000, seed: 7 });
-        let cf = d
-            .sites()
-            .iter()
-            .filter(|s| s.provider == Some(1))
-            .count() as f64
+        let d = Dataset::generate(DatasetConfig {
+            sites: 3_000,
+            tranco_total: 500_000,
+            seed: 7,
+        });
+        let cf = d.sites().iter().filter(|s| s.provider == Some(1)).count() as f64
             / d.sites().len() as f64;
         assert!((0.21..=0.29).contains(&cf), "cloudflare share {cf}");
-        let self_hosted =
-            d.sites().iter().filter(|s| s.provider.is_none()).count() as f64 / d.sites().len() as f64;
+        let self_hosted = d.sites().iter().filter(|s| s.provider.is_none()).count() as f64
+            / d.sites().len() as f64;
         assert!(self_hosted > 0.4, "self-hosted share {self_hosted}");
     }
 
@@ -678,7 +711,11 @@ mod tests {
         assert_eq!(page.resources[0].host, site.root_host);
         // Budget is approximate (hosts each get ≥1) but close.
         let n = page.subrequest_count() as u32;
-        assert!(n >= site.n_requests.min(3), "n={n} budget={}", site.n_requests);
+        assert!(
+            n >= site.n_requests.min(3),
+            "n={n} budget={}",
+            site.n_requests
+        );
     }
 
     #[test]
@@ -787,7 +824,11 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(9);
         let svcs = pick_services(&mut rng, 6);
         let ases: std::collections::HashSet<u32> = svcs.iter().map(|s| s.asn()).collect();
-        assert!(ases.len() >= 4, "wanted ~5 third-party ASes, got {}", ases.len());
+        assert!(
+            ases.len() >= 4,
+            "wanted ~5 third-party ASes, got {}",
+            ases.len()
+        );
         assert!(pick_services(&mut rng, 1).is_empty());
     }
 }

@@ -117,7 +117,7 @@ pub const REQUEST_INSECURE_RATE: f64 = 0.0147;
 /// CAPTCHAs removed ~36.5% of sites, mildly rank-dependent.
 pub fn success_rate_for_rank(rank: u32, tranco_total: u32) -> f64 {
     let frac = rank as f64 / tranco_total.max(1) as f64; // 0 = most popular
-    // 68.2% at the top bucket declining to ~60.2% at the bottom.
+                                                         // 68.2% at the top bucket declining to ~60.2% at the bottom.
     0.682 - 0.08 * frac
 }
 
@@ -165,7 +165,9 @@ mod tests {
     #[test]
     fn san_count_top_is_two() {
         let mut r = rng();
-        let xs: Vec<u32> = (0..50_000).map(|_| sample_existing_san_count(&mut r)).collect();
+        let xs: Vec<u32> = (0..50_000)
+            .map(|_| sample_existing_san_count(&mut r))
+            .collect();
         let twos = xs.iter().filter(|&&x| x == 2).count() as f64 / xs.len() as f64;
         assert!((0.43..=0.48).contains(&twos), "P(2)={twos}");
         let zeros = xs.iter().filter(|&&x| x == 0).count() as f64 / xs.len() as f64;
@@ -178,14 +180,15 @@ mod tests {
     #[test]
     fn protocol_mix_shapes() {
         let mut r = rng();
-        let big: Vec<Protocol> =
-            (0..10_000).map(|_| sample_host_protocol(&mut r, true)).collect();
+        let big: Vec<Protocol> = (0..10_000)
+            .map(|_| sample_host_protocol(&mut r, true))
+            .collect();
         let h2 = big.iter().filter(|&&p| p == Protocol::H2).count() as f64 / big.len() as f64;
         assert!(h2 > 0.93, "big-provider H2 share {h2}");
-        let small: Vec<Protocol> =
-            (0..10_000).map(|_| sample_host_protocol(&mut r, false)).collect();
-        let h11 =
-            small.iter().filter(|&&p| p == Protocol::H11).count() as f64 / small.len() as f64;
+        let small: Vec<Protocol> = (0..10_000)
+            .map(|_| sample_host_protocol(&mut r, false))
+            .collect();
+        let h11 = small.iter().filter(|&&p| p == Protocol::H11).count() as f64 / small.len() as f64;
         assert!(h11 > 0.3, "tail H1.1 share {h11}");
     }
 

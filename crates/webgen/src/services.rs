@@ -31,31 +31,175 @@ pub struct ServiceDef {
 /// 9 Hetzner.
 pub const SERVICES: [ServiceDef; 24] = [
     // Table 7 top-10.
-    ServiceDef { host: "fonts.gstatic.com", provider: 0, content: ContentType::Woff2, weight: 223, fetch: FetchMode::CorsAnonymous },
-    ServiceDef { host: "www.google-analytics.com", provider: 0, content: ContentType::TextJavascript, weight: 167, fetch: FetchMode::Normal },
-    ServiceDef { host: "www.facebook.com", provider: 6, content: ContentType::Javascript, weight: 158, fetch: FetchMode::Normal },
-    ServiceDef { host: "www.google.com", provider: 0, content: ContentType::Html, weight: 152, fetch: FetchMode::Normal },
-    ServiceDef { host: "tpc.googlesyndication.com", provider: 0, content: ContentType::Html, weight: 121, fetch: FetchMode::Normal },
-    ServiceDef { host: "cm.g.doubleclick.net", provider: 0, content: ContentType::Gif, weight: 118, fetch: FetchMode::XhrFetch },
-    ServiceDef { host: "googleads.g.doubleclick.net", provider: 0, content: ContentType::TextJavascript, weight: 115, fetch: FetchMode::Normal },
-    ServiceDef { host: "pagead2.googlesyndication.com", provider: 0, content: ContentType::TextJavascript, weight: 112, fetch: FetchMode::Normal },
-    ServiceDef { host: "fonts.googleapis.com", provider: 0, content: ContentType::Css, weight: 97, fetch: FetchMode::Normal },
-    ServiceDef { host: "cdn.shopify.com", provider: 1, content: ContentType::Jpeg, weight: 87, fetch: FetchMode::Normal },
+    ServiceDef {
+        host: "fonts.gstatic.com",
+        provider: 0,
+        content: ContentType::Woff2,
+        weight: 223,
+        fetch: FetchMode::CorsAnonymous,
+    },
+    ServiceDef {
+        host: "www.google-analytics.com",
+        provider: 0,
+        content: ContentType::TextJavascript,
+        weight: 167,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "www.facebook.com",
+        provider: 6,
+        content: ContentType::Javascript,
+        weight: 158,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "www.google.com",
+        provider: 0,
+        content: ContentType::Html,
+        weight: 152,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "tpc.googlesyndication.com",
+        provider: 0,
+        content: ContentType::Html,
+        weight: 121,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "cm.g.doubleclick.net",
+        provider: 0,
+        content: ContentType::Gif,
+        weight: 118,
+        fetch: FetchMode::XhrFetch,
+    },
+    ServiceDef {
+        host: "googleads.g.doubleclick.net",
+        provider: 0,
+        content: ContentType::TextJavascript,
+        weight: 115,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "pagead2.googlesyndication.com",
+        provider: 0,
+        content: ContentType::TextJavascript,
+        weight: 112,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "fonts.googleapis.com",
+        provider: 0,
+        content: ContentType::Css,
+        weight: 97,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "cdn.shopify.com",
+        provider: 1,
+        content: ContentType::Jpeg,
+        weight: 87,
+        fetch: FetchMode::Normal,
+    },
     // Table 9 provider-grouped services.
-    ServiceDef { host: "cdnjs.cloudflare.com", provider: 1, content: ContentType::Javascript, weight: 80, fetch: FetchMode::Normal },
-    ServiceDef { host: "ajax.cloudflare.com", provider: 1, content: ContentType::Javascript, weight: 55, fetch: FetchMode::Normal },
-    ServiceDef { host: "cdn.jsdelivr.net", provider: 1, content: ContentType::Javascript, weight: 43, fetch: FetchMode::Normal },
-    ServiceDef { host: "sni.cloudflaressl.com", provider: 1, content: ContentType::Other, weight: 38, fetch: FetchMode::Normal },
-    ServiceDef { host: "d1.cloudfront.net", provider: 2, content: ContentType::Jpeg, weight: 50, fetch: FetchMode::Normal },
-    ServiceDef { host: "d2.cloudfront.net", provider: 2, content: ContentType::Javascript, weight: 35, fetch: FetchMode::Normal },
-    ServiceDef { host: "static.hotjar.com", provider: 2, content: ContentType::Javascript, weight: 37, fetch: FetchMode::XhrFetch },
-    ServiceDef { host: "assets.s3.amazonaws.com", provider: 2, content: ContentType::Png, weight: 30, fetch: FetchMode::Normal },
-    ServiceDef { host: "www.googletagmanager.com", provider: 0, content: ContentType::TextJavascript, weight: 83, fetch: FetchMode::Normal },
-    ServiceDef { host: "connect.facebook.net", provider: 6, content: ContentType::Javascript, weight: 48, fetch: FetchMode::Normal },
-    ServiceDef { host: "static.fastly.net", provider: 4, content: ContentType::Css, weight: 36, fetch: FetchMode::Normal },
-    ServiceDef { host: "assets.akamaized.net", provider: 5, content: ContentType::Webp, weight: 33, fetch: FetchMode::Normal },
-    ServiceDef { host: "media.akamai.net", provider: 7, content: ContentType::Jpeg, weight: 20, fetch: FetchMode::Normal },
-    ServiceDef { host: "pixel.ovh.net", provider: 8, content: ContentType::Gif, weight: 12, fetch: FetchMode::XhrFetch },
+    ServiceDef {
+        host: "cdnjs.cloudflare.com",
+        provider: 1,
+        content: ContentType::Javascript,
+        weight: 80,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "ajax.cloudflare.com",
+        provider: 1,
+        content: ContentType::Javascript,
+        weight: 55,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "cdn.jsdelivr.net",
+        provider: 1,
+        content: ContentType::Javascript,
+        weight: 43,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "sni.cloudflaressl.com",
+        provider: 1,
+        content: ContentType::Other,
+        weight: 38,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "d1.cloudfront.net",
+        provider: 2,
+        content: ContentType::Jpeg,
+        weight: 50,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "d2.cloudfront.net",
+        provider: 2,
+        content: ContentType::Javascript,
+        weight: 35,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "static.hotjar.com",
+        provider: 2,
+        content: ContentType::Javascript,
+        weight: 37,
+        fetch: FetchMode::XhrFetch,
+    },
+    ServiceDef {
+        host: "assets.s3.amazonaws.com",
+        provider: 2,
+        content: ContentType::Png,
+        weight: 30,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "www.googletagmanager.com",
+        provider: 0,
+        content: ContentType::TextJavascript,
+        weight: 83,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "connect.facebook.net",
+        provider: 6,
+        content: ContentType::Javascript,
+        weight: 48,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "static.fastly.net",
+        provider: 4,
+        content: ContentType::Css,
+        weight: 36,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "assets.akamaized.net",
+        provider: 5,
+        content: ContentType::Webp,
+        weight: 33,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "media.akamai.net",
+        provider: 7,
+        content: ContentType::Jpeg,
+        weight: 20,
+        fetch: FetchMode::Normal,
+    },
+    ServiceDef {
+        host: "pixel.ovh.net",
+        provider: 8,
+        content: ContentType::Gif,
+        weight: 12,
+        fetch: FetchMode::XhrFetch,
+    },
 ];
 
 /// Number of generated tail services (small analytics/widget/ad
@@ -100,7 +244,10 @@ mod tests {
 
     #[test]
     fn fonts_are_cors_anonymous() {
-        let fonts = SERVICES.iter().find(|s| s.host == "fonts.gstatic.com").unwrap();
+        let fonts = SERVICES
+            .iter()
+            .find(|s| s.host == "fonts.gstatic.com")
+            .unwrap();
         assert_eq!(fonts.fetch, FetchMode::CorsAnonymous);
         assert_eq!(fonts.content, ContentType::Woff2);
     }

@@ -29,16 +29,76 @@ pub struct ProviderDef {
 /// The top-10 destination ASes of Table 2 (plus their Table 9 hosting
 /// shares). Tail ASes are generated on top of these.
 pub const PROVIDERS: [ProviderDef; 10] = [
-    ProviderDef { org: "Google", asn: 15169, net: 8, issuer: KnownIssuer::GoogleTrustServices, hosting_share: 0.0509 },
-    ProviderDef { org: "Cloudflare", asn: 13335, net: 104, issuer: KnownIssuer::CloudflareEcc, hosting_share: 0.2474 },
-    ProviderDef { org: "Amazon 02", asn: 16509, net: 52, issuer: KnownIssuer::Amazon, hosting_share: 0.0775 },
-    ProviderDef { org: "Amazon AES", asn: 14618, net: 54, issuer: KnownIssuer::Amazon, hosting_share: 0.022 },
-    ProviderDef { org: "Fastly", asn: 54113, net: 151, issuer: KnownIssuer::DigiCertHighAssurance, hosting_share: 0.030 },
-    ProviderDef { org: "Akamai AS", asn: 16625, net: 23, issuer: KnownIssuer::DigiCertSecureServer, hosting_share: 0.024 },
-    ProviderDef { org: "Facebook", asn: 32934, net: 157, issuer: KnownIssuer::DigiCertHighAssurance, hosting_share: 0.0 },
-    ProviderDef { org: "Akamai Intl. B.V.", asn: 20940, net: 92, issuer: KnownIssuer::DigiCertSecureServer, hosting_share: 0.012 },
-    ProviderDef { org: "OVH SAS", asn: 16276, net: 141, issuer: KnownIssuer::LetsEncrypt, hosting_share: 0.028 },
-    ProviderDef { org: "Hetzner Online GmbH", asn: 24940, net: 88, issuer: KnownIssuer::LetsEncrypt, hosting_share: 0.024 },
+    ProviderDef {
+        org: "Google",
+        asn: 15169,
+        net: 8,
+        issuer: KnownIssuer::GoogleTrustServices,
+        hosting_share: 0.0509,
+    },
+    ProviderDef {
+        org: "Cloudflare",
+        asn: 13335,
+        net: 104,
+        issuer: KnownIssuer::CloudflareEcc,
+        hosting_share: 0.2474,
+    },
+    ProviderDef {
+        org: "Amazon 02",
+        asn: 16509,
+        net: 52,
+        issuer: KnownIssuer::Amazon,
+        hosting_share: 0.0775,
+    },
+    ProviderDef {
+        org: "Amazon AES",
+        asn: 14618,
+        net: 54,
+        issuer: KnownIssuer::Amazon,
+        hosting_share: 0.022,
+    },
+    ProviderDef {
+        org: "Fastly",
+        asn: 54113,
+        net: 151,
+        issuer: KnownIssuer::DigiCertHighAssurance,
+        hosting_share: 0.030,
+    },
+    ProviderDef {
+        org: "Akamai AS",
+        asn: 16625,
+        net: 23,
+        issuer: KnownIssuer::DigiCertSecureServer,
+        hosting_share: 0.024,
+    },
+    ProviderDef {
+        org: "Facebook",
+        asn: 32934,
+        net: 157,
+        issuer: KnownIssuer::DigiCertHighAssurance,
+        hosting_share: 0.0,
+    },
+    ProviderDef {
+        org: "Akamai Intl. B.V.",
+        asn: 20940,
+        net: 92,
+        issuer: KnownIssuer::DigiCertSecureServer,
+        hosting_share: 0.012,
+    },
+    ProviderDef {
+        org: "OVH SAS",
+        asn: 16276,
+        net: 141,
+        issuer: KnownIssuer::LetsEncrypt,
+        hosting_share: 0.028,
+    },
+    ProviderDef {
+        org: "Hetzner Online GmbH",
+        asn: 24940,
+        net: 88,
+        issuer: KnownIssuer::LetsEncrypt,
+        hosting_share: 0.024,
+    },
 ];
 
 /// Number of synthetic tail ASes (small hosts, regional ISPs,
@@ -95,8 +155,8 @@ impl Universe {
                 rng.range_u64(0, 256) as u8,
                 rng.range_u64(1, 255) as u8,
             );
-            if !self.ip_asn.contains_key(&ip) {
-                self.ip_asn.insert(ip, asn);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.ip_asn.entry(ip) {
+                e.insert(asn);
                 return ip;
             }
         }
@@ -110,8 +170,9 @@ impl Universe {
     /// frequently land on the same VIP.
     pub fn provider_vip(&mut self, net: u8, asn: u32, rng: &mut SimRng) -> IpAddr {
         if !self.vip_pools.contains_key(&asn) {
-            let pool: Vec<IpAddr> =
-                (0..Self::VIP_POOL_SIZE).map(|_| self.alloc_ip(net, asn, rng)).collect();
+            let pool: Vec<IpAddr> = (0..Self::VIP_POOL_SIZE)
+                .map(|_| self.alloc_ip(net, asn, rng))
+                .collect();
             self.vip_pools.insert(asn, pool);
         }
         *rng.choose(&self.vip_pools[&asn])
@@ -238,7 +299,11 @@ mod tests {
     #[test]
     fn cert_fallback_walks_parents() {
         let (mut u, _) = universe();
-        let cert = u.issue_cert(KnownIssuer::LetsEncrypt, name("site.com"), &[name("*.site.com")]);
+        let cert = u.issue_cert(
+            KnownIssuer::LetsEncrypt,
+            name("site.com"),
+            &[name("*.site.com")],
+        );
         u.set_cert(name("site.com"), cert);
         let c = u.cert_for(&name("static.site.com")).expect("fallback cert");
         assert_eq!(c.subject, name("site.com"));

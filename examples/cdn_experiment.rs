@@ -6,9 +6,7 @@
 //! cargo run --release --example cdn_experiment
 //! ```
 
-use respect_origin::cdn::{
-    ActiveMeasurement, DeploymentMode, PassivePipeline, SampleGroup,
-};
+use respect_origin::cdn::{ActiveMeasurement, DeploymentMode, PassivePipeline, SampleGroup};
 use respect_origin::netsim::SimRng;
 
 fn main() {
@@ -18,7 +16,11 @@ fn main() {
         "sample group: 5000 candidates − {} subpage-only = {} domains; equal-byte cert check: {}",
         group.removed_subpage_only,
         group.sites.len(),
-        if group.equal_byte_check() { "OK" } else { "FAILED" }
+        if group.equal_byte_check() {
+            "OK"
+        } else {
+            "FAILED"
+        }
     );
 
     // §5.2 — IP-based coalescing via DNS alignment.

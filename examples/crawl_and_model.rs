@@ -14,12 +14,21 @@ use respect_origin::netsim::SimRng;
 use respect_origin::webgen::{Dataset, DatasetConfig};
 
 fn main() {
-    let sites: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let sites: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(600);
     println!("generating {sites} synthetic sites…");
-    let mut dataset = Dataset::generate(DatasetConfig { sites, ..Default::default() });
+    let dataset = Dataset::generate(DatasetConfig {
+        sites,
+        ..Default::default()
+    });
     let site_cfgs: Vec<_> = dataset.successful_sites().cloned().collect();
-    println!("{} crawls succeeded ({} failed, like the paper's non-200/CAPTCHA losses)",
-        site_cfgs.len(), sites as usize - site_cfgs.len());
+    println!(
+        "{} crawls succeeded ({} failed, like the paper's non-200/CAPTCHA losses)",
+        site_cfgs.len(),
+        sites as usize - site_cfgs.len()
+    );
 
     let loader = PageLoader::new(BrowserKind::Chromium);
     let mut measured = (vec![], vec![], vec![]); // dns, tls, plt
@@ -27,7 +36,7 @@ fn main() {
     let mut ideal_origin = (vec![], vec![], vec![]);
     for site in &site_cfgs {
         let page = dataset.page_for(site);
-        let mut env = UniverseEnv::new(&mut dataset);
+        let mut env = UniverseEnv::new(&dataset);
         env.flush_dns(); // fresh browser session per page (§3.1)
         let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
         let load = loader.load(&page, &mut env, &mut rng);
@@ -48,15 +57,21 @@ fn main() {
     println!("\n                         DNS     TLS     PLT");
     println!(
         "measured (Chrome)      {:>5.1}  {:>6.1}  {:>7.0}ms",
-        med(&measured.0), med(&measured.1), med(&measured.2)
+        med(&measured.0),
+        med(&measured.1),
+        med(&measured.2)
     );
     println!(
         "ideal IP coalescing    {:>5.1}  {:>6.1}  {:>7.0}ms",
-        med(&ideal_ip.0), med(&ideal_ip.1), med(&ideal_ip.2)
+        med(&ideal_ip.0),
+        med(&ideal_ip.1),
+        med(&ideal_ip.2)
     );
     println!(
         "ideal ORIGIN frames    {:>5.1}  {:>6.1}  {:>7.0}ms",
-        med(&ideal_origin.0), med(&ideal_origin.1), med(&ideal_origin.2)
+        med(&ideal_origin.0),
+        med(&ideal_origin.1),
+        med(&ideal_origin.2)
     );
     println!(
         "\nORIGIN reductions: DNS {:+.1}% | TLS {:+.1}% | PLT {:+.1}%   (paper: −64%, −67%, −27%)",

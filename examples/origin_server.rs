@@ -6,15 +6,18 @@
 //! cargo run --example origin_server
 //! ```
 
-use respect_origin::h2::{Frame, FrameDecoder, FrameType, OriginSet};
-use respect_origin::netsim::{Middlebox, MiddleboxVerdict};
-use respect_origin::netsim::fault::NonCompliantMiddlebox;
 use bytes_dump::hex;
+use respect_origin::h2::{Frame, FrameDecoder, FrameType, OriginSet};
+use respect_origin::netsim::fault::NonCompliantMiddlebox;
+use respect_origin::netsim::{Middlebox, MiddleboxVerdict};
 
 mod bytes_dump {
     /// Tiny hex-dump helper for the demo output.
     pub fn hex(data: &[u8]) -> String {
-        data.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(" ")
+        data.iter()
+            .map(|b| format!("{b:02x}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 }
 
@@ -25,7 +28,10 @@ fn main() {
     let wire = frame.to_bytes();
     println!("ORIGIN frame ({} bytes on the wire):", wire.len());
     println!("  {}", hex(&wire));
-    println!("  type octet = {:#04x} (RFC 8336)", FrameType::Origin.to_u8());
+    println!(
+        "  type octet = {:#04x} (RFC 8336)",
+        FrameType::Origin.to_u8()
+    );
 
     // Decode it back.
     let decoder = FrameDecoder::default();

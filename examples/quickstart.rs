@@ -38,7 +38,10 @@ fn main() {
         }
         if !c.is_empty() {
             for ev in server.recv(&c).expect("server recv") {
-                if let Event::Headers { stream, headers, .. } = ev {
+                if let Event::Headers {
+                    stream, headers, ..
+                } = ev
+                {
                     // Serve anything we're authorized for; 421 otherwise.
                     let authority = respect_origin::h2::conn::authority_of(&headers)
                         .unwrap_or("")

@@ -12,7 +12,10 @@ use respect_origin::web::waterfall;
 use respect_origin::webgen::{Dataset, DatasetConfig};
 
 fn main() {
-    let mut dataset = Dataset::generate(DatasetConfig { sites: 60, ..Default::default() });
+    let dataset = Dataset::generate(DatasetConfig {
+        sites: 60,
+        ..Default::default()
+    });
     // Pick a small page so the waterfall is readable.
     let site = dataset
         .sites()
@@ -22,7 +25,7 @@ fn main() {
         .expect("a usable site")
         .clone();
     let page = dataset.page_for(&site);
-    let mut env = UniverseEnv::new(&mut dataset);
+    let mut env = UniverseEnv::new(&dataset);
     env.flush_dns();
     let loader = PageLoader::new(BrowserKind::Chromium);
     let mut rng = SimRng::seed_from_u64(site.page_seed);

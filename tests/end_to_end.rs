@@ -13,8 +13,21 @@ use respect_origin::webgen::{Dataset, DatasetConfig};
 
 const SITES: u32 = 600;
 
-fn crawl() -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, PlanSummary) {
-    let mut dataset = Dataset::generate(DatasetConfig { sites: SITES, ..Default::default() });
+type CrawlSeries = (
+    Vec<f64>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<f64>,
+    Vec<f64>,
+    PlanSummary,
+);
+
+fn crawl() -> CrawlSeries {
+    let dataset = Dataset::generate(DatasetConfig {
+        sites: SITES,
+        ..Default::default()
+    });
     let cfgs: Vec<_> = dataset.successful_sites().cloned().collect();
     let loader = PageLoader::new(BrowserKind::Chromium);
     let (mut m_dns, mut m_tls, mut m_plt) = (vec![], vec![], vec![]);
@@ -22,7 +35,7 @@ fn crawl() -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, PlanS
     let mut plan = PlanSummary::default();
     for site in &cfgs {
         let page = dataset.page_for(site);
-        let mut env = UniverseEnv::new(&mut dataset);
+        let mut env = UniverseEnv::new(&dataset);
         env.flush_dns();
         let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
         let load = loader.load(&page, &mut env, &mut rng);
@@ -34,7 +47,10 @@ fn crawl() -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, PlanS
         o_tls.push(origin.tls_connections as f64);
         o_plt.push(origin.plt_ms);
         // Reconstruction invariants per page.
-        assert!(origin.plt_ms <= load.plt() + 1e-9, "reconstruction must not slow pages");
+        assert!(
+            origin.plt_ms <= load.plt() + 1e-9,
+            "reconstruction must not slow pages"
+        );
         assert!(origin.tls_connections <= load.tls_connections());
         assert!(origin.dns_queries <= load.dns_queries());
         assert_eq!(recon.requests.len(), load.requests.len());
@@ -57,13 +73,33 @@ fn headline_shape_reproduction() {
     let med = |v: &[f64]| respect_origin::stats::median(v).unwrap();
 
     // Table 1 medians, within tolerance bands of (14, 16, 5746ms).
-    assert!((11.0..=17.0).contains(&med(&m_dns)), "measured DNS median {}", med(&m_dns));
-    assert!((12.0..=19.0).contains(&med(&m_tls)), "measured TLS median {}", med(&m_tls));
-    assert!((3_000.0..=8_000.0).contains(&med(&m_plt)), "measured PLT median {}", med(&m_plt));
+    assert!(
+        (11.0..=17.0).contains(&med(&m_dns)),
+        "measured DNS median {}",
+        med(&m_dns)
+    );
+    assert!(
+        (12.0..=19.0).contains(&med(&m_tls)),
+        "measured TLS median {}",
+        med(&m_tls)
+    );
+    assert!(
+        (3_000.0..=8_000.0).contains(&med(&m_plt)),
+        "measured PLT median {}",
+        med(&m_plt)
+    );
 
     // Figure 3: ORIGIN-ideal medians near 5, with ≥50% reductions.
-    assert!((4.0..=7.0).contains(&med(&o_dns)), "origin DNS median {}", med(&o_dns));
-    assert!((4.0..=7.0).contains(&med(&o_tls)), "origin TLS median {}", med(&o_tls));
+    assert!(
+        (4.0..=7.0).contains(&med(&o_dns)),
+        "origin DNS median {}",
+        med(&o_dns)
+    );
+    assert!(
+        (4.0..=7.0).contains(&med(&o_tls)),
+        "origin TLS median {}",
+        med(&o_tls)
+    );
     let dns_red = 1.0 - med(&o_dns) / med(&m_dns);
     let tls_red = 1.0 - med(&o_tls) / med(&m_tls);
     assert!(dns_red > 0.45, "DNS reduction {dns_red}");
@@ -74,8 +110,16 @@ fn headline_shape_reproduction() {
     assert!(plt_red > 0.05, "PLT reduction {plt_red}");
 
     // §4.3: most sites need few changes (paper: 62.4% none, 92.7% ≤10).
-    assert!(plan.unchanged_fraction() > 0.5, "unchanged {}", plan.unchanged_fraction());
-    assert!(plan.within_changes(10) > 0.9, "within 10 {}", plan.within_changes(10));
+    assert!(
+        plan.unchanged_fraction() > 0.5,
+        "unchanged {}",
+        plan.unchanged_fraction()
+    );
+    assert!(
+        plan.within_changes(10) > 0.9,
+        "within 10 {}",
+        plan.within_changes(10)
+    );
     // The ideal SAN distribution shifts right.
     let (existing, ideal) = plan.figure4();
     assert!(ideal.median().unwrap() >= existing.median().unwrap());
@@ -115,9 +159,12 @@ fn privacy_accounting_plaintext_queries_drop() {
     // §6.2: every coalesced connection hides at least one plaintext
     // DNS query. Compare resolver plaintext counters between a
     // Chromium run and an ideal-ORIGIN run on the same pages.
-    let mut dataset = Dataset::generate(DatasetConfig { sites: 120, ..Default::default() });
+    let dataset = Dataset::generate(DatasetConfig {
+        sites: 120,
+        ..Default::default()
+    });
     let cfgs: Vec<_> = dataset.successful_sites().take(40).cloned().collect();
-    let count = |kind: BrowserKind, dataset: &mut Dataset| -> u64 {
+    let count = |kind: BrowserKind, dataset: &Dataset| -> u64 {
         let loader = PageLoader::new(kind);
         let mut total = 0;
         for site in &cfgs {
@@ -130,8 +177,8 @@ fn privacy_accounting_plaintext_queries_drop() {
         }
         total
     };
-    let measured = count(BrowserKind::Chromium, &mut dataset);
-    let ideal = count(BrowserKind::IdealOrigin, &mut dataset);
+    let measured = count(BrowserKind::Chromium, &dataset);
+    let ideal = count(BrowserKind::IdealOrigin, &dataset);
     assert!(
         (ideal as f64) < measured as f64 * 0.7,
         "plaintext queries: measured {measured}, ideal-ORIGIN {ideal}"

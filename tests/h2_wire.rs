@@ -1,13 +1,11 @@
 //! Cross-crate wire-level integration: the h2 stack, the ORIGIN
 //! extension, and the middlebox models operating on real frame bytes.
 
-use respect_origin::h2::conn::{request_headers, status_of, ServerConfig};
-use respect_origin::h2::{
-    Connection, Event, Frame, FrameDecoder, OriginSet, Settings,
-};
-use respect_origin::netsim::fault::{NonCompliantMiddlebox, CompliantMiddlebox};
-use respect_origin::netsim::{Middlebox, MiddleboxVerdict};
 use bytes::BytesMut;
+use respect_origin::h2::conn::{request_headers, status_of, ServerConfig};
+use respect_origin::h2::{Connection, Event, Frame, FrameDecoder, OriginSet, Settings};
+use respect_origin::netsim::fault::{CompliantMiddlebox, NonCompliantMiddlebox};
+use respect_origin::netsim::{Middlebox, MiddleboxVerdict};
 
 /// Pump two endpoints to quiescence, optionally through a middlebox
 /// that inspects every frame on the server→client path. Returns the
@@ -59,7 +57,9 @@ fn full_request_cycle_through_compliant_path() {
     let mut server = origin_server();
     let (events, torn) = pump_through(&mut client, &mut server, &CompliantMiddlebox);
     assert!(!torn);
-    assert!(events.iter().any(|e| matches!(e, Event::OriginReceived { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::OriginReceived { .. })));
     assert!(client.origin_allows("b.example"));
 
     // Coalesced request round trip.
@@ -81,7 +81,9 @@ fn full_request_cycle_through_compliant_path() {
     let status = events
         .iter()
         .find_map(|e| match e {
-            Event::Headers { stream: s, headers, .. } if *s == stream => status_of(headers),
+            Event::Headers {
+                stream: s, headers, ..
+            } if *s == stream => status_of(headers),
             _ => None,
         })
         .expect("response");
@@ -131,9 +133,14 @@ fn client_fails_open_when_origin_frame_dropped() {
     let mut server = origin_server();
     let (events, torn) = pump_through(&mut client, &mut server, &Dropper);
     assert!(!torn);
-    assert!(!events.iter().any(|e| matches!(e, Event::OriginReceived { .. })));
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e, Event::OriginReceived { .. })));
     assert!(!client.origin_allows("b.example"));
-    assert!(client.origin_allows("a.example"), "connected origin still implicit");
+    assert!(
+        client.origin_allows("a.example"),
+        "connected origin still implicit"
+    );
 }
 
 #[test]
@@ -142,7 +149,10 @@ fn hand_crafted_origin_frame_bytes_match_rfc_layout() {
     let set = OriginSet::from_hosts(["x.example"]);
     let wire = set.to_frame().to_bytes();
     // 9-byte header: length 2+17=19, type 0x0c, flags 0, stream 0.
-    assert_eq!(&wire[..9], &[0x00, 0x00, 0x13, 0x0c, 0x00, 0x00, 0x00, 0x00, 0x00]);
+    assert_eq!(
+        &wire[..9],
+        &[0x00, 0x00, 0x13, 0x0c, 0x00, 0x00, 0x00, 0x00, 0x00]
+    );
     // Entry: len 17, "https://x.example".
     assert_eq!(&wire[9..11], &[0x00, 0x11]);
     assert_eq!(&wire[11..], b"https://x.example");
@@ -152,11 +162,24 @@ fn hand_crafted_origin_frame_bytes_match_rfc_layout() {
 fn frame_decoder_resyncs_across_many_frames() {
     // Interleave every frame type and replay the stream byte by byte.
     let mut all = BytesMut::new();
-    Frame::Settings { ack: false, params: vec![(0x4, 1 << 20)] }.encode(&mut all);
-    OriginSet::from_hosts(["a.example"]).to_frame().encode(&mut all);
-    Frame::Ping { ack: false, payload: [7; 8] }.encode(&mut all);
-    Frame::WindowUpdate { stream: respect_origin::h2::StreamId(0), increment: 100 }
+    Frame::Settings {
+        ack: false,
+        params: vec![(0x4, 1 << 20)],
+    }
+    .encode(&mut all);
+    OriginSet::from_hosts(["a.example"])
+        .to_frame()
         .encode(&mut all);
+    Frame::Ping {
+        ack: false,
+        payload: [7; 8],
+    }
+    .encode(&mut all);
+    Frame::WindowUpdate {
+        stream: respect_origin::h2::StreamId(0),
+        increment: 100,
+    }
+    .encode(&mut all);
     let decoder = FrameDecoder::default();
     let mut buf = BytesMut::new();
     let mut decoded = 0;

@@ -1,247 +1,357 @@
-//! Property-based tests over the core data structures and protocol
+//! Property-style tests over the core data structures and protocol
 //! invariants.
+//!
+//! Formerly proptest-based; rewritten as seeded [`SimRng`]-driven fuzz
+//! loops so the workspace carries no external test dependency and
+//! every run exercises the exact same cases.
 
-use proptest::prelude::*;
-use respect_origin::h2::hpack::{Decoder, Encoder, Header};
-use respect_origin::h2::hpack::huffman;
-use respect_origin::h2::{Frame, FrameDecoder};
-use respect_origin::dns::DnsName;
-use respect_origin::tls::{covers, CertificateBuilder};
 use bytes::BytesMut;
+use respect_origin::dns::DnsName;
+use respect_origin::h2::hpack::huffman;
+use respect_origin::h2::hpack::{Decoder, Encoder, Header};
+use respect_origin::h2::{Frame, FrameDecoder};
+use respect_origin::netsim::SimRng;
+use respect_origin::tls::{covers, CertificateBuilder};
+
+// ---- generators ----
+
+fn rand_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let n = rng.index(max_len + 1);
+    let mut v = vec![0u8; n];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+/// `[a-z]{min..=max}`.
+fn rand_lower(rng: &mut SimRng, min: usize, max: usize) -> String {
+    let n = rng.range_u64(min as u64, max as u64 + 1) as usize;
+    (0..n)
+        .map(|_| (b'a' + rng.index(26) as u8) as char)
+        .collect()
+}
+
+/// `[a-z][a-z0-9-]{0..=tail_max}` — an HPACK-ish header name.
+fn rand_header_name(rng: &mut SimRng, tail_max: usize) -> String {
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    let mut s = String::new();
+    s.push((b'a' + rng.index(26) as u8) as char);
+    for _ in 0..rng.index(tail_max + 1) {
+        s.push(*rng.choose(TAIL) as char);
+    }
+    s
+}
+
+/// Printable ASCII `[ -~]{0..=max}`.
+fn rand_printable(rng: &mut SimRng, max: usize) -> String {
+    let n = rng.index(max + 1);
+    (0..n)
+        .map(|_| (b' ' + rng.index(95) as u8) as char)
+        .collect()
+}
+
+/// Arbitrary non-control characters (ASCII + some unicode), length
+/// `0..=max` — the `\PC{0,64}`-style never-panic inputs.
+fn rand_weird(rng: &mut SimRng, max: usize) -> String {
+    let n = rng.index(max + 1);
+    (0..n)
+        .map(|_| loop {
+            let c = match rng.index(4) {
+                0 => char::from(b' ' + rng.index(95) as u8),
+                1 => *rng.choose(&['.', '-', '*', '_', ':', '/', '@']),
+                _ => match char::from_u32(rng.range_u64(0x20, 0x2_FFFF) as u32) {
+                    Some(c) if !c.is_control() => c,
+                    _ => continue,
+                },
+            };
+            break c;
+        })
+        .collect()
+}
+
+fn rand_hostname(rng: &mut SimRng) -> String {
+    format!("{}.{}", rand_lower(rng, 1, 12), rand_lower(rng, 2, 6))
+}
 
 // ---- Huffman ----
 
-proptest! {
-    #[test]
-    fn huffman_roundtrips_any_bytes(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn huffman_roundtrips_any_bytes() {
+    let mut rng = SimRng::seed_from_u64(0x48554646);
+    for _ in 0..256 {
+        let data = rand_bytes(&mut rng, 512);
         let mut enc = Vec::new();
         huffman::encode(&data, &mut enc);
         let dec = huffman::decode(&enc).expect("self-encoded data decodes");
-        prop_assert_eq!(dec, data);
+        assert_eq!(dec, data);
     }
+}
 
-    #[test]
-    fn huffman_never_expands_past_bound(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn huffman_never_expands_past_bound() {
+    let mut rng = SimRng::seed_from_u64(0x424F554E);
+    for _ in 0..256 {
+        let data = rand_bytes(&mut rng, 256);
         // Worst-case code is 30 bits per symbol.
         let mut enc = Vec::new();
         huffman::encode(&data, &mut enc);
-        prop_assert!(enc.len() <= data.len() * 30 / 8 + 1);
-        prop_assert_eq!(huffman::encoded_len(&data), enc.len());
+        assert!(enc.len() <= data.len() * 30 / 8 + 1);
+        assert_eq!(huffman::encoded_len(&data), enc.len());
     }
+}
 
-    #[test]
-    fn huffman_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn huffman_decode_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0x4E4F5041);
+    for _ in 0..512 {
         // Arbitrary bytes may fail to decode, but must never panic.
-        let _ = huffman::decode(&data);
+        let _ = huffman::decode(&rand_bytes(&mut rng, 256));
     }
 }
 
 // ---- HPACK ----
 
-fn header_strategy() -> impl Strategy<Value = Header> {
-    (
-        "[a-z][a-z0-9-]{0,24}",
-        "[ -~]{0,48}",
-        any::<bool>(),
-    )
-        .prop_map(|(name, value, sensitive)| Header {
-            name,
-            value,
-            sensitive,
-        })
+fn rand_header(rng: &mut SimRng) -> Header {
+    Header {
+        name: rand_header_name(rng, 24),
+        value: rand_printable(rng, 48),
+        sensitive: rng.chance(0.5),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hpack_roundtrips_header_lists(
-        headers in proptest::collection::vec(header_strategy(), 0..24),
-        use_huffman in any::<bool>(),
-    ) {
+#[test]
+fn hpack_roundtrips_header_lists() {
+    let mut rng = SimRng::seed_from_u64(0x48504B31);
+    for _ in 0..64 {
+        let headers: Vec<Header> = (0..rng.index(24)).map(|_| rand_header(&mut rng)).collect();
         let mut enc = Encoder::new();
-        enc.use_huffman = use_huffman;
+        enc.use_huffman = rng.chance(0.5);
         let mut dec = Decoder::new();
         let block = enc.encode(&headers);
         let out = dec.decode(&block).expect("self-encoded block decodes");
-        prop_assert_eq!(out.len(), headers.len());
+        assert_eq!(out.len(), headers.len());
         for (a, b) in out.iter().zip(&headers) {
-            prop_assert_eq!(&a.name, &b.name);
-            prop_assert_eq!(&a.value, &b.value);
+            assert_eq!(&a.name, &b.name);
+            assert_eq!(&a.value, &b.value);
         }
     }
+}
 
-    #[test]
-    fn hpack_stateful_stream_roundtrips(
-        blocks in proptest::collection::vec(
-            proptest::collection::vec(header_strategy(), 0..8), 1..6),
-    ) {
+#[test]
+fn hpack_stateful_stream_roundtrips() {
+    let mut rng = SimRng::seed_from_u64(0x48504B32);
+    for _ in 0..64 {
         // One encoder/decoder pair across many blocks: dynamic-table
         // state must stay synchronized.
         let mut enc = Encoder::new();
         let mut dec = Decoder::new();
-        for headers in &blocks {
-            let block = enc.encode(headers);
+        for _ in 0..rng.range_u64(1, 6) {
+            let headers: Vec<Header> = (0..rng.index(8)).map(|_| rand_header(&mut rng)).collect();
+            let block = enc.encode(&headers);
             let out = dec.decode(&block).expect("stream stays in sync");
-            prop_assert_eq!(out.len(), headers.len());
-            for (a, b) in out.iter().zip(headers) {
-                prop_assert_eq!(&a.name, &b.name);
-                prop_assert_eq!(&a.value, &b.value);
+            assert_eq!(out.len(), headers.len());
+            for (a, b) in out.iter().zip(&headers) {
+                assert_eq!(&a.name, &b.name);
+                assert_eq!(&a.value, &b.value);
             }
         }
     }
+}
 
-    #[test]
-    fn hpack_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn hpack_decoder_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0x48504B33);
+    for _ in 0..512 {
         let mut dec = Decoder::new();
-        let _ = dec.decode(&data);
+        let _ = dec.decode(&rand_bytes(&mut rng, 256));
     }
 }
 
 // ---- frame codec ----
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn frame_decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn frame_decoder_never_panics_on_garbage() {
+    let mut rng = SimRng::seed_from_u64(0x46524D31);
+    for _ in 0..128 {
+        let data = rand_bytes(&mut rng, 128);
         let decoder = FrameDecoder::default();
         let mut buf = BytesMut::from(&data[..]);
         // Drain until error or exhaustion; must never panic.
-        loop {
-            match decoder.decode(&mut buf) {
-                Ok(Some(_)) => continue,
-                Ok(None) | Err(_) => break,
-            }
-        }
+        while let Ok(Some(_)) = decoder.decode(&mut buf) {}
     }
+}
 
-    #[test]
-    fn origin_frame_roundtrips(hosts in proptest::collection::vec("[a-z]{1,12}\\.[a-z]{2,6}", 0..12)) {
-        let origins: Vec<String> = hosts.iter().map(|h| format!("https://{h}")).collect();
-        let frame = Frame::Origin { origins: origins.clone() };
+#[test]
+fn origin_frame_roundtrips() {
+    let mut rng = SimRng::seed_from_u64(0x46524D32);
+    for _ in 0..128 {
+        let origins: Vec<String> = (0..rng.index(12))
+            .map(|_| format!("https://{}", rand_hostname(&mut rng)))
+            .collect();
+        let frame = Frame::Origin {
+            origins: origins.clone(),
+        };
         let mut buf = BytesMut::new();
         frame.encode(&mut buf);
         let decoder = FrameDecoder::default();
         let out = decoder.decode(&mut buf).unwrap().unwrap();
-        prop_assert_eq!(out, frame);
+        assert_eq!(out, frame);
     }
+}
 
-    #[test]
-    fn data_frames_roundtrip(
-        stream in 1u32..1000,
-        payload in proptest::collection::vec(any::<u8>(), 0..2048),
-        end in any::<bool>(),
-    ) {
+#[test]
+fn data_frames_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0x46524D33);
+    for _ in 0..128 {
         let frame = Frame::Data {
-            stream: respect_origin::h2::StreamId(stream),
-            data: bytes::Bytes::from(payload),
-            end_stream: end,
+            stream: respect_origin::h2::StreamId(rng.range_u64(1, 1000) as u32),
+            data: bytes::Bytes::from(rand_bytes(&mut rng, 2048)),
+            end_stream: rng.chance(0.5),
         };
         let mut buf = BytesMut::new();
         frame.encode(&mut buf);
         let out = FrameDecoder::default().decode(&mut buf).unwrap().unwrap();
-        prop_assert_eq!(out, frame);
+        assert_eq!(out, frame);
     }
 }
 
 // ---- DNS names & SAN matching ----
 
-proptest! {
-    #[test]
-    fn dns_name_display_reparses(labels in proptest::collection::vec("[a-z][a-z0-9]{0,10}", 1..5)) {
+#[test]
+fn dns_name_display_reparses() {
+    let mut rng = SimRng::seed_from_u64(0x444E5331);
+    for _ in 0..256 {
+        let labels: Vec<String> = (0..rng.range_u64(1, 5))
+            .map(|_| rand_header_name(&mut rng, 10).replace('-', "x"))
+            .collect();
         let s = labels.join(".");
         let n = DnsName::parse(&s).expect("constructed names parse");
-        let again = DnsName::parse(&n.to_string()).unwrap();
-        prop_assert_eq!(n, again);
+        let again = DnsName::parse(n.as_ref()).unwrap();
+        assert_eq!(n, again);
     }
+}
 
-    #[test]
-    fn dns_parse_never_panics(s in "\\PC{0,64}") {
-        let _ = DnsName::parse(&s);
+#[test]
+fn dns_parse_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0x444E5332);
+    for _ in 0..512 {
+        let _ = DnsName::parse(&rand_weird(&mut rng, 64));
     }
+}
 
-    #[test]
-    fn wildcard_covers_exactly_one_extra_label(
-        sub in "[a-z]{1,8}",
-        subsub in "[a-z]{1,8}",
-        base in "[a-z]{2,8}\\.[a-z]{2,4}",
-    ) {
+#[test]
+fn wildcard_covers_exactly_one_extra_label() {
+    let mut rng = SimRng::seed_from_u64(0x444E5333);
+    for _ in 0..256 {
+        let sub = rand_lower(&mut rng, 1, 8);
+        let subsub = rand_lower(&mut rng, 1, 8);
+        let base = format!(
+            "{}.{}",
+            rand_lower(&mut rng, 2, 8),
+            rand_lower(&mut rng, 2, 4)
+        );
         let pattern = DnsName::parse(&format!("*.{base}")).unwrap();
         let one = DnsName::parse(&format!("{sub}.{base}")).unwrap();
         let two = DnsName::parse(&format!("{subsub}.{sub}.{base}")).unwrap();
         let parent = DnsName::parse(&base).unwrap();
-        prop_assert!(covers(&pattern, &one));
-        prop_assert!(!covers(&pattern, &two));
-        prop_assert!(!covers(&pattern, &parent));
+        assert!(covers(&pattern, &one));
+        assert!(!covers(&pattern, &two));
+        assert!(!covers(&pattern, &parent));
     }
+}
 
-    #[test]
-    fn cert_covers_all_its_exact_sans(
-        sans in proptest::collection::vec("[a-z]{2,8}\\.[a-z]{2,8}\\.[a-z]{2,3}", 1..20),
-    ) {
+#[test]
+fn cert_covers_all_its_exact_sans() {
+    let mut rng = SimRng::seed_from_u64(0x43455254);
+    for _ in 0..128 {
+        let sans: Vec<String> = (0..rng.range_u64(1, 20))
+            .map(|_| {
+                format!(
+                    "{}.{}.{}",
+                    rand_lower(&mut rng, 2, 8),
+                    rand_lower(&mut rng, 2, 8),
+                    rand_lower(&mut rng, 2, 3)
+                )
+            })
+            .collect();
         let subject = DnsName::parse(&sans[0]).unwrap();
         let cert = CertificateBuilder::new(subject)
             .sans(sans.iter().map(|s| DnsName::parse(s).unwrap()))
             .build();
         for s in &sans {
-            prop_assert!(cert.covers(&DnsName::parse(s).unwrap()));
+            assert!(cert.covers(&DnsName::parse(s).unwrap()));
         }
-        prop_assert!(!cert.covers(&DnsName::parse("definitely.not.present.example").unwrap()));
+        assert!(!cert.covers(&DnsName::parse("definitely.not.present.example").unwrap()));
     }
 }
 
 // ---- stats ----
 
-proptest! {
-    #[test]
-    fn quantiles_are_monotone(mut xs in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+#[test]
+fn quantiles_are_monotone() {
+    let mut rng = SimRng::seed_from_u64(0x53544154);
+    for _ in 0..256 {
+        let mut xs: Vec<f64> = (0..rng.range_u64(1, 200))
+            .map(|_| rng.range_f64(0.0, 1e6))
+            .collect();
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let q25 = respect_origin::stats::quantile(&xs, 0.25).unwrap();
         let q50 = respect_origin::stats::quantile(&xs, 0.50).unwrap();
         let q75 = respect_origin::stats::quantile(&xs, 0.75).unwrap();
-        prop_assert!(q25 <= q50 && q50 <= q75);
-        prop_assert!(q25 >= xs[0] && q75 <= *xs.last().unwrap());
+        assert!(q25 <= q50 && q50 <= q75);
+        assert!(q25 >= xs[0] && q75 <= *xs.last().unwrap());
     }
+}
 
-    #[test]
-    fn cdf_bounds(xs in proptest::collection::vec(0u64..1000, 0..200), probe in 0u64..1200) {
+#[test]
+fn cdf_bounds() {
+    let mut rng = SimRng::seed_from_u64(0x43444631);
+    for _ in 0..256 {
+        let xs: Vec<u64> = (0..rng.index(200))
+            .map(|_| rng.range_u64(0, 1000))
+            .collect();
         let cdf = respect_origin::stats::Cdf::from_u64(&xs);
-        let p = cdf.eval(probe as f64);
-        prop_assert!((0.0..=1.0).contains(&p));
+        let p = cdf.eval(rng.range_u64(0, 1200) as f64);
+        assert!((0.0..=1.0).contains(&p));
     }
 }
 
 // ---- ORIGIN entries ----
 
-proptest! {
-    #[test]
-    fn origin_entry_ascii_roundtrips(
-        host in "[a-z]{1,10}(\\.[a-z]{2,8}){1,3}",
-        port in proptest::option::of(1u16..65535),
-    ) {
-        use respect_origin::h2::OriginEntry;
-        let s = match port {
-            Some(p) => format!("https://{host}:{p}"),
-            None => format!("https://{host}"),
+#[test]
+fn origin_entry_ascii_roundtrips() {
+    use respect_origin::h2::OriginEntry;
+    let mut rng = SimRng::seed_from_u64(0x4F524947);
+    for _ in 0..256 {
+        let mut host = rand_lower(&mut rng, 1, 10);
+        for _ in 0..rng.range_u64(1, 4) {
+            host.push('.');
+            host.push_str(&rand_lower(&mut rng, 2, 8));
+        }
+        let s = if rng.chance(0.5) {
+            format!("https://{host}:{}", rng.range_u64(1, 65535))
+        } else {
+            format!("https://{host}")
         };
         let e = OriginEntry::parse(&s).expect("valid origin parses");
         let again = OriginEntry::parse(&e.ascii()).expect("serialization reparses");
-        prop_assert_eq!(e, again);
+        assert_eq!(e, again);
     }
+}
 
-    #[test]
-    fn origin_entry_parse_never_panics(s in "\\PC{0,64}") {
-        let _ = respect_origin::h2::OriginEntry::parse(&s);
+#[test]
+fn origin_entry_parse_never_panics() {
+    let mut rng = SimRng::seed_from_u64(0x4F524948);
+    for _ in 0..512 {
+        let _ = respect_origin::h2::OriginEntry::parse(&rand_weird(&mut rng, 64));
     }
 }
 
 // ---- timeline reconstruction ----
 
 mod reconstruct_props {
-    use super::*;
     use respect_origin::dns::DnsName;
     use respect_origin::model::reconstruct;
+    use respect_origin::netsim::SimRng;
     use respect_origin::web::har::{PageLoad, Phase, RequestTiming};
     use respect_origin::web::{ContentType, Page, Protocol, Resource};
     use std::net::{IpAddr, Ipv4Addr};
@@ -249,98 +359,96 @@ mod reconstruct_props {
     /// A random page + consistent measured load: each resource either
     /// chains off an earlier one or hangs off the root; phases are
     /// arbitrary non-negative values.
-    fn page_and_load_strategy() -> impl Strategy<Value = (Page, PageLoad, Vec<bool>)> {
-        proptest::collection::vec(
-            (
-                0.0f64..200.0, // dns
-                0.0f64..300.0, // connect
-                0.0f64..100.0, // wait
-                0.0f64..100.0, // receive
-                any::<bool>(), // chains off previous resource
-                any::<bool>(), // coalescable?
-            ),
-            1..40,
-        )
-        .prop_map(|rows| {
-            let root_host = DnsName::parse("root.example").unwrap();
-            let mut page = Page::new(1, root_host.clone(), 1_000);
-            let ip = IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1));
-            let mk = |idx: usize, start: f64, dns: f64, connect: f64, wait: f64, receive: f64| {
-                RequestTiming {
-                    resource_index: idx,
-                    host: DnsName::parse(&format!("h{idx}.example")).unwrap(),
-                    ip,
-                    asn: 1,
-                    start,
-                    phase: Phase {
-                        dns,
-                        connect,
-                        ssl: connect / 2.0,
-                        wait,
-                        receive,
-                        ..Default::default()
-                    },
-                    did_dns: dns > 0.0,
-                    new_connection: connect > 0.0,
-                    coalesced: false,
-                    protocol: Protocol::H2,
-                    cert_issuer: None,
-                    secure: true,
-                    extra_connections: 0,
-                    extra_dns: 0,
-                }
-            };
-            let mut requests =
-                vec![mk(0, 0.0, 20.0, 40.0, 30.0, 10.0)];
-            let mut coalescable = vec![false];
-            for (i, (dns, connect, wait, receive, chain, coal)) in rows.into_iter().enumerate() {
-                let idx = i + 1;
-                let mut r = Resource::new(
-                    DnsName::parse(&format!("h{idx}.example")).unwrap(),
-                    "/r",
-                    ContentType::Javascript,
-                    1_000,
-                );
-                if chain && idx > 1 {
-                    r.discovered_by = Some(idx - 1);
-                }
-                page.push(r);
-                // Start after the parent finishes (consistent timeline).
-                let parent = page.resources[idx].discovered_by.unwrap_or(0);
-                let start = requests[parent].end() + 1.0;
-                requests.push(mk(idx, start, dns, connect, wait, receive));
-                coalescable.push(coal);
+    fn page_and_load(rng: &mut SimRng) -> (Page, PageLoad, Vec<bool>) {
+        let root_host = DnsName::parse("root.example").unwrap();
+        let mut page = Page::new(1, root_host.clone(), 1_000);
+        let ip = IpAddr::V4(Ipv4Addr::new(10, 0, 0, 1));
+        let mk = |idx: usize, start: f64, dns: f64, connect: f64, wait: f64, receive: f64| {
+            RequestTiming {
+                resource_index: idx,
+                host: DnsName::parse(&format!("h{idx}.example")).unwrap(),
+                ip,
+                asn: 1,
+                start,
+                phase: Phase {
+                    dns,
+                    connect,
+                    ssl: connect / 2.0,
+                    wait,
+                    receive,
+                    ..Default::default()
+                },
+                did_dns: dns > 0.0,
+                new_connection: connect > 0.0,
+                coalesced: false,
+                protocol: Protocol::H2,
+                cert_issuer: None,
+                secure: true,
+                extra_connections: 0,
+                extra_dns: 0,
             }
-            let load = PageLoad { rank: 1, root_host, requests };
-            (page, load, coalescable)
-        })
+        };
+        let mut requests = vec![mk(0, 0.0, 20.0, 40.0, 30.0, 10.0)];
+        let mut coalescable = vec![false];
+        let rows = rng.range_u64(1, 40) as usize;
+        for i in 0..rows {
+            let idx = i + 1;
+            let mut r = Resource::new(
+                DnsName::parse(&format!("h{idx}.example")).unwrap(),
+                "/r",
+                ContentType::Javascript,
+                1_000,
+            );
+            if rng.chance(0.5) && idx > 1 {
+                r.discovered_by = Some(idx - 1);
+            }
+            page.push(r);
+            // Start after the parent finishes (consistent timeline).
+            let parent = page.resources[idx].discovered_by.unwrap_or(0);
+            let start = requests[parent].end() + 1.0;
+            requests.push(mk(
+                idx,
+                start,
+                rng.range_f64(0.0, 200.0),
+                rng.range_f64(0.0, 300.0),
+                rng.range_f64(0.0, 100.0),
+                rng.range_f64(0.0, 100.0),
+            ));
+            coalescable.push(rng.chance(0.5));
+        }
+        let load = PageLoad {
+            rank: 1,
+            root_host,
+            requests,
+        };
+        (page, load, coalescable)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn reconstruction_invariants((page, load, coalescable) in page_and_load_strategy()) {
+    #[test]
+    fn reconstruction_invariants() {
+        let mut rng = SimRng::seed_from_u64(0x52454331);
+        for _ in 0..64 {
+            let (page, load, coalescable) = page_and_load(&mut rng);
             let out = reconstruct(&page, &load, |i| coalescable[i]);
             // PLT never increases; counts never increase.
-            prop_assert!(out.plt() <= load.plt() + 1e-9);
-            prop_assert!(out.dns_queries() <= load.dns_queries());
-            prop_assert!(out.tls_connections() <= load.tls_connections());
+            assert!(out.plt() <= load.plt() + 1e-9);
+            assert!(out.dns_queries() <= load.dns_queries());
+            assert!(out.tls_connections() <= load.tls_connections());
             // Non-coalesced requests keep their phase durations.
             for (i, (a, b)) in load.requests.iter().zip(&out.requests).enumerate() {
-                prop_assert!(b.start >= 0.0);
+                assert!(b.start >= 0.0);
                 if i == 0 || !coalescable[i] {
-                    prop_assert_eq!(a.phase, b.phase);
+                    assert_eq!(a.phase, b.phase);
                 } else {
-                    prop_assert_eq!(b.phase.setup(), 0.0);
-                    prop_assert!(b.coalesced);
+                    assert_eq!(b.phase.setup(), 0.0);
+                    assert!(b.coalesced);
                 }
                 // Requests never move later.
-                prop_assert!(b.start <= a.start + 1e-9);
+                assert!(b.start <= a.start + 1e-9);
             }
             // Idempotence: reconstructing again changes nothing.
             let again = reconstruct(&page, &out, |i| coalescable[i]);
-            prop_assert_eq!(again.plt(), out.plt());
+            assert_eq!(again.plt(), out.plt());
         }
     }
 }

@@ -1,0 +1,396 @@
+//! Minimal, dependency-free stand-in for the `bytes` crate.
+//!
+//! The workspace builds fully offline, so instead of the real crate
+//! this vendored module implements exactly the API surface the h2
+//! codec and its tests use: `Bytes`, `BytesMut`, and the `Buf` /
+//! `BufMut` traits with big-endian integer accessors. Semantics match
+//! the upstream crate for that surface (views shrink from the front
+//! on reads; writers append).
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable, cheaply clonable byte buffer.
+///
+/// The real crate shares memory on clone; this stand-in clones the
+/// backing vector, which is fine at simulation frame sizes.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Vec::new() }
+    }
+
+    /// Wrap a static byte slice (copied here; upstream borrows).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Split off and return the first `at` bytes.
+    ///
+    /// Panics when fewer than `at` bytes remain, like upstream.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(at);
+        Bytes {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.data {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(data: String) -> Self {
+        Bytes {
+            data: data.into_bytes(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Self {
+        Bytes {
+            data: data.as_bytes().to_vec(),
+        }
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(data: BytesMut) -> Self {
+        data.freeze()
+    }
+}
+
+/// A growable byte buffer that also supports front-consuming reads.
+///
+/// Reads (`Buf`) advance a cursor; writes (`BufMut` or
+/// `extend_from_slice`) append at the back. `Deref` exposes only the
+/// unread remainder, matching upstream behaviour.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut {
+            data: Vec::new(),
+            head: 0,
+        }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Append a slice at the back.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Freeze the unread remainder into an immutable `Bytes`.
+    pub fn freeze(mut self) -> Bytes {
+        Bytes {
+            data: self.data.split_off(self.head),
+        }
+    }
+
+    /// Split off and return the entire unread remainder, leaving this
+    /// buffer empty.
+    pub fn split(&mut self) -> BytesMut {
+        self.split_to(self.len())
+    }
+
+    /// Split off and return the first `at` unread bytes.
+    ///
+    /// Panics when fewer than `at` bytes remain, like upstream.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.remaining(), "split_to out of bounds");
+        let piece = self.data[self.head..self.head + at].to_vec();
+        self.head += at;
+        BytesMut {
+            data: piece,
+            head: 0,
+        }
+    }
+
+    /// Unread length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let head = self.head;
+        &mut self.data[head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut {
+            data: data.to_vec(),
+            head: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data, head: 0 }
+    }
+}
+
+/// Read side: consume bytes from the front, big-endian integers.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Skip `cnt` bytes. Panics when out of bounds.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes are left to read.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 underflow");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        assert!(self.remaining() >= 2, "get_u16 underflow");
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32 underflow");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Read a big-endian unsigned integer of `nbytes` bytes (≤ 8).
+    fn get_uint(&mut self, nbytes: usize) -> u64 {
+        assert!(
+            nbytes <= 8 && self.remaining() >= nbytes,
+            "get_uint underflow"
+        );
+        let mut v: u64 = 0;
+        for _ in 0..nbytes {
+            v = (v << 8) | self.get_u8() as u64;
+        }
+        v
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.head += cnt;
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.data
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.data.len(), "advance out of bounds");
+        self.data.drain(..cnt);
+    }
+}
+
+/// Write side: append bytes at the back, big-endian integers.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append the low `nbytes` bytes of `v`, big-endian (≤ 8).
+    fn put_uint(&mut self, v: u64, nbytes: usize) {
+        assert!(nbytes <= 8, "put_uint width");
+        let be = v.to_be_bytes();
+        self.put_slice(&be[8 - nbytes..]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_ints() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0x1234);
+        b.put_u32(0xdead_beef);
+        b.put_uint(0x0a0b0c, 3);
+        assert_eq!(b.remaining(), 10);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x1234);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        assert_eq!(b.get_uint(3), 0x0a0b0c);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_and_freeze() {
+        let mut b = BytesMut::from(&b"hello world"[..]);
+        let hello = b.split_to(5);
+        assert_eq!(&hello[..], b"hello");
+        b.advance(1);
+        assert_eq!(b.freeze(), Bytes::from_static(b"world"));
+    }
+
+    #[test]
+    fn deref_tracks_cursor() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        b.advance(2);
+        assert_eq!(&b[..], &[3, 4]);
+        assert_eq!(b.len(), 2);
+    }
+}
