@@ -1,7 +1,8 @@
 //! Regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--sites N] [--seed S] [--threads N] [--json <path>] [--only <id>...]
+//! repro [--sites N] [--seed S] [--threads N] [--json <path>]
+//!       [--metrics <path>] [--only <id>...]
 //! ```
 //!
 //! `--threads` shards the crawl and the §5 active measurements over
@@ -11,6 +12,12 @@
 //! `--json` additionally writes the raw figure series (CDF samples
 //! for Figures 3/4/9, the Figure 8 time series) to a JSON file for
 //! external plotting.
+//!
+//! `--metrics` writes the merged metrics registry (work counters,
+//! histograms, simulated phase totals) as JSON. Everything except the
+//! `runtime_ms` section is deterministic — byte-identical across runs
+//! and thread counts; strip the wall-clock section with
+//! `jq 'del(.runtime_ms)'` before comparing.
 //!
 //! ids: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 f2 f3 f4 f5 f6 f7a f7b f8 f9
 //!      passive-ip passive-origin incident ct privacy scheduling
@@ -24,6 +31,7 @@ use origin_cdn::{
     SampleGroup, Treatment,
 };
 use origin_core::model::{predict, CoalescingGrouping};
+use origin_metrics::Registry;
 use origin_netsim::SimRng;
 use origin_stats::table::{pct_change, TextTable};
 use origin_stats::Cdf;
@@ -35,10 +43,10 @@ struct Args {
     threads: usize,
     only: Vec<String>,
     json: Option<String>,
+    metrics: Option<String>,
 }
 
-const USAGE: &str =
-    "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--only id...]";
+const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--only id...]";
 
 /// Every id `--only` accepts.
 const ALL_IDS: &[&str] = &[
@@ -96,6 +104,7 @@ fn parse_args() -> Args {
         threads: 0,
         only: Vec::new(),
         json: None,
+        metrics: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.into_iter().peekable();
@@ -106,6 +115,12 @@ fn parse_args() -> Args {
             "--threads" => args.threads = parse_value("--threads", it.next(), |&n: &usize| n > 0),
             "--json" => {
                 args.json = Some(it.next().unwrap_or_else(|| die("--json requires a path")))
+            }
+            "--metrics" => {
+                args.metrics = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--metrics requires a path")),
+                )
             }
             "--only" => {
                 // Consume ids up to (but not including) the next flag.
@@ -145,8 +160,27 @@ fn want(args: &Args, id: &str) -> bool {
     args.only.is_empty() || args.only.iter().any(|o| o == id)
 }
 
+/// Run `f` and add its wall-clock cost (ms) to `acc` — the
+/// `runtime_ms` side of the metrics export, never compared for
+/// determinism.
+fn timed(acc: &mut f64, f: impl FnOnce()) {
+    let t = std::time::Instant::now();
+    f();
+    *acc += t.elapsed().as_secs_f64() * 1_000.0;
+}
+
 fn main() {
     let args = parse_args();
+    let mut registry = Registry::new();
+    let t_total = std::time::Instant::now();
+    // Wall-clock per driver phase; the deterministic counterpart is
+    // the registry's `sim.*` phase section.
+    let mut ms_crawl = 0.0;
+    let mut ms_characterize = 0.0;
+    let mut ms_model = 0.0;
+    let mut ms_certplan = 0.0;
+    let mut ms_active = 0.0;
+    let mut ms_passive = 0.0;
     let needs_crawl = [
         "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "f1", "f2", "f3", "f4", "f5", "f9",
         "ct",
@@ -159,57 +193,61 @@ fn main() {
             "# crawling {} synthetic sites (seed {:#x}, {} threads)…",
             args.sites, args.seed, args.threads
         );
-        run_crawl_threads(args.sites, args.seed, args.threads)
+        let t = std::time::Instant::now();
+        let r = run_crawl_threads(args.sites, args.seed, args.threads);
+        ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
+        r
     });
 
     if let Some(r) = &crawl {
+        registry.merge(&r.metrics);
         if want(&args, "t1") {
-            table1(r);
+            timed(&mut ms_characterize, || table1(r));
         }
         if want(&args, "t2") {
-            table2(r);
+            timed(&mut ms_characterize, || table2(r));
         }
         if want(&args, "t3") {
-            table3(r);
+            timed(&mut ms_characterize, || table3(r));
         }
         if want(&args, "t4") {
-            table4(r);
+            timed(&mut ms_characterize, || table4(r));
         }
         if want(&args, "t5") {
-            table5(r);
+            timed(&mut ms_characterize, || table5(r));
         }
         if want(&args, "t6") {
-            table6(r);
+            timed(&mut ms_characterize, || table6(r));
         }
         if want(&args, "t7") {
-            table7(r);
+            timed(&mut ms_characterize, || table7(r));
         }
         if want(&args, "f1") {
-            figure1(r);
+            timed(&mut ms_characterize, || figure1(r));
         }
         if want(&args, "f2") {
-            figure2(args.seed);
+            timed(&mut ms_model, || figure2(args.seed));
         }
         if want(&args, "f3") {
-            figure3(r);
+            timed(&mut ms_model, || figure3(r));
         }
         if want(&args, "f4") {
-            figure4(r);
+            timed(&mut ms_certplan, || figure4(r));
         }
         if want(&args, "f5") {
-            figure5(r);
+            timed(&mut ms_certplan, || figure5(r));
         }
         if want(&args, "t8") {
-            table8(r);
+            timed(&mut ms_certplan, || table8(r));
         }
         if want(&args, "t9") {
-            table9(r);
+            timed(&mut ms_certplan, || table9(r));
         }
         if want(&args, "f9") {
-            figure9_top(r);
+            timed(&mut ms_model, || figure9_top(r));
         }
         if want(&args, "ct") {
-            ct_impact(r);
+            timed(&mut ms_certplan, || ct_impact(r));
         }
     }
 
@@ -236,32 +274,58 @@ fn main() {
             group.removed_subpage_only,
             group.sites.len()
         );
+        // Deterministic wire phase: real origin-h2 exchanges against
+        // the edge — the registry's only source of `h2.*` counters.
+        let wire_n = group.sites.len().min(200);
+        let wire = ActiveMeasurement::origin_experiment().wire_spot_check_metrics(
+            &group,
+            wire_n,
+            Some(&mut registry),
+        );
+        eprintln!("# wire spot check: {wire}/{wire_n} sites consistent with the analytic model");
         if want(&args, "f6") {
-            figure6(&group);
+            timed(&mut ms_active, || figure6(&group));
         }
         if want(&args, "f7a") {
-            figure7(&group, args.seed, args.threads, true);
+            timed(&mut ms_active, || {
+                figure7(&group, args.seed, args.threads, true, &mut registry)
+            });
         }
         if want(&args, "f7b") {
-            figure7(&group, args.seed, args.threads, false);
+            timed(&mut ms_active, || {
+                figure7(&group, args.seed, args.threads, false, &mut registry)
+            });
         }
         if want(&args, "passive-ip") {
-            passive(&group, args.seed, DeploymentMode::IpAligned);
+            timed(&mut ms_passive, || {
+                passive(&group, args.seed, DeploymentMode::IpAligned, &mut registry)
+            });
         }
         if want(&args, "passive-origin") {
-            passive(&group, args.seed, DeploymentMode::OriginFrames);
+            timed(&mut ms_passive, || {
+                passive(
+                    &group,
+                    args.seed,
+                    DeploymentMode::OriginFrames,
+                    &mut registry,
+                )
+            });
         }
         if want(&args, "f8") {
-            figure8(&group, args.seed);
+            timed(&mut ms_passive, || figure8(&group, args.seed));
         }
         if want(&args, "f9") {
-            figure9_bottom(&group, args.seed, args.threads);
+            timed(&mut ms_active, || {
+                figure9_bottom(&group, args.seed, args.threads, &mut registry)
+            });
         }
         if want(&args, "incident") {
-            incident(&group, args.seed);
+            timed(&mut ms_passive, || incident(&group, args.seed));
         }
         if want(&args, "privacy") {
-            privacy(&group, args.seed, args.threads);
+            timed(&mut ms_active, || {
+                privacy(&group, args.seed, args.threads, &mut registry)
+            });
         }
     }
     if want(&args, "scheduling") {
@@ -269,6 +333,25 @@ fn main() {
     }
     if let (Some(path), Some(r)) = (&args.json, &crawl) {
         export_json(path, r);
+    }
+    if let Some(path) = &args.metrics {
+        for (name, ms) in [
+            ("crawl", ms_crawl),
+            ("characterize", ms_characterize),
+            ("model", ms_model),
+            ("certplan", ms_certplan),
+            ("active", ms_active),
+            ("passive", ms_passive),
+        ] {
+            if ms > 0.0 {
+                registry.set_runtime_ms(name, ms);
+            }
+        }
+        registry.set_runtime_ms("total", t_total.elapsed().as_secs_f64() * 1_000.0);
+        match std::fs::write(path, registry.to_json()) {
+            Ok(()) => eprintln!("# wrote metrics to {path}"),
+            Err(e) => eprintln!("# failed to write {path}: {e}"),
+        }
     }
 }
 
@@ -360,10 +443,12 @@ fn scheduling(seed: u64) {
 /// §6.2: quantify the cleartext signals coalescing removes. Each new
 /// TLS connection exposes one plaintext SNI (no ECH in 2021/22) and
 /// each network DNS query over UDP-53 exposes the queried name.
-fn privacy(group: &SampleGroup, seed: u64, threads: usize) {
-    let exposure = |mode: DeploymentMode, browser: BrowserKind| -> (u64, u64) {
+fn privacy(group: &SampleGroup, seed: u64, threads: usize, registry: &mut Registry) {
+    let mut exposure = |mode: DeploymentMode, browser: BrowserKind| -> (u64, u64) {
         let m = ActiveMeasurement { mode, browser };
-        let (exp, _) = m.run_both_threads(group, seed ^ 0x9417AC, threads);
+        let (exp, ctl) = m.run_both_threads(group, seed ^ 0x9417AC, threads);
+        registry.merge(&exp.metrics);
+        registry.merge(&ctl.metrics);
         // SNI exposures = total new TLS connections across visits.
         let snis: u64 = exp.new_connections.bins().map(|(v, c)| v * c).sum();
         // One render-blocking plaintext DNS query per connection plus
@@ -765,7 +850,7 @@ fn figure6(group: &SampleGroup) {
     );
 }
 
-fn figure7(group: &SampleGroup, seed: u64, threads: usize, ip: bool) {
+fn figure7(group: &SampleGroup, seed: u64, threads: usize, ip: bool, registry: &mut Registry) {
     let (label, m) = if ip {
         (
             "Figure 7a: IP-based coalescing (Firefox v91)",
@@ -778,6 +863,8 @@ fn figure7(group: &SampleGroup, seed: u64, threads: usize, ip: bool) {
         )
     };
     let (exp, ctl) = m.run_both_threads(group, seed, threads);
+    registry.merge(&exp.metrics);
+    registry.merge(&ctl.metrics);
     println!("{label}");
     println!("new_conns  experiment_cdf  control_cdf");
     let (ecdf, ccdf) = (exp.cdf(), ctl.cdf());
@@ -796,9 +883,10 @@ fn figure7(group: &SampleGroup, seed: u64, threads: usize, ip: bool) {
     );
 }
 
-fn passive(group: &SampleGroup, seed: u64, mode: DeploymentMode) {
+fn passive(group: &SampleGroup, seed: u64, mode: DeploymentMode, registry: &mut Registry) {
     let p = PassivePipeline::new(mode);
     let r = p.run(group, seed);
+    r.record_into(registry);
     let label = match mode {
         DeploymentMode::IpAligned => "§5.2 passive (IP alignment)",
         DeploymentMode::OriginFrames => "§5.3 passive (ORIGIN frames)",
@@ -847,9 +935,11 @@ fn figure8(group: &SampleGroup, seed: u64) {
     );
 }
 
-fn figure9_bottom(group: &SampleGroup, seed: u64, threads: usize) {
+fn figure9_bottom(group: &SampleGroup, seed: u64, threads: usize, registry: &mut Registry) {
     let (exp, ctl) =
         ActiveMeasurement::origin_experiment().run_both_threads(group, seed ^ 0xF9, threads);
+    registry.merge(&exp.metrics);
+    registry.merge(&ctl.metrics);
     println!("Figure 9 (bottom): measured PLT at the deployment CDN");
     print_cdf_quantiles("Control", &Cdf::from_samples(&ctl.plt_ms));
     print_cdf_quantiles("Experiment", &Cdf::from_samples(&exp.plt_ms));

@@ -13,6 +13,7 @@ use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
 use origin_core::certplan::{plan_site, EffectiveChanges, PlanSummary};
 use origin_core::characterize::Characterization;
 use origin_core::model::{predict, CoalescingGrouping};
+use origin_metrics::Registry;
 use origin_netsim::SimRng;
 use origin_webgen::{Dataset, DatasetConfig, SiteConfig, PROVIDERS};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -75,6 +76,10 @@ pub struct CrawlResults {
     pub plan: PlanSummary,
     /// Per-provider most-effective changes (Table 9).
     pub effective: EffectiveChanges,
+    /// Work counters and simulated phase totals for the whole crawl
+    /// (`crawl.*`, `browser.*`, `dns.*`, `certplan.*`, `sim.*`).
+    /// Deterministic across thread counts.
+    pub metrics: Registry,
 }
 
 /// One shard's worth of crawl output: every accumulator a worker fills
@@ -88,6 +93,7 @@ struct ShardAccum {
     model_cdn_plt: Vec<f64>,
     plan: PlanSummary,
     effective: EffectiveChanges,
+    metrics: Registry,
 }
 
 impl ShardAccum {
@@ -100,6 +106,7 @@ impl ShardAccum {
             model_cdn_plt: Vec::new(),
             plan: PlanSummary::default(),
             effective: EffectiveChanges::new(),
+            metrics: Registry::new(),
         }
     }
 
@@ -111,6 +118,7 @@ impl ShardAccum {
         self.model_cdn_plt.extend(other.model_cdn_plt);
         self.plan.merge(other.plan);
         self.effective.merge(other.effective);
+        self.metrics.merge(&other.metrics);
     }
 }
 
@@ -126,7 +134,8 @@ fn crawl_site(dataset: &Dataset, loader: &PageLoader, site: &SiteConfig, acc: &m
     let mut env = UniverseEnv::new(dataset);
     env.flush_dns();
     let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
-    let load = loader.load(&page, &mut env, &mut rng);
+    let load = loader.load_instrumented(&page, &mut env, &mut rng, Some(&mut acc.metrics));
+    env.resolver_stats().record_into(&mut acc.metrics);
     acc.characterization.add(&page, &load);
     acc.measured
         .push(load.dns_queries(), load.tls_connections(), load.plt());
@@ -232,6 +241,10 @@ pub fn run_crawl_threads(sites: u32, seed: u64, threads: usize) -> CrawlResults 
         total.merge(acc);
     }
 
+    // Crawl-wide totals recorded once, after the rank-ordered merge.
+    total.characterization.record_into(&mut total.metrics);
+    total.plan.record_into(&mut total.metrics);
+
     CrawlResults {
         dataset,
         characterization: total.characterization,
@@ -241,6 +254,7 @@ pub fn run_crawl_threads(sites: u32, seed: u64, threads: usize) -> CrawlResults 
         model_cdn_plt: total.model_cdn_plt,
         plan: total.plan,
         effective: total.effective,
+        metrics: total.metrics,
     }
 }
 

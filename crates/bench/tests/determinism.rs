@@ -71,6 +71,40 @@ fn crawl_identical_across_thread_counts() {
 }
 
 #[test]
+fn crawl_metrics_json_identical_across_thread_counts() {
+    // The serialized registry — counters, histograms, AND the
+    // simulated phase totals — must be byte-identical for any thread
+    // count. This is what lets CI `cmp` two `--metrics` exports and
+    // what makes the perf-gate baseline machine-independent. The lib
+    // never records wall-clock runtime_ms, so the raw JSON compares.
+    let one = run_crawl_threads(SITES, SEED, 1).metrics.to_json();
+    let two = run_crawl_threads(SITES, SEED, 2).metrics.to_json();
+    let eight = run_crawl_threads(SITES, SEED, 8).metrics.to_json();
+    assert!(!one.is_empty());
+    assert_eq!(one, two, "metrics JSON: 1 vs 2 threads");
+    assert_eq!(one, eight, "metrics JSON: 1 vs 8 threads");
+}
+
+#[test]
+fn crawl_metrics_cover_every_pipeline_stage() {
+    let r = run_crawl_threads(SITES, SEED, 1);
+    for key in [
+        "crawl.pages",
+        "browser.requests",
+        "browser.connections_opened",
+        "dns.lookups",
+        "certplan.sites",
+    ] {
+        assert!(r.metrics.counter(key) > 0, "missing counter {key}");
+    }
+    assert_eq!(r.metrics.counter("crawl.pages"), r.characterization.pages);
+    assert_eq!(
+        r.metrics.counter("crawl.requests"),
+        r.characterization.total_requests
+    );
+}
+
+#[test]
 fn active_measurement_identical_across_thread_counts() {
     let mut rng = SimRng::seed_from_u64(0xAC7);
     let group = SampleGroup::build(600, &mut rng);
@@ -82,6 +116,13 @@ fn active_measurement_identical_across_thread_counts() {
     assert_eq!(seq.plt_ms, four.plt_ms, "sequential vs 4 threads");
     assert_eq!(seq.fraction_with(0), four.fraction_with(0));
     assert_eq!(seq.cdf(), four.cdf());
+    // Per-visit metrics shard and merge on the same rank-ordered
+    // spine as the sample vectors.
+    let json = seq.metrics.to_json();
+    assert!(!json.is_empty());
+    assert_eq!(json, one.metrics.to_json(), "metrics: sequential vs 1");
+    assert_eq!(json, four.metrics.to_json(), "metrics: sequential vs 4");
+    assert!(seq.metrics.counter("cdn.active.visits") > 0);
 }
 
 #[test]

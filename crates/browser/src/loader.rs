@@ -12,7 +12,7 @@ use crate::env::WebEnv;
 use crate::policy::BrowserKind;
 use crate::pool::{ConnectionPool, PoolPartition, PooledConnection, ReuseDecision};
 use origin_netsim::link::INIT_CWND;
-use origin_netsim::{HandshakeModel, SimRng, SimTime, TlsVersion};
+use origin_netsim::{HandshakeModel, SimDuration, SimRng, SimTime, TlsVersion};
 use origin_web::har::{PageLoad, Phase, RequestTiming};
 use origin_web::{Page, Protocol};
 use std::net::{IpAddr, Ipv4Addr};
@@ -73,6 +73,33 @@ impl PageLoader {
     /// Simulate one page load. The environment's DNS cache should be
     /// flushed beforehand to match the paper's fresh-session method.
     pub fn load(&self, page: &Page, env: &mut dyn WebEnv, rng: &mut SimRng) -> PageLoad {
+        self.load_instrumented(page, env, rng, None)
+    }
+
+    /// Like [`PageLoader::load`] but also folds the load's work
+    /// counters and simulated phase times into `metrics`.
+    ///
+    /// Everything recorded is derived from the returned [`PageLoad`]
+    /// alone, per page, so the registry contents are independent of
+    /// how pages are sharded across crawl workers. Per-request
+    /// floating-point phase values are rounded to integer microseconds
+    /// *before* accumulation — summing f64s across differently-chunked
+    /// shards would not be associative.
+    pub fn load_instrumented(
+        &self,
+        page: &Page,
+        env: &mut dyn WebEnv,
+        rng: &mut SimRng,
+        metrics: Option<&mut origin_metrics::Registry>,
+    ) -> PageLoad {
+        let load = self.load_inner(page, env, rng);
+        if let Some(metrics) = metrics {
+            record_page_metrics(&load, metrics);
+        }
+        load
+    }
+
+    fn load_inner(&self, page: &Page, env: &mut dyn WebEnv, rng: &mut SimRng) -> PageLoad {
         let mut pool = ConnectionPool::new();
         let mut timings: Vec<RequestTiming> = Vec::with_capacity(page.resources.len());
         // start_available[i]: earliest time resource i can dispatch.
@@ -358,6 +385,45 @@ impl PageLoader {
             extra_dns,
         }
     }
+}
+
+/// Upper bounds (inclusive) for the per-page connection histogram.
+const CONNS_PER_PAGE_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
+
+/// Derive `browser.*` counters and `sim.*` phase totals from one
+/// completed page load.
+fn record_page_metrics(load: &PageLoad, metrics: &mut origin_metrics::Registry) {
+    let mut opened = 0u64;
+    let mut coalesced = 0u64;
+    let mut pool_reuse = 0u64;
+    let mut dns_queries = 0u64;
+    for r in &load.requests {
+        opened += r.new_connection as u64 + r.extra_connections as u64;
+        coalesced += r.coalesced as u64;
+        // A request that neither opened nor coalesced rode an existing
+        // same-host connection (failed N/A requests use no network).
+        pool_reuse += (!r.new_connection && !r.coalesced && r.protocol != Protocol::NA) as u64;
+        dns_queries += r.did_dns as u64 + r.extra_dns as u64;
+        metrics.record_phase("sim.dns", SimDuration::from_millis_f64(r.phase.dns));
+        metrics.record_phase("sim.connect", SimDuration::from_millis_f64(r.phase.connect));
+        metrics.record_phase("sim.tls", SimDuration::from_millis_f64(r.phase.ssl));
+        metrics.record_phase(
+            "sim.transfer",
+            SimDuration::from_millis_f64(r.phase.send + r.phase.wait + r.phase.receive),
+        );
+        metrics.record_phase("sim.blocked", SimDuration::from_millis_f64(r.phase.blocked));
+    }
+    metrics.add("browser.requests", load.requests.len() as u64);
+    metrics.add("browser.connections_opened", opened);
+    metrics.add("browser.coalesced_requests", coalesced);
+    metrics.add("browser.pool_reuse", pool_reuse);
+    metrics.add("browser.dns_queries", dns_queries);
+    metrics.observe(
+        "browser.connections_per_page",
+        CONNS_PER_PAGE_BOUNDS,
+        opened,
+    );
+    metrics.record_phase("sim.page", SimDuration::from_millis_f64(load.plt()));
 }
 
 #[cfg(test)]

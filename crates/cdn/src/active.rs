@@ -11,8 +11,10 @@ use crate::env::{CdnEnv, DeploymentMode};
 use crate::sample::{SampleGroup, Treatment, THIRD_PARTY_HOST};
 use origin_browser::{BrowserKind, PageLoader};
 use origin_dns::name::name;
+use origin_metrics::Registry;
 use origin_netsim::SimRng;
 use origin_stats::{Cdf, Histogram};
+use origin_web::Page;
 
 /// Outcome of one arm of the active measurement.
 #[derive(Debug, Clone)]
@@ -21,16 +23,40 @@ pub struct ActiveResult {
     pub new_connections: Histogram,
     /// Page load times across the arm's visits (Figure 9 bottom).
     pub plt_ms: Vec<f64>,
+    /// Work counters for the arm (`cdn.active.*`, `browser.*`,
+    /// `sim.*`); every field merges commutatively.
+    pub metrics: Registry,
 }
 
 impl ActiveResult {
+    fn empty() -> Self {
+        ActiveResult {
+            new_connections: Histogram::new(),
+            plt_ms: Vec::new(),
+            metrics: Registry::new(),
+        }
+    }
+
     /// Fold another shard's arm results into this one. PLTs
     /// concatenate in call order, so merging visit-ordered shards in
-    /// order reproduces the sequential series; the histogram is a
-    /// commutative counter.
+    /// order reproduces the sequential series; the histogram and
+    /// metrics registry are commutative counters.
     pub fn merge(&mut self, other: ActiveResult) {
         self.new_connections.merge(&other.new_connections);
         self.plt_ms.extend(other.plt_ms);
+        self.metrics.merge(&other.metrics);
+    }
+
+    fn record_visit(&mut self, page: &Page, load: &origin_web::PageLoad) {
+        self.metrics.inc("cdn.active.visits");
+        let coalesced_bytes: u64 = load
+            .requests
+            .iter()
+            .filter(|r| r.coalesced)
+            .map(|r| page.resources[r.resource_index].size)
+            .sum();
+        self.metrics
+            .add("cdn.active.coalesced_bytes", coalesced_bytes);
     }
 
     /// Fraction of visits with exactly `n` new connections.
@@ -94,20 +120,20 @@ impl ActiveMeasurement {
     pub fn run(&self, group: &SampleGroup, treatment: Treatment, seed: u64) -> ActiveResult {
         let mut env = CdnEnv::new(group, self.mode);
         let loader = PageLoader::new(self.browser);
-        let mut hist = Histogram::new();
-        let mut plts = Vec::new();
+        let mut result = ActiveResult::empty();
         let third_party = name(THIRD_PARTY_HOST);
         for site in group.arm(treatment) {
             let page = site.page();
             let mut rng = SimRng::seed_from_u64(seed ^ site.page_seed);
-            let load = loader.load(&page, &mut env, &mut rng);
-            hist.add(load.new_connections_to(&third_party));
-            plts.push(load.plt());
+            let load =
+                loader.load_instrumented(&page, &mut env, &mut rng, Some(&mut result.metrics));
+            result
+                .new_connections
+                .add(load.new_connections_to(&third_party));
+            result.plt_ms.push(load.plt());
+            result.record_visit(&page, &load);
         }
-        ActiveResult {
-            new_connections: hist,
-            plt_ms: plts,
-        }
+        result
     }
 
     /// Run both arms.
@@ -158,18 +184,21 @@ impl ActiveMeasurement {
                         // (merge identity).
                         let start = (chunk * chunk_size).min(sites.len());
                         let end = (start + chunk_size).min(sites.len());
-                        let mut result = ActiveResult {
-                            new_connections: Histogram::new(),
-                            plt_ms: Vec::new(),
-                        };
+                        let mut result = ActiveResult::empty();
                         for site in &sites[start..end] {
                             let page = site.page();
                             let mut rng = SimRng::seed_from_u64(seed ^ site.page_seed);
-                            let load = loader.load(&page, &mut env, &mut rng);
+                            let load = loader.load_instrumented(
+                                &page,
+                                &mut env,
+                                &mut rng,
+                                Some(&mut result.metrics),
+                            );
                             result
                                 .new_connections
                                 .add(load.new_connections_to(&third_party));
                             result.plt_ms.push(load.plt());
+                            result.record_visit(&page, &load);
                         }
                         *slots[chunk].lock().unwrap() = Some(result);
                     }
@@ -177,10 +206,7 @@ impl ActiveMeasurement {
             }
         });
 
-        let mut total = ActiveResult {
-            new_connections: Histogram::new(),
-            plt_ms: Vec::new(),
-        };
+        let mut total = ActiveResult::empty();
         for slot in slots {
             let r = slot.into_inner().unwrap().expect("every chunk completed");
             total.merge(r);
@@ -211,6 +237,19 @@ impl ActiveMeasurement {
     ///
     /// Returns the number of sites whose wire behaviour matched.
     pub fn wire_spot_check(&self, group: &SampleGroup, n: usize) -> usize {
+        self.wire_spot_check_metrics(group, n, None)
+    }
+
+    /// Like [`ActiveMeasurement::wire_spot_check`] but also folds the
+    /// client- and edge-side h2 frame work into `metrics` — the only
+    /// place real ORIGIN frames cross a wire in the pipeline, and thus
+    /// the source of the registry's `h2.*` counters.
+    pub fn wire_spot_check_metrics(
+        &self,
+        group: &SampleGroup,
+        n: usize,
+        mut metrics: Option<&mut Registry>,
+    ) -> usize {
         use origin_h2::{Connection, Settings};
         let origin_mode = self.mode == DeploymentMode::OriginFrames;
         let mut matched = 0;
@@ -236,6 +275,11 @@ impl ActiveMeasurement {
             let cert_covers = site.cert.covers(&name(THIRD_PARTY_HOST));
             if wire_allows == expected && cert_covers == (site.treatment == Treatment::Experiment) {
                 matched += 1;
+            }
+            if let Some(metrics) = metrics.as_deref_mut() {
+                client.record_metrics(metrics);
+                edge.conn.record_metrics(metrics);
+                metrics.inc("cdn.wire_checks");
             }
         }
         matched

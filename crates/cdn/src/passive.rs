@@ -105,6 +105,28 @@ impl PassiveReport {
         let ctl_rate = self.control_tp_connections as f64 / self.control_visits as f64;
         1.0 - exp_rate / ctl_rate
     }
+
+    /// Export the pipeline's counters into a metrics registry under
+    /// `cdn.passive.*`.
+    pub fn record_into(&self, metrics: &mut origin_metrics::Registry) {
+        metrics.add("cdn.passive.sampled_records", self.sampled_records);
+        metrics.add(
+            "cdn.passive.experiment_tp_connections",
+            self.experiment_tp_connections,
+        );
+        metrics.add(
+            "cdn.passive.control_tp_connections",
+            self.control_tp_connections,
+        );
+        metrics.add(
+            "cdn.passive.coalesced_connections",
+            self.coalesced_connections,
+        );
+        metrics.add(
+            "cdn.passive.visits",
+            self.experiment_visits + self.control_visits,
+        );
+    }
 }
 
 /// The passive pipeline: visit simulation + sampling + collection.

@@ -132,6 +132,16 @@ impl PlanSummary {
         self.san_less_needing_changes += other.san_less_needing_changes;
     }
 
+    /// Export the plan totals into a metrics registry under
+    /// `certplan.*`.
+    pub fn record_into(&self, metrics: &mut origin_metrics::Registry) {
+        metrics.add("certplan.sites", self.total_sites);
+        metrics.add("certplan.unchanged_sites", self.unchanged_sites);
+        metrics.add("certplan.san_less_sites", self.san_less_sites);
+        let additions: u64 = self.changes.bins().map(|(v, c)| v * c).sum();
+        metrics.add("certplan.san_additions", additions);
+    }
+
     /// Fraction of sites needing no change (paper: 62.41%).
     pub fn unchanged_fraction(&self) -> f64 {
         if self.total_sites == 0 {

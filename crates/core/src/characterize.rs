@@ -142,6 +142,15 @@ impl Characterization {
         self.total_requests += other.total_requests;
     }
 
+    /// Export the crawl-wide counters into a metrics registry under
+    /// `crawl.*`.
+    pub fn record_into(&self, metrics: &mut origin_metrics::Registry) {
+        metrics.add("crawl.pages", self.pages);
+        metrics.add("crawl.requests", self.total_requests);
+        metrics.add("crawl.secure_requests", self.secure_requests);
+        metrics.add("crawl.insecure_requests", self.insecure_requests);
+    }
+
     /// Table 1 rows in bucket order, plus the whole-dataset row.
     pub fn table1(&self) -> Vec<Table1Row> {
         let mut buckets: Vec<u32> = self.buckets.keys().copied().collect();

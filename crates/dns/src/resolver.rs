@@ -40,6 +40,22 @@ pub struct ResolverStats {
     pub nxdomain: u64,
 }
 
+impl ResolverStats {
+    /// Total lookups served (cache hits plus network queries).
+    pub fn lookups(&self) -> u64 {
+        self.cache_hits + self.network_queries
+    }
+
+    /// Export the counters into a metrics registry under `dns.*`.
+    pub fn record_into(&self, metrics: &mut origin_metrics::Registry) {
+        metrics.add("dns.lookups", self.lookups());
+        metrics.add("dns.cache_hits", self.cache_hits);
+        metrics.add("dns.cache_misses", self.network_queries);
+        metrics.add("dns.plaintext_queries", self.plaintext_queries);
+        metrics.add("dns.nxdomain", self.nxdomain);
+    }
+}
+
 /// The result of one resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryAnswer {

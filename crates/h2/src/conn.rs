@@ -131,6 +131,24 @@ pub struct ServerConfig {
     pub authorized: Vec<String>,
 }
 
+/// Frame-level work counters for one connection.
+///
+/// Plain monotonic `u64`s so shard merges stay commutative; the
+/// loader and edge harnesses fold these into an
+/// [`origin_metrics::Registry`] via [`Connection::record_metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Frames written to the outgoing buffer.
+    pub frames_encoded: u64,
+    /// Frames parsed from the peer.
+    pub frames_decoded: u64,
+    /// ORIGIN frames this endpoint sent (servers).
+    pub origin_frames_sent: u64,
+    /// ORIGIN frames this (client) endpoint accepted into its origin
+    /// set. Servers ignore ORIGIN (RFC 8336 §2), so theirs stay 0.
+    pub origin_frames_received: u64,
+}
+
 /// A sans-IO HTTP/2 connection endpoint.
 pub struct Connection {
     role: Role,
@@ -157,6 +175,8 @@ pub struct Connection {
     /// Count of ORIGIN frames sent (server) or received (client);
     /// the passive-measurement pipeline reads this.
     pub origin_frames: u64,
+    /// Frame-level work counters (metrics export).
+    pub stats: ConnStats,
     /// Stream priority tree (RFC 7540 §5.3), fed by PRIORITY frames
     /// and HEADERS priority fields; servers consult it to order
     /// response transmission (the §6.1 scheduling opportunity).
@@ -185,6 +205,8 @@ impl Connection {
         if let Some(set) = &config.origin_set {
             set.to_frame().encode(&mut c.send_buf);
             c.origin_frames += 1;
+            c.stats.frames_encoded += 1;
+            c.stats.origin_frames_sent += 1;
         }
         c.server = Some(config);
         c
@@ -212,6 +234,7 @@ impl Connection {
             origin_state: None,
             server: None,
             origin_frames: 0,
+            stats: ConnStats::default(),
             priorities: PriorityTree::new(),
         }
     }
@@ -272,12 +295,29 @@ impl Connection {
         self.send_buf.len()
     }
 
+    /// Fold this connection's frame and HPACK work into a metrics
+    /// registry under `h2.*`.
+    pub fn record_metrics(&self, metrics: &mut origin_metrics::Registry) {
+        metrics.add("h2.frames_encoded", self.stats.frames_encoded);
+        metrics.add("h2.frames_decoded", self.stats.frames_decoded);
+        metrics.add("h2.origin_frames_sent", self.stats.origin_frames_sent);
+        metrics.add(
+            "h2.origin_frames_accepted",
+            self.stats.origin_frames_received,
+        );
+        metrics.add(
+            "h2.hpack_evictions",
+            self.hpack_enc.evictions() + self.hpack_dec.evictions(),
+        );
+    }
+
     fn send_settings(&mut self) {
         Frame::Settings {
             ack: false,
             params: self.local_settings.to_params(),
         }
         .encode(&mut self.send_buf);
+        self.stats.frames_encoded += 1;
     }
 
     // ---- sending ----
@@ -339,6 +379,7 @@ impl Connection {
                 priority: None,
             }
             .encode(&mut self.send_buf);
+            self.stats.frames_encoded += 1;
             return;
         }
         let mut rest = fragment;
@@ -351,6 +392,7 @@ impl Connection {
             priority: None,
         }
         .encode(&mut self.send_buf);
+        self.stats.frames_encoded += 1;
         while rest.len() > max {
             let chunk = rest.split_to(max);
             Frame::Continuation {
@@ -359,6 +401,7 @@ impl Connection {
                 end_headers: false,
             }
             .encode(&mut self.send_buf);
+            self.stats.frames_encoded += 1;
         }
         Frame::Continuation {
             stream,
@@ -366,6 +409,7 @@ impl Connection {
             end_headers: true,
         }
         .encode(&mut self.send_buf);
+        self.stats.frames_encoded += 1;
     }
 
     /// Server: send a complete response in one HEADERS (+ optional
@@ -433,6 +477,7 @@ impl Connection {
                             end_stream: true,
                         }
                         .encode(&mut self.send_buf);
+                        self.stats.frames_encoded += 1;
                         rec.state = rec.state.on_send_end_stream();
                     }
                     break;
@@ -452,6 +497,7 @@ impl Connection {
                     end_stream: item.end_stream && last,
                 }
                 .encode(&mut self.send_buf);
+                self.stats.frames_encoded += 1;
                 if last {
                     if item.end_stream {
                         rec.state = rec.state.on_send_end_stream();
@@ -470,6 +516,7 @@ impl Connection {
             payload,
         }
         .encode(&mut self.send_buf);
+        self.stats.frames_encoded += 1;
     }
 
     /// Send GOAWAY and mark the connection closing.
@@ -481,6 +528,7 @@ impl Connection {
             debug: Bytes::new(),
         }
         .encode(&mut self.send_buf);
+        self.stats.frames_encoded += 1;
         self.goaway_sent = true;
     }
 
@@ -490,6 +538,8 @@ impl Connection {
         assert_eq!(self.role, Role::Server, "only servers send ORIGIN");
         set.to_frame().encode(&mut self.send_buf);
         self.origin_frames += 1;
+        self.stats.frames_encoded += 1;
+        self.stats.origin_frames_sent += 1;
     }
 
     /// Is `authority` one this server is configured to serve?
@@ -527,6 +577,7 @@ impl Connection {
         }
         let mut events = Vec::new();
         while let Some(frame) = self.decoder.decode(&mut self.recv_buf)? {
+            self.stats.frames_decoded += 1;
             self.handle_frame(frame, &mut events)?;
         }
         Ok(events)
@@ -554,6 +605,7 @@ impl Connection {
                         params: vec![],
                     }
                     .encode(&mut self.send_buf);
+                    self.stats.frames_encoded += 1;
                     events.push(Event::SettingsReceived);
                 }
             }
@@ -562,6 +614,7 @@ impl Connection {
                     events.push(Event::PongReceived);
                 } else {
                     Frame::Ping { ack: true, payload }.encode(&mut self.send_buf);
+                    self.stats.frames_encoded += 1;
                     events.push(Event::PingReceived);
                 }
             }
@@ -644,6 +697,7 @@ impl Connection {
                         increment: inc,
                     }
                     .encode(&mut self.send_buf);
+                    self.stats.frames_encoded += 1;
                 }
                 if self.conn_recv_window < 32_768 {
                     let inc = (65_535 - self.conn_recv_window) as u32;
@@ -653,6 +707,7 @@ impl Connection {
                         increment: inc,
                     }
                     .encode(&mut self.send_buf);
+                    self.stats.frames_encoded += 1;
                 }
                 events.push(Event::Data {
                     stream,
@@ -689,6 +744,7 @@ impl Connection {
                         st.on_origin_frame(&origins);
                     }
                     self.origin_frames += 1;
+                    self.stats.origin_frames_received += 1;
                     events.push(Event::OriginReceived { origins });
                 }
             }
@@ -706,6 +762,7 @@ impl Connection {
                     code: ErrorCode::RefusedStream,
                 }
                 .encode(&mut self.send_buf);
+                self.stats.frames_encoded += 1;
             }
             Frame::Priority { stream, spec } => {
                 self.priorities.apply(stream, spec);

@@ -166,6 +166,11 @@ impl Encoder {
         self.dynamic.size()
     }
 
+    /// Lifetime count of dynamic-table evictions on the encode side.
+    pub fn evictions(&self) -> u64 {
+        self.dynamic.evictions()
+    }
+
     /// Encode a header list into one header block.
     pub fn encode(&mut self, headers: &[Header]) -> Vec<u8> {
         let mut out = Vec::with_capacity(headers.len() * 16);
@@ -240,6 +245,11 @@ impl Decoder {
     /// Current dynamic table occupancy in octets.
     pub fn table_size(&self) -> usize {
         self.dynamic.size()
+    }
+
+    /// Lifetime count of dynamic-table evictions on the decode side.
+    pub fn evictions(&self) -> u64 {
+        self.dynamic.evictions()
     }
 
     /// Decode one complete header block.

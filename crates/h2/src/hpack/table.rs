@@ -90,6 +90,7 @@ pub struct DynamicTable {
     entries: VecDeque<Entry>,
     size: usize,
     max_size: usize,
+    evictions: u64,
 }
 
 impl DynamicTable {
@@ -99,7 +100,14 @@ impl DynamicTable {
             entries: VecDeque::new(),
             size: 0,
             max_size,
+            evictions: 0,
         }
+    }
+
+    /// Number of entries dropped by size-based eviction over the
+    /// table's lifetime (including RFC 7541 §4.4 whole-table clears).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Current occupied size in octets.
@@ -133,6 +141,7 @@ impl DynamicTable {
     pub fn insert(&mut self, entry: Entry) {
         let sz = entry.size();
         if sz > self.max_size {
+            self.evictions += self.entries.len() as u64;
             self.entries.clear();
             self.size = 0;
             return;
@@ -163,6 +172,7 @@ impl DynamicTable {
         while self.size > self.max_size {
             let e = self.entries.pop_back().expect("size>0 implies entries");
             self.size -= e.size();
+            self.evictions += 1;
         }
     }
 }

@@ -50,7 +50,7 @@ pub mod priority;
 pub mod settings;
 pub mod stream;
 
-pub use conn::{Connection, Event, Role};
+pub use conn::{ConnStats, Connection, Event, Role};
 pub use error::{ErrorCode, FrameError, H2Error};
 pub use frame::{Frame, FrameDecoder, FrameHeader, FrameType};
 pub use origin::{OriginEntry, OriginSet};

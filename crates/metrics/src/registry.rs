@@ -1,0 +1,306 @@
+//! The metric registry.
+
+use crate::hist::FixedHistogram;
+use origin_netsim::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Accumulated simulated time spent in a named phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Total simulated time across intervals.
+    pub total: SimDuration,
+}
+
+/// A set of named metrics with commutative, shard-mergeable
+/// accumulation.
+///
+/// Counters, histograms and phase totals hold only integers, so
+/// merging shards in any order — or not sharding at all — produces
+/// identical values. `runtime_ms` holds wall-clock milliseconds and
+/// is exported as a separate top-level JSON section so determinism
+/// checks can strip it (`jq 'del(.runtime_ms)'`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, FixedHistogram>,
+    phases: BTreeMap<String, PhaseStat>,
+    runtime_ms: BTreeMap<String, f64>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if n == 0 && !self.counters.contains_key(name) {
+            // Still materialise the key so a zero counter appears in
+            // the export — absent and zero must serialise identically
+            // across shardings.
+            self.counters.insert(name.to_string(), 0);
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Increment the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record an observation into the named fixed-bucket histogram,
+    /// creating it with `bounds` on first use. Later calls must pass
+    /// the same bounds (enforced on merge and on observe).
+    pub fn observe(&mut self, name: &str, bounds: &[u64], value: u64) {
+        let h = self
+            .hists
+            .entry(name.to_string())
+            .or_insert_with(|| FixedHistogram::new(bounds));
+        assert_eq!(h.bounds(), bounds, "histogram {name} bounds changed");
+        h.observe(value);
+    }
+
+    /// The named histogram, when it has been observed into.
+    pub fn histogram(&self, name: &str) -> Option<&FixedHistogram> {
+        self.hists.get(name)
+    }
+
+    /// Add one interval of simulated time to the named phase.
+    pub fn record_phase(&mut self, name: &str, elapsed: SimDuration) {
+        let p = self.phases.entry(name.to_string()).or_default();
+        p.count += 1;
+        p.total += elapsed;
+    }
+
+    /// The named phase total, when recorded.
+    pub fn phase(&self, name: &str) -> Option<PhaseStat> {
+        self.phases.get(name).copied()
+    }
+
+    /// Set a wall-clock runtime entry (milliseconds). Not merged by
+    /// shard discipline — the driver sets these once per run; they are
+    /// excluded from determinism comparison.
+    pub fn set_runtime_ms(&mut self, name: &str, ms: f64) {
+        self.runtime_ms.insert(name.to_string(), ms);
+    }
+
+    /// Fold another registry into this one. Deterministic sections
+    /// merge by integer addition (commutative and associative, so any
+    /// shard order yields the same result); `runtime_ms` entries are
+    /// taken from `other` only when absent here.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, &v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.hists {
+            match self.hists.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.hists.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        for (name, p) in &other.phases {
+            let mine = self.phases.entry(name.clone()).or_default();
+            mine.count += p.count;
+            mine.total += p.total;
+        }
+        for (name, &ms) in &other.runtime_ms {
+            self.runtime_ms.entry(name.clone()).or_insert(ms);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.phases.is_empty()
+            && self.runtime_ms.is_empty()
+    }
+
+    /// Iterate `(name, value)` over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Serialise to JSON. BTreeMap ordering plus integer-only
+    /// deterministic sections make the output byte-identical across
+    /// runs and thread counts; `runtime_ms` is a sibling top-level key
+    /// so `jq 'del(.runtime_ms)'` removes every wall-clock value.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{name}\": {v}");
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (name, h) in &self.hists {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{name}\": {{\"bounds\": {}, \"counts\": {}, \"count\": {}, \"sum\": {}}}",
+                json_u64_array(h.bounds()),
+                json_u64_array(h.counts()),
+                h.count(),
+                h.sum()
+            );
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"phases\": {");
+        first = true;
+        for (name, p) in &self.phases {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{name}\": {{\"count\": {}, \"total_us\": {}}}",
+                p.count,
+                p.total.as_micros()
+            );
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"runtime_ms\": {");
+        first = true;
+        for (name, ms) in &self.runtime_ms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{name}\": {ms:.3}");
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn json_u64_array(xs: &[u64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{x}");
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.inc("a");
+        r.add("a", 4);
+        r.add("b", 0);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("b"), 0);
+        assert_eq!(r.counter("missing"), 0);
+        // Zero-add materialises the key so exports are shard-stable.
+        assert!(r.to_json().contains("\"b\": 0"));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut r = Registry::new();
+        r.add("x", 7);
+        r.observe("h", &[1, 10], 3);
+        r.record_phase("p", SimDuration::from_millis(2));
+        let snapshot = r.clone();
+        r.merge(&Registry::new());
+        assert_eq!(r, snapshot);
+
+        let mut empty = Registry::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn merge_is_commutative_on_output() {
+        let mut a = Registry::new();
+        a.add("x", 2);
+        a.observe("h", &[5], 1);
+        a.record_phase("p", SimDuration::from_micros(10));
+        let mut b = Registry::new();
+        b.add("x", 3);
+        b.add("y", 1);
+        b.observe("h", &[5], 9);
+        b.record_phase("p", SimDuration::from_micros(5));
+        b.record_phase("q", SimDuration::from_micros(1));
+
+        let mut ab = Registry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = Registry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.counter("x"), 5);
+        assert_eq!(ab.phase("p").unwrap().count, 2);
+        assert_eq!(ab.phase("p").unwrap().total, SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn json_shape_and_runtime_section() {
+        let mut r = Registry::new();
+        r.add("n.count", 2);
+        r.observe("lat", &[1, 2], 2);
+        r.record_phase("crawl", SimDuration::from_millis(1));
+        r.set_runtime_ms("total", 12.5);
+        let json = r.to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"n.count\": 2"));
+        assert!(json.contains(
+            "\"lat\": {\"bounds\": [1, 2], \"counts\": [0, 1, 0], \"count\": 1, \"sum\": 2}"
+        ));
+        assert!(json.contains("\"crawl\": {\"count\": 1, \"total_us\": 1000}"));
+        assert!(json.contains("\"runtime_ms\": {"));
+        assert!(json.contains("\"total\": 12.500"));
+        // Empty registry is still valid JSON with all four sections.
+        let empty = Registry::new().to_json();
+        for key in ["counters", "histograms", "phases", "runtime_ms"] {
+            assert!(empty.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn runtime_ms_does_not_merge_additively() {
+        let mut a = Registry::new();
+        a.set_runtime_ms("total", 10.0);
+        let mut b = Registry::new();
+        b.set_runtime_ms("total", 99.0);
+        b.set_runtime_ms("extra", 1.0);
+        a.merge(&b);
+        let json = a.to_json();
+        assert!(json.contains("\"total\": 10.000"));
+        assert!(json.contains("\"extra\": 1.000"));
+    }
+}

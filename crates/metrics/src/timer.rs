@@ -1,0 +1,68 @@
+//! Phase timers over simulated time.
+
+use crate::registry::Registry;
+use origin_netsim::SimTime;
+
+/// Measures one interval of *simulated* time for a named phase.
+///
+/// Keyed on [`SimTime`] rather than wall-clock so the recorded
+/// duration is a property of the workload, not the machine: the same
+/// crawl records the same phase totals on any host at any thread
+/// count. Wall-clock runtime belongs in
+/// [`Registry::set_runtime_ms`] instead.
+///
+/// ```
+/// use origin_metrics::{PhaseTimer, Registry};
+/// use origin_netsim::SimTime;
+///
+/// let mut reg = Registry::new();
+/// let t = PhaseTimer::start("dns", SimTime::from_millis(10));
+/// t.stop(SimTime::from_millis(35), &mut reg);
+/// assert_eq!(reg.phase("dns").unwrap().total.as_micros(), 25_000);
+/// ```
+#[derive(Debug)]
+#[must_use = "a started timer records nothing until stopped"]
+pub struct PhaseTimer {
+    name: String,
+    start: SimTime,
+}
+
+impl PhaseTimer {
+    /// Begin timing `name` at simulated instant `now`.
+    pub fn start(name: &str, now: SimTime) -> Self {
+        PhaseTimer {
+            name: name.to_string(),
+            start: now,
+        }
+    }
+
+    /// End the interval at simulated instant `now` and record it.
+    /// Saturates to zero when `now` precedes the start.
+    pub fn stop(self, now: SimTime, registry: &mut Registry) {
+        registry.record_phase(&self.name, now.since(self.start));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_netsim::SimDuration;
+
+    #[test]
+    fn records_elapsed_sim_time() {
+        let mut reg = Registry::new();
+        let t = PhaseTimer::start("phase", SimTime::from_micros(100));
+        t.stop(SimTime::from_micros(350), &mut reg);
+        let p = reg.phase("phase").unwrap();
+        assert_eq!(p.count, 1);
+        assert_eq!(p.total, SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn backwards_stop_saturates() {
+        let mut reg = Registry::new();
+        let t = PhaseTimer::start("phase", SimTime::from_micros(500));
+        t.stop(SimTime::from_micros(100), &mut reg);
+        assert_eq!(reg.phase("phase").unwrap().total, SimDuration::ZERO);
+    }
+}

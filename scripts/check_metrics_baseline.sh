@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI perf gate: compare the deterministic sections of a fresh
+# `repro --metrics` export against the committed baseline.
+#
+#   usage: check_metrics_baseline.sh <metrics.json> [baseline.json]
+#
+# Work counters (h2 frames decoded, DNS lookups, connections opened,
+# …), histograms, and simulated phase totals are byte-stable across
+# machines and thread counts, so ANY drift means the pipeline is doing
+# a different amount of work than the commit that last refreshed the
+# baseline. Wall-clock `runtime_ms` is stripped before comparing.
+#
+# Requires jq.
+set -euo pipefail
+
+metrics=${1:?usage: check_metrics_baseline.sh <metrics.json> [baseline.json]}
+baseline=${2:-$(dirname "$0")/../reports/metrics_baseline.json}
+
+if diff -u \
+    <(jq -S 'del(.runtime_ms)' "$baseline") \
+    <(jq -S 'del(.runtime_ms)' "$metrics"); then
+    echo "perf gate: work counters match $baseline"
+else
+    cat >&2 <<'EOF'
+
+perf gate FAILED: the pipeline's work counters drifted from
+reports/metrics_baseline.json (see diff above; left = baseline,
+right = this run).
+
+If the drift is an intended behaviour change, regenerate the committed
+baseline with scripts/refresh_reports.sh and include it in the same
+commit, explaining the counter movement in the commit message.
+EOF
+    exit 1
+fi

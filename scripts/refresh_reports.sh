@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate every committed reference artifact after an intentional
+# behaviour change:
+#
+#   reports/repro_full.txt        reference stdout (EXPERIMENTS.md numbers)
+#   reports/repro_full.log        reference stderr (progress + wire checks)
+#   reports/series.json           raw figure series for the same run
+#   reports/metrics_baseline.json deterministic work counters gated by CI
+#
+# The full reference run matches EXPERIMENTS.md (6,000 sites, seed
+# 0x0516, one thread — thread count only affects wall clock, but the
+# log banner prints it). The metrics baseline matches the flags the CI
+# perf-gate job uses, with wall-clock `runtime_ms` stripped so the
+# committed file is machine-independent.
+#
+# Requires jq. Run from anywhere; commits nothing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p origin-bench
+
+echo "refresh: full reference run (6000 sites)…" >&2
+target/release/repro --sites 6000 --threads 1 --json reports/series.json \
+    >reports/repro_full.txt 2>reports/repro_full.log
+
+echo "refresh: metrics baseline (perf-gate flags)…" >&2
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+target/release/repro --sites 500 --metrics "$tmp" >/dev/null 2>&1
+jq -S 'del(.runtime_ms)' "$tmp" >reports/metrics_baseline.json
+
+echo "refresh: done — review the diff, then commit reports/" >&2
