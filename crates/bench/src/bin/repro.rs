@@ -24,7 +24,7 @@
 //!
 //! With no `--only`, everything is produced in paper order.
 
-use origin_bench::{asn_label, run_crawl_threads, CrawlResults};
+use origin_bench::{asn_label, run_crawl_traced, trace_site, CrawlResults};
 use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
 use origin_cdn::{
     ActiveMeasurement, DeploymentMode, LongitudinalRun, MiddleboxIncident, PassivePipeline,
@@ -36,6 +36,7 @@ use origin_netsim::SimRng;
 use origin_stats::table::{pct_change, TextTable};
 use origin_stats::Cdf;
 use origin_tls::CtLogSet;
+use origin_trace::{Sampler, Tracer};
 
 struct Args {
     sites: u32,
@@ -44,9 +45,12 @@ struct Args {
     only: Vec<String>,
     json: Option<String>,
     metrics: Option<String>,
+    trace: Option<String>,
+    sample: Sampler,
 }
 
-const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--only id...]";
+const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--only id...]
+       repro trace --site RANK [--format perfetto|har|ascii] [--sites N] [--seed S] [--out path]";
 
 /// Every id `--only` accepts.
 const ALL_IDS: &[&str] = &[
@@ -105,6 +109,8 @@ fn parse_args() -> Args {
         only: Vec::new(),
         json: None,
         metrics: None,
+        trace: None,
+        sample: Sampler::new(16),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.into_iter().peekable();
@@ -121,6 +127,14 @@ fn parse_args() -> Args {
                     it.next()
                         .unwrap_or_else(|| die("--metrics requires a path")),
                 )
+            }
+            "--trace" => {
+                args.trace = Some(it.next().unwrap_or_else(|| die("--trace requires a path")))
+            }
+            "--sample" => {
+                let raw = it.next().unwrap_or_else(|| die("--sample requires 1/N"));
+                args.sample = Sampler::parse(&raw)
+                    .unwrap_or_else(|| die(&format!("invalid value {raw:?} for --sample")));
             }
             "--only" => {
                 // Consume ids up to (but not including) the next flag.
@@ -170,8 +184,17 @@ fn timed(acc: &mut f64, f: impl FnOnce()) {
 }
 
 fn main() {
+    // `repro trace …` is a separate mode: one site, one exporter.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace") {
+        cmd_trace(&argv[1..]);
+        return;
+    }
     let args = parse_args();
     let mut registry = Registry::new();
+    // Whole-run trace buffer; filled along the way when `--trace` is
+    // given, exported at the end.
+    let mut run_trace: Option<Tracer> = args.trace.as_ref().map(|_| Tracer::new());
     let t_total = std::time::Instant::now();
     // Wall-clock per driver phase; the deterministic counterpart is
     // the registry's `sim.*` phase section.
@@ -188,16 +211,22 @@ fn main() {
     .iter()
     .any(|id| want(&args, id));
 
-    let crawl = needs_crawl.then(|| {
+    let mut crawl = needs_crawl.then(|| {
         eprintln!(
             "# crawling {} synthetic sites (seed {:#x}, {} threads)…",
             args.sites, args.seed, args.threads
         );
         let t = std::time::Instant::now();
-        let r = run_crawl_threads(args.sites, args.seed, args.threads);
+        let sampler = run_trace.is_some().then_some(args.sample);
+        let r = run_crawl_traced(args.sites, args.seed, args.threads, sampler.as_ref());
         ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
         r
     });
+    // Move the sampled crawl spans into the run trace buffer (the
+    // trace's shard merge already put them in rank order).
+    if let (Some(t), Some(r)) = (&mut run_trace, &mut crawl) {
+        t.merge(std::mem::replace(&mut r.trace, Tracer::new()));
+    }
 
     if let Some(r) = &crawl {
         registry.merge(&r.metrics);
@@ -277,11 +306,19 @@ fn main() {
         // Deterministic wire phase: real origin-h2 exchanges against
         // the edge — the registry's only source of `h2.*` counters.
         let wire_n = group.sites.len().min(200);
-        let wire = ActiveMeasurement::origin_experiment().wire_spot_check_metrics(
-            &group,
-            wire_n,
-            Some(&mut registry),
-        );
+        let wire = match &mut run_trace {
+            Some(t) => ActiveMeasurement::origin_experiment().wire_spot_check_traced(
+                &group,
+                wire_n,
+                Some(&mut registry),
+                t,
+            ),
+            None => ActiveMeasurement::origin_experiment().wire_spot_check_metrics(
+                &group,
+                wire_n,
+                Some(&mut registry),
+            ),
+        };
         eprintln!("# wire spot check: {wire}/{wire_n} sites consistent with the analytic model");
         if want(&args, "f6") {
             timed(&mut ms_active, || figure6(&group));
@@ -298,7 +335,13 @@ fn main() {
         }
         if want(&args, "passive-ip") {
             timed(&mut ms_passive, || {
-                passive(&group, args.seed, DeploymentMode::IpAligned, &mut registry)
+                passive(
+                    &group,
+                    args.seed,
+                    DeploymentMode::IpAligned,
+                    &mut registry,
+                    run_trace.as_mut(),
+                )
             });
         }
         if want(&args, "passive-origin") {
@@ -308,6 +351,7 @@ fn main() {
                     args.seed,
                     DeploymentMode::OriginFrames,
                     &mut registry,
+                    run_trace.as_mut(),
                 )
             });
         }
@@ -334,6 +378,16 @@ fn main() {
     if let (Some(path), Some(r)) = (&args.json, &crawl) {
         export_json(path, r);
     }
+    if let (Some(path), Some(t)) = (&args.trace, &run_trace) {
+        match std::fs::write(path, origin_trace::to_chrome_json(t)) {
+            Ok(()) => eprintln!(
+                "# wrote trace to {path} ({} events, sample 1/{})",
+                t.len(),
+                args.sample.denom()
+            ),
+            Err(e) => eprintln!("# failed to write {path}: {e}"),
+        }
+    }
     if let Some(path) = &args.metrics {
         for (name, ms) in [
             ("crawl", ms_crawl),
@@ -351,6 +405,91 @@ fn main() {
         match std::fs::write(path, registry.to_json()) {
             Ok(()) => eprintln!("# wrote metrics to {path}"),
             Err(e) => eprintln!("# failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// `repro trace --site RANK [--format perfetto|har|ascii] [--sites N]
+/// [--seed S] [--out path]`: visit one ranked site with tracing on and
+/// export the visit in the chosen format (stdout unless `--out`).
+fn cmd_trace(argv: &[String]) {
+    let mut site: Option<u32> = None;
+    let mut format = "perfetto".to_string();
+    let mut sites: u32 = 4_000;
+    let mut seed: u64 = 0x0516;
+    let mut out: Option<String> = None;
+    let mut sample: Option<Sampler> = None;
+    let mut it = argv.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--site" => site = Some(parse_value("--site", it.next(), |&n: &u32| n > 0)),
+            "--sample" => {
+                let raw = it.next().unwrap_or_else(|| die("--sample requires 1/N"));
+                sample = Some(
+                    Sampler::parse(&raw)
+                        .unwrap_or_else(|| die(&format!("invalid value {raw:?} for --sample"))),
+                );
+            }
+            "--format" => {
+                format = it
+                    .next()
+                    .unwrap_or_else(|| die("--format requires a value"));
+                if !["perfetto", "har", "ascii"].contains(&format.as_str()) {
+                    die(&format!(
+                        "invalid value {format:?} for --format (perfetto|har|ascii)"
+                    ));
+                }
+            }
+            "--sites" => sites = parse_value("--sites", it.next(), |&n: &u32| n > 0),
+            "--seed" => seed = parse_value("--seed", it.next(), |_| true),
+            "--out" => out = Some(it.next().unwrap_or_else(|| die("--out requires a path"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?} for repro trace")),
+        }
+    }
+    let (body, what) = match site {
+        Some(rank) => {
+            let (load, trace) = trace_site(sites, seed, rank).unwrap_or_else(|| {
+                die(&format!(
+                    "no successful site at rank {rank} (dataset of {sites} sites, seed {seed:#x})"
+                ))
+            });
+            let body = match format.as_str() {
+                "perfetto" => origin_trace::to_chrome_json(&trace),
+                "har" => load.to_har_json(),
+                _ => origin_web::waterfall::render(&load, 72),
+            };
+            (body, format!("{format} trace of site {rank}"))
+        }
+        // Without `--site`: trace the whole crawl at a 1-in-N sample
+        // (per-visit formats need a single visit).
+        None => {
+            let sampler =
+                sample.unwrap_or_else(|| die("repro trace requires --site RANK or --sample 1/N"));
+            if format != "perfetto" {
+                die(&format!("--sample only exports perfetto, not {format}"));
+            }
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let r = run_crawl_traced(sites, seed, threads, Some(&sampler));
+            (
+                origin_trace::to_chrome_json(&r.trace),
+                format!("sampled 1/{} crawl trace", sampler.denom()),
+            )
+        }
+    };
+    match out {
+        Some(path) => match std::fs::write(&path, &body) {
+            Ok(()) => eprintln!("# wrote {what} to {path}"),
+            Err(e) => die(&format!("failed to write {path}: {e}")),
+        },
+        None => {
+            print!("{body}");
+            if !body.ends_with('\n') {
+                println!();
+            }
         }
     }
 }
@@ -883,10 +1022,29 @@ fn figure7(group: &SampleGroup, seed: u64, threads: usize, ip: bool, registry: &
     );
 }
 
-fn passive(group: &SampleGroup, seed: u64, mode: DeploymentMode, registry: &mut Registry) {
+/// Logical-process base for passive-pipeline trace aggregates — its
+/// own band above [`ActiveMeasurement::WIRE_PID_BASE`]'s.
+const PASSIVE_PID_BASE: u64 = 1 << 23;
+
+fn passive(
+    group: &SampleGroup,
+    seed: u64,
+    mode: DeploymentMode,
+    registry: &mut Registry,
+    trace: Option<&mut Tracer>,
+) {
     let p = PassivePipeline::new(mode);
     let r = p.run(group, seed);
     r.record_into(registry);
+    if let Some(t) = trace {
+        let pid = PASSIVE_PID_BASE
+            + match mode {
+                DeploymentMode::Baseline => 0,
+                DeploymentMode::IpAligned => 1,
+                DeploymentMode::OriginFrames => 2,
+            };
+        r.record_trace(t, pid);
+    }
     let label = match mode {
         DeploymentMode::IpAligned => "§5.2 passive (IP alignment)",
         DeploymentMode::OriginFrames => "§5.3 passive (ORIGIN frames)",

@@ -15,6 +15,7 @@ use origin_core::characterize::Characterization;
 use origin_core::model::{predict, CoalescingGrouping};
 use origin_metrics::Registry;
 use origin_netsim::SimRng;
+use origin_trace::{Sampler, Tracer};
 use origin_webgen::{Dataset, DatasetConfig, SiteConfig, PROVIDERS};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -80,6 +81,11 @@ pub struct CrawlResults {
     /// (`crawl.*`, `browser.*`, `dns.*`, `certplan.*`, `sim.*`).
     /// Deterministic across thread counts.
     pub metrics: Registry,
+    /// Span trace of the sampled visits (empty unless the crawl ran
+    /// with a [`Sampler`]). Merged along the same rank-ordered shard
+    /// spine as everything else, so the buffer — and its exported
+    /// JSON — is byte-identical for any thread count.
+    pub trace: Tracer,
 }
 
 /// One shard's worth of crawl output: every accumulator a worker fills
@@ -94,6 +100,7 @@ struct ShardAccum {
     plan: PlanSummary,
     effective: EffectiveChanges,
     metrics: Registry,
+    trace: Tracer,
 }
 
 impl ShardAccum {
@@ -107,6 +114,7 @@ impl ShardAccum {
             plan: PlanSummary::default(),
             effective: EffectiveChanges::new(),
             metrics: Registry::new(),
+            trace: Tracer::new(),
         }
     }
 
@@ -119,6 +127,7 @@ impl ShardAccum {
         self.plan.merge(other.plan);
         self.effective.merge(other.effective);
         self.metrics.merge(&other.metrics);
+        self.trace.merge(other.trace);
     }
 }
 
@@ -127,14 +136,37 @@ impl ShardAccum {
 /// read-only dataset) and an RNG seeded purely from the site's own
 /// `page_seed` — no state crosses site boundaries, which is what makes
 /// sharding over threads exact rather than approximate.
-fn crawl_site(dataset: &Dataset, loader: &PageLoader, site: &SiteConfig, acc: &mut ShardAccum) {
+fn crawl_site(
+    dataset: &Dataset,
+    loader: &PageLoader,
+    site: &SiteConfig,
+    acc: &mut ShardAccum,
+    sampler: Option<&Sampler>,
+) {
     let page = dataset.page_for(site);
 
     // §3: measured crawl (fresh browser session per page).
     let mut env = UniverseEnv::new(dataset);
     env.flush_dns();
     let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
-    let load = loader.load_instrumented(&page, &mut env, &mut rng, Some(&mut acc.metrics));
+    // Tracing observes the simulation without touching its RNG, so a
+    // traced load returns the same PageLoad as an untraced one; the
+    // sample set is a pure function of each site's rank.
+    let load = if sampler.is_some_and(|s| s.keep(site.rank)) {
+        acc.trace.begin_visit(
+            site.rank as u64,
+            &format!("site-{} {}", site.rank, site.root_host.as_str()),
+        );
+        loader.load_traced(
+            &page,
+            &mut env,
+            &mut rng,
+            Some(&mut acc.metrics),
+            &mut acc.trace,
+        )
+    } else {
+        loader.load_instrumented(&page, &mut env, &mut rng, Some(&mut acc.metrics))
+    };
     env.resolver_stats().record_into(&mut acc.metrics);
     acc.characterization.add(&page, &load);
     acc.measured
@@ -192,6 +224,20 @@ pub fn run_crawl(sites: u32, seed: u64) -> CrawlResults {
 /// the merged output is byte-identical to a sequential crawl — the
 /// thread count changes wall-clock time and nothing else.
 pub fn run_crawl_threads(sites: u32, seed: u64, threads: usize) -> CrawlResults {
+    run_crawl_traced(sites, seed, threads, None)
+}
+
+/// [`run_crawl_threads`] plus deterministic trace collection: visits
+/// whose rank the `sampler` keeps are loaded through
+/// [`PageLoader::load_traced`] into per-shard [`Tracer`] buffers that
+/// merge along the rank-ordered chunk spine. Passing `None` disables
+/// tracing entirely (and costs nothing).
+pub fn run_crawl_traced(
+    sites: u32,
+    seed: u64,
+    threads: usize,
+    sampler: Option<&Sampler>,
+) -> CrawlResults {
     let threads = threads.max(1);
     let config = DatasetConfig {
         sites,
@@ -223,9 +269,11 @@ pub fn run_crawl_threads(sites: u32, seed: u64, threads: usize) -> CrawlResults 
                     let end = (start + chunk_size).min(site_cfgs.len());
                     let mut acc = ShardAccum::new(sites, config.tranco_total);
                     for site in &site_cfgs[start..end] {
-                        crawl_site(&dataset, &loader, site, &mut acc);
+                        crawl_site(&dataset, &loader, site, &mut acc, sampler);
                     }
-                    *slots[chunk].lock().unwrap() = Some(acc);
+                    *slots[chunk]
+                        .lock()
+                        .expect("crawl shard slot poisoned by a worker panic") = Some(acc);
                 }
             });
         }
@@ -236,7 +284,7 @@ pub fn run_crawl_threads(sites: u32, seed: u64, threads: usize) -> CrawlResults 
     for slot in slots {
         let acc = slot
             .into_inner()
-            .unwrap()
+            .expect("crawl shard slot poisoned by a worker panic")
             .expect("every chunk was claimed and completed");
         total.merge(acc);
     }
@@ -255,7 +303,38 @@ pub fn run_crawl_threads(sites: u32, seed: u64, threads: usize) -> CrawlResults 
         plan: total.plan,
         effective: total.effective,
         metrics: total.metrics,
+        trace: total.trace,
     }
+}
+
+/// Trace one ranked site's visit in full: regenerate the dataset,
+/// find the site, and run exactly the load [`crawl_site`] would —
+/// same environment, same RNG seed — with a [`Tracer`] attached.
+/// Returns `None` when no successful site has that rank.
+///
+/// Because tracing never draws from the load's RNG, the returned
+/// [`origin_web::PageLoad`] is identical to what the full crawl
+/// measures for this rank, and the trace buffer is identical to the
+/// slice a sampled whole-run trace would hold for it.
+pub fn trace_site(sites: u32, seed: u64, rank: u32) -> Option<(origin_web::PageLoad, Tracer)> {
+    let dataset = Dataset::generate(DatasetConfig {
+        sites,
+        seed,
+        ..Default::default()
+    });
+    let site = dataset.successful_sites().find(|s| s.rank == rank)?.clone();
+    let page = dataset.page_for(&site);
+    let loader = PageLoader::new(BrowserKind::Chromium);
+    let mut env = UniverseEnv::new(&dataset);
+    env.flush_dns();
+    let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+    let mut trace = Tracer::new();
+    trace.begin_visit(
+        rank as u64,
+        &format!("site-{} {}", rank, site.root_host.as_str()),
+    );
+    let load = loader.load_traced(&page, &mut env, &mut rng, None, &mut trace);
+    Some((load, trace))
 }
 
 /// Map an ASN to its Table 2 organization name (tail ASes get a

@@ -4,9 +4,10 @@
 //! workers — this is what makes `repro --threads N` artifacts
 //! byte-comparable across machines.
 
-use origin_bench::{run_crawl_threads, CrawlResults};
+use origin_bench::{run_crawl_threads, run_crawl_traced, trace_site, CrawlResults};
 use origin_cdn::{ActiveMeasurement, SampleGroup, Treatment};
 use origin_netsim::SimRng;
+use origin_trace::{to_chrome_json, EventKind, Sampler};
 
 const SITES: u32 = 300;
 const SEED: u64 = 0xD373;
@@ -123,6 +124,75 @@ fn active_measurement_identical_across_thread_counts() {
     assert_eq!(json, one.metrics.to_json(), "metrics: sequential vs 1");
     assert_eq!(json, four.metrics.to_json(), "metrics: sequential vs 4");
     assert!(seq.metrics.counter("cdn.active.visits") > 0);
+}
+
+#[test]
+fn trace_json_identical_across_thread_counts() {
+    // The whole point of deriving span/flow IDs from (visit, sequence)
+    // and merging tracers along the rank-ordered shard spine: the
+    // exported Chrome trace JSON is byte-identical for any --threads.
+    let sampler = Sampler::new(4);
+    let one = run_crawl_traced(SITES, SEED, 1, Some(&sampler));
+    let two = run_crawl_traced(SITES, SEED, 2, Some(&sampler));
+    let eight = run_crawl_traced(SITES, SEED, 8, Some(&sampler));
+    assert!(!one.trace.is_empty(), "sampled crawl produced no events");
+    let json = to_chrome_json(&one.trace);
+    assert_eq!(json, to_chrome_json(&two.trace), "trace: 1 vs 2 threads");
+    assert_eq!(json, to_chrome_json(&eight.trace), "trace: 1 vs 8 threads");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    // A traced crawl must measure exactly what an untraced crawl
+    // measures: tracing reads simulation state, never the RNG.
+    let traced = run_crawl_traced(SITES, SEED, 2, Some(&Sampler::new(2)));
+    let untraced = run_crawl_threads(SITES, SEED, 2);
+    assert_eq!(traced.measured.plt, untraced.measured.plt);
+    assert_eq!(traced.measured.dns, untraced.measured.dns);
+    assert_eq!(traced.model_origin.plt, untraced.model_origin.plt);
+    assert_eq!(traced.metrics.to_json(), untraced.metrics.to_json());
+}
+
+#[test]
+fn site_trace_links_coalesced_requests_with_flows() {
+    // Find a visit that coalesced, then check its exported trace:
+    // every coalesced request contributes one flow-start/flow-end pair
+    // (the arrow from the reused connection's opening to the request),
+    // with matching deterministic IDs.
+    let (load, trace) = (1..=50)
+        .filter_map(|rank| trace_site(SITES, SEED, rank))
+        .find(|(load, _)| load.coalesced_requests() > 0)
+        .expect("some top-50 site coalesces under Chromium policy");
+    let starts: Vec<u64> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::FlowStart { id } => Some(id),
+            _ => None,
+        })
+        .collect();
+    let ends: Vec<u64> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::FlowEnd { id } => Some(id),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(starts.len(), load.coalesced_requests() as usize);
+    assert_eq!(starts, ends, "every flow arrow has both ends");
+    let json = to_chrome_json(&trace);
+    assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
+    // The HAR export of the same visit carries the identical PLT.
+    let har = load.to_har_json();
+    let plt_ms = load.plt_us() as f64 / 1_000.0;
+    assert!(
+        har.contains(&format!("\"onLoad\": {plt_ms:?}")),
+        "HAR onLoad must equal the visit PLT"
+    );
+    // Re-tracing the same rank reproduces the same bytes.
+    let (_, again) = trace_site(SITES, SEED, load.rank).expect("same rank resolves again");
+    assert_eq!(json, to_chrome_json(&again));
 }
 
 #[test]

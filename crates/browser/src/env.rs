@@ -15,6 +15,21 @@ pub trait WebEnv {
     /// Resolve a hostname at simulated time `now`.
     fn resolve(&mut self, host: &DnsName, now: SimTime, rng: &mut SimRng) -> Option<QueryAnswer>;
 
+    /// [`WebEnv::resolve`] plus trace events (query spans, cache-hit
+    /// and NXDOMAIN instants). The default ignores the tracer so
+    /// existing environments stay correct; environments owning a real
+    /// resolver should forward to
+    /// [`origin_dns::ResolverState::resolve_traced`].
+    fn resolve_traced(
+        &mut self,
+        host: &DnsName,
+        now: SimTime,
+        rng: &mut SimRng,
+        _tracer: &mut origin_trace::Tracer,
+    ) -> Option<QueryAnswer> {
+        self.resolve(host, now, rng)
+    }
+
     /// The certificate the server presents for connections to `host`.
     fn cert_for(&self, host: &DnsName) -> Option<&Certificate>;
 
@@ -88,6 +103,17 @@ impl WebEnv for UniverseEnv<'_> {
     fn resolve(&mut self, host: &DnsName, now: SimTime, rng: &mut SimRng) -> Option<QueryAnswer> {
         self.resolver
             .resolve(&self.dataset.universe.zones, host, now, rng)
+    }
+
+    fn resolve_traced(
+        &mut self,
+        host: &DnsName,
+        now: SimTime,
+        rng: &mut SimRng,
+        tracer: &mut origin_trace::Tracer,
+    ) -> Option<QueryAnswer> {
+        self.resolver
+            .resolve_traced(&self.dataset.universe.zones, host, now, rng, Some(tracer))
     }
 
     fn cert_for(&self, host: &DnsName) -> Option<&Certificate> {

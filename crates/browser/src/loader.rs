@@ -92,14 +92,47 @@ impl PageLoader {
         rng: &mut SimRng,
         metrics: Option<&mut origin_metrics::Registry>,
     ) -> PageLoad {
-        let load = self.load_inner(page, env, rng);
+        let load = self.load_inner(page, env, rng, None);
         if let Some(metrics) = metrics {
             record_page_metrics(&load, metrics);
         }
         load
     }
 
-    fn load_inner(&self, page: &Page, env: &mut dyn WebEnv, rng: &mut SimRng) -> PageLoad {
+    /// [`PageLoader::load_instrumented`] plus span tracing: DNS
+    /// queries, TCP/TLS establishment with SAN validation, per-request
+    /// phase spans on the serving connection's track, coalescing
+    /// decisions annotated with the policy rule that allowed them, and
+    /// flow events linking each coalesced request back to the opening
+    /// of the connection it reused.
+    ///
+    /// The caller owns the visit context: call
+    /// [`origin_trace::Tracer::begin_visit`] with the site's rank
+    /// before loading. Tracing reads the same state the simulation
+    /// computes and never draws from `rng`, so a traced load returns
+    /// a [`PageLoad`] identical to an untraced one.
+    pub fn load_traced(
+        &self,
+        page: &Page,
+        env: &mut dyn WebEnv,
+        rng: &mut SimRng,
+        metrics: Option<&mut origin_metrics::Registry>,
+        tracer: &mut origin_trace::Tracer,
+    ) -> PageLoad {
+        let load = self.load_inner(page, env, rng, Some(tracer));
+        if let Some(metrics) = metrics {
+            record_page_metrics(&load, metrics);
+        }
+        load
+    }
+
+    fn load_inner(
+        &self,
+        page: &Page,
+        env: &mut dyn WebEnv,
+        rng: &mut SimRng,
+        mut tracer: Option<&mut origin_trace::Tracer>,
+    ) -> PageLoad {
         let mut pool = ConnectionPool::new();
         let mut timings: Vec<RequestTiming> = Vec::with_capacity(page.resources.len());
         // start_available[i]: earliest time resource i can dispatch.
@@ -110,6 +143,9 @@ impl PageLoader {
         // this is the CPU floor under PLT that coalescing cannot
         // remove (and the reason §6.1 warns against assuming "faster").
         let mut main_thread_free = 0.0f64;
+        // Simulated time (µs) each pooled connection started opening —
+        // the anchor for coalescing flow arrows.
+        let mut conn_open_us: Vec<u64> = Vec::new();
 
         for (idx, res) in page.resources.iter().enumerate() {
             let parent = if idx == 0 {
@@ -143,7 +179,16 @@ impl PageLoader {
             // Main-thread slice consumed handling this resource (a
             // queue of CPU work, not a ratchet on start times).
             main_thread_free += rng.log_normal(9.0, 0.5);
-            let timing = self.run_request(page, idx, start, &mut pool, env, rng);
+            let timing = self.run_request(
+                page,
+                idx,
+                start,
+                &mut pool,
+                env,
+                rng,
+                tracer.as_deref_mut(),
+                &mut conn_open_us,
+            );
             ready[idx] = timing.end();
             timings.push(timing);
         }
@@ -155,6 +200,7 @@ impl PageLoader {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // one request, its world, and an observer
     fn run_request(
         &self,
         page: &Page,
@@ -163,6 +209,8 @@ impl PageLoader {
         pool: &mut ConnectionPool,
         env: &mut dyn WebEnv,
         rng: &mut SimRng,
+        mut tracer: Option<&mut origin_trace::Tracer>,
+        conn_open_us: &mut Vec<u64>,
     ) -> RequestTiming {
         let res = &page.resources[idx];
         let host = res.host.clone();
@@ -172,6 +220,15 @@ impl PageLoader {
         // Failed/aborted requests (Table 3's N/A rows) consume no
         // network resources.
         if res.protocol == Protocol::NA {
+            if let Some(t) = tracer.as_deref_mut() {
+                t.set_tid(0);
+                t.instant_at(
+                    "req.skipped",
+                    "request",
+                    ms_us(start),
+                    vec![("host", host.as_str().into()), ("reason", "n/a".into())],
+                );
+            }
             return RequestTiming {
                 resource_index: idx,
                 host,
@@ -230,7 +287,15 @@ impl PageLoader {
                     ReuseDecision::New
                 );
         if !skip_dns_probe {
-            match env.resolve(&host, now, rng) {
+            let answer = match tracer.as_deref_mut() {
+                Some(t) => {
+                    t.set_tid(0);
+                    t.set_now_us(ms_us(start));
+                    env.resolve_traced(&host, now, rng, t)
+                }
+                None => env.resolve(&host, now, rng),
+            };
+            match answer {
                 Some(ans) => {
                     dns_ms = ans.latency.as_millis_f64();
                     did_dns = !ans.from_cache;
@@ -238,6 +303,18 @@ impl PageLoader {
                 }
                 None => {
                     // NXDOMAIN: the request fails after the lookup.
+                    if let Some(t) = tracer.as_deref_mut() {
+                        t.complete(
+                            &format!("req {} {}", idx, host.as_str()),
+                            "request",
+                            ms_us(start),
+                            ms_us(15.0),
+                            vec![
+                                ("host", host.as_str().into()),
+                                ("outcome", "nxdomain".into()),
+                            ],
+                        );
+                    }
                     return RequestTiming {
                         resource_index: idx,
                         host,
@@ -282,8 +359,11 @@ impl PageLoader {
         let mut coalesced = false;
         let mut extra_connections = 0u8;
         let mut cert_issuer = None;
+        let mut reuse_label = "new";
+        let mut rule_label: Option<&'static str> = None;
         let conn_idx = match decision {
             ReuseDecision::SameHost(i) => {
+                reuse_label = "same-host";
                 let c = pool.get_mut(i);
                 // Real browsers queue behind a busy H1.1 connection;
                 // the ideal models are timing-blind best cases.
@@ -297,6 +377,30 @@ impl PageLoader {
             }
             ReuseDecision::Coalesce(i) => {
                 coalesced = true;
+                reuse_label = "coalesced";
+                let rule = pool.explain_coalesce(self.config.kind, &host, &addrs, i);
+                rule_label = Some(rule);
+                if let Some(t) = tracer.as_deref_mut() {
+                    // Flow arrow from the reused connection's opening
+                    // to this request's dispatch, plus an instant
+                    // naming the rule that allowed the reuse.
+                    let conn_tid = 1 + i as u64;
+                    let open_ts = conn_open_us.get(i).copied().unwrap_or(0);
+                    let id = t.next_id();
+                    t.flow_start(id, "coalesce", "flow", open_ts, conn_tid);
+                    t.set_tid(conn_tid);
+                    t.flow_end(id, "coalesce", "flow", ms_us(start + dns_ms));
+                    t.instant_at(
+                        "coalesce",
+                        "request",
+                        ms_us(start + dns_ms),
+                        vec![
+                            ("rule", rule.into()),
+                            ("conn", (i as u64).into()),
+                            ("conn_host", pool.connections()[i].host.as_str().into()),
+                        ],
+                    );
+                }
                 i
             }
             ReuseDecision::New => {
@@ -327,6 +431,59 @@ impl PageLoader {
                     extra_connections = 1;
                 }
                 cert_issuer = cert.as_ref().map(|c| c.issuer.clone());
+                if let Some(t) = tracer.as_deref_mut() {
+                    let conn_no = pool.len();
+                    let conn_tid = 1 + conn_no as u64;
+                    t.name_thread(conn_tid, &format!("conn {} {}", conn_no, host.as_str()));
+                    t.set_tid(conn_tid);
+                    t.complete(
+                        "tcp.connect",
+                        "net",
+                        ms_us(start + dns_ms),
+                        ms_us(phase.connect),
+                        vec![("ip", ip.to_string().into())],
+                    );
+                    if res.secure {
+                        let hs_start = start + dns_ms + phase.connect;
+                        t.complete(
+                            "tls.handshake",
+                            "tls",
+                            ms_us(hs_start),
+                            ms_us(phase.ssl),
+                            vec![
+                                (
+                                    "version",
+                                    match tls {
+                                        TlsVersion::Tls12 => "TLS 1.2",
+                                        TlsVersion::Tls13 => "TLS 1.3",
+                                        TlsVersion::Tls13ZeroRtt => "TLS 1.3 0-RTT",
+                                    }
+                                    .into(),
+                                ),
+                                ("sni", host.as_str().into()),
+                                ("issuer", cert_issuer.clone().unwrap_or_default().into()),
+                            ],
+                        );
+                        // The SAN check the pool's coalescing logic
+                        // relies on: the presented certificate covers
+                        // the requested name.
+                        t.instant_at(
+                            "tls.san_validated",
+                            "tls",
+                            ms_us(hs_start + phase.ssl),
+                            vec![
+                                ("host", host.as_str().into()),
+                                (
+                                    "covered",
+                                    cert.as_ref()
+                                        .map(|c| c.covers(&host))
+                                        .unwrap_or(false)
+                                        .into(),
+                                ),
+                            ],
+                        );
+                    }
+                }
                 let origin_set = env.origin_set_for(&host);
                 let conn = PooledConnection {
                     host: host.clone(),
@@ -344,7 +501,9 @@ impl PageLoader {
                     in_flight: 0,
                     busy_until: 0.0,
                 };
-                pool.insert(conn)
+                let i = pool.insert(conn);
+                conn_open_us.push(ms_us(start + dns_ms));
+                i
             }
         };
 
@@ -364,6 +523,50 @@ impl PageLoader {
         }
 
         let ip = conn.ip;
+
+        if let Some(t) = tracer {
+            // The request span and its phase children live on the
+            // serving connection's track. Offsets accumulate in
+            // quantised integer microseconds — the same arithmetic the
+            // HAR export and metrics registry use — so the span end
+            // equals the request's recorded end exactly.
+            let conn_tid = 1 + conn_idx as u64;
+            t.set_tid(conn_tid);
+            let start_ts = ms_us(start);
+            let mut args: Vec<(&'static str, origin_trace::ArgValue)> = vec![
+                ("host", host.as_str().into()),
+                ("protocol", res.protocol.label().into()),
+                ("reuse", reuse_label.into()),
+                ("conn", (conn_idx as u64).into()),
+            ];
+            if let Some(rule) = rule_label {
+                args.push(("rule", rule.into()));
+            }
+            let phase_names = [
+                "phase.blocked",
+                "phase.dns",
+                "phase.connect",
+                "phase.ssl",
+                "phase.send",
+                "phase.wait",
+                "phase.receive",
+            ];
+            t.complete(
+                &format!("req {} {}", idx, host.as_str()),
+                "request",
+                start_ts,
+                phase.total_us(),
+                args,
+            );
+            let mut off = start_ts;
+            for (name, dur) in phase_names.iter().zip(phase.quantised_us()) {
+                if dur > 0 {
+                    t.complete(name, "phase", off, dur, Vec::new());
+                }
+                off += dur;
+            }
+        }
+
         RequestTiming {
             resource_index: idx,
             host,
@@ -385,6 +588,14 @@ impl PageLoader {
             extra_dns,
         }
     }
+}
+
+/// Quantise simulated milliseconds to integer microseconds for trace
+/// timestamps — identical to [`origin_web::har::ms_to_us`] and
+/// `SimDuration::from_millis_f64`, keeping spans, HAR and metrics in
+/// exact agreement.
+fn ms_us(ms: f64) -> u64 {
+    origin_web::har::ms_to_us(ms)
 }
 
 /// Upper bounds (inclusive) for the per-page connection histogram.
@@ -568,5 +779,84 @@ mod tests {
             total_coalesced > 0,
             "ideal origin should coalesce across 10 pages"
         );
+    }
+
+    #[test]
+    fn traced_load_is_identical_to_untraced() {
+        // Tracing observes the simulation without drawing from its
+        // RNG, so a traced load must return the same PageLoad — this
+        // is what lets `repro trace` reproduce exactly the visit the
+        // crawl measured.
+        let d1 = dataset();
+        let untraced = load_first_page(BrowserKind::IdealOrigin, &d1);
+        let d2 = dataset();
+        let site = d2
+            .sites()
+            .iter()
+            .find(|s| !s.failed)
+            .expect("a successful site")
+            .clone();
+        let page = d2.page_for(&site);
+        let mut env = UniverseEnv::new(&d2);
+        env.flush_dns();
+        let loader = PageLoader::new(BrowserKind::IdealOrigin);
+        let mut rng = SimRng::seed_from_u64(99);
+        let mut tracer = origin_trace::Tracer::new();
+        tracer.begin_visit(site.rank as u64, "test visit");
+        let mut metrics = origin_metrics::Registry::new();
+        let traced = loader.load_traced(&page, &mut env, &mut rng, Some(&mut metrics), &mut tracer);
+        assert_eq!(traced, untraced);
+
+        // The HAR export's PLT and the metrics registry's per-visit
+        // sim.page phase are the same integer-microsecond value.
+        let page_phase = metrics.phase("sim.page").expect("sim.page recorded");
+        assert_eq!(page_phase.total.as_micros(), traced.plt_us());
+
+        // Every successful request produced a span on its serving
+        // connection's track, and coalesced requests are linked to the
+        // reused connection by a flow-start/flow-end pair.
+        // Served requests and NXDOMAIN failures get spans; skipped
+        // (N/A-protocol, no-DNS) requests get only an instant.
+        let req_spans = traced
+            .requests
+            .iter()
+            .filter(|r| r.protocol != Protocol::NA || r.did_dns)
+            .count();
+        let span_count = tracer
+            .events()
+            .iter()
+            .filter(|e| {
+                e.cat == "request" && matches!(e.kind, origin_trace::EventKind::Complete { .. })
+            })
+            .count();
+        assert_eq!(span_count, req_spans);
+        let coalesced = traced.coalesced_requests() as usize;
+        assert!(coalesced > 0, "ideal-origin visit should coalesce");
+        let flow_starts = tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, origin_trace::EventKind::FlowStart { .. }))
+            .count();
+        let flow_ends = tracer
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, origin_trace::EventKind::FlowEnd { .. }))
+            .count();
+        assert_eq!(flow_starts, coalesced);
+        assert_eq!(flow_ends, coalesced);
+
+        // Request span ends equal the quantised request ends the HAR
+        // export reports: spans, HAR, and metrics tell one story.
+        let max_span_end = tracer
+            .events()
+            .iter()
+            .filter(|e| e.cat == "request")
+            .filter_map(|e| match e.kind {
+                origin_trace::EventKind::Complete { dur_us } => Some(e.ts_us + dur_us),
+                _ => None,
+            })
+            .max()
+            .expect("at least one request span");
+        assert_eq!(max_span_end, traced.plt_us());
     }
 }

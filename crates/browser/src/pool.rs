@@ -213,6 +213,38 @@ impl ConnectionPool {
         }
         ReuseDecision::New
     }
+
+    /// Name the policy rule that let `host` (DNS answer `addrs`)
+    /// coalesce onto connection `idx` — for trace annotations, so a
+    /// waterfall can say *why* a request rode a foreign connection.
+    /// The checks mirror [`ConnectionPool::decide`]'s step 2, most
+    /// specific first.
+    pub fn explain_coalesce(
+        &self,
+        policy: BrowserKind,
+        host: &DnsName,
+        addrs: &[IpAddr],
+        idx: usize,
+    ) -> &'static str {
+        let c = &self.conns[idx];
+        if policy.uses_origin_frame()
+            && c.origin_set
+                .as_ref()
+                .map(|s| s.allows_https_host(host.as_str()))
+                .unwrap_or(false)
+        {
+            return "origin-frame";
+        }
+        if addrs.contains(&c.ip) {
+            return "ip-exact";
+        }
+        if policy.ip_transitive() && c.available_set.iter().any(|a| addrs.contains(a)) {
+            return "ip-transitive";
+        }
+        // Only IdealOrigin coalesces with no IP or ORIGIN evidence:
+        // the §4 model assumes colocation itself implies reusability.
+        "model-colocation"
+    }
 }
 
 #[cfg(test)]

@@ -200,7 +200,10 @@ impl ActiveMeasurement {
                             result.plt_ms.push(load.plt());
                             result.record_visit(&page, &load);
                         }
-                        *slots[chunk].lock().unwrap() = Some(result);
+                        *slots[chunk]
+                            .lock()
+                            .expect("active-measurement shard slot poisoned by a worker panic") =
+                            Some(result);
                     }
                 });
             }
@@ -208,7 +211,10 @@ impl ActiveMeasurement {
 
         let mut total = ActiveResult::empty();
         for slot in slots {
-            let r = slot.into_inner().unwrap().expect("every chunk completed");
+            let r = slot
+                .into_inner()
+                .expect("active-measurement shard slot poisoned by a worker panic")
+                .expect("every chunk completed");
             total.merge(r);
         }
         total
@@ -248,14 +254,52 @@ impl ActiveMeasurement {
         &self,
         group: &SampleGroup,
         n: usize,
+        metrics: Option<&mut Registry>,
+    ) -> usize {
+        self.wire_spot_check_inner(group, n, metrics, None)
+    }
+
+    /// Like [`ActiveMeasurement::wire_spot_check_metrics`] but also
+    /// traces the client side of every exchange: one logical process
+    /// per checked site (in the reserved `pid` band above real Tranco
+    /// ranks), with `h2.frame` / `h2.origin.accept` instants from
+    /// [`origin_h2::Connection::recv_traced`] stamped by wire round.
+    /// The loop is sequential and rank-ordered, so the trace is
+    /// independent of `--threads`.
+    pub fn wire_spot_check_traced(
+        &self,
+        group: &SampleGroup,
+        n: usize,
+        metrics: Option<&mut Registry>,
+        tracer: &mut origin_trace::Tracer,
+    ) -> usize {
+        self.wire_spot_check_inner(group, n, metrics, Some(tracer))
+    }
+
+    /// Logical-process base for wire-check trace events; site ranks
+    /// stay far below this.
+    pub const WIRE_PID_BASE: u64 = 1 << 22;
+
+    fn wire_spot_check_inner(
+        &self,
+        group: &SampleGroup,
+        n: usize,
         mut metrics: Option<&mut Registry>,
+        mut tracer: Option<&mut origin_trace::Tracer>,
     ) -> usize {
         use origin_h2::{Connection, Settings};
         let origin_mode = self.mode == DeploymentMode::OriginFrames;
         let mut matched = 0;
-        for site in group.sites.iter().take(n) {
+        for (site_no, site) in group.sites.iter().take(n).enumerate() {
             let mut edge = EdgeServer::for_site(site, origin_mode);
             let mut client = Connection::client(site.host.as_str(), Settings::default());
+            if let Some(t) = tracer.as_deref_mut() {
+                t.begin_visit(
+                    Self::WIRE_PID_BASE + site_no as u64,
+                    &format!("wire {}", site.host.as_str()),
+                );
+            }
+            let mut round = 0u64;
             loop {
                 let c = client.take_outgoing();
                 let e = edge.take_outgoing();
@@ -266,8 +310,18 @@ impl ActiveMeasurement {
                     edge.handle(&c).expect("edge recv");
                 }
                 if !e.is_empty() {
-                    client.recv(&e).expect("client recv");
+                    match tracer.as_deref_mut() {
+                        Some(t) => {
+                            // No simulated clock on this path: stamp
+                            // events with the exchange round, which is
+                            // equally deterministic.
+                            t.set_now_us(round);
+                            client.recv_traced(&e, t).expect("client recv")
+                        }
+                        None => client.recv(&e).expect("client recv"),
+                    };
                 }
+                round += 1;
             }
             let wire_allows = client.origin_allows(THIRD_PARTY_HOST);
             let expected = origin_mode && site.treatment == Treatment::Experiment;

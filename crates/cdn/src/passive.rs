@@ -106,6 +106,34 @@ impl PassiveReport {
         1.0 - exp_rate / ctl_rate
     }
 
+    /// Emit the report's aggregates as trace instants on a dedicated
+    /// logical process. The pipeline's worker/collector interleaving
+    /// is nondeterministic, so the *aggregates* — which are not — are
+    /// traced post-hoc rather than per record; whole-run traces stay
+    /// byte-identical across thread counts.
+    pub fn record_trace(&self, tracer: &mut origin_trace::Tracer, pid: u64) {
+        tracer.begin_visit(pid, "cdn passive pipeline");
+        tracer.set_now_us(0);
+        tracer.instant(
+            "passive.sampled_records",
+            "cdn",
+            vec![("count", self.sampled_records.into())],
+        );
+        tracer.instant(
+            "passive.tp_connections",
+            "cdn",
+            vec![
+                ("experiment", self.experiment_tp_connections.into()),
+                ("control", self.control_tp_connections.into()),
+            ],
+        );
+        tracer.instant(
+            "passive.coalesced_connections",
+            "cdn",
+            vec![("count", self.coalesced_connections.into())],
+        );
+    }
+
     /// Export the pipeline's counters into a metrics registry under
     /// `cdn.passive.*`.
     pub fn record_into(&self, metrics: &mut origin_metrics::Registry) {
@@ -179,7 +207,9 @@ impl PassivePipeline {
         let collector = thread::spawn(move || {
             let mut seen_coalesced_conns = std::collections::HashSet::new();
             for rec in rx {
-                let mut r = collector_report.lock().unwrap();
+                let mut r = collector_report
+                    .lock()
+                    .expect("passive report lock poisoned by a worker panic");
                 r.sampled_records += 1;
                 if rec.host == THIRD_PARTY_HOST {
                     if rec.host_differs_from_sni {
@@ -216,7 +246,9 @@ impl PassivePipeline {
                         let site = &group_sites[rng.index(group_sites.len())];
                         let t = rng.unit() * pipeline.config.window_secs;
                         {
-                            let mut r = report.lock().unwrap();
+                            let mut r = report
+                                .lock()
+                                .expect("passive report lock poisoned by a worker panic");
                             match site.treatment {
                                 Treatment::Experiment => r.experiment_visits += 1,
                                 Treatment::Control => r.control_visits += 1,

@@ -191,6 +191,52 @@ impl ResolverState {
         }
     }
 
+    /// [`ResolverState::resolve`] plus trace events: a `dns.query`
+    /// complete span for network lookups (duration = simulated lookup
+    /// latency), a `dns.cache_hit` instant for cache hits, and a
+    /// `dns.nxdomain` instant for missing names.
+    pub fn resolve_traced(
+        &mut self,
+        zones: &ZoneSet,
+        name: &DnsName,
+        now: SimTime,
+        rng: &mut SimRng,
+        tracer: Option<&mut origin_trace::Tracer>,
+    ) -> Option<QueryAnswer> {
+        let answer = self.resolve(zones, name, now, rng);
+        if let Some(tracer) = tracer {
+            let host: origin_trace::ArgValue = name.as_str().into();
+            match &answer {
+                Some(a) if a.from_cache => {
+                    tracer.instant_at(
+                        "dns.cache_hit",
+                        "dns",
+                        now.as_micros(),
+                        vec![("name", host)],
+                    );
+                }
+                Some(a) => {
+                    tracer.complete(
+                        "dns.query",
+                        "dns",
+                        now.as_micros(),
+                        a.latency.as_micros(),
+                        vec![
+                            ("name", host),
+                            ("transport", format!("{:?}", self.transport).into()),
+                            ("plaintext", self.transport.is_plaintext().into()),
+                            ("answers", (a.addresses.len() as u64).into()),
+                        ],
+                    );
+                }
+                None => {
+                    tracer.instant_at("dns.nxdomain", "dns", now.as_micros(), vec![("name", host)]);
+                }
+            }
+        }
+        answer
+    }
+
     fn network_latency(&self, rng: &mut SimRng) -> SimDuration {
         let tail = if self.tail_mean_ms > 0.0 {
             rng.exponential(self.tail_mean_ms)

@@ -562,6 +562,27 @@ impl Connection {
     /// produced. Automatic replies (SETTINGS acks, PING acks, WINDOW
     /// updates) are queued into the outgoing buffer.
     pub fn recv(&mut self, bytes: &[u8]) -> Result<Vec<Event>, H2Error> {
+        self.recv_inner(bytes, None)
+    }
+
+    /// [`Connection::recv`] plus frame-level trace events at the
+    /// tracer's current time cursor: one `h2.frame` instant per decoded
+    /// frame, an `h2.origin.accept` instant when a client folds an
+    /// ORIGIN frame into its origin set, and an `h2.hpack.eviction`
+    /// instant per dynamic-table eviction the frame caused.
+    pub fn recv_traced(
+        &mut self,
+        bytes: &[u8],
+        tracer: &mut origin_trace::Tracer,
+    ) -> Result<Vec<Event>, H2Error> {
+        self.recv_inner(bytes, Some(tracer))
+    }
+
+    fn recv_inner(
+        &mut self,
+        bytes: &[u8],
+        mut tracer: Option<&mut origin_trace::Tracer>,
+    ) -> Result<Vec<Event>, H2Error> {
         self.recv_buf.extend_from_slice(bytes);
         if self.preface_remaining > 0 {
             let take = self.preface_remaining.min(self.recv_buf.len());
@@ -578,7 +599,34 @@ impl Connection {
         let mut events = Vec::new();
         while let Some(frame) = self.decoder.decode(&mut self.recv_buf)? {
             self.stats.frames_decoded += 1;
+            let kind = frame.frame_type();
+            let is_client_origin =
+                kind == crate::frame::FrameType::Origin && self.role == Role::Client;
+            let origins_before = events.len();
+            let evictions_before = self.hpack_dec.evictions();
             self.handle_frame(frame, &mut events)?;
+            if let Some(tracer) = tracer.as_deref_mut() {
+                tracer.instant("h2.frame", "h2", vec![("type", kind.name().into())]);
+                if is_client_origin {
+                    // handle_frame pushed exactly one OriginReceived.
+                    if let Some(Event::OriginReceived { origins }) = events[origins_before..]
+                        .iter()
+                        .find(|e| matches!(e, Event::OriginReceived { .. }))
+                    {
+                        tracer.instant(
+                            "h2.origin.accept",
+                            "h2",
+                            vec![
+                                ("origins", (origins.len() as u64).into()),
+                                ("set", origins.join(" ").into()),
+                            ],
+                        );
+                    }
+                }
+                for _ in evictions_before..self.hpack_dec.evictions() {
+                    tracer.instant("h2.hpack.eviction", "h2", vec![("table", "decoder".into())]);
+                }
+            }
         }
         Ok(events)
     }

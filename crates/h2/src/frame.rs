@@ -65,6 +65,26 @@ impl FrameType {
         }
     }
 
+    /// Canonical RFC frame name (`DATA`, `ORIGIN`, …) for trace and
+    /// log output; unknown types render as `UNKNOWN`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameType::Data => "DATA",
+            FrameType::Headers => "HEADERS",
+            FrameType::Priority => "PRIORITY",
+            FrameType::RstStream => "RST_STREAM",
+            FrameType::Settings => "SETTINGS",
+            FrameType::PushPromise => "PUSH_PROMISE",
+            FrameType::Ping => "PING",
+            FrameType::GoAway => "GOAWAY",
+            FrameType::WindowUpdate => "WINDOW_UPDATE",
+            FrameType::Continuation => "CONTINUATION",
+            FrameType::AltSvc => "ALTSVC",
+            FrameType::Origin => "ORIGIN",
+            FrameType::Unknown(_) => "UNKNOWN",
+        }
+    }
+
     /// Parse a wire value.
     pub fn from_u8(v: u8) -> Self {
         match v {

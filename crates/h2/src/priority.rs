@@ -88,10 +88,13 @@ impl PriorityTree {
         if self.is_descendant(depends_on, stream) {
             let old_parent = self.nodes[&stream].parent;
             self.detach(depends_on);
-            self.nodes.get_mut(&depends_on).unwrap().parent = old_parent;
+            self.nodes
+                .get_mut(&depends_on)
+                .expect("dependency target inserted above")
+                .parent = old_parent;
             self.nodes
                 .get_mut(&old_parent)
-                .unwrap()
+                .expect("old parent still in tree after detach")
                 .children
                 .push(depends_on);
         }
@@ -99,7 +102,13 @@ impl PriorityTree {
         let weight = spec.weight as u16 + 1;
         if spec.exclusive {
             // Adopt all of the new parent's children.
-            let children = std::mem::take(&mut self.nodes.get_mut(&depends_on).unwrap().children);
+            let children = std::mem::take(
+                &mut self
+                    .nodes
+                    .get_mut(&depends_on)
+                    .expect("dependency target inserted above")
+                    .children,
+            );
             let node = self.nodes.entry(stream).or_insert(Node {
                 parent: depends_on,
                 weight,
@@ -109,11 +118,14 @@ impl PriorityTree {
             node.weight = weight;
             let mut adopted = children;
             for c in &adopted {
-                self.nodes.get_mut(c).unwrap().parent = stream;
+                self.nodes
+                    .get_mut(c)
+                    .expect("adopted child is a tree node")
+                    .parent = stream;
             }
             self.nodes
                 .get_mut(&stream)
-                .unwrap()
+                .expect("stream node inserted above")
                 .children
                 .append(&mut adopted);
         } else {
@@ -127,7 +139,7 @@ impl PriorityTree {
         }
         self.nodes
             .get_mut(&depends_on)
-            .unwrap()
+            .expect("dependency target inserted above")
             .children
             .push(stream);
     }

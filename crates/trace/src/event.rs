@@ -1,0 +1,97 @@
+//! The structured event a [`crate::Tracer`] buffers.
+
+/// A typed argument value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A string value.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float (rendered with shortest round-trip formatting).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for ArgValue {
+    fn from(s: &str) -> Self {
+        ArgValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(s: String) -> Self {
+        ArgValue::Str(s)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+/// What kind of trace-event a [`TraceEvent`] is, mapping 1:1 onto the
+/// Chrome trace-event phases the exporter writes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A complete span (`ph:"X"`) with a duration.
+    Complete {
+        /// Span length in simulated microseconds.
+        dur_us: u64,
+    },
+    /// A thread-scoped instant event (`ph:"i"`, `s:"t"`).
+    Instant,
+    /// Flow start (`ph:"s"`): the producing end of an arrow.
+    FlowStart {
+        /// Deterministic flow ID; the matching [`EventKind::FlowEnd`]
+        /// carries the same value.
+        id: u64,
+    },
+    /// Flow end (`ph:"f"`, `bp:"e"`): the consuming end of an arrow.
+    FlowEnd {
+        /// Deterministic flow ID minted by the matching start.
+        id: u64,
+    },
+    /// Process-name metadata (`ph:"M"`, name `process_name`).
+    ProcessName,
+    /// Thread-name metadata (`ph:"M"`, name `thread_name`).
+    ThreadName,
+}
+
+/// One buffered event.
+///
+/// `pid` is the *logical* process — the site visit's Tranco rank, not
+/// the OS thread that happened to crawl it (worker identity would leak
+/// the sharding and break byte-identical output across `--threads`).
+/// `tid` is the connection lane inside the visit: 0 is the browser
+/// loader itself, `1 + pool index` is each pooled connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (for metadata kinds: the process/thread label).
+    pub name: String,
+    /// Category tag (`dns`, `tls`, `h2`, `request`, `phase`, …).
+    pub cat: &'static str,
+    /// Simulated timestamp in microseconds.
+    pub ts_us: u64,
+    /// Logical process (site rank / visit key).
+    pub pid: u64,
+    /// Logical thread (0 = loader, `1+i` = pooled connection `i`).
+    pub tid: u64,
+    /// Phase-specific payload.
+    pub kind: EventKind,
+    /// Key/value annotations, serialised in insertion order.
+    pub args: Vec<(&'static str, ArgValue)>,
+}

@@ -1,0 +1,204 @@
+//! Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! The writer is hand-rolled for the same reason the metrics registry's
+//! is: byte-identical output is an acceptance criterion, so formatting
+//! must be fully specified here — integer timestamps, args in insertion
+//! order, shortest round-trip floats — rather than delegated to a
+//! serializer whose map ordering we don't control.
+
+use crate::event::{ArgValue, EventKind, TraceEvent};
+use crate::tracer::Tracer;
+
+/// Escape a string for embedding in a JSON document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(k);
+        out.push_str("\":");
+        match v {
+            ArgValue::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::F64(f) => out.push_str(&format!("{f:?}")),
+            ArgValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    out.push('}');
+}
+
+fn write_event(out: &mut String, e: &TraceEvent) {
+    // Metadata events invert the spec's layout: the event name is the
+    // metadata key (process_name / thread_name) and the label goes
+    // under args.name.
+    if let EventKind::ProcessName | EventKind::ThreadName = e.kind {
+        let key = match e.kind {
+            EventKind::ProcessName => "process_name",
+            _ => "thread_name",
+        };
+        out.push_str("{\"name\":\"");
+        out.push_str(key);
+        out.push_str("\",\"cat\":\"");
+        out.push_str(e.cat);
+        out.push_str("\",\"ph\":\"M\",\"ts\":0,\"pid\":");
+        out.push_str(&e.pid.to_string());
+        out.push_str(",\"tid\":");
+        out.push_str(&e.tid.to_string());
+        out.push_str(",\"args\":{\"name\":\"");
+        out.push_str(&escape(&e.name));
+        out.push_str("\"}}");
+        return;
+    }
+    out.push_str("{\"name\":\"");
+    out.push_str(&escape(&e.name));
+    out.push_str("\",\"cat\":\"");
+    out.push_str(e.cat);
+    out.push_str("\",\"ph\":\"");
+    match &e.kind {
+        EventKind::Complete { .. } => out.push('X'),
+        EventKind::Instant => out.push('i'),
+        EventKind::FlowStart { .. } => out.push('s'),
+        EventKind::FlowEnd { .. } => out.push('f'),
+        EventKind::ProcessName | EventKind::ThreadName => unreachable!(),
+    }
+    out.push_str("\",\"ts\":");
+    out.push_str(&e.ts_us.to_string());
+    out.push_str(",\"pid\":");
+    out.push_str(&e.pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&e.tid.to_string());
+    match &e.kind {
+        EventKind::Complete { dur_us } => {
+            out.push_str(",\"dur\":");
+            out.push_str(&dur_us.to_string());
+            out.push_str(",\"args\":");
+            write_args(out, &e.args);
+        }
+        EventKind::Instant => {
+            out.push_str(",\"s\":\"t\",\"args\":");
+            write_args(out, &e.args);
+        }
+        EventKind::FlowStart { id } => {
+            out.push_str(",\"id\":");
+            out.push_str(&id.to_string());
+        }
+        EventKind::FlowEnd { id } => {
+            out.push_str(",\"id\":");
+            out.push_str(&id.to_string());
+            out.push_str(",\"bp\":\"e\"");
+        }
+        EventKind::ProcessName | EventKind::ThreadName => unreachable!(),
+    }
+    out.push('}');
+}
+
+/// Serialize a tracer's buffer as a Chrome trace-event JSON document
+/// (`{"displayTimeUnit":"ms","traceEvents":[...]}`), loadable in
+/// Perfetto / `chrome://tracing`. Output is a pure function of the
+/// event buffer: same events, same bytes.
+pub fn to_chrome_json(tracer: &Tracer) -> String {
+    let mut out = String::with_capacity(64 + tracer.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in tracer.events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        write_event(&mut out, e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_all_phases() {
+        let mut t = Tracer::new();
+        t.begin_visit(42, "site-42 example.com");
+        t.complete(
+            "req 0",
+            "request",
+            100,
+            250,
+            vec![("host", "a.example".into())],
+        );
+        t.instant_at(
+            "dns.cache_hit",
+            "dns",
+            105,
+            vec![("name", "a.example".into())],
+        );
+        let id = t.next_id();
+        t.flow_start(id, "coalesce", "flow", 10, 1);
+        t.flow_end(id, "coalesce", "flow", 100);
+        let json = to_chrome_json(&t);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"cat\":\"meta\",\"ph\":\"M\",\"ts\":0,\"pid\":42,\
+             \"tid\":0,\"args\":{\"name\":\"site-42 example.com\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"cat\":\"meta\",\"ph\":\"M\",\"ts\":0,\"pid\":42,\
+             \"tid\":0,\"args\":{\"name\":\"loader\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"req 0\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":100,\"pid\":42,\
+             \"tid\":0,\"dur\":250,\"args\":{\"host\":\"a.example\"}}"
+        ));
+        assert!(json.contains("\"ph\":\"i\",\"ts\":105,\"pid\":42,\"tid\":0,\"s\":\"t\""));
+        let flow_id = 42u64 << 24;
+        assert!(json.contains(&format!(
+            "{{\"name\":\"coalesce\",\"cat\":\"flow\",\"ph\":\"s\",\"ts\":10,\"pid\":42,\
+             \"tid\":1,\"id\":{flow_id}}}"
+        )));
+        assert!(json.contains(&format!(
+            "{{\"name\":\"coalesce\",\"cat\":\"flow\",\"ph\":\"f\",\"ts\":100,\"pid\":42,\
+             \"tid\":0,\"id\":{flow_id},\"bp\":\"e\"}}"
+        )));
+        assert!(json.ends_with("\n]}\n"));
+    }
+
+    #[test]
+    fn output_is_reproducible() {
+        let build = || {
+            let mut t = Tracer::new();
+            t.begin_visit(7, "x");
+            t.complete("a", "request", 1, 2, vec![("f", ArgValue::F64(1.25))]);
+            to_chrome_json(&t)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut t = Tracer::new();
+        t.begin_visit(1, "q\"uote\nline");
+        let json = to_chrome_json(&t);
+        assert!(json.contains("q\\\"uote\\nline"));
+    }
+}

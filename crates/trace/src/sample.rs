@@ -1,0 +1,87 @@
+//! Deterministic 1-in-N site sampling for whole-run traces.
+
+/// Selects sites for whole-run trace export by hashing the site's
+/// Tranco rank — never an RNG draw, whose order would depend on the
+/// thread schedule. The same `--sample 1/N` therefore keeps the same
+/// site set at any `--threads` and across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sampler {
+    denom: u32,
+}
+
+/// 64-bit FNV-1a over a byte slice: tiny, dependency-free, and stable
+/// across platforms, which is all a sampling hash needs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl Sampler {
+    /// Keep roughly 1 in `denom` sites. `denom == 0` is treated as 1
+    /// (keep everything).
+    pub fn new(denom: u32) -> Self {
+        Self {
+            denom: denom.max(1),
+        }
+    }
+
+    /// Parse the CLI form `1/N` (also accepts a bare `N`).
+    pub fn parse(s: &str) -> Option<Self> {
+        let denom = match s.split_once('/') {
+            Some(("1", d)) => d.trim().parse().ok()?,
+            Some(_) => return None,
+            None => s.trim().parse().ok()?,
+        };
+        Some(Self::new(denom))
+    }
+
+    /// The sampling denominator.
+    pub fn denom(&self) -> u32 {
+        self.denom
+    }
+
+    /// Whether the site at Tranco `rank` is in the sample.
+    pub fn keep(&self, rank: u32) -> bool {
+        self.denom <= 1 || fnv1a(&rank.to_le_bytes()).is_multiple_of(u64::from(self.denom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denom_one_keeps_everything() {
+        let s = Sampler::new(1);
+        assert!((1..200).all(|r| s.keep(r)));
+        assert_eq!(Sampler::new(0), Sampler::new(1));
+    }
+
+    #[test]
+    fn selection_is_stable_and_roughly_one_in_n() {
+        let s = Sampler::new(16);
+        let kept: Vec<u32> = (1..=4000).filter(|&r| s.keep(r)).collect();
+        // Stable: a second sampler with the same denominator agrees.
+        let again: Vec<u32> = (1..=4000).filter(|&r| Sampler::new(16).keep(r)).collect();
+        assert_eq!(kept, again);
+        // Roughly 1/16 of 4000 = 250; FNV is not perfectly uniform but
+        // should land well within a factor of two.
+        assert!(
+            (125..=500).contains(&kept.len()),
+            "kept {} of 4000",
+            kept.len()
+        );
+    }
+
+    #[test]
+    fn parse_accepts_fraction_and_bare_forms() {
+        assert_eq!(Sampler::parse("1/16"), Some(Sampler::new(16)));
+        assert_eq!(Sampler::parse("8"), Some(Sampler::new(8)));
+        assert_eq!(Sampler::parse("2/3"), None);
+        assert_eq!(Sampler::parse("1/x"), None);
+    }
+}

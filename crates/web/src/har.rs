@@ -32,10 +32,39 @@ pub struct Phase {
     pub receive: f64,
 }
 
+/// Quantise a millisecond value to integer microseconds — the same
+/// rounding `origin_netsim::SimDuration::from_millis_f64` applies, so
+/// HAR arithmetic and the loader's metrics path agree exactly.
+pub fn ms_to_us(ms: f64) -> u64 {
+    (ms.max(0.0) * 1_000.0).round() as u64
+}
+
 impl Phase {
-    /// Total request duration.
+    /// The phase durations quantised to integer microseconds, in HAR
+    /// order (blocked, dns, connect, ssl, send, wait, receive).
+    pub fn quantised_us(&self) -> [u64; 7] {
+        [
+            ms_to_us(self.blocked),
+            ms_to_us(self.dns),
+            ms_to_us(self.connect),
+            ms_to_us(self.ssl),
+            ms_to_us(self.send),
+            ms_to_us(self.wait),
+            ms_to_us(self.receive),
+        ]
+    }
+
+    /// Total request duration in integer microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.quantised_us().iter().sum()
+    }
+
+    /// Total request duration (ms). Accumulated as integer
+    /// microseconds per phase, not naive f64 summation, so the value
+    /// is associative and identical to what the metrics registry
+    /// records for the same phases.
     pub fn total(&self) -> f64 {
-        self.blocked + self.dns + self.connect + self.ssl + self.send + self.wait + self.receive
+        self.total_us() as f64 / 1_000.0
     }
 
     /// The setup cost a coalesced request avoids (dns+connect+ssl).
@@ -85,9 +114,20 @@ pub struct RequestTiming {
 }
 
 impl RequestTiming {
-    /// End time (ms).
+    /// Start time quantised to integer microseconds.
+    pub fn start_us(&self) -> u64 {
+        ms_to_us(self.start)
+    }
+
+    /// End time in integer microseconds (quantised start + quantised
+    /// phase total).
+    pub fn end_us(&self) -> u64 {
+        self.start_us() + self.phase.total_us()
+    }
+
+    /// End time (ms), derived from the integer-microsecond form.
     pub fn end(&self) -> f64 {
-        self.start + self.phase.total()
+        self.end_us() as f64 / 1_000.0
     }
 }
 
@@ -105,7 +145,12 @@ pub struct PageLoad {
 impl PageLoad {
     /// Page load time: the latest request end (ms).
     pub fn plt(&self) -> f64 {
-        self.requests.iter().map(|r| r.end()).fold(0.0, f64::max)
+        self.plt_us() as f64 / 1_000.0
+    }
+
+    /// Page load time in integer microseconds.
+    pub fn plt_us(&self) -> u64 {
+        self.requests.iter().map(|r| r.end_us()).max().unwrap_or(0)
     }
 
     /// Number of network DNS queries (including race duplicates).
@@ -226,6 +271,129 @@ impl PageLoad {
         }
         out.push('}');
         out
+    }
+
+    /// Serialize as a HAR 1.2 document (`log`/`pages`/`entries`), the
+    /// format the paper's WebPageTest collection produced.
+    ///
+    /// Simulated time has no calendar, so `startedDateTime` values
+    /// count from a fixed epoch chosen to match the paper's crawl
+    /// window (Feb 2021). Phases that did not occur use HAR's `-1`
+    /// convention; the applicable phases are the quantised
+    /// integer-microsecond values, so each entry's `time` — and the
+    /// page's `onLoad` — equals exactly what the metrics registry
+    /// records.
+    pub fn to_har_json(&self) -> String {
+        let page_id = format!("page_{}", self.rank);
+        let mut out = String::new();
+        out.push_str("{\n  \"log\": {\n");
+        out.push_str("    \"version\": \"1.2\",\n");
+        out.push_str(
+            "    \"creator\": { \"name\": \"respect-origin\", \"version\": \"0.1.0\" },\n",
+        );
+        out.push_str("    \"pages\": [\n      {\n");
+        out.push_str(&format!(
+            "        \"startedDateTime\": {},\n",
+            json_str(&har_datetime(0))
+        ));
+        out.push_str(&format!("        \"id\": {},\n", json_str(&page_id)));
+        out.push_str(&format!(
+            "        \"title\": {},\n",
+            json_str(&format!("https://{}/", self.root_host.as_str()))
+        ));
+        out.push_str(&format!(
+            "        \"pageTimings\": {{ \"onContentLoad\": -1, \"onLoad\": {} }}\n",
+            json_f64(self.plt())
+        ));
+        out.push_str("      }\n    ],\n");
+        out.push_str("    \"entries\": [");
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let [blocked, dns, connect, ssl, send, wait, receive] = r.phase.quantised_us();
+            let na = r.protocol == Protocol::NA;
+            let timing = |applies: bool, us: u64| {
+                if applies {
+                    json_f64(us as f64 / 1_000.0)
+                } else {
+                    "-1".to_string()
+                }
+            };
+            out.push_str("\n      {\n");
+            out.push_str(&format!("        \"pageref\": {},\n", json_str(&page_id)));
+            out.push_str(&format!(
+                "        \"startedDateTime\": {},\n",
+                json_str(&har_datetime(r.start_us()))
+            ));
+            out.push_str(&format!(
+                "        \"time\": {},\n",
+                json_f64(r.phase.total())
+            ));
+            out.push_str(&format!(
+                "        \"request\": {{ \"method\": \"GET\", \"url\": {}, \"httpVersion\": {}, \"headers\": [], \"queryString\": [], \"cookies\": [], \"headersSize\": -1, \"bodySize\": -1 }},\n",
+                json_str(&format!(
+                    "{}://{}/r{}",
+                    if r.secure { "https" } else { "http" },
+                    r.host.as_str(),
+                    r.resource_index
+                )),
+                json_str(har_http_version(r.protocol)),
+            ));
+            out.push_str(&format!(
+                "        \"response\": {{ \"status\": {}, \"statusText\": {}, \"httpVersion\": {}, \"headers\": [], \"cookies\": [], \"content\": {{ \"size\": -1, \"mimeType\": \"\" }}, \"redirectURL\": \"\", \"headersSize\": -1, \"bodySize\": -1 }},\n",
+                if na { 0 } else { 200 },
+                json_str(if na { "" } else { "OK" }),
+                json_str(har_http_version(r.protocol)),
+            ));
+            out.push_str("        \"cache\": {},\n");
+            out.push_str(&format!(
+                "        \"timings\": {{ \"blocked\": {}, \"dns\": {}, \"connect\": {}, \"ssl\": {}, \"send\": {}, \"wait\": {}, \"receive\": {} }},\n",
+                timing(!na, blocked),
+                timing(r.did_dns || dns > 0, dns),
+                timing(r.new_connection, connect),
+                timing(r.new_connection && r.secure, ssl),
+                timing(!na, send),
+                timing(!na, wait),
+                timing(!na, receive),
+            ));
+            out.push_str(&format!(
+                "        \"serverIPAddress\": {},\n",
+                json_str(&r.ip.to_string())
+            ));
+            out.push_str(&format!("        \"_asn\": {},\n", r.asn));
+            out.push_str(&format!("        \"_coalesced\": {}\n", r.coalesced));
+            out.push_str("      }");
+        }
+        if self.requests.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n    ]\n");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// ISO-8601 timestamp `us` microseconds after the fixed HAR epoch
+/// (2021-02-01T00:00:00Z, the paper's crawl month). Millisecond
+/// precision, as WebPageTest HARs carry.
+fn har_datetime(us: u64) -> String {
+    let total_ms = us / 1_000;
+    let (ms, s, m) = (
+        total_ms % 1_000,
+        (total_ms / 1_000) % 60,
+        (total_ms / 60_000) % 60,
+    );
+    let h = total_ms / 3_600_000;
+    format!("2021-02-01T{h:02}:{m:02}:{s:02}.{ms:03}Z")
+}
+
+/// HAR `httpVersion` string for a protocol.
+fn har_http_version(p: Protocol) -> &'static str {
+    match p {
+        Protocol::NA => "",
+        p => p.label(),
     }
 }
 
@@ -362,5 +530,106 @@ mod tests {
         };
         assert_eq!(l.plt(), 0.0);
         assert_eq!(l.distinct_ases(), 0);
+    }
+
+    #[test]
+    fn phase_totals_quantise_to_integer_microseconds() {
+        // 0.1 + 0.2 is the canonical float-accumulation trap: the
+        // naive sum is 0.30000000000000004 ms. Quantised arithmetic
+        // yields exactly 300 µs, matching the metrics path.
+        let p = Phase {
+            blocked: 0.1,
+            send: 0.2,
+            ..Default::default()
+        };
+        assert_eq!(p.total_us(), 300);
+        assert_eq!(p.total(), 0.3);
+        assert_eq!(p.quantised_us().iter().sum::<u64>(), p.total_us());
+        // Sub-microsecond noise rounds away instead of accumulating.
+        let tiny = Phase {
+            wait: 0.0004,
+            ..Default::default()
+        };
+        assert_eq!(tiny.total_us(), 0);
+        assert_eq!(tiny.total(), 0.0);
+    }
+
+    #[test]
+    fn request_end_uses_quantised_arithmetic() {
+        let r = t(0, "a.com", 10.1, 0.2, 0.0, 0.0, 1);
+        assert_eq!(r.start_us(), 10_100);
+        assert_eq!(r.end_us(), r.start_us() + r.phase.total_us());
+        assert_eq!(r.end(), r.end_us() as f64 / 1_000.0);
+    }
+
+    #[test]
+    fn har_export_has_schema_keys() {
+        let har = load().to_har_json();
+        for key in [
+            "\"log\"",
+            "\"version\": \"1.2\"",
+            "\"creator\"",
+            "\"pages\"",
+            "\"entries\"",
+            "\"pageTimings\"",
+            "\"startedDateTime\"",
+            "\"pageref\"",
+            "\"request\"",
+            "\"response\"",
+            "\"timings\"",
+            "\"blocked\"",
+            "\"dns\"",
+            "\"connect\"",
+            "\"ssl\"",
+            "\"send\"",
+            "\"wait\"",
+            "\"receive\"",
+            "\"serverIPAddress\"",
+            "\"_coalesced\"",
+        ] {
+            assert!(har.contains(key), "HAR export missing {key}");
+        }
+    }
+
+    #[test]
+    fn har_onload_equals_last_request_end() {
+        let l = load();
+        let har = l.to_har_json();
+        let last_end = l.requests.iter().map(|r| r.end()).fold(0.0, f64::max);
+        assert_eq!(l.plt(), last_end);
+        assert!(
+            har.contains(&format!("\"onLoad\": {}", json_f64(l.plt()))),
+            "onLoad must carry the PLT"
+        );
+        // Every entry's `time` is its quantised phase total.
+        for r in &l.requests {
+            assert!(har.contains(&format!("\"time\": {}", json_f64(r.phase.total()))));
+        }
+    }
+
+    #[test]
+    fn har_uses_minus_one_for_inapplicable_phases() {
+        // A reused-connection request did no DNS, connect, or TLS.
+        let mut reused = t(1, "b.com", 5.0, 0.0, 0.0, 3.0, 1);
+        reused.did_dns = false;
+        reused.new_connection = false;
+        let l = PageLoad {
+            rank: 9,
+            root_host: name("b.com"),
+            requests: vec![reused],
+        };
+        let har = l.to_har_json();
+        assert!(har.contains("\"dns\": -1"), "dns must be -1 when skipped");
+        assert!(har.contains("\"connect\": -1"));
+        assert!(har.contains("\"ssl\": -1"));
+        assert!(!har.contains("\"wait\": -1"), "wait always applies");
+    }
+
+    #[test]
+    fn har_datetime_counts_from_fixed_epoch() {
+        assert_eq!(har_datetime(0), "2021-02-01T00:00:00.000Z");
+        assert_eq!(har_datetime(1_500), "2021-02-01T00:00:00.001Z");
+        assert_eq!(har_datetime(61_000_000), "2021-02-01T00:01:01.000Z");
+        assert_eq!(har_datetime(3_600_000_000), "2021-02-01T01:00:00.000Z");
     }
 }

@@ -173,4 +173,147 @@ mod tests {
         let r = render(&l, 40);
         assert!(r.contains("PLT 0.0ms"));
     }
+
+    /// A request with round-number phases so golden columns are exact.
+    fn golden_req(
+        idx: usize,
+        host: &str,
+        start: f64,
+        phase: Phase,
+        new_connection: bool,
+        coalesced: bool,
+    ) -> RequestTiming {
+        RequestTiming {
+            resource_index: idx,
+            host: name(host),
+            ip: IpAddr::V4(Ipv4Addr::new(1, 1, 1, 1)),
+            asn: 1,
+            start,
+            phase,
+            did_dns: phase.dns > 0.0,
+            new_connection,
+            coalesced,
+            protocol: Protocol::H2,
+            cert_issuer: None,
+            secure: true,
+            extra_connections: 0,
+            extra_dns: 0,
+        }
+    }
+
+    /// Before: both requests pay full setup. PLT 60ms.
+    fn golden_before() -> PageLoad {
+        PageLoad {
+            rank: 1,
+            root_host: name("a.com"),
+            requests: vec![
+                golden_req(
+                    0,
+                    "a.com",
+                    0.0,
+                    Phase {
+                        dns: 10.0,
+                        connect: 10.0,
+                        ssl: 10.0,
+                        wait: 10.0,
+                        receive: 10.0,
+                        ..Default::default()
+                    },
+                    true,
+                    false,
+                ),
+                golden_req(
+                    1,
+                    "b.com",
+                    25.0,
+                    Phase {
+                        dns: 5.0,
+                        connect: 10.0,
+                        ssl: 5.0,
+                        wait: 10.0,
+                        receive: 5.0,
+                        ..Default::default()
+                    },
+                    true,
+                    false,
+                ),
+            ],
+        }
+    }
+
+    /// After: the second request coalesces, dropping its setup. PLT 50ms.
+    fn golden_after() -> PageLoad {
+        let mut l = golden_before();
+        l.requests[1] = golden_req(
+            1,
+            "b.com",
+            25.0,
+            Phase {
+                wait: 10.0,
+                receive: 5.0,
+                ..Default::default()
+            },
+            false,
+            true,
+        );
+        l
+    }
+
+    #[test]
+    fn render_matches_golden_fixture() {
+        // Width 60 on a 60 ms page: one column per millisecond.
+        let mut want = String::new();
+        want.push_str("host      0ms");
+        want.push_str(&" ".repeat(56));
+        want.push_str("60ms\n");
+        want.push_str("a.com     ");
+        want.push_str(&"D".repeat(10));
+        want.push_str(&"C".repeat(20));
+        want.push_str(&"▒".repeat(10));
+        want.push_str(&"█".repeat(10));
+        want.push('\n');
+        want.push_str("b.com     ");
+        want.push_str(&" ".repeat(25));
+        want.push_str(&"D".repeat(5));
+        want.push_str(&"C".repeat(15));
+        want.push_str(&"▒".repeat(10));
+        want.push_str(&"█".repeat(5));
+        want.push('\n');
+        want.push_str("PLT 60.0ms | 2 requests | 2 DNS | 2 TLS | 0 coalesced\n");
+        assert_eq!(render(&golden_before(), 60), want);
+    }
+
+    #[test]
+    fn render_coalesced_matches_golden_fixture() {
+        // Width 60 on a 50 ms page: 1.2 columns per millisecond, still
+        // integral for every round-number boundary in the fixture.
+        let mut want = String::new();
+        want.push_str("host      0ms");
+        want.push_str(&" ".repeat(56));
+        want.push_str("50ms\n");
+        want.push_str("a.com     ");
+        want.push_str(&"D".repeat(12));
+        want.push_str(&"C".repeat(24));
+        want.push_str(&"▒".repeat(12));
+        want.push_str(&"█".repeat(12));
+        want.push('\n');
+        want.push_str("b.com     ");
+        want.push_str(&" ".repeat(30));
+        want.push_str(&"▒".repeat(12));
+        want.push_str(&"█".repeat(6));
+        want.push_str(" (coalesced)\n");
+        want.push_str("PLT 50.0ms | 2 requests | 1 DNS | 1 TLS | 1 coalesced\n");
+        assert_eq!(render(&golden_after(), 60), want);
+    }
+
+    #[test]
+    fn render_comparison_matches_golden_fixture() {
+        let got = render_comparison(&golden_before(), &golden_after(), 60);
+        let mut want = String::from("== measured ==\n");
+        want.push_str(&render(&golden_before(), 60));
+        want.push_str("\n== reconstructed (coalesced) ==\n");
+        want.push_str(&render(&golden_after(), 60));
+        want.push_str("\ntime saved: 10.0ms (16.7%)\n");
+        assert_eq!(got, want);
+    }
 }

@@ -6,6 +6,8 @@
 #   reports/repro_full.log        reference stderr (progress + wire checks)
 #   reports/series.json           raw figure series for the same run
 #   reports/metrics_baseline.json deterministic work counters gated by CI
+#   reports/trace_site3.json      reference Perfetto span trace of the
+#                                 rank-3 visit (EXPERIMENTS.md tracing)
 #
 # The full reference run matches EXPERIMENTS.md (6,000 sites, seed
 # 0x0516, one thread — thread count only affects wall clock, but the
@@ -28,5 +30,9 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 target/release/repro --sites 500 --metrics "$tmp" >/dev/null 2>&1
 jq -S 'del(.runtime_ms)' "$tmp" >reports/metrics_baseline.json
+
+echo "refresh: reference span trace (rank-3 visit)…" >&2
+target/release/repro trace --site 3 --out reports/trace_site3.json 2>/dev/null
+jq -e '.traceEvents | length > 0' reports/trace_site3.json >/dev/null
 
 echo "refresh: done — review the diff, then commit reports/" >&2
