@@ -110,12 +110,81 @@ fn bench_crawl_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_pool_decide(c: &mut Criterion) {
+    // The per-request coalescing decision, indexed vs. the linear
+    // reference scan, across pool sizes. The indexed path should be
+    // flat in pool size; the linear path grows with it.
+    use origin_browser::pool::ReuseDecision;
+    use origin_browser::{ConnectionPool, PoolPartition, PooledConnection};
+    use origin_dns::name::name;
+    use origin_web::Protocol;
+    use std::net::{IpAddr, Ipv4Addr};
+
+    let mut g = c.benchmark_group("pool_decide");
+    for &conns in &[16usize, 64, 256] {
+        let mut pool = ConnectionPool::new();
+        for i in 0..conns {
+            let host = format!("h{i}.svc{}.example", i % 17);
+            let ip = IpAddr::V4(Ipv4Addr::new(10, 1, (i / 251) as u8, (i % 251) as u8));
+            let mut b = origin_tls::CertificateBuilder::new(name(&host));
+            b = b.san(name(&format!("*.svc{}.example", i % 17)));
+            pool.insert(PooledConnection {
+                host: name(&host),
+                ip,
+                available_set: vec![ip].into(),
+                cert: std::sync::Arc::new(b.build()),
+                origin_set: None,
+                protocol: Protocol::H2,
+                partition: PoolPartition::Default,
+                bytes_transferred: 0,
+                in_flight: 0,
+                busy_until: 0.0,
+            });
+        }
+        // A host only a wildcard SAN covers, resolving to an address
+        // no connection holds: the decision must consult the SAN
+        // indexes (or scan everything) before answering.
+        let host = name("new.svc3.example");
+        let answer = [IpAddr::V4(Ipv4Addr::new(192, 0, 2, 1))];
+        for (label, linear) in [("indexed", false), ("linear", true)] {
+            g.bench_with_input(BenchmarkId::new(label, conns), &linear, |b, &linear| {
+                b.iter(|| {
+                    let d = if linear {
+                        pool.decide_linear(
+                            BrowserKind::Chromium,
+                            &host,
+                            &answer,
+                            PoolPartition::Default,
+                            6,
+                            0.0,
+                            |_| true,
+                        )
+                    } else {
+                        pool.decide(
+                            BrowserKind::Chromium,
+                            &host,
+                            &answer,
+                            PoolPartition::Default,
+                            6,
+                            0.0,
+                            |_| true,
+                        )
+                    };
+                    matches!(d, ReuseDecision::New)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_dataset_generation,
     bench_page_materialization,
     bench_page_load,
     bench_full_characterization,
-    bench_crawl_scaling
+    bench_crawl_scaling,
+    bench_pool_decide
 );
 criterion_main!(benches);

@@ -83,5 +83,39 @@ fn bench_table_sizes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_table_sizes);
+fn bench_dynamic_churn(c: &mut Criterion) {
+    // Worst case for the encoder's indexed lookup: every block carries
+    // fresh cookie/path values, so the dynamic table churns (insert +
+    // evict) continuously and the name/value indexes must stay in sync
+    // with eviction. The O(1) lookup keeps this linear in headers, not
+    // in table size × headers.
+    let mut g = c.benchmark_group("hpack_dynamic_churn");
+    g.bench_function("rotating_values", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new();
+            let mut total = 0usize;
+            for i in 0..256 {
+                let headers = vec![
+                    Header::new(":method", "GET"),
+                    Header::new(":scheme", "https"),
+                    Header::new(":authority", "static.example.com"),
+                    Header::new(":path", &format!("/assets/chunk-{i}.js")),
+                    Header::new("cookie", &format!("session={i:032x}")),
+                    Header::new("x-request-id", &format!("{i:016x}")),
+                ];
+                total += enc.encode(&headers).len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_table_sizes,
+    bench_dynamic_churn
+);
 criterion_main!(benches);

@@ -12,7 +12,9 @@
 use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
 use origin_core::certplan::{plan_site, EffectiveChanges, PlanSummary};
 use origin_core::characterize::Characterization;
-use origin_core::model::{predict, CoalescingGrouping};
+use origin_core::model::predict_counts3;
+#[cfg(test)]
+use origin_core::model::{predict_counts, CoalescingGrouping};
 use origin_metrics::Registry;
 use origin_netsim::SimRng;
 use origin_trace::{Sampler, Tracer};
@@ -131,14 +133,21 @@ impl ShardAccum {
     }
 }
 
-/// Crawl + model one site into `acc`. Every site is self-contained:
-/// fresh browser session (its own [`UniverseEnv`] over the shared
-/// read-only dataset) and an RNG seeded purely from the site's own
-/// `page_seed` — no state crosses site boundaries, which is what makes
-/// sharding over threads exact rather than approximate.
+/// Crawl + model one site into `acc`. Every site is self-contained —
+/// flushed DNS (fresh browser session), resolver-stat deltas, and an
+/// RNG seeded purely from the site's own `page_seed` — so no state
+/// crosses site boundaries, which is what makes sharding over threads
+/// exact rather than approximate.
+///
+/// The `env` is *reused* across a worker's sites purely as a cache
+/// carrier: everything it memoizes (host facts) is a pure function of
+/// the immutable dataset, and everything per-visit (DNS cache,
+/// rotation serials, stats) is flushed here. A fresh env per site
+/// produces byte-identical output, just slower.
 fn crawl_site(
     dataset: &Dataset,
     loader: &PageLoader,
+    env: &mut UniverseEnv,
     site: &SiteConfig,
     acc: &mut ShardAccum,
     sampler: Option<&Sampler>,
@@ -146,7 +155,6 @@ fn crawl_site(
     let page = dataset.page_for(site);
 
     // §3: measured crawl (fresh browser session per page).
-    let mut env = UniverseEnv::new(dataset);
     env.flush_dns();
     let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
     // Tracing observes the simulation without touching its RNG, so a
@@ -157,40 +165,30 @@ fn crawl_site(
             site.rank as u64,
             &format!("site-{} {}", site.rank, site.root_host.as_str()),
         );
-        loader.load_traced(
-            &page,
-            &mut env,
-            &mut rng,
-            Some(&mut acc.metrics),
-            &mut acc.trace,
-        )
+        loader.load_traced(&page, env, &mut rng, Some(&mut acc.metrics), &mut acc.trace)
     } else {
-        loader.load_instrumented(&page, &mut env, &mut rng, Some(&mut acc.metrics))
+        loader.load_instrumented(&page, env, &mut rng, Some(&mut acc.metrics))
     };
-    env.resolver_stats().record_into(&mut acc.metrics);
+    env.take_resolver_stats().record_into(&mut acc.metrics);
     acc.characterization.add(&page, &load);
     acc.measured
         .push(load.dns_queries(), load.tls_connections(), load.plt());
 
-    // §4.2: model predictions via timeline reconstruction.
-    let (ip, _) = predict(&page, &load, CoalescingGrouping::ByIp);
+    // §4.2: model predictions via timeline reconstruction (counts
+    // only — the reconstructed timelines themselves are not kept).
+    // One fused walk produces all three groupings.
+    let [ip, origin, cdn] = predict_counts3(&page, &load, DEPLOYMENT_CDN_ASN);
     acc.model_ip
         .push(ip.dns_queries, ip.tls_connections, ip.plt_ms);
-    let (origin, _) = predict(&page, &load, CoalescingGrouping::ByAs);
     acc.model_origin
         .push(origin.dns_queries, origin.tls_connections, origin.plt_ms);
-    let (cdn, _) = predict(
-        &page,
-        &load,
-        CoalescingGrouping::BySingleAs(DEPLOYMENT_CDN_ASN),
-    );
     acc.model_cdn_plt.push(cdn.plt_ms);
 
     // §4.3: certificate plan.
-    let cert = dataset.universe.cert_for(&site.root_host).cloned();
+    let cert = dataset.universe.cert_for(&site.root_host);
     let universe = &dataset.universe;
-    let site_plan = plan_site(&page, cert.as_ref(), |a, b| {
-        if a.registrable() == b.registrable() {
+    let site_plan = plan_site(&page, cert, |a, b| {
+        if a.registrable_str() == b.registrable_str() {
             return true;
         }
         let (x, y) = (universe.asn_of_host(a), universe.asn_of_host(b));
@@ -258,6 +256,10 @@ pub fn run_crawl_traced(
         for _ in 0..threads.min(n_chunks) {
             scope.spawn(|| {
                 let loader = PageLoader::new(BrowserKind::Chromium);
+                // One env per worker: its host-fact cache warms over
+                // the whole run; crawl_site flushes all per-visit
+                // state, so sharding stays exact (see crawl_site).
+                let mut env = UniverseEnv::new(&dataset);
                 loop {
                     let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                     if chunk >= n_chunks {
@@ -269,7 +271,7 @@ pub fn run_crawl_traced(
                     let end = (start + chunk_size).min(site_cfgs.len());
                     let mut acc = ShardAccum::new(sites, config.tranco_total);
                     for site in &site_cfgs[start..end] {
-                        crawl_site(&dataset, &loader, site, &mut acc, sampler);
+                        crawl_site(&dataset, &loader, &mut env, site, &mut acc, sampler);
                     }
                     *slots[chunk]
                         .lock()
@@ -374,6 +376,81 @@ mod tests {
         assert!(o_dns <= i_dns && i_dns <= m_dns);
         assert!(o_tls <= i_tls && i_tls <= m_tls);
         assert!(o_plt <= i_plt && i_plt <= m_plt);
+    }
+
+    #[test]
+    fn fast_predictions_match_full_reconstruction() {
+        // predict_counts (the crawl's clone-free path) must agree with
+        // predict's materialised reconstruction on real measured loads
+        // for every grouping the crawl uses.
+        use origin_core::model::predict;
+        let dataset = Dataset::generate(DatasetConfig {
+            sites: 60,
+            seed: 0xFEED,
+            ..Default::default()
+        });
+        let loader = PageLoader::new(BrowserKind::Chromium);
+        let mut env = UniverseEnv::new(&dataset);
+        for site in dataset.successful_sites().take(30) {
+            let page = dataset.page_for(site);
+            env.flush_dns();
+            let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+            let load = loader.load(&page, &mut env, &mut rng);
+            for grouping in [
+                CoalescingGrouping::ByIp,
+                CoalescingGrouping::ByAs,
+                CoalescingGrouping::BySingleAs(DEPLOYMENT_CDN_ASN),
+            ] {
+                let (full, _) = predict(&page, &load, grouping);
+                let fast = predict_counts(&page, &load, grouping);
+                assert_eq!(full, fast, "rank {} grouping {grouping:?}", site.rank);
+            }
+            // The fused walk the crawl actually runs must agree too.
+            let [ip, by_as, cdn] = predict_counts3(&page, &load, DEPLOYMENT_CDN_ASN);
+            assert_eq!(
+                [ip, by_as, cdn],
+                [
+                    predict_counts(&page, &load, CoalescingGrouping::ByIp),
+                    predict_counts(&page, &load, CoalescingGrouping::ByAs),
+                    predict_counts(
+                        &page,
+                        &load,
+                        CoalescingGrouping::BySingleAs(DEPLOYMENT_CDN_ASN)
+                    ),
+                ],
+                "rank {} fused",
+                site.rank
+            );
+        }
+    }
+
+    #[test]
+    fn env_reuse_is_output_invisible() {
+        // One env reused across visits (warm host-fact cache, per-site
+        // DNS flush + stat deltas) must produce exactly the loads and
+        // resolver stats a fresh env per site produces.
+        let dataset = Dataset::generate(DatasetConfig {
+            sites: 40,
+            seed: 0xD00D,
+            ..Default::default()
+        });
+        let loader = PageLoader::new(BrowserKind::Chromium);
+        let mut shared = UniverseEnv::new(&dataset);
+        for site in dataset.successful_sites().take(20) {
+            let page = dataset.page_for(site);
+            let mut fresh = UniverseEnv::new(&dataset);
+            fresh.flush_dns();
+            let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+            let want = loader.load(&page, &mut fresh, &mut rng);
+            let want_stats = fresh.resolver_stats();
+
+            shared.flush_dns();
+            let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+            let got = loader.load(&page, &mut shared, &mut rng);
+            let got_stats = shared.take_resolver_stats();
+            assert_eq!(want, got, "rank {}", site.rank);
+            assert_eq!(want_stats, got_stats, "rank {}", site.rank);
+        }
     }
 
     #[test]

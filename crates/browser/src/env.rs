@@ -2,9 +2,11 @@
 
 use origin_dns::{DnsName, QueryAnswer, ResolverState};
 use origin_h2::OriginSet;
+use origin_intern::HostTable;
 use origin_netsim::{LinkProfile, SimRng, SimTime};
 use origin_tls::Certificate;
 use origin_webgen::{Dataset, PROVIDERS};
+use std::cell::RefCell;
 use std::net::IpAddr;
 
 /// What the loader needs from "the rest of the Internet". The
@@ -32,6 +34,14 @@ pub trait WebEnv {
 
     /// The certificate the server presents for connections to `host`.
     fn cert_for(&self, host: &DnsName) -> Option<&Certificate>;
+
+    /// [`WebEnv::cert_for`] as a shared handle the loader can park on
+    /// a pooled connection. The default clones the certificate once;
+    /// environments that store certificates Arc-shared (the crawl
+    /// universe) override it with a refcount bump.
+    fn cert_shared(&self, host: &DnsName) -> Option<std::sync::Arc<Certificate>> {
+        self.cert_for(host).map(|c| std::sync::Arc::new(c.clone()))
+    }
 
     /// Origin AS of an address.
     fn asn_of_ip(&self, ip: &IpAddr) -> u32;
@@ -67,6 +77,79 @@ pub struct UniverseEnv<'a> {
     /// origin set covering all page hosts they serve (used by the §4
     /// what-if runs and §5-style deployments on the crawl universe).
     pub origin_enabled_asns: Vec<u32>,
+    /// Per-host derived facts (AS, registrable-domain id, link
+    /// class), computed once per distinct hostname. `colocated` and
+    /// `link_for` run for every candidate connection of every request;
+    /// without the cache each call re-derives the registrable domain
+    /// (allocating) and re-hashes the hostname into the universe maps.
+    /// Everything cached is a pure function of the immutable dataset,
+    /// so memoization cannot change any output.
+    cache: RefCell<HostFactCache>,
+}
+
+/// See [`UniverseEnv::cache`]. The registrable domain is stored as an
+/// interned id in the same table, making the `colocated` same-site
+/// check a `u32` compare.
+#[derive(Default)]
+struct HostFactCache {
+    hosts: HostTable,
+    facts: Vec<HostFacts>,
+}
+
+#[derive(Clone, Copy)]
+struct HostFacts {
+    asn: u32,
+    /// Interned id of the registrable domain.
+    registrable: u32,
+    /// 0 = CDN edge, 1 = same-continent tail, 2 = intercontinental
+    /// tail (see [`WebEnv::link_for`]).
+    link_class: u8,
+}
+
+/// Sentinel for table slots interned (e.g. as someone's registrable
+/// domain) but not yet computed: `u32::MAX` is never a real AS.
+const UNFILLED: HostFacts = HostFacts {
+    asn: u32::MAX,
+    registrable: u32::MAX,
+    link_class: 0,
+};
+
+impl HostFactCache {
+    fn lookup(&mut self, host: &DnsName, universe: &origin_webgen::Universe) -> HostFacts {
+        if let Some(id) = self.hosts.get(host.as_str()) {
+            if let Some(&f) = self.facts.get(id.index()) {
+                if f.asn != u32::MAX {
+                    return f;
+                }
+            }
+        }
+        let id = self.hosts.intern(host.as_str());
+        let registrable = self.hosts.intern(host.registrable_str()).0;
+        if self.facts.len() < self.hosts.len() {
+            self.facts.resize(self.hosts.len(), UNFILLED);
+        }
+        let asn = universe.asn_of_host(host);
+        let link_class = if PROVIDERS.iter().any(|p| p.asn == asn) {
+            0
+        } else {
+            // Stable per-host class (FNV over the name), as before.
+            let h = host.as_str().bytes().fold(0xcbf29ce484222325u64, |acc, b| {
+                (acc ^ b as u64).wrapping_mul(0x100000001b3)
+            });
+            if h % 2 == 0 {
+                1
+            } else {
+                2
+            }
+        };
+        let f = HostFacts {
+            asn,
+            registrable,
+            link_class,
+        };
+        self.facts[id.index()] = f;
+        f
+    }
 }
 
 impl<'a> UniverseEnv<'a> {
@@ -84,7 +167,12 @@ impl<'a> UniverseEnv<'a> {
             resolver_cache_flushed: false,
             resolver: ResolverState::new(origin_dns::Transport::Udp53),
             origin_enabled_asns: Vec::new(),
+            cache: RefCell::new(HostFactCache::default()),
         }
+    }
+
+    fn host_facts(&self, host: &DnsName) -> HostFacts {
+        self.cache.borrow_mut().lookup(host, &self.dataset.universe)
     }
 
     /// Clear the DNS cache (fresh browser session per page, §3.1).
@@ -96,6 +184,16 @@ impl<'a> UniverseEnv<'a> {
     /// The resolver's counters (plaintext exposure etc.).
     pub fn resolver_stats(&self) -> origin_dns::resolver::ResolverStats {
         self.resolver.stats()
+    }
+
+    /// The resolver's counters since the last take, resetting them to
+    /// zero. Lets one env be reused across many page visits (keeping
+    /// its host-fact cache warm) while each visit still records
+    /// exactly the per-visit deltas a fresh env would have reported.
+    pub fn take_resolver_stats(&mut self) -> origin_dns::resolver::ResolverStats {
+        let stats = self.resolver.stats();
+        self.resolver.reset_stats();
+        stats
     }
 }
 
@@ -120,24 +218,26 @@ impl WebEnv for UniverseEnv<'_> {
         self.dataset.universe.cert_for(host)
     }
 
+    fn cert_shared(&self, host: &DnsName) -> Option<std::sync::Arc<Certificate>> {
+        self.dataset.universe.cert_shared(host)
+    }
+
     fn asn_of_ip(&self, ip: &IpAddr) -> u32 {
         self.dataset.universe.asn_of_ip(ip)
     }
 
     fn asn_of_host(&self, host: &DnsName) -> u32 {
-        self.dataset.universe.asn_of_host(host)
+        self.host_facts(host).asn
     }
 
     fn colocated(&self, conn_host: &DnsName, new_host: &DnsName) -> bool {
         // Same registrable domain → same origin server farm. Same
         // provider AS → shared CDN edge able to serve both (the §4
-        // model's core assumption, stated in §4.1).
-        if conn_host.registrable() == new_host.registrable() {
-            return true;
-        }
-        let a = self.asn_of_host(conn_host);
-        let b = self.asn_of_host(new_host);
-        a != 0 && a == b
+        // model's core assumption, stated in §4.1). Both facts come
+        // memoized: registrable domains compare as interned ids.
+        let a = self.host_facts(conn_host);
+        let b = self.host_facts(new_host);
+        a.registrable == b.registrable || (a.asn != 0 && a.asn == b.asn)
     }
 
     fn origin_set_for(&self, host: &DnsName) -> Option<OriginSet> {
@@ -159,23 +259,13 @@ impl WebEnv for UniverseEnv<'_> {
     }
 
     fn link_for(&self, host: &DnsName) -> LinkProfile {
-        let asn = self.asn_of_host(host);
-        let big = PROVIDERS.iter().any(|p| p.asn == asn);
-        if big {
-            // Nearby CDN edge.
-            LinkProfile::new(32.0, 60.0).with_jitter(0.25)
-        } else {
-            // Tail origins from a single US-East vantage (§3.1): about
-            // half are same-continent, half intercontinental. The
-            // class is a stable per-host property (FNV over the name).
-            let h = host.as_str().bytes().fold(0xcbf29ce484222325u64, |acc, b| {
-                (acc ^ b as u64).wrapping_mul(0x100000001b3)
-            });
-            if h % 2 == 0 {
-                LinkProfile::new(95.0, 25.0).with_jitter(0.30)
-            } else {
-                LinkProfile::new(210.0, 18.0).with_jitter(0.25)
-            }
+        // Tail origins from a single US-East vantage (§3.1): about
+        // half are same-continent, half intercontinental; providers
+        // get a nearby CDN edge. The class is memoized per host.
+        match self.host_facts(host).link_class {
+            0 => LinkProfile::new(32.0, 60.0).with_jitter(0.25),
+            1 => LinkProfile::new(95.0, 25.0).with_jitter(0.30),
+            _ => LinkProfile::new(210.0, 18.0).with_jitter(0.25),
         }
     }
 }

@@ -257,7 +257,7 @@ impl PageLoader {
         let mut dns_ms = 0.0;
         let mut did_dns = false;
         let mut extra_dns = 0u8;
-        let mut addrs: Vec<IpAddr> = Vec::new();
+        let mut addrs: std::sync::Arc<[IpAddr]> = empty_addrs();
         let origin_trusted = self.config.trust_origin_without_dns
             && self.config.kind.uses_origin_frame()
             && matches!(
@@ -406,7 +406,7 @@ impl PageLoader {
             ReuseDecision::New => {
                 new_connection = true;
                 let ip = addrs.first().copied().unwrap_or(placeholder_ip);
-                let cert = env.cert_for(&host).cloned();
+                let cert = env.cert_shared(&host);
                 // CDN edges negotiate TLS 1.3; roughly half the tail
                 // origins still ran TLS 1.2 (2-RTT handshakes) at the
                 // paper's Feb-2021 snapshot.
@@ -492,7 +492,9 @@ impl PageLoader {
                     cert: cert.unwrap_or_else(|| {
                         // Plain-HTTP hosts have no certificate; a
                         // subject-only stand-in keeps the pool typed.
-                        origin_tls::CertificateBuilder::new(host.clone()).build()
+                        std::sync::Arc::new(
+                            origin_tls::CertificateBuilder::new(host.clone()).build(),
+                        )
                     }),
                     origin_set,
                     protocol: res.protocol,
@@ -598,6 +600,14 @@ fn ms_us(ms: f64) -> u64 {
     origin_web::har::ms_to_us(ms)
 }
 
+/// The shared empty address set for requests that never resolve
+/// (N/A-protocol skips, NXDOMAIN, ORIGIN-frame-trusted coalescing).
+/// One process-wide allocation instead of one per request.
+fn empty_addrs() -> std::sync::Arc<[IpAddr]> {
+    static EMPTY: std::sync::OnceLock<std::sync::Arc<[IpAddr]>> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| std::sync::Arc::new([])).clone()
+}
+
 /// Upper bounds (inclusive) for the per-page connection histogram.
 const CONNS_PER_PAGE_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
 
@@ -608,6 +618,15 @@ fn record_page_metrics(load: &PageLoad, metrics: &mut origin_metrics::Registry) 
     let mut coalesced = 0u64;
     let mut pool_reuse = 0u64;
     let mut dns_queries = 0u64;
+    // Phase totals accumulate locally (integer microseconds, one
+    // per-request quantisation each — the same arithmetic as recording
+    // them one by one) and hit the registry's string-keyed maps once
+    // per page instead of five times per request.
+    let mut dns_t = SimDuration::ZERO;
+    let mut connect_t = SimDuration::ZERO;
+    let mut tls_t = SimDuration::ZERO;
+    let mut transfer_t = SimDuration::ZERO;
+    let mut blocked_t = SimDuration::ZERO;
     for r in &load.requests {
         opened += r.new_connection as u64 + r.extra_connections as u64;
         coalesced += r.coalesced as u64;
@@ -615,15 +634,18 @@ fn record_page_metrics(load: &PageLoad, metrics: &mut origin_metrics::Registry) 
         // same-host connection (failed N/A requests use no network).
         pool_reuse += (!r.new_connection && !r.coalesced && r.protocol != Protocol::NA) as u64;
         dns_queries += r.did_dns as u64 + r.extra_dns as u64;
-        metrics.record_phase("sim.dns", SimDuration::from_millis_f64(r.phase.dns));
-        metrics.record_phase("sim.connect", SimDuration::from_millis_f64(r.phase.connect));
-        metrics.record_phase("sim.tls", SimDuration::from_millis_f64(r.phase.ssl));
-        metrics.record_phase(
-            "sim.transfer",
-            SimDuration::from_millis_f64(r.phase.send + r.phase.wait + r.phase.receive),
-        );
-        metrics.record_phase("sim.blocked", SimDuration::from_millis_f64(r.phase.blocked));
+        dns_t += SimDuration::from_millis_f64(r.phase.dns);
+        connect_t += SimDuration::from_millis_f64(r.phase.connect);
+        tls_t += SimDuration::from_millis_f64(r.phase.ssl);
+        transfer_t += SimDuration::from_millis_f64(r.phase.send + r.phase.wait + r.phase.receive);
+        blocked_t += SimDuration::from_millis_f64(r.phase.blocked);
     }
+    let n = load.requests.len() as u64;
+    metrics.record_phase_n("sim.dns", n, dns_t);
+    metrics.record_phase_n("sim.connect", n, connect_t);
+    metrics.record_phase_n("sim.tls", n, tls_t);
+    metrics.record_phase_n("sim.transfer", n, transfer_t);
+    metrics.record_phase_n("sim.blocked", n, blocked_t);
     metrics.add("browser.requests", load.requests.len() as u64);
     metrics.add("browser.connections_opened", opened);
     metrics.add("browser.coalesced_requests", coalesced);

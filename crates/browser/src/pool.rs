@@ -1,8 +1,22 @@
 //! The browser connection pool.
+//!
+//! `decide` runs up to three times per simulated request, so the pool
+//! keeps lookup indexes beside the connection list: hostnames are
+//! interned into a pool-local [`HostTable`], each connection's SAN
+//! list is pre-compiled at insert into exact-name and
+//! wildcard-parent buckets, and DNS-answer addresses map to the
+//! connections holding them. A decision then touches only the
+//! connections that could possibly match instead of scanning
+//! `conns × SANs`. [`ConnectionPool::decide_linear`] keeps the
+//! original full-scan logic as the reference implementation; the
+//! indexed path must (and, under `debug_assertions`, is checked to)
+//! return exactly the same decision, which is what keeps every
+//! downstream byte identical.
 
 use crate::policy::BrowserKind;
 use origin_dns::DnsName;
 use origin_h2::OriginSet;
+use origin_intern::{FxHashMap, HostId, HostTable};
 use origin_tls::Certificate;
 use origin_web::{FetchMode, Protocol};
 use std::net::IpAddr;
@@ -41,9 +55,9 @@ pub struct PooledConnection {
     /// The full DNS answer set observed when connecting — Firefox
     /// keeps this *available set* and uses it for transitive
     /// matching; Chromium keeps only `ip`.
-    pub available_set: Vec<IpAddr>,
+    pub available_set: std::sync::Arc<[IpAddr]>,
     /// Certificate the server presented.
-    pub cert: Certificate,
+    pub cert: std::sync::Arc<Certificate>,
     /// Origin set advertised via ORIGIN frame, if any.
     pub origin_set: Option<OriginSet>,
     /// Negotiated protocol.
@@ -78,9 +92,31 @@ pub enum ReuseDecision {
 }
 
 /// The pool and its reuse logic.
+///
+/// Index invariants (maintained by [`ConnectionPool::insert`], relied
+/// on by [`ConnectionPool::decide`]):
+/// - every bucket holds connection indices in ascending insertion
+///   order, so iterating a bucket (or an ordered merge of buckets)
+///   visits candidates in exactly the order the linear scan would;
+/// - `exact_san[h]` ∪ `wildcard_san[parent(h)]` is precisely the set
+///   of connections whose certificate covers hostname `h` (RFC 6125
+///   matching: an exact SAN equals the name, a wildcard SAN covers
+///   exactly the names sharing its parent);
+/// - `by_ip[a]` is the set of connections with `a` in their DNS
+///   available set.
+///
+/// The identity fields consulted by the indexes (`host`, `cert`,
+/// `available_set`) are never mutated after insert — the loader only
+/// touches transfer bookkeeping (`bytes_transferred`, `in_flight`,
+/// `busy_until`) through [`ConnectionPool::get_mut`].
 #[derive(Debug, Default)]
 pub struct ConnectionPool {
     conns: Vec<PooledConnection>,
+    hosts: HostTable,
+    by_host: FxHashMap<HostId, Vec<u32>>,
+    exact_san: FxHashMap<HostId, Vec<u32>>,
+    wildcard_san: FxHashMap<HostId, Vec<u32>>,
+    by_ip: FxHashMap<IpAddr, Vec<u32>>,
 }
 
 impl ConnectionPool {
@@ -109,10 +145,37 @@ impl ConnectionPool {
         &mut self.conns[idx]
     }
 
-    /// Insert a connection; returns its index.
+    /// Insert a connection; returns its index. The certificate's SAN
+    /// list is compiled into the coalescing indexes here, once, so no
+    /// later decision ever walks it.
     pub fn insert(&mut self, conn: PooledConnection) -> usize {
+        let idx = u32::try_from(self.conns.len()).expect("pool outgrew u32 indices");
+        let host_id = self.hosts.intern(conn.host.as_str());
+        self.by_host.entry(host_id).or_default().push(idx);
+        for san in &conn.cert.sans {
+            let (map, key) = if san.is_wildcard() {
+                let Some(parent) = san.parent_str() else {
+                    continue; // a bare "*" SAN can never match
+                };
+                (&mut self.wildcard_san, parent)
+            } else {
+                (&mut self.exact_san, san.as_str())
+            };
+            let bucket = map.entry(self.hosts.intern(key)).or_default();
+            // Duplicate SAN entries on one cert must not duplicate
+            // the index entry.
+            if bucket.last() != Some(&idx) {
+                bucket.push(idx);
+            }
+        }
+        for ip in conn.available_set.iter() {
+            let bucket = self.by_ip.entry(*ip).or_default();
+            if bucket.last() != Some(&idx) {
+                bucket.push(idx);
+            }
+        }
         self.conns.push(conn);
-        self.conns.len() - 1
+        idx as usize
     }
 
     /// Decide how a request to `host` (with DNS answer `addrs`, in
@@ -133,10 +196,228 @@ impl ConnectionPool {
         start: f64,
         colocated: impl Fn(&DnsName) -> bool,
     ) -> ReuseDecision {
+        let decision = self.decide_indexed(
+            policy,
+            host,
+            addrs,
+            partition,
+            max_h1_per_host,
+            start,
+            &colocated,
+        );
+        #[cfg(debug_assertions)]
+        {
+            let reference = self.decide_linear(
+                policy,
+                host,
+                addrs,
+                partition,
+                max_h1_per_host,
+                start,
+                &colocated,
+            );
+            assert_eq!(
+                decision, reference,
+                "indexed decision diverged from linear reference for {host} under {policy:?}"
+            );
+        }
+        decision
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decide_indexed(
+        &self,
+        policy: BrowserKind,
+        host: &DnsName,
+        addrs: &[IpAddr],
+        partition: PoolPartition,
+        max_h1_per_host: u32,
+        start: f64,
+        colocated: &impl Fn(&DnsName) -> bool,
+    ) -> ReuseDecision {
         // The §4 ideal models are structural: they count connections
         // per service and are blind to pool partitions, HTTP/1.1
         // serialization, and timing — "the number of TLS handshakes
         // is equal to the number of separate services" (§4.2).
+        let is_ideal = matches!(policy, BrowserKind::IdealIp | BrowserKind::IdealOrigin);
+        fn bucket_of(map: &FxHashMap<HostId, Vec<u32>>, key: Option<HostId>) -> &[u32] {
+            key.and_then(|id| map.get(&id))
+                .map_or(&[], |b| b.as_slice())
+        }
+
+        // 1. Same-host reuse (keep-alive): H2 always multiplexes; an
+        //    H1.1 connection is only reusable when idle. A hostname
+        //    the interner has never seen has no connections at all.
+        let host_id = self.hosts.get(host.as_str());
+        let same_host = bucket_of(&self.by_host, host_id);
+        let mut h1_same_host = 0u32;
+        for &i in same_host {
+            let c = &self.conns[i as usize];
+            if !is_ideal && c.partition != partition {
+                continue;
+            }
+            if c.multiplexes() || is_ideal {
+                return ReuseDecision::SameHost(i as usize);
+            }
+            h1_same_host += 1;
+            if c.in_flight == 0 && c.busy_until <= start {
+                return ReuseDecision::SameHost(i as usize);
+            }
+        }
+        if h1_same_host >= max_h1_per_host {
+            // All six H1.1 slots busy: queue behind the least loaded
+            // (modelled as same-host reuse with blocking charged by
+            // the loader).
+            if let Some((i, _)) = same_host
+                .iter()
+                .map(|&i| (i as usize, &self.conns[i as usize]))
+                .filter(|(_, c)| c.partition == partition)
+                .min_by(|(_, a), (_, b)| {
+                    a.busy_until
+                        .partial_cmp(&b.busy_until)
+                        .expect("finite times")
+                })
+            {
+                return ReuseDecision::SameHost(i);
+            }
+        }
+
+        // 2. Cross-host coalescing (HTTP/2 only, same partition, cert
+        //    must cover the new name, server must actually serve it).
+        //
+        // Real browsers require the connection's certificate to cover
+        // the new name, so the candidates are exactly the SAN-index
+        // buckets for the hostname (exact entries) and its parent
+        // (wildcard entries), merged in ascending insertion order to
+        // reproduce the linear scan's first match.
+        if !is_ideal {
+            let exact = bucket_of(&self.exact_san, host_id);
+            let wild = bucket_of(
+                &self.wildcard_san,
+                host.parent_str().and_then(|p| self.hosts.get(p)),
+            );
+            let (mut a, mut b) = (0usize, 0usize);
+            loop {
+                let i = match (exact.get(a), wild.get(b)) {
+                    (Some(&x), Some(&y)) if x == y => {
+                        a += 1;
+                        b += 1;
+                        x
+                    }
+                    (Some(&x), Some(&y)) if x < y => {
+                        a += 1;
+                        x
+                    }
+                    (Some(_), Some(&y)) => {
+                        b += 1;
+                        y
+                    }
+                    (Some(&x), None) => {
+                        a += 1;
+                        x
+                    }
+                    (None, Some(&y)) => {
+                        b += 1;
+                        y
+                    }
+                    (None, None) => break,
+                };
+                let c = &self.conns[i as usize];
+                debug_assert!(c.cert.covers(host), "SAN index out of sync with cert");
+                if c.partition != partition || !c.multiplexes() {
+                    continue;
+                }
+                if let Some(d) = Self::coalesce_check(policy, c, host, addrs, colocated, i as usize)
+                {
+                    return d;
+                }
+            }
+            return ReuseDecision::New;
+        }
+
+        // The ideal models skip the certificate requirement (§4
+        // assumes the least-effort SAN modifications are applied), so
+        // the SAN index cannot narrow them. IdealIp still needs an
+        // address overlap — the by-ip index names its candidates —
+        // while IdealOrigin coalesces on colocation alone and must
+        // consider every connection.
+        match policy {
+            BrowserKind::IdealIp => {
+                let mut candidates: Vec<u32> = addrs
+                    .iter()
+                    .filter_map(|a| self.by_ip.get(a))
+                    .flatten()
+                    .copied()
+                    .collect();
+                candidates.sort_unstable();
+                candidates.dedup();
+                for i in candidates {
+                    let c = &self.conns[i as usize];
+                    if colocated(&c.host) {
+                        return ReuseDecision::Coalesce(i as usize);
+                    }
+                }
+            }
+            _ => {
+                for (i, c) in self.conns.iter().enumerate() {
+                    if colocated(&c.host) {
+                        return ReuseDecision::Coalesce(i);
+                    }
+                }
+            }
+        }
+        ReuseDecision::New
+    }
+
+    /// The step-2 per-candidate policy check shared by the indexed
+    /// non-ideal path: IP evidence (exact or transitive) or an ORIGIN
+    /// frame, after the server-side colocation gate.
+    fn coalesce_check(
+        policy: BrowserKind,
+        c: &PooledConnection,
+        host: &DnsName,
+        addrs: &[IpAddr],
+        colocated: &impl Fn(&DnsName) -> bool,
+        idx: usize,
+    ) -> Option<ReuseDecision> {
+        if !colocated(&c.host) {
+            return None;
+        }
+        let ip_match = if policy.ip_transitive() {
+            c.available_set.iter().any(|a| addrs.contains(a))
+        } else {
+            addrs.contains(&c.ip)
+        };
+        let origin_match = policy.uses_origin_frame()
+            && c.origin_set
+                .as_ref()
+                .map(|s| s.allows_https_host(host.as_str()))
+                .unwrap_or(false);
+        let allowed = match policy {
+            BrowserKind::Chromium | BrowserKind::Firefox => ip_match,
+            BrowserKind::FirefoxOrigin => origin_match || ip_match,
+            BrowserKind::IdealIp | BrowserKind::IdealOrigin => {
+                unreachable!("ideal policies take the dedicated paths")
+            }
+        };
+        allowed.then_some(ReuseDecision::Coalesce(idx))
+    }
+
+    /// The original full-scan decision logic, kept verbatim as the
+    /// reference implementation: the indexed [`ConnectionPool::decide`]
+    /// must agree with it on every input (asserted in debug builds and
+    /// by the randomized property test).
+    #[allow(clippy::too_many_arguments)]
+    pub fn decide_linear(
+        &self,
+        policy: BrowserKind,
+        host: &DnsName,
+        addrs: &[IpAddr],
+        partition: PoolPartition,
+        max_h1_per_host: u32,
+        start: f64,
+        colocated: impl Fn(&DnsName) -> bool,
+    ) -> ReuseDecision {
         let is_ideal = matches!(policy, BrowserKind::IdealIp | BrowserKind::IdealOrigin);
 
         // 1. Same-host reuse (keep-alive): H2 always multiplexes; an
@@ -155,9 +436,6 @@ impl ConnectionPool {
             }
         }
         if h1_same_host >= max_h1_per_host {
-            // All six H1.1 slots busy: queue behind the least loaded
-            // (modelled as same-host reuse with blocking charged by
-            // the loader).
             if let Some((i, _)) = self
                 .conns
                 .iter()
@@ -262,8 +540,8 @@ mod tests {
         PooledConnection {
             host: name(host),
             ip,
-            available_set: set,
-            cert: b.build(),
+            available_set: set.into(),
+            cert: std::sync::Arc::new(b.build()),
             origin_set: None,
             protocol: Protocol::H2,
             partition: PoolPartition::Default,
@@ -480,5 +758,190 @@ mod tests {
             always,
         );
         assert_eq!(d, ReuseDecision::Coalesce(0));
+    }
+
+    #[test]
+    fn wildcard_san_scopes_to_one_level() {
+        // RFC 6125: "*.cdn.com" matches exactly one label — a
+        // sibling subdomain coalesces, the bare parent and a deeper
+        // name do not (both the wildcard index bucket and the cert
+        // check must agree on this).
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("edge.cdn.com", ip, vec![ip], &["*.cdn.com"]));
+        for (host, want) in [
+            ("a.cdn.com", ReuseDecision::Coalesce(0)),
+            ("cdn.com", ReuseDecision::New),
+            ("x.y.cdn.com", ReuseDecision::New),
+        ] {
+            let d = pool.decide(
+                BrowserKind::Chromium,
+                &name(host),
+                &[ip],
+                PoolPartition::Default,
+                6,
+                0.0,
+                always,
+            );
+            assert_eq!(d, want, "{host}");
+        }
+    }
+
+    #[test]
+    fn exact_and_wildcard_buckets_agree_on_first_match_order() {
+        // A host covered by one connection's exact SAN and another's
+        // wildcard SAN must coalesce onto the *earliest-inserted*
+        // candidate, exactly as the linear scan would — the indexed
+        // path merges the exact and wildcard buckets by index, and
+        // this pins that ordering in both insertion orders.
+        let ip = v4(1, 1, 1, 1);
+        for exact_first in [true, false] {
+            let mut pool = ConnectionPool::new();
+            if exact_first {
+                pool.insert(conn("e.cdn.com", ip, vec![ip], &["static.cdn.com"]));
+                pool.insert(conn("w.cdn.com", ip, vec![ip], &["*.cdn.com"]));
+            } else {
+                pool.insert(conn("w.cdn.com", ip, vec![ip], &["*.cdn.com"]));
+                pool.insert(conn("e.cdn.com", ip, vec![ip], &["static.cdn.com"]));
+            }
+            let d = pool.decide(
+                BrowserKind::Chromium,
+                &name("static.cdn.com"),
+                &[ip],
+                PoolPartition::Default,
+                6,
+                0.0,
+                always,
+            );
+            assert_eq!(d, ReuseDecision::Coalesce(0), "exact_first={exact_first}");
+        }
+    }
+
+    #[test]
+    fn firefox_coalesces_via_available_set_overlap() {
+        // §2.3's {IPA, IPB} example: the pooled connection connected
+        // to A but its DNS answer also listed B. A new host resolving
+        // to {B} alone overlaps the *available* set, which Firefox
+        // honours (transitive matching) and Chromium — which keeps
+        // only the connected IP — does not.
+        let mut pool = ConnectionPool::new();
+        let a = v4(1, 1, 1, 1);
+        let b = v4(2, 2, 2, 2);
+        pool.insert(conn("a.com", a, vec![a, b], &["b.com"]));
+        let answer = [b];
+        let ff = pool.decide(
+            BrowserKind::Firefox,
+            &name("b.com"),
+            &answer,
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(ff, ReuseDecision::Coalesce(0));
+        let cr = pool.decide(
+            BrowserKind::Chromium,
+            &name("b.com"),
+            &answer,
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(cr, ReuseDecision::New);
+    }
+
+    #[test]
+    fn randomized_pools_indexed_matches_linear() {
+        // Property test: on randomized pools (hosts, SANs incl.
+        // wildcards, overlapping address sets, mixed protocols and
+        // partitions, busy H1.1 connections) the indexed decision
+        // equals the linear reference for every policy, host and
+        // answer. Seeded SimRng, so failures replay exactly.
+        use origin_netsim::SimRng;
+        let hosts = [
+            "a.com",
+            "www.a.com",
+            "b.net",
+            "api.b.net",
+            "c.org",
+            "cdn.c.org",
+            "static.cdn.com",
+            "edge.cdn.com",
+        ];
+        let sans = [
+            "a.com",
+            "*.a.com",
+            "b.net",
+            "*.b.net",
+            "*.c.org",
+            "static.cdn.com",
+            "*.cdn.com",
+            "edge.cdn.com",
+        ];
+        let policies = [
+            BrowserKind::Chromium,
+            BrowserKind::Firefox,
+            BrowserKind::FirefoxOrigin,
+            BrowserKind::IdealIp,
+            BrowserKind::IdealOrigin,
+        ];
+        let partitions = [
+            PoolPartition::Default,
+            PoolPartition::Anonymous,
+            PoolPartition::Programmatic,
+        ];
+        let ips: Vec<IpAddr> = (1..=6).map(|d| v4(10, 0, 0, d)).collect();
+        let mut rng = SimRng::seed_from_u64(0x5EED_C0DE);
+        for trial in 0..150u32 {
+            let mut pool = ConnectionPool::new();
+            let n = 1 + rng.index(7);
+            for _ in 0..n {
+                let host = *rng.choose(&hosts);
+                let ip = *rng.choose(&ips);
+                let mut set = vec![ip];
+                while rng.chance(0.4) {
+                    set.push(*rng.choose(&ips));
+                }
+                let mut cert_sans: Vec<&str> = Vec::new();
+                while rng.chance(0.6) && cert_sans.len() < 3 {
+                    cert_sans.push(*rng.choose(&sans));
+                }
+                let mut c = conn(host, ip, set, &cert_sans);
+                if rng.chance(0.3) {
+                    c.protocol = Protocol::H11;
+                    c.in_flight = rng.index(3) as u32;
+                    c.busy_until = rng.range_f64(0.0, 40.0);
+                }
+                if rng.chance(0.2) {
+                    c.partition = *rng.choose(&partitions);
+                }
+                if rng.chance(0.2) {
+                    c.origin_set = Some(OriginSet::from_hosts([host, *rng.choose(&hosts)]));
+                }
+                pool.insert(c);
+            }
+            for _ in 0..12 {
+                let policy = *rng.choose(&policies);
+                let host = name(hosts[rng.index(hosts.len())]);
+                let mut answer: Vec<IpAddr> = Vec::new();
+                while answer.len() < 3 && rng.chance(0.7) {
+                    answer.push(*rng.choose(&ips));
+                }
+                let partition = *rng.choose(&partitions);
+                let start = rng.range_f64(0.0, 50.0);
+                // Randomized but deterministic colocation relation.
+                let colo_salt = rng.next_u64();
+                let colocated =
+                    |h: &DnsName| !(h.as_str().len() as u64 ^ colo_salt).is_multiple_of(3);
+                let indexed = pool.decide(policy, &host, &answer, partition, 2, start, colocated);
+                let linear =
+                    pool.decide_linear(policy, &host, &answer, partition, 2, start, colocated);
+                assert_eq!(
+                    indexed, linear,
+                    "trial {trial}: {policy:?} {host} answer {answer:?} partition {partition:?}"
+                );
+            }
+        }
     }
 }

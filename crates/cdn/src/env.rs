@@ -115,7 +115,7 @@ impl WebEnv for CdnEnv<'_> {
         let addr = self.address_of(host)?;
         self.dns_queries += 1;
         Some(QueryAnswer {
-            addresses: vec![addr],
+            addresses: std::sync::Arc::new([addr]),
             from_cache: false,
             latency: SimDuration::from_millis_f64(12.0 + rng.exponential(8.0)),
         })

@@ -60,7 +60,7 @@ impl SampleSite {
             };
             page.push(Resource::new(
                 self.host.clone(),
-                &format!("/assets/fp{i}.bin"),
+                format!("/assets/fp{i}.bin"),
                 ct,
                 8_000 + i as u64 * 1_000,
             ));
@@ -80,7 +80,7 @@ impl SampleSite {
             };
             let mut r = Resource::new(
                 name(THIRD_PARTY_HOST),
-                &format!("/ajax/libs/lib{j}.min.js"),
+                format!("/ajax/libs/lib{j}.min.js"),
                 ContentType::Javascript,
                 15_000,
             )

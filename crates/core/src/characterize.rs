@@ -1,17 +1,21 @@
 //! §3.3 dataset characterization (Tables 1–7, Figure 1).
 
+use origin_intern::FxHashMap;
 use origin_stats::{Histogram, Summary, TopK};
 use origin_web::har::PageLoad;
 use origin_web::{ContentType, Page, Protocol};
-use std::collections::HashMap;
 
 /// Streaming aggregator over `(page, load)` pairs reproducing the
 /// paper's dataset characterization. Feed every successful crawl via
 /// [`Characterization::add`], then read the table accessors.
+///
+/// Both internal maps use the deterministic Fx hasher; neither is read
+/// in iteration order (buckets are sorted for Table 1, `as_content` is
+/// probed per AS key for Table 6).
 #[derive(Default)]
 pub struct Characterization {
     /// Per-rank-bucket data: (bucket index → per-page samples).
-    buckets: HashMap<u32, BucketSamples>,
+    buckets: FxHashMap<u32, BucketSamples>,
     /// Requests per destination AS (Table 2).
     pub as_requests: TopK<u32>,
     /// Requests per protocol (Table 3 top).
@@ -25,7 +29,7 @@ pub struct Characterization {
     /// Requests per content type (Table 5).
     pub content_types: TopK<&'static str>,
     /// Per-AS content types (Table 6).
-    pub as_content: HashMap<u32, TopK<&'static str>>,
+    pub as_content: FxHashMap<u32, TopK<&'static str>>,
     /// Subresource hostnames (Table 7).
     pub hostnames: TopK<String>,
     /// Unique ASes per page (Figure 1).
@@ -102,13 +106,13 @@ impl Characterization {
                 self.insecure_requests += 1;
             }
             if let Some(issuer) = &r.cert_issuer {
-                self.issuers.add(issuer.clone());
+                self.issuers.add_str(issuer);
             }
             let ct = page.resources[i].content_type;
             self.content_types.add(ct.mime());
             self.as_content.entry(r.asn).or_default().add(ct.mime());
             if i != 0 {
-                self.hostnames.add(r.host.to_string());
+                self.hostnames.add_str(r.host.as_str());
             }
         }
     }

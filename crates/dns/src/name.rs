@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// A validated, normalized (lowercase, no trailing dot) DNS hostname.
 ///
@@ -11,8 +12,15 @@ use std::str::FromStr;
 /// `[a-z0-9_-]`, not starting or ending with `-`, full name ≤253
 /// octets. A leading `*` label is allowed so the same type can carry
 /// certificate wildcard patterns (`*.example.com`).
+///
+/// The normalized text is held in a shared `Arc<str>`: hostnames are
+/// cloned on every generated resource, every request record, and every
+/// certificate SAN, and an atomic refcount bump there beats a heap
+/// copy. The derived impls still delegate to the string contents
+/// (`Hash`/`Eq`/`Ord` of `Arc<T>` forward to `T`), so nothing about
+/// ordering, hashing, or the `Borrow<str>` probe contract changes.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DnsName(String);
+pub struct DnsName(Arc<str>);
 
 /// Why a string failed to parse as a [`DnsName`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,7 +90,7 @@ impl DnsName {
                 }
             }
         }
-        Ok(DnsName(lower))
+        Ok(DnsName(lower.into()))
     }
 
     /// The normalized name as a string slice.
@@ -109,9 +117,14 @@ impl DnsName {
     /// (`a.b.example.com → b.example.com`), or `None` for a
     /// single-label name.
     pub fn parent(&self) -> Option<DnsName> {
-        self.0
-            .split_once('.')
-            .map(|(_, rest)| DnsName(rest.to_string()))
+        self.parent_str().map(|rest| DnsName(Arc::from(rest)))
+    }
+
+    /// [`DnsName::parent`] as a borrowed slice of this name — the
+    /// allocation-free form the per-request hot path (SAN wildcard
+    /// matching, certificate fallback walks) uses.
+    pub fn parent_str(&self) -> Option<&str> {
+        self.0.split_once('.').map(|(_, rest)| rest)
     }
 
     /// True when `self` is a strict subdomain of `other`
@@ -129,25 +142,40 @@ impl DnsName {
     /// grouping sharded subdomains by site, which is all the dataset
     /// characterization needs.
     pub fn registrable(&self) -> DnsName {
+        let r = self.registrable_str();
+        if r.len() == self.0.len() {
+            self.clone()
+        } else {
+            DnsName(Arc::from(r))
+        }
+    }
+
+    /// [`DnsName::registrable`] as a borrowed suffix of this name.
+    /// The registrable domain is always a label-aligned suffix, so
+    /// the hot-path colocation checks can compare slices (or interned
+    /// ids of them) without allocating.
+    pub fn registrable_str(&self) -> &str {
         const TWO_PART_SUFFIXES: &[&str] = &[
             "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.jp", "ne.jp",
             "or.jp", "com.br", "com.cn", "com.mx", "co.in", "co.kr", "co.za",
         ];
-        let labels: Vec<&str> = self.0.split('.').collect();
-        let n = labels.len();
-        if n <= 2 {
-            return self.clone();
-        }
-        let last_two = format!("{}.{}", labels[n - 2], labels[n - 1]);
-        let keep = if TWO_PART_SUFFIXES.contains(&last_two.as_str()) {
-            3
-        } else {
-            2
+        // Walk dots from the right: find the start of the last two,
+        // then (for two-part public suffixes) the last three labels.
+        let s: &str = &self.0;
+        let Some(last_dot) = s.rfind('.') else {
+            return s; // single label
         };
-        if n <= keep {
-            return self.clone();
+        let Some(second_dot) = s[..last_dot].rfind('.') else {
+            return s; // exactly two labels
+        };
+        let last_two = &s[second_dot + 1..];
+        if !TWO_PART_SUFFIXES.contains(&last_two) {
+            return last_two;
         }
-        DnsName(labels[n - keep..].join("."))
+        match s[..second_dot].rfind('.') {
+            Some(third_dot) => &s[third_dot + 1..],
+            None => s, // exactly three labels ending in a two-part suffix
+        }
     }
 
     /// Wire-format encoded length in bytes: one length octet per label
@@ -174,6 +202,26 @@ impl fmt::Display for DnsName {
 impl AsRef<str> for DnsName {
     fn as_ref(&self) -> &str {
         &self.0
+    }
+}
+
+/// `DnsName` hashes and compares exactly like its normalized string
+/// (the derived impls delegate to the inner `String`), so maps keyed
+/// by `DnsName` can be probed with a borrowed `&str` — which is what
+/// lets the zone wildcard walk try successive suffixes without
+/// allocating a name per level.
+impl std::borrow::Borrow<str> for DnsName {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl DnsName {
+    /// Wrap an already-normalized name string without re-validating —
+    /// for crate-internal paths that derive names from existing
+    /// `DnsName`s (e.g. the matched suffix of a wildcard walk).
+    pub(crate) fn from_normalized(s: &str) -> DnsName {
+        DnsName(Arc::from(s))
     }
 }
 

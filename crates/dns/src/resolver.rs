@@ -2,8 +2,8 @@
 
 use crate::name::DnsName;
 use crate::zone::{Answer, SerialKey, ZoneSet};
+use origin_intern::{FxHashMap, HostTable};
 use origin_netsim::{SimDuration, SimRng, SimTime};
-use std::collections::HashMap;
 
 /// The transport a client uses for its DNS queries. The paper's
 /// privacy argument (§6.2) is that every coalesced connection hides at
@@ -57,11 +57,17 @@ impl ResolverStats {
 }
 
 /// The result of one resolution.
+///
+/// Addresses are a shared slice: a cache hit hands out another
+/// reference to the cached allocation instead of copying the address
+/// list, and the browser's connection pool keeps the same reference as
+/// each connection's available set. The slice is immutable after
+/// construction, so sharing is observationally identical to cloning.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryAnswer {
     /// Resolved addresses (answer order as returned by the authority
     /// or as cached).
-    pub addresses: Vec<std::net::IpAddr>,
+    pub addresses: std::sync::Arc<[std::net::IpAddr]>,
     /// Whether this answer came from cache (no network query).
     pub from_cache: bool,
     /// Time the lookup took (zero for cache hits).
@@ -69,7 +75,7 @@ pub struct QueryAnswer {
 }
 
 struct CacheEntry {
-    addresses: Vec<std::net::IpAddr>,
+    addresses: std::sync::Arc<[std::net::IpAddr]>,
     expires: SimTime,
 }
 
@@ -86,9 +92,16 @@ struct CacheEntry {
 /// resolver round trip (configurable base latency with exponential
 /// tail jitter, reflecting real-world recursive lookup behaviour).
 pub struct ResolverState {
-    cache: HashMap<DnsName, CacheEntry>,
+    /// Interner for queried hostnames: the cache below is keyed by the
+    /// dense interned id, so repeat queries hash one `u32` instead of
+    /// a whole hostname, and expiry/replace churn never reallocates
+    /// keys. The interner survives [`ResolverState::flush_cache`] —
+    /// ids stay stable for the session and the cache itself is
+    /// emptied, so no stale entry can be observed.
+    hosts: HostTable,
+    cache: FxHashMap<u32, CacheEntry>,
     /// Per-session round-robin serials overlaying the shared zones.
-    serials: HashMap<SerialKey, u32>,
+    serials: FxHashMap<SerialKey, u32>,
     /// Transport used for network queries.
     pub transport: Transport,
     /// Base network-lookup latency.
@@ -104,8 +117,9 @@ impl ResolverState {
     /// work, as the paper's cache-flushed crawls saw.
     pub fn new(transport: Transport) -> Self {
         ResolverState {
-            cache: HashMap::new(),
-            serials: HashMap::new(),
+            hosts: HostTable::new(),
+            cache: FxHashMap::default(),
+            serials: FxHashMap::default(),
             transport,
             base_latency: SimDuration::from_millis(30),
             tail_mean_ms: 60.0,
@@ -150,7 +164,8 @@ impl ResolverState {
         now: SimTime,
         rng: &mut SimRng,
     ) -> Option<QueryAnswer> {
-        if let Some(entry) = self.cache.get(name) {
+        let key = self.hosts.intern(name.as_str()).0;
+        if let Some(entry) = self.cache.get(&key) {
             if entry.expires > now {
                 self.stats.cache_hits += 1;
                 return Some(QueryAnswer {
@@ -159,7 +174,7 @@ impl ResolverState {
                     latency: SimDuration::ZERO,
                 });
             }
-            self.cache.remove(name);
+            self.cache.remove(&key);
         }
         self.stats.network_queries += 1;
         if self.transport.is_plaintext() {
@@ -171,8 +186,9 @@ impl ResolverState {
                 addresses,
                 ttl_secs,
             }) => {
+                let addresses: std::sync::Arc<[std::net::IpAddr]> = addresses.into();
                 self.cache.insert(
-                    name.clone(),
+                    key,
                     CacheEntry {
                         addresses: addresses.clone(),
                         expires: now + SimDuration::from_secs(ttl_secs as u64),

@@ -2,18 +2,23 @@
 
 use crate::name::DnsName;
 use crate::record::RecordSet;
+use origin_intern::FxHashMap;
 use origin_netsim::SimRng;
-use std::collections::HashMap;
 use std::net::IpAddr;
 
 /// One authoritative zone: a mapping from names (exact or wildcard) to
 /// address record sets.
+///
+/// Both maps use the deterministic Fx hasher: zone lookups run on
+/// every resolver cache miss (the crawler flushes caches per page),
+/// and no output ever observes map iteration order ([`Zone::names`]
+/// has no callers in the reproduction pipeline).
 #[derive(Debug, Clone, Default)]
 pub struct Zone {
-    exact: HashMap<DnsName, RecordSet>,
+    exact: FxHashMap<DnsName, RecordSet>,
     /// Wildcard entries keyed by the parent domain the `*` covers
     /// (`*.example.com` is stored under `example.com`).
-    wildcard: HashMap<DnsName, RecordSet>,
+    wildcard: FxHashMap<DnsName, RecordSet>,
 }
 
 impl Zone {
@@ -54,16 +59,18 @@ impl Zone {
                 ttl_secs: rs.ttl_secs,
             });
         }
-        // Walk ancestors looking for a covering wildcard.
-        let mut cursor = name.parent();
+        // Walk ancestors looking for a covering wildcard. The cursor
+        // borrows successive suffixes of the queried name — no
+        // allocation per level.
+        let mut cursor = name.parent_str();
         while let Some(parent) = cursor {
-            if let Some(rs) = self.wildcard.get_mut(&parent) {
+            if let Some(rs) = self.wildcard.get_mut(parent) {
                 return Some(Answer {
                     addresses: rs.answer(rng),
                     ttl_secs: rs.ttl_secs,
                 });
             }
-            cursor = parent.parent();
+            cursor = parent.split_once('.').map(|(_, rest)| rest);
         }
         None
     }
@@ -75,7 +82,7 @@ impl Zone {
     pub fn resolve_shared(
         &self,
         name: &DnsName,
-        serials: &mut HashMap<SerialKey, u32>,
+        serials: &mut FxHashMap<SerialKey, u32>,
         rng: &mut SimRng,
     ) -> Option<Answer> {
         let (rs, key) = self.lookup(name)?;
@@ -88,17 +95,19 @@ impl Zone {
 
     /// The record set covering `name`, plus the serial-overlay key
     /// identifying it (exact entries take precedence over wildcards).
+    /// The owned key allocates only on a hit; misses walk borrowed
+    /// suffixes.
     fn lookup(&self, name: &DnsName) -> Option<(&RecordSet, SerialKey)> {
         if let Some(rs) = self.exact.get(name) {
             return Some((rs, (name.clone(), false)));
         }
         // Walk ancestors looking for a covering wildcard.
-        let mut cursor = name.parent();
+        let mut cursor = name.parent_str();
         while let Some(parent) = cursor {
-            if let Some(rs) = self.wildcard.get(&parent) {
-                return Some((rs, (parent, true)));
+            if let Some(rs) = self.wildcard.get(parent) {
+                return Some((rs, (DnsName::from_normalized(parent), true)));
             }
-            cursor = parent.parent();
+            cursor = parent.split_once('.').map(|(_, rest)| rest);
         }
         None
     }
@@ -159,7 +168,7 @@ impl ZoneSet {
     pub fn resolve_shared(
         &self,
         name: &DnsName,
-        serials: &mut HashMap<SerialKey, u32>,
+        serials: &mut FxHashMap<SerialKey, u32>,
         rng: &mut SimRng,
     ) -> Option<Answer> {
         self.zone.resolve_shared(name, serials, rng)

@@ -10,7 +10,7 @@ pub mod huffman;
 pub mod table;
 
 use crate::error::HpackError;
-use table::{find_index, find_name_index, lookup, DynamicTable, Entry};
+use table::{find_indices, find_name_index, lookup, DynamicTable, Entry};
 
 /// A header field (name must be lowercase per HTTP/2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,13 +196,17 @@ impl Encoder {
             encode_string(&h.value, self.use_huffman, out);
             return;
         }
-        if let Some(i) = find_index(&self.dynamic, &h.name, &h.value) {
+        // One table probe answers both representations: the exact
+        // match (indexed field) and the name-only fallback the
+        // literal path needs.
+        let (exact, name_index) = find_indices(&self.dynamic, &h.name, &h.value);
+        if let Some(i) = exact {
             // Indexed field (1xxxxxxx).
             encode_int(i, 7, 0x80, out);
             return;
         }
         // Literal with incremental indexing (01xxxxxx).
-        match find_name_index(&self.dynamic, &h.name) {
+        match name_index {
             Some(i) => encode_int(i, 6, 0x40, out),
             None => {
                 encode_int(0, 6, 0x40, out);

@@ -1,6 +1,16 @@
 //! HPACK static and dynamic tables (RFC 7541 §2.3).
+//!
+//! Both directions of every simulated H2 connection run header-field
+//! searches per request, so `find`/`find_name` are hot. Lookups are
+//! O(1): the static table is indexed once into hash maps (preserving
+//! the RFC's first-occurrence wire index), and the dynamic table keeps
+//! name/value buckets of monotonic insertion ids in sync with FIFO
+//! eviction — an entry's wire position is recovered arithmetically
+//! from its id, so nothing is rescanned or renumbered as entries
+//! shift.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
 
 /// The RFC 7541 Appendix A static table (1-indexed on the wire).
 pub const STATIC_TABLE: [(&str, &str); 61] = [
@@ -84,13 +94,31 @@ impl Entry {
     }
 }
 
+/// Per-name index bucket: live insertion ids, ascending (so the most
+/// recent match is always `last()`), plus a value-keyed refinement for
+/// exact (name, value) matches.
+#[derive(Debug, Clone, Default)]
+struct NameBucket {
+    ids: Vec<u64>,
+    by_value: HashMap<String, Vec<u64>>,
+}
+
 /// The FIFO dynamic table with size-based eviction.
+///
+/// Invariant: each insertion gets a monotonic id; live ids are always
+/// the contiguous range `[next_id - len, next_id - 1]` (inserts mint
+/// at the top, eviction always removes the smallest). The entry with
+/// id `i` therefore sits at 0-based position `next_id - 1 - i`, which
+/// is what lets the id buckets answer positional queries without
+/// renumbering on every insert/evict.
 #[derive(Debug, Clone)]
 pub struct DynamicTable {
     entries: VecDeque<Entry>,
     size: usize,
     max_size: usize,
     evictions: u64,
+    next_id: u64,
+    by_name: HashMap<String, NameBucket>,
 }
 
 impl DynamicTable {
@@ -101,6 +129,8 @@ impl DynamicTable {
             size: 0,
             max_size,
             evictions: 0,
+            next_id: 0,
+            by_name: HashMap::new(),
         }
     }
 
@@ -144,8 +174,18 @@ impl DynamicTable {
             self.evictions += self.entries.len() as u64;
             self.entries.clear();
             self.size = 0;
+            self.by_name.clear();
             return;
         }
+        let id = self.next_id;
+        self.next_id += 1;
+        let bucket = self.by_name.entry(entry.name.clone()).or_default();
+        bucket.ids.push(id);
+        bucket
+            .by_value
+            .entry(entry.value.clone())
+            .or_default()
+            .push(id);
         self.size += sz;
         self.entries.push_front(entry);
         self.evict();
@@ -156,25 +196,69 @@ impl DynamicTable {
         self.entries.get(i)
     }
 
-    /// Find the index (0-based) of an exact (name, value) match.
+    /// Find the index (0-based, most recent match) of an exact
+    /// (name, value) match.
     pub fn find(&self, name: &str, value: &str) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.name == name && e.value == value)
+        let id = *self.by_name.get(name)?.by_value.get(value)?.last()?;
+        Some((self.next_id - 1 - id) as usize)
     }
 
-    /// Find the index (0-based) of a name-only match.
+    /// Find the index (0-based, most recent match) of a name-only
+    /// match.
     pub fn find_name(&self, name: &str) -> Option<usize> {
-        self.entries.iter().position(|e| e.name == name)
+        let id = *self.by_name.get(name)?.ids.last()?;
+        Some((self.next_id - 1 - id) as usize)
     }
 
     fn evict(&mut self) {
         while self.size > self.max_size {
+            // The entry about to go is the oldest live one, so its id
+            // is the smallest and sits at the front of both buckets.
+            let id = self.next_id - self.entries.len() as u64;
             let e = self.entries.pop_back().expect("size>0 implies entries");
             self.size -= e.size();
             self.evictions += 1;
+            if let Some(bucket) = self.by_name.get_mut(&e.name) {
+                debug_assert_eq!(bucket.ids.first(), Some(&id));
+                bucket.ids.remove(0);
+                if let Some(ids) = bucket.by_value.get_mut(&e.value) {
+                    debug_assert_eq!(ids.first(), Some(&id));
+                    ids.remove(0);
+                    if ids.is_empty() {
+                        bucket.by_value.remove(&e.value);
+                    }
+                }
+                if bucket.ids.is_empty() {
+                    self.by_name.remove(&e.name);
+                }
+            }
         }
     }
+}
+
+/// Hash index over [`STATIC_TABLE`], built once. `name_first` keeps
+/// the RFC's first-occurrence semantics (`:method` → 2, not 3);
+/// `pairs` keeps per-name value lists (at most 7 values, for
+/// `:status`) in table order.
+struct StaticIndex {
+    name_first: HashMap<&'static str, usize>,
+    pairs: HashMap<&'static str, Vec<(&'static str, usize)>>,
+}
+
+fn static_index() -> &'static StaticIndex {
+    static IDX: OnceLock<StaticIndex> = OnceLock::new();
+    IDX.get_or_init(|| {
+        let mut name_first = HashMap::new();
+        let mut pairs: HashMap<&'static str, Vec<(&'static str, usize)>> = HashMap::new();
+        for (i, (n, v)) in STATIC_TABLE.iter().enumerate() {
+            name_first.entry(*n).or_insert(i + 1);
+            let values = pairs.entry(*n).or_default();
+            if !values.iter().any(|&(val, _)| val == *v) {
+                values.push((*v, i + 1));
+            }
+        }
+        StaticIndex { name_first, pairs }
+    })
 }
 
 /// Resolve a wire index (1-based, static-then-dynamic address space)
@@ -196,25 +280,51 @@ pub fn lookup(dynamic: &DynamicTable, index: usize) -> Option<Entry> {
 /// Find the wire index for an exact match, searching static then
 /// dynamic.
 pub fn find_index(dynamic: &DynamicTable, name: &str, value: &str) -> Option<usize> {
-    for (i, (n, v)) in STATIC_TABLE.iter().enumerate() {
-        if *n == name && *v == value {
-            return Some(i + 1);
-        }
-    }
-    dynamic
-        .find(name, value)
-        .map(|i| i + STATIC_TABLE.len() + 1)
+    static_pair_index(name, value).or_else(|| {
+        dynamic
+            .find(name, value)
+            .map(|i| i + STATIC_TABLE.len() + 1)
+    })
 }
 
 /// Find a wire index whose *name* matches (for literal-with-indexed-
 /// name representations).
 pub fn find_name_index(dynamic: &DynamicTable, name: &str) -> Option<usize> {
-    for (i, (n, _)) in STATIC_TABLE.iter().enumerate() {
-        if *n == name {
-            return Some(i + 1);
-        }
-    }
-    dynamic.find_name(name).map(|i| i + STATIC_TABLE.len() + 1)
+    static_index()
+        .name_first
+        .get(name)
+        .copied()
+        .or_else(|| dynamic.find_name(name).map(|i| i + STATIC_TABLE.len() + 1))
+}
+
+/// [`find_index`] and [`find_name_index`] resolved together — the
+/// encoder needs both on the literal path and used to walk the tables
+/// twice for them.
+pub fn find_indices(
+    dynamic: &DynamicTable,
+    name: &str,
+    value: &str,
+) -> (Option<usize>, Option<usize>) {
+    let exact = static_pair_index(name, value).or_else(|| {
+        dynamic
+            .find(name, value)
+            .map(|i| i + STATIC_TABLE.len() + 1)
+    });
+    let by_name = static_index()
+        .name_first
+        .get(name)
+        .copied()
+        .or_else(|| dynamic.find_name(name).map(|i| i + STATIC_TABLE.len() + 1));
+    (exact, by_name)
+}
+
+fn static_pair_index(name: &str, value: &str) -> Option<usize> {
+    static_index()
+        .pairs
+        .get(name)?
+        .iter()
+        .find(|&&(v, _)| v == value)
+        .map(|&(_, i)| i)
 }
 
 #[cfg(test)]
@@ -316,5 +426,106 @@ mod tests {
         assert_eq!(find_index(&t, "x-b", "2"), Some(62));
         assert_eq!(find_index(&t, "x-a", "1"), Some(63));
         assert_eq!(find_name_index(&t, "x-a"), Some(63));
+    }
+
+    #[test]
+    fn find_indices_matches_separate_lookups() {
+        let mut t = DynamicTable::new(4096);
+        t.insert(e("x-a", "1"));
+        for (name, value) in [
+            (":method", "GET"),
+            (":method", "PUT"),
+            ("x-a", "1"),
+            ("x-a", "2"),
+            ("nope", "v"),
+        ] {
+            assert_eq!(
+                find_indices(&t, name, value),
+                (find_index(&t, name, value), find_name_index(&t, name))
+            );
+        }
+    }
+
+    /// The old implementations were linear scans over the static table
+    /// and the dynamic entry deque; the hash indexes must agree with
+    /// that scan exactly — same first-occurrence static index, same
+    /// most-recent-first dynamic position — including after duplicate
+    /// inserts, evictions and a §4.4 whole-table clear.
+    #[test]
+    fn indexed_lookup_agrees_with_linear_scan() {
+        let scan_pair = |t: &DynamicTable, name: &str, value: &str| -> Option<usize> {
+            STATIC_TABLE
+                .iter()
+                .position(|&(n, v)| n == name && v == value)
+                .map(|i| i + 1)
+                .or_else(|| {
+                    (0..t.len())
+                        .find(|&i| {
+                            let en = t.get(i).unwrap();
+                            en.name == name && en.value == value
+                        })
+                        .map(|i| i + STATIC_TABLE.len() + 1)
+                })
+        };
+        let scan_name = |t: &DynamicTable, name: &str| -> Option<usize> {
+            STATIC_TABLE
+                .iter()
+                .position(|&(n, _)| n == name)
+                .map(|i| i + 1)
+                .or_else(|| {
+                    (0..t.len())
+                        .find(|&i| t.get(i).unwrap().name == name)
+                        .map(|i| i + STATIC_TABLE.len() + 1)
+                })
+        };
+        let check_all = |t: &DynamicTable| {
+            // Every static entry (duplicated names must resolve to the
+            // first occurrence, e.g. :method → 2 and :status → 8)…
+            for &(n, v) in STATIC_TABLE.iter() {
+                assert_eq!(find_index(t, n, v), scan_pair(t, n, v), "pair {n}: {v}");
+                assert_eq!(find_name_index(t, n), scan_name(t, n), "name {n}");
+            }
+            // …every live dynamic entry, and some misses.
+            for i in 0..t.len() {
+                let en = t.get(i).unwrap().clone();
+                assert_eq!(
+                    find_index(t, &en.name, &en.value),
+                    scan_pair(t, &en.name, &en.value)
+                );
+                assert_eq!(find_name_index(t, &en.name), scan_name(t, &en.name));
+                assert_eq!(
+                    find_index(t, &en.name, "no-such-value"),
+                    scan_pair(t, &en.name, "no-such-value")
+                );
+            }
+            assert_eq!(find_index(t, "x-absent", ""), None);
+            assert_eq!(find_name_index(t, "x-absent"), None);
+        };
+
+        // Small capacity so inserts continuously evict: each entry
+        // below is 37–42 octets, so ~4 fit in 160.
+        let mut t = DynamicTable::new(160);
+        check_all(&t);
+        let inserts = [
+            ("x-a", "1"),
+            (":method", "TRACE"), // shadows a static name
+            ("x-a", "2"),         // duplicate name, new value
+            ("cookie", "s=1"),
+            ("x-a", "1"), // exact duplicate of an earlier pair
+            ("x-b", "7"),
+            ("x-a", "2"),
+        ];
+        for (n, v) in inserts {
+            t.insert(e(n, v));
+            check_all(&t);
+        }
+        t.set_max_size(80); // shrink → evict
+        check_all(&t);
+        t.insert(e("name-long-enough-to-clear-the-table", &"v".repeat(80)));
+        assert!(t.is_empty());
+        check_all(&t);
+        t.insert(e("x-c", "3")); // index must still work after the clear
+        check_all(&t);
+        assert_eq!(find_index(&t, "x-c", "3"), Some(62));
     }
 }

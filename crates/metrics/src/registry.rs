@@ -82,6 +82,17 @@ impl Registry {
         p.total += elapsed;
     }
 
+    /// Add `count` pre-accumulated intervals totalling `total` to the
+    /// named phase in one map probe. Equivalent to `count` calls to
+    /// [`Registry::record_phase`] whose durations sum to `total` —
+    /// phase accumulation is commutative integer addition, so batching
+    /// per page instead of per request cannot change any export.
+    pub fn record_phase_n(&mut self, name: &str, count: u64, total: SimDuration) {
+        let p = self.phases.entry(name.to_string()).or_default();
+        p.count += count;
+        p.total += total;
+    }
+
     /// The named phase total, when recorded.
     pub fn phase(&self, name: &str) -> Option<PhaseStat> {
         self.phases.get(name).copied()

@@ -1,6 +1,8 @@
 //! Top-k counters for the paper's breakdown tables.
 
-use std::collections::HashMap;
+use origin_intern::FxHashMap;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::hash::Hash;
 
 /// One row of a top-k breakdown.
@@ -16,9 +18,14 @@ pub struct TopEntry<K> {
 
 /// Counts occurrences of keys and reports the most frequent ones with
 /// their share of the total — the shape of Tables 2, 4, 5, 6, 7 and 9.
+///
+/// The counter map uses the deterministic Fx hasher: every crawl
+/// request feeds several of these, and no output observes map
+/// iteration order (reads go through [`TopK::top`]'s sorted selection
+/// or a full count-sort).
 #[derive(Debug, Clone)]
 pub struct TopK<K: Eq + Hash> {
-    counts: HashMap<K, u64>,
+    counts: FxHashMap<K, u64>,
     total: u64,
 }
 
@@ -26,7 +33,7 @@ impl<K: Eq + Hash + Clone + Ord> TopK<K> {
     /// New empty counter.
     pub fn new() -> Self {
         TopK {
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             total: 0,
         }
     }
@@ -71,13 +78,49 @@ impl<K: Eq + Hash + Clone + Ord> TopK<K> {
 
     /// The `k` most frequent keys, descending by count (ties broken by
     /// ascending key for determinism), with percentages of the total.
+    ///
+    /// A bounded min-heap of `k` borrowed candidates does the
+    /// selection — O(n log k) with only the `k` returned keys cloned,
+    /// where the old implementation cloned-and-sorted every entry.
     pub fn top(&self, k: usize) -> Vec<TopEntry<K>> {
-        let mut entries: Vec<(&K, &u64)> = self.counts.iter().collect();
-        entries.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
-        entries
+        // Ranks order by (count, key-descending), so the heap's
+        // *minimum* is the entry top-k would drop first.
+        struct Rank<'a, K: Ord>(u64, &'a K);
+        impl<K: Ord> PartialEq for Rank<'_, K> {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == Ordering::Equal
+            }
+        }
+        impl<K: Ord> Eq for Rank<'_, K> {}
+        impl<K: Ord> PartialOrd for Rank<'_, K> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<K: Ord> Ord for Rank<'_, K> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.0.cmp(&other.0).then_with(|| other.1.cmp(self.1))
+            }
+        }
+
+        let k = k.min(self.counts.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<std::cmp::Reverse<Rank<'_, K>>> = BinaryHeap::with_capacity(k + 1);
+        for (key, &count) in &self.counts {
+            let rank = Rank(count, key);
+            if heap.len() < k {
+                heap.push(std::cmp::Reverse(rank));
+            } else if rank > heap.peek().expect("heap holds k entries").0 {
+                heap.pop();
+                heap.push(std::cmp::Reverse(rank));
+            }
+        }
+        // Ascending `Reverse<Rank>` is descending rank: best first.
+        heap.into_sorted_vec()
             .into_iter()
-            .take(k)
-            .map(|(key, &count)| TopEntry {
+            .map(|std::cmp::Reverse(Rank(count, key))| TopEntry {
                 key: key.clone(),
                 count,
                 percent: if self.total == 0 {
@@ -100,15 +143,38 @@ impl<K: Eq + Hash + Clone + Ord> TopK<K> {
     /// requests". Returns `None` when the total share never reaches the
     /// target.
     pub fn keys_to_reach(&self, target_percent: f64) -> Option<usize> {
-        let all = self.top(self.counts.len());
+        // Only the multiset of counts matters here, so skip the key
+        // clones entirely. The per-entry percents (and their float
+        // accumulation order: count-descending) are exactly the ones
+        // `top` would produce.
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
         let mut cum = 0.0;
-        for (i, e) in all.iter().enumerate() {
-            cum += e.percent;
+        for (i, &count) in counts.iter().enumerate() {
+            if self.total > 0 {
+                cum += count as f64 / self.total as f64 * 100.0;
+            }
             if cum >= target_percent {
                 return Some(i + 1);
             }
         }
         None
+    }
+}
+
+impl TopK<String> {
+    /// Count one observation of a borrowed key, allocating only when
+    /// the key is new. The owned-key [`TopK::add`] clones on every
+    /// call — for the crawl's hostname/issuer tables, where a handful
+    /// of names repeat across hundreds of thousands of requests, the
+    /// hit path should cost one hash probe and no heap traffic.
+    pub fn add_str(&mut self, key: &str) {
+        if let Some(c) = self.counts.get_mut(key) {
+            *c += 1;
+        } else {
+            self.counts.insert(key.to_string(), 1);
+        }
+        self.total += 1;
     }
 }
 
@@ -202,6 +268,19 @@ mod tests {
         a_bc.merge(&bc);
         assert_eq!(ab_c.top(10), a_bc.top(10));
         assert_eq!(ab_c.total(), 8);
+    }
+
+    #[test]
+    fn add_str_matches_owned_add() {
+        let mut borrowed: TopK<String> = TopK::new();
+        let mut owned: TopK<String> = TopK::new();
+        for key in ["cdn.example.com", "a.test", "cdn.example.com"] {
+            borrowed.add_str(key);
+            owned.add(key.to_string());
+        }
+        assert_eq!(borrowed.top(10), owned.top(10));
+        assert_eq!(borrowed.total(), 3);
+        assert_eq!(borrowed.count(&"cdn.example.com".to_string()), 2);
     }
 
     #[test]

@@ -15,10 +15,10 @@ pub fn wildcard_matches(pattern: &DnsName, name: &DnsName) -> bool {
     if !pattern.is_wildcard() {
         return false;
     }
-    let Some(parent) = pattern.parent() else {
+    let Some(parent) = pattern.parent_str() else {
         return false;
     };
-    match name.parent() {
+    match name.parent_str() {
         Some(name_parent) => name_parent == parent,
         None => false,
     }

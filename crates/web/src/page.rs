@@ -93,11 +93,18 @@ pub struct Resource {
 }
 
 impl Resource {
-    /// A plain HTTPS HTTP/2 resource.
-    pub fn new(host: DnsName, path: &str, content_type: ContentType, size: u64) -> Self {
+    /// A plain HTTPS HTTP/2 resource. `path` accepts `&str` or an
+    /// already-built `String` (moved, not re-allocated) — the webgen
+    /// hot path formats each path once and hands it over.
+    pub fn new(
+        host: DnsName,
+        path: impl Into<String>,
+        content_type: ContentType,
+        size: u64,
+    ) -> Self {
         Resource {
             host,
-            path: path.to_string(),
+            path: path.into(),
             content_type,
             size,
             discovered_by: None,

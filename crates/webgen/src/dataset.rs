@@ -444,7 +444,8 @@ impl Dataset {
         // subresources follows. Pull one first-contact per AS group
         // to the front of the discovery order.
         {
-            let mut seen_groups: std::collections::HashSet<u32> = std::collections::HashSet::new();
+            let mut seen_groups: origin_intern::FxHashSet<u32> =
+                origin_intern::FxHashSet::default();
             let mut front: Vec<(usize, usize)> = Vec::new();
             let mut rest: Vec<(usize, usize)> = Vec::new();
             for &(slot_idx, j) in &order {
@@ -467,7 +468,8 @@ impl Dataset {
         // critical-path shape that makes connection setup removable
         // in the §4.1 reconstruction.
         let mut last_first_contact: Option<usize> = None;
-        let mut seen_groups_emit: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut seen_groups_emit: origin_intern::FxHashSet<u32> =
+            origin_intern::FxHashSet::default();
         for (emitted, &(slot_idx, j)) in order.iter().enumerate() {
             let slot = &slots[slot_idx];
             {
@@ -490,7 +492,7 @@ impl Dataset {
                     j,
                     ext_of(content)
                 );
-                let mut r = Resource::new(slot.host.clone(), &path, content, size);
+                let mut r = Resource::new(slot.host.clone(), path, content, size);
                 r.fetch_mode = if content.is_font() {
                     FetchMode::CorsAnonymous
                 } else {
@@ -599,7 +601,7 @@ fn sample_tail_issuer(rng: &mut SimRng) -> KnownIssuer {
 fn pick_services(rng: &mut SimRng, target_as: u32) -> Vec<ServiceRef> {
     let needed = target_as.saturating_sub(1);
     let mut services: Vec<ServiceRef> = Vec::new();
-    let mut ases: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut ases: origin_intern::FxHashSet<u32> = origin_intern::FxHashSet::default();
     let mut guard = 0;
     while (ases.len() as u32) < needed && guard < needed * 10 + 50 {
         guard += 1;

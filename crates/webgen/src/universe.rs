@@ -3,10 +3,12 @@
 use crate::services::SERVICES;
 use origin_dns::record::{v4, RecordSet, Rotation};
 use origin_dns::{DnsName, ZoneSet};
+use origin_intern::FxHashMap;
 use origin_netsim::SimRng;
 use origin_tls::{Certificate, CertificateAuthority, CtLogSet, KnownIssuer};
 use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// A hosting/CDN provider in the synthetic topology.
 #[derive(Debug, Clone, Copy)]
@@ -117,15 +119,24 @@ pub fn tail_asn(i: u32) -> u32 {
 pub struct Universe {
     /// Authoritative DNS for everything.
     pub zones: ZoneSet,
-    certs: HashMap<DnsName, Certificate>,
-    ip_asn: HashMap<IpAddr, u32>,
-    host_asn: HashMap<DnsName, u32>,
+    // Hot read-side maps: string-keyed (so suffix walks borrow
+    // instead of allocating) with the deterministic Fx hasher. None
+    // of these maps is ever iterated, so the hasher swap cannot
+    // change any output.
+    // Certificates are Arc-shared: the browser pool keeps a reference
+    // on every pooled connection, so handing out a refcount bump
+    // instead of a deep clone (SAN list + issuer string) is the
+    // difference between one allocation per issuance and one per
+    // connection.
+    certs: FxHashMap<String, Arc<Certificate>>,
+    ip_asn: FxHashMap<IpAddr, u32>,
+    host_asn: FxHashMap<String, u32>,
     cas: HashMap<KnownIssuer, CertificateAuthority>,
     /// Shared front-end (anycast/VIP) address pools per provider AS.
     /// Big CDNs terminate many hostnames on few addresses — the
     /// phenomenon that makes IP-based coalescing possible at all and
     /// that §5.2's single-address alignment exploits deliberately.
-    vip_pools: HashMap<u32, Vec<IpAddr>>,
+    vip_pools: FxHashMap<u32, Vec<IpAddr>>,
     /// CT logs receiving all issuance.
     pub ct_logs: CtLogSet,
 }
@@ -135,11 +146,11 @@ impl Universe {
     pub fn new(rng: &mut SimRng) -> Self {
         let mut u = Universe {
             zones: ZoneSet::new(),
-            certs: HashMap::new(),
-            ip_asn: HashMap::new(),
-            host_asn: HashMap::new(),
+            certs: FxHashMap::default(),
+            ip_asn: FxHashMap::default(),
+            host_asn: FxHashMap::default(),
             cas: HashMap::new(),
-            vip_pools: HashMap::new(),
+            vip_pools: FxHashMap::default(),
             ct_logs: CtLogSet::default_operators(),
         };
         u.register_services(rng);
@@ -185,30 +196,40 @@ impl Universe {
 
     /// The AS serving a hostname (0 if unknown).
     pub fn asn_of_host(&self, host: &DnsName) -> u32 {
-        self.host_asn.get(host).copied().unwrap_or(0)
+        self.host_asn.get(host.as_str()).copied().unwrap_or(0)
     }
 
     /// The certificate a server presents for connections to `host`.
     /// Falls back through parent domains so sharded subdomains find
-    /// their site certificate.
+    /// their site certificate. The walk borrows successive suffixes
+    /// of the name — no per-level allocation.
     pub fn cert_for(&self, host: &DnsName) -> Option<&Certificate> {
-        if let Some(c) = self.certs.get(host) {
-            return Some(c);
-        }
-        let mut cursor = host.parent();
-        while let Some(parent) = cursor {
-            if let Some(c) = self.certs.get(&parent) {
+        self.cert_shared_ref(host).map(|a| a.as_ref())
+    }
+
+    /// [`Universe::cert_for`] returning the shared handle — a clone is
+    /// a refcount bump, not a certificate copy.
+    pub fn cert_shared(&self, host: &DnsName) -> Option<Arc<Certificate>> {
+        self.cert_shared_ref(host).cloned()
+    }
+
+    fn cert_shared_ref(&self, host: &DnsName) -> Option<&Arc<Certificate>> {
+        let mut cursor = host.as_str();
+        loop {
+            if let Some(c) = self.certs.get(cursor) {
                 return Some(c);
             }
-            cursor = parent.parent();
+            match cursor.split_once('.') {
+                Some((_, rest)) => cursor = rest,
+                None => return None,
+            }
         }
-        None
     }
 
     /// Replace the certificate presented for `host` (the §5 reissue
     /// path).
     pub fn set_cert(&mut self, host: DnsName, cert: Certificate) {
-        self.certs.insert(host, cert);
+        self.certs.insert(host.as_str().to_string(), Arc::new(cert));
     }
 
     /// Register a host: DNS records plus AS attribution.
@@ -220,8 +241,8 @@ impl Universe {
         rotation: Rotation,
     ) {
         let rs = RecordSet::new(addresses, 300).with_rotation(rotation);
-        self.zones.insert(host.clone(), rs);
-        self.host_asn.insert(host, asn);
+        self.host_asn.insert(host.as_str().to_string(), asn);
+        self.zones.insert(host, rs);
     }
 
     /// Issue a certificate from a provider's CA, logging to CT.

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Throughput drift check against the committed BENCH_4.json baseline.
+#
+#   usage: check_throughput.sh <metrics.json> [baseline.json]
+#
+# Computes crawl sites/sec from the wall-clock `runtime_ms.crawl` in a
+# fresh `repro --metrics` export and compares it with the `after`
+# throughput recorded in BENCH_4.json. Unlike the work-counter gate
+# (check_metrics_baseline.sh), wall clock varies by machine and load,
+# so a regression here is a WARNING, not a failure: it exits 0 either
+# way and prints a loud notice when throughput fell more than 20%
+# below the recorded baseline.
+#
+# Requires jq.
+set -euo pipefail
+
+metrics=${1:?usage: check_throughput.sh <metrics.json> [baseline.json]}
+baseline=${2:-$(dirname "$0")/../BENCH_4.json}
+
+# The metrics export must come from a run with the same --sites as
+# the baseline records (the CI step and BENCH_4.json both use 2000).
+sites=$(jq -r '.sites' "$baseline")
+base_rate=$(jq -r '.after.crawl_sites_per_sec' "$baseline")
+crawl_ms=$(jq -r '.runtime_ms.crawl' "$metrics")
+
+rate=$(jq -n --arg s "$sites" --arg ms "$crawl_ms" '($s|tonumber) / (($ms|tonumber) / 1000)')
+ratio=$(jq -n --arg r "$rate" --arg b "$base_rate" '($r|tonumber) / ($b|tonumber)')
+
+printf 'throughput check: crawl %.0f sites/sec (baseline %.0f, ratio %.2f)\n' \
+    "$rate" "$base_rate" "$ratio"
+
+if jq -e -n --arg ratio "$ratio" '($ratio|tonumber) < 0.8' >/dev/null; then
+    cat >&2 <<EOF
+
+WARNING: crawl throughput is more than 20% below the committed
+BENCH_4.json baseline. Wall clock depends on the machine, so this is
+informational — but if it reproduces on comparable hardware, a hot
+path has likely regressed. Re-measure with:
+
+  cargo run --release -p origin-bench --bin repro -- --sites $sites --threads 1 --metrics /tmp/m.json
+
+and compare runtime_ms.crawl against BENCH_4.json.
+EOF
+fi
+exit 0
