@@ -110,6 +110,34 @@ fn bench_crawl_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_crawl_faulted(c: &mut Criterion) {
+    // The crawl under fault injection. `none` measures the pure
+    // plumbing overhead of threading a zero profile through every page
+    // load (must be within noise of the clean crawl above); `mixed` is
+    // the acceptance profile with all three fault classes firing.
+    use origin_netsim::FaultProfile;
+    let mut g = c.benchmark_group("crawl_faulted");
+    g.sample_size(10);
+    let mixed = FaultProfile::parse("drop=0.01,h421=0.005,middlebox=0.1").unwrap();
+    for (label, profile) in [
+        ("clean", None),
+        ("none", Some(FaultProfile::none())),
+        ("mixed", Some(mixed)),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    let r = origin_bench::run_crawl_faulted(150, 0x0516, 2, None, profile.as_ref());
+                    (r.characterization.pages, r.metrics.counter("fault.retries"))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_pool_decide(c: &mut Criterion) {
     // The per-request coalescing decision, indexed vs. the linear
     // reference scan, across pool sizes. The indexed path should be
@@ -185,6 +213,7 @@ criterion_group!(
     bench_page_load,
     bench_full_characterization,
     bench_crawl_scaling,
+    bench_crawl_faulted,
     bench_pool_decide
 );
 criterion_main!(benches);

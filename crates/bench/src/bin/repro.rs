@@ -19,12 +19,23 @@
 //! and thread counts; strip the wall-clock section with
 //! `jq 'del(.runtime_ms)'` before comparing.
 //!
+//! `--faults drop=0.01,h421=0.005,middlebox=0.1` runs the crawl under
+//! deterministic fault injection (see `origin_netsim::FaultProfile`):
+//! every table and figure then describes the degraded web, a clean
+//! baseline crawl is run alongside, and a resilience report (PLT
+//! inflation, coalescing degradation, `fault.*` recovery counters) is
+//! printed to stderr — and written as JSON to the `--faults-report`
+//! path when given. Still byte-identical for any `--threads`.
+//!
 //! ids: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 f2 f3 f4 f5 f6 f7a f7b f8 f9
 //!      passive-ip passive-origin incident ct privacy scheduling
 //!
 //! With no `--only`, everything is produced in paper order.
 
-use origin_bench::{asn_label, run_crawl_traced, trace_site, CrawlResults};
+use origin_bench::{
+    asn_label, run_crawl_faulted, run_crawl_threads, run_crawl_traced, trace_site, CrawlResults,
+    ResilienceReport,
+};
 use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
 use origin_cdn::{
     ActiveMeasurement, DeploymentMode, LongitudinalRun, MiddleboxIncident, PassivePipeline,
@@ -32,7 +43,7 @@ use origin_cdn::{
 };
 use origin_core::model::{predict, CoalescingGrouping};
 use origin_metrics::Registry;
-use origin_netsim::SimRng;
+use origin_netsim::{FaultProfile, SimRng};
 use origin_stats::table::{pct_change, TextTable};
 use origin_stats::Cdf;
 use origin_tls::CtLogSet;
@@ -47,10 +58,13 @@ struct Args {
     metrics: Option<String>,
     trace: Option<String>,
     sample: Sampler,
+    faults: Option<FaultProfile>,
+    faults_report: Option<String>,
 }
 
-const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--only id...]
-       repro trace --site RANK [--format perfetto|har|ascii] [--sites N] [--seed S] [--out path]";
+const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--only id...]
+       repro trace --site RANK [--format perfetto|har|ascii] [--sites N] [--seed S] [--out path]
+       fault spec: comma-separated key=rate, keys drop corrupt h421 middlebox (e.g. drop=0.01,h421=0.005,middlebox=0.1)";
 
 /// Every id `--only` accepts.
 const ALL_IDS: &[&str] = &[
@@ -111,6 +125,8 @@ fn parse_args() -> Args {
         metrics: None,
         trace: None,
         sample: Sampler::new(16),
+        faults: None,
+        faults_report: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.into_iter().peekable();
@@ -135,6 +151,21 @@ fn parse_args() -> Args {
                 let raw = it.next().unwrap_or_else(|| die("--sample requires 1/N"));
                 args.sample = Sampler::parse(&raw)
                     .unwrap_or_else(|| die(&format!("invalid value {raw:?} for --sample")));
+            }
+            "--faults" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--faults requires a profile spec"));
+                args.faults = Some(
+                    FaultProfile::parse(&raw)
+                        .unwrap_or_else(|e| die(&format!("invalid --faults spec: {e}"))),
+                );
+            }
+            "--faults-report" => {
+                args.faults_report = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--faults-report requires a path")),
+                )
             }
             "--only" => {
                 // Consume ids up to (but not including) the next flag.
@@ -166,6 +197,9 @@ fn parse_args() -> Args {
     // Default to all available cores; results are identical either way.
     if args.threads == 0 {
         args.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    }
+    if args.faults_report.is_some() && args.faults.is_none() {
+        die("--faults-report requires --faults");
     }
     args
 }
@@ -209,16 +243,31 @@ fn main() {
         "ct",
     ]
     .iter()
-    .any(|id| want(&args, id));
+    .any(|id| want(&args, id))
+        // A fault profile always needs the crawl: the resilience
+        // report is drawn from it.
+        || args.faults.is_some();
 
     let mut crawl = needs_crawl.then(|| {
         eprintln!(
-            "# crawling {} synthetic sites (seed {:#x}, {} threads)…",
-            args.sites, args.seed, args.threads
+            "# crawling {} synthetic sites (seed {:#x}, {} threads{})…",
+            args.sites,
+            args.seed,
+            args.threads,
+            args.faults
+                .as_ref()
+                .map(|p| format!(", faults {}", p.spec()))
+                .unwrap_or_default()
         );
         let t = std::time::Instant::now();
         let sampler = run_trace.is_some().then_some(args.sample);
-        let r = run_crawl_traced(args.sites, args.seed, args.threads, sampler.as_ref());
+        let r = run_crawl_faulted(
+            args.sites,
+            args.seed,
+            args.threads,
+            sampler.as_ref(),
+            args.faults.as_ref(),
+        );
         ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
         r
     });
@@ -374,6 +423,42 @@ fn main() {
     }
     if want(&args, "scheduling") {
         scheduling(args.seed);
+    }
+    // Resilience report: re-run the same crawl clean and compare.
+    // Everything in the report is simulated time and counters, so the
+    // bytes are identical for any thread count.
+    if let (Some(profile), Some(faulted)) = (&args.faults, &crawl) {
+        eprintln!("# re-crawling clean for the resilience baseline…");
+        let t = std::time::Instant::now();
+        let clean = run_crawl_threads(args.sites, args.seed, args.threads);
+        ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
+        let report = ResilienceReport::build(&clean, faulted, profile);
+        eprintln!(
+            "# resilience [{}]: median PLT {:.1} → {:.1} ms ({:+.2}%) | coalescing rate {:.4} → {:.4} (−{:.2}%) | connections {} → {}",
+            report.profile,
+            report.clean.0,
+            report.faulted.0,
+            report.plt_inflation_pct(),
+            report.clean.1,
+            report.faulted.1,
+            report.coalescing_degradation_pct(),
+            report.clean.2,
+            report.faulted.2,
+        );
+        eprintln!(
+            "# recoveries: {} 421 replays, {} evictions, {} middlebox teardowns, {} drops, {} retries",
+            faulted.metrics.counter("fault.misdirected_421"),
+            faulted.metrics.counter("fault.pool_evictions"),
+            faulted.metrics.counter("fault.middlebox_teardowns"),
+            faulted.metrics.counter("fault.drops"),
+            faulted.metrics.counter("fault.retries"),
+        );
+        if let Some(path) = &args.faults_report {
+            match std::fs::write(path, report.to_json()) {
+                Ok(()) => eprintln!("# wrote resilience report to {path}"),
+                Err(e) => eprintln!("# failed to write {path}: {e}"),
+            }
+        }
     }
     if let (Some(path), Some(r)) = (&args.json, &crawl) {
         export_json(path, r);

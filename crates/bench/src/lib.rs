@@ -9,14 +9,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
+use origin_browser::{BrowserKind, FaultSession, PageLoader, UniverseEnv};
 use origin_core::certplan::{plan_site, EffectiveChanges, PlanSummary};
 use origin_core::characterize::Characterization;
 use origin_core::model::predict_counts3;
 #[cfg(test)]
 use origin_core::model::{predict_counts, CoalescingGrouping};
 use origin_metrics::Registry;
-use origin_netsim::SimRng;
+use origin_netsim::{FaultProfile, SimRng};
 use origin_trace::{Sampler, Tracer};
 use origin_webgen::{Dataset, DatasetConfig, SiteConfig, PROVIDERS};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -151,12 +151,18 @@ fn crawl_site(
     site: &SiteConfig,
     acc: &mut ShardAccum,
     sampler: Option<&Sampler>,
+    faults: Option<&FaultProfile>,
 ) {
     let page = dataset.page_for(site);
 
     // §3: measured crawl (fresh browser session per page).
     env.flush_dns();
     let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+    // Fault injection, like tracing, is a per-site affair: the session
+    // draws from its own RNG, seeded purely from the site, so sharding
+    // stays exact under any profile (and an all-zero profile draws
+    // nothing at all).
+    let mut fault_session = faults.map(|p| FaultSession::new(*p, site.page_seed ^ 0xFA017CE5));
     // Tracing observes the simulation without touching its RNG, so a
     // traced load returns the same PageLoad as an untraced one; the
     // sample set is a pure function of each site's rank.
@@ -165,9 +171,23 @@ fn crawl_site(
             site.rank as u64,
             &format!("site-{} {}", site.rank, site.root_host.as_str()),
         );
-        loader.load_traced(&page, env, &mut rng, Some(&mut acc.metrics), &mut acc.trace)
+        loader.load_faulted(
+            &page,
+            env,
+            &mut rng,
+            fault_session.as_mut(),
+            Some(&mut acc.metrics),
+            Some(&mut acc.trace),
+        )
     } else {
-        loader.load_instrumented(&page, env, &mut rng, Some(&mut acc.metrics))
+        loader.load_faulted(
+            &page,
+            env,
+            &mut rng,
+            fault_session.as_mut(),
+            Some(&mut acc.metrics),
+            None,
+        )
     };
     env.take_resolver_stats().record_into(&mut acc.metrics);
     acc.characterization.add(&page, &load);
@@ -236,7 +256,31 @@ pub fn run_crawl_traced(
     threads: usize,
     sampler: Option<&Sampler>,
 ) -> CrawlResults {
+    run_crawl_faulted(sites, seed, threads, sampler, None)
+}
+
+/// [`run_crawl_traced`] plus deterministic fault injection: every page
+/// visit runs under a per-site [`FaultSession`] derived from `faults`,
+/// suffering 421s on coalesced requests, §6.7 middlebox teardowns and
+/// packet drops, and paying the client-side recovery costs. When the
+/// profile's `middlebox` rate is nonzero the crawl models the
+/// mid-deployment world the incident actually hit: provider-hosted
+/// servers advertise ORIGIN (which the Chromium-policy crawl ignores
+/// for coalescing, so clean-path decisions are unchanged), and a
+/// fraction of fresh connections cross the hostile middlebox.
+///
+/// For any fixed profile the merged output is byte-identical at any
+/// thread count; the all-zero profile (and `None`) reproduces a clean
+/// crawl exactly, `fault.*` keys and all (they never materialize).
+pub fn run_crawl_faulted(
+    sites: u32,
+    seed: u64,
+    threads: usize,
+    sampler: Option<&Sampler>,
+    faults: Option<&FaultProfile>,
+) -> CrawlResults {
     let threads = threads.max(1);
+    let origin_advertised = faults.is_some_and(|p| p.middlebox > 0.0);
     let config = DatasetConfig {
         sites,
         seed,
@@ -260,6 +304,9 @@ pub fn run_crawl_traced(
                 // the whole run; crawl_site flushes all per-visit
                 // state, so sharding stays exact (see crawl_site).
                 let mut env = UniverseEnv::new(&dataset);
+                if origin_advertised {
+                    env.origin_enabled_asns = PROVIDERS.iter().map(|p| p.asn).collect();
+                }
                 loop {
                     let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                     if chunk >= n_chunks {
@@ -271,7 +318,7 @@ pub fn run_crawl_traced(
                     let end = (start + chunk_size).min(site_cfgs.len());
                     let mut acc = ShardAccum::new(sites, config.tranco_total);
                     for site in &site_cfgs[start..end] {
-                        crawl_site(&dataset, &loader, &mut env, site, &mut acc, sampler);
+                        crawl_site(&dataset, &loader, &mut env, site, &mut acc, sampler, faults);
                     }
                     *slots[chunk]
                         .lock()
@@ -306,6 +353,127 @@ pub fn run_crawl_traced(
         effective: total.effective,
         metrics: total.metrics,
         trace: total.trace,
+    }
+}
+
+/// The `fault.*` counter names a resilience report carries, in export
+/// order. Fixed here so the report schema is stable even when a
+/// profile never fires a given fault class.
+const FAULT_COUNTERS: [&str; 7] = [
+    "fault.corruptions",
+    "fault.drops",
+    "fault.middlebox_teardowns",
+    "fault.misdirected_421",
+    "fault.origin_suppressed",
+    "fault.pool_evictions",
+    "fault.retries",
+];
+
+/// Clean-vs-faulted comparison of two crawls over the same dataset:
+/// what the profile cost in page load time and in coalescing.
+#[derive(Debug, Clone)]
+pub struct ResilienceReport {
+    /// The injected profile, in `FaultProfile::parse` form.
+    pub profile: String,
+    /// Pages crawled (identical in both runs by construction).
+    pub pages: u64,
+    /// `fault.*` counter values from the faulted run, in
+    /// [`FAULT_COUNTERS`] order (zeros included — stable schema).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Retransmit backoff intervals served and their total sim time.
+    pub backoff: origin_metrics::PhaseStat,
+    /// (median PLT ms, coalescing rate, connections opened): clean.
+    pub clean: (f64, f64, u64),
+    /// Same triple for the faulted run.
+    pub faulted: (f64, f64, u64),
+}
+
+impl ResilienceReport {
+    /// Compare a faulted crawl against the clean crawl of the same
+    /// dataset. `clean` and `faulted` must come from the same
+    /// `(sites, seed)` — the report is meaningless otherwise.
+    pub fn build(clean: &CrawlResults, faulted: &CrawlResults, profile: &FaultProfile) -> Self {
+        assert_eq!(
+            clean.characterization.pages, faulted.characterization.pages,
+            "resilience report requires both crawls to cover the same sites"
+        );
+        fn triple(r: &CrawlResults) -> (f64, f64, u64) {
+            let requests = r.metrics.counter("browser.requests");
+            let coalesced = r.metrics.counter("browser.coalesced_requests");
+            let rate = if requests > 0 {
+                coalesced as f64 / requests as f64
+            } else {
+                0.0
+            };
+            let (_, _, plt) = r.measured.medians();
+            (plt, rate, r.metrics.counter("browser.connections_opened"))
+        }
+        ResilienceReport {
+            profile: profile.spec(),
+            pages: clean.characterization.pages,
+            counters: FAULT_COUNTERS
+                .iter()
+                .map(|&name| (name, faulted.metrics.counter(name)))
+                .collect(),
+            backoff: faulted.metrics.phase("fault.backoff").unwrap_or_default(),
+            clean: triple(clean),
+            faulted: triple(faulted),
+        }
+    }
+
+    /// Median PLT inflation of the faulted run, in percent.
+    pub fn plt_inflation_pct(&self) -> f64 {
+        if self.clean.0 > 0.0 {
+            (self.faulted.0 - self.clean.0) / self.clean.0 * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Relative loss of coalescing (percent of the clean rate).
+    pub fn coalescing_degradation_pct(&self) -> f64 {
+        if self.clean.1 > 0.0 {
+            (self.clean.1 - self.faulted.1) / self.clean.1 * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialise to JSON. Fixed-precision formatting of the derived
+    /// floats keeps the bytes identical across thread counts (the
+    /// inputs already are) and free of wall-clock values.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"profile\": \"{}\",", self.profile);
+        let _ = writeln!(out, "  \"pages\": {},", self.pages);
+        out.push_str("  \"fault_counters\": {\n");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{name}\": {v}{comma}");
+        }
+        out.push_str("  },\n");
+        let _ = writeln!(
+            out,
+            "  \"fault_backoff\": {{\"count\": {}, \"total_us\": {}}},",
+            self.backoff.count,
+            self.backoff.total.as_micros()
+        );
+        for (key, (plt, rate, conns)) in [("clean", self.clean), ("faulted", self.faulted)] {
+            let _ = writeln!(
+                out,
+                "  \"{key}\": {{\"median_plt_ms\": {plt:.3}, \"coalescing_rate\": {rate:.6}, \"connections_opened\": {conns}}},"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  \"impact\": {{\"plt_inflation_pct\": {:.3}, \"coalescing_degradation_pct\": {:.3}, \"extra_connections\": {}}}",
+            self.plt_inflation_pct(),
+            self.coalescing_degradation_pct(),
+            self.faulted.2 as i64 - self.clean.2 as i64
+        );
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -451,6 +619,44 @@ mod tests {
             assert_eq!(want, got, "rank {}", site.rank);
             assert_eq!(want_stats, got_stats, "rank {}", site.rank);
         }
+    }
+
+    #[test]
+    fn faulted_crawl_fires_and_reports() {
+        let clean = run_crawl_threads(150, 0xBEEF, 2);
+        let profile = FaultProfile::parse("drop=0.02,h421=0.02,middlebox=0.2").unwrap();
+        let faulted = run_crawl_faulted(150, 0xBEEF, 2, None, Some(&profile));
+        // The profile actually bites: recoveries happened and they cost
+        // page load time and coalescing.
+        assert!(faulted.metrics.counter("fault.retries") > 0);
+        assert!(faulted.metrics.counter("fault.pool_evictions") > 0);
+        assert!(faulted.metrics.counter("fault.middlebox_teardowns") > 0);
+        let report = ResilienceReport::build(&clean, &faulted, &profile);
+        assert!(report.plt_inflation_pct() > 0.0);
+        assert!(report.coalescing_degradation_pct() > 0.0);
+        assert!(
+            report.faulted.2 > report.clean.2,
+            "evictions open extra connections"
+        );
+        // The JSON is valid enough for jq and carries the full schema.
+        let json = report.to_json();
+        for name in FAULT_COUNTERS {
+            assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert!(json.contains("\"plt_inflation_pct\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn zero_profile_crawl_matches_clean_crawl() {
+        let clean = run_crawl_threads(120, 0xBEEF, 2);
+        let zero = run_crawl_faulted(120, 0xBEEF, 2, None, Some(&FaultProfile::none()));
+        assert_eq!(clean.measured.plt, zero.measured.plt);
+        assert_eq!(clean.metrics.to_json(), zero.metrics.to_json());
+        let report = ResilienceReport::build(&clean, &zero, &FaultProfile::none());
+        assert_eq!(report.plt_inflation_pct(), 0.0);
+        assert_eq!(report.coalescing_degradation_pct(), 0.0);
+        assert!(report.counters.iter().all(|&(_, v)| v == 0));
     }
 
     #[test]

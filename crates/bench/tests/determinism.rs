@@ -4,9 +4,11 @@
 //! workers — this is what makes `repro --threads N` artifacts
 //! byte-comparable across machines.
 
-use origin_bench::{run_crawl_threads, run_crawl_traced, trace_site, CrawlResults};
+use origin_bench::{
+    run_crawl_faulted, run_crawl_threads, run_crawl_traced, trace_site, CrawlResults,
+};
 use origin_cdn::{ActiveMeasurement, SampleGroup, Treatment};
-use origin_netsim::SimRng;
+use origin_netsim::{FaultProfile, SimRng};
 use origin_trace::{to_chrome_json, EventKind, Sampler};
 
 const SITES: u32 = 300;
@@ -84,6 +86,38 @@ fn crawl_metrics_json_identical_across_thread_counts() {
     assert!(!one.is_empty());
     assert_eq!(one, two, "metrics JSON: 1 vs 2 threads");
     assert_eq!(one, eight, "metrics JSON: 1 vs 8 threads");
+}
+
+#[test]
+fn faulted_crawl_identical_across_thread_counts() {
+    // Fault decisions draw from per-site fault RNGs, so the sharded
+    // crawl's determinism guarantee survives injection: for any fixed
+    // profile, the merged output — series, tables, AND the fault.*
+    // counters — is byte-identical at any thread count.
+    let profile = FaultProfile::parse("drop=0.01,h421=0.02,middlebox=0.15").unwrap();
+    let one = run_crawl_faulted(SITES, SEED, 1, None, Some(&profile));
+    let two = run_crawl_faulted(SITES, SEED, 2, None, Some(&profile));
+    let eight = run_crawl_faulted(SITES, SEED, 8, None, Some(&profile));
+    assert!(
+        one.metrics.counter("fault.retries") > 0,
+        "profile never fired"
+    );
+    assert_results_equal(&one, &two, "faulted 1 vs 2 threads");
+    assert_results_equal(&one, &eight, "faulted 1 vs 8 threads");
+    let json = one.metrics.to_json();
+    assert_eq!(json, two.metrics.to_json(), "faulted metrics: 1 vs 2");
+    assert_eq!(json, eight.metrics.to_json(), "faulted metrics: 1 vs 8");
+}
+
+#[test]
+fn zero_fault_profile_reproduces_the_clean_crawl() {
+    // `--faults` with an all-zero profile must be indistinguishable
+    // from no `--faults` at all: no fault.* key materializes and every
+    // series matches, so the committed clean reports stay valid.
+    let clean = run_crawl_threads(SITES, SEED, 2);
+    let zero = run_crawl_faulted(SITES, SEED, 2, None, Some(&FaultProfile::none()));
+    assert_results_equal(&clean, &zero, "clean vs zero profile");
+    assert_eq!(clean.metrics.to_json(), zero.metrics.to_json());
 }
 
 #[test]

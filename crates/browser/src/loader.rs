@@ -11,11 +11,112 @@
 use crate::env::WebEnv;
 use crate::policy::BrowserKind;
 use crate::pool::{ConnectionPool, PoolPartition, PooledConnection, ReuseDecision};
+use origin_netsim::fault::{FaultInjector, NonCompliantMiddlebox, PacketFate};
 use origin_netsim::link::INIT_CWND;
-use origin_netsim::{HandshakeModel, SimDuration, SimRng, SimTime, TlsVersion};
+use origin_netsim::{
+    FaultProfile, HandshakeModel, Middlebox, MiddleboxVerdict, SimDuration, SimRng, SimTime,
+    TlsVersion,
+};
 use origin_web::har::{PageLoad, Phase, RequestTiming};
 use origin_web::{Page, Protocol};
 use std::net::{IpAddr, Ipv4Addr};
+
+/// RFC 8336 ORIGIN frame type code — what the §6.7 middlebox keys on.
+const ORIGIN_FRAME_TYPE: u8 = 0x0c;
+
+/// First retransmit backoff (ms); doubles per attempt (200, 400, 800),
+/// approximating the minimum TCP retransmission timeout of deployed
+/// stacks rather than RFC 6298's 1 s initial RTO.
+const RETRY_BASE_MS: f64 = 200.0;
+
+/// Transfer retry bound. After this many consecutive drop/corrupt
+/// verdicts the transfer is force-delivered — the model charges the
+/// backoffs but never livelocks, so a crawl terminates even under
+/// `drop=1`.
+const MAX_TRANSFER_RETRIES: u32 = 3;
+
+/// Per-visit fault-injection state: the profile, its packet injector,
+/// the §6.7 middlebox, and a dedicated RNG.
+///
+/// Every fault decision — and the cost of every repair a fault
+/// triggers — draws from this RNG and never from the simulation RNG.
+/// That separation is what the determinism guarantees hang off:
+///
+/// - a faulted load preserves the clean load's random stream, so the
+///   page skeleton, handshake costs and server think times are those
+///   of the clean run, perturbed only by the injected faults;
+/// - the all-zero profile draws nothing (`SimRng::chance(0.0)` does
+///   not consume a draw) and is byte-identical to a clean load;
+/// - seeding from the site's page seed makes a faulted crawl
+///   reproducible at any thread count.
+pub struct FaultSession {
+    profile: FaultProfile,
+    injector: FaultInjector,
+    middlebox: NonCompliantMiddlebox,
+    rng: SimRng,
+    /// Counters accumulated over the loads this session observed.
+    pub counts: FaultCounts,
+}
+
+impl FaultSession {
+    /// Session for one page visit. `seed` should derive from the
+    /// site's own seed so shards agree on it.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        FaultSession {
+            profile,
+            injector: profile.injector(),
+            middlebox: NonCompliantMiddlebox::default(),
+            rng: SimRng::seed_from_u64(seed),
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// The profile this session injects.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+}
+
+/// What fault injection did to a load, and what recovery cost:
+/// every counter lands in the `fault.*` metrics namespace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Coalesced requests answered `421 Misdirected Request`.
+    pub misdirected_421: u64,
+    /// (host → connection) mappings evicted from the pool after a 421.
+    pub pool_evictions: u64,
+    /// Connections torn down by the §6.7 middlebox on the ORIGIN frame.
+    pub middlebox_teardowns: u64,
+    /// Reconnects that suppressed ORIGIN advertisement after a teardown.
+    pub origin_suppressed: u64,
+    /// Transfers that lost a packet.
+    pub drops: u64,
+    /// Transfers corrupted in flight.
+    pub corruptions: u64,
+    /// Total recovery attempts (421 replays + reconnects + retransmits).
+    pub retries: u64,
+    /// Retransmit backoff periods served.
+    pub backoff_events: u64,
+    /// Total simulated time (µs) spent in retransmit backoff.
+    pub backoff_us: u64,
+}
+
+impl FaultCounts {
+    /// Field-wise `self - earlier`; `earlier` must be a prior snapshot.
+    pub fn since(&self, earlier: &FaultCounts) -> FaultCounts {
+        FaultCounts {
+            misdirected_421: self.misdirected_421 - earlier.misdirected_421,
+            pool_evictions: self.pool_evictions - earlier.pool_evictions,
+            middlebox_teardowns: self.middlebox_teardowns - earlier.middlebox_teardowns,
+            origin_suppressed: self.origin_suppressed - earlier.origin_suppressed,
+            drops: self.drops - earlier.drops,
+            corruptions: self.corruptions - earlier.corruptions,
+            retries: self.retries - earlier.retries,
+            backoff_events: self.backoff_events - earlier.backoff_events,
+            backoff_us: self.backoff_us - earlier.backoff_us,
+        }
+    }
+}
 
 /// Loader configuration.
 #[derive(Debug, Clone)]
@@ -92,11 +193,7 @@ impl PageLoader {
         rng: &mut SimRng,
         metrics: Option<&mut origin_metrics::Registry>,
     ) -> PageLoad {
-        let load = self.load_inner(page, env, rng, None);
-        if let Some(metrics) = metrics {
-            record_page_metrics(&load, metrics);
-        }
-        load
+        self.load_faulted(page, env, rng, None, metrics, None)
     }
 
     /// [`PageLoader::load_instrumented`] plus span tracing: DNS
@@ -119,9 +216,35 @@ impl PageLoader {
         metrics: Option<&mut origin_metrics::Registry>,
         tracer: &mut origin_trace::Tracer,
     ) -> PageLoad {
-        let load = self.load_inner(page, env, rng, Some(tracer));
+        self.load_faulted(page, env, rng, None, metrics, Some(tracer))
+    }
+
+    /// The full-featured entry point: [`PageLoader::load_traced`] plus
+    /// deterministic fault injection. With `faults` set, the load
+    /// suffers the session's profile and performs the client-side
+    /// recovery the paper implies — 421 → evict + replay on a
+    /// dedicated connection, middlebox teardown → reconnect with
+    /// ORIGIN suppressed, packet drop → bounded exponential-backoff
+    /// retransmit — and the per-visit `fault.*` counter deltas are
+    /// folded into `metrics`. Zero-valued fault counters are never
+    /// materialized, so an all-zero profile leaves the registry
+    /// byte-identical to a clean run's.
+    pub fn load_faulted(
+        &self,
+        page: &Page,
+        env: &mut dyn WebEnv,
+        rng: &mut SimRng,
+        mut faults: Option<&mut FaultSession>,
+        metrics: Option<&mut origin_metrics::Registry>,
+        tracer: Option<&mut origin_trace::Tracer>,
+    ) -> PageLoad {
+        let before = faults.as_deref().map(|f| f.counts).unwrap_or_default();
+        let load = self.load_inner(page, env, rng, tracer, faults.as_deref_mut());
         if let Some(metrics) = metrics {
             record_page_metrics(&load, metrics);
+            if let Some(f) = faults.as_deref() {
+                record_fault_metrics(&f.counts.since(&before), metrics);
+            }
         }
         load
     }
@@ -132,6 +255,7 @@ impl PageLoader {
         env: &mut dyn WebEnv,
         rng: &mut SimRng,
         mut tracer: Option<&mut origin_trace::Tracer>,
+        mut faults: Option<&mut FaultSession>,
     ) -> PageLoad {
         let mut pool = ConnectionPool::new();
         let mut timings: Vec<RequestTiming> = Vec::with_capacity(page.resources.len());
@@ -187,6 +311,7 @@ impl PageLoader {
                 env,
                 rng,
                 tracer.as_deref_mut(),
+                faults.as_deref_mut(),
                 &mut conn_open_us,
             );
             ready[idx] = timing.end();
@@ -210,6 +335,7 @@ impl PageLoader {
         env: &mut dyn WebEnv,
         rng: &mut SimRng,
         mut tracer: Option<&mut origin_trace::Tracer>,
+        mut faults: Option<&mut FaultSession>,
         conn_open_us: &mut Vec<u64>,
     ) -> RequestTiming {
         let res = &page.resources[idx];
@@ -341,7 +467,7 @@ impl PageLoader {
             }
         }
 
-        let decision = pool.decide(
+        let mut decision = pool.decide(
             self.config.kind,
             &host,
             &addrs,
@@ -350,6 +476,44 @@ impl PageLoader {
             start + dns_ms,
             |ch| env.colocated(ch, &host),
         );
+
+        // Setup time wasted on failed attempts (421 round trip,
+        // middlebox-torn handshake) before the request could proceed;
+        // charged as blocked time, like a browser waterfall would show.
+        let mut fault_penalty_ms = 0.0;
+        let mut replayed_after_421 = false;
+        if let (Some(f), ReuseDecision::Coalesce(i)) = (faults.as_deref_mut(), decision) {
+            if f.rng.chance(f.profile.h421_for(host.as_str())) {
+                // The server behind the coalesced connection refused
+                // this authority: one full round trip learns that via
+                // `421 Misdirected Request`. Evict the mapping so no
+                // later request repeats the mistake, then replay on a
+                // dedicated connection.
+                let rtt_ms = link.rtt.as_millis_f64();
+                pool.evict_coalesce(&host, i);
+                f.counts.misdirected_421 += 1;
+                f.counts.pool_evictions += 1;
+                f.counts.retries += 1;
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.set_tid(1 + i as u64);
+                    t.instant_at(
+                        "fault.421",
+                        "fault",
+                        ms_us(start + dns_ms),
+                        vec![("host", host.as_str().into()), ("conn", (i as u64).into())],
+                    );
+                    t.instant_at(
+                        "fault.evict",
+                        "fault",
+                        ms_us(start + dns_ms + rtt_ms),
+                        vec![("host", host.as_str().into()), ("conn", (i as u64).into())],
+                    );
+                }
+                fault_penalty_ms += rtt_ms;
+                replayed_after_421 = true;
+                decision = ReuseDecision::New;
+            }
+        }
 
         let mut phase = Phase {
             dns: dns_ms,
@@ -420,7 +584,48 @@ impl PageLoader {
                     tls,
                     cert.as_ref().map(|c| c.wire_size()).unwrap_or(1_500),
                 );
-                let cost = hs.connect(&link, rng);
+                let mut cost = hs.connect(&link, rng);
+                let mut origin_set = env.origin_set_for(&host);
+                if let Some(f) = faults.as_deref_mut() {
+                    if origin_set.is_some()
+                        && f.rng.chance(f.profile.middlebox)
+                        && f.middlebox.inspect(ORIGIN_FRAME_TYPE) == MiddleboxVerdict::TearDown
+                    {
+                        // §6.7: the handshake succeeded, then the
+                        // ORIGIN frame the edge sent on the fresh
+                        // connection tripped an on-path middlebox,
+                        // which tore the connection down. The wasted
+                        // setup is charged as blocked time and the
+                        // client reconnects with ORIGIN advertisement
+                        // suppressed (the fail-open the CDN shipped).
+                        let wasted = cost.tcp.as_millis_f64()
+                            + if res.secure {
+                                cost.tls.as_millis_f64()
+                            } else {
+                                0.0
+                            };
+                        if let Some(t) = tracer.as_deref_mut() {
+                            t.set_tid(1 + pool.len() as u64);
+                            t.instant_at(
+                                "fault.middlebox_teardown",
+                                "fault",
+                                ms_us(start + dns_ms + fault_penalty_ms + wasted),
+                                vec![
+                                    ("host", host.as_str().into()),
+                                    ("frame_type", u64::from(ORIGIN_FRAME_TYPE).into()),
+                                    ("origin_suppressed", true.into()),
+                                ],
+                            );
+                        }
+                        fault_penalty_ms += wasted;
+                        cost = hs.connect(&link, &mut f.rng);
+                        origin_set = None;
+                        f.counts.middlebox_teardowns += 1;
+                        f.counts.origin_suppressed += 1;
+                        f.counts.retries += 1;
+                    }
+                }
+                let setup_start = start + dns_ms + fault_penalty_ms;
                 phase.connect = cost.tcp.as_millis_f64();
                 if res.secure {
                     phase.ssl = cost.tls.as_millis_f64();
@@ -439,12 +644,12 @@ impl PageLoader {
                     t.complete(
                         "tcp.connect",
                         "net",
-                        ms_us(start + dns_ms),
+                        ms_us(setup_start),
                         ms_us(phase.connect),
                         vec![("ip", ip.to_string().into())],
                     );
                     if res.secure {
-                        let hs_start = start + dns_ms + phase.connect;
+                        let hs_start = setup_start + phase.connect;
                         t.complete(
                             "tls.handshake",
                             "tls",
@@ -484,7 +689,6 @@ impl PageLoader {
                         );
                     }
                 }
-                let origin_set = env.origin_set_for(&host);
                 let conn = PooledConnection {
                     host: host.clone(),
                     ip,
@@ -504,10 +708,14 @@ impl PageLoader {
                     busy_until: 0.0,
                 };
                 let i = pool.insert(conn);
-                conn_open_us.push(ms_us(start + dns_ms));
+                conn_open_us.push(ms_us(setup_start));
                 i
             }
         };
+        phase.blocked += fault_penalty_ms;
+        if replayed_after_421 {
+            reuse_label = "replay-421";
+        }
 
         // Transfer phases.
         let conn = pool.get_mut(conn_idx);
@@ -519,6 +727,51 @@ impl PageLoader {
         phase.send = 0.3;
         phase.wait = origin_webgen::dist::sample_wait_ms(rng);
         phase.receive = link.transfer_time(res.size, warm_cwnd).as_millis_f64();
+        if let Some(f) = faults {
+            // Bounded deterministic retry: each drop/corrupt verdict
+            // costs an exponentially growing backoff plus one RTT to
+            // retransmit, all charged to the receive phase. After
+            // MAX_TRANSFER_RETRIES the transfer is force-delivered so
+            // the crawl terminates under any profile.
+            for attempt in 0..MAX_TRANSFER_RETRIES {
+                let fate = f.injector.apply(&mut f.rng);
+                if fate == PacketFate::Delivered {
+                    break;
+                }
+                match fate {
+                    PacketFate::Dropped => f.counts.drops += 1,
+                    PacketFate::Corrupted => f.counts.corruptions += 1,
+                    PacketFate::Delivered => unreachable!(),
+                }
+                f.counts.retries += 1;
+                let backoff = RETRY_BASE_MS * f64::from(1u32 << attempt);
+                let redo = backoff + link.rtt.as_millis_f64();
+                if let Some(t) = tracer.as_deref_mut() {
+                    t.set_tid(1 + conn_idx as u64);
+                    t.complete(
+                        "fault.backoff",
+                        "fault",
+                        ms_us(start + phase.total()),
+                        ms_us(redo),
+                        vec![
+                            ("attempt", u64::from(attempt + 1).into()),
+                            (
+                                "fate",
+                                match fate {
+                                    PacketFate::Dropped => "dropped",
+                                    PacketFate::Corrupted => "corrupted",
+                                    PacketFate::Delivered => unreachable!(),
+                                }
+                                .into(),
+                            ),
+                        ],
+                    );
+                }
+                phase.receive += redo;
+                f.counts.backoff_events += 1;
+                f.counts.backoff_us += ms_us(redo);
+            }
+        }
         conn.bytes_transferred += res.size;
         if self.config.kind.models_races() && !conn.multiplexes() {
             conn.busy_until = start + phase.total();
@@ -657,6 +910,33 @@ fn record_page_metrics(load: &PageLoad, metrics: &mut origin_metrics::Registry) 
         opened,
     );
     metrics.record_phase("sim.page", SimDuration::from_millis_f64(load.plt()));
+}
+
+/// Fold one visit's fault-counter deltas into the registry. Zero
+/// values are skipped — `Registry::add` materializes keys, and a
+/// faulted crawl whose profile injected nothing must serialize exactly
+/// like a clean one.
+fn record_fault_metrics(delta: &FaultCounts, metrics: &mut origin_metrics::Registry) {
+    for (name, value) in [
+        ("fault.misdirected_421", delta.misdirected_421),
+        ("fault.pool_evictions", delta.pool_evictions),
+        ("fault.middlebox_teardowns", delta.middlebox_teardowns),
+        ("fault.origin_suppressed", delta.origin_suppressed),
+        ("fault.drops", delta.drops),
+        ("fault.corruptions", delta.corruptions),
+        ("fault.retries", delta.retries),
+    ] {
+        if value > 0 {
+            metrics.add(name, value);
+        }
+    }
+    if delta.backoff_events > 0 {
+        metrics.record_phase_n(
+            "fault.backoff",
+            delta.backoff_events,
+            SimDuration::from_micros(delta.backoff_us),
+        );
+    }
 }
 
 #[cfg(test)]

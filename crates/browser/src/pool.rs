@@ -117,6 +117,13 @@ pub struct ConnectionPool {
     exact_san: FxHashMap<HostId, Vec<u32>>,
     wildcard_san: FxHashMap<HostId, Vec<u32>>,
     by_ip: FxHashMap<IpAddr, Vec<u32>>,
+    /// Coalesced (host → connection) mappings that drew a `421
+    /// Misdirected Request`: the server behind the connection refused
+    /// to serve that authority, so the pair is barred from coalescing
+    /// for the rest of the page load (mirrors Firefox's 421 handling).
+    /// Same-host reuse is unaffected — a 421 indicts the mapping, not
+    /// the connection.
+    evicted: FxHashMap<HostId, Vec<u32>>,
 }
 
 impl ConnectionPool {
@@ -176,6 +183,30 @@ impl ConnectionPool {
         }
         self.conns.push(conn);
         idx as usize
+    }
+
+    /// Record a `421 Misdirected Request` for `host` on connection
+    /// `idx`: that coalesced mapping is evicted and will never be
+    /// offered again by [`ConnectionPool::decide`] (either path). The
+    /// caller replays the request, normally on a dedicated connection.
+    pub fn evict_coalesce(&mut self, host: &DnsName, idx: usize) {
+        let host_id = self.hosts.intern(host.as_str());
+        let idx = u32::try_from(idx).expect("pool outgrew u32 indices");
+        let bucket = self.evicted.entry(host_id).or_default();
+        if !bucket.contains(&idx) {
+            bucket.push(idx);
+        }
+    }
+
+    /// Number of evicted (host, connection) coalesce mappings.
+    pub fn evicted_mappings(&self) -> usize {
+        self.evicted.values().map(Vec::len).sum()
+    }
+
+    fn is_evicted(&self, host_id: Option<HostId>, idx: u32) -> bool {
+        host_id
+            .and_then(|id| self.evicted.get(&id))
+            .is_some_and(|b| b.contains(&idx))
     }
 
     /// Decide how a request to `host` (with DNS answer `addrs`, in
@@ -324,7 +355,7 @@ impl ConnectionPool {
                 };
                 let c = &self.conns[i as usize];
                 debug_assert!(c.cert.covers(host), "SAN index out of sync with cert");
-                if c.partition != partition || !c.multiplexes() {
+                if c.partition != partition || !c.multiplexes() || self.is_evicted(host_id, i) {
                     continue;
                 }
                 if let Some(d) = Self::coalesce_check(policy, c, host, addrs, colocated, i as usize)
@@ -353,14 +384,14 @@ impl ConnectionPool {
                 candidates.dedup();
                 for i in candidates {
                     let c = &self.conns[i as usize];
-                    if colocated(&c.host) {
+                    if !self.is_evicted(host_id, i) && colocated(&c.host) {
                         return ReuseDecision::Coalesce(i as usize);
                     }
                 }
             }
             _ => {
                 for (i, c) in self.conns.iter().enumerate() {
-                    if colocated(&c.host) {
+                    if !self.is_evicted(host_id, i as u32) && colocated(&c.host) {
                         return ReuseDecision::Coalesce(i);
                     }
                 }
@@ -403,8 +434,8 @@ impl ConnectionPool {
         allowed.then_some(ReuseDecision::Coalesce(idx))
     }
 
-    /// The original full-scan decision logic, kept verbatim as the
-    /// reference implementation: the indexed [`ConnectionPool::decide`]
+    /// The original full-scan decision logic, kept as the reference
+    /// implementation: the indexed [`ConnectionPool::decide`]
     /// must agree with it on every input (asserted in debug builds and
     /// by the randomized property test).
     #[allow(clippy::too_many_arguments)]
@@ -452,8 +483,13 @@ impl ConnectionPool {
         }
 
         // 2. Cross-host coalescing (HTTP/2 only, same partition, cert
-        //    must cover the new name, server must actually serve it).
+        //    must cover the new name, server must actually serve it,
+        //    and the mapping must not have been evicted by a 421).
+        let host_id = self.hosts.get(host.as_str());
         for (i, c) in self.conns.iter().enumerate() {
+            if self.is_evicted(host_id, i as u32) {
+                continue;
+            }
             if !is_ideal && (c.partition != partition || !c.multiplexes()) {
                 continue;
             }
@@ -852,6 +888,112 @@ mod tests {
     }
 
     #[test]
+    fn evicted_mapping_never_coalesces_again() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("www.a.com", ip, vec![ip], &["*.a.com"]));
+        let host = name("img.a.com");
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &host,
+            &[ip],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::Coalesce(0));
+        // The coalesced request drew a 421: evict the mapping.
+        pool.evict_coalesce(&host, 0);
+        assert_eq!(pool.evicted_mappings(), 1);
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &host,
+            &[ip],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::New, "evicted mapping must not be reused");
+        // Eviction is idempotent.
+        pool.evict_coalesce(&host, 0);
+        assert_eq!(pool.evicted_mappings(), 1);
+    }
+
+    #[test]
+    fn eviction_scopes_to_the_one_host() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("www.a.com", ip, vec![ip], &["*.a.com"]));
+        pool.evict_coalesce(&name("img.a.com"), 0);
+        // A sibling host still coalesces onto the same connection…
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &name("static.a.com"),
+            &[ip],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::Coalesce(0));
+        // …and same-host keep-alive on the connection is unaffected.
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &name("www.a.com"),
+            &[v4(9, 9, 9, 9)],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::SameHost(0));
+    }
+
+    #[test]
+    fn eviction_applies_to_ideal_policies_too() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("www.a.com", ip, vec![ip], &["svc.example"]));
+        pool.evict_coalesce(&name("svc.example"), 0);
+        for policy in [BrowserKind::IdealIp, BrowserKind::IdealOrigin] {
+            let d = pool.decide(
+                policy,
+                &name("svc.example"),
+                &[ip],
+                PoolPartition::Default,
+                6,
+                0.0,
+                always,
+            );
+            assert_eq!(d, ReuseDecision::New, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn eviction_falls_through_to_next_candidate() {
+        // Two connections could serve the host; evicting the first
+        // mapping makes both decide paths pick the second.
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        pool.insert(conn("www.a.com", ip, vec![ip], &["*.a.com"]));
+        pool.insert(conn("alt.a.com", ip, vec![ip], &["*.a.com"]));
+        let host = name("img.a.com");
+        pool.evict_coalesce(&host, 0);
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &host,
+            &[ip],
+            PoolPartition::Default,
+            6,
+            0.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::Coalesce(1));
+    }
+
+    #[test]
     fn randomized_pools_indexed_matches_linear() {
         // Property test: on randomized pools (hosts, SANs incl.
         // wildcards, overlapping address sets, mixed protocols and
@@ -920,6 +1062,16 @@ mod tests {
                     c.origin_set = Some(OriginSet::from_hosts([host, *rng.choose(&hosts)]));
                 }
                 pool.insert(c);
+            }
+            // Random 421 evictions must be honored identically by
+            // both decide paths.
+            while rng.chance(0.3) {
+                // The deref steers inference to `T = &str` (clippy's
+                // auto-deref suggestion makes `choose` infer `T = str`).
+                #[allow(clippy::explicit_auto_deref)]
+                let host = name(*rng.choose(&hosts));
+                let idx = rng.index(pool.len());
+                pool.evict_coalesce(&host, idx);
             }
             for _ in 0..12 {
                 let policy = *rng.choose(&policies);

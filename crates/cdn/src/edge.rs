@@ -10,6 +10,7 @@
 use crate::sample::{SampleSite, Treatment, CONTROL_DECOY_HOST, THIRD_PARTY_HOST};
 use origin_h2::conn::{authority_of, ServerConfig};
 use origin_h2::{Connection, Event, OriginSet, Settings};
+use origin_netsim::{FaultProfile, SimRng};
 use origin_tls::Certificate;
 
 /// One edge process configured for a sample site's connection.
@@ -22,6 +23,11 @@ pub struct EdgeServer {
     pub served: u64,
     /// 421 responses issued.
     pub misdirected: u64,
+    /// The site's primary authority — never misdirected, even degraded.
+    primary: String,
+    /// Degraded-mode state: the injected profile and its dedicated RNG
+    /// (`None` for a healthy edge).
+    degraded: Option<(FaultProfile, SimRng)>,
 }
 
 impl EdgeServer {
@@ -52,6 +58,32 @@ impl EdgeServer {
             cert: site.cert.clone(),
             served: 0,
             misdirected: 0,
+            primary: site.host.to_string(),
+            degraded: None,
+        }
+    }
+
+    /// Put the edge into the degraded state the loader's 421 recovery
+    /// exists for: routing inside the CDN has gone stale, so requests
+    /// for *coalesced* (non-primary) authorities land on a process
+    /// that answers `421 Misdirected Request` at the profile's
+    /// per-authority skewed rate ([`FaultProfile::h421_for`]) even
+    /// though the authority is nominally configured. The primary
+    /// authority is always served — a client on a dedicated
+    /// connection never sees the fault.
+    pub fn degrade(&mut self, profile: FaultProfile, seed: u64) {
+        self.degraded = Some((profile, SimRng::seed_from_u64(seed)));
+    }
+
+    /// Would this edge misdirect a request for `authority` right now?
+    /// Draws from the degraded-mode RNG, so calls consume fate.
+    fn misdirects(&mut self, authority: &str) -> bool {
+        if authority.eq_ignore_ascii_case(&self.primary) {
+            return false;
+        }
+        match &mut self.degraded {
+            Some((profile, rng)) => rng.chance(profile.h421_for(authority)),
+            None => false,
         }
     }
 
@@ -66,8 +98,13 @@ impl EdgeServer {
             {
                 match authority_of(headers) {
                     Some(authority) if self.conn.is_authorized(authority) => {
-                        self.conn.send_response(*stream, 200, b"{\"ok\":true}");
-                        self.served += 1;
+                        if self.misdirects(authority) {
+                            self.conn.send_misdirected(*stream);
+                            self.misdirected += 1;
+                        } else {
+                            self.conn.send_response(*stream, 200, b"{\"ok\":true}");
+                            self.served += 1;
+                        }
                     }
                     _ => {
                         self.conn.send_misdirected(*stream);
@@ -195,6 +232,73 @@ mod tests {
             .expect("response");
         assert_eq!(status, 421);
         assert_eq!(edge.misdirected, 1);
+    }
+
+    #[test]
+    fn degraded_edge_misdirects_coalesced_authorities_only() {
+        let s = site(Treatment::Experiment);
+        let mut edge = EdgeServer::for_site(&s, true);
+        // h421=1 with the maximum skew still clamps to certainty: every
+        // coalesced request misdirects, the primary never does.
+        edge.degrade(FaultProfile::parse("h421=1").unwrap(), 0xDE6);
+        let mut client = Connection::client(s.host.as_str(), Settings::default());
+        pump(&mut client, &mut edge);
+        client.send_request(&request_headers("GET", s.host.as_str(), "/"), true);
+        client.send_request(&request_headers("GET", THIRD_PARTY_HOST, "/lib.js"), true);
+        let events = pump(&mut client, &mut edge);
+        let statuses: Vec<u16> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Headers { headers, .. } => status_of(headers),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(statuses, vec![200, 421]);
+        assert_eq!((edge.served, edge.misdirected), (1, 1));
+    }
+
+    #[test]
+    fn misdirected_client_replays_on_a_dedicated_connection() {
+        // The full wire-level recovery the loader models: a coalesced
+        // request draws 421 from a degraded edge, so the client evicts
+        // the mapping, opens a dedicated connection to the authority's
+        // own edge, and replays — same bytes, fresh stream, 200.
+        let s = site(Treatment::Experiment);
+        let mut edge = EdgeServer::for_site(&s, true);
+        edge.degrade(FaultProfile::parse("h421=1").unwrap(), 0xDE6);
+        let mut client = Connection::client(s.host.as_str(), Settings::default());
+        pump(&mut client, &mut edge);
+        let headers = request_headers("GET", THIRD_PARTY_HOST, "/ajax/libs/x.js");
+        client.send_request(&headers, true);
+        let events = pump(&mut client, &mut edge);
+        let status = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Headers { headers, .. } => status_of(headers),
+                _ => None,
+            })
+            .expect("421 response");
+        assert_eq!(status, 421);
+
+        // Recovery: a dedicated connection, authority as its primary.
+        let mut dedicated_site = s.clone();
+        dedicated_site.host = origin_dns::name::name(THIRD_PARTY_HOST);
+        let mut dedicated = EdgeServer::for_site(&dedicated_site, true);
+        // Even a degraded edge serves its own primary authority.
+        dedicated.degrade(FaultProfile::parse("h421=1").unwrap(), 0xDE6);
+        let mut retry = Connection::client(THIRD_PARTY_HOST, Settings::default());
+        pump(&mut retry, &mut dedicated);
+        retry.send_request(&headers, true);
+        let events = pump(&mut retry, &mut dedicated);
+        let status = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Headers { headers, .. } => status_of(headers),
+                _ => None,
+            })
+            .expect("replay response");
+        assert_eq!(status, 200);
+        assert_eq!(dedicated.misdirected, 0);
     }
 
     #[test]

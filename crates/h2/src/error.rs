@@ -197,6 +197,49 @@ impl fmt::Display for H2Error {
 
 impl std::error::Error for H2Error {}
 
+/// The client-side recovery action an error calls for — the
+/// vocabulary `origin-browser`'s fault handling acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Tear the connection down and replay unanswered requests on a
+    /// fresh one. Framing and compression faults poison shared
+    /// connection state (RFC 7540 §4.3, §5.4.1), and a GOAWAY
+    /// guarantees streams above `last_stream` were never processed
+    /// (§6.8) — both make the replay safe.
+    RetryOnNewConnection,
+    /// Retry the stream, same connection: REFUSED_STREAM is the
+    /// peer's explicit no-processing-happened guarantee (§8.1.4).
+    RetryStream,
+    /// Do not retry automatically — the request may have been acted
+    /// on, and replaying a non-idempotent request is worse than
+    /// failing it.
+    Abandon,
+}
+
+impl H2Error {
+    /// True when the connection itself is poisoned and must be torn
+    /// down; stream-scoped violations leave it usable.
+    pub fn is_connection_fatal(&self) -> bool {
+        !matches!(self, H2Error::Stream(..))
+    }
+
+    /// Classify the error into the recovery the client should take.
+    pub fn recovery(&self) -> Recovery {
+        match self {
+            H2Error::Frame(_) | H2Error::Connection(..) | H2Error::GoAway(_) => {
+                Recovery::RetryOnNewConnection
+            }
+            // A broken preface means the peer isn't speaking HTTP/2 at
+            // all; a fresh connection would hit the same wall.
+            H2Error::BadPreface => Recovery::Abandon,
+            H2Error::Stream(_, code, _) => match code {
+                ErrorCode::RefusedStream => Recovery::RetryStream,
+                _ => Recovery::Abandon,
+            },
+        }
+    }
+}
+
 impl From<FrameError> for H2Error {
     fn from(e: FrameError) -> Self {
         H2Error::Frame(e)

@@ -51,7 +51,7 @@ pub mod settings;
 pub mod stream;
 
 pub use conn::{ConnStats, Connection, Event, Role};
-pub use error::{ErrorCode, FrameError, H2Error};
+pub use error::{ErrorCode, FrameError, H2Error, Recovery};
 pub use frame::{Frame, FrameDecoder, FrameHeader, FrameType};
 pub use origin::{OriginEntry, OriginSet};
 pub use priority::PriorityTree;

@@ -1,0 +1,183 @@
+//! Error-path behaviour of the connection layer: GOAWAY landing
+//! mid-stream, middlebox-style teardown of a half-delivered response,
+//! and frame parsing over corrupted bytes. Each surfaced error must
+//! classify into the client recovery the loader implements
+//! ([`Recovery`]).
+
+use bytes::{Bytes, BytesMut};
+use origin_h2::conn::{request_headers, ServerConfig};
+use origin_h2::{
+    Connection, ErrorCode, Event, Frame, H2Error, Recovery, Settings, StreamId, StreamState,
+};
+
+fn server() -> Connection {
+    Connection::server(ServerConfig {
+        settings: Settings::default(),
+        origin_set: None,
+        authorized: vec!["a.example".into()],
+    })
+}
+
+/// Shuttle bytes both ways until both sides go quiet; returns the
+/// client's events.
+fn pump(client: &mut Connection, server: &mut Connection) -> Vec<Event> {
+    let mut events = Vec::new();
+    loop {
+        let c = client.take_outgoing();
+        let s = server.take_outgoing();
+        if c.is_empty() && s.is_empty() {
+            break;
+        }
+        if !c.is_empty() {
+            server.recv(&c).expect("server recv");
+        }
+        if !s.is_empty() {
+            events.extend(client.recv(&s).expect("client recv"));
+        }
+    }
+    events
+}
+
+#[test]
+fn goaway_mid_stream_leaves_later_streams_replayable() {
+    let mut client = Connection::client("a.example", Settings::default());
+    let mut srv = server();
+    pump(&mut client, &mut srv);
+
+    // Three requests in flight; the server answers only the first and
+    // then goes away, pinning last_stream to it.
+    let s1 = client.send_request(&request_headers("GET", "a.example", "/1"), true);
+    let s3 = client.send_request(&request_headers("GET", "a.example", "/2"), true);
+    let s5 = client.send_request(&request_headers("GET", "a.example", "/3"), true);
+    srv.recv(&client.take_outgoing()).unwrap();
+    srv.send_response(s1, 200, b"only this one");
+    let mut wire = BytesMut::from(&srv.take_outgoing()[..]);
+    Frame::GoAway {
+        last_stream: s1,
+        code: ErrorCode::NoError,
+        debug: Bytes::new(),
+    }
+    .encode(&mut wire);
+
+    let events = client
+        .recv(&wire)
+        .expect("GOAWAY is an event, not an error");
+    let goaway = events
+        .iter()
+        .find_map(|e| match e {
+            Event::GoAway { code, last_stream } => Some((*code, *last_stream)),
+            _ => None,
+        })
+        .expect("GOAWAY surfaced");
+    assert_eq!(goaway, (ErrorCode::NoError, s1));
+    assert!(client.is_closing());
+
+    // Stream 1 completed; 3 and 5 are above last_stream — provably
+    // unprocessed, so the loader may replay them on a new connection.
+    assert_eq!(client.stream_state(s1), StreamState::Closed);
+    for replayable in [s3, s5] {
+        assert!(
+            replayable > goaway.1,
+            "stream {replayable:?} must be replayable"
+        );
+    }
+    assert_eq!(
+        H2Error::GoAway(ErrorCode::NoError).recovery(),
+        Recovery::RetryOnNewConnection
+    );
+}
+
+#[test]
+fn teardown_mid_response_corrupts_into_a_fatal_error() {
+    // A §6.7-style middlebox kills the TCP stream mid-response; what
+    // the client actually observes is a response cut short and then
+    // garbage (RST-induced junk / a new unrelated stream's bytes). The
+    // decoder must fail closed with a connection-fatal error.
+    let mut client = Connection::client("a.example", Settings::default());
+    let mut srv = server();
+    pump(&mut client, &mut srv);
+    let s1 = client.send_request(&request_headers("GET", "a.example", "/big"), true);
+    srv.recv(&client.take_outgoing()).unwrap();
+    srv.send_response(s1, 200, &[0xAB; 4096]);
+    let wire = srv.take_outgoing();
+
+    // Cut the stream inside the last DATA frame and splice in junk:
+    // enough 0xFF to fill out the in-flight payload (DATA content is
+    // opaque, so that parses), then a frame header claiming a 16MB
+    // payload — which must fail closed, poisoning the connection.
+    let cut = wire.len() - 1024;
+    let mut seen = BytesMut::from(&wire[..cut]);
+    seen.extend_from_slice(&[0xFF; 1024 + 9]);
+    let err = client.recv(&seen).expect_err("corrupt tail must error");
+    assert!(err.is_connection_fatal());
+    assert_eq!(err.recovery(), Recovery::RetryOnNewConnection);
+    let _ = s1;
+}
+
+#[test]
+fn corrupted_bytes_error_or_parse_but_never_panic() {
+    // Flip one byte at every offset of a healthy server flight. Every
+    // outcome must be an Ok parse or a classified H2Error — no panics,
+    // and every error must map onto a recovery action.
+    let mut client = Connection::client("a.example", Settings::default());
+    let mut srv = server();
+    pump(&mut client, &mut srv);
+    let s1 = client.send_request(&request_headers("GET", "a.example", "/x"), true);
+    srv.recv(&client.take_outgoing()).unwrap();
+    srv.send_response(s1, 200, b"hello world body bytes");
+    let wire = srv.take_outgoing();
+    assert!(wire.len() > 30);
+
+    let mut errors = 0usize;
+    for i in 0..wire.len() {
+        let mut corrupted = wire.to_vec();
+        corrupted[i] ^= 0xFF;
+        // A fresh client per trial: the preface/SETTINGS state must
+        // match what produced the flight.
+        let mut c = Connection::client("a.example", Settings::default());
+        let mut s = server();
+        pump(&mut c, &mut s);
+        c.send_request(&request_headers("GET", "a.example", "/x"), true);
+        match c.recv(&corrupted) {
+            Ok(_) => {}
+            Err(e) => {
+                errors += 1;
+                // Classification is total: every surfaced error names
+                // its recovery, and connection-fatal errors never ask
+                // for a same-connection retry.
+                let r = e.recovery();
+                if e.is_connection_fatal() {
+                    assert_ne!(r, Recovery::RetryStream, "{e}");
+                }
+            }
+        }
+    }
+    assert!(
+        errors > 0,
+        "bit flips over {} bytes never errored",
+        wire.len()
+    );
+}
+
+#[test]
+fn recovery_classification_matches_the_rfc() {
+    use origin_h2::FrameError;
+    // Stream-scoped REFUSED_STREAM is the one same-connection retry.
+    let refused = H2Error::Stream(StreamId(3), ErrorCode::RefusedStream, "refused");
+    assert!(!refused.is_connection_fatal());
+    assert_eq!(refused.recovery(), Recovery::RetryStream);
+    // Any other stream code may have been processed: don't replay.
+    let cancel = H2Error::Stream(StreamId(3), ErrorCode::Cancel, "cancel");
+    assert_eq!(cancel.recovery(), Recovery::Abandon);
+    // Connection-level faults replay on a fresh connection.
+    for fatal in [
+        H2Error::Frame(FrameError::BadPadding),
+        H2Error::Connection(ErrorCode::CompressionError, "hpack"),
+        H2Error::GoAway(ErrorCode::EnhanceYourCalm),
+    ] {
+        assert!(fatal.is_connection_fatal(), "{fatal}");
+        assert_eq!(fatal.recovery(), Recovery::RetryOnNewConnection, "{fatal}");
+    }
+    // A peer that can't even speak the preface isn't worth retrying.
+    assert_eq!(H2Error::BadPreface.recovery(), Recovery::Abandon);
+}

@@ -31,11 +31,11 @@ impl FaultInjector {
         }
     }
 
-    /// Construct with the given probabilities (each clamped [0,1]).
+    /// Construct with the given probabilities (each sanitized to [0,1]).
     pub fn new(drop_chance: f64, corrupt_chance: f64) -> Self {
         FaultInjector {
-            drop_chance: drop_chance.clamp(0.0, 1.0),
-            corrupt_chance: corrupt_chance.clamp(0.0, 1.0),
+            drop_chance: sanitize_probability(drop_chance),
+            corrupt_chance: sanitize_probability(corrupt_chance),
         }
     }
 
@@ -49,6 +49,116 @@ impl FaultInjector {
             PacketFate::Delivered
         }
     }
+}
+
+/// Coerce a probability into [0,1]. `f64::clamp` propagates NaN, so a
+/// NaN input would survive into `SimRng::chance` and poison every
+/// comparison against it; treat NaN as "no fault".
+fn sanitize_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// A named bundle of fault probabilities, parseable from the CLI
+/// (`drop=0.01,h421=0.005,middlebox=0.1`). One profile drives an entire
+/// crawl; each page visit derives its own fault RNG from the site seed,
+/// so a fixed profile yields byte-identical results at any thread count
+/// and the all-zero profile is indistinguishable from a clean run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultProfile {
+    /// Probability a response transfer loses a packet (retransmit + backoff).
+    pub drop: f64,
+    /// Probability a response transfer is corrupted in flight.
+    pub corrupt: f64,
+    /// Base probability that a coalesced request draws `421 Misdirected
+    /// Request` (edge authority-list skew). Scaled per authority by
+    /// [`FaultProfile::h421_for`].
+    pub h421: f64,
+    /// Probability a new connection's path crosses the §6.7
+    /// non-compliant middlebox, which tears down TLS on seeing an
+    /// ORIGIN frame.
+    pub middlebox: f64,
+}
+
+impl FaultProfile {
+    /// The all-zero profile: injects nothing.
+    pub fn none() -> Self {
+        FaultProfile::default()
+    }
+
+    /// True when every probability is zero, i.e. the profile cannot
+    /// perturb a crawl.
+    pub fn is_zero(&self) -> bool {
+        self.drop == 0.0 && self.corrupt == 0.0 && self.h421 == 0.0 && self.middlebox == 0.0
+    }
+
+    /// Parse a comma-separated `key=value` spec, e.g.
+    /// `drop=0.01,h421=0.005,middlebox=0.1`. Keys: `drop`, `corrupt`,
+    /// `h421`, `middlebox`; omitted keys default to 0. Unknown keys and
+    /// malformed values are errors; out-of-range values are sanitized
+    /// into [0,1].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut profile = FaultProfile::none();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec `{part}` is not key=value"))?;
+            let p: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault `{key}` has non-numeric value `{value}`"))?;
+            let p = sanitize_probability(p);
+            match key.trim() {
+                "drop" => profile.drop = p,
+                "corrupt" => profile.corrupt = p,
+                "h421" => profile.h421 = p,
+                "middlebox" => profile.middlebox = p,
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(profile)
+    }
+
+    /// Render in the same `key=value` form [`FaultProfile::parse`] accepts.
+    pub fn spec(&self) -> String {
+        format!(
+            "drop={},corrupt={},h421={},middlebox={}",
+            self.drop, self.corrupt, self.h421, self.middlebox
+        )
+    }
+
+    /// Per-authority 421 rate. Authority-list skew at an edge is not
+    /// uniform — a missing SAN hits every request for that name — so
+    /// the base rate is scaled by a deterministic per-authority factor
+    /// in [0.5, 1.5) derived from an FNV-1a hash of the name.
+    pub fn h421_for(&self, authority: &str) -> f64 {
+        if self.h421 == 0.0 {
+            return 0.0;
+        }
+        let scale = 0.5 + (fnv1a(authority.as_bytes()) % 1024) as f64 / 1024.0;
+        sanitize_probability(self.h421 * scale)
+    }
+
+    /// Packet-level injector for this profile's drop/corrupt rates.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(self.drop, self.corrupt)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Outcome of passing one packet through a [`FaultInjector`].
@@ -173,6 +283,81 @@ mod tests {
             .filter(|_| f.apply(&mut rng) == PacketFate::Dropped)
             .count();
         assert!((1_300..1_700).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn nan_probability_sanitized_to_zero() {
+        let f = FaultInjector::new(f64::NAN, f64::NAN);
+        assert_eq!(f.drop_chance, 0.0);
+        assert_eq!(f.corrupt_chance, 0.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(f.apply(&mut rng), PacketFate::Delivered);
+        }
+    }
+
+    #[test]
+    fn profile_parse_full_spec() {
+        let p = FaultProfile::parse("drop=0.01,h421=0.005,middlebox=0.1").unwrap();
+        assert_eq!(p.drop, 0.01);
+        assert_eq!(p.corrupt, 0.0);
+        assert_eq!(p.h421, 0.005);
+        assert_eq!(p.middlebox, 0.1);
+        assert!(!p.is_zero());
+    }
+
+    #[test]
+    fn profile_parse_round_trips_through_spec() {
+        let p = FaultProfile::parse("drop=0.25,corrupt=0.5,h421=1,middlebox=0").unwrap();
+        assert_eq!(FaultProfile::parse(&p.spec()).unwrap(), p);
+    }
+
+    #[test]
+    fn profile_parse_rejects_garbage() {
+        assert!(FaultProfile::parse("drop").is_err());
+        assert!(FaultProfile::parse("drop=abc").is_err());
+        assert!(FaultProfile::parse("jitter=0.5").is_err());
+    }
+
+    #[test]
+    fn profile_parse_sanitizes_range_and_nan() {
+        let p = FaultProfile::parse("drop=7,corrupt=-1,h421=NaN").unwrap();
+        assert_eq!(p.drop, 1.0);
+        assert_eq!(p.corrupt, 0.0);
+        assert_eq!(p.h421, 0.0);
+    }
+
+    #[test]
+    fn zero_profile_is_zero_and_empty_spec_parses() {
+        assert!(FaultProfile::none().is_zero());
+        assert!(FaultProfile::parse("").unwrap().is_zero());
+        assert!(FaultProfile::parse("drop=0,corrupt=0,h421=0,middlebox=0")
+            .unwrap()
+            .is_zero());
+    }
+
+    #[test]
+    fn per_authority_rate_is_deterministic_and_scaled() {
+        let p = FaultProfile::parse("h421=0.01").unwrap();
+        let a = p.h421_for("img.example.com");
+        assert_eq!(a, p.h421_for("img.example.com"));
+        assert!((0.005..0.015).contains(&a), "rate {a} outside [0.5p, 1.5p)");
+        // Different authorities should generally see different rates.
+        assert_ne!(a, p.h421_for("cdn.example.net"));
+        // Zero base rate stays zero, and full rate clamps at 1.
+        assert_eq!(FaultProfile::none().h421_for("x"), 0.0);
+        let full = FaultProfile::parse("h421=1").unwrap();
+        for host in ["a", "bb", "ccc"] {
+            assert!(full.h421_for(host) >= 0.5);
+            assert!(full.h421_for(host) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn profile_injector_carries_drop_and_corrupt() {
+        let p = FaultProfile::parse("drop=1").unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        assert_eq!(p.injector().apply(&mut rng), PacketFate::Dropped);
     }
 
     #[test]

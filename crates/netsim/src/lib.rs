@@ -33,7 +33,7 @@ pub mod tcp;
 pub mod time;
 
 pub use event::EventQueue;
-pub use fault::{FaultInjector, Middlebox, MiddleboxVerdict};
+pub use fault::{FaultInjector, FaultProfile, Middlebox, MiddleboxVerdict, PacketFate};
 pub use link::LinkProfile;
 pub use rng::SimRng;
 pub use tcp::{ConnectionCost, HandshakeModel, TlsVersion};

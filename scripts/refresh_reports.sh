@@ -8,6 +8,8 @@
 #   reports/metrics_baseline.json deterministic work counters gated by CI
 #   reports/trace_site3.json      reference Perfetto span trace of the
 #                                 rank-3 visit (EXPERIMENTS.md tracing)
+#   reports/faults_reference.json resilience report for the reference
+#                                 fault profile (EXPERIMENTS.md faults)
 #
 # The full reference run matches EXPERIMENTS.md (6,000 sites, seed
 # 0x0516, one thread — thread count only affects wall clock, but the
@@ -34,5 +36,10 @@ jq -S 'del(.runtime_ms)' "$tmp" >reports/metrics_baseline.json
 echo "refresh: reference span trace (rank-3 visit)…" >&2
 target/release/repro trace --site 3 --out reports/trace_site3.json 2>/dev/null
 jq -e '.traceEvents | length > 0' reports/trace_site3.json >/dev/null
+
+echo "refresh: resilience report (reference fault profile)…" >&2
+target/release/repro --sites 2000 --faults drop=0.01,h421=0.005,middlebox=0.1 \
+    --faults-report reports/faults_reference.json --only t1 >/dev/null 2>&1
+jq -e '.fault_counters."fault.retries" > 0' reports/faults_reference.json >/dev/null
 
 echo "refresh: done — review the diff, then commit reports/" >&2

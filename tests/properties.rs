@@ -452,3 +452,68 @@ mod reconstruct_props {
         }
     }
 }
+
+// ---- fault injection ----
+
+/// Seeded sweep over fault profiles × thread counts: every crawl
+/// terminates (even at drop=1.0 the retry budget is bounded), a
+/// replayed request is still ONE request in the characterization, and
+/// the merged output is byte-identical at 1, 2, and 8 workers.
+#[test]
+fn faulted_crawls_terminate_and_stay_deterministic() {
+    use origin_bench::run_crawl_faulted;
+    use respect_origin::netsim::FaultProfile;
+    const SITES: u32 = 80;
+    const SEED: u64 = 0xFA17;
+
+    let clean = run_crawl_faulted(SITES, SEED, 2, None, None);
+    let mut rng = SimRng::seed_from_u64(0x5EED_FA17);
+    let mut profiles = vec![
+        FaultProfile::none(),
+        // The adversarial corner: every packet dropped.
+        FaultProfile::parse("drop=1").unwrap(),
+    ];
+    for _ in 0..3 {
+        profiles.push(FaultProfile {
+            drop: rng.range_f64(0.0, 0.3),
+            corrupt: rng.range_f64(0.0, 0.1),
+            h421: rng.range_f64(0.0, 0.5),
+            middlebox: rng.range_f64(0.0, 1.0),
+        });
+    }
+    for profile in &profiles {
+        let one = run_crawl_faulted(SITES, SEED, 1, None, Some(profile));
+        let two = run_crawl_faulted(SITES, SEED, 2, None, Some(profile));
+        let eight = run_crawl_faulted(SITES, SEED, 8, None, Some(profile));
+        // A 421 replay or retransmit retry must never double-count the
+        // request: the crawl sees exactly the clean request set.
+        assert_eq!(
+            one.characterization.total_requests,
+            clean.characterization.total_requests,
+            "{}: replays double-counted",
+            profile.spec()
+        );
+        assert_eq!(one.characterization.pages, clean.characterization.pages);
+        assert_eq!(one.measured.plt.len(), clean.measured.plt.len());
+        // Thread-count invariance, down to the serialized metrics.
+        let json = one.metrics.to_json();
+        assert_eq!(json, two.metrics.to_json(), "{}: 1 vs 2", profile.spec());
+        assert_eq!(json, eight.metrics.to_json(), "{}: 1 vs 8", profile.spec());
+        assert_eq!(one.measured.plt, eight.measured.plt, "{}", profile.spec());
+        // Drop/corrupt-only profiles leave the connection topology
+        // untouched (retries only stretch the receive phase), so pages
+        // only ever get slower. With 421s or teardowns in play the
+        // topology itself changes — an evicted mapping puts a request
+        // on a dedicated connection, which can legitimately speed up
+        // what used to queue behind it — so no per-page bound holds.
+        if profile.h421 == 0.0 && profile.middlebox == 0.0 {
+            for (f, c) in one.measured.plt.iter().zip(&clean.measured.plt) {
+                assert!(
+                    f + 1e-9 >= *c,
+                    "{}: faulted PLT sped a page up",
+                    profile.spec()
+                );
+            }
+        }
+    }
+}
