@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use origin_browser::{BrowserKind, FaultSession, PageLoader, UniverseEnv};
+use origin_browser::{BrowserKind, FaultSession, PageLoader, UniverseEnv, VisitArena};
 use origin_core::certplan::{plan_site, EffectiveChanges, PlanSummary};
 use origin_core::characterize::Characterization;
 use origin_core::model::predict_counts3;
@@ -143,7 +143,11 @@ impl ShardAccum {
 /// carrier: everything it memoizes (host facts) is a pure function of
 /// the immutable dataset, and everything per-visit (DNS cache,
 /// rotation serials, stats) is flushed here. A fresh env per site
-/// produces byte-identical output, just slower.
+/// produces byte-identical output, just slower. The `scratch` and
+/// `arena` likewise carry only buffer capacity between visits — page
+/// materialization and the load recycle their working memory through
+/// them instead of re-allocating it per site.
+#[allow(clippy::too_many_arguments)] // one site, its world, and the recycled buffers
 fn crawl_site(
     dataset: &Dataset,
     loader: &PageLoader,
@@ -152,8 +156,10 @@ fn crawl_site(
     acc: &mut ShardAccum,
     sampler: Option<&Sampler>,
     faults: Option<&FaultProfile>,
+    scratch: &mut origin_webgen::PageScratch,
+    arena: &mut VisitArena,
 ) {
-    let page = dataset.page_for(site);
+    let page = dataset.page_for_with(site, scratch);
 
     // §3: measured crawl (fresh browser session per page).
     env.flush_dns();
@@ -171,22 +177,24 @@ fn crawl_site(
             site.rank as u64,
             &format!("site-{} {}", site.rank, site.root_host.as_str()),
         );
-        loader.load_faulted(
+        loader.load_faulted_with(
             &page,
             env,
             &mut rng,
             fault_session.as_mut(),
             Some(&mut acc.metrics),
             Some(&mut acc.trace),
+            arena,
         )
     } else {
-        loader.load_faulted(
+        loader.load_faulted_with(
             &page,
             env,
             &mut rng,
             fault_session.as_mut(),
             Some(&mut acc.metrics),
             None,
+            arena,
         )
     };
     env.take_resolver_stats().record_into(&mut acc.metrics);
@@ -204,15 +212,19 @@ fn crawl_site(
         .push(origin.dns_queries, origin.tls_connections, origin.plt_ms);
     acc.model_cdn_plt.push(cdn.plt_ms);
 
-    // §4.3: certificate plan.
+    // §4.3: certificate plan. `plan_site` always passes the root host
+    // as the closure's first argument, so its registrable suffix and
+    // ASN hoist out of the per-resource loop.
     let cert = dataset.universe.cert_for(&site.root_host);
     let universe = &dataset.universe;
+    let root_reg = site.root_host.registrable_str();
+    let root_asn = universe.asn_of_host(&site.root_host);
     let site_plan = plan_site(&page, cert, |a, b| {
-        if a.registrable_str() == b.registrable_str() {
+        debug_assert_eq!(a, &site.root_host);
+        if root_reg == b.registrable_str() {
             return true;
         }
-        let (x, y) = (universe.asn_of_host(a), universe.asn_of_host(b));
-        x != 0 && x == y
+        root_asn != 0 && root_asn == universe.asn_of_host(b)
     });
     acc.plan.add(&site_plan);
     let provider_label = site
@@ -220,6 +232,10 @@ fn crawl_site(
         .map(|i| PROVIDERS[i].org)
         .unwrap_or("Self-hosted");
     acc.effective.add(provider_label, &site_plan);
+
+    // Hand the visit's buffers back for the worker's next site.
+    scratch.recycle(page);
+    arena.recycle(load);
 }
 
 /// Run the crawl + model over `sites` generated ranks, using all
@@ -304,6 +320,11 @@ pub fn run_crawl_faulted(
                 // the whole run; crawl_site flushes all per-visit
                 // state, so sharding stays exact (see crawl_site).
                 let mut env = UniverseEnv::new(&dataset);
+                // Per-worker recycled buffers: page materialization
+                // scratch and the loader's visit arena (capacity-only
+                // state; see crawl_site).
+                let mut scratch = origin_webgen::PageScratch::new();
+                let mut arena = VisitArena::new();
                 if origin_advertised {
                     env.origin_enabled_asns = PROVIDERS.iter().map(|p| p.asn).collect();
                 }
@@ -318,7 +339,17 @@ pub fn run_crawl_faulted(
                     let end = (start + chunk_size).min(site_cfgs.len());
                     let mut acc = ShardAccum::new(sites, config.tranco_total);
                     for site in &site_cfgs[start..end] {
-                        crawl_site(&dataset, &loader, &mut env, site, &mut acc, sampler, faults);
+                        crawl_site(
+                            &dataset,
+                            &loader,
+                            &mut env,
+                            site,
+                            &mut acc,
+                            sampler,
+                            faults,
+                            &mut scratch,
+                            &mut arena,
+                        );
                     }
                     *slots[chunk]
                         .lock()

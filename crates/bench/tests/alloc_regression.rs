@@ -1,0 +1,132 @@
+//! Allocation-count regression gate for the steady-state crawl path.
+//!
+//! A counting global allocator measures per-visit heap allocations in
+//! the two hot phases — page materialization through a recycled
+//! [`PageScratch`] and the simulated load through a recycled
+//! [`VisitArena`] — and asserts they stay under recorded ceilings.
+//!
+//! The ceilings document the arena work this crate's crawl loop
+//! relies on: before scratch/arena recycling the same loop averaged
+//! ~306 allocations per page build and ~206 per load; the recycled
+//! path measures ~6 and ~94. The bounds below carry headroom for
+//! allocator-placement jitter, not for regressions — an accidental
+//! per-visit `Vec`/`String` revival trips them immediately.
+//!
+//! Allocation counts are only meaningful if no other test mutates the
+//! counters concurrently, so this file holds exactly one `#[test]`.
+
+use origin_browser::{BrowserKind, PageLoader, UniverseEnv, VisitArena};
+use origin_netsim::SimRng;
+use origin_webgen::{Dataset, DatasetConfig, PageScratch, SiteConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates every operation to `System`; the counter is a
+// side effect only.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, n) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Per-visit allocation ceilings on the steady-state (warm scratch /
+/// warm arena) crawl path. Measured ~6 page / ~94 load on the commit
+/// that introduced recycling; the margin absorbs hash-map growth
+/// timing, not behaviour change.
+const MAX_PAGE_ALLOCS_PER_VISIT: u64 = 32;
+const MAX_LOAD_ALLOCS_PER_VISIT: u64 = 150;
+
+#[test]
+fn steady_state_crawl_allocations_stay_bounded() {
+    let dataset = Dataset::generate(DatasetConfig {
+        sites: 400,
+        seed: 0x516,
+        ..Default::default()
+    });
+    let site_cfgs: Vec<SiteConfig> = dataset.successful_sites().cloned().collect();
+    assert!(site_cfgs.len() > 200, "dataset too small to average over");
+    let loader = PageLoader::new(BrowserKind::Chromium);
+    let mut env = UniverseEnv::new(&dataset);
+    let mut metrics = origin_metrics::Registry::new();
+    let mut scratch = PageScratch::new();
+    let mut arena = VisitArena::new();
+
+    // Warm-up: let every recycled buffer, interner and cache reach its
+    // steady-state capacity before counting.
+    let (head, tail) = site_cfgs.split_at(site_cfgs.len() / 4);
+    for site in head {
+        let page = dataset.page_for_with(site, &mut scratch);
+        env.flush_dns();
+        let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+        let load = loader.load_faulted_with(
+            &page,
+            &mut env,
+            &mut rng,
+            None,
+            Some(&mut metrics),
+            None,
+            &mut arena,
+        );
+        env.take_resolver_stats().record_into(&mut metrics);
+        scratch.recycle(page);
+        arena.recycle(load);
+    }
+
+    let mut page_allocs = 0u64;
+    let mut load_allocs = 0u64;
+    for site in tail {
+        let a0 = allocs();
+        let page = dataset.page_for_with(site, &mut scratch);
+        let a1 = allocs();
+        env.flush_dns();
+        let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+        let load = loader.load_faulted_with(
+            &page,
+            &mut env,
+            &mut rng,
+            None,
+            Some(&mut metrics),
+            None,
+            &mut arena,
+        );
+        let a2 = allocs();
+        env.take_resolver_stats().record_into(&mut metrics);
+        scratch.recycle(page);
+        arena.recycle(load);
+        page_allocs += a1 - a0;
+        load_allocs += a2 - a1;
+    }
+
+    let n = tail.len() as u64;
+    let per_page = page_allocs / n;
+    let per_load = load_allocs / n;
+    assert!(
+        per_page <= MAX_PAGE_ALLOCS_PER_VISIT,
+        "page build allocates {per_page}/visit (ceiling {MAX_PAGE_ALLOCS_PER_VISIT}): \
+         a PageScratch buffer stopped being recycled"
+    );
+    assert!(
+        per_load <= MAX_LOAD_ALLOCS_PER_VISIT,
+        "page load allocates {per_load}/visit (ceiling {MAX_LOAD_ALLOCS_PER_VISIT}): \
+         a VisitArena buffer stopped being recycled"
+    );
+}

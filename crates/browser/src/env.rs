@@ -62,6 +62,14 @@ pub trait WebEnv {
 
     /// Network path profile toward `host`.
     fn link_for(&self, host: &DnsName) -> LinkProfile;
+
+    /// The two per-request host facts — origin AS and link profile —
+    /// fetched together. The loader needs both at the top of every
+    /// request; environments with a memoized fact cache override this
+    /// to answer from a single lookup instead of two.
+    fn request_facts(&self, host: &DnsName) -> (u32, LinkProfile) {
+        (self.asn_of_host(host), self.link_for(host))
+    }
 }
 
 /// The webgen-backed environment for the §3 crawl: resolves against
@@ -259,14 +267,23 @@ impl WebEnv for UniverseEnv<'_> {
     }
 
     fn link_for(&self, host: &DnsName) -> LinkProfile {
-        // Tail origins from a single US-East vantage (§3.1): about
-        // half are same-continent, half intercontinental; providers
-        // get a nearby CDN edge. The class is memoized per host.
-        match self.host_facts(host).link_class {
-            0 => LinkProfile::new(32.0, 60.0).with_jitter(0.25),
-            1 => LinkProfile::new(95.0, 25.0).with_jitter(0.30),
-            _ => LinkProfile::new(210.0, 18.0).with_jitter(0.25),
-        }
+        link_profile(self.host_facts(host).link_class)
+    }
+
+    fn request_facts(&self, host: &DnsName) -> (u32, LinkProfile) {
+        let f = self.host_facts(host);
+        (f.asn, link_profile(f.link_class))
+    }
+}
+
+/// Link profile for a memoized link class. Tail origins from a single
+/// US-East vantage (§3.1): about half are same-continent, half
+/// intercontinental; providers get a nearby CDN edge.
+fn link_profile(class: u8) -> LinkProfile {
+    match class {
+        0 => LinkProfile::new(32.0, 60.0).with_jitter(0.25),
+        1 => LinkProfile::new(95.0, 25.0).with_jitter(0.30),
+        _ => LinkProfile::new(210.0, 18.0).with_jitter(0.25),
     }
 }
 

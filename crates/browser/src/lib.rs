@@ -31,6 +31,6 @@ pub mod policy;
 pub mod pool;
 
 pub use env::{UniverseEnv, WebEnv};
-pub use loader::{BrowserConfig, FaultCounts, FaultSession, PageLoader};
+pub use loader::{BrowserConfig, FaultCounts, FaultSession, PageLoader, VisitArena};
 pub use policy::BrowserKind;
 pub use pool::{ConnectionPool, PoolPartition, PooledConnection};

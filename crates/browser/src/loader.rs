@@ -118,6 +118,47 @@ impl FaultCounts {
     }
 }
 
+/// Per-visit working memory, recycled across page loads.
+///
+/// A cold load allocates a connection pool (five index maps), the
+/// timing vector and three per-resource buffers on every visit; a
+/// crawl does that millions of times. A `VisitArena` owned by each
+/// crawl worker keeps those allocations warm: every buffer is
+/// `clear()`ed — capacity retained — at the start of the next load,
+/// and [`VisitArena::recycle`] returns a consumed [`PageLoad`]'s
+/// request storage to the arena.
+///
+/// Determinism: the arena carries *capacity* only. Every value
+/// written during a load is a pure function of the page, the
+/// environment and the RNG, so loads through a warm arena are
+/// byte-identical to loads through a fresh one (asserted by
+/// `arena_reuse_is_output_invisible`).
+#[derive(Default)]
+pub struct VisitArena {
+    pool: ConnectionPool,
+    ready: Vec<f64>,
+    child_seq: Vec<u32>,
+    conn_open_us: Vec<u64>,
+    timings: Vec<RequestTiming>,
+}
+
+impl VisitArena {
+    /// Empty arena (first load allocates, later loads recycle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return a finished load's request storage to the arena so the
+    /// next load reuses its capacity.
+    pub fn recycle(&mut self, load: PageLoad) {
+        if load.requests.capacity() > self.timings.capacity() {
+            let mut v = load.requests;
+            v.clear();
+            self.timings = v;
+        }
+    }
+}
+
 /// Loader configuration.
 #[derive(Debug, Clone)]
 pub struct BrowserConfig {
@@ -234,12 +275,38 @@ impl PageLoader {
         page: &Page,
         env: &mut dyn WebEnv,
         rng: &mut SimRng,
-        mut faults: Option<&mut FaultSession>,
+        faults: Option<&mut FaultSession>,
         metrics: Option<&mut origin_metrics::Registry>,
         tracer: Option<&mut origin_trace::Tracer>,
     ) -> PageLoad {
+        self.load_faulted_with(
+            page,
+            env,
+            rng,
+            faults,
+            metrics,
+            tracer,
+            &mut VisitArena::new(),
+        )
+    }
+
+    /// [`PageLoader::load_faulted`] drawing working memory from a
+    /// caller-owned [`VisitArena`] instead of allocating per visit.
+    /// The returned load is byte-identical either way; crawl workers
+    /// hold one arena each and recycle loads back into it.
+    #[allow(clippy::too_many_arguments)] // the full-featured entry point plus its arena
+    pub fn load_faulted_with(
+        &self,
+        page: &Page,
+        env: &mut dyn WebEnv,
+        rng: &mut SimRng,
+        mut faults: Option<&mut FaultSession>,
+        metrics: Option<&mut origin_metrics::Registry>,
+        tracer: Option<&mut origin_trace::Tracer>,
+        arena: &mut VisitArena,
+    ) -> PageLoad {
         let before = faults.as_deref().map(|f| f.counts).unwrap_or_default();
-        let load = self.load_inner(page, env, rng, tracer, faults.as_deref_mut());
+        let load = self.load_inner(page, env, rng, tracer, faults.as_deref_mut(), arena);
         if let Some(metrics) = metrics {
             record_page_metrics(&load, metrics);
             if let Some(f) = faults.as_deref() {
@@ -256,20 +323,26 @@ impl PageLoader {
         rng: &mut SimRng,
         mut tracer: Option<&mut origin_trace::Tracer>,
         mut faults: Option<&mut FaultSession>,
+        arena: &mut VisitArena,
     ) -> PageLoad {
-        let mut pool = ConnectionPool::new();
-        let mut timings: Vec<RequestTiming> = Vec::with_capacity(page.resources.len());
+        let n = page.resources.len();
+        arena.pool.clear();
+        let mut timings = std::mem::take(&mut arena.timings);
+        timings.clear();
+        timings.reserve(n);
         // start_available[i]: earliest time resource i can dispatch.
-        let mut ready = vec![0.0f64; page.resources.len()];
+        arena.ready.clear();
+        arena.ready.resize(n, 0.0f64);
         // Count children seen per parent for stagger offsets.
-        let mut child_seq = vec![0u32; page.resources.len()];
+        arena.child_seq.clear();
+        arena.child_seq.resize(n, 0u32);
         // The browser main thread parses/executes resources serially;
         // this is the CPU floor under PLT that coalescing cannot
         // remove (and the reason §6.1 warns against assuming "faster").
         let mut main_thread_free = 0.0f64;
         // Simulated time (µs) each pooled connection started opening —
         // the anchor for coalescing flow arrows.
-        let mut conn_open_us: Vec<u64> = Vec::new();
+        arena.conn_open_us.clear();
 
         for (idx, res) in page.resources.iter().enumerate() {
             let parent = if idx == 0 {
@@ -283,14 +356,14 @@ impl PageLoader {
                 // parent — the dependency-graph computation the §4.1
                 // reconstruction leaves untouched. Scripts and style
                 // sheets cost more than images.
-                let seq = child_seq[p];
-                child_seq[p] += 1;
+                let seq = arena.child_seq[p];
+                arena.child_seq[p] += 1;
                 let parent_cpu = if page.resources[p].content_type.is_render_blocking() {
                     rng.log_normal(40.0, 0.8)
                 } else {
                     rng.log_normal(8.0, 0.5)
                 };
-                let dep_ready = ready[p]
+                let dep_ready = arena.ready[p]
                     + parent_cpu
                     + self.config.dispatch_delay_ms * (1.0 + seq as f64 * 6.0);
                 // The main thread must also have worked through the
@@ -307,14 +380,14 @@ impl PageLoader {
                 page,
                 idx,
                 start,
-                &mut pool,
+                &mut arena.pool,
                 env,
                 rng,
                 tracer.as_deref_mut(),
                 faults.as_deref_mut(),
-                &mut conn_open_us,
+                &mut arena.conn_open_us,
             );
-            ready[idx] = timing.end();
+            arena.ready[idx] = timing.end();
             timings.push(timing);
         }
 
@@ -340,7 +413,7 @@ impl PageLoader {
     ) -> RequestTiming {
         let res = &page.resources[idx];
         let host = res.host.clone();
-        let asn = env.asn_of_host(&host);
+        let (asn, link) = env.request_facts(&host);
         let placeholder_ip = IpAddr::V4(Ipv4Addr::UNSPECIFIED);
 
         // Failed/aborted requests (Table 3's N/A rows) consume no
@@ -373,7 +446,6 @@ impl PageLoader {
             };
         }
 
-        let link = env.link_for(&host);
         let now = SimTime::from_micros((start.max(0.0) * 1_000.0) as u64);
         let partition = PoolPartition::from(res.fetch_mode);
 
@@ -1160,5 +1232,50 @@ mod tests {
             .max()
             .expect("at least one request span");
         assert_eq!(max_span_end, traced.plt_us());
+    }
+
+    /// Arena reuse must be observationally invisible: a worker that
+    /// recycles one [`VisitArena`] across visits produces `PageLoad`s
+    /// identical to a worker that builds a fresh arena per visit.
+    #[test]
+    fn arena_reuse_is_output_invisible() {
+        let d = dataset();
+        let sites: Vec<_> = d
+            .sites()
+            .iter()
+            .filter(|s| !s.failed)
+            .take(8)
+            .cloned()
+            .collect();
+        let loader = PageLoader::new(BrowserKind::Chromium);
+
+        let mut env = UniverseEnv::new(&d);
+        let mut fresh = Vec::new();
+        for site in &sites {
+            let page = d.page_for(site);
+            env.flush_dns();
+            let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+            fresh.push(loader.load_faulted_with(
+                &page,
+                &mut env,
+                &mut rng,
+                None,
+                None,
+                None,
+                &mut VisitArena::new(),
+            ));
+        }
+
+        let mut env = UniverseEnv::new(&d);
+        let mut arena = VisitArena::new();
+        for (site, expect) in sites.iter().zip(&fresh) {
+            let page = d.page_for(site);
+            env.flush_dns();
+            let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+            let load =
+                loader.load_faulted_with(&page, &mut env, &mut rng, None, None, None, &mut arena);
+            assert_eq!(&load, expect);
+            arena.recycle(load);
+        }
     }
 }

@@ -152,6 +152,32 @@ impl ConnectionPool {
         &mut self.conns[idx]
     }
 
+    /// Empty the pool for the next page visit while keeping every
+    /// allocation warm: the connection vector, the index maps *and*
+    /// their per-key buckets retain capacity, and the host intern
+    /// table is kept entirely — interning is append-only and ids
+    /// never leak into output, so a table warmed by earlier visits is
+    /// indistinguishable from a fresh one (a stale key over an empty
+    /// bucket behaves exactly like an absent key).
+    pub fn clear(&mut self) {
+        self.conns.clear();
+        for bucket in self.by_host.values_mut() {
+            bucket.clear();
+        }
+        for bucket in self.exact_san.values_mut() {
+            bucket.clear();
+        }
+        for bucket in self.wildcard_san.values_mut() {
+            bucket.clear();
+        }
+        for bucket in self.by_ip.values_mut() {
+            bucket.clear();
+        }
+        for bucket in self.evicted.values_mut() {
+            bucket.clear();
+        }
+    }
+
     /// Insert a connection; returns its index. The certificate's SAN
     /// list is compiled into the coalescing indexes here, once, so no
     /// later decision ever walks it.

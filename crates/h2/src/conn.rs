@@ -13,7 +13,7 @@
 //! with `421 Misdirected Request` (RFC 7540 §9.1.2).
 
 use crate::error::{ErrorCode, H2Error};
-use crate::frame::{Frame, FrameDecoder};
+use crate::frame::{encode_continuation, encode_headers, Frame, FrameDecoder};
 use crate::hpack::{Decoder as HpackDecoder, Encoder as HpackEncoder, Header};
 use crate::origin::{ClientOriginState, OriginEntry, OriginSet};
 use crate::priority::PriorityTree;
@@ -157,6 +157,11 @@ pub struct Connection {
     send_buf: BytesMut,
     hpack_enc: HpackEncoder,
     hpack_dec: HpackDecoder,
+    /// Reused header-block staging buffer: HPACK encodes into it and
+    /// the HEADERS/CONTINUATION frames copy straight from it into
+    /// `send_buf` — no per-request `Vec`/`Bytes` round trip. Carries
+    /// capacity only across requests.
+    hpack_block: Vec<u8>,
     local_settings: Settings,
     remote_settings: Settings,
     streams: HashMap<StreamId, StreamRec>,
@@ -220,6 +225,7 @@ impl Connection {
             send_buf: BytesMut::new(),
             hpack_enc: HpackEncoder::new(),
             hpack_dec: HpackDecoder::new(),
+            hpack_block: Vec::new(),
             local_settings: settings,
             remote_settings: Settings::default(),
             streams: HashMap::new(),
@@ -341,8 +347,11 @@ impl Connection {
         }
         let id = StreamId(self.next_stream_id);
         self.next_stream_id += 2;
-        let fragment = Bytes::from(self.hpack_enc.encode(headers));
-        self.write_header_block(id, fragment, end_stream);
+        let mut block = std::mem::take(&mut self.hpack_block);
+        block.clear();
+        self.hpack_enc.encode_into(headers, &mut block);
+        self.write_header_block(id, &block, end_stream);
+        self.hpack_block = block;
         self.streams.insert(
             id,
             StreamRec {
@@ -358,8 +367,11 @@ impl Connection {
     /// Blocks larger than the peer's SETTINGS_MAX_FRAME_SIZE are split
     /// into HEADERS + CONTINUATION frames (RFC 7540 §6.10).
     pub fn send_headers(&mut self, stream: StreamId, headers: &[Header], end_stream: bool) {
-        let fragment = Bytes::from(self.hpack_enc.encode(headers));
-        self.write_header_block(stream, fragment, end_stream);
+        let mut block = std::mem::take(&mut self.hpack_block);
+        block.clear();
+        self.hpack_enc.encode_into(headers, &mut block);
+        self.write_header_block(stream, &block, end_stream);
+        self.hpack_block = block;
         let rec = self.streams.entry(stream).or_insert_with(|| StreamRec {
             state: StreamState::Idle,
             send_window: self.remote_settings.initial_window_size as i64,
@@ -368,47 +380,23 @@ impl Connection {
         rec.state = rec.state.on_send_headers(end_stream);
     }
 
-    fn write_header_block(&mut self, stream: StreamId, fragment: Bytes, end_stream: bool) {
+    fn write_header_block(&mut self, stream: StreamId, fragment: &[u8], end_stream: bool) {
         let max = self.remote_settings.max_frame_size as usize;
         if fragment.len() <= max {
-            Frame::Headers {
-                stream,
-                fragment,
-                end_stream,
-                end_headers: true,
-                priority: None,
-            }
-            .encode(&mut self.send_buf);
+            encode_headers(&mut self.send_buf, stream, fragment, end_stream, true, None);
             self.stats.frames_encoded += 1;
             return;
         }
-        let mut rest = fragment;
-        let first = rest.split_to(max);
-        Frame::Headers {
-            stream,
-            fragment: first,
-            end_stream,
-            end_headers: false,
-            priority: None,
-        }
-        .encode(&mut self.send_buf);
+        let (first, mut rest) = fragment.split_at(max);
+        encode_headers(&mut self.send_buf, stream, first, end_stream, false, None);
         self.stats.frames_encoded += 1;
         while rest.len() > max {
-            let chunk = rest.split_to(max);
-            Frame::Continuation {
-                stream,
-                fragment: chunk,
-                end_headers: false,
-            }
-            .encode(&mut self.send_buf);
+            let (chunk, tail) = rest.split_at(max);
+            encode_continuation(&mut self.send_buf, stream, chunk, false);
             self.stats.frames_encoded += 1;
+            rest = tail;
         }
-        Frame::Continuation {
-            stream,
-            fragment: rest,
-            end_headers: true,
-        }
-        .encode(&mut self.send_buf);
+        encode_continuation(&mut self.send_buf, stream, rest, true);
         self.stats.frames_encoded += 1;
     }
 

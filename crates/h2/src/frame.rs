@@ -343,28 +343,14 @@ impl Frame {
                 end_headers,
                 priority,
             } => {
-                let mut flags = 0;
-                if *end_stream {
-                    flags |= FLAG_END_STREAM;
-                }
-                if *end_headers {
-                    flags |= FLAG_END_HEADERS;
-                }
-                let extra = if priority.is_some() { 5 } else { 0 };
-                if priority.is_some() {
-                    flags |= FLAG_PRIORITY;
-                }
-                header(
+                encode_headers(
                     dst,
-                    fragment.len() + extra,
-                    FrameType::Headers,
-                    flags,
                     *stream,
+                    fragment,
+                    *end_stream,
+                    *end_headers,
+                    priority.as_ref(),
                 );
-                if let Some(p) = priority {
-                    put_priority(dst, p);
-                }
-                dst.extend_from_slice(fragment);
             }
             Frame::Priority { stream, spec } => {
                 header(dst, 5, FrameType::Priority, 0, *stream);
@@ -435,9 +421,7 @@ impl Frame {
                 fragment,
                 end_headers,
             } => {
-                let flags = if *end_headers { FLAG_END_HEADERS } else { 0 };
-                header(dst, fragment.len(), FrameType::Continuation, flags, *stream);
-                dst.extend_from_slice(fragment);
+                encode_continuation(dst, *stream, fragment, *end_headers);
             }
             Frame::AltSvc {
                 stream,
@@ -488,6 +472,58 @@ impl Frame {
         self.encode(&mut b);
         b.freeze()
     }
+}
+
+/// Encode a HEADERS frame whose fragment is a borrowed slice.
+///
+/// This is the zero-copy path [`crate::conn::Connection`] uses to
+/// emit header blocks straight from its reused HPACK scratch buffer
+/// into the connection's send buffer — no intermediate `Bytes`
+/// allocation per frame. `Frame::Headers::encode` delegates here, so
+/// the wire bytes are identical by construction.
+pub fn encode_headers(
+    dst: &mut BytesMut,
+    stream: StreamId,
+    fragment: &[u8],
+    end_stream: bool,
+    end_headers: bool,
+    priority: Option<&PrioritySpec>,
+) {
+    let mut flags = 0;
+    if end_stream {
+        flags |= FLAG_END_STREAM;
+    }
+    if end_headers {
+        flags |= FLAG_END_HEADERS;
+    }
+    let extra = if priority.is_some() { 5 } else { 0 };
+    if priority.is_some() {
+        flags |= FLAG_PRIORITY;
+    }
+    header(
+        dst,
+        fragment.len() + extra,
+        FrameType::Headers,
+        flags,
+        stream,
+    );
+    if let Some(p) = priority {
+        put_priority(dst, p);
+    }
+    dst.extend_from_slice(fragment);
+}
+
+/// Encode a CONTINUATION frame from a borrowed fragment slice (see
+/// [`encode_headers`]). `Frame::Continuation::encode` delegates here.
+pub fn encode_continuation(
+    dst: &mut BytesMut,
+    stream: StreamId,
+    fragment: &[u8],
+    end_headers: bool,
+) {
+    let flags = if end_headers { FLAG_END_HEADERS } else { 0 };
+    header(dst, fragment.len(), FrameType::Continuation, flags, stream);
+    dst.extend_from_slice(fragment);
 }
 
 fn header(dst: &mut BytesMut, len: usize, kind: FrameType, flags: u8, stream: StreamId) {

@@ -96,13 +96,20 @@ fn decode_int(buf: &[u8], pos: &mut usize, prefix_bits: u8) -> Result<usize, Hpa
 
 // ---- string primitives (RFC 7541 §5.2) ----
 
-fn encode_string(s: &str, use_huffman: bool, out: &mut Vec<u8>) {
+/// Encode a string literal in one pass: Huffman-code into `scratch`
+/// (reused across calls, so steady-state encoding never allocates),
+/// then emit whichever representation is shorter. The two-pass
+/// `encoded_len` + `encode` split this replaces walked every byte
+/// twice; the output is bit-identical because the emit condition
+/// (`huffman len < raw len`) is unchanged.
+fn encode_string(s: &str, use_huffman: bool, scratch: &mut Vec<u8>, out: &mut Vec<u8>) {
     let raw = s.as_bytes();
     if use_huffman {
-        let hlen = huffman::encoded_len(raw);
-        if hlen < raw.len() {
-            encode_int(hlen, 7, 0x80, out);
-            huffman::encode(raw, out);
+        scratch.clear();
+        huffman::encode(raw, scratch);
+        if scratch.len() < raw.len() {
+            encode_int(scratch.len(), 7, 0x80, out);
+            out.extend_from_slice(scratch);
             return;
         }
     }
@@ -141,6 +148,9 @@ pub struct Encoder {
     /// A pending dynamic-table size update to emit at the start of
     /// the next header block.
     pending_resize: Option<usize>,
+    /// Reused Huffman staging buffer for [`encode_string`]; carries
+    /// capacity only, never content, across blocks.
+    huff_scratch: Vec<u8>,
 }
 
 impl Encoder {
@@ -150,6 +160,7 @@ impl Encoder {
             dynamic: DynamicTable::new(4096),
             use_huffman: true,
             pending_resize: None,
+            huff_scratch: Vec::new(),
         }
     }
 
@@ -171,16 +182,25 @@ impl Encoder {
         self.dynamic.evictions()
     }
 
-    /// Encode a header list into one header block.
+    /// Encode a header list into one header block, returning a fresh
+    /// buffer. Convenience wrapper over [`Encoder::encode_into`].
     pub fn encode(&mut self, headers: &[Header]) -> Vec<u8> {
         let mut out = Vec::with_capacity(headers.len() * 16);
+        self.encode_into(headers, &mut out);
+        out
+    }
+
+    /// Encode a header list into one header block, appending to `out`.
+    /// This is the zero-copy path: callers that reuse `out` (and this
+    /// encoder, whose Huffman staging buffer is reused too) encode
+    /// whole blocks without a single heap allocation at steady state.
+    pub fn encode_into(&mut self, headers: &[Header], out: &mut Vec<u8>) {
         if let Some(size) = self.pending_resize.take() {
-            encode_int(size, 5, 0x20, &mut out);
+            encode_int(size, 5, 0x20, out);
         }
         for h in headers {
-            self.encode_one(h, &mut out);
+            self.encode_one(h, out);
         }
-        out
     }
 
     fn encode_one(&mut self, h: &Header, out: &mut Vec<u8>) {
@@ -190,10 +210,10 @@ impl Encoder {
                 Some(i) => encode_int(i, 4, 0x10, out),
                 None => {
                     encode_int(0, 4, 0x10, out);
-                    encode_string(&h.name, self.use_huffman, out);
+                    encode_string(&h.name, self.use_huffman, &mut self.huff_scratch, out);
                 }
             }
-            encode_string(&h.value, self.use_huffman, out);
+            encode_string(&h.value, self.use_huffman, &mut self.huff_scratch, out);
             return;
         }
         // One table probe answers both representations: the exact
@@ -210,10 +230,10 @@ impl Encoder {
             Some(i) => encode_int(i, 6, 0x40, out),
             None => {
                 encode_int(0, 6, 0x40, out);
-                encode_string(&h.name, self.use_huffman, out);
+                encode_string(&h.name, self.use_huffman, &mut self.huff_scratch, out);
             }
         }
-        encode_string(&h.value, self.use_huffman, out);
+        encode_string(&h.value, self.use_huffman, &mut self.huff_scratch, out);
         self.dynamic.insert(Entry {
             name: h.name.clone(),
             value: h.value.clone(),

@@ -1,8 +1,8 @@
 //! The metric registry.
 
 use crate::hist::FixedHistogram;
+use origin_intern::FxHashMap;
 use origin_netsim::SimDuration;
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Accumulated simulated time spent in a named phase.
@@ -22,12 +22,24 @@ pub struct PhaseStat {
 /// identical values. `runtime_ms` holds wall-clock milliseconds and
 /// is exported as a separate top-level JSON section so determinism
 /// checks can strip it (`jq 'del(.runtime_ms)'`).
+///
+/// Maps use the deterministic Fx hasher and are sorted by name at
+/// export time — the crawl records metrics per page, so the hot path
+/// must be one hash probe with no allocation for an existing key,
+/// while serialisation (once per run) pays the sort.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Registry {
-    counters: BTreeMap<String, u64>,
-    hists: BTreeMap<String, FixedHistogram>,
-    phases: BTreeMap<String, PhaseStat>,
-    runtime_ms: BTreeMap<String, f64>,
+    counters: FxHashMap<String, u64>,
+    hists: FxHashMap<String, FixedHistogram>,
+    phases: FxHashMap<String, PhaseStat>,
+    runtime_ms: FxHashMap<String, f64>,
+}
+
+/// `(name, value)` pairs sorted by name, for the export paths.
+fn sorted<V>(map: &FxHashMap<String, V>) -> Vec<(&str, &V)> {
+    let mut v: Vec<(&str, &V)> = map.iter().map(|(k, x)| (k.as_str(), x)).collect();
+    v.sort_unstable_by_key(|&(k, _)| k);
+    v
 }
 
 impl Registry {
@@ -38,14 +50,14 @@ impl Registry {
 
     /// Add `n` to the named counter.
     pub fn add(&mut self, name: &str, n: u64) {
-        if n == 0 && !self.counters.contains_key(name) {
-            // Still materialise the key so a zero counter appears in
-            // the export — absent and zero must serialise identically
-            // across shardings.
-            self.counters.insert(name.to_string(), 0);
-            return;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            // Materialise the key even for n == 0 so a zero counter
+            // appears in the export — absent and zero must serialise
+            // identically across shardings.
+            self.counters.insert(name.to_string(), n);
         }
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
     }
 
     /// Increment the named counter by one.
@@ -62,10 +74,11 @@ impl Registry {
     /// creating it with `bounds` on first use. Later calls must pass
     /// the same bounds (enforced on merge and on observe).
     pub fn observe(&mut self, name: &str, bounds: &[u64], value: u64) {
-        let h = self
-            .hists
-            .entry(name.to_string())
-            .or_insert_with(|| FixedHistogram::new(bounds));
+        if !self.hists.contains_key(name) {
+            self.hists
+                .insert(name.to_string(), FixedHistogram::new(bounds));
+        }
+        let h = self.hists.get_mut(name).expect("present or just inserted");
         assert_eq!(h.bounds(), bounds, "histogram {name} bounds changed");
         h.observe(value);
     }
@@ -77,9 +90,7 @@ impl Registry {
 
     /// Add one interval of simulated time to the named phase.
     pub fn record_phase(&mut self, name: &str, elapsed: SimDuration) {
-        let p = self.phases.entry(name.to_string()).or_default();
-        p.count += 1;
-        p.total += elapsed;
+        self.record_phase_n(name, 1, elapsed);
     }
 
     /// Add `count` pre-accumulated intervals totalling `total` to the
@@ -88,9 +99,13 @@ impl Registry {
     /// phase accumulation is commutative integer addition, so batching
     /// per page instead of per request cannot change any export.
     pub fn record_phase_n(&mut self, name: &str, count: u64, total: SimDuration) {
-        let p = self.phases.entry(name.to_string()).or_default();
-        p.count += count;
-        p.total += total;
+        if let Some(p) = self.phases.get_mut(name) {
+            p.count += count;
+            p.total += total;
+        } else {
+            self.phases
+                .insert(name.to_string(), PhaseStat { count, total });
+        }
     }
 
     /// The named phase total, when recorded.
@@ -111,7 +126,7 @@ impl Registry {
     /// taken from `other` only when absent here.
     pub fn merge(&mut self, other: &Registry) {
         for (name, &v) in &other.counters {
-            *self.counters.entry(name.clone()).or_insert(0) += v;
+            self.add(name, v);
         }
         for (name, h) in &other.hists {
             match self.hists.get_mut(name) {
@@ -141,17 +156,17 @@ impl Registry {
 
     /// Iterate `(name, value)` over all counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        sorted(&self.counters).into_iter().map(|(k, &v)| (k, v))
     }
 
-    /// Serialise to JSON. BTreeMap ordering plus integer-only
-    /// deterministic sections make the output byte-identical across
+    /// Serialise to JSON. Name-sorted sections plus integer-only
+    /// deterministic values make the output byte-identical across
     /// runs and thread counts; `runtime_ms` is a sibling top-level key
     /// so `jq 'del(.runtime_ms)'` removes every wall-clock value.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         let mut first = true;
-        for (name, v) in &self.counters {
+        for (name, v) in sorted(&self.counters) {
             if !first {
                 out.push(',');
             }
@@ -162,7 +177,7 @@ impl Registry {
 
         out.push_str("  \"histograms\": {");
         first = true;
-        for (name, h) in &self.hists {
+        for (name, h) in sorted(&self.hists) {
             if !first {
                 out.push(',');
             }
@@ -180,7 +195,7 @@ impl Registry {
 
         out.push_str("  \"phases\": {");
         first = true;
-        for (name, p) in &self.phases {
+        for (name, p) in sorted(&self.phases) {
             if !first {
                 out.push(',');
             }
@@ -196,7 +211,7 @@ impl Registry {
 
         out.push_str("  \"runtime_ms\": {");
         first = true;
-        for (name, ms) in &self.runtime_ms {
+        for (name, ms) in sorted(&self.runtime_ms) {
             if !first {
                 out.push(',');
             }

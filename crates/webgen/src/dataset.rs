@@ -45,10 +45,23 @@ pub enum ServiceRef {
 
 impl ServiceRef {
     /// The service hostname.
+    ///
+    /// The catalog is finite (named + tail entries), and `page_for`
+    /// asks for the same hostnames millions of times per crawl, so
+    /// the `DnsName`s are interned once process-wide and cloned
+    /// (an `Arc` bump) thereafter.
     pub fn host(self) -> DnsName {
+        static HOSTS: std::sync::OnceLock<Vec<DnsName>> = std::sync::OnceLock::new();
+        let hosts = HOSTS.get_or_init(|| {
+            SERVICES
+                .iter()
+                .map(|s| name(s.host))
+                .chain((0..TAIL_SERVICE_COUNT).map(|i| name(&tail_service_host(i))))
+                .collect()
+        });
         match self {
-            ServiceRef::Named(i) => name(SERVICES[i].host),
-            ServiceRef::Tail(i) => name(&tail_service_host(i)),
+            ServiceRef::Named(i) => hosts[i].clone(),
+            ServiceRef::Tail(i) => hosts[SERVICES.len() + i as usize].clone(),
         }
     }
 
@@ -330,28 +343,34 @@ impl Dataset {
 
     /// Materialize the page for a site (deterministic per site).
     pub fn page_for(&self, site: &SiteConfig) -> Page {
+        self.page_for_with(site, &mut PageScratch::new())
+    }
+
+    /// [`Dataset::page_for`] with caller-owned scratch buffers.
+    ///
+    /// Materialization is a pure function of the site: the scratch
+    /// only recycles buffer capacity (host slots, ordering vectors,
+    /// resource path strings) across calls, so the returned page is
+    /// byte-identical to [`Dataset::page_for`]'s. Crawl workers hold
+    /// one scratch each and [`PageScratch::recycle`] finished pages
+    /// back into it.
+    pub fn page_for_with(&self, site: &SiteConfig, scratch: &mut PageScratch) -> Page {
+        use std::fmt::Write as _;
         let mut rng = SimRng::seed_from_u64(site.page_seed);
-        let mut page = Page::new(site.rank, site.root_host.clone(), 14_000);
 
         // Hosts and their request weights: first-party carries ~40% of
         // requests (sites serve much of their own content), services
         // split the rest by popularity weight.
-        struct HostSlot {
-            host: DnsName,
-            weight: f64,
-            content: HostContent,
-            fetch: FetchMode,
-        }
-        enum HostContent {
-            FirstParty,
-            Service(ContentType),
-        }
-        let mut slots: Vec<HostSlot> = Vec::new();
-        let fp_hosts = site.first_party_hosts();
+        let slots = &mut scratch.slots;
+        slots.clear();
+        let n_fp = 1 + site.shard_hosts.len();
         let fp_weight_total = 40.0;
-        for (i, h) in fp_hosts.iter().enumerate() {
+        for (i, h) in std::iter::once(&site.root_host)
+            .chain(site.shard_hosts.iter())
+            .enumerate()
+        {
             // Root slightly heavier than shards.
-            let w = fp_weight_total / fp_hosts.len() as f64 * if i == 0 { 1.3 } else { 0.9 };
+            let w = fp_weight_total / n_fp as f64 * if i == 0 { 1.3 } else { 0.9 };
             slots.push(HostSlot {
                 host: h.clone(),
                 weight: w,
@@ -381,37 +400,34 @@ impl Dataset {
         }
 
         // AS group of each slot (first-party slots share the site AS).
-        let slot_asns: Vec<u32> = (0..slots.len())
-            .map(|i| {
-                if i < fp_hosts.len() {
-                    site.asn
-                } else {
-                    site.services[i - fp_hosts.len()].asn()
-                }
-            })
-            .collect();
+        let slot_asns = &mut scratch.slot_asns;
+        slot_asns.clear();
+        for i in 0..slots.len() {
+            slot_asns.push(if i < n_fp {
+                site.asn
+            } else {
+                site.services[i - n_fp].asn()
+            });
+        }
 
         // Per-host protocol (hosts keep one protocol for the load).
-        let protocols: Vec<Protocol> = slots
-            .iter()
-            .enumerate()
-            .map(|(i, _)| {
-                let big = if i < fp_hosts.len() {
-                    site.provider.is_some()
-                } else {
-                    !matches!(
-                        site.services.get(i - fp_hosts.len()),
-                        Some(ServiceRef::Tail(_))
-                    )
-                };
-                dist::sample_host_protocol(&mut rng, big)
-            })
-            .collect();
+        let protocols = &mut scratch.protocols;
+        protocols.clear();
+        for i in 0..slots.len() {
+            let big = if i < n_fp {
+                site.provider.is_some()
+            } else {
+                !matches!(site.services.get(i - n_fp), Some(ServiceRef::Tail(_)))
+            };
+            protocols.push(dist::sample_host_protocol(&mut rng, big));
+        }
 
         // Distribute the request budget: every host gets at least one
         // request, the rest go by weight.
         let n = site.n_requests.max(slots.len() as u32) as usize;
-        let mut per_host = vec![1usize; slots.len()];
+        let per_host = &mut scratch.per_host;
+        per_host.clear();
+        per_host.resize(slots.len(), 1usize);
         let total_w: f64 = slots.iter().map(|s| s.weight).sum();
         for _ in slots.len()..n {
             let mut pick = rng.unit() * total_w;
@@ -431,24 +447,27 @@ impl Dataset {
         // (script on host A pulls CSS from host B pulls a font from
         // host C). CSS resources are remembered so fonts can be
         // discovered through them (the crossorigin chain of §5.3).
-        let mut order: Vec<(usize, usize)> = Vec::new();
+        let order = &mut scratch.order;
+        order.clear();
         for (slot_idx, &count) in per_host.iter().enumerate() {
             for j in 0..count {
                 order.push((slot_idx, j));
             }
         }
-        rng.shuffle(&mut order);
+        rng.shuffle(order);
         // Head-of-document pattern: pages reference one resource from
         // each provider group early (tag manager, analytics, fonts
         // CSS, first-party app bundle), then the long tail of
         // subresources follows. Pull one first-contact per AS group
         // to the front of the discovery order.
         {
-            let mut seen_groups: origin_intern::FxHashSet<u32> =
-                origin_intern::FxHashSet::default();
-            let mut front: Vec<(usize, usize)> = Vec::new();
-            let mut rest: Vec<(usize, usize)> = Vec::new();
-            for &(slot_idx, j) in &order {
+            let seen_groups = &mut scratch.seen_groups;
+            seen_groups.clear();
+            let front = &mut scratch.front;
+            let rest = &mut scratch.rest;
+            front.clear();
+            rest.clear();
+            for &(slot_idx, j) in order.iter() {
                 let group = slot_asns[slot_idx];
                 if j == 0 && seen_groups.insert(group) {
                     front.push((slot_idx, j));
@@ -456,11 +475,29 @@ impl Dataset {
                     rest.push((slot_idx, j));
                 }
             }
-            front.extend(rest);
-            order = front;
+            front.extend(rest.iter().copied());
+            std::mem::swap(order, front);
         }
-        let mut css_indices: Vec<usize> = Vec::new();
-        let mut seen_slots: Vec<bool> = vec![false; slots.len()];
+        let css_indices = &mut scratch.css_indices;
+        css_indices.clear();
+        let seen_slots = &mut scratch.seen_slots;
+        seen_slots.clear();
+        seen_slots.resize(slots.len(), false);
+        // Recycled resource storage: slot 0 is the root document, the
+        // emit loop overwrites (or appends) one entry per ordered
+        // resource, and the tail of a larger previous page is
+        // truncated away. Path strings re-fill their old capacity.
+        let mut resources = std::mem::take(&mut scratch.resources);
+        let spare = &mut scratch.spare;
+        write_resource(
+            &mut resources,
+            spare,
+            0,
+            &site.root_host,
+            ContentType::Html,
+            14_000,
+        );
+        resources[0].path.push('/');
         // The discovery backbone: each newly-contacted host is found
         // by parsing content fetched from the previously-discovered
         // one (script loads script loads beacon…), so host
@@ -468,10 +505,11 @@ impl Dataset {
         // critical-path shape that makes connection setup removable
         // in the §4.1 reconstruction.
         let mut last_first_contact: Option<usize> = None;
-        let mut seen_groups_emit: origin_intern::FxHashSet<u32> =
-            origin_intern::FxHashSet::default();
+        let seen_groups_emit = &mut scratch.seen_groups_emit;
+        seen_groups_emit.clear();
         for (emitted, &(slot_idx, j)) in order.iter().enumerate() {
             let slot = &slots[slot_idx];
+            let idx = emitted + 1;
             {
                 let content = match &slot.content {
                     HostContent::FirstParty => sample_first_party_content(&mut rng),
@@ -485,14 +523,15 @@ impl Dataset {
                 };
                 let size = (rng.log_normal(content.typical_size() as f64, 0.9) as u64)
                     .clamp(200, 6_000_000);
-                let path = format!(
+                let r = write_resource(&mut resources, spare, idx, &slot.host, content, size);
+                let _ = write!(
+                    r.path,
                     "/{}/r{}-{}.{}",
                     slot.host.as_str().split('.').next().unwrap_or("x"),
                     slot_idx,
                     j,
                     ext_of(content)
                 );
-                let mut r = Resource::new(slot.host.clone(), path, content, size);
                 r.fetch_mode = if content.is_font() {
                     FetchMode::CorsAnonymous
                 } else {
@@ -514,7 +553,7 @@ impl Dataset {
                 let group_seen = seen_groups_emit.contains(&slot_asns[slot_idx]);
                 seen_groups_emit.insert(slot_asns[slot_idx]);
                 if content.is_font() && !css_indices.is_empty() {
-                    r.discovered_by = Some(*rng.choose(&css_indices));
+                    r.discovered_by = Some(*rng.choose(css_indices));
                 } else if first_contact && group_seen && rng.chance(0.95) {
                     // Same-ecosystem discovery (a Google tag loads the
                     // next Google host, a CDN bundle pulls its sibling
@@ -531,7 +570,7 @@ impl Dataset {
                 } else if emitted > 0 && rng.chance(0.20) {
                     r.discovered_by = Some(1 + rng.index(emitted));
                 }
-                let idx = page.push(r);
+                debug_assert!(r.discovered_by.is_none_or(|p| p < idx));
                 if first_contact {
                     last_first_contact = Some(idx);
                 }
@@ -540,7 +579,105 @@ impl Dataset {
                 }
             }
         }
-        page
+        // Park (don't drop) the unused tail of a larger previous
+        // page: the next page that outgrows this one re-adopts those
+        // entries — and their path-string capacity — from the spare
+        // pool instead of allocating fresh ones.
+        spare.extend(resources.drain(order.len() + 1..));
+        Page {
+            rank: site.rank,
+            root_host: site.root_host.clone(),
+            resources,
+        }
+    }
+}
+
+/// One host slot in a materializing page (see
+/// [`Dataset::page_for_with`]).
+struct HostSlot {
+    host: DnsName,
+    weight: f64,
+    content: HostContent,
+    fetch: FetchMode,
+}
+
+enum HostContent {
+    FirstParty,
+    Service(ContentType),
+}
+
+/// Reset entry `idx` of `resources` for reuse (or adopt one from the
+/// `spare` pool, or append a fresh one) and return it with an empty
+/// path, defaulted discovery/fetch fields and the given identity —
+/// the recycled-buffer analogue of [`Resource::new`].
+fn write_resource<'a>(
+    resources: &'a mut Vec<Resource>,
+    spare: &mut Vec<Resource>,
+    idx: usize,
+    host: &DnsName,
+    content: ContentType,
+    size: u64,
+) -> &'a mut Resource {
+    if idx >= resources.len() {
+        debug_assert_eq!(idx, resources.len());
+        resources.push(
+            spare
+                .pop()
+                .unwrap_or_else(|| Resource::new(host.clone(), String::new(), content, size)),
+        );
+    }
+    let r = &mut resources[idx];
+    r.host = host.clone();
+    r.path.clear();
+    r.content_type = content;
+    r.size = size;
+    r.discovered_by = None;
+    r.fetch_mode = FetchMode::Normal;
+    r.protocol = Protocol::H2;
+    r.secure = true;
+    r
+}
+
+/// Reusable buffers for [`Dataset::page_for_with`]: everything a page
+/// materialization allocates, kept warm across a worker's visits.
+///
+/// Holding one per crawl worker (never shared — materialization is
+/// single-threaded per scratch) turns the ~300 heap allocations of a
+/// cold `page_for` into a handful of capacity-retained writes.
+#[derive(Default)]
+pub struct PageScratch {
+    slots: Vec<HostSlot>,
+    slot_asns: Vec<u32>,
+    protocols: Vec<Protocol>,
+    per_host: Vec<usize>,
+    order: Vec<(usize, usize)>,
+    front: Vec<(usize, usize)>,
+    rest: Vec<(usize, usize)>,
+    css_indices: Vec<usize>,
+    seen_slots: Vec<bool>,
+    seen_groups: origin_intern::FxHashSet<u32>,
+    seen_groups_emit: origin_intern::FxHashSet<u32>,
+    resources: Vec<Resource>,
+    /// Parked resource entries from pages larger than the current one
+    /// (their path strings keep their capacity).
+    spare: Vec<Resource>,
+}
+
+impl PageScratch {
+    /// Empty scratch (first use allocates, later uses recycle).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return a finished page's resource storage to the scratch so the
+    /// next [`Dataset::page_for_with`] call reuses its capacity
+    /// (including every resource's path-string allocation).
+    pub fn recycle(&mut self, page: Page) {
+        // Normally `resources` is empty (page_for_with took it); if
+        // the caller recycles twice, park the older entries instead
+        // of dropping them.
+        let old = std::mem::replace(&mut self.resources, page.resources);
+        self.spare.extend(old);
     }
 }
 
@@ -832,5 +969,21 @@ mod tests {
             ases.len()
         );
         assert!(pick_services(&mut rng, 1).is_empty());
+    }
+
+    /// Scratch reuse must be observationally invisible: pages built
+    /// through one recycled [`PageScratch`] are identical to pages
+    /// built with a fresh scratch each call (which is what
+    /// [`Dataset::page_for`] does).
+    #[test]
+    fn scratch_reuse_is_output_invisible() {
+        let d = small();
+        let mut scratch = PageScratch::new();
+        for site in d.sites().iter().filter(|s| !s.failed).take(25) {
+            let fresh = d.page_for(site);
+            let reused = d.page_for_with(site, &mut scratch);
+            assert_eq!(reused, fresh, "site {}", site.rank);
+            scratch.recycle(reused);
+        }
     }
 }

@@ -28,6 +28,6 @@ pub mod dist;
 pub mod services;
 pub mod universe;
 
-pub use dataset::{Dataset, DatasetConfig, SiteConfig};
+pub use dataset::{Dataset, DatasetConfig, PageScratch, SiteConfig};
 pub use services::{ServiceDef, SERVICES};
 pub use universe::{ProviderDef, Universe, PROVIDERS};

@@ -1,24 +1,32 @@
 #!/usr/bin/env bash
-# Throughput drift check against the committed BENCH_4.json baseline.
+# Throughput drift gate against the committed BENCH_5.json baseline.
 #
 #   usage: check_throughput.sh <metrics.json> [baseline.json]
 #
 # Computes crawl sites/sec from the wall-clock `runtime_ms.crawl` in a
 # fresh `repro --metrics` export and compares it with the `after`
-# throughput recorded in BENCH_4.json. Unlike the work-counter gate
-# (check_metrics_baseline.sh), wall clock varies by machine and load,
-# so a regression here is a WARNING, not a failure: it exits 0 either
-# way and prints a loud notice when throughput fell more than 20%
-# below the recorded baseline.
+# throughput recorded in the baseline file.
+#
+# Environment:
+#   THROUGHPUT_MIN_RATIO  minimum acceptable measured/baseline ratio
+#                         (default 0.8, i.e. fail at >20% regression)
+#   THROUGHPUT_WARN_ONLY  when set to 1, a breach prints the notice but
+#                         exits 0 (the pre-BENCH_5 advisory behaviour)
+#
+# Wall clock varies by machine, so the CI baseline was recorded with
+# the same best-of-N discipline this gate expects from its input:
+# pass the fastest of a few runs, not a single sample.
 #
 # Requires jq.
 set -euo pipefail
 
 metrics=${1:?usage: check_throughput.sh <metrics.json> [baseline.json]}
-baseline=${2:-$(dirname "$0")/../BENCH_4.json}
+baseline=${2:-$(dirname "$0")/../BENCH_5.json}
+min_ratio=${THROUGHPUT_MIN_RATIO:-0.8}
+warn_only=${THROUGHPUT_WARN_ONLY:-0}
 
 # The metrics export must come from a run with the same --sites as
-# the baseline records (the CI step and BENCH_4.json both use 2000).
+# the baseline records (the CI step and BENCH_5.json both use 2000).
 sites=$(jq -r '.sites' "$baseline")
 base_rate=$(jq -r '.after.crawl_sites_per_sec' "$baseline")
 crawl_ms=$(jq -r '.runtime_ms.crawl' "$metrics")
@@ -26,20 +34,27 @@ crawl_ms=$(jq -r '.runtime_ms.crawl' "$metrics")
 rate=$(jq -n --arg s "$sites" --arg ms "$crawl_ms" '($s|tonumber) / (($ms|tonumber) / 1000)')
 ratio=$(jq -n --arg r "$rate" --arg b "$base_rate" '($r|tonumber) / ($b|tonumber)')
 
-printf 'throughput check: crawl %.0f sites/sec (baseline %.0f, ratio %.2f)\n' \
-    "$rate" "$base_rate" "$ratio"
+printf 'throughput gate: crawl %.0f sites/sec (baseline %.0f, ratio %.2f, floor %.2f)\n' \
+    "$rate" "$base_rate" "$ratio" "$min_ratio"
 
-if jq -e -n --arg ratio "$ratio" '($ratio|tonumber) < 0.8' >/dev/null; then
+if jq -e -n --arg ratio "$ratio" --arg min "$min_ratio" \
+    '($ratio|tonumber) < ($min|tonumber)' >/dev/null; then
     cat >&2 <<EOF
 
-WARNING: crawl throughput is more than 20% below the committed
-BENCH_4.json baseline. Wall clock depends on the machine, so this is
-informational — but if it reproduces on comparable hardware, a hot
-path has likely regressed. Re-measure with:
+FAIL: crawl throughput fell below ${min_ratio}x of the committed
+$(basename "$baseline") baseline. Wall clock depends on the machine; if
+this machine is known to be comparable, a hot path has regressed.
+Re-measure (best of several runs) with:
 
   cargo run --release -p origin-bench --bin repro -- --sites $sites --threads 1 --metrics /tmp/m.json
 
-and compare runtime_ms.crawl against BENCH_4.json.
+and compare runtime_ms.crawl against $(basename "$baseline"). Set
+THROUGHPUT_WARN_ONLY=1 to downgrade this gate to a warning, or
+THROUGHPUT_MIN_RATIO to move the floor.
 EOF
+    if [ "$warn_only" != "1" ]; then
+        exit 1
+    fi
+    echo "(THROUGHPUT_WARN_ONLY=1: continuing despite the breach)" >&2
 fi
 exit 0
