@@ -138,6 +138,29 @@ fn bench_crawl_faulted(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_crawl_mixed(c: &mut Criterion) {
+    // The mixed-protocol crawl across legacy shares. `share_0.00`
+    // measures the pure plumbing overhead of threading the share
+    // through every page load (must be within noise of the clean
+    // crawl); the nonzero shares add the h1 machine drive, ALPN
+    // bookkeeping, and the per-connection redundancy probes.
+    let mut g = c.benchmark_group("crawl_mixed");
+    g.sample_size(10);
+    for &share in &[0.0f64, 0.25, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("share_{share:.2}")),
+            &share,
+            |b, &share| {
+                b.iter(|| {
+                    let r = origin_bench::run_crawl_mixed(150, 0x0516, 2, None, None, share);
+                    (r.characterization.pages, r.metrics.counter("h1.requests"))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_pool_decide(c: &mut Criterion) {
     // The per-request coalescing decision, indexed vs. the linear
     // reference scan, across pool sizes. The indexed path should be
@@ -167,6 +190,7 @@ fn bench_pool_decide(c: &mut Criterion) {
                 bytes_transferred: 0,
                 in_flight: 0,
                 busy_until: 0.0,
+                closed: false,
             });
         }
         // A host only a wildcard SAN covers, resolving to an address
@@ -214,6 +238,7 @@ criterion_group!(
     bench_full_characterization,
     bench_crawl_scaling,
     bench_crawl_faulted,
+    bench_crawl_mixed,
     bench_pool_decide
 );
 criterion_main!(benches);

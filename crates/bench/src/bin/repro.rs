@@ -27,13 +27,23 @@
 //! printed to stderr — and written as JSON to the `--faults-report`
 //! path when given. Still byte-identical for any `--threads`.
 //!
+//! `--legacy-share P` regenerates a deterministic fraction `P` of
+//! sites as legacy HTTP/1.1 deployments (domain-sharded assets, no h2
+//! in the server's ALPN advertisement). Legacy visits drive the
+//! sans-IO `origin-h1` machine, never coalesce, and obey the 6-per-
+//! host connection cap. `--redundancy-report <path>` writes the
+//! Sander et al. redundant-connections analysis — per-policy counts
+//! of h1 connections the h2 coalescing rules would have merged — as
+//! deterministic JSON. At `--legacy-share 0` (the default) output is
+//! byte-identical to a build without the flag.
+//!
 //! ids: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 f2 f3 f4 f5 f6 f7a f7b f8 f9
 //!      passive-ip passive-origin incident ct privacy scheduling
 //!
 //! With no `--only`, everything is produced in paper order.
 
 use origin_bench::{
-    asn_label, run_crawl_faulted, run_crawl_threads, run_crawl_traced, trace_site, CrawlResults,
+    asn_label, run_crawl_mixed, run_crawl_traced, trace_site, CrawlResults, RedundancyReport,
     ResilienceReport,
 };
 use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
@@ -60,9 +70,11 @@ struct Args {
     sample: Sampler,
     faults: Option<FaultProfile>,
     faults_report: Option<String>,
+    legacy_share: f64,
+    redundancy_report: Option<String>,
 }
 
-const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--only id...]
+const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--legacy-share P [--redundancy-report path]] [--only id...]
        repro trace --site RANK [--format perfetto|har|ascii] [--sites N] [--seed S] [--out path]
        fault spec: comma-separated key=rate, keys drop corrupt h421 middlebox (e.g. drop=0.01,h421=0.005,middlebox=0.1)";
 
@@ -127,6 +139,8 @@ fn parse_args() -> Args {
         sample: Sampler::new(16),
         faults: None,
         faults_report: None,
+        legacy_share: 0.0,
+        redundancy_report: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.into_iter().peekable();
@@ -165,6 +179,17 @@ fn parse_args() -> Args {
                 args.faults_report = Some(
                     it.next()
                         .unwrap_or_else(|| die("--faults-report requires a path")),
+                )
+            }
+            "--legacy-share" => {
+                args.legacy_share = parse_value("--legacy-share", it.next(), |&p: &f64| {
+                    (0.0..=1.0).contains(&p)
+                })
+            }
+            "--redundancy-report" => {
+                args.redundancy_report = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--redundancy-report requires a path")),
                 )
             }
             "--only" => {
@@ -245,28 +270,35 @@ fn main() {
     .iter()
     .any(|id| want(&args, id))
         // A fault profile always needs the crawl: the resilience
-        // report is drawn from it.
-        || args.faults.is_some();
+        // report is drawn from it. Likewise the redundancy report.
+        || args.faults.is_some()
+        || args.redundancy_report.is_some();
 
     let mut crawl = needs_crawl.then(|| {
         eprintln!(
-            "# crawling {} synthetic sites (seed {:#x}, {} threads{})…",
+            "# crawling {} synthetic sites (seed {:#x}, {} threads{}{})…",
             args.sites,
             args.seed,
             args.threads,
             args.faults
                 .as_ref()
                 .map(|p| format!(", faults {}", p.spec()))
-                .unwrap_or_default()
+                .unwrap_or_default(),
+            if args.legacy_share > 0.0 {
+                format!(", legacy share {:.2}", args.legacy_share)
+            } else {
+                String::new()
+            }
         );
         let t = std::time::Instant::now();
         let sampler = run_trace.is_some().then_some(args.sample);
-        let r = run_crawl_faulted(
+        let r = run_crawl_mixed(
             args.sites,
             args.seed,
             args.threads,
             sampler.as_ref(),
             args.faults.as_ref(),
+            args.legacy_share,
         );
         ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
         r
@@ -430,7 +462,16 @@ fn main() {
     if let (Some(profile), Some(faulted)) = (&args.faults, &crawl) {
         eprintln!("# re-crawling clean for the resilience baseline…");
         let t = std::time::Instant::now();
-        let clean = run_crawl_threads(args.sites, args.seed, args.threads);
+        // Same universe (including any legacy share), no faults: the
+        // report isolates the profile's cost, nothing else.
+        let clean = run_crawl_mixed(
+            args.sites,
+            args.seed,
+            args.threads,
+            None,
+            None,
+            args.legacy_share,
+        );
         ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
         let report = ResilienceReport::build(&clean, faulted, profile);
         eprintln!(
@@ -458,6 +499,30 @@ fn main() {
                 Ok(()) => eprintln!("# wrote resilience report to {path}"),
                 Err(e) => eprintln!("# failed to write {path}: {e}"),
             }
+        }
+    }
+    // Redundant-connections analysis (Sander et al.): what the h2
+    // coalescing rules would have merged, per policy. Deterministic
+    // for any thread count.
+    if let (Some(path), Some(r)) = (&args.redundancy_report, &crawl) {
+        let report = RedundancyReport::build(r, args.legacy_share);
+        eprintln!(
+            "# redundancy [share {:.2}]: {} legacy pages, {} h1 connections ({} keep-alive reuses, {} close-delimited) | redundant: {}",
+            report.legacy_share,
+            report.legacy_pages,
+            report.h1_connections,
+            report.keepalive_reuse,
+            report.close_delimited,
+            report
+                .redundant
+                .iter()
+                .map(|(name, v)| format!("{name} {v}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!("# wrote redundancy report to {path}"),
+            Err(e) => eprintln!("# failed to write {path}: {e}"),
         }
     }
     if let (Some(path), Some(r)) = (&args.json, &crawl) {

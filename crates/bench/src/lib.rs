@@ -9,7 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use origin_browser::{BrowserKind, FaultSession, PageLoader, UniverseEnv, VisitArena};
+use origin_browser::{
+    BrowserKind, FaultSession, PageLoader, UniverseEnv, VisitArena, REDUNDANCY_KINDS,
+};
 use origin_core::certplan::{plan_site, EffectiveChanges, PlanSummary};
 use origin_core::characterize::Characterization;
 use origin_core::model::predict_counts3;
@@ -252,7 +254,7 @@ pub fn run_crawl(sites: u32, seed: u64) -> CrawlResults {
 /// The site list is cut into contiguous rank-ordered chunks (a few per
 /// thread, so a slow chunk doesn't idle the other workers); workers
 /// claim chunks off a shared counter, crawl each site into a
-/// per-chunk [`ShardAccum`], and the chunks are merged back in rank
+/// per-chunk `ShardAccum`, and the chunks are merged back in rank
 /// order. Because each site's RNG is seeded only from its own
 /// `page_seed` and each page load runs in its own session environment,
 /// the merged output is byte-identical to a sequential crawl — the
@@ -295,11 +297,33 @@ pub fn run_crawl_faulted(
     sampler: Option<&Sampler>,
     faults: Option<&FaultProfile>,
 ) -> CrawlResults {
+    run_crawl_mixed(sites, seed, threads, sampler, faults, 0.0)
+}
+
+/// [`run_crawl_faulted`] over a mixed-protocol universe: a
+/// `legacy_share` fraction of sites is regenerated as legacy HTTP/1.1
+/// deployments (domain-sharded assets, no h2 in the server's ALPN
+/// advertisement; see `origin_webgen::DatasetConfig::legacy_share`).
+/// At `0.0` this *is* [`run_crawl_faulted`] — same dataset, same
+/// bytes — and every entry point above bottoms out here.
+///
+/// Legacy visits drive the sans-IO `origin-h1` machine per request and
+/// feed the `h1.*` counters, including the per-policy
+/// `h1.redundant.*` counts a [`RedundancyReport`] is built from.
+pub fn run_crawl_mixed(
+    sites: u32,
+    seed: u64,
+    threads: usize,
+    sampler: Option<&Sampler>,
+    faults: Option<&FaultProfile>,
+    legacy_share: f64,
+) -> CrawlResults {
     let threads = threads.max(1);
     let origin_advertised = faults.is_some_and(|p| p.middlebox > 0.0);
     let config = DatasetConfig {
         sites,
         seed,
+        legacy_share,
         ..Default::default()
     };
     let dataset = Dataset::generate(config);
@@ -409,7 +433,7 @@ pub struct ResilienceReport {
     /// Pages crawled (identical in both runs by construction).
     pub pages: u64,
     /// `fault.*` counter values from the faulted run, in
-    /// [`FAULT_COUNTERS`] order (zeros included — stable schema).
+    /// `FAULT_COUNTERS` order (zeros included — stable schema).
     pub counters: Vec<(&'static str, u64)>,
     /// Retransmit backoff intervals served and their total sim time.
     pub backoff: origin_metrics::PhaseStat,
@@ -508,8 +532,110 @@ impl ResilienceReport {
     }
 }
 
+/// The redundant-connections analysis (Sander et al.): for every
+/// HTTP/1.1 connection a mixed-protocol crawl opened, how many would
+/// the h2 coalescing rules of each policy have merged onto a
+/// connection already in the pool?
+///
+/// Built from a single [`run_crawl_mixed`] result — the loader probes
+/// the pool with the protocol gates removed (`redundant_if_h2`) at the
+/// moment each legacy connection is opened, so the counts are exact,
+/// per-policy, and deterministic. In a pure-h2 universe
+/// (`legacy_share == 0`) every field except `pages` is zero.
+#[derive(Debug, Clone)]
+pub struct RedundancyReport {
+    /// The `--legacy-share` the crawl ran with.
+    pub legacy_share: f64,
+    /// Pages crawled.
+    pub pages: u64,
+    /// Pages served by legacy HTTP/1.1 sites.
+    pub legacy_pages: u64,
+    /// Requests that ran over the HTTP/1.1 machine.
+    pub h1_requests: u64,
+    /// HTTP/1.1 connections opened (the redundancy denominators).
+    pub h1_connections: u64,
+    /// Requests that reused a kept-alive HTTP/1.1 connection.
+    pub keepalive_reuse: u64,
+    /// Close-delimited responses (connection consumed by framing).
+    pub close_delimited: u64,
+    /// Per-policy redundant-connection counts, in
+    /// [`REDUNDANCY_KINDS`] order (zeros included — stable schema).
+    pub redundant: Vec<(&'static str, u64)>,
+}
+
+impl RedundancyReport {
+    /// Read the `h1.*` counters of a mixed crawl into report form.
+    pub fn build(crawl: &CrawlResults, legacy_share: f64) -> Self {
+        RedundancyReport {
+            legacy_share,
+            pages: crawl.characterization.pages,
+            legacy_pages: crawl.metrics.counter("h1.pages"),
+            h1_requests: crawl.metrics.counter("h1.requests"),
+            h1_connections: crawl.metrics.counter("h1.connections_opened"),
+            keepalive_reuse: crawl.metrics.counter("h1.keepalive_reuse"),
+            close_delimited: crawl.metrics.counter("h1.close_delimited"),
+            redundant: REDUNDANCY_KINDS
+                .iter()
+                .map(|&(_, name)| {
+                    (
+                        name.trim_start_matches("h1.redundant."),
+                        crawl.metrics.counter(name),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Fraction of opened h1 connections a policy would have merged.
+    pub fn redundant_share(&self, policy: &str) -> f64 {
+        let count = self
+            .redundant
+            .iter()
+            .find(|&&(name, _)| name == policy)
+            .map_or(0, |&(_, v)| v);
+        if self.h1_connections > 0 {
+            count as f64 / self.h1_connections as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialise to JSON. Fixed-precision formatting keeps the bytes
+    /// identical across thread counts (the counter inputs already
+    /// are) and free of wall-clock values.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"legacy_share\": {:.4},", self.legacy_share);
+        let _ = writeln!(out, "  \"pages\": {},", self.pages);
+        let _ = writeln!(out, "  \"legacy_pages\": {},", self.legacy_pages);
+        out.push_str("  \"h1\": {\n");
+        let _ = writeln!(out, "    \"requests\": {},", self.h1_requests);
+        let _ = writeln!(out, "    \"connections_opened\": {},", self.h1_connections);
+        let _ = writeln!(out, "    \"keepalive_reuse\": {},", self.keepalive_reuse);
+        let _ = writeln!(out, "    \"close_delimited\": {}", self.close_delimited);
+        out.push_str("  },\n");
+        out.push_str("  \"redundant_connections\": {\n");
+        for (i, (name, v)) in self.redundant.iter().enumerate() {
+            let comma = if i + 1 < self.redundant.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    \"{name}\": {{\"count\": {v}, \"share\": {:.6}}}{comma}",
+                self.redundant_share(name)
+            );
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
 /// Trace one ranked site's visit in full: regenerate the dataset,
-/// find the site, and run exactly the load [`crawl_site`] would —
+/// find the site, and run exactly the load `crawl_site` would —
 /// same environment, same RNG seed — with a [`Tracer`] attached.
 /// Returns `None` when no successful site has that rank.
 ///
@@ -688,6 +814,68 @@ mod tests {
         assert_eq!(report.plt_inflation_pct(), 0.0);
         assert_eq!(report.coalescing_degradation_pct(), 0.0);
         assert!(report.counters.iter().all(|&(_, v)| v == 0));
+    }
+
+    #[test]
+    fn zero_legacy_share_is_byte_identical_to_the_pure_crawl() {
+        // `--legacy-share 0` must not perturb a single output byte:
+        // same loads, same metrics JSON (no `h1.*` keys), zero report.
+        let pure = run_crawl_threads(120, 0xBEEF, 2);
+        let mixed = run_crawl_mixed(120, 0xBEEF, 2, None, None, 0.0);
+        assert_eq!(pure.measured.plt, mixed.measured.plt);
+        assert_eq!(pure.metrics.to_json(), mixed.metrics.to_json());
+        assert!(pure
+            .metrics
+            .counters()
+            .all(|(name, _)| !name.starts_with("h1.")));
+        let report = RedundancyReport::build(&mixed, 0.0);
+        assert_eq!(report.legacy_pages, 0);
+        assert_eq!(report.h1_connections, 0);
+        assert!(report.redundant.iter().all(|&(_, v)| v == 0));
+        assert_eq!(report.redundant_share("ideal_origin"), 0.0);
+    }
+
+    #[test]
+    fn redundancy_grows_with_the_legacy_share() {
+        // More legacy sites → more h1 connections → strictly more
+        // connections the h2 rules would have merged, per policy.
+        let quarter = run_crawl_mixed(150, 0xBEEF, 2, None, None, 0.25);
+        let half = run_crawl_mixed(150, 0xBEEF, 2, None, None, 0.5);
+        let r25 = RedundancyReport::build(&quarter, 0.25);
+        let r50 = RedundancyReport::build(&half, 0.5);
+        assert!(r25.legacy_pages > 0);
+        assert!(r50.legacy_pages > r25.legacy_pages);
+        assert!(r25.h1_connections > 0);
+        assert!(r50.h1_connections > r25.h1_connections);
+        for (&(name, v25), &(_, v50)) in r25.redundant.iter().zip(&r50.redundant) {
+            assert!(v25 > 0, "policy {name} never fired at 25%");
+            assert!(v50 > v25, "policy {name} not monotone: {v25} → {v50}");
+        }
+        // The ideal ORIGIN policy merges a superset of what any
+        // evidence-bound policy merges.
+        let ideal = r25.redundant.last().unwrap().1;
+        assert!(r25.redundant.iter().all(|&(_, v)| v <= ideal));
+        // Sanity on the report bytes: jq-parsable shape, full schema.
+        let json = r25.to_json();
+        for (name, _) in &r25.redundant {
+            assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn mixed_crawl_is_thread_invariant() {
+        // The mixed universe keeps the crawl's core guarantee: the
+        // thread count changes wall-clock time and nothing else —
+        // metrics and the redundancy report are byte-identical.
+        let one = run_crawl_mixed(120, 0x0516, 1, None, None, 0.25);
+        let four = run_crawl_mixed(120, 0x0516, 4, None, None, 0.25);
+        assert_eq!(one.measured.plt, four.measured.plt);
+        assert_eq!(one.metrics.to_json(), four.metrics.to_json());
+        assert_eq!(
+            RedundancyReport::build(&one, 0.25).to_json(),
+            RedundancyReport::build(&four, 0.25).to_json()
+        );
     }
 
     #[test]

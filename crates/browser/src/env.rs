@@ -298,6 +298,7 @@ mod tests {
             sites: 50,
             tranco_total: 500_000,
             seed: 3,
+            ..Default::default()
         })
     }
 

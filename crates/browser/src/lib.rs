@@ -19,7 +19,7 @@
 //!   DNS / connect / TLS phases per the pool's decisions, models
 //!   happy-eyeballs and speculative races, and emits a
 //!   [`origin_web::PageLoad`].
-//! - [`env`] — the environment abstraction plus the webgen-backed
+//! - [`mod@env`] — the environment abstraction plus the webgen-backed
 //!   implementation.
 
 #![forbid(unsafe_code)]
@@ -31,6 +31,8 @@ pub mod policy;
 pub mod pool;
 
 pub use env::{UniverseEnv, WebEnv};
-pub use loader::{BrowserConfig, FaultCounts, FaultSession, PageLoader, VisitArena};
+pub use loader::{
+    BrowserConfig, FaultCounts, FaultSession, PageLoader, VisitArena, REDUNDANCY_KINDS,
+};
 pub use policy::BrowserKind;
 pub use pool::{ConnectionPool, PoolPartition, PooledConnection};

@@ -11,6 +11,10 @@
 use crate::env::WebEnv;
 use crate::policy::BrowserKind;
 use crate::pool::{ConnectionPool, PoolPartition, PooledConnection, ReuseDecision};
+use origin_h1::{
+    Connection as H1Connection, Event as H1Event, Request as H1Request, Response as H1Response,
+    Role as H1Role,
+};
 use origin_netsim::fault::{FaultInjector, NonCompliantMiddlebox, PacketFate};
 use origin_netsim::link::INIT_CWND;
 use origin_netsim::{
@@ -118,6 +122,36 @@ impl FaultCounts {
     }
 }
 
+/// The five policies evaluated by the redundant-connection probe and
+/// the `h1.redundant.*` counter each one feeds, in the fixed slot
+/// order shared by the per-visit stats array. Every legacy HTTP/1.1
+/// connection that opens is tested against *all five* — the question
+/// "would h2 have merged this?" is policy-relative (Sander et al.),
+/// and answering it for every policy in one crawl is what lets the
+/// redundancy report compare them on identical traffic.
+pub const REDUNDANCY_KINDS: [(BrowserKind, &str); 5] = [
+    (BrowserKind::Chromium, "h1.redundant.chromium"),
+    (BrowserKind::Firefox, "h1.redundant.firefox"),
+    (BrowserKind::FirefoxOrigin, "h1.redundant.firefox_origin"),
+    (BrowserKind::IdealIp, "h1.redundant.ideal_ip"),
+    (BrowserKind::IdealOrigin, "h1.redundant.ideal_origin"),
+];
+
+/// Per-visit HTTP/1.1 accounting. Only legacy pages touch it, so on a
+/// pure-h2 visit every field is zero and nothing reaches the metrics
+/// registry (see [`record_h1_metrics`]).
+#[derive(Debug, Default, Clone, Copy)]
+struct H1Stats {
+    requests: u64,
+    connections_opened: u64,
+    keepalive_reuse: u64,
+    close_delimited: u64,
+    pages: u64,
+    /// Redundant-connection counts, slot-for-slot with
+    /// [`REDUNDANCY_KINDS`].
+    redundant: [u64; 5],
+}
+
 /// Per-visit working memory, recycled across page loads.
 ///
 /// A cold load allocates a connection pool (five index maps), the
@@ -140,6 +174,10 @@ pub struct VisitArena {
     child_seq: Vec<u32>,
     conn_open_us: Vec<u64>,
     timings: Vec<RequestTiming>,
+    /// One slot per pooled connection: the HTTP/1.1 state machine
+    /// driving it, for connections a legacy page opened over h1.
+    /// `None` for h2 connections (and everything on a pure-h2 page).
+    h1_sessions: Vec<Option<H1Connection>>,
 }
 
 impl VisitArena {
@@ -306,9 +344,19 @@ impl PageLoader {
         arena: &mut VisitArena,
     ) -> PageLoad {
         let before = faults.as_deref().map(|f| f.counts).unwrap_or_default();
-        let load = self.load_inner(page, env, rng, tracer, faults.as_deref_mut(), arena);
+        let mut h1 = H1Stats::default();
+        let load = self.load_inner(
+            page,
+            env,
+            rng,
+            tracer,
+            faults.as_deref_mut(),
+            arena,
+            &mut h1,
+        );
         if let Some(metrics) = metrics {
             record_page_metrics(&load, metrics);
+            record_h1_metrics(&h1, metrics);
             if let Some(f) = faults.as_deref() {
                 record_fault_metrics(&f.counts.since(&before), metrics);
             }
@@ -316,6 +364,7 @@ impl PageLoader {
         load
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn load_inner(
         &self,
         page: &Page,
@@ -324,9 +373,12 @@ impl PageLoader {
         mut tracer: Option<&mut origin_trace::Tracer>,
         mut faults: Option<&mut FaultSession>,
         arena: &mut VisitArena,
+        h1: &mut H1Stats,
     ) -> PageLoad {
         let n = page.resources.len();
+        h1.pages += u64::from(page.legacy);
         arena.pool.clear();
+        arena.h1_sessions.clear();
         let mut timings = std::mem::take(&mut arena.timings);
         timings.clear();
         timings.reserve(n);
@@ -386,6 +438,8 @@ impl PageLoader {
                 tracer.as_deref_mut(),
                 faults.as_deref_mut(),
                 &mut arena.conn_open_us,
+                &mut arena.h1_sessions,
+                h1,
             );
             arena.ready[idx] = timing.end();
             timings.push(timing);
@@ -410,8 +464,15 @@ impl PageLoader {
         mut tracer: Option<&mut origin_trace::Tracer>,
         mut faults: Option<&mut FaultSession>,
         conn_open_us: &mut Vec<u64>,
+        h1_sessions: &mut Vec<Option<H1Connection>>,
+        h1: &mut H1Stats,
     ) -> RequestTiming {
         let res = &page.resources[idx];
+        // A legacy page's HTTP/1.1 requests drive the sans-IO state
+        // machine; the gate is the page's legacy flag — never the
+        // protocol alone — so the default universe's sampled-H11
+        // traffic keeps its exact pre-mixed-universe behaviour.
+        let legacy_h1 = page.legacy && res.protocol == Protocol::H11;
         let host = res.host.clone();
         let (asn, link) = env.request_facts(&host);
         let placeholder_ip = IpAddr::V4(Ipv4Addr::UNSPECIFIED);
@@ -643,6 +704,20 @@ impl PageLoader {
                 new_connection = true;
                 let ip = addrs.first().copied().unwrap_or(placeholder_ip);
                 let cert = env.cert_shared(&host);
+                // ALPN (RFC 7301) selects what the fresh connection
+                // speaks: the client always offers `h2, http/1.1`,
+                // the origin's advertisement — its deployment fact —
+                // wins. Pure computation, so running it on every
+                // setup perturbs nothing.
+                let alpn = origin_tls::alpn_negotiate(
+                    origin_tls::alpn::CLIENT_OFFER,
+                    origin_tls::alpn::server_advertisement(res.protocol == Protocol::H2),
+                );
+                debug_assert_eq!(
+                    alpn == Some(origin_tls::AlpnProtocol::H2),
+                    res.protocol == Protocol::H2,
+                    "negotiated ALPN must agree with the deployed protocol"
+                );
                 // CDN edges negotiate TLS 1.3; roughly half the tail
                 // origins still ran TLS 1.2 (2-RTT handshakes) at the
                 // paper's Feb-2021 snapshot.
@@ -722,24 +797,36 @@ impl PageLoader {
                     );
                     if res.secure {
                         let hs_start = setup_start + phase.connect;
+                        let mut hs_args: Vec<(&'static str, origin_trace::ArgValue)> = vec![
+                            (
+                                "version",
+                                match tls {
+                                    TlsVersion::Tls12 => "TLS 1.2",
+                                    TlsVersion::Tls13 => "TLS 1.3",
+                                    TlsVersion::Tls13ZeroRtt => "TLS 1.3 0-RTT",
+                                }
+                                .into(),
+                            ),
+                            ("sni", host.as_str().into()),
+                            ("issuer", cert_issuer.clone().unwrap_or_default().into()),
+                        ];
+                        // Annotated only on legacy pages so pure-h2
+                        // traces stay byte-identical to the committed
+                        // baselines.
+                        if page.legacy {
+                            hs_args.push((
+                                "alpn",
+                                alpn.map(|p| p.to_string())
+                                    .unwrap_or_else(|| "none".into())
+                                    .into(),
+                            ));
+                        }
                         t.complete(
                             "tls.handshake",
                             "tls",
                             ms_us(hs_start),
                             ms_us(phase.ssl),
-                            vec![
-                                (
-                                    "version",
-                                    match tls {
-                                        TlsVersion::Tls12 => "TLS 1.2",
-                                        TlsVersion::Tls13 => "TLS 1.3",
-                                        TlsVersion::Tls13ZeroRtt => "TLS 1.3 0-RTT",
-                                    }
-                                    .into(),
-                                ),
-                                ("sni", host.as_str().into()),
-                                ("issuer", cert_issuer.clone().unwrap_or_default().into()),
-                            ],
+                            hs_args,
                         );
                         // The SAN check the pool's coalescing logic
                         // relies on: the presented certificate covers
@@ -761,6 +848,23 @@ impl PageLoader {
                         );
                     }
                 }
+                if legacy_h1 {
+                    h1.connections_opened += 1;
+                    // This connection opens because HTTP/1.1 cannot
+                    // multiplex or coalesce. Before it enters the
+                    // pool, ask each policy whether its *h2* rules
+                    // would have merged the request onto an existing
+                    // connection — Sander et al.'s redundant
+                    // connections, the setups an all-h2 deployment
+                    // would have avoided.
+                    for (slot, (kind, _)) in REDUNDANCY_KINDS.iter().enumerate() {
+                        if pool.redundant_if_h2(*kind, &host, &addrs, partition, |ch| {
+                            env.colocated(ch, &host)
+                        }) {
+                            h1.redundant[slot] += 1;
+                        }
+                    }
+                }
                 let conn = PooledConnection {
                     host: host.clone(),
                     ip,
@@ -778,9 +882,11 @@ impl PageLoader {
                     bytes_transferred: 0,
                     in_flight: 0,
                     busy_until: 0.0,
+                    closed: false,
                 };
                 let i = pool.insert(conn);
                 conn_open_us.push(ms_us(setup_start));
+                h1_sessions.push(None);
                 i
             }
         };
@@ -849,6 +955,60 @@ impl PageLoader {
             conn.busy_until = start + phase.total();
         }
 
+        // Drive the sans-IO HTTP/1.1 machine through one full
+        // request/response cycle for legacy traffic: heads, framing
+        // and keep-alive are validated even though the simulation
+        // only charges timings. Coalesced rides are excluded — only
+        // the ideal (protocol-blind) models ever coalesce h1, and
+        // they model structure, not wire protocol.
+        let mut h1_framing: Option<(&'static str, u64)> = None;
+        if legacy_h1 {
+            h1.requests += 1;
+        }
+        if legacy_h1 && !coalesced {
+            if !new_connection {
+                h1.keepalive_reuse += 1;
+            }
+            let sess =
+                h1_sessions[conn_idx].get_or_insert_with(|| H1Connection::new(H1Role::Client));
+            if sess.cycles_completed() > 0 {
+                sess.start_next_cycle()
+                    .expect("pooled HTTP/1.1 connection must be idle and kept alive");
+            }
+            sess.send(&H1Event::Request(H1Request::get(&res.path, host.as_str())))
+                .expect("request head from Idle");
+            sess.send(&H1Event::EndOfMessage)
+                .expect("bodyless GET completes");
+            if close_delimited_response(&res.path) {
+                // No Content-Length: the body runs until the server
+                // closes. The connection leaves the reusable pool —
+                // `closed` frees its per-host slot, and the next
+                // request to this host pays a fresh setup.
+                sess.receive(&H1Event::Response(H1Response::close_delimited()))
+                    .expect("response head after request");
+                if res.size > 0 {
+                    sess.receive(&H1Event::Data(res.size))
+                        .expect("close-delimited body data");
+                }
+                sess.receive(&H1Event::ConnectionClosed)
+                    .expect("close ends a close-delimited body");
+                conn.closed = true;
+                h1.close_delimited += 1;
+                h1_framing = Some(("close-delimited", sess.cycles_completed()));
+            } else {
+                sess.receive(&H1Event::Response(H1Response::with_content_length(
+                    res.size,
+                )))
+                .expect("response head after request");
+                if res.size > 0 {
+                    sess.receive(&H1Event::Data(res.size)).expect("sized body");
+                }
+                sess.receive(&H1Event::EndOfMessage)
+                    .expect("sized body completes");
+                h1_framing = Some(("content-length", sess.cycles_completed()));
+            }
+        }
+
         let ip = conn.ip;
 
         if let Some(t) = tracer {
@@ -885,6 +1045,21 @@ impl PageLoader {
                 phase.total_us(),
                 args,
             );
+            // Legacy requests additionally record the h1 machine's
+            // view: the response framing and which keep-alive cycle
+            // of its connection this request rode.
+            if let Some((framing, cycle)) = h1_framing {
+                t.instant_at(
+                    "h1.request",
+                    "h1",
+                    start_ts,
+                    vec![
+                        ("framing", framing.into()),
+                        ("cycle", cycle.into()),
+                        ("conn", (conn_idx as u64).into()),
+                    ],
+                );
+            }
             let mut off = start_ts;
             for (name, dur) in phase_names.iter().zip(phase.quantised_us()) {
                 if dur > 0 {
@@ -931,6 +1106,19 @@ fn ms_us(ms: f64) -> u64 {
 fn empty_addrs() -> std::sync::Arc<[IpAddr]> {
     static EMPTY: std::sync::OnceLock<std::sync::Arc<[IpAddr]>> = std::sync::OnceLock::new();
     EMPTY.get_or_init(|| std::sync::Arc::new([])).clone()
+}
+
+/// Does a legacy origin serve this resource with a close-delimited
+/// body (no `Content-Length`)? FNV-1a over the path picks roughly one
+/// response in sixteen — a pure function of the page, so every thread
+/// count and every visit agrees on which connections tear down.
+fn close_delimited_response(path: &str) -> bool {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h & 15 == 0
 }
 
 /// Upper bounds (inclusive) for the per-page connection histogram.
@@ -984,6 +1172,29 @@ fn record_page_metrics(load: &PageLoad, metrics: &mut origin_metrics::Registry) 
     metrics.record_phase("sim.page", SimDuration::from_millis_f64(load.plt()));
 }
 
+/// Fold one visit's HTTP/1.1 counters into the registry. Zero values
+/// are skipped — `Registry::add` materializes keys, and a pure-h2
+/// crawl (legacy share 0) must serialize exactly as it did before the
+/// mixed-protocol universe existed.
+fn record_h1_metrics(stats: &H1Stats, metrics: &mut origin_metrics::Registry) {
+    for (name, value) in [
+        ("h1.requests", stats.requests),
+        ("h1.connections_opened", stats.connections_opened),
+        ("h1.keepalive_reuse", stats.keepalive_reuse),
+        ("h1.close_delimited", stats.close_delimited),
+        ("h1.pages", stats.pages),
+    ] {
+        if value > 0 {
+            metrics.add(name, value);
+        }
+    }
+    for (slot, (_, name)) in REDUNDANCY_KINDS.iter().enumerate() {
+        if stats.redundant[slot] > 0 {
+            metrics.add(name, stats.redundant[slot]);
+        }
+    }
+}
+
 /// Fold one visit's fault-counter deltas into the registry. Zero
 /// values are skipped — `Registry::add` materializes keys, and a
 /// faulted crawl whose profile injected nothing must serialize exactly
@@ -1022,6 +1233,7 @@ mod tests {
             sites: 120,
             tranco_total: 500_000,
             seed: 11,
+            ..Default::default()
         })
     }
 
@@ -1232,6 +1444,127 @@ mod tests {
             .max()
             .expect("at least one request span");
         assert_eq!(max_span_end, traced.plt_us());
+    }
+
+    #[test]
+    fn pure_h2_visit_records_no_h1_metrics() {
+        // The mixed-protocol machinery must be invisible on a default
+        // (legacy share 0) universe: no `h1.*` key may materialize,
+        // or the committed metrics baselines would change shape.
+        let d = dataset();
+        let site = d.sites().iter().find(|s| !s.failed).unwrap().clone();
+        let page = d.page_for(&site);
+        assert!(!page.legacy);
+        let mut env = UniverseEnv::new(&d);
+        env.flush_dns();
+        let loader = PageLoader::new(BrowserKind::Firefox);
+        let mut rng = SimRng::seed_from_u64(99);
+        let mut metrics = origin_metrics::Registry::new();
+        loader.load_instrumented(&page, &mut env, &mut rng, Some(&mut metrics));
+        assert!(metrics.counters().all(|(name, _)| !name.starts_with("h1.")));
+    }
+
+    #[test]
+    fn legacy_pages_drive_the_h1_machine() {
+        let d = Dataset::generate(DatasetConfig {
+            sites: 40,
+            tranco_total: 500_000,
+            seed: 11,
+            legacy_share: 1.0,
+        });
+        let mut env = UniverseEnv::new(&d);
+        let loader = PageLoader::new(BrowserKind::Firefox);
+        let mut metrics = origin_metrics::Registry::new();
+        let mut arena = VisitArena::new();
+        let mut h11_requests = 0u64;
+        let mut coalesced_h1 = 0u64;
+        let mut pages = 0u64;
+        for site in d.sites().iter().filter(|s| !s.failed).take(12) {
+            let page = d.page_for(site);
+            assert!(page.legacy, "share 1.0 makes every site legacy");
+            env.flush_dns();
+            let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+            let load = loader.load_faulted_with(
+                &page,
+                &mut env,
+                &mut rng,
+                None,
+                Some(&mut metrics),
+                None,
+                &mut arena,
+            );
+            for r in &load.requests {
+                if r.protocol == Protocol::H11 {
+                    h11_requests += 1;
+                    coalesced_h1 += r.coalesced as u64;
+                }
+            }
+            pages += 1;
+            arena.recycle(load);
+        }
+        // Every HTTP/1.1 request that reached the network drove the
+        // machine exactly once: no request is double-counted.
+        assert!(metrics.counter("h1.requests") > 0);
+        assert_eq!(metrics.counter("h1.requests"), h11_requests);
+        assert_eq!(
+            metrics.counter("h1.requests"),
+            metrics.counter("h1.connections_opened")
+                + metrics.counter("h1.keepalive_reuse")
+                + coalesced_h1,
+            "every h1 request either opened, kept alive, or coalesced"
+        );
+        assert_eq!(metrics.counter("h1.pages"), pages);
+        // Domain-sharded legacy pages open connections an h2
+        // deployment would have merged; any event redundant under
+        // Chromium's strict rules is redundant under the ideal-ORIGIN
+        // model too (its conditions are a superset trigger).
+        assert!(metrics.counter("h1.redundant.ideal_origin") > 0);
+        assert!(
+            metrics.counter("h1.redundant.ideal_origin")
+                >= metrics.counter("h1.redundant.chromium")
+        );
+        // ~1/16 of paths draw a close-delimited response; across a
+        // dozen legacy sites some connection must have torn down.
+        assert!(metrics.counter("h1.close_delimited") > 0);
+    }
+
+    #[test]
+    fn legacy_load_is_deterministic_and_arena_invariant() {
+        let d = Dataset::generate(DatasetConfig {
+            sites: 20,
+            tranco_total: 500_000,
+            seed: 7,
+            legacy_share: 0.5,
+        });
+        let loader = PageLoader::new(BrowserKind::Firefox);
+        let run = |arena: &mut VisitArena| {
+            let mut env = UniverseEnv::new(&d);
+            let mut metrics = origin_metrics::Registry::new();
+            let mut loads = Vec::new();
+            for site in d.sites().iter().filter(|s| !s.failed).take(8) {
+                let page = d.page_for(site);
+                env.flush_dns();
+                let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+                loads.push(loader.load_faulted_with(
+                    &page,
+                    &mut env,
+                    &mut rng,
+                    None,
+                    Some(&mut metrics),
+                    None,
+                    arena,
+                ));
+            }
+            (loads, metrics.to_json())
+        };
+        let (a_loads, a_json) = run(&mut VisitArena::new());
+        let mut arena = VisitArena::new();
+        let (b_loads, b_json) = run(&mut arena);
+        let (c_loads, c_json) = run(&mut arena); // warm arena, reused sessions cleared
+        assert_eq!(a_loads, b_loads);
+        assert_eq!(a_json, b_json);
+        assert_eq!(a_loads, c_loads);
+        assert_eq!(a_json, c_json);
     }
 
     /// Arena reuse must be observationally invisible: a worker that

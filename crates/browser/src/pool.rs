@@ -71,6 +71,11 @@ pub struct PooledConnection {
     /// Time (ms from navigation start) this connection finishes its
     /// current response — HTTP/1.1 connections serialize requests.
     pub busy_until: f64,
+    /// The peer closed the connection (an HTTP/1.1 close-delimited
+    /// response or `Connection: close`). A closed connection is never
+    /// reused and no longer occupies a per-host slot; always `false`
+    /// for h2 connections, so the pure-h2 universe never consults it.
+    pub closed: bool,
 }
 
 impl PooledConnection {
@@ -310,7 +315,7 @@ impl ConnectionPool {
         let mut h1_same_host = 0u32;
         for &i in same_host {
             let c = &self.conns[i as usize];
-            if !is_ideal && c.partition != partition {
+            if c.closed || (!is_ideal && c.partition != partition) {
                 continue;
             }
             if c.multiplexes() || is_ideal {
@@ -328,7 +333,7 @@ impl ConnectionPool {
             if let Some((i, _)) = same_host
                 .iter()
                 .map(|&i| (i as usize, &self.conns[i as usize]))
-                .filter(|(_, c)| c.partition == partition)
+                .filter(|(_, c)| !c.closed && c.partition == partition)
                 .min_by(|(_, a), (_, b)| {
                     a.busy_until
                         .partial_cmp(&b.busy_until)
@@ -410,14 +415,14 @@ impl ConnectionPool {
                 candidates.dedup();
                 for i in candidates {
                     let c = &self.conns[i as usize];
-                    if !self.is_evicted(host_id, i) && colocated(&c.host) {
+                    if !c.closed && !self.is_evicted(host_id, i) && colocated(&c.host) {
                         return ReuseDecision::Coalesce(i as usize);
                     }
                 }
             }
             _ => {
                 for (i, c) in self.conns.iter().enumerate() {
-                    if !self.is_evicted(host_id, i as u32) && colocated(&c.host) {
+                    if !c.closed && !self.is_evicted(host_id, i as u32) && colocated(&c.host) {
                         return ReuseDecision::Coalesce(i);
                     }
                 }
@@ -481,7 +486,7 @@ impl ConnectionPool {
         //    H1.1 connection is only reusable when idle.
         let mut h1_same_host = 0u32;
         for (i, c) in self.conns.iter().enumerate() {
-            if (!is_ideal && c.partition != partition) || &c.host != host {
+            if c.closed || (!is_ideal && c.partition != partition) || &c.host != host {
                 continue;
             }
             if c.multiplexes() || is_ideal {
@@ -497,7 +502,7 @@ impl ConnectionPool {
                 .conns
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| c.partition == partition && &c.host == host)
+                .filter(|(_, c)| !c.closed && c.partition == partition && &c.host == host)
                 .min_by(|(_, a), (_, b)| {
                     a.busy_until
                         .partial_cmp(&b.busy_until)
@@ -513,7 +518,7 @@ impl ConnectionPool {
         //    and the mapping must not have been evicted by a 421).
         let host_id = self.hosts.get(host.as_str());
         for (i, c) in self.conns.iter().enumerate() {
-            if self.is_evicted(host_id, i as u32) {
+            if c.closed || self.is_evicted(host_id, i as u32) {
                 continue;
             }
             if !is_ideal && (c.partition != partition || !c.multiplexes()) {
@@ -585,6 +590,66 @@ impl ConnectionPool {
         // the §4 model assumes colocation itself implies reusability.
         "model-colocation"
     }
+
+    /// Would `policy`'s **h2** rules have merged a request to `host`
+    /// onto an existing connection, had every pooled connection
+    /// multiplexed? Called just before a legacy HTTP/1.1 connection
+    /// opens, this counts the *redundant connections* of Sander
+    /// et al.: setups an all-h2 deployment would have avoided.
+    ///
+    /// Mirrors [`ConnectionPool::decide_linear`] with the protocol
+    /// gates removed — no `multiplexes()` requirement, no HTTP/1.1
+    /// idleness check, no per-host cap (h2 multiplexes same-host
+    /// unconditionally). Partition, certificate-coverage,
+    /// 421-eviction, and colocation gates keep their real-browser
+    /// semantics. Connections the HTTP/1.1 peer already closed still
+    /// count as merge targets: in the hypothetical h2 world the same
+    /// setup would have stayed open.
+    pub fn redundant_if_h2(
+        &self,
+        policy: BrowserKind,
+        host: &DnsName,
+        addrs: &[IpAddr],
+        partition: PoolPartition,
+        colocated: impl Fn(&DnsName) -> bool,
+    ) -> bool {
+        let is_ideal = matches!(policy, BrowserKind::IdealIp | BrowserKind::IdealOrigin);
+        let host_id = self.hosts.get(host.as_str());
+        for (i, c) in self.conns.iter().enumerate() {
+            // Same-host: an h2 connection would simply multiplex.
+            if &c.host == host && (is_ideal || c.partition == partition) {
+                return true;
+            }
+            if self.is_evicted(host_id, i as u32) {
+                continue;
+            }
+            if !is_ideal && (c.partition != partition || !c.cert.covers(host)) {
+                continue;
+            }
+            if !colocated(&c.host) {
+                continue;
+            }
+            let ip_match = if policy.ip_transitive() {
+                c.available_set.iter().any(|a| addrs.contains(a))
+            } else {
+                addrs.contains(&c.ip)
+            };
+            let origin_match = policy.uses_origin_frame()
+                && c.origin_set
+                    .as_ref()
+                    .map(|s| s.allows_https_host(host.as_str()))
+                    .unwrap_or(false);
+            let merged = match policy {
+                BrowserKind::Chromium | BrowserKind::Firefox | BrowserKind::IdealIp => ip_match,
+                BrowserKind::FirefoxOrigin => origin_match || ip_match,
+                BrowserKind::IdealOrigin => true,
+            };
+            if merged {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -610,6 +675,7 @@ mod tests {
             bytes_transferred: 0,
             in_flight: 0,
             busy_until: 0.0,
+            closed: false,
         }
     }
 
@@ -1020,6 +1086,132 @@ mod tests {
     }
 
     #[test]
+    fn closed_connection_is_never_reused_and_frees_its_slot() {
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        let mut c = conn("old.x.com", ip, vec![ip], &[]);
+        c.protocol = Protocol::H11;
+        c.closed = true;
+        pool.insert(c);
+        // Even with max_h1_per_host = 1 the closed connection neither
+        // serves the request nor counts toward the cap: open fresh.
+        let d = pool.decide(
+            BrowserKind::Chromium,
+            &name("old.x.com"),
+            &[ip],
+            PoolPartition::Default,
+            1,
+            100.0,
+            always,
+        );
+        assert_eq!(d, ReuseDecision::New);
+        // The ideal models skip it too.
+        for policy in [BrowserKind::IdealIp, BrowserKind::IdealOrigin] {
+            let d = pool.decide(
+                policy,
+                &name("old.x.com"),
+                &[ip],
+                PoolPartition::Default,
+                6,
+                100.0,
+                always,
+            );
+            assert_eq!(d, ReuseDecision::New, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn redundancy_probe_ignores_protocol_gates() {
+        // A busy HTTP/1.1 connection to the same host: the real
+        // decision opens a new connection, but had the pool been h2
+        // the request would have multiplexed — redundant under every
+        // policy.
+        let mut pool = ConnectionPool::new();
+        let ip = v4(1, 1, 1, 1);
+        let mut c = conn("shard1.a.com", ip, vec![ip], &["*.a.com"]);
+        c.protocol = Protocol::H11;
+        c.in_flight = 1;
+        pool.insert(c);
+        let host = name("shard1.a.com");
+        assert_eq!(
+            pool.decide(
+                BrowserKind::Firefox,
+                &host,
+                &[ip],
+                PoolPartition::Default,
+                6,
+                0.0,
+                always
+            ),
+            ReuseDecision::New
+        );
+        for policy in [
+            BrowserKind::Chromium,
+            BrowserKind::Firefox,
+            BrowserKind::FirefoxOrigin,
+            BrowserKind::IdealIp,
+            BrowserKind::IdealOrigin,
+        ] {
+            assert!(
+                pool.redundant_if_h2(policy, &host, &[ip], PoolPartition::Default, always),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn redundancy_probe_keeps_policy_evidence_rules() {
+        // Cross-host shard with cert coverage: IP-based policies need
+        // address evidence, IdealOrigin merges on colocation alone.
+        let mut pool = ConnectionPool::new();
+        let ipa = v4(1, 1, 1, 1);
+        let ipb = v4(2, 2, 2, 2);
+        let mut c = conn("shard1.a.com", ipa, vec![ipa], &["*.a.com"]);
+        c.protocol = Protocol::H11;
+        pool.insert(c);
+        let host = name("shard2.a.com");
+        // Disjoint DNS answer: no IP evidence.
+        assert!(!pool.redundant_if_h2(
+            BrowserKind::Firefox,
+            &host,
+            &[ipb],
+            PoolPartition::Default,
+            always
+        ));
+        assert!(pool.redundant_if_h2(
+            BrowserKind::IdealOrigin,
+            &host,
+            &[ipb],
+            PoolPartition::Default,
+            always
+        ));
+        // Shared address: the IP policies would have merged.
+        assert!(pool.redundant_if_h2(
+            BrowserKind::Firefox,
+            &host,
+            &[ipa],
+            PoolPartition::Default,
+            always
+        ));
+        // Partition mismatch blocks real policies even with evidence.
+        assert!(!pool.redundant_if_h2(
+            BrowserKind::Firefox,
+            &host,
+            &[ipa],
+            PoolPartition::Anonymous,
+            always
+        ));
+        // No colocation → a coalesce attempt would 421: not redundant.
+        assert!(!pool.redundant_if_h2(
+            BrowserKind::Firefox,
+            &host,
+            &[ipa],
+            PoolPartition::Default,
+            |_| false
+        ));
+    }
+
+    #[test]
     fn randomized_pools_indexed_matches_linear() {
         // Property test: on randomized pools (hosts, SANs incl.
         // wildcards, overlapping address sets, mixed protocols and
@@ -1080,6 +1272,7 @@ mod tests {
                     c.protocol = Protocol::H11;
                     c.in_flight = rng.index(3) as u32;
                     c.busy_until = rng.range_f64(0.0, 40.0);
+                    c.closed = rng.chance(0.25);
                 }
                 if rng.chance(0.2) {
                     c.partition = *rng.choose(&partitions);

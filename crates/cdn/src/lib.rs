@@ -14,7 +14,7 @@
 //! - [`edge`] — an edge server terminating real `origin-h2`
 //!   connections, configured with per-deployment certificates and
 //!   origin sets; answers 421 for unconfigured authorities.
-//! - [`env`] — the deployment [`origin_browser::WebEnv`]: DNS
+//! - [`mod@env`] — the deployment [`origin_browser::WebEnv`]: DNS
 //!   aligned to a single address for the §5.2 IP experiment, or an
 //!   isolated anycast address with ORIGIN frames for §5.3.
 //! - [`active`] — the client-side active measurement (Figures 7a/7b):

@@ -1,0 +1,116 @@
+//! Typed HTTP/1.1 events and the framing they imply.
+//!
+//! Events are the only currency the state machine deals in. Heads
+//! carry owned header lists (the simulator builds a handful per
+//! legacy request, so ergonomics beat zero-copy here); body data is
+//! carried as a byte *count* — the machine validates framing, it
+//! does not buffer payloads.
+
+use std::fmt;
+
+/// A request head: method, target, and headers, HTTP/1.1 implied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `HEAD`, …).
+    pub method: String,
+    /// Origin-form request target (`/img/r4-0.png`).
+    pub target: String,
+    /// Header fields in send order, lowercase names.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// A bodyless `GET` with a `host` header, the common case for a
+    /// simulated subresource fetch.
+    pub fn get(target: &str, host: &str) -> Self {
+        Request {
+            method: "GET".to_string(),
+            target: target.to_string(),
+            headers: vec![("host".to_string(), host.to_string())],
+        }
+    }
+
+    /// First value of the named header (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+}
+
+/// A response head: status code and headers, HTTP/1.1 implied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (`200`, `304`, …).
+    pub status: u16,
+    /// Header fields in send order, lowercase names.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A `200` response framed by `Content-Length: len`.
+    pub fn with_content_length(len: u64) -> Self {
+        Response {
+            status: 200,
+            headers: vec![("content-length".to_string(), len.to_string())],
+        }
+    }
+
+    /// A `200` response with no length header: the body runs until
+    /// the server closes the connection (and keep-alive is off).
+    pub fn close_delimited() -> Self {
+        Response {
+            status: 200,
+            headers: vec![("connection".to_string(), "close".to_string())],
+        }
+    }
+
+    /// First value of the named header (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        header_lookup(&self.headers, name)
+    }
+}
+
+fn header_lookup<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+/// One HTTP/1.1 protocol event, in the h11 style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A request head crossed the connection.
+    Request(Request),
+    /// A response head crossed the connection.
+    Response(Response),
+    /// `n` body bytes crossed the connection.
+    Data(u64),
+    /// The current message body is complete.
+    EndOfMessage,
+    /// The peer (or we) closed the transport.
+    ConnectionClosed,
+}
+
+/// How a message body is delimited. Strictly `Content-Length` or
+/// connection close — `Transfer-Encoding` is refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// Exactly this many body bytes remain.
+    ContentLength(u64),
+    /// Body runs until the connection closes (responses only);
+    /// forbids keep-alive by construction.
+    CloseDelimited,
+    /// No body at all (`HEAD` responses, `204`, `304`, requests
+    /// without `Content-Length`).
+    NoBody,
+}
+
+impl fmt::Display for Framing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Framing::ContentLength(n) => write!(f, "content-length({n})"),
+            Framing::CloseDelimited => f.write_str("close-delimited"),
+            Framing::NoBody => f.write_str("no-body"),
+        }
+    }
+}

@@ -31,7 +31,7 @@ impl FaultInjector {
         }
     }
 
-    /// Construct with the given probabilities (each sanitized to [0,1]).
+    /// Construct with the given probabilities (each sanitized to \[0,1\]).
     pub fn new(drop_chance: f64, corrupt_chance: f64) -> Self {
         FaultInjector {
             drop_chance: sanitize_probability(drop_chance),
@@ -51,7 +51,7 @@ impl FaultInjector {
     }
 }
 
-/// Coerce a probability into [0,1]. `f64::clamp` propagates NaN, so a
+/// Coerce a probability into \[0,1\]. `f64::clamp` propagates NaN, so a
 /// NaN input would survive into `SimRng::chance` and poison every
 /// comparison against it; treat NaN as "no fault".
 fn sanitize_probability(p: f64) -> f64 {
@@ -99,7 +99,7 @@ impl FaultProfile {
     /// `drop=0.01,h421=0.005,middlebox=0.1`. Keys: `drop`, `corrupt`,
     /// `h421`, `middlebox`; omitted keys default to 0. Unknown keys and
     /// malformed values are errors; out-of-range values are sanitized
-    /// into [0,1].
+    /// into \[0,1\].
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut profile = FaultProfile::none();
         for part in spec.split(',') {

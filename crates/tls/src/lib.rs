@@ -12,6 +12,9 @@
 //!
 //! - [`san`] — name matching per RFC 6125 (wildcards cover exactly one
 //!   left-most label).
+//! - [`alpn`] — RFC 7301 application-protocol negotiation (server
+//!   preference), the switch between h2 and the HTTP/1.1 fallback in
+//!   the mixed-protocol universe.
 //! - [`cert`] — [`Certificate`] with SAN list, issuer, validity,
 //!   serial, and a DER-calibrated wire-size estimator.
 //! - [`ca`] — [`CertificateAuthority`] with per-CA SAN-count limits
@@ -24,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alpn;
 pub mod ca;
 pub mod cert;
 pub mod ctlog;
@@ -31,6 +35,7 @@ pub mod san;
 pub mod strategy;
 pub mod validate;
 
+pub use alpn::{negotiate as alpn_negotiate, AlpnProtocol};
 pub use ca::{CaError, CertificateAuthority, KnownIssuer};
 pub use cert::{Certificate, CertificateBuilder, KeyType};
 pub use ctlog::{CtLog, CtLogSet};

@@ -147,6 +147,12 @@ pub struct Page {
     pub root_host: DnsName,
     /// Resources; index 0 is the root document.
     pub resources: Vec<Resource>,
+    /// Whether this is a legacy (pre-h2) site: first-party assets
+    /// are served over HTTP/1.1 from domain shards, and the loader
+    /// drives the `origin-h1` state machine for them. Always `false`
+    /// outside a mixed-protocol universe (`legacy_share > 0`), so
+    /// the default universe is byte-identical with the flag ignored.
+    pub legacy: bool,
 }
 
 impl Page {
@@ -157,6 +163,7 @@ impl Page {
             rank,
             root_host,
             resources: vec![root],
+            legacy: false,
         }
     }
 

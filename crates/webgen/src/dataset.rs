@@ -22,6 +22,14 @@ pub struct DatasetConfig {
     pub tranco_total: u32,
     /// Master seed.
     pub seed: u64,
+    /// Share of sites in `[0, 1]` that are *legacy*: their origin
+    /// never deployed h2, so ALPN negotiates `http/1.1`, first-party
+    /// assets are domain-sharded across the site's shard hosts, and
+    /// none of their connections coalesce. Assignment is a pure hash
+    /// of `(seed, rank)` — no RNG draws — so `legacy_share = 0.0`
+    /// (the default) generates a byte-identical dataset to one that
+    /// has never heard of the knob.
+    pub legacy_share: f64,
 }
 
 impl Default for DatasetConfig {
@@ -30,8 +38,25 @@ impl Default for DatasetConfig {
             sites: 20_000,
             tranco_total: 500_000,
             seed: 0x0516,
+            legacy_share: 0.0,
         }
     }
+}
+
+/// Deterministic legacy assignment: splitmix64 over `(seed, rank)`
+/// mapped to `[0, 1)` and compared against the share. Consuming no
+/// RNG draws keeps every existing draw sequence — and therefore every
+/// committed report — untouched at any share.
+fn is_legacy_site(seed: u64, rank: u32, legacy_share: f64) -> bool {
+    if legacy_share <= 0.0 {
+        return false;
+    }
+    let mut z = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < legacy_share
 }
 
 /// A reference to a third-party service used by a page.
@@ -130,6 +155,9 @@ pub struct SiteConfig {
     /// Whether the first-party shards share the root's address set
     /// (the IP-coalescible configuration).
     pub shards_share_ip: bool,
+    /// Whether the origin is legacy (HTTP/1.1-only ALPN, sharded
+    /// asset layout). See [`DatasetConfig::legacy_share`].
+    pub legacy: bool,
 }
 
 impl SiteConfig {
@@ -338,6 +366,7 @@ impl Dataset {
             n_requests,
             page_seed: rng.next_u64(),
             shards_share_ip,
+            legacy: is_legacy_site(config.seed, rank, config.legacy_share),
         }
     }
 
@@ -584,10 +613,45 @@ impl Dataset {
         // entries — and their path-string capacity — from the spare
         // pool instead of allocating fresh ones.
         spare.extend(resources.drain(order.len() + 1..));
+        if site.legacy {
+            apply_legacy_layout(site, &mut resources);
+        }
         Page {
             rank: site.rank,
             root_host: site.root_host.clone(),
             resources,
+            legacy: site.legacy,
+        }
+    }
+}
+
+/// The legacy-site transform, a draw-free post-pass over a fully
+/// materialized page (so the RNG draw sequence is identical to the
+/// modern rendering of the same site):
+///
+/// - every first-party resource is served over HTTP/1.1 — the origin
+///   never deployed h2, so ALPN settles on `http/1.1`;
+/// - first-party *assets* are re-spread round-robin across the
+///   site's shard hosts — the classic domain-sharding workaround for
+///   the 6-connections-per-host limit (third-party services keep
+///   their own, independently sampled protocols).
+fn apply_legacy_layout(site: &SiteConfig, resources: &mut [Resource]) {
+    if let Some(root) = resources.first_mut() {
+        root.protocol = Protocol::H11;
+    }
+    let shards = &site.shard_hosts;
+    let mut fp_seen = 0usize;
+    for r in resources.iter_mut().skip(1) {
+        let first_party = r.host == site.root_host || shards.contains(&r.host);
+        if !first_party {
+            continue;
+        }
+        if r.protocol != Protocol::NA {
+            r.protocol = Protocol::H11;
+        }
+        if !shards.is_empty() {
+            r.host = shards[fp_seen % shards.len()].clone();
+            fp_seen += 1;
         }
     }
 }
@@ -799,6 +863,7 @@ mod tests {
             sites: 300,
             tranco_total: 500_000,
             seed: 42,
+            ..Default::default()
         })
     }
 
@@ -832,6 +897,7 @@ mod tests {
             sites: 3_000,
             tranco_total: 500_000,
             seed: 7,
+            ..Default::default()
         });
         let cf = d.sites().iter().filter(|s| s.provider == Some(1)).count() as f64
             / d.sites().len() as f64;

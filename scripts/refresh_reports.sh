@@ -10,6 +10,10 @@
 #                                 rank-3 visit (EXPERIMENTS.md tracing)
 #   reports/faults_reference.json resilience report for the reference
 #                                 fault profile (EXPERIMENTS.md faults)
+#   reports/redundancy_reference.json
+#                                 redundant-connections report for the
+#                                 reference mixed universe (25% legacy;
+#                                 EXPERIMENTS.md redundancy)
 #
 # The full reference run matches EXPERIMENTS.md (6,000 sites, seed
 # 0x0516, one thread — thread count only affects wall clock, but the
@@ -41,5 +45,10 @@ echo "refresh: resilience report (reference fault profile)…" >&2
 target/release/repro --sites 2000 --faults drop=0.01,h421=0.005,middlebox=0.1 \
     --faults-report reports/faults_reference.json --only t1 >/dev/null 2>&1
 jq -e '.fault_counters."fault.retries" > 0' reports/faults_reference.json >/dev/null
+
+echo "refresh: redundancy report (reference mixed universe, 25% legacy)…" >&2
+target/release/repro --sites 2000 --legacy-share 0.25 \
+    --redundancy-report reports/redundancy_reference.json --only t3 >/dev/null 2>&1
+jq -e '.h1.connections_opened > 0' reports/redundancy_reference.json >/dev/null
 
 echo "refresh: done — review the diff, then commit reports/" >&2

@@ -517,3 +517,65 @@ fn faulted_crawls_terminate_and_stay_deterministic() {
         }
     }
 }
+
+// ---- mixed-protocol universe ----
+
+/// Seeded sweep over legacy shares × thread counts: every
+/// mixed-protocol crawl terminates, the legacy re-layout never adds or
+/// drops a request (an h1 request is still ONE request in the
+/// characterization, never double-counted by keep-alive reuse or a
+/// close-delimited reconnect), the h1 bookkeeping balances, and the
+/// merged output — metrics and redundancy report included — is
+/// byte-identical at 1, 2, and 8 workers.
+#[test]
+fn mixed_crawls_terminate_and_stay_deterministic() {
+    use origin_bench::{run_crawl_mixed, RedundancyReport};
+    const SITES: u32 = 80;
+    const SEED: u64 = 0x11FA;
+
+    let clean = run_crawl_mixed(SITES, SEED, 2, None, None, 0.0);
+    let mut rng = SimRng::seed_from_u64(0x5EED_11FA);
+    let mut shares = vec![0.0, 1.0];
+    for _ in 0..3 {
+        shares.push(rng.range_f64(0.05, 0.95));
+    }
+    for &share in &shares {
+        let one = run_crawl_mixed(SITES, SEED, 1, None, None, share);
+        let two = run_crawl_mixed(SITES, SEED, 2, None, None, share);
+        let eight = run_crawl_mixed(SITES, SEED, 8, None, None, share);
+        // Re-hosting assets onto legacy shards changes where requests
+        // go, never how many there are.
+        assert_eq!(
+            one.characterization.total_requests, clean.characterization.total_requests,
+            "share {share}: request count changed"
+        );
+        assert_eq!(one.characterization.pages, clean.characterization.pages);
+        assert_eq!(one.measured.plt.len(), clean.measured.plt.len());
+        // Every h1 request is accounted for exactly once: it opened a
+        // connection, reused a kept-alive one, or coalesced (the pool
+        // lets ideal policies merge h1 requests; those never touch the
+        // machine).
+        let report = RedundancyReport::build(&one, share);
+        assert!(
+            report.h1_requests >= report.h1_connections + report.keepalive_reuse,
+            "share {share}: h1 bookkeeping overflows the request count"
+        );
+        if share == 0.0 {
+            assert_eq!(report.h1_requests, 0);
+            assert!(report.redundant.iter().all(|&(_, v)| v == 0));
+        } else {
+            assert!(report.legacy_pages > 0, "share {share}: no legacy pages");
+            assert!(report.h1_connections > 0);
+        }
+        // Thread-count invariance, down to the serialized bytes.
+        let json = one.metrics.to_json();
+        assert_eq!(json, two.metrics.to_json(), "share {share}: 1 vs 2");
+        assert_eq!(json, eight.metrics.to_json(), "share {share}: 1 vs 8");
+        assert_eq!(one.measured.plt, eight.measured.plt, "share {share}");
+        assert_eq!(
+            report.to_json(),
+            RedundancyReport::build(&eight, share).to_json(),
+            "share {share}: redundancy report diverged"
+        );
+    }
+}
