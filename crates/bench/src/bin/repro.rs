@@ -37,14 +37,29 @@
 //! deterministic JSON. At `--legacy-share 0` (the default) output is
 //! byte-identical to a build without the flag.
 //!
+//! `--timeline <path>` streams the crawl through the `origin-obs`
+//! tumbling-window aggregator and writes the time-series JSON
+//! (per-window counters, rates, and quantile sketches with trace
+//! exemplars; see DESIGN.md §15). `--window MS` overrides the window
+//! width. `--flight-recorder <path>` arms the bounded flight recorder:
+//! with `--fault-abort N`, the first (lowest-ranked) visit whose
+//! injected-fault count reaches N has its events snapshotted to the
+//! path and the run exits with status 3. All observability output is
+//! byte-identical for any `--threads`, and a run without these flags
+//! produces byte-identical output to a build without them.
+//!
+//! `repro watch --site-range A-B` renders the windows covering a rank
+//! range as a deterministic ASCII dashboard (sparklines + per-window
+//! rows) instead of the paper tables.
+//!
 //! ids: t1 t2 t3 t4 t5 t6 t7 t8 t9 f1 f2 f3 f4 f5 f6 f7a f7b f8 f9
 //!      passive-ip passive-origin incident ct privacy scheduling
 //!
 //! With no `--only`, everything is produced in paper order.
 
 use origin_bench::{
-    asn_label, run_crawl_mixed, run_crawl_traced, trace_site, CrawlResults, RedundancyReport,
-    ResilienceReport,
+    asn_label, run_crawl_mixed, run_crawl_observed, run_crawl_traced, trace_site, CrawlResults,
+    ObsConfig, RedundancyReport, ResilienceReport,
 };
 use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
 use origin_cdn::{
@@ -53,7 +68,7 @@ use origin_cdn::{
 };
 use origin_core::model::{predict, CoalescingGrouping};
 use origin_metrics::Registry;
-use origin_netsim::{FaultProfile, SimRng};
+use origin_netsim::{FaultProfile, SimDuration, SimRng};
 use origin_stats::table::{pct_change, TextTable};
 use origin_stats::Cdf;
 use origin_tls::CtLogSet;
@@ -72,10 +87,15 @@ struct Args {
     faults_report: Option<String>,
     legacy_share: f64,
     redundancy_report: Option<String>,
+    timeline: Option<String>,
+    window_ms: Option<u64>,
+    fault_abort: Option<u64>,
+    flight_recorder: Option<String>,
 }
 
-const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--legacy-share P [--redundancy-report path]] [--only id...]
+const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--legacy-share P [--redundancy-report path]] [--timeline path [--window MS]] [--flight-recorder path [--fault-abort N]] [--only id...]
        repro trace --site RANK [--format perfetto|har|ascii] [--sites N] [--seed S] [--out path]
+       repro watch --site-range A-B [--sites N] [--seed S] [--threads N] [--window MS] [--faults spec] [--legacy-share P] [--out path]
        fault spec: comma-separated key=rate, keys drop corrupt h421 middlebox (e.g. drop=0.01,h421=0.005,middlebox=0.1)";
 
 /// Every id `--only` accepts.
@@ -141,6 +161,10 @@ fn parse_args() -> Args {
         faults_report: None,
         legacy_share: 0.0,
         redundancy_report: None,
+        timeline: None,
+        window_ms: None,
+        fault_abort: None,
+        flight_recorder: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.into_iter().peekable();
@@ -192,6 +216,24 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--redundancy-report requires a path")),
                 )
             }
+            "--timeline" => {
+                args.timeline = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--timeline requires a path")),
+                )
+            }
+            "--window" => {
+                args.window_ms = Some(parse_value("--window", it.next(), |&ms: &u64| ms > 0))
+            }
+            "--fault-abort" => {
+                args.fault_abort = Some(parse_value("--fault-abort", it.next(), |&n: &u64| n > 0))
+            }
+            "--flight-recorder" => {
+                args.flight_recorder = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--flight-recorder requires a path")),
+                )
+            }
             "--only" => {
                 // Consume ids up to (but not including) the next flag.
                 while let Some(tok) = it.peek() {
@@ -226,7 +268,29 @@ fn parse_args() -> Args {
     if args.faults_report.is_some() && args.faults.is_none() {
         die("--faults-report requires --faults");
     }
+    if args.window_ms.is_some() && args.timeline.is_none() {
+        die("--window requires --timeline");
+    }
+    if args.fault_abort.is_some() && args.flight_recorder.is_none() {
+        die("--fault-abort requires --flight-recorder");
+    }
     args
+}
+
+/// The streaming-observability configuration the flags describe, or
+/// `None` when the run is unobserved (no obs state allocated at all).
+fn obs_config(args: &Args) -> Option<ObsConfig> {
+    if args.timeline.is_none() && args.flight_recorder.is_none() {
+        return None;
+    }
+    Some(ObsConfig {
+        window: args.window_ms.map(SimDuration::from_millis),
+        fault_abort: args.fault_abort,
+        // A worker panic dumps the dying visit's flight events to the
+        // recorder path (normal completion overwrites it with the
+        // trigger snapshot, if any).
+        panic_dump: args.flight_recorder.as_ref().map(std::path::PathBuf::from),
+    })
 }
 
 fn want(args: &Args, id: &str) -> bool {
@@ -247,6 +311,12 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace") {
         cmd_trace(&argv[1..]);
+        return;
+    }
+    // `repro watch …` renders the live-series dashboard for a rank
+    // range instead of the paper tables.
+    if argv.first().map(String::as_str) == Some("watch") {
+        cmd_watch(&argv[1..]);
         return;
     }
     let args = parse_args();
@@ -270,9 +340,13 @@ fn main() {
     .iter()
     .any(|id| want(&args, id))
         // A fault profile always needs the crawl: the resilience
-        // report is drawn from it. Likewise the redundancy report.
+        // report is drawn from it. Likewise the redundancy report and
+        // the streaming-observability outputs.
         || args.faults.is_some()
-        || args.redundancy_report.is_some();
+        || args.redundancy_report.is_some()
+        || args.timeline.is_some()
+        || args.flight_recorder.is_some();
+    let obs = obs_config(&args);
 
     let mut crawl = needs_crawl.then(|| {
         eprintln!(
@@ -292,13 +366,14 @@ fn main() {
         );
         let t = std::time::Instant::now();
         let sampler = run_trace.is_some().then_some(args.sample);
-        let r = run_crawl_mixed(
+        let r = run_crawl_observed(
             args.sites,
             args.seed,
             args.threads,
             sampler.as_ref(),
             args.faults.as_ref(),
             args.legacy_share,
+            obs.as_ref(),
         );
         ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
         r
@@ -525,6 +600,44 @@ fn main() {
             Err(e) => eprintln!("# failed to write {path}: {e}"),
         }
     }
+    // Streaming-observability exports: the windowed time series and,
+    // when a fault-abort threshold was hit, the flight-recorder
+    // snapshot of the lowest-ranked triggering visit.
+    let mut fault_aborted = false;
+    if let (Some(path), Some(r)) = (&args.timeline, &crawl) {
+        if let Some(tl) = &r.timeline {
+            match std::fs::write(path, tl.to_json()) {
+                Ok(()) => eprintln!(
+                    "# wrote timeline to {path} ({} windows, {} visits, window {}ms)",
+                    tl.num_windows(),
+                    tl.total_visits(),
+                    tl.window_width().as_micros() / 1_000
+                ),
+                Err(e) => eprintln!("# failed to write {path}: {e}"),
+            }
+        }
+    }
+    if let (Some(path), Some(r)) = (&args.flight_recorder, &crawl) {
+        if let Some(rec) = &r.flight {
+            let threshold = args.fault_abort.unwrap_or(0);
+            match rec.trigger_snapshot_json(threshold) {
+                Some(snapshot) => {
+                    fault_aborted = true;
+                    let rank = rec.trigger().map(|t| t.rank).unwrap_or(0);
+                    match std::fs::write(path, snapshot) {
+                        Ok(()) => eprintln!(
+                            "# fault-abort: visit rank {rank} reached {threshold} fault events; wrote flight snapshot to {path}"
+                        ),
+                        Err(e) => eprintln!("# failed to write {path}: {e}"),
+                    }
+                }
+                None => eprintln!(
+                    "# flight recorder: {} events observed, no visit reached the abort threshold",
+                    rec.events_recorded()
+                ),
+            }
+        }
+    }
     if let (Some(path), Some(r)) = (&args.json, &crawl) {
         export_json(path, r);
     }
@@ -556,6 +669,103 @@ fn main() {
             Ok(()) => eprintln!("# wrote metrics to {path}"),
             Err(e) => eprintln!("# failed to write {path}: {e}"),
         }
+    }
+    // Abort status last, after every requested artifact is on disk.
+    if fault_aborted {
+        std::process::exit(3);
+    }
+}
+
+/// `repro watch --site-range A-B [--sites N] [--seed S] [--threads N]
+/// [--window MS] [--faults spec] [--legacy-share P] [--out path]`:
+/// run the observed crawl and render the windows covering the rank
+/// range as a deterministic ASCII dashboard.
+fn cmd_watch(argv: &[String]) {
+    let mut range: Option<(u32, u32)> = None;
+    let mut sites: u32 = 4_000;
+    let mut seed: u64 = 0x0516;
+    let mut threads: usize = 0;
+    let mut window_ms: Option<u64> = None;
+    let mut faults: Option<FaultProfile> = None;
+    let mut legacy_share: f64 = 0.0;
+    let mut out: Option<String> = None;
+    let mut it = argv.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--site-range" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--site-range requires A-B"));
+                let parsed = raw
+                    .split_once('-')
+                    .and_then(|(a, b)| Some((a.parse::<u32>().ok()?, b.parse::<u32>().ok()?)));
+                range = match parsed {
+                    Some((lo, hi)) if lo <= hi => Some((lo, hi)),
+                    _ => die(&format!(
+                        "invalid value {raw:?} for --site-range (want A-B, A <= B)"
+                    )),
+                };
+            }
+            "--sites" => sites = parse_value("--sites", it.next(), |&n: &u32| n > 0),
+            "--seed" => seed = parse_value("--seed", it.next(), |_| true),
+            "--threads" => threads = parse_value("--threads", it.next(), |&n: &usize| n > 0),
+            "--window" => window_ms = Some(parse_value("--window", it.next(), |&ms: &u64| ms > 0)),
+            "--faults" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| die("--faults requires a profile spec"));
+                faults = Some(
+                    FaultProfile::parse(&raw)
+                        .unwrap_or_else(|e| die(&format!("invalid --faults spec: {e}"))),
+                );
+            }
+            "--legacy-share" => {
+                legacy_share = parse_value("--legacy-share", it.next(), |&p: &f64| {
+                    (0.0..=1.0).contains(&p)
+                })
+            }
+            "--out" => out = Some(it.next().unwrap_or_else(|| die("--out requires a path"))),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?} for repro watch")),
+        }
+    }
+    let (lo, hi) = range.unwrap_or_else(|| die("repro watch requires --site-range A-B"));
+    if hi >= sites {
+        die(&format!(
+            "--site-range {lo}-{hi} exceeds the dataset ({sites} sites; ranks 0..={})",
+            sites - 1
+        ));
+    }
+    if threads == 0 {
+        threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    }
+    let obs = ObsConfig {
+        window: window_ms.map(SimDuration::from_millis),
+        fault_abort: None,
+        panic_dump: None,
+    };
+    let r = run_crawl_observed(
+        sites,
+        seed,
+        threads,
+        None,
+        faults.as_ref(),
+        legacy_share,
+        Some(&obs),
+    );
+    let timeline = r
+        .timeline
+        .expect("observed crawl always produces a timeline");
+    let body = origin_obs::dashboard::render(&timeline, lo, hi);
+    match out {
+        Some(path) => match std::fs::write(&path, &body) {
+            Ok(()) => eprintln!("# wrote dashboard to {path}"),
+            Err(e) => die(&format!("failed to write {path}: {e}")),
+        },
+        None => print!("{body}"),
     }
 }
 

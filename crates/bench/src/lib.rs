@@ -18,7 +18,9 @@ use origin_core::model::predict_counts3;
 #[cfg(test)]
 use origin_core::model::{predict_counts, CoalescingGrouping};
 use origin_metrics::Registry;
-use origin_netsim::{FaultProfile, SimRng};
+use origin_netsim::{FaultProfile, SimDuration, SimRng};
+use origin_obs::window::{DEFAULT_SPACING, DEFAULT_WINDOW};
+use origin_obs::{FlightRecorder, Timeline, VisitObs, VisitSinks};
 use origin_trace::{Sampler, Tracer};
 use origin_webgen::{Dataset, DatasetConfig, SiteConfig, PROVIDERS};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -90,6 +92,56 @@ pub struct CrawlResults {
     /// spine as everything else, so the buffer — and its exported
     /// JSON — is byte-identical for any thread count.
     pub trace: Tracer,
+    /// Streaming timeline aggregate (present when the crawl ran with
+    /// an [`ObsConfig`]). Window-keyed merge is order-free, so the
+    /// timeline — and its exported JSON — is byte-identical for any
+    /// thread count.
+    pub timeline: Option<Timeline>,
+    /// Merged flight recorder (present when the crawl ran with an
+    /// [`ObsConfig`]): carries the crawl-wide event count and, if any
+    /// visit reached the fault-abort threshold, the lowest-ranked
+    /// trigger's captured events.
+    pub flight: Option<FlightRecorder>,
+}
+
+/// Streaming-observability configuration for an observed crawl.
+#[derive(Debug, Clone, Default)]
+pub struct ObsConfig {
+    /// Tumbling-window width; `None` uses
+    /// [`origin_obs::window::DEFAULT_WINDOW`].
+    pub window: Option<SimDuration>,
+    /// Fault-abort threshold: a visit whose injected-fault event count
+    /// reaches this is captured by the flight recorder (the lowest
+    /// such rank wins across shards). `None` disables capture.
+    pub fault_abort: Option<u64>,
+    /// Write the current visit's flight events here if a crawl worker
+    /// panics (best-effort crash forensics).
+    pub panic_dump: Option<std::path::PathBuf>,
+}
+
+/// Per-shard streaming-observability accumulators, plus the reused
+/// per-visit observation scratch.
+struct ObsAccum {
+    timeline: Timeline,
+    flight: FlightRecorder,
+    visit: VisitObs,
+    fault_abort: Option<u64>,
+}
+
+impl ObsAccum {
+    fn new(config: &ObsConfig) -> Self {
+        ObsAccum {
+            timeline: Timeline::new(config.window.unwrap_or(DEFAULT_WINDOW), DEFAULT_SPACING),
+            flight: FlightRecorder::new(origin_obs::flight::DEFAULT_CAPACITY),
+            visit: VisitObs::default(),
+            fault_abort: config.fault_abort,
+        }
+    }
+
+    fn merge(&mut self, other: &ObsAccum) {
+        self.timeline.merge(&other.timeline);
+        self.flight.merge(&other.flight);
+    }
 }
 
 /// One shard's worth of crawl output: every accumulator a worker fills
@@ -105,10 +157,11 @@ struct ShardAccum {
     effective: EffectiveChanges,
     metrics: Registry,
     trace: Tracer,
+    obs: Option<ObsAccum>,
 }
 
 impl ShardAccum {
-    fn new(sites: u32, tranco_total: u32) -> Self {
+    fn new(sites: u32, tranco_total: u32, obs: Option<&ObsConfig>) -> Self {
         ShardAccum {
             characterization: Characterization::new(sites, tranco_total),
             measured: SeriesSamples::default(),
@@ -119,6 +172,7 @@ impl ShardAccum {
             effective: EffectiveChanges::new(),
             metrics: Registry::new(),
             trace: Tracer::new(),
+            obs: obs.map(ObsAccum::new),
         }
     }
 
@@ -132,6 +186,9 @@ impl ShardAccum {
         self.effective.merge(other.effective);
         self.metrics.merge(&other.metrics);
         self.trace.merge(other.trace);
+        if let (Some(mine), Some(theirs)) = (self.obs.as_mut(), other.obs.as_ref()) {
+            mine.merge(theirs);
+        }
     }
 }
 
@@ -171,6 +228,15 @@ fn crawl_site(
     // stays exact under any profile (and an all-zero profile draws
     // nothing at all).
     let mut fault_session = faults.map(|p| FaultSession::new(*p, site.page_seed ^ 0xFA017CE5));
+    // Streaming observability rides in the shard accumulator: give the
+    // flight recorder its visit context and reset the per-visit
+    // observation scratch before the load fills both.
+    if let Some(o) = acc.obs.as_mut() {
+        o.flight.begin_visit(site.rank);
+        o.flight
+            .record(0, "visit.begin", site.rank as u64, site.root_host.as_str());
+        o.visit.clear();
+    }
     // Tracing observes the simulation without touching its RNG, so a
     // traced load returns the same PageLoad as an untraced one; the
     // sample set is a pure function of each site's rank.
@@ -179,7 +245,7 @@ fn crawl_site(
             site.rank as u64,
             &format!("site-{} {}", site.rank, site.root_host.as_str()),
         );
-        loader.load_faulted_with(
+        loader.load_observed(
             &page,
             env,
             &mut rng,
@@ -187,9 +253,10 @@ fn crawl_site(
             Some(&mut acc.metrics),
             Some(&mut acc.trace),
             arena,
+            sinks_of(acc.obs.as_mut()),
         )
     } else {
-        loader.load_faulted_with(
+        loader.load_observed(
             &page,
             env,
             &mut rng,
@@ -197,9 +264,11 @@ fn crawl_site(
             Some(&mut acc.metrics),
             None,
             arena,
+            sinks_of(acc.obs.as_mut()),
         )
     };
-    env.take_resolver_stats().record_into(&mut acc.metrics);
+    let resolver_stats = env.take_resolver_stats();
+    resolver_stats.record_into(&mut acc.metrics);
     acc.characterization.add(&page, &load);
     acc.measured
         .push(load.dns_queries(), load.tls_connections(), load.plt());
@@ -213,6 +282,26 @@ fn crawl_site(
     acc.model_origin
         .push(origin.dns_queries, origin.tls_connections, origin.plt_ms);
     acc.model_cdn_plt.push(cdn.plt_ms);
+
+    // Complete the visit's observation with the pieces the loader
+    // can't see — resolver stats and model predictions — then fold it
+    // into the timeline and arm the fault-abort trigger.
+    if let Some(o) = acc.obs.as_mut() {
+        let v = &mut o.visit;
+        resolver_stats.record_obs(v);
+        v.model_ip_tls = ip.tls_connections;
+        v.model_origin_tls = origin.tls_connections;
+        v.plt_ideal_ip_us = origin_web::har::ms_to_us(ip.plt_ms);
+        v.plt_ideal_origin_us = origin_web::har::ms_to_us(origin.plt_ms);
+        o.flight
+            .record(v.plt_us, "visit.end", v.plt_us, site.root_host.as_str());
+        o.timeline.record_visit(v);
+        if o.fault_abort
+            .is_some_and(|threshold| v.fault_events >= threshold)
+        {
+            o.flight.capture_trigger();
+        }
+    }
 
     // §4.3: certificate plan. `plan_site` always passes the root host
     // as the closure's first argument, so its registrable suffix and
@@ -318,6 +407,42 @@ pub fn run_crawl_mixed(
     faults: Option<&FaultProfile>,
     legacy_share: f64,
 ) -> CrawlResults {
+    run_crawl_observed(sites, seed, threads, sampler, faults, legacy_share, None)
+}
+
+/// Borrow a shard's observability sinks for one page load (the merge
+/// identity — both sinks absent — when the crawl runs unobserved).
+fn sinks_of(obs: Option<&mut ObsAccum>) -> VisitSinks<'_> {
+    match obs {
+        Some(o) => VisitSinks {
+            flight: Some(&mut o.flight),
+            visit: Some(&mut o.visit),
+        },
+        None => VisitSinks::default(),
+    }
+}
+
+/// [`run_crawl_mixed`] plus streaming observability: when `obs` is set,
+/// every visit feeds a tumbling-window [`Timeline`] on the open-loop
+/// simulated timeline and a bounded per-worker [`FlightRecorder`], and
+/// the merged results carry both (see [`CrawlResults::timeline`]).
+///
+/// The timeline's window-keyed merge is commutative and associative, so
+/// the observed output — like everything else here — is byte-identical
+/// at any thread count. Passing `None` makes this exactly
+/// [`run_crawl_mixed`]: no observation state is allocated, no `obs.*`
+/// counters materialize, and every exported byte matches an unobserved
+/// crawl. Every crawl entry point bottoms out here.
+#[allow(clippy::too_many_arguments)] // the full crawl matrix: world, policies, observation
+pub fn run_crawl_observed(
+    sites: u32,
+    seed: u64,
+    threads: usize,
+    sampler: Option<&Sampler>,
+    faults: Option<&FaultProfile>,
+    legacy_share: f64,
+    obs: Option<&ObsConfig>,
+) -> CrawlResults {
     let threads = threads.max(1);
     let origin_advertised = faults.is_some_and(|p| p.middlebox > 0.0);
     let config = DatasetConfig {
@@ -361,19 +486,40 @@ pub fn run_crawl_mixed(
                     // leaving trailing chunks empty (merge identity).
                     let start = (chunk * chunk_size).min(site_cfgs.len());
                     let end = (start + chunk_size).min(site_cfgs.len());
-                    let mut acc = ShardAccum::new(sites, config.tranco_total);
-                    for site in &site_cfgs[start..end] {
-                        crawl_site(
-                            &dataset,
-                            &loader,
-                            &mut env,
-                            site,
-                            &mut acc,
-                            sampler,
-                            faults,
-                            &mut scratch,
-                            &mut arena,
-                        );
+                    let mut acc = ShardAccum::new(sites, config.tranco_total, obs);
+                    let mut run = |acc: &mut ShardAccum| {
+                        for site in &site_cfgs[start..end] {
+                            crawl_site(
+                                &dataset,
+                                &loader,
+                                &mut env,
+                                site,
+                                acc,
+                                sampler,
+                                faults,
+                                &mut scratch,
+                                &mut arena,
+                            );
+                        }
+                    };
+                    match obs.and_then(|o| o.panic_dump.as_ref()) {
+                        // Crash forensics: if a visit panics, dump the
+                        // worker's ring — ending with the events of the
+                        // visit that died — before propagating.
+                        Some(dump_path) => {
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run(&mut acc)
+                                }));
+                            if let Err(payload) = caught {
+                                if let Some(o) = acc.obs.as_ref() {
+                                    let _ =
+                                        std::fs::write(dump_path, o.flight.panic_snapshot_json());
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                        None => run(&mut acc),
                     }
                     *slots[chunk]
                         .lock()
@@ -384,7 +530,9 @@ pub fn run_crawl_mixed(
     });
 
     // Rank-ordered merge: chunk 0, 1, 2, … — the deterministic spine.
-    let mut total = ShardAccum::new(sites, config.tranco_total);
+    // (The timeline and flight merges are order-free anyway; riding the
+    // same spine costs nothing and keeps one mental model.)
+    let mut total = ShardAccum::new(sites, config.tranco_total, obs);
     for slot in slots {
         let acc = slot
             .into_inner()
@@ -396,7 +544,23 @@ pub fn run_crawl_mixed(
     // Crawl-wide totals recorded once, after the rank-ordered merge.
     total.characterization.record_into(&mut total.metrics);
     total.plan.record_into(&mut total.metrics);
+    // Observability counters exist only on observed runs, so an
+    // unobserved export stays byte-identical to the pre-obs schema —
+    // the same absent-subsystem rule `fault.*`/`h1.*` follow.
+    if let Some(o) = &total.obs {
+        total
+            .metrics
+            .add("obs.flight_events", o.flight.events_recorded());
+        total.metrics.add("obs.visits", o.timeline.total_visits());
+        total
+            .metrics
+            .add("obs.windows", o.timeline.num_windows() as u64);
+    }
 
+    let (timeline, flight) = match total.obs {
+        Some(o) => (Some(o.timeline), Some(o.flight)),
+        None => (None, None),
+    };
     CrawlResults {
         dataset,
         characterization: total.characterization,
@@ -408,6 +572,8 @@ pub fn run_crawl_mixed(
         effective: total.effective,
         metrics: total.metrics,
         trace: total.trace,
+        timeline,
+        flight,
     }
 }
 

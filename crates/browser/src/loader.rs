@@ -338,10 +338,51 @@ impl PageLoader {
         page: &Page,
         env: &mut dyn WebEnv,
         rng: &mut SimRng,
+        faults: Option<&mut FaultSession>,
+        metrics: Option<&mut origin_metrics::Registry>,
+        tracer: Option<&mut origin_trace::Tracer>,
+        arena: &mut VisitArena,
+    ) -> PageLoad {
+        self.load_observed(
+            page,
+            env,
+            rng,
+            faults,
+            metrics,
+            tracer,
+            arena,
+            origin_obs::VisitSinks::default(),
+        )
+    }
+
+    /// [`PageLoader::load_faulted_with`] plus streaming observability:
+    /// with `sinks.flight` set, the load's notable events — connection
+    /// opens, injected faults and their recoveries, h1 close-delimited
+    /// teardowns, NXDOMAIN lookups — are appended to the caller's
+    /// bounded [`origin_obs::FlightRecorder`] as they happen; with
+    /// `sinks.visit` set, the completed load's per-visit observation
+    /// (request/connection/fault/h1 counters, PLT, handshake and byte
+    /// events with trace-span exemplar references) is derived into the
+    /// caller's [`origin_obs::VisitObs`].
+    ///
+    /// The caller owns the visit context: call
+    /// [`origin_obs::FlightRecorder::begin_visit`] with the site's
+    /// rank before loading, and [`origin_obs::VisitObs::clear`] the
+    /// observation between visits. Observation reads the same state
+    /// the simulation computes and never draws from `rng`, so an
+    /// observed load returns a [`PageLoad`] identical to an
+    /// unobserved one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn load_observed(
+        &self,
+        page: &Page,
+        env: &mut dyn WebEnv,
+        rng: &mut SimRng,
         mut faults: Option<&mut FaultSession>,
         metrics: Option<&mut origin_metrics::Registry>,
         tracer: Option<&mut origin_trace::Tracer>,
         arena: &mut VisitArena,
+        sinks: origin_obs::VisitSinks<'_>,
     ) -> PageLoad {
         let before = faults.as_deref().map(|f| f.counts).unwrap_or_default();
         let mut h1 = H1Stats::default();
@@ -353,12 +394,17 @@ impl PageLoader {
             faults.as_deref_mut(),
             arena,
             &mut h1,
+            sinks.flight,
         );
+        let delta = faults.as_deref().map(|f| f.counts.since(&before));
+        if let Some(v) = sinks.visit {
+            observe_visit(v, page, &load, &h1, delta.as_ref());
+        }
         if let Some(metrics) = metrics {
             record_page_metrics(&load, metrics);
             record_h1_metrics(&h1, metrics);
-            if let Some(f) = faults.as_deref() {
-                record_fault_metrics(&f.counts.since(&before), metrics);
+            if let Some(delta) = &delta {
+                record_fault_metrics(delta, metrics);
             }
         }
         load
@@ -374,6 +420,7 @@ impl PageLoader {
         mut faults: Option<&mut FaultSession>,
         arena: &mut VisitArena,
         h1: &mut H1Stats,
+        mut flight: Option<&mut origin_obs::FlightRecorder>,
     ) -> PageLoad {
         let n = page.resources.len();
         h1.pages += u64::from(page.legacy);
@@ -440,6 +487,7 @@ impl PageLoader {
                 &mut arena.conn_open_us,
                 &mut arena.h1_sessions,
                 h1,
+                flight.as_deref_mut(),
             );
             arena.ready[idx] = timing.end();
             timings.push(timing);
@@ -466,6 +514,7 @@ impl PageLoader {
         conn_open_us: &mut Vec<u64>,
         h1_sessions: &mut Vec<Option<H1Connection>>,
         h1: &mut H1Stats,
+        mut flight: Option<&mut origin_obs::FlightRecorder>,
     ) -> RequestTiming {
         let res = &page.resources[idx];
         // A legacy page's HTTP/1.1 requests drive the sans-IO state
@@ -562,6 +611,9 @@ impl PageLoader {
                 }
                 None => {
                     // NXDOMAIN: the request fails after the lookup.
+                    if let Some(rec) = flight.as_deref_mut() {
+                        rec.record(ms_us(start), "dns.nxdomain", idx as u64, host.as_str());
+                    }
                     if let Some(t) = tracer.as_deref_mut() {
                         t.complete(
                             &format!("req {} {}", idx, host.as_str()),
@@ -627,6 +679,9 @@ impl PageLoader {
                 f.counts.misdirected_421 += 1;
                 f.counts.pool_evictions += 1;
                 f.counts.retries += 1;
+                if let Some(rec) = flight.as_deref_mut() {
+                    rec.record(ms_us(start + dns_ms), "fault.421", i as u64, host.as_str());
+                }
                 if let Some(t) = tracer.as_deref_mut() {
                     t.set_tid(1 + i as u64);
                     t.instant_at(
@@ -751,6 +806,14 @@ impl PageLoader {
                             } else {
                                 0.0
                             };
+                        if let Some(rec) = flight.as_deref_mut() {
+                            rec.record(
+                                ms_us(start + dns_ms + fault_penalty_ms + wasted),
+                                "fault.middlebox_teardown",
+                                u64::from(ORIGIN_FRAME_TYPE),
+                                host.as_str(),
+                            );
+                        }
                         if let Some(t) = tracer.as_deref_mut() {
                             t.set_tid(1 + pool.len() as u64);
                             t.instant_at(
@@ -887,6 +950,9 @@ impl PageLoader {
                 let i = pool.insert(conn);
                 conn_open_us.push(ms_us(setup_start));
                 h1_sessions.push(None);
+                if let Some(rec) = flight.as_deref_mut() {
+                    rec.record(ms_us(setup_start), "conn.open", i as u64, host.as_str());
+                }
                 i
             }
         };
@@ -924,6 +990,14 @@ impl PageLoader {
                 f.counts.retries += 1;
                 let backoff = RETRY_BASE_MS * f64::from(1u32 << attempt);
                 let redo = backoff + link.rtt.as_millis_f64();
+                if let Some(rec) = flight.as_deref_mut() {
+                    rec.record(
+                        ms_us(start + phase.total()),
+                        "fault.backoff",
+                        u64::from(attempt + 1),
+                        host.as_str(),
+                    );
+                }
                 if let Some(t) = tracer.as_deref_mut() {
                     t.set_tid(1 + conn_idx as u64);
                     t.complete(
@@ -994,6 +1068,14 @@ impl PageLoader {
                     .expect("close ends a close-delimited body");
                 conn.closed = true;
                 h1.close_delimited += 1;
+                if let Some(rec) = flight {
+                    rec.record(
+                        ms_us(start + phase.total()),
+                        H1Event::ConnectionClosed.code(),
+                        sess.cycles_completed(),
+                        host.as_str(),
+                    );
+                }
                 h1_framing = Some(("close-delimited", sess.cycles_completed()));
             } else {
                 sess.receive(&H1Event::Response(H1Response::with_content_length(
@@ -1170,6 +1252,69 @@ fn record_page_metrics(load: &PageLoad, metrics: &mut origin_metrics::Registry) 
         opened,
     );
     metrics.record_phase("sim.page", SimDuration::from_millis_f64(load.plt()));
+}
+
+/// Derive one visit's streaming observation from a completed load.
+/// Everything written is a pure function of the page, the load, and
+/// the visit's fault delta — the same inputs the metrics recording
+/// reads — so the observation is shard-independent by the same
+/// argument. Exemplar span references are minted with
+/// [`origin_trace::span_ref`] in the visit's namespace: the trace
+/// process is the site rank, the low bits are the resource index, so
+/// `repro trace --site <rank>` shows the span `req <index> <host>`
+/// the exemplar points at.
+fn observe_visit(
+    v: &mut origin_obs::VisitObs,
+    page: &Page,
+    load: &PageLoad,
+    h1: &H1Stats,
+    faults: Option<&FaultCounts>,
+) {
+    let rank = load.rank;
+    v.rank = rank;
+    let mut plt_end = 0u64;
+    let mut plt_idx = 0usize;
+    for r in &load.requests {
+        let idx = r.resource_index;
+        let span = origin_trace::span_ref(rank as u64, idx as u64);
+        v.requests += 1;
+        v.coalesced_requests += u64::from(r.coalesced);
+        v.connections_opened += r.new_connection as u64 + u64::from(r.extra_connections);
+        if r.protocol == Protocol::NA {
+            continue;
+        }
+        let [blocked, dns, connect, ssl, ..] = r.phase.quantised_us();
+        if r.new_connection {
+            let handshake = connect + ssl;
+            if handshake > 0 {
+                v.handshakes
+                    .push((r.start_us() + blocked + dns, handshake, span));
+            }
+        }
+        v.bytes.push((r.end_us(), page.resources[idx].size, span));
+        if r.end_us() > plt_end {
+            plt_end = r.end_us();
+            plt_idx = idx;
+        }
+    }
+    v.plt_us = load.plt_us();
+    v.plt_span = origin_trace::span_ref(rank as u64, plt_idx as u64);
+    v.measured_tls = load.tls_connections();
+    v.h1_connections = h1.connections_opened;
+    v.h1_requests = h1.requests;
+    v.h1_redundant = h1.redundant;
+    if let Some(delta) = faults {
+        let events =
+            delta.misdirected_421 + delta.middlebox_teardowns + delta.drops + delta.corruptions;
+        v.fault_misdirected_421 = delta.misdirected_421;
+        v.fault_events = events;
+        // Recovery is bounded by construction — every injected fault
+        // is replayed, reconnected, or force-delivered within
+        // MAX_TRANSFER_RETRIES — so today every event counts as
+        // recovered and the SLO gate pins the rate at 1.0. A future
+        // failure mode that gives up would diverge here.
+        v.fault_recoveries = events;
+    }
 }
 
 /// Fold one visit's HTTP/1.1 counters into the registry. Zero values

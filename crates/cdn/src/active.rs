@@ -280,12 +280,38 @@ impl ActiveMeasurement {
     /// stay far below this.
     pub const WIRE_PID_BASE: u64 = 1 << 22;
 
+    /// Like [`ActiveMeasurement::wire_spot_check_metrics`] but also
+    /// appends one `h2.wire` flight event per checked connection side
+    /// to `flight`, attributed to the check's reserved visit band.
+    /// The loop is sequential and rank-ordered, so the recorder's
+    /// contents are independent of `--threads`.
+    pub fn wire_spot_check_observed(
+        &self,
+        group: &SampleGroup,
+        n: usize,
+        metrics: Option<&mut Registry>,
+        flight: &mut origin_obs::FlightRecorder,
+    ) -> usize {
+        self.wire_spot_check_full(group, n, metrics, None, Some(flight))
+    }
+
     fn wire_spot_check_inner(
+        &self,
+        group: &SampleGroup,
+        n: usize,
+        metrics: Option<&mut Registry>,
+        tracer: Option<&mut origin_trace::Tracer>,
+    ) -> usize {
+        self.wire_spot_check_full(group, n, metrics, tracer, None)
+    }
+
+    fn wire_spot_check_full(
         &self,
         group: &SampleGroup,
         n: usize,
         mut metrics: Option<&mut Registry>,
         mut tracer: Option<&mut origin_trace::Tracer>,
+        mut flight: Option<&mut origin_obs::FlightRecorder>,
     ) -> usize {
         use origin_h2::{Connection, Settings};
         let origin_mode = self.mode == DeploymentMode::OriginFrames;
@@ -334,6 +360,13 @@ impl ActiveMeasurement {
                 client.record_metrics(metrics);
                 edge.conn.record_metrics(metrics);
                 metrics.inc("cdn.wire_checks");
+            }
+            if let Some(rec) = flight.as_deref_mut() {
+                rec.begin_visit((Self::WIRE_PID_BASE + site_no as u64) as u32);
+                // Stamp with the final exchange round, matching the
+                // traced variant's clock.
+                client.record_flight(round, rec);
+                edge.conn.record_flight(round, rec);
             }
         }
         matched

@@ -54,6 +54,15 @@ impl ResolverStats {
         metrics.add("dns.plaintext_queries", self.plaintext_queries);
         metrics.add("dns.nxdomain", self.nxdomain);
     }
+
+    /// Feed the resolver's per-visit counters into a streaming
+    /// observation (the stats must already be a visit delta, as
+    /// returned by a freshly flushed resolver).
+    pub fn record_obs(&self, obs: &mut origin_obs::VisitObs) {
+        obs.dns_queries += self.lookups();
+        obs.dns_cache_hits += self.cache_hits;
+        obs.dns_cache_misses += self.network_queries;
+    }
 }
 
 /// The result of one resolution.

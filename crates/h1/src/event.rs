@@ -91,6 +91,20 @@ pub enum Event {
     ConnectionClosed,
 }
 
+impl Event {
+    /// Stable dotted code for this event kind, used as the flight-
+    /// recorder event code when an h1 session is being observed.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Event::Request(_) => "h1.request",
+            Event::Response(_) => "h1.response",
+            Event::Data(_) => "h1.data",
+            Event::EndOfMessage => "h1.end_of_message",
+            Event::ConnectionClosed => "h1.connection_closed",
+        }
+    }
+}
+
 /// How a message body is delimited. Strictly `Content-Length` or
 /// connection close — `Transfer-Encoding` is refused at the door.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -55,6 +55,14 @@ impl SimTime {
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// Index of the tumbling window of width `width` containing this
+    /// instant (window `i` covers `[i·width, (i+1)·width)`). Panics on
+    /// a zero-width window.
+    pub const fn window_index(self, width: SimDuration) -> u64 {
+        assert!(width.0 > 0, "zero-width window");
+        self.0 / width.0
+    }
 }
 
 impl SimDuration {
@@ -184,6 +192,15 @@ mod tests {
             SimTime::from_millis(1) - SimTime::from_millis(9),
             SimDuration::ZERO
         );
+    }
+
+    #[test]
+    fn window_index_tumbles() {
+        let w = SimDuration::from_millis(4);
+        assert_eq!(SimTime::ZERO.window_index(w), 0);
+        assert_eq!(SimTime::from_micros(3_999).window_index(w), 0);
+        assert_eq!(SimTime::from_micros(4_000).window_index(w), 1);
+        assert_eq!(SimTime::from_millis(41).window_index(w), 10);
     }
 
     #[test]

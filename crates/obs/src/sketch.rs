@@ -1,0 +1,253 @@
+//! Deterministic log2-bucket quantile sketch.
+//!
+//! An HDR-style histogram: values below 8 get exact buckets; above
+//! that, each power-of-two octave is split into 8 linear sub-buckets,
+//! so a bucket's width is at most 1/8 of its lower bound. Quantile
+//! estimates return the bucket's upper bound, which yields the
+//! one-sided error law pinned by the property tests:
+//!
+//! ```text
+//! exact(q) <= estimate(q) <= exact(q) + exact(q)/8 + 1
+//! ```
+//!
+//! (nearest-rank definition of `exact`; the `+ 1` absorbs integer
+//! truncation). Buckets are stored sparsely in a `BTreeMap`, so a
+//! sketch costs memory proportional to the number of *distinct
+//! magnitudes seen*, not the number of samples, and iteration order is
+//! value order — merges and exports are deterministic for free.
+//!
+//! Each bucket may carry an [`Exemplar`] linking the largest sample
+//! that landed in it back to an `origin-trace` span, so an outlier
+//! percentile is one hop from its waterfall.
+
+use std::collections::BTreeMap;
+
+/// Number of linear sub-buckets per power-of-two octave. The relative
+/// bucket error is `1 / SUBBUCKETS`.
+pub const SUBBUCKETS: u64 = 8;
+
+/// A sample that stands in for every sample in its bucket, keeping a
+/// link back to the trace span that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The sampled value (same unit as the sketch).
+    pub value: u64,
+    /// Site rank of the visit that produced the sample.
+    pub rank: u32,
+    /// Trace span ID (`origin_trace::span_ref(rank, seq)`): the visit's
+    /// trace process is its rank, the low bits select the span.
+    pub span_id: u64,
+}
+
+impl Exemplar {
+    /// Deterministic two-exemplar merge: keep the larger value;
+    /// tie-break on smaller rank, then smaller span ID, so the result
+    /// is independent of merge order.
+    pub fn merge(self, other: Exemplar) -> Exemplar {
+        match other.value.cmp(&self.value) {
+            std::cmp::Ordering::Greater => other,
+            std::cmp::Ordering::Less => self,
+            std::cmp::Ordering::Equal => {
+                if (other.rank, other.span_id) < (self.rank, self.span_id) {
+                    other
+                } else {
+                    self
+                }
+            }
+        }
+    }
+}
+
+/// Map a value to its bucket index. Exact below [`SUBBUCKETS`]; above,
+/// `SUBBUCKETS` linear sub-buckets per octave.
+pub fn bucket_index(v: u64) -> u16 {
+    if v < SUBBUCKETS {
+        return v as u16;
+    }
+    let octave = 63 - v.leading_zeros() as u64; // >= 3
+    let sub = (v >> (octave - 3)) - SUBBUCKETS; // 0..8 within the octave
+    (octave * 8 - 16 + sub) as u16
+}
+
+/// Upper bound (inclusive) of a bucket: the largest value that maps to
+/// `idx`. Inverse of [`bucket_index`] up to bucket resolution.
+pub fn bucket_upper(idx: u16) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBBUCKETS {
+        return idx;
+    }
+    let octave = (idx - 8) / 8 + 3;
+    let sub = (idx - 8) % 8;
+    ((SUBBUCKETS + sub + 1) << (octave - 3)) - 1
+}
+
+/// A mergeable quantile sketch over `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuantileSketch {
+    buckets: BTreeMap<u16, u64>,
+    exemplars: BTreeMap<u16, Exemplar>,
+    count: u64,
+    max: u64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample, optionally with an exemplar linking it to a
+    /// trace span.
+    pub fn record(&mut self, value: u64, exemplar: Option<Exemplar>) {
+        let idx = bucket_index(value);
+        *self.buckets.entry(idx).or_insert(0) += 1;
+        self.count += 1;
+        self.max = self.max.max(value);
+        if let Some(e) = exemplar {
+            let merged = match self.exemplars.get(&idx) {
+                Some(prev) => prev.merge(e),
+                None => e,
+            };
+            self.exemplars.insert(idx, merged);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of occupied buckets (the sketch's memory footprint).
+    pub fn occupied_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Nearest-rank quantile estimate: the upper bound of the bucket
+    /// containing the `ceil(q·count)`-th smallest sample, clamped to
+    /// the observed maximum. Returns 0 for an empty sketch.
+    pub fn quantile(&self, q: f64) -> u64 {
+        match self.quantile_bucket(q) {
+            Some(idx) => bucket_upper(idx).min(self.max),
+            None => 0,
+        }
+    }
+
+    /// The bucket index the quantile estimate comes from, or `None`
+    /// when the sketch is empty.
+    pub fn quantile_bucket(&self, q: f64) -> Option<u16> {
+        if self.count == 0 {
+            return None;
+        }
+        let k = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (&idx, &n) in &self.buckets {
+            cum += n;
+            if cum >= k {
+                return Some(idx);
+            }
+        }
+        self.buckets.last_key_value().map(|(&idx, _)| idx)
+    }
+
+    /// The exemplar attached to the bucket a quantile falls in, if any
+    /// sample in that bucket carried one.
+    pub fn quantile_exemplar(&self, q: f64) -> Option<Exemplar> {
+        self.quantile_bucket(q)
+            .and_then(|idx| self.exemplars.get(&idx).copied())
+    }
+
+    /// Fold another sketch in. Bucket counts add, exemplars merge by
+    /// the deterministic [`Exemplar::merge`] rule, so the operation is
+    /// commutative and associative.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (&idx, &n) in &other.buckets {
+            *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        for (&idx, &e) in &other.exemplars {
+            let merged = match self.exemplars.get(&idx) {
+                Some(prev) => prev.merge(e),
+                None => e,
+            };
+            self.exemplars.insert(idx, merged);
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        let mut prev = bucket_index(0);
+        for v in 1..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx == prev || idx == prev + 1, "jump at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_upper_inverts_bucket_index() {
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            let upper = bucket_upper(idx);
+            assert!(upper >= v, "upper({idx}) = {upper} < {v}");
+            assert_eq!(bucket_index(upper), idx);
+            if upper + 1 < u64::MAX {
+                assert_eq!(bucket_index(upper + 1), idx + 1);
+            }
+        }
+        // Spot-check large magnitudes.
+        for shift in 10..60 {
+            let v = 1u64 << shift;
+            assert!(bucket_upper(bucket_index(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn bucket_relative_width_is_at_most_one_eighth() {
+        for v in SUBBUCKETS..1_000_000u64 {
+            let upper = bucket_upper(bucket_index(v));
+            assert!(upper - v <= v / 8, "width too large at {v}: upper {upper}");
+        }
+    }
+
+    #[test]
+    fn exemplar_merge_is_order_independent() {
+        let a = Exemplar {
+            value: 9,
+            rank: 4,
+            span_id: 1,
+        };
+        let b = Exemplar {
+            value: 9,
+            rank: 2,
+            span_id: 7,
+        };
+        let c = Exemplar {
+            value: 11,
+            rank: 9,
+            span_id: 3,
+        };
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b).merge(c), c.merge(b.merge(a)));
+        assert_eq!(a.merge(c).value, 11);
+        assert_eq!(a.merge(b).rank, 2);
+    }
+
+    #[test]
+    fn empty_sketch_is_all_zeros() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.quantile_exemplar(0.99), None);
+    }
+}

@@ -1,0 +1,609 @@
+//! Tumbling-window aggregation over the crawl's simulated timeline.
+//!
+//! The crawl is open-loop: visit `rank` begins at the deterministic
+//! epoch `rank × spacing` on a shared simulated timeline, and every
+//! event inside the visit lands at `epoch + offset` where `offset` is
+//! the event's sim-time offset within the visit. The timeline is thus
+//! a pure function of the site list — independent of thread count,
+//! shard boundaries, and wall clock.
+//!
+//! Windows are tumbling: window `i` covers `[i·W, (i+1)·W)` simulated
+//! time. Each window holds a fixed array of counters plus a handful of
+//! sparse [`QuantileSketch`]es, so aggregator memory is
+//! `O(windows × series)` regardless of how many visits stream through.
+//! Merging two timelines is a window-keyed union with commutative cell
+//! addition: associative and shard-order-invariant by construction
+//! (pinned by property tests in `tests/`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use origin_netsim::{SimDuration, SimTime};
+
+use crate::sketch::{Exemplar, QuantileSketch};
+
+/// Coalescing-policy labels for the h1 redundant-connection series,
+/// in the same order `origin-browser` reports them.
+pub const H1_POLICIES: [&str; 5] = [
+    "chromium",
+    "firefox",
+    "firefox_origin",
+    "ideal_ip",
+    "ideal_origin",
+];
+
+// Counter slots within a window cell. Kept private: producers fill the
+// named fields of `VisitObs`; only the cell maps them to slots.
+const C_VISITS: usize = 0;
+const C_REQUESTS: usize = 1;
+const C_COALESCED: usize = 2;
+const C_CONNS: usize = 3;
+const C_DNS_QUERIES: usize = 4;
+const C_DNS_HITS: usize = 5;
+const C_DNS_MISSES: usize = 6;
+const C_MEASURED_TLS: usize = 7;
+const C_MODEL_IP_TLS: usize = 8;
+const C_MODEL_ORIGIN_TLS: usize = 9;
+const C_FAULT_421: usize = 10;
+const C_FAULT_EVENTS: usize = 11;
+const C_FAULT_RECOVERIES: usize = 12;
+const C_H1_CONNS: usize = 13;
+const C_H1_REQUESTS: usize = 14;
+const C_H1_RED: usize = 15; // 5 slots, one per policy
+const C_BYTES_TOTAL: usize = 20;
+const N_COUNTERS: usize = 21;
+
+const COUNTER_NAMES: [&str; N_COUNTERS] = [
+    "visits",
+    "requests",
+    "coalesced_requests",
+    "connections_opened",
+    "dns_queries",
+    "dns_cache_hits",
+    "dns_cache_misses",
+    "measured_tls",
+    "model_ip_tls",
+    "model_origin_tls",
+    "fault_misdirected_421",
+    "fault_events",
+    "fault_recoveries",
+    "h1_connections",
+    "h1_requests",
+    "h1_redundant_chromium",
+    "h1_redundant_firefox",
+    "h1_redundant_firefox_origin",
+    "h1_redundant_ideal_ip",
+    "h1_redundant_ideal_origin",
+    "bytes_total",
+];
+
+/// Everything one visit contributes to the timeline, filled by the
+/// crawl harness and consumed by [`Timeline::record_visit`]. Reused
+/// across visits via [`VisitObs::clear`] so the per-visit obs path
+/// allocates only when an event vector has to grow.
+#[derive(Debug, Default, Clone)]
+pub struct VisitObs {
+    /// Site rank of the visit (fixes its epoch on the timeline).
+    pub rank: u32,
+    /// Measured page load time, µs.
+    pub plt_us: u64,
+    /// Modelled ideal-IP page load time, µs.
+    pub plt_ideal_ip_us: u64,
+    /// Modelled ideal-ORIGIN page load time, µs.
+    pub plt_ideal_origin_us: u64,
+    /// Trace span ID of the request that determined `plt_us`.
+    pub plt_span: u64,
+    /// Subresource requests issued.
+    pub requests: u64,
+    /// Requests served over a coalesced connection.
+    pub coalesced_requests: u64,
+    /// Connections opened (including forced extras).
+    pub connections_opened: u64,
+    /// DNS queries issued.
+    pub dns_queries: u64,
+    /// Resolver cache hits.
+    pub dns_cache_hits: u64,
+    /// Resolver cache misses (network queries).
+    pub dns_cache_misses: u64,
+    /// Measured TLS connections.
+    pub measured_tls: u64,
+    /// Modelled ideal-IP TLS connections.
+    pub model_ip_tls: u64,
+    /// Modelled ideal-ORIGIN TLS connections.
+    pub model_origin_tls: u64,
+    /// Injected 421 Misdirected Request responses.
+    pub fault_misdirected_421: u64,
+    /// Total injected fault events of all classes.
+    pub fault_events: u64,
+    /// Fault events the client recovered from within bounded retries.
+    pub fault_recoveries: u64,
+    /// Legacy HTTP/1.1 connections opened.
+    pub h1_connections: u64,
+    /// Requests served over HTTP/1.1.
+    pub h1_requests: u64,
+    /// Of the h1 connections, how many each policy would have coalesced
+    /// away under h2 (order of [`H1_POLICIES`]).
+    pub h1_redundant: [u64; 5],
+    /// TLS handshakes: `(visit-relative start µs, duration µs, span)`.
+    pub handshakes: Vec<(u64, u64, u64)>,
+    /// Response bodies: `(visit-relative end µs, size bytes, span)`.
+    pub bytes: Vec<(u64, u64, u64)>,
+}
+
+/// The observability sinks an observed page load writes into. Both
+/// are optional so one entry point serves flight-only, timeline-only,
+/// and fully observed loads.
+#[derive(Default)]
+pub struct VisitSinks<'a> {
+    /// Flight recorder receiving the load's notable events as they
+    /// happen.
+    pub flight: Option<&'a mut crate::flight::FlightRecorder>,
+    /// Per-visit observation derived from the completed load.
+    pub visit: Option<&'a mut VisitObs>,
+}
+
+impl VisitObs {
+    /// Reset for the next visit, keeping event-vector capacity.
+    pub fn clear(&mut self) {
+        let mut handshakes = std::mem::take(&mut self.handshakes);
+        let mut bytes = std::mem::take(&mut self.bytes);
+        handshakes.clear();
+        bytes.clear();
+        *self = VisitObs::default();
+        self.handshakes = handshakes;
+        self.bytes = bytes;
+    }
+}
+
+/// One tumbling window's aggregate: a fixed counter array plus the
+/// per-window quantile sketches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowCell {
+    counters: [u64; N_COUNTERS],
+    plt: QuantileSketch,
+    plt_ideal_ip: QuantileSketch,
+    plt_ideal_origin: QuantileSketch,
+    handshake: QuantileSketch,
+    bytes: QuantileSketch,
+}
+
+/// Divide, returning 0 for an empty denominator.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl WindowCell {
+    /// Visits whose epoch fell in this window.
+    pub fn visits(&self) -> u64 {
+        self.counters[C_VISITS]
+    }
+
+    /// Share of requests served over a coalesced connection.
+    pub fn coalesce_rate(&self) -> f64 {
+        ratio(self.counters[C_COALESCED], self.counters[C_REQUESTS])
+    }
+
+    /// Connections opened per visit.
+    pub fn connections_per_visit(&self) -> f64 {
+        ratio(self.counters[C_CONNS], self.counters[C_VISITS])
+    }
+
+    /// Resolver cache hit rate.
+    pub fn dns_cache_hit_rate(&self) -> f64 {
+        ratio(
+            self.counters[C_DNS_HITS],
+            self.counters[C_DNS_HITS] + self.counters[C_DNS_MISSES],
+        )
+    }
+
+    /// Share of injected fault events the client recovered from.
+    pub fn fault_recovery_rate(&self) -> f64 {
+        ratio(
+            self.counters[C_FAULT_RECOVERIES],
+            self.counters[C_FAULT_EVENTS],
+        )
+    }
+
+    /// Injected fault events per visit.
+    pub fn fault_events_per_visit(&self) -> f64 {
+        ratio(self.counters[C_FAULT_EVENTS], self.counters[C_VISITS])
+    }
+
+    /// TLS connections saved by the ideal-IP model, as a share of
+    /// measured TLS connections.
+    pub fn tls_reduction_ideal_ip(&self) -> f64 {
+        if self.counters[C_MEASURED_TLS] == 0 {
+            return 0.0;
+        }
+        1.0 - ratio(self.counters[C_MODEL_IP_TLS], self.counters[C_MEASURED_TLS])
+    }
+
+    /// TLS connections saved by the ideal-ORIGIN model, as a share of
+    /// measured TLS connections.
+    pub fn tls_reduction_ideal_origin(&self) -> f64 {
+        if self.counters[C_MEASURED_TLS] == 0 {
+            return 0.0;
+        }
+        1.0 - ratio(
+            self.counters[C_MODEL_ORIGIN_TLS],
+            self.counters[C_MEASURED_TLS],
+        )
+    }
+
+    /// Share of h1 connections policy `i` (order of [`H1_POLICIES`])
+    /// would have coalesced away under h2.
+    pub fn h1_redundant_share(&self, i: usize) -> f64 {
+        ratio(self.counters[C_H1_RED + i], self.counters[C_H1_CONNS])
+    }
+
+    /// The measured-PLT sketch.
+    pub fn plt(&self) -> &QuantileSketch {
+        &self.plt
+    }
+
+    /// The TLS-handshake-duration sketch.
+    pub fn handshake(&self) -> &QuantileSketch {
+        &self.handshake
+    }
+
+    /// The response-body-size sketch.
+    pub fn bytes(&self) -> &QuantileSketch {
+        &self.bytes
+    }
+
+    /// Fold another cell in (commutative, associative).
+    pub fn merge(&mut self, other: &WindowCell) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        self.plt.merge(&other.plt);
+        self.plt_ideal_ip.merge(&other.plt_ideal_ip);
+        self.plt_ideal_origin.merge(&other.plt_ideal_origin);
+        self.handshake.merge(&other.handshake);
+        self.bytes.merge(&other.bytes);
+    }
+
+    fn counters_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", name, self.counters[i]);
+        }
+        out.push('}');
+    }
+
+    fn rates_json(&self, out: &mut String) {
+        let rates: [(&str, f64); 12] = [
+            ("coalesce_rate", self.coalesce_rate()),
+            ("connections_per_visit", self.connections_per_visit()),
+            ("dns_cache_hit_rate", self.dns_cache_hit_rate()),
+            ("fault_recovery_rate", self.fault_recovery_rate()),
+            ("fault_events_per_visit", self.fault_events_per_visit()),
+            ("tls_reduction_ideal_ip", self.tls_reduction_ideal_ip()),
+            (
+                "tls_reduction_ideal_origin",
+                self.tls_reduction_ideal_origin(),
+            ),
+            ("h1_redundant_chromium_share", self.h1_redundant_share(0)),
+            ("h1_redundant_firefox_share", self.h1_redundant_share(1)),
+            (
+                "h1_redundant_firefox_origin_share",
+                self.h1_redundant_share(2),
+            ),
+            ("h1_redundant_ideal_ip_share", self.h1_redundant_share(3)),
+            (
+                "h1_redundant_ideal_origin_share",
+                self.h1_redundant_share(4),
+            ),
+        ];
+        out.push('{');
+        for (i, (name, v)) in rates.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{:.6}", name, v);
+        }
+        out.push('}');
+    }
+
+    fn sketches_json(&self, out: &mut String) {
+        let sketches: [(&str, &QuantileSketch); 5] = [
+            ("plt_us", &self.plt),
+            ("plt_ideal_ip_us", &self.plt_ideal_ip),
+            ("plt_ideal_origin_us", &self.plt_ideal_origin),
+            ("handshake_us", &self.handshake),
+            ("bytes", &self.bytes),
+        ];
+        out.push('{');
+        for (i, (name, s)) in sketches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
+                name,
+                s.count(),
+                s.quantile(0.50),
+                s.quantile(0.90),
+                s.quantile(0.99),
+                s.max()
+            );
+            if let Some(e) = s.quantile_exemplar(0.99) {
+                let _ = write!(
+                    out,
+                    ",\"p99_exemplar\":{{\"value\":{},\"rank\":{},\"span_id\":{}}}",
+                    e.value, e.rank, e.span_id
+                );
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+}
+
+/// The streaming aggregate of a whole crawl: tumbling windows over the
+/// open-loop simulated timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    window: SimDuration,
+    spacing: SimDuration,
+    windows: BTreeMap<u64, WindowCell>,
+}
+
+/// Default visit spacing on the open-loop timeline (one visit epoch
+/// per second of simulated time).
+pub const DEFAULT_SPACING: SimDuration = SimDuration::from_millis(1_000);
+
+/// Default window width.
+pub const DEFAULT_WINDOW: SimDuration = SimDuration::from_millis(4_000);
+
+impl Timeline {
+    /// A timeline with the given tumbling-window width and visit
+    /// spacing (both must be nonzero).
+    pub fn new(window: SimDuration, spacing: SimDuration) -> Self {
+        assert!(window.as_micros() > 0, "window width must be nonzero");
+        assert!(spacing.as_micros() > 0, "visit spacing must be nonzero");
+        Timeline {
+            window,
+            spacing,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The tumbling-window width.
+    pub fn window_width(&self) -> SimDuration {
+        self.window
+    }
+
+    /// The visit spacing.
+    pub fn spacing(&self) -> SimDuration {
+        self.spacing
+    }
+
+    /// The epoch of visit `rank` on the shared timeline.
+    pub fn epoch(&self, rank: u32) -> SimTime {
+        SimTime::from_micros(rank as u64 * self.spacing.as_micros())
+    }
+
+    fn cell(&mut self, t: SimTime) -> &mut WindowCell {
+        self.windows.entry(t.window_index(self.window)).or_default()
+    }
+
+    /// Fold one visit's contribution into the timeline. Counters and
+    /// PLT sketches land in the window of the visit's epoch; handshake
+    /// and byte events land in the window of their own timeline
+    /// instant (`epoch + visit-relative offset`).
+    pub fn record_visit(&mut self, v: &VisitObs) {
+        let epoch = self.epoch(v.rank);
+        let cell = self.cell(epoch);
+        cell.counters[C_VISITS] += 1;
+        cell.counters[C_REQUESTS] += v.requests;
+        cell.counters[C_COALESCED] += v.coalesced_requests;
+        cell.counters[C_CONNS] += v.connections_opened;
+        cell.counters[C_DNS_QUERIES] += v.dns_queries;
+        cell.counters[C_DNS_HITS] += v.dns_cache_hits;
+        cell.counters[C_DNS_MISSES] += v.dns_cache_misses;
+        cell.counters[C_MEASURED_TLS] += v.measured_tls;
+        cell.counters[C_MODEL_IP_TLS] += v.model_ip_tls;
+        cell.counters[C_MODEL_ORIGIN_TLS] += v.model_origin_tls;
+        cell.counters[C_FAULT_421] += v.fault_misdirected_421;
+        cell.counters[C_FAULT_EVENTS] += v.fault_events;
+        cell.counters[C_FAULT_RECOVERIES] += v.fault_recoveries;
+        cell.counters[C_H1_CONNS] += v.h1_connections;
+        cell.counters[C_H1_REQUESTS] += v.h1_requests;
+        for (i, r) in v.h1_redundant.iter().enumerate() {
+            cell.counters[C_H1_RED + i] += r;
+        }
+        cell.plt.record(
+            v.plt_us,
+            Some(Exemplar {
+                value: v.plt_us,
+                rank: v.rank,
+                span_id: v.plt_span,
+            }),
+        );
+        cell.plt_ideal_ip.record(v.plt_ideal_ip_us, None);
+        cell.plt_ideal_origin.record(v.plt_ideal_origin_us, None);
+        for &(t_us, dur_us, span) in &v.handshakes {
+            let at = epoch + SimDuration::from_micros(t_us);
+            self.cell(at).handshake.record(
+                dur_us,
+                Some(Exemplar {
+                    value: dur_us,
+                    rank: v.rank,
+                    span_id: span,
+                }),
+            );
+        }
+        for &(t_us, size, span) in &v.bytes {
+            let at = epoch + SimDuration::from_micros(t_us);
+            let cell = self.cell(at);
+            cell.bytes.record(
+                size,
+                Some(Exemplar {
+                    value: size,
+                    rank: v.rank,
+                    span_id: span,
+                }),
+            );
+            cell.counters[C_BYTES_TOTAL] += size;
+        }
+    }
+
+    /// Window-keyed union with cell merge: commutative and
+    /// associative, so shards may combine in any order.
+    pub fn merge(&mut self, other: &Timeline) {
+        debug_assert_eq!(self.window, other.window);
+        debug_assert_eq!(self.spacing, other.spacing);
+        for (&idx, cell) in &other.windows {
+            self.windows.entry(idx).or_default().merge(cell);
+        }
+    }
+
+    /// Number of materialised windows.
+    pub fn num_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Total visits recorded across all windows.
+    pub fn total_visits(&self) -> u64 {
+        self.windows.values().map(WindowCell::visits).sum()
+    }
+
+    /// Iterate windows in time order as `(index, cell)`.
+    pub fn windows(&self) -> impl Iterator<Item = (u64, &WindowCell)> {
+        self.windows.iter().map(|(&i, c)| (i, c))
+    }
+
+    /// The whole-crawl aggregate: every window cell folded together.
+    pub fn totals(&self) -> WindowCell {
+        let mut total = WindowCell::default();
+        for cell in self.windows.values() {
+            total.merge(cell);
+        }
+        total
+    }
+
+    /// Deterministic JSON export: window list in time order plus a
+    /// `totals` section with the same cell shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + 1024 * self.windows.len());
+        let _ = write!(
+            out,
+            "{{\n  \"window_ms\": {},\n  \"spacing_ms\": {},\n  \"windows\": [\n",
+            self.window.as_micros() / 1_000,
+            self.spacing.as_micros() / 1_000
+        );
+        for (i, (&idx, cell)) in self.windows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let start_ms = idx * self.window.as_micros() / 1_000;
+            let _ = write!(
+                out,
+                "    {{\"index\":{},\"start_ms\":{},\"counters\":",
+                idx, start_ms
+            );
+            cell.counters_json(&mut out);
+            out.push_str(",\"rates\":");
+            cell.rates_json(&mut out);
+            out.push_str(",\"sketches\":");
+            cell.sketches_json(&mut out);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"totals\": {\"counters\":");
+        let totals = self.totals();
+        totals.counters_json(&mut out);
+        out.push_str(",\"rates\":");
+        totals.rates_json(&mut out);
+        out.push_str(",\"sketches\":");
+        totals.sketches_json(&mut out);
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn visit(rank: u32, plt: u64) -> VisitObs {
+        VisitObs {
+            rank,
+            plt_us: plt,
+            plt_ideal_ip_us: plt / 2,
+            plt_ideal_origin_us: plt / 3,
+            plt_span: (rank as u64) << 24,
+            requests: 10,
+            coalesced_requests: 4,
+            connections_opened: 5,
+            dns_queries: 3,
+            dns_cache_hits: 1,
+            dns_cache_misses: 2,
+            measured_tls: 5,
+            model_ip_tls: 3,
+            model_origin_tls: 2,
+            handshakes: vec![(100, 30_000, 1), (500_000, 40_000, 2)],
+            bytes: vec![(900_000, 4096, 3)],
+            ..VisitObs::default()
+        }
+    }
+
+    #[test]
+    fn epochs_are_pure_functions_of_rank() {
+        let t = Timeline::new(DEFAULT_WINDOW, DEFAULT_SPACING);
+        assert_eq!(t.epoch(0), SimTime::ZERO);
+        assert_eq!(t.epoch(7).as_micros(), 7_000_000);
+    }
+
+    #[test]
+    fn record_then_merge_equals_single_timeline() {
+        let mk = || Timeline::new(DEFAULT_WINDOW, DEFAULT_SPACING);
+        let mut whole = mk();
+        for r in 0..20 {
+            whole.record_visit(&visit(r, 1_000_000 + r as u64 * 10_000));
+        }
+        let (mut a, mut b) = (mk(), mk());
+        for r in 0..20 {
+            let v = visit(r, 1_000_000 + r as u64 * 10_000);
+            if r % 2 == 0 {
+                a.record_visit(&v)
+            } else {
+                b.record_visit(&v)
+            }
+        }
+        b.merge(&a);
+        assert_eq!(whole.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn totals_match_counter_sums() {
+        let mut t = Timeline::new(DEFAULT_WINDOW, DEFAULT_SPACING);
+        for r in 0..32 {
+            t.record_visit(&visit(r, 2_000_000));
+        }
+        let totals = t.totals();
+        assert_eq!(totals.visits(), 32);
+        assert_eq!(t.total_visits(), 32);
+        assert_eq!(totals.plt().count(), 32);
+        assert_eq!(totals.handshake().count(), 64);
+        assert!((totals.coalesce_rate() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn visit_obs_clear_keeps_capacity() {
+        let mut v = visit(3, 1_000);
+        let cap = v.handshakes.capacity();
+        v.clear();
+        assert_eq!(v.rank, 0);
+        assert!(v.handshakes.is_empty());
+        assert!(v.handshakes.capacity() >= cap);
+    }
+}

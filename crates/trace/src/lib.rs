@@ -35,4 +35,4 @@ mod tracer;
 pub use event::{ArgValue, EventKind, TraceEvent};
 pub use perfetto::to_chrome_json;
 pub use sample::Sampler;
-pub use tracer::Tracer;
+pub use tracer::{span_ref, Tracer};

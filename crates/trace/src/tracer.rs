@@ -2,6 +2,14 @@
 
 use crate::event::{ArgValue, EventKind, TraceEvent};
 
+/// The span-ID minting formula: pid (site rank) in the high bits, the
+/// per-visit sequence in the low 24. Exposed as a pure function so
+/// out-of-band consumers — sketch exemplars in `origin-obs` — can name
+/// a span in a visit's namespace without holding the tracer.
+pub const fn span_ref(pid: u64, seq: u64) -> u64 {
+    (pid << 24) | (seq & 0xFF_FFFF)
+}
+
 /// A buffer of trace events with the same merge discipline as the
 /// metrics registry: each crawl worker owns one, and the driver merges
 /// shards back in rank order, reproducing sequential event order.
@@ -85,9 +93,15 @@ impl Tracer {
     /// high bits, the per-visit sequence in the low 24. No wall clock,
     /// no global counter — byte-identical across runs and shardings.
     pub fn next_id(&mut self) -> u64 {
-        let id = (self.pid << 24) | (self.seq & 0xFF_FFFF);
+        let id = span_ref(self.pid, self.seq);
         self.seq += 1;
         id
+    }
+
+    /// The trace process the tracer is currently attributing spans to
+    /// (the visit's site rank, set by [`Tracer::begin_visit`]).
+    pub fn pid(&self) -> u64 {
+        self.pid
     }
 
     /// Record a complete span.

@@ -9,9 +9,11 @@
 # machines and thread counts, so ANY drift means the pipeline is doing
 # a different amount of work than the commit that last refreshed the
 # baseline. Wall-clock `runtime_ms` is stripped before comparing, and
-# so are `h1.*` counters: the committed baseline is a pure-h2 run
-# where they are absent by design (counters only materialize when
-# nonzero), so a mixed-universe export can still be gated against it.
+# so are the optional-subsystem counter families listed below: the
+# committed baseline is a clean pure-h2 unobserved run where they are
+# absent by design (such counters only materialize when their
+# subsystem actually did something; DESIGN.md §15), so exports from
+# mixed / faulted / observed runs can still be gated against it.
 #
 # Requires jq.
 set -euo pipefail
@@ -19,7 +21,12 @@ set -euo pipefail
 metrics=${1:?usage: check_metrics_baseline.sh <metrics.json> [baseline.json]}
 baseline=${2:-$(dirname "$0")/../reports/metrics_baseline.json}
 
-strip='del(.runtime_ms) | .counters |= with_entries(select(.key | startswith("h1.") | not))'
+# The one list of optional counter-family prefixes. Extend it when a
+# new gated-when-silent subsystem appears; never special-case one
+# family in the jq below.
+optional_prefixes='["h1.", "fault.", "obs."]'
+
+strip="del(.runtime_ms) | .counters |= with_entries(select(.key as \$k | ${optional_prefixes} | map(\$k | startswith(.)) | any | not))"
 if diff -u \
     <(jq -S "$strip" "$baseline") \
     <(jq -S "$strip" "$metrics"); then

@@ -14,6 +14,11 @@
 #                                 redundant-connections report for the
 #                                 reference mixed universe (25% legacy;
 #                                 EXPERIMENTS.md redundancy)
+#   reports/timeline_reference.json
+#                                 streaming time-series export of the
+#                                 observed reference crawl, gated by
+#                                 scripts/check_slo.sh in CI
+#                                 (EXPERIMENTS.md time series)
 #
 # The full reference run matches EXPERIMENTS.md (6,000 sites, seed
 # 0x0516, one thread — thread count only affects wall clock, but the
@@ -50,5 +55,13 @@ echo "refresh: redundancy report (reference mixed universe, 25% legacy)…" >&2
 target/release/repro --sites 2000 --legacy-share 0.25 \
     --redundancy-report reports/redundancy_reference.json --only t3 >/dev/null 2>&1
 jq -e '.h1.connections_opened > 0' reports/redundancy_reference.json >/dev/null
+
+echo "refresh: timeline reference (observed mixed faulted universe)…" >&2
+target/release/repro --sites 2000 --threads 1 --legacy-share 0.25 \
+    --faults drop=0.01,h421=0.005,middlebox=0.1 \
+    --timeline reports/timeline_reference.json --only t1 >/dev/null 2>&1
+# The fresh reference must clear its own SLO gate (drift layer is a
+# self-compare here; the thresholds are the real check).
+scripts/check_slo.sh reports/timeline_reference.json reports/timeline_reference.json >/dev/null
 
 echo "refresh: done — review the diff, then commit reports/" >&2
