@@ -91,11 +91,13 @@ struct Args {
     window_ms: Option<u64>,
     fault_abort: Option<u64>,
     flight_recorder: Option<String>,
+    flight_capacity: Option<usize>,
 }
 
-const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--legacy-share P [--redundancy-report path]] [--timeline path [--window MS]] [--flight-recorder path [--fault-abort N]] [--only id...]
+const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--legacy-share P [--redundancy-report path]] [--timeline path [--window MS]] [--flight-recorder path [--fault-abort N] [--flight-capacity N]] [--only id...]
        repro trace --site RANK [--format perfetto|har|ascii] [--sites N] [--seed S] [--out path]
        repro watch --site-range A-B [--sites N] [--seed S] [--threads N] [--window MS] [--faults spec] [--legacy-share P] [--out path]
+       repro serve --visits N [--sites N] [--seed S] [--serve-seed S] [--threads N] [--rate R] [--rollout P [--rollout-ramp-secs S]] [--pool-budget N] [--edge-cap N] [--idle-timeout-secs S] [--window MS] [--retain-windows N] [--metrics path] [--timeline path]
        fault spec: comma-separated key=rate, keys drop corrupt h421 middlebox (e.g. drop=0.01,h421=0.005,middlebox=0.1)";
 
 /// Every id `--only` accepts.
@@ -165,6 +167,7 @@ fn parse_args() -> Args {
         window_ms: None,
         fault_abort: None,
         flight_recorder: None,
+        flight_capacity: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.into_iter().peekable();
@@ -234,6 +237,12 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--flight-recorder requires a path")),
                 )
             }
+            "--flight-capacity" => {
+                args.flight_capacity =
+                    Some(parse_value("--flight-capacity", it.next(), |&n: &usize| {
+                        n > 0
+                    }))
+            }
             "--only" => {
                 // Consume ids up to (but not including) the next flag.
                 while let Some(tok) = it.peek() {
@@ -274,6 +283,9 @@ fn parse_args() -> Args {
     if args.fault_abort.is_some() && args.flight_recorder.is_none() {
         die("--fault-abort requires --flight-recorder");
     }
+    if args.flight_capacity.is_some() && args.flight_recorder.is_none() {
+        die("--flight-capacity requires --flight-recorder");
+    }
     args
 }
 
@@ -290,6 +302,7 @@ fn obs_config(args: &Args) -> Option<ObsConfig> {
         // recorder path (normal completion overwrites it with the
         // trigger snapshot, if any).
         panic_dump: args.flight_recorder.as_ref().map(std::path::PathBuf::from),
+        flight_capacity: args.flight_capacity,
     })
 }
 
@@ -317,6 +330,12 @@ fn main() {
     // range instead of the paper tables.
     if argv.first().map(String::as_str) == Some("watch") {
         cmd_watch(&argv[1..]);
+        return;
+    }
+    // `repro serve …` runs the open-loop serving engine instead of
+    // the one-shot crawl.
+    if argv.first().map(String::as_str) == Some("serve") {
+        cmd_serve(&argv[1..]);
         return;
     }
     let args = parse_args();
@@ -677,6 +696,126 @@ fn main() {
 }
 
 /// `repro watch --site-range A-B [--sites N] [--seed S] [--threads N]
+/// `repro serve --visits N …`: run the open-loop serving engine
+/// (DESIGN.md §16) — Poisson/diurnal session arrivals, pooled
+/// multi-visit sessions, live ORIGIN rollout A/B — and print the
+/// deterministic run summary. `--metrics` writes the merged `serve.*`
+/// registry (strip `runtime_ms` before comparing); `--timeline`
+/// writes the per-arm window series. Output is byte-identical at any
+/// `--threads`; the wall-clock serving rate goes to stderr only.
+fn cmd_serve(argv: &[String]) {
+    let mut cfg = origin_serve::ServeConfig::default();
+    let mut sites: u32 = 4_000;
+    let mut dataset_seed: u64 = 0x0516;
+    let mut threads: usize = 0;
+    let mut metrics_out: Option<String> = None;
+    let mut timeline_out: Option<String> = None;
+    let mut it = argv.iter().cloned();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--visits" => cfg.visits = parse_value("--visits", it.next(), |&n: &u64| n > 0),
+            "--sites" => sites = parse_value("--sites", it.next(), |&n: &u32| n > 0),
+            "--seed" => dataset_seed = parse_value("--seed", it.next(), |_| true),
+            "--serve-seed" => cfg.seed = parse_value("--serve-seed", it.next(), |_| true),
+            "--threads" => threads = parse_value("--threads", it.next(), |&n: &usize| n > 0),
+            "--rate" => {
+                cfg.peak_rate_per_sec = parse_value("--rate", it.next(), |&r: &f64| r > 0.0)
+            }
+            "--rollout" => {
+                cfg.rollout =
+                    parse_value("--rollout", it.next(), |&p: &f64| (0.0..=1.0).contains(&p))
+            }
+            "--rollout-ramp-secs" => {
+                cfg.rollout_ramp = SimDuration::from_secs(parse_value(
+                    "--rollout-ramp-secs",
+                    it.next(),
+                    |_: &u64| true,
+                ))
+            }
+            "--pool-budget" => {
+                cfg.pool_budget = parse_value("--pool-budget", it.next(), |_: &usize| true)
+            }
+            "--edge-cap" => cfg.edge_cap = parse_value("--edge-cap", it.next(), |&n: &usize| n > 0),
+            "--idle-timeout-secs" => {
+                cfg.idle_timeout = SimDuration::from_secs(parse_value(
+                    "--idle-timeout-secs",
+                    it.next(),
+                    |&s: &u64| s > 0,
+                ))
+            }
+            "--window" => {
+                cfg.window =
+                    SimDuration::from_millis(parse_value("--window", it.next(), |&ms: &u64| ms > 0))
+            }
+            "--retain-windows" => {
+                cfg.retain_windows =
+                    Some(parse_value("--retain-windows", it.next(), |&n: &u64| n > 0))
+            }
+            "--metrics" => {
+                metrics_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--metrics requires a path")),
+                )
+            }
+            "--timeline" => {
+                timeline_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--timeline requires a path")),
+                )
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other:?} for repro serve")),
+        }
+    }
+    if threads == 0 {
+        threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    }
+    cfg.threads = threads;
+    cfg.dataset = origin_webgen::DatasetConfig {
+        sites,
+        seed: dataset_seed,
+        ..origin_webgen::DatasetConfig::default()
+    };
+
+    eprintln!(
+        "# serving {} visits over {} sites ({} threads, rollout {:.2})…",
+        cfg.visits, sites, threads, cfg.rollout
+    );
+    let t_gen = std::time::Instant::now();
+    let dataset = origin_webgen::Dataset::generate(cfg.dataset);
+    let plans = origin_serve::plan::compile_dataset(&dataset);
+    let ms_gen = t_gen.elapsed().as_secs_f64() * 1_000.0;
+    let t_serve = std::time::Instant::now();
+    let mut report = origin_serve::engine::run_serve_on(&cfg, &plans);
+    let ms_serve = t_serve.elapsed().as_secs_f64() * 1_000.0;
+    eprintln!(
+        "# served {} visits in {:.0} ms ({:.0} visits/sec)",
+        report.visits,
+        ms_serve,
+        report.visits as f64 / (ms_serve / 1_000.0)
+    );
+
+    print!("{}", report.summary());
+    if let Some(path) = timeline_out {
+        match std::fs::write(&path, report.timeline_json()) {
+            Ok(()) => eprintln!("# wrote per-arm timeline to {path}"),
+            Err(e) => die(&format!("failed to write {path}: {e}")),
+        }
+    }
+    if let Some(path) = metrics_out {
+        report.metrics.set_runtime_ms("dataset", ms_gen);
+        report.metrics.set_runtime_ms("serve", ms_serve);
+        report.metrics.set_runtime_ms("total", ms_gen + ms_serve);
+        match std::fs::write(&path, report.metrics.to_json()) {
+            Ok(()) => eprintln!("# wrote metrics to {path}"),
+            Err(e) => die(&format!("failed to write {path}: {e}")),
+        }
+    }
+}
+
 /// [--window MS] [--faults spec] [--legacy-share P] [--out path]`:
 /// run the observed crawl and render the windows covering the rank
 /// range as a deterministic ASCII dashboard.
@@ -746,6 +885,7 @@ fn cmd_watch(argv: &[String]) {
         window: window_ms.map(SimDuration::from_millis),
         fault_abort: None,
         panic_dump: None,
+        flight_capacity: None,
     };
     let r = run_crawl_observed(
         sites,

@@ -117,6 +117,10 @@ pub struct ObsConfig {
     /// Write the current visit's flight events here if a crawl worker
     /// panics (best-effort crash forensics).
     pub panic_dump: Option<std::path::PathBuf>,
+    /// Flight-recorder ring capacity; `None` uses
+    /// [`origin_obs::flight::DEFAULT_CAPACITY`]. Long serving runs
+    /// want a deeper ring than the crawl default.
+    pub flight_capacity: Option<usize>,
 }
 
 /// Per-shard streaming-observability accumulators, plus the reused
@@ -132,7 +136,11 @@ impl ObsAccum {
     fn new(config: &ObsConfig) -> Self {
         ObsAccum {
             timeline: Timeline::new(config.window.unwrap_or(DEFAULT_WINDOW), DEFAULT_SPACING),
-            flight: FlightRecorder::new(origin_obs::flight::DEFAULT_CAPACITY),
+            flight: FlightRecorder::new(
+                config
+                    .flight_capacity
+                    .unwrap_or(origin_obs::flight::DEFAULT_CAPACITY),
+            ),
             visit: VisitObs::default(),
             fault_abort: config.fault_abort,
         }

@@ -26,6 +26,8 @@
 //!   after deployment).
 //! - [`incident`] — the §6.7 non-compliant middlebox incident and its
 //!   disclosure timeline.
+//! - [`rollout`] — per-edge ORIGIN rollout state for the serving
+//!   engine's live A/B ramp (DESIGN.md §16).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +38,7 @@ pub mod env;
 pub mod incident;
 pub mod longitudinal;
 pub mod passive;
+pub mod rollout;
 pub mod sample;
 
 pub use active::{ActiveMeasurement, ActiveResult};
@@ -44,4 +47,5 @@ pub use env::{CdnEnv, DeploymentMode};
 pub use incident::{IncidentReport, MiddleboxIncident};
 pub use longitudinal::LongitudinalRun;
 pub use passive::{PassivePipeline, PassiveReport};
+pub use rollout::Rollout;
 pub use sample::{SampleGroup, SampleSite, Treatment, CONTROL_DECOY_HOST, THIRD_PARTY_HOST};

@@ -579,4 +579,48 @@ mod tests {
             assert_eq!(popped, oracle, "divergence with seed {seed}");
         }
     }
+
+    /// Property test for the serving horizon: diurnal arrival gaps put
+    /// events *hours* apart in sim time, exercising the sparse
+    /// fallback and bucket-array resizes far more than the dense
+    /// crawl ever does. Seeded sweep of mixed dense/sparse workloads
+    /// cross-checked against the binary-heap oracle.
+    #[test]
+    fn matches_heap_oracle_on_sparse_far_future_schedules() {
+        for seed in 0..20u64 {
+            let mut rng = SimRng::seed_from_u64(0x5AAF ^ seed);
+            let mut cal = EventQueue::new();
+            let mut heap = ReferenceHeapQueue::new();
+            let mut popped = Vec::new();
+            let mut oracle = Vec::new();
+            let mut id = 0u32;
+            for _ in 0..300 {
+                if rng.chance(0.55) || cal.pending() == 0 {
+                    let base = cal.now().as_micros();
+                    // Trimodal gaps: dense (sub-ms), diurnal think
+                    // times (tens of seconds), and far-future troughs
+                    // (up to ~6 h of sim time in one hop).
+                    let dt = match rng.index(3) {
+                        0 => rng.range_u64(0, 1_000),
+                        1 => rng.range_u64(1_000_000, 60_000_000),
+                        _ => rng.range_u64(3_600_000_000, 21_600_000_000),
+                    };
+                    let at = SimTime::from_micros(base + dt);
+                    cal.schedule(at, id);
+                    heap.schedule(at, id);
+                    id += 1;
+                } else {
+                    popped.push(cal.next().expect("pending > 0"));
+                    oracle.push(heap.next().expect("queues stay in lockstep"));
+                }
+            }
+            while let Some(e) = cal.next() {
+                popped.push(e);
+                oracle.push(heap.next().expect("same length"));
+            }
+            assert!(heap.next().is_none());
+            assert_eq!(popped, oracle, "sparse divergence with seed {seed}");
+            assert_eq!(cal.now(), heap.now(), "clock divergence with seed {seed}");
+        }
+    }
 }

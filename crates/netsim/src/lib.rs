@@ -13,6 +13,8 @@
 //!   time.
 //! - [`EventQueue`] — a monotonic priority queue of timed events with
 //!   FIFO tie-breaking.
+//! - [`ArrivalProcess`] — open-loop Poisson session arrivals with a
+//!   diurnal rate profile, for the serving engine.
 //! - [`LinkProfile`] — per-path latency/bandwidth model with a
 //!   slow-start-aware transfer-time estimator.
 //! - [`tcp`] — TCP + TLS connection-establishment cost model
@@ -25,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod event;
 pub mod fault;
 pub mod link;
@@ -32,6 +35,7 @@ pub mod rng;
 pub mod tcp;
 pub mod time;
 
+pub use arrival::ArrivalProcess;
 pub use event::EventQueue;
 pub use fault::{FaultInjector, FaultProfile, Middlebox, MiddleboxVerdict, PacketFate};
 pub use link::LinkProfile;

@@ -350,11 +350,29 @@ impl WindowCell {
 
 /// The streaming aggregate of a whole crawl: tumbling windows over the
 /// open-loop simulated timeline.
+///
+/// For long serving horizons the live window map can be bounded with
+/// [`Timeline::with_retention`]: once more than `retain` windows have
+/// been seen, windows falling behind the retention horizon are evicted
+/// and folded into a single committed tail cell. Folding is cell
+/// merge — commutative and associative — and the horizon is derived
+/// from the *maximum* window index seen (itself a max over shards), so
+/// a retained timeline merged from any sharding folds exactly the same
+/// window set and stays byte-identical at any thread count.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Timeline {
     window: SimDuration,
     spacing: SimDuration,
     windows: BTreeMap<u64, WindowCell>,
+    /// Maximum live windows to keep (`None` = unbounded, the crawl
+    /// default; the committed reference exports never retain).
+    retain: Option<u64>,
+    /// Highest window index ever touched (recorded or merged in).
+    max_seen: u64,
+    /// Everything evicted by retention, folded into one tail cell.
+    folded: WindowCell,
+    /// First window index NOT folded (0 = nothing folded yet).
+    folded_before: u64,
 }
 
 /// Default visit spacing on the open-loop timeline (one visit epoch
@@ -374,7 +392,26 @@ impl Timeline {
             window,
             spacing,
             windows: BTreeMap::new(),
+            retain: None,
+            max_seen: 0,
+            folded: WindowCell::default(),
+            folded_before: 0,
         }
+    }
+
+    /// Bound the live window map to at most `max_windows` cells:
+    /// older windows are evicted and folded into the committed tail
+    /// summary (see the type docs for why this stays deterministic
+    /// under sharding). Panics on zero.
+    pub fn with_retention(mut self, max_windows: u64) -> Self {
+        assert!(max_windows > 0, "retention must keep at least one window");
+        self.retain = Some(max_windows);
+        self
+    }
+
+    /// The configured retention horizon, when bounded.
+    pub fn retention(&self) -> Option<u64> {
+        self.retain
     }
 
     /// The tumbling-window width.
@@ -393,7 +430,37 @@ impl Timeline {
     }
 
     fn cell(&mut self, t: SimTime) -> &mut WindowCell {
-        self.windows.entry(t.window_index(self.window)).or_default()
+        let idx = t.window_index(self.window);
+        if idx > self.max_seen {
+            self.max_seen = idx;
+        }
+        // Behind the retention horizon the live window is gone; its
+        // contribution belongs to the tail cell it was folded into.
+        if idx < self.folded_before {
+            return &mut self.folded;
+        }
+        self.windows.entry(idx).or_default()
+    }
+
+    /// Evict-and-fold every live window behind the retention horizon
+    /// (`max_seen − retain + 1`). A no-op without retention.
+    fn enforce_retention(&mut self) {
+        if self.retain.is_none() {
+            return;
+        }
+        let retain = self.retain.unwrap();
+        let boundary = (self.max_seen + 1).saturating_sub(retain);
+        if boundary > self.folded_before {
+            self.folded_before = boundary;
+        }
+        // Sweep unconditionally: merge() can raise `folded_before` past
+        // live windows of this shard without moving the boundary here.
+        while let Some(entry) = self.windows.first_entry() {
+            if *entry.key() >= self.folded_before {
+                break;
+            }
+            self.folded.merge(&entry.remove());
+        }
     }
 
     /// Fold one visit's contribution into the timeline. Counters and
@@ -401,7 +468,13 @@ impl Timeline {
     /// and byte events land in the window of their own timeline
     /// instant (`epoch + visit-relative offset`).
     pub fn record_visit(&mut self, v: &VisitObs) {
-        let epoch = self.epoch(v.rank);
+        self.record_visit_at(self.epoch(v.rank), v);
+    }
+
+    /// [`Timeline::record_visit`] with an explicit timeline instant
+    /// instead of the rank-derived epoch — the open-loop serving
+    /// engine records visits at their simulated arrival time.
+    pub fn record_visit_at(&mut self, epoch: SimTime, v: &VisitObs) {
         let cell = self.cell(epoch);
         cell.counters[C_VISITS] += 1;
         cell.counters[C_REQUESTS] += v.requests;
@@ -455,26 +528,38 @@ impl Timeline {
             );
             cell.counters[C_BYTES_TOTAL] += size;
         }
+        self.enforce_retention();
     }
 
     /// Window-keyed union with cell merge: commutative and
-    /// associative, so shards may combine in any order.
+    /// associative, so shards may combine in any order. Retained
+    /// timelines re-fold against the merged (global) horizon, so the
+    /// folded set is the same for any partition of the inputs.
     pub fn merge(&mut self, other: &Timeline) {
         debug_assert_eq!(self.window, other.window);
         debug_assert_eq!(self.spacing, other.spacing);
+        debug_assert_eq!(self.retain, other.retain);
+        self.folded.merge(&other.folded);
+        self.folded_before = self.folded_before.max(other.folded_before);
         for (&idx, cell) in &other.windows {
-            self.windows.entry(idx).or_default().merge(cell);
+            if idx < self.folded_before {
+                self.folded.merge(cell);
+            } else {
+                self.windows.entry(idx).or_default().merge(cell);
+            }
         }
+        self.max_seen = self.max_seen.max(other.max_seen);
+        self.enforce_retention();
     }
 
-    /// Number of materialised windows.
+    /// Number of materialised (live) windows.
     pub fn num_windows(&self) -> usize {
         self.windows.len()
     }
 
-    /// Total visits recorded across all windows.
+    /// Total visits recorded, including visits folded into the tail.
     pub fn total_visits(&self) -> u64 {
-        self.windows.values().map(WindowCell::visits).sum()
+        self.folded.visits() + self.windows.values().map(WindowCell::visits).sum::<u64>()
     }
 
     /// Iterate windows in time order as `(index, cell)`.
@@ -482,9 +567,16 @@ impl Timeline {
         self.windows.iter().map(|(&i, c)| (i, c))
     }
 
-    /// The whole-crawl aggregate: every window cell folded together.
+    /// The tail cell retention folded evicted windows into (empty
+    /// without retention or before the horizon first moved).
+    pub fn folded(&self) -> &WindowCell {
+        &self.folded
+    }
+
+    /// The whole-crawl aggregate: every window cell — live and folded
+    /// — folded together.
     pub fn totals(&self) -> WindowCell {
-        let mut total = WindowCell::default();
+        let mut total = self.folded.clone();
         for cell in self.windows.values() {
             total.merge(cell);
         }
@@ -492,15 +584,33 @@ impl Timeline {
     }
 
     /// Deterministic JSON export: window list in time order plus a
-    /// `totals` section with the same cell shape.
+    /// `totals` section with the same cell shape. A retained timeline
+    /// additionally carries a `folded` tail-summary section; without
+    /// retention the export is byte-identical to what it was before
+    /// retention existed, which is what keeps the committed reference
+    /// timelines valid.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096 + 1024 * self.windows.len());
         let _ = write!(
             out,
-            "{{\n  \"window_ms\": {},\n  \"spacing_ms\": {},\n  \"windows\": [\n",
+            "{{\n  \"window_ms\": {},\n  \"spacing_ms\": {},\n",
             self.window.as_micros() / 1_000,
             self.spacing.as_micros() / 1_000
         );
+        if let Some(retain) = self.retain {
+            let _ = write!(
+                out,
+                "  \"retain_windows\": {},\n  \"folded\": {{\"before_index\":{},\"counters\":",
+                retain, self.folded_before
+            );
+            self.folded.counters_json(&mut out);
+            out.push_str(",\"rates\":");
+            self.folded.rates_json(&mut out);
+            out.push_str(",\"sketches\":");
+            self.folded.sketches_json(&mut out);
+            out.push_str("},\n");
+        }
+        out.push_str("  \"windows\": [\n");
         for (i, (&idx, cell)) in self.windows.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
@@ -595,6 +705,106 @@ mod tests {
         assert_eq!(totals.plt().count(), 32);
         assert_eq!(totals.handshake().count(), 64);
         assert!((totals.coalesce_rate() - 0.4).abs() < 1e-9);
+    }
+
+    /// A cheap visit for the high-volume retention tests: no
+    /// handshake/byte events, so each record touches one window.
+    fn light_visit(rank: u32, plt: u64) -> VisitObs {
+        VisitObs {
+            rank,
+            plt_us: plt,
+            requests: 3,
+            coalesced_requests: 1,
+            connections_opened: 1,
+            measured_tls: 1,
+            ..VisitObs::default()
+        }
+    }
+
+    #[test]
+    fn retention_bounds_live_windows_over_a_million_visits() {
+        // A serving horizon: one visit every 10 ms of simulated time,
+        // a million visits → 10,000 one-second windows, of which only
+        // the trailing 64 stay live; everything older folds into the
+        // tail summary and no visit is lost.
+        let mut t = Timeline::new(SimDuration::from_secs(1), DEFAULT_SPACING).with_retention(64);
+        for i in 0..1_000_000u64 {
+            t.record_visit_at(
+                SimTime::from_micros(i * 10_000),
+                &light_visit((i % 1000) as u32, 1_000 + i % 7),
+            );
+            assert!(t.num_windows() <= 64);
+        }
+        assert_eq!(t.total_visits(), 1_000_000);
+        assert_eq!(t.totals().visits(), 1_000_000);
+        assert!(t.folded().visits() > 900_000, "tail absorbed the horizon");
+        let json = t.to_json();
+        assert!(json.contains("\"retain_windows\": 64"));
+        assert!(json.contains("\"folded\""));
+    }
+
+    #[test]
+    fn retained_merge_is_partition_invariant() {
+        // Sharding a retained timeline must fold exactly the window
+        // set a sequential pass folds: the horizon is a max over
+        // shards and cell merge is commutative.
+        let mk = || Timeline::new(SimDuration::from_secs(1), DEFAULT_SPACING).with_retention(8);
+        let mut whole = mk();
+        for i in 0..2_000u64 {
+            whole.record_visit_at(
+                SimTime::from_micros(i * 400_000),
+                &light_visit(i as u32, 5_000 + i),
+            );
+        }
+        for shards in [2usize, 3, 8] {
+            let mut parts: Vec<Timeline> = (0..shards).map(|_| mk()).collect();
+            for i in 0..2_000u64 {
+                parts[i as usize % shards].record_visit_at(
+                    SimTime::from_micros(i * 400_000),
+                    &light_visit(i as u32, 5_000 + i),
+                );
+            }
+            let mut merged = mk();
+            for p in &parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged.to_json(), whole.to_json(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn unretained_export_has_no_folded_section() {
+        let mut t = Timeline::new(DEFAULT_WINDOW, DEFAULT_SPACING);
+        for r in 0..10 {
+            t.record_visit(&visit(r, 1_000_000));
+        }
+        let json = t.to_json();
+        assert!(!json.contains("folded"));
+        assert!(!json.contains("retain_windows"));
+    }
+
+    #[test]
+    fn event_behind_the_horizon_lands_in_the_tail() {
+        let mut t = Timeline::new(SimDuration::from_secs(1), DEFAULT_SPACING).with_retention(4);
+        // Drive the horizon far ahead, then record a straggler at t=0.
+        t.record_visit_at(SimTime::from_secs(100), &light_visit(1, 1_000));
+        t.record_visit_at(SimTime::ZERO, &light_visit(2, 2_000));
+        assert_eq!(t.total_visits(), 2);
+        assert_eq!(t.folded().visits(), 1, "straggler folded, not revived");
+        assert!(t.num_windows() <= 4);
+    }
+
+    #[test]
+    fn record_visit_at_epoch_matches_record_visit() {
+        let mk = || Timeline::new(DEFAULT_WINDOW, DEFAULT_SPACING);
+        let (mut a, mut b) = (mk(), mk());
+        for r in 0..20 {
+            let v = visit(r, 1_500_000);
+            a.record_visit(&v);
+            let epoch = b.epoch(r);
+            b.record_visit_at(epoch, &v);
+        }
+        assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]

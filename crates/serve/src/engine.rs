@@ -1,0 +1,450 @@
+//! The sharded open-loop event-loop driver.
+//!
+//! ## Determinism under sharding
+//!
+//! Sessions are partitioned by `session_id % threads`. Every worker
+//! regenerates the *identical* arrival stream (the arrival RNG is a
+//! derived stream independent of all session RNGs) and walks it on its
+//! own calendar queue, but only simulates the sessions it owns. Each
+//! session's randomness is a pure function of `(seed, session_id)`, so
+//! where a session runs cannot change what it does. All aggregation is
+//! commutative and associative — window-keyed timeline merge, additive
+//! registry counters, churn sums — so merging shard outputs in any
+//! order yields byte-identical reports at any `--threads`.
+//!
+//! The global visit budget is enforced in arrival order: each worker
+//! accounts every session's visit count (owned or not) against the
+//! budget while walking the stream, so all workers truncate the same
+//! final session at the same visit.
+//!
+//! ## Memory
+//!
+//! Per-visit state lives in recycled scratch: a session slab with a
+//! free list (RNG + pool + cursor per active session), one
+//! [`VisitObs`] per worker, and a per-visit key scratch. Steady state
+//! is `O(sites) + O(windows) + O(active sessions)`.
+
+use origin_browser::{PoolChurn, SessionPool};
+use origin_cdn::Rollout;
+use origin_metrics::Registry;
+use origin_netsim::{EventQueue, SimDuration, SimRng, SimTime};
+use origin_obs::{Timeline, VisitObs};
+use origin_webgen::Dataset;
+
+use crate::plan::{compile_dataset, SitePlan};
+use crate::ServeConfig;
+
+/// Base render/parse cost of a visit before network terms, µs.
+const BASE_RENDER_US: u64 = 30_000;
+/// Handshake cost in round trips (TCP + TLS 1.3).
+const HANDSHAKE_RTTS: u64 = 2;
+/// Cap on visits per session (tail guard on the geometric draw).
+const MAX_SESSION_VISITS: u64 = 64;
+
+/// SplitMix64 finalizer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The per-session RNG: pure in `(seed, session_id)` so shard
+/// placement cannot perturb a session's behaviour.
+fn session_rng(seed: u64, id: u64) -> SimRng {
+    SimRng::seed_from_u64(mix(seed ^ id.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// Visits a session will make: 1 + geometric-ish tail with the
+/// configured mean, capped. Drawn from the session RNG before any
+/// visit randomness.
+fn session_visit_budget(rng: &mut SimRng, mean: f64) -> u64 {
+    let extra = rng.exponential((mean - 1.0).max(0.0) + f64::MIN_POSITIVE);
+    (1 + extra as u64).min(MAX_SESSION_VISITS)
+}
+
+/// One live session's state in the worker slab.
+struct Session {
+    rng: SimRng,
+    pool: SessionPool,
+    /// Most recently visited site (plan index), for revisit bias.
+    site: Option<u32>,
+    /// Visits left, including the one being scheduled.
+    remaining: u64,
+}
+
+/// Worker events on the calendar queue.
+enum Ev {
+    /// The next session materializes from the shared arrival stream.
+    Arrival,
+    /// An owned session performs its next visit.
+    Visit { slot: u32 },
+}
+
+/// One worker shard's accumulated output.
+struct ShardOut {
+    control: Timeline,
+    origin: Timeline,
+    metrics: Registry,
+    churn: PoolChurn,
+    sessions: u64,
+    visits: u64,
+    sim_end: SimTime,
+}
+
+/// The merged result of a serving run.
+pub struct ServeReport {
+    /// Counter/phase metrics (`serve.*`).
+    pub metrics: Registry,
+    /// Timeline of visits served while the deciding edge did NOT
+    /// advertise ORIGIN (plus all provider-free sites).
+    pub control: Timeline,
+    /// Timeline of visits served under an ORIGIN-advertising edge.
+    pub origin: Timeline,
+    /// Sessions simulated.
+    pub sessions: u64,
+    /// Visits simulated (== the configured budget).
+    pub visits: u64,
+    /// Simulated instant of the last processed event.
+    pub sim_end: SimTime,
+}
+
+impl ServeReport {
+    /// Both arms as one JSON document:
+    /// `{"arms":{"control":…,"origin":…}}`.
+    pub fn timeline_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n\"arms\": {\n\"control\": ");
+        out.push_str(&self.control.to_json());
+        out.push_str(",\n\"origin\": ");
+        out.push_str(&self.origin.to_json());
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Deterministic run summary (no wall-clock content), one
+    /// `key: value` per line.
+    pub fn summary(&self) -> String {
+        let m = &self.metrics;
+        let mut s = String::with_capacity(512);
+        use std::fmt::Write as _;
+        let _ = writeln!(s, "sessions: {}", self.sessions);
+        let _ = writeln!(s, "visits: {}", self.visits);
+        let _ = writeln!(s, "sim_end_ms: {}", self.sim_end.as_micros() / 1_000);
+        for key in [
+            "serve.requests",
+            "serve.coalesced_requests",
+            "serve.connections_opened",
+            "serve.pool_reused",
+            "serve.pool_idle_closed",
+            "serve.pool_lru_evicted",
+            "serve.pool_edge_evicted",
+            "serve.arm_control_visits",
+            "serve.arm_origin_visits",
+        ] {
+            let _ = writeln!(s, "{}: {}", key, m.counter(key));
+        }
+        let reuse = m.counter("serve.pool_reused") as f64
+            / (m.counter("serve.pool_reused") + m.counter("serve.connections_opened")).max(1)
+                as f64;
+        let _ = writeln!(s, "pool_reuse_rate: {reuse:.4}");
+        s
+    }
+}
+
+/// Run the serving engine to completion.
+///
+/// Generates the dataset, compiles site plans, runs `threads` worker
+/// shards over the shared arrival stream, and merges their outputs.
+/// Panics on a zero thread count or a zero visit budget.
+pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
+    assert!(cfg.threads > 0, "need at least one worker");
+    assert!(cfg.visits > 0, "need a visit budget");
+    let dataset = Dataset::generate(cfg.dataset);
+    let plans = compile_dataset(&dataset);
+    run_serve_on(cfg, &plans)
+}
+
+/// [`run_serve`] over pre-compiled plans (reused by benches/tests to
+/// amortize dataset generation).
+pub fn run_serve_on(cfg: &ServeConfig, plans: &[SitePlan]) -> ServeReport {
+    assert!(!plans.is_empty(), "no successful sites to serve");
+    let shards: Vec<ShardOut> = if cfg.threads == 1 {
+        vec![run_shard(cfg, plans, 0)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.threads)
+                .map(|shard| scope.spawn(move || run_shard(cfg, plans, shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("serve worker panicked"))
+                .collect()
+        })
+    };
+    let mut iter = shards.into_iter();
+    let mut first = iter.next().expect("at least one shard");
+    for s in iter {
+        first.control.merge(&s.control);
+        first.origin.merge(&s.origin);
+        first.metrics.merge(&s.metrics);
+        first.churn.merge(&s.churn);
+        first.sessions += s.sessions;
+        first.visits += s.visits;
+        first.sim_end = first.sim_end.max(s.sim_end);
+    }
+    ServeReport {
+        metrics: first.metrics,
+        control: first.control,
+        origin: first.origin,
+        sessions: first.sessions,
+        visits: first.visits,
+        sim_end: first.sim_end,
+    }
+}
+
+fn mk_timeline(cfg: &ServeConfig) -> Timeline {
+    let t = Timeline::new(cfg.window, origin_obs::window::DEFAULT_SPACING);
+    match cfg.retain_windows {
+        Some(n) => t.with_retention(n),
+        None => t,
+    }
+}
+
+fn run_shard(cfg: &ServeConfig, plans: &[SitePlan], shard: usize) -> ShardOut {
+    let rollout = cfg.rollout_model();
+    let master = SimRng::seed_from_u64(cfg.seed);
+    let mut arrivals = origin_netsim::ArrivalProcess::new(
+        master.derive("arrivals"),
+        cfg.peak_rate_per_sec,
+        cfg.diurnal_amplitude,
+        cfg.diurnal_period,
+    );
+
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut slab: Vec<Session> = Vec::new();
+    let mut free: Vec<u32> = Vec::new();
+    let mut out = ShardOut {
+        control: mk_timeline(cfg),
+        origin: mk_timeline(cfg),
+        metrics: Registry::new(),
+        churn: PoolChurn::default(),
+        sessions: 0,
+        visits: 0,
+        sim_end: SimTime::ZERO,
+    };
+    // Materialize every serve key on every shard so the merged key set
+    // never depends on which shard saw which traffic.
+    for key in [
+        "serve.sessions",
+        "serve.visits",
+        "serve.requests",
+        "serve.coalesced_requests",
+        "serve.connections_opened",
+        "serve.pool_reused",
+        "serve.pool_idle_closed",
+        "serve.pool_lru_evicted",
+        "serve.pool_edge_evicted",
+        "serve.arm_control_visits",
+        "serve.arm_origin_visits",
+    ] {
+        out.metrics.add(key, 0);
+    }
+
+    let mut budget = cfg.visits;
+    let mut next_id: u64 = 0;
+    let mut visit_keys: Vec<u32> = Vec::with_capacity(64);
+    let mut obs = VisitObs::default();
+
+    queue.schedule(arrivals.next_arrival(), Ev::Arrival);
+    while let Some((now, ev)) = queue.next() {
+        out.sim_end = now;
+        match ev {
+            Ev::Arrival => {
+                let id = next_id;
+                next_id += 1;
+                let mut rng = session_rng(cfg.seed, id);
+                let wanted = session_visit_budget(&mut rng, cfg.session_visits_mean);
+                let take = wanted.min(budget);
+                budget -= take;
+                // The arrival chain keeps running until the global
+                // budget is spent — identically on every shard.
+                if budget > 0 {
+                    queue.schedule(arrivals.next_arrival(), Ev::Arrival);
+                }
+                if take == 0 || id % cfg.threads as u64 != shard as u64 {
+                    continue;
+                }
+                out.sessions += 1;
+                out.metrics.inc("serve.sessions");
+                let session = Session {
+                    rng,
+                    pool: SessionPool::new(),
+                    site: None,
+                    remaining: take,
+                };
+                let slot = match free.pop() {
+                    Some(slot) => {
+                        let s = &mut slab[slot as usize];
+                        s.rng = session.rng;
+                        s.pool.reset();
+                        s.site = None;
+                        s.remaining = session.remaining;
+                        slot
+                    }
+                    None => {
+                        slab.push(session);
+                        (slab.len() - 1) as u32
+                    }
+                };
+                queue.schedule(now, Ev::Visit { slot });
+            }
+            Ev::Visit { slot } => {
+                let session = &mut slab[slot as usize];
+                session
+                    .pool
+                    .sweep_idle(now, cfg.idle_timeout, &mut out.churn);
+                let site_idx = match session.site {
+                    Some(prev) if session.rng.chance(cfg.revisit_bias) => prev,
+                    _ => session.rng.zipf(plans.len(), cfg.zipf_s) as u32,
+                };
+                session.site = Some(site_idx);
+                let plan = &plans[site_idx as usize];
+
+                obs.clear();
+                visit_keys.clear();
+                let origin_arm = simulate_visit(
+                    plan,
+                    session,
+                    &rollout,
+                    now,
+                    cfg,
+                    &mut visit_keys,
+                    &mut obs,
+                    &mut out.churn,
+                );
+                out.visits += 1;
+                out.metrics.inc("serve.visits");
+                out.metrics.add("serve.requests", obs.requests);
+                out.metrics
+                    .add("serve.coalesced_requests", obs.coalesced_requests);
+                out.metrics
+                    .add("serve.connections_opened", obs.connections_opened);
+                if origin_arm {
+                    out.metrics.inc("serve.arm_origin_visits");
+                    out.origin.record_visit_at(now, &obs);
+                } else {
+                    out.metrics.inc("serve.arm_control_visits");
+                    out.control.record_visit_at(now, &obs);
+                }
+
+                session.remaining -= 1;
+                if session.remaining > 0 {
+                    let think = SimDuration::from_micros(
+                        session
+                            .rng
+                            .exponential(cfg.think_mean.as_micros() as f64)
+                            .max(1.0) as u64,
+                    );
+                    queue.schedule(now + think, Ev::Visit { slot });
+                } else {
+                    free.push(slot);
+                }
+            }
+        }
+    }
+    // Pool-churn counters accumulate across the shard; publish once.
+    out.metrics.add("serve.pool_reused", out.churn.reused);
+    out.metrics
+        .add("serve.pool_idle_closed", out.churn.idle_closed);
+    out.metrics
+        .add("serve.pool_lru_evicted", out.churn.lru_evicted);
+    out.metrics
+        .add("serve.pool_edge_evicted", out.churn.edge_evicted);
+    out
+}
+
+/// Replay one visit of `plan` against the session pool, filling `obs`.
+/// Returns whether the visit ran in the ORIGIN arm.
+#[allow(clippy::too_many_arguments)]
+fn simulate_visit(
+    plan: &SitePlan,
+    session: &mut Session,
+    rollout: &Rollout,
+    now: SimTime,
+    cfg: &ServeConfig,
+    visit_keys: &mut Vec<u32>,
+    obs: &mut VisitObs,
+    churn: &mut PoolChurn,
+) -> bool {
+    let origin_arm = plan
+        .arm_edge
+        .map(|e| rollout.origin_enabled(e, now))
+        .unwrap_or(false);
+    obs.rank = plan.rank;
+    obs.requests = u64::from(plan.total_requests);
+    obs.model_ip_tls = u64::from(plan.model_ip_tls);
+    obs.model_origin_tls = u64::from(plan.model_origin_tls);
+
+    // Critical path: first-party hosts load sequentially, third-party
+    // hosts in parallel (their slowest sets the term).
+    let mut fp_us: u64 = 0;
+    let mut svc_max_us: u64 = 0;
+    let mut handshake_total: u64 = 0;
+    for host in &plan.hosts {
+        // Per-host arm resolution: ORIGIN only helps where the
+        // terminating edge advertises it at this instant.
+        let key = if rollout.origin_enabled(host.edge, now) {
+            host.origin_key
+        } else {
+            host.control_key
+        };
+        let mut host_us = host.transfer_us() + host.rtt_us();
+        if visit_keys.contains(&key) {
+            // Coalesced onto a connection this visit already used.
+            obs.coalesced_requests += u64::from(host.requests);
+        } else {
+            visit_keys.push(key);
+            let reused =
+                session
+                    .pool
+                    .acquire(key, host.edge, now, cfg.edge_cap, cfg.pool_budget, churn);
+            obs.dns_queries += 1;
+            if reused {
+                obs.dns_cache_hits += 1;
+            } else {
+                obs.dns_cache_misses += 1;
+                obs.connections_opened += 1;
+                obs.measured_tls += 1;
+                let handshake = (session
+                    .rng
+                    .log_normal((host.rtt_us() * HANDSHAKE_RTTS) as f64, 0.08))
+                    as u64;
+                let offset = fp_us.max(svc_max_us);
+                obs.handshakes.push((offset, handshake, 0));
+                handshake_total += handshake;
+                host_us += handshake;
+            }
+        }
+        let offset = fp_us.max(svc_max_us) + host_us;
+        obs.bytes.push((offset, host.bytes, 0));
+        let is_first_party = host.control_key & 0x8000_0000 != 0;
+        if is_first_party {
+            fp_us += host_us;
+        } else {
+            svc_max_us = svc_max_us.max(host_us);
+        }
+    }
+    let jitter = session.rng.log_normal(1.0, 0.05);
+    let plt = ((BASE_RENDER_US + fp_us + svc_max_us) as f64 * jitter) as u64;
+    obs.plt_us = plt;
+    // Ideal models: scale out the handshakes the model's coalescing
+    // would have avoided on a cold load of this site.
+    let opens = obs.connections_opened;
+    let avg_handshake = handshake_total.checked_div(opens).unwrap_or(0);
+    let saved_ip = opens.saturating_sub(u64::from(plan.model_ip_tls));
+    let saved_origin = opens.saturating_sub(u64::from(plan.model_origin_tls));
+    obs.plt_ideal_ip_us = plt.saturating_sub(avg_handshake * saved_ip);
+    obs.plt_ideal_origin_us = plt.saturating_sub(avg_handshake * saved_origin);
+    origin_arm
+}

@@ -1,0 +1,116 @@
+//! The open-loop serving engine (DESIGN.md §16).
+//!
+//! The paper evaluates best-case coalescing as a one-shot crawl: every
+//! site visited exactly once, cold. Production traffic is nothing like
+//! that — sessions arrive on their own clock (Poisson, diurnally
+//! modulated), users make several visits with warm connection pools,
+//! popularity is Zipf-skewed, and deployment changes roll out across
+//! the edge fleet *while traffic is being served*. This crate replaces
+//! the crawl with that workload:
+//!
+//! - [`plan`] — compiles each generated site into a flat [`SitePlan`]:
+//!   per-host coalescing keys (control and ORIGIN arms), edge
+//!   assignment, request/byte budgets, and the site's ideal-model
+//!   connection counts. Built once, `O(sites)`, shared read-only by
+//!   every worker.
+//! - [`engine`] — the sharded event-loop driver: each worker owns
+//!   `session_id % threads` and replays the identical arrival stream
+//!   on its own calendar queue, so the merged output is byte-identical
+//!   at any thread count.
+//!
+//! Per-visit work recycles a fixed set of scratch buffers (session
+//! slab, pool slabs, [`origin_obs::VisitObs`]), so steady-state memory
+//! is `O(sites) + O(windows) + O(active sessions)` — never
+//! `O(visits)`. `crates/serve/tests/serve_alloc.rs` pins that with a
+//! counting allocator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::{run_serve, ServeReport};
+pub use plan::{HostPlan, SitePlan};
+
+use origin_netsim::SimDuration;
+use origin_webgen::DatasetConfig;
+
+/// Configuration for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The synthetic web to serve.
+    pub dataset: DatasetConfig,
+    /// Serving-side master seed (arrivals, sessions, rollout);
+    /// independent of the dataset seed.
+    pub seed: u64,
+    /// Total visit budget: the run stops after exactly this many
+    /// visits, truncating the last session if needed.
+    pub visits: u64,
+    /// Worker shards. Output is byte-identical at any value.
+    pub threads: usize,
+    /// Peak session arrival rate, per simulated second.
+    pub peak_rate_per_sec: f64,
+    /// Diurnal peak-to-trough swing in `[0, 1]` (0 = homogeneous).
+    pub diurnal_amplitude: f64,
+    /// Diurnal period (a simulated day by default).
+    pub diurnal_period: SimDuration,
+    /// Mean visits per session (geometric-ish, ≥ 1).
+    pub session_visits_mean: f64,
+    /// Zipf skew of site popularity.
+    pub zipf_s: f64,
+    /// Probability a non-first visit reloads the same site instead of
+    /// drawing a fresh one (revisit skew).
+    pub revisit_bias: f64,
+    /// Mean think time between a session's visits.
+    pub think_mean: SimDuration,
+    /// Idle timeout for pooled session connections.
+    pub idle_timeout: SimDuration,
+    /// Max warm connections to a single edge per session.
+    pub edge_cap: usize,
+    /// Global per-session pool budget (0 disables pooling — every
+    /// connection reopens; the BENCH_6 before-arm).
+    pub pool_budget: usize,
+    /// Timeline tumbling-window width.
+    pub window: SimDuration,
+    /// Bound each arm's live window map (`None` = unbounded).
+    pub retain_windows: Option<u64>,
+    /// Final share of edges advertising ORIGIN (0 = control only).
+    pub rollout: f64,
+    /// Sim time over which the rollout share ramps from 0 to target.
+    pub rollout_ramp: SimDuration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            dataset: DatasetConfig::default(),
+            seed: 0x5E17E,
+            visits: 100_000,
+            threads: 1,
+            peak_rate_per_sec: 10.0,
+            diurnal_amplitude: 0.6,
+            diurnal_period: SimDuration::from_secs(86_400),
+            session_visits_mean: 4.0,
+            zipf_s: 1.1,
+            revisit_bias: 0.4,
+            think_mean: SimDuration::from_secs(30),
+            idle_timeout: SimDuration::from_secs(60),
+            edge_cap: 6,
+            pool_budget: 32,
+            window: SimDuration::from_secs(60),
+            retain_windows: None,
+            rollout: 0.0,
+            rollout_ramp: SimDuration::from_secs(3_600),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The rollout model this config describes. The seed is
+    /// decorrelated from the arrival/session streams so changing the
+    /// rollout target never perturbs the traffic itself.
+    pub fn rollout_model(&self) -> origin_cdn::Rollout {
+        origin_cdn::Rollout::new(self.rollout, self.rollout_ramp, self.seed ^ 0x0110_60C4)
+    }
+}

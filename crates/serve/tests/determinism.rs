@@ -1,0 +1,136 @@
+//! Byte-identity of the serving engine across thread counts, and
+//! engine-level invariants the CLI gate relies on.
+
+use origin_netsim::SimDuration;
+use origin_serve::{run_serve, ServeConfig};
+use origin_webgen::DatasetConfig;
+
+fn base_cfg() -> ServeConfig {
+    ServeConfig {
+        dataset: DatasetConfig {
+            sites: 1_000,
+            ..DatasetConfig::default()
+        },
+        visits: 10_000,
+        ..ServeConfig::default()
+    }
+}
+
+fn outputs(cfg: &ServeConfig) -> (String, String, String) {
+    let r = run_serve(cfg);
+    (r.summary(), r.timeline_json(), r.metrics.to_json())
+}
+
+#[test]
+fn byte_identical_across_thread_counts() {
+    let one = outputs(&base_cfg());
+    for threads in [2, 3, 8] {
+        let cfg = ServeConfig {
+            threads,
+            ..base_cfg()
+        };
+        let t = outputs(&cfg);
+        assert_eq!(one.0, t.0, "summary differs at {threads} threads");
+        assert_eq!(one.1, t.1, "timeline differs at {threads} threads");
+        assert_eq!(one.2, t.2, "metrics differ at {threads} threads");
+    }
+}
+
+#[test]
+fn byte_identical_with_rollout_and_retention() {
+    let cfg1 = ServeConfig {
+        rollout: 0.5,
+        rollout_ramp: SimDuration::from_secs(600),
+        retain_windows: Some(32),
+        ..base_cfg()
+    };
+    let one = outputs(&cfg1);
+    for threads in [2, 8] {
+        let cfg = ServeConfig {
+            threads,
+            ..cfg1.clone()
+        };
+        let t = outputs(&cfg);
+        assert_eq!(one.0, t.0, "summary differs at {threads} threads");
+        assert_eq!(one.1, t.1, "timeline differs at {threads} threads");
+        assert_eq!(one.2, t.2, "metrics differ at {threads} threads");
+    }
+}
+
+#[test]
+fn visit_budget_is_exact() {
+    let r = run_serve(&base_cfg());
+    assert_eq!(r.visits, 10_000);
+    assert_eq!(r.metrics.counter("serve.visits"), 10_000);
+    assert_eq!(
+        r.metrics.counter("serve.arm_control_visits")
+            + r.metrics.counter("serve.arm_origin_visits"),
+        10_000
+    );
+}
+
+#[test]
+fn rollout_populates_both_arms() {
+    let cfg = ServeConfig {
+        rollout: 0.6,
+        rollout_ramp: SimDuration::from_secs(300),
+        ..base_cfg()
+    };
+    let r = run_serve(&cfg);
+    let origin = r.metrics.counter("serve.arm_origin_visits");
+    let control = r.metrics.counter("serve.arm_control_visits");
+    assert!(origin > 0, "ramped rollout must reach the origin arm");
+    assert!(control > 0, "control arm must keep provider-free sites");
+    assert_eq!(r.origin.total_visits(), origin);
+    assert_eq!(r.control.total_visits(), control);
+}
+
+#[test]
+fn zero_rollout_keeps_origin_arm_empty() {
+    let r = run_serve(&base_cfg());
+    assert_eq!(r.metrics.counter("serve.arm_origin_visits"), 0);
+    assert_eq!(r.origin.total_visits(), 0);
+}
+
+#[test]
+fn disabled_pool_reopens_every_connection() {
+    let cfg = ServeConfig {
+        pool_budget: 0,
+        ..base_cfg()
+    };
+    let r = run_serve(&cfg);
+    assert_eq!(r.metrics.counter("serve.pool_reused"), 0);
+    assert_eq!(r.metrics.counter("serve.pool_idle_closed"), 0);
+    // Pooled serving opens strictly fewer connections for the same
+    // traffic.
+    let pooled = run_serve(&base_cfg());
+    assert!(
+        pooled.metrics.counter("serve.connections_opened")
+            < r.metrics.counter("serve.connections_opened")
+    );
+}
+
+#[test]
+fn retention_bounds_live_windows() {
+    let cfg = ServeConfig {
+        retain_windows: Some(16),
+        visits: 20_000,
+        ..base_cfg()
+    };
+    let r = run_serve(&cfg);
+    assert!(r.control.num_windows() <= 16);
+    assert_eq!(r.control.total_visits() + r.origin.total_visits(), 20_000);
+}
+
+#[test]
+fn churn_counters_are_exposed() {
+    let r = run_serve(&base_cfg());
+    assert!(r.metrics.counter("serve.pool_reused") > 0);
+    assert!(r.metrics.counter("serve.pool_idle_closed") > 0);
+    assert!(r.metrics.counter("serve.connections_opened") > 0);
+    // Summary carries the same numbers the metrics do.
+    assert!(r.summary().contains(&format!(
+        "serve.pool_reused: {}",
+        r.metrics.counter("serve.pool_reused")
+    )));
+}
