@@ -161,6 +161,29 @@ fn bench_crawl_mixed(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_crawl_h3(c: &mut Criterion) {
+    // The crawl across h3 shares. `share_0.00` measures the pure
+    // plumbing overhead of threading the share through every page
+    // load (must be within noise of the clean crawl); the nonzero
+    // shares add Alt-Svc learning, QUIC handshakes, QPACK encoding,
+    // and CID rotation on every upgraded connection.
+    let mut g = c.benchmark_group("crawl_h3");
+    g.sample_size(10);
+    for &share in &[0.0f64, 0.5, 1.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("share_{share:.2}")),
+            &share,
+            |b, &share| {
+                b.iter(|| {
+                    let r = origin_bench::run_crawl_h3(150, 0x0516, 2, None, None, 0.0, share);
+                    (r.characterization.pages, r.metrics.counter("h3.requests"))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn bench_pool_decide(c: &mut Criterion) {
     // The per-request coalescing decision, indexed vs. the linear
     // reference scan, across pool sizes. The indexed path should be
@@ -191,6 +214,7 @@ fn bench_pool_decide(c: &mut Criterion) {
                 in_flight: 0,
                 busy_until: 0.0,
                 closed: false,
+                quic: false,
             });
         }
         // A host only a wildcard SAN covers, resolving to an address
@@ -239,6 +263,7 @@ criterion_group!(
     bench_crawl_scaling,
     bench_crawl_faulted,
     bench_crawl_mixed,
+    bench_crawl_h3,
     bench_pool_decide
 );
 criterion_main!(benches);

@@ -58,8 +58,8 @@
 //! With no `--only`, everything is produced in paper order.
 
 use origin_bench::{
-    asn_label, run_crawl_mixed, run_crawl_observed, run_crawl_traced, trace_site, CrawlResults,
-    ObsConfig, RedundancyReport, ResilienceReport,
+    asn_label, run_crawl_h3, run_crawl_observed, run_crawl_traced, trace_site, CrawlResults,
+    H3Report, ObsConfig, RedundancyReport, ResilienceReport,
 };
 use origin_browser::{BrowserKind, PageLoader, UniverseEnv};
 use origin_cdn::{
@@ -87,6 +87,8 @@ struct Args {
     faults_report: Option<String>,
     legacy_share: f64,
     redundancy_report: Option<String>,
+    h3_share: f64,
+    h3_report: Option<String>,
     timeline: Option<String>,
     window_ms: Option<u64>,
     fault_abort: Option<u64>,
@@ -94,9 +96,9 @@ struct Args {
     flight_capacity: Option<usize>,
 }
 
-const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--legacy-share P [--redundancy-report path]] [--timeline path [--window MS]] [--flight-recorder path [--fault-abort N] [--flight-capacity N]] [--only id...]
+const USAGE: &str = "usage: repro [--sites N] [--seed S] [--threads N] [--json path] [--metrics path] [--trace path [--sample 1/N]] [--faults spec [--faults-report path]] [--legacy-share P [--redundancy-report path]] [--h3-share P [--h3-report path]] [--timeline path [--window MS]] [--flight-recorder path [--fault-abort N] [--flight-capacity N]] [--only id...]
        repro trace --site RANK [--format perfetto|har|ascii] [--sites N] [--seed S] [--out path]
-       repro watch --site-range A-B [--sites N] [--seed S] [--threads N] [--window MS] [--faults spec] [--legacy-share P] [--out path]
+       repro watch --site-range A-B [--sites N] [--seed S] [--threads N] [--window MS] [--faults spec] [--legacy-share P] [--h3-share P] [--out path]
        repro serve --visits N [--sites N] [--seed S] [--serve-seed S] [--threads N] [--rate R] [--rollout P [--rollout-ramp-secs S]] [--pool-budget N] [--edge-cap N] [--idle-timeout-secs S] [--window MS] [--retain-windows N] [--metrics path] [--timeline path]
        fault spec: comma-separated key=rate, keys drop corrupt h421 middlebox (e.g. drop=0.01,h421=0.005,middlebox=0.1)";
 
@@ -163,6 +165,8 @@ fn parse_args() -> Args {
         faults_report: None,
         legacy_share: 0.0,
         redundancy_report: None,
+        h3_share: 0.0,
+        h3_report: None,
         timeline: None,
         window_ms: None,
         fault_abort: None,
@@ -217,6 +221,16 @@ fn parse_args() -> Args {
                 args.redundancy_report = Some(
                     it.next()
                         .unwrap_or_else(|| die("--redundancy-report requires a path")),
+                )
+            }
+            "--h3-share" => {
+                args.h3_share =
+                    parse_value("--h3-share", it.next(), |&p: &f64| (0.0..=1.0).contains(&p))
+            }
+            "--h3-report" => {
+                args.h3_report = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--h3-report requires a path")),
                 )
             }
             "--timeline" => {
@@ -363,13 +377,14 @@ fn main() {
         // the streaming-observability outputs.
         || args.faults.is_some()
         || args.redundancy_report.is_some()
+        || args.h3_report.is_some()
         || args.timeline.is_some()
         || args.flight_recorder.is_some();
     let obs = obs_config(&args);
 
     let mut crawl = needs_crawl.then(|| {
         eprintln!(
-            "# crawling {} synthetic sites (seed {:#x}, {} threads{}{})…",
+            "# crawling {} synthetic sites (seed {:#x}, {} threads{}{}{})…",
             args.sites,
             args.seed,
             args.threads,
@@ -379,6 +394,11 @@ fn main() {
                 .unwrap_or_default(),
             if args.legacy_share > 0.0 {
                 format!(", legacy share {:.2}", args.legacy_share)
+            } else {
+                String::new()
+            },
+            if args.h3_share > 0.0 {
+                format!(", h3 share {:.2}", args.h3_share)
             } else {
                 String::new()
             }
@@ -392,6 +412,7 @@ fn main() {
             sampler.as_ref(),
             args.faults.as_ref(),
             args.legacy_share,
+            args.h3_share,
             obs.as_ref(),
         );
         ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
@@ -556,15 +577,17 @@ fn main() {
     if let (Some(profile), Some(faulted)) = (&args.faults, &crawl) {
         eprintln!("# re-crawling clean for the resilience baseline…");
         let t = std::time::Instant::now();
-        // Same universe (including any legacy share), no faults: the
-        // report isolates the profile's cost, nothing else.
-        let clean = run_crawl_mixed(
+        // Same universe (including any legacy or h3 share), no
+        // faults: the report isolates the profile's cost, nothing
+        // else.
+        let clean = run_crawl_h3(
             args.sites,
             args.seed,
             args.threads,
             None,
             None,
             args.legacy_share,
+            args.h3_share,
         );
         ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
         let report = ResilienceReport::build(&clean, faulted, profile);
@@ -616,6 +639,41 @@ fn main() {
         );
         match std::fs::write(path, report.to_json()) {
             Ok(()) => eprintln!("# wrote redundancy report to {path}"),
+            Err(e) => eprintln!("# failed to write {path}: {e}"),
+        }
+    }
+    // H2-vs-h3 comparison (the §4 best-case question under QUIC
+    // semantics): re-run the same universe with the h3 share zeroed
+    // and report what deploying h3 changed.
+    if let (Some(path), Some(r)) = (&args.h3_report, &crawl) {
+        eprintln!("# re-crawling with h3 share 0 for the h2 baseline…");
+        let t = std::time::Instant::now();
+        let baseline = run_crawl_h3(
+            args.sites,
+            args.seed,
+            args.threads,
+            None,
+            args.faults.as_ref(),
+            args.legacy_share,
+            0.0,
+        );
+        ms_crawl += t.elapsed().as_secs_f64() * 1_000.0;
+        let report = H3Report::build(&baseline, r, args.h3_share);
+        eprintln!(
+            "# h3 [share {:.2}]: {} h3 pages, {} quic connections ({} 1-rtt, {} 0-rtt, {} rejected) | median PLT {:.1} → {:.1} ms ({:+.2}%) | 0-rtt share {:.4}",
+            report.h3_share,
+            report.h3_pages,
+            report.counter("h3.connections"),
+            report.counter("h3.handshakes_1rtt"),
+            report.counter("h3.handshakes_0rtt"),
+            report.counter("h3.zero_rtt_rejected"),
+            report.baseline.2,
+            report.h3_run.2,
+            report.plt_delta_pct(),
+            report.zero_rtt_share(),
+        );
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => eprintln!("# wrote h3 report to {path}"),
             Err(e) => eprintln!("# failed to write {path}: {e}"),
         }
     }
@@ -816,7 +874,7 @@ fn cmd_serve(argv: &[String]) {
     }
 }
 
-/// [--window MS] [--faults spec] [--legacy-share P] [--out path]`:
+/// [--window MS] [--faults spec] [--legacy-share P] [--h3-share P] [--out path]`:
 /// run the observed crawl and render the windows covering the rank
 /// range as a deterministic ASCII dashboard.
 fn cmd_watch(argv: &[String]) {
@@ -827,6 +885,7 @@ fn cmd_watch(argv: &[String]) {
     let mut window_ms: Option<u64> = None;
     let mut faults: Option<FaultProfile> = None;
     let mut legacy_share: f64 = 0.0;
+    let mut h3_share: f64 = 0.0;
     let mut out: Option<String> = None;
     let mut it = argv.iter().cloned();
     while let Some(a) = it.next() {
@@ -863,6 +922,9 @@ fn cmd_watch(argv: &[String]) {
                     (0.0..=1.0).contains(&p)
                 })
             }
+            "--h3-share" => {
+                h3_share = parse_value("--h3-share", it.next(), |&p: &f64| (0.0..=1.0).contains(&p))
+            }
             "--out" => out = Some(it.next().unwrap_or_else(|| die("--out requires a path"))),
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -894,6 +956,7 @@ fn cmd_watch(argv: &[String]) {
         None,
         faults.as_ref(),
         legacy_share,
+        h3_share,
         Some(&obs),
     );
     let timeline = r

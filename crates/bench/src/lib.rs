@@ -415,7 +415,36 @@ pub fn run_crawl_mixed(
     faults: Option<&FaultProfile>,
     legacy_share: f64,
 ) -> CrawlResults {
-    run_crawl_observed(sites, seed, threads, sampler, faults, legacy_share, None)
+    run_crawl_h3(sites, seed, threads, sampler, faults, legacy_share, 0.0)
+}
+
+/// [`run_crawl_mixed`] over an HTTP/3 universe: an `h3_share` fraction
+/// of (non-legacy) sites deploys QUIC (Alt-Svc advertisement, 0-RTT
+/// resumption, QPACK, connection-ID rotation; see
+/// `origin_webgen::DatasetConfig::h3_share`). At `0.0` this *is*
+/// [`run_crawl_mixed`] — same dataset, same bytes.
+///
+/// H3 visits feed the `h3.*` counters an [`H3Report`] is built from.
+#[allow(clippy::too_many_arguments)] // one more universe axis than run_crawl_mixed
+pub fn run_crawl_h3(
+    sites: u32,
+    seed: u64,
+    threads: usize,
+    sampler: Option<&Sampler>,
+    faults: Option<&FaultProfile>,
+    legacy_share: f64,
+    h3_share: f64,
+) -> CrawlResults {
+    run_crawl_observed(
+        sites,
+        seed,
+        threads,
+        sampler,
+        faults,
+        legacy_share,
+        h3_share,
+        None,
+    )
 }
 
 /// Borrow a shard's observability sinks for one page load (the merge
@@ -449,6 +478,7 @@ pub fn run_crawl_observed(
     sampler: Option<&Sampler>,
     faults: Option<&FaultProfile>,
     legacy_share: f64,
+    h3_share: f64,
     obs: Option<&ObsConfig>,
 ) -> CrawlResults {
     let threads = threads.max(1);
@@ -457,6 +487,7 @@ pub fn run_crawl_observed(
         sites,
         seed,
         legacy_share,
+        h3_share,
         ..Default::default()
     };
     let dataset = Dataset::generate(config);
@@ -808,6 +839,149 @@ impl RedundancyReport {
     }
 }
 
+/// The `h3.*` counter names an H3 report carries, in export order.
+/// Fixed here so the report schema is stable even when a crawl never
+/// exercises a given part of the QUIC path.
+pub const H3_COUNTERS: [&str; 16] = [
+    "h3.addr_validated_skips",
+    "h3.altsvc_learned",
+    "h3.altsvc_suppressed",
+    "h3.amplification_rtts",
+    "h3.cids_issued",
+    "h3.cids_retired",
+    "h3.connections",
+    "h3.handshakes_0rtt",
+    "h3.handshakes_1rtt",
+    "h3.pages",
+    "h3.qpack_evictions",
+    "h3.qpack_instructions",
+    "h3.requests",
+    "h3.resumed_cross_host",
+    "h3.tickets_issued",
+    "h3.zero_rtt_rejected",
+];
+
+/// H2-vs-h3 comparison of two crawls over the same site list: what
+/// deploying QUIC on an `h3_share` fraction of origins changed in
+/// page load time, connection setup, and resumption behaviour.
+///
+/// Built from a baseline [`run_crawl_mixed`] (h3 share 0) and an
+/// [`run_crawl_h3`] over the same `(sites, seed)` — the §4 best-case
+/// question re-asked under h3 semantics: 0-RTT resumption and shared
+/// address validation make the *setup* cheaper, but coalescing is
+/// still gated on certificate coverage, and RFC 8336 ORIGIN frames
+/// never apply to QUIC connections.
+#[derive(Debug, Clone)]
+pub struct H3Report {
+    /// The `--h3-share` the h3 crawl ran with.
+    pub h3_share: f64,
+    /// Pages crawled (identical in both runs by construction).
+    pub pages: u64,
+    /// Pages served by h3-deploying sites.
+    pub h3_pages: u64,
+    /// `h3.*` counter values from the h3 run, in [`H3_COUNTERS`]
+    /// order (zeros included — stable schema).
+    pub counters: Vec<(&'static str, u64)>,
+    /// (median DNS queries, median new TLS connections, median PLT
+    /// ms, connections opened): the h3-share-0 baseline.
+    pub baseline: (f64, f64, f64, u64),
+    /// Same tuple for the h3 run.
+    pub h3_run: (f64, f64, f64, u64),
+}
+
+impl H3Report {
+    /// Compare an h3 crawl against the baseline crawl of the same
+    /// dataset. Both must come from the same `(sites, seed)` — the
+    /// report is meaningless otherwise.
+    pub fn build(baseline: &CrawlResults, h3: &CrawlResults, h3_share: f64) -> Self {
+        assert_eq!(
+            baseline.characterization.pages, h3.characterization.pages,
+            "h3 report requires both crawls to cover the same sites"
+        );
+        fn tuple(r: &CrawlResults) -> (f64, f64, f64, u64) {
+            let (dns, tls, plt) = r.measured.medians();
+            (
+                dns,
+                tls,
+                plt,
+                r.metrics.counter("browser.connections_opened"),
+            )
+        }
+        H3Report {
+            h3_share,
+            pages: baseline.characterization.pages,
+            h3_pages: h3.metrics.counter("h3.pages"),
+            counters: H3_COUNTERS
+                .iter()
+                .map(|&name| (name, h3.metrics.counter(name)))
+                .collect(),
+            baseline: tuple(baseline),
+            h3_run: tuple(h3),
+        }
+    }
+
+    /// Value of one `h3.*` counter from the h3 run.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Median-PLT change of the h3 run relative to the baseline, in
+    /// percent (negative = h3 made pages faster).
+    pub fn plt_delta_pct(&self) -> f64 {
+        if self.baseline.2 > 0.0 {
+            (self.h3_run.2 - self.baseline.2) / self.baseline.2 * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of QUIC connections that resumed with 0-RTT.
+    pub fn zero_rtt_share(&self) -> f64 {
+        let conns = self.counter("h3.connections");
+        if conns > 0 {
+            self.counter("h3.handshakes_0rtt") as f64 / conns as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialise to JSON. Fixed-precision formatting of the derived
+    /// floats keeps the bytes identical across thread counts (the
+    /// counter inputs already are) and free of wall-clock values.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"h3_share\": {:.4},", self.h3_share);
+        let _ = writeln!(out, "  \"pages\": {},", self.pages);
+        let _ = writeln!(out, "  \"h3_pages\": {},", self.h3_pages);
+        out.push_str("  \"h3_counters\": {\n");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{name}\": {v}{comma}");
+        }
+        out.push_str("  },\n");
+        for (key, (dns, tls, plt, conns)) in [("baseline", self.baseline), ("h3", self.h3_run)] {
+            let _ = writeln!(
+                out,
+                "  \"{key}\": {{\"median_dns\": {dns:.3}, \"median_tls\": {tls:.3}, \"median_plt_ms\": {plt:.3}, \"connections_opened\": {conns}}},"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  \"impact\": {{\"plt_delta_pct\": {:.3}, \"tls_median_delta\": {:.3}, \"zero_rtt_share\": {:.6}, \"extra_connections\": {}}}",
+            self.plt_delta_pct(),
+            self.h3_run.1 - self.baseline.1,
+            self.zero_rtt_share(),
+            self.h3_run.3 as i64 - self.baseline.3 as i64
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
 /// Trace one ranked site's visit in full: regenerate the dataset,
 /// find the site, and run exactly the load `crawl_site` would —
 /// same environment, same RNG seed — with a [`Tracer`] attached.
@@ -1050,6 +1224,110 @@ mod tests {
             RedundancyReport::build(&one, 0.25).to_json(),
             RedundancyReport::build(&four, 0.25).to_json()
         );
+    }
+
+    #[test]
+    fn zero_h3_share_is_byte_identical_to_the_pure_crawl() {
+        // `--h3-share 0` must not perturb a single output byte: same
+        // loads, same metrics JSON (no `h3.*` keys), zero report.
+        let pure = run_crawl_threads(120, 0xBEEF, 2);
+        let h3 = run_crawl_h3(120, 0xBEEF, 2, None, None, 0.0, 0.0);
+        assert_eq!(pure.measured.plt, h3.measured.plt);
+        assert_eq!(pure.metrics.to_json(), h3.metrics.to_json());
+        assert!(pure
+            .metrics
+            .counters()
+            .all(|(name, _)| !name.starts_with("h3.")));
+        let report = H3Report::build(&pure, &h3, 0.0);
+        assert_eq!(report.h3_pages, 0);
+        assert!(report.counters.iter().all(|&(_, v)| v == 0));
+        assert_eq!(report.plt_delta_pct(), 0.0);
+        assert_eq!(report.zero_rtt_share(), 0.0);
+    }
+
+    #[test]
+    fn h3_crawl_fires_and_reports() {
+        let baseline = run_crawl_threads(150, 0xBEEF, 2);
+        let h3 = run_crawl_h3(150, 0xBEEF, 2, None, None, 0.0, 0.6);
+        // The QUIC path actually runs: Alt-Svc scopes are learned,
+        // connections upgrade, and resumption fires.
+        assert!(h3.metrics.counter("h3.pages") > 0);
+        assert!(h3.metrics.counter("h3.altsvc_learned") > 0);
+        assert!(h3.metrics.counter("h3.connections") > 0);
+        assert!(h3.metrics.counter("h3.requests") > 0);
+        // Bookkeeping balances: every connection ran exactly one
+        // handshake, and 0-RTT attempts only spend banked tickets.
+        assert_eq!(
+            h3.metrics.counter("h3.connections"),
+            h3.metrics.counter("h3.handshakes_1rtt") + h3.metrics.counter("h3.handshakes_0rtt"),
+        );
+        assert!(
+            h3.metrics.counter("h3.handshakes_0rtt") + h3.metrics.counter("h3.zero_rtt_rejected")
+                <= h3.metrics.counter("h3.tickets_issued")
+        );
+        assert!(
+            h3.metrics.counter("h3.zero_rtt_rejected") <= h3.metrics.counter("h3.handshakes_1rtt")
+        );
+        assert!(h3.metrics.counter("h3.cids_issued") >= h3.metrics.counter("h3.connections"));
+        let report = H3Report::build(&baseline, &h3, 0.6);
+        assert_eq!(report.h3_pages, h3.metrics.counter("h3.pages"));
+        assert!(report.zero_rtt_share() > 0.0);
+        // The JSON is valid enough for jq and carries the full schema.
+        let json = report.to_json();
+        for name in H3_COUNTERS {
+            assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert!(json.contains("\"plt_delta_pct\""));
+        assert!(json.contains("\"zero_rtt_share\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn h3_crawl_is_thread_invariant() {
+        // The h3 universe keeps the crawl's core guarantee: the
+        // thread count changes wall-clock time and nothing else —
+        // metrics and the h3 report are byte-identical.
+        let base_one = run_crawl_threads(120, 0x0516, 1);
+        let base_four = run_crawl_threads(120, 0x0516, 4);
+        let one = run_crawl_h3(120, 0x0516, 1, None, None, 0.0, 0.5);
+        let four = run_crawl_h3(120, 0x0516, 4, None, None, 0.0, 0.5);
+        assert_eq!(one.measured.plt, four.measured.plt);
+        assert_eq!(one.metrics.to_json(), four.metrics.to_json());
+        assert_eq!(
+            H3Report::build(&base_one, &one, 0.5).to_json(),
+            H3Report::build(&base_four, &four, 0.5).to_json()
+        );
+    }
+
+    #[test]
+    fn h3_crawl_survives_fault_profiles() {
+        // PR 5's fault classes over an h3 universe: 421 replays and
+        // middlebox teardowns interact with Alt-Svc learning (a torn
+        // connection advertises nothing), but every page still lands
+        // and the zero-rate profile is invisible.
+        let profile = FaultProfile::parse("drop=0.02,h421=0.02,middlebox=0.2").unwrap();
+        let clean = run_crawl_h3(150, 0xBEEF, 2, None, None, 0.0, 0.6);
+        let faulted = run_crawl_h3(150, 0xBEEF, 2, None, Some(&profile), 0.0, 0.6);
+        assert_eq!(
+            clean.characterization.pages, faulted.characterization.pages,
+            "every page recovers: the crawl never loses a site to a fault"
+        );
+        assert!(faulted.metrics.counter("fault.retries") > 0);
+        assert!(faulted.metrics.counter("fault.middlebox_teardowns") > 0);
+        // Teardowns suppress Alt-Svc on the connection that died.
+        assert!(faulted.metrics.counter("h3.altsvc_suppressed") > 0);
+        // The QUIC path still works under fire.
+        assert!(faulted.metrics.counter("h3.connections") > 0);
+        assert_eq!(
+            faulted.metrics.counter("h3.connections"),
+            faulted.metrics.counter("h3.handshakes_1rtt")
+                + faulted.metrics.counter("h3.handshakes_0rtt"),
+        );
+        // A zero-rate profile is byte-invisible on the h3 universe,
+        // exactly as it is on the pure one.
+        let zero = run_crawl_h3(150, 0xBEEF, 2, None, Some(&FaultProfile::none()), 0.0, 0.6);
+        assert_eq!(clean.measured.plt, zero.measured.plt);
+        assert_eq!(clean.metrics.to_json(), zero.metrics.to_json());
     }
 
     #[test]

@@ -110,6 +110,40 @@ fn faulted_crawl_identical_across_thread_counts() {
 }
 
 #[test]
+fn h3_crawl_identical_across_thread_counts() {
+    // Alt-Svc learning, ticket banking, and 0-RTT rejection all draw
+    // from per-site state and RNGs, so the sharded crawl's determinism
+    // guarantee survives the QUIC upgrade path: for any fixed share,
+    // the merged output — series, tables, AND the h3.* counters — is
+    // byte-identical at any thread count.
+    use origin_bench::run_crawl_h3;
+    let one = run_crawl_h3(SITES, SEED, 1, None, None, 0.0, 0.5);
+    let two = run_crawl_h3(SITES, SEED, 2, None, None, 0.0, 0.5);
+    let eight = run_crawl_h3(SITES, SEED, 8, None, None, 0.0, 0.5);
+    assert!(
+        one.metrics.counter("h3.connections") > 0,
+        "no connection ever upgraded to QUIC"
+    );
+    assert_results_equal(&one, &two, "h3 1 vs 2 threads");
+    assert_results_equal(&one, &eight, "h3 1 vs 8 threads");
+    let json = one.metrics.to_json();
+    assert_eq!(json, two.metrics.to_json(), "h3 metrics: 1 vs 2");
+    assert_eq!(json, eight.metrics.to_json(), "h3 metrics: 1 vs 8");
+}
+
+#[test]
+fn zero_h3_share_reproduces_the_pure_crawl() {
+    // `--h3-share 0` must be indistinguishable from a build without
+    // the h3 crate: no h3.* key materializes, no RNG draw happens,
+    // and every series matches, so the committed reports stay valid.
+    use origin_bench::run_crawl_h3;
+    let pure = run_crawl_threads(SITES, SEED, 2);
+    let zero = run_crawl_h3(SITES, SEED, 2, None, None, 0.0, 0.0);
+    assert_results_equal(&pure, &zero, "pure vs h3 share 0");
+    assert_eq!(pure.metrics.to_json(), zero.metrics.to_json());
+}
+
+#[test]
 fn zero_fault_profile_reproduces_the_clean_crawl() {
     // `--faults` with an all-zero profile must be indistinguishable
     // from no `--faults` at all: no fault.* key materializes and every

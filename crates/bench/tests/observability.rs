@@ -2,7 +2,7 @@
 //! the timeline and flight-recorder outputs are byte-identical for
 //! any thread count, an unobserved crawl is byte-identical to a build
 //! without the obs layer, and the optional-subsystem gating rule
-//! (`fault.*` / `h1.*` / `obs.*` keys exist only when the subsystem
+//! (`fault.*` / `h1.*` / `h3.*` / `obs.*` keys exist only when the subsystem
 //! actually did something) holds.
 
 use origin_bench::{run_crawl_mixed, run_crawl_observed, ObsConfig};
@@ -15,7 +15,16 @@ const PROFILE: &str = "drop=0.01,h421=0.02,middlebox=0.15";
 
 fn observed(threads: usize, obs: &ObsConfig) -> origin_bench::CrawlResults {
     let profile = FaultProfile::parse(PROFILE).unwrap();
-    run_crawl_observed(SITES, SEED, threads, None, Some(&profile), 0.25, Some(obs))
+    run_crawl_observed(
+        SITES,
+        SEED,
+        threads,
+        None,
+        Some(&profile),
+        0.25,
+        0.0,
+        Some(obs),
+    )
 }
 
 #[test]
@@ -166,7 +175,7 @@ fn absent_subsystems_export_no_keys() {
     // this is what keeps the committed baseline schema stable.
     let r = run_crawl_mixed(SITES, SEED, 2, None, None, 0.0);
     let json = r.metrics.to_json();
-    for family in ["\"fault.", "\"h1.", "\"obs."] {
+    for family in ["\"fault.", "\"h1.", "\"h3.", "\"obs."] {
         assert!(
             !json.contains(family),
             "clean crawl exported {family}* keys"

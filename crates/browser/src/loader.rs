@@ -15,6 +15,7 @@ use origin_h1::{
     Connection as H1Connection, Event as H1Event, Request as H1Request, Response as H1Response,
     Role as H1Role,
 };
+use origin_h3::{H3Conn, H3Counts, H3RequestStats, H3Session};
 use origin_netsim::fault::{FaultInjector, NonCompliantMiddlebox, PacketFate};
 use origin_netsim::link::INIT_CWND;
 use origin_netsim::{
@@ -137,6 +138,28 @@ pub const REDUNDANCY_KINDS: [(BrowserKind, &str); 5] = [
     (BrowserKind::IdealOrigin, "h1.redundant.ideal_origin"),
 ];
 
+/// Per-visit HTTP/3 accounting. Only h3 pages touch it, so on a
+/// pure-h2 visit every field is zero and nothing reaches the metrics
+/// registry (see [`record_h3_metrics`]).
+#[derive(Debug, Default, Clone, Copy)]
+struct H3Stats {
+    /// Pages whose origins deploy h3.
+    pages: u64,
+    /// Requests that rode QUIC connections.
+    requests: u64,
+    /// QPACK encoder-stream instructions across the visit's
+    /// connections.
+    qpack_instructions: u64,
+    /// QPACK dynamic-table evictions (encoder side).
+    qpack_evictions: u64,
+    /// Connection IDs issued (including each handshake's sequence 0).
+    cids_issued: u64,
+    /// Connection IDs retired by rotation.
+    cids_retired: u64,
+    /// The session's handshake/resumption/Alt-Svc counters.
+    counts: H3Counts,
+}
+
 /// Per-visit HTTP/1.1 accounting. Only legacy pages touch it, so on a
 /// pure-h2 visit every field is zero and nothing reaches the metrics
 /// registry (see [`record_h1_metrics`]).
@@ -178,6 +201,14 @@ pub struct VisitArena {
     /// driving it, for connections a legacy page opened over h1.
     /// `None` for h2 connections (and everything on a pure-h2 page).
     h1_sessions: Vec<Option<H1Connection>>,
+    /// One slot per pooled connection: the QPACK/connection-ID
+    /// machinery of a QUIC connection. `None` for TCP connections
+    /// (and everything outside an h3 universe).
+    h3_conns: Vec<Option<H3Conn>>,
+    /// The visit's h3 memory: Alt-Svc scopes, session tickets,
+    /// validated addresses. Reset per visit (fresh browser session);
+    /// never touched on non-h3 pages.
+    h3_session: H3Session,
 }
 
 impl VisitArena {
@@ -386,6 +417,7 @@ impl PageLoader {
     ) -> PageLoad {
         let before = faults.as_deref().map(|f| f.counts).unwrap_or_default();
         let mut h1 = H1Stats::default();
+        let mut h3 = H3Stats::default();
         let load = self.load_inner(
             page,
             env,
@@ -394,6 +426,7 @@ impl PageLoader {
             faults.as_deref_mut(),
             arena,
             &mut h1,
+            &mut h3,
             sinks.flight,
         );
         let delta = faults.as_deref().map(|f| f.counts.since(&before));
@@ -403,6 +436,7 @@ impl PageLoader {
         if let Some(metrics) = metrics {
             record_page_metrics(&load, metrics);
             record_h1_metrics(&h1, metrics);
+            record_h3_metrics(&h3, metrics);
             if let Some(delta) = &delta {
                 record_fault_metrics(delta, metrics);
             }
@@ -420,12 +454,16 @@ impl PageLoader {
         mut faults: Option<&mut FaultSession>,
         arena: &mut VisitArena,
         h1: &mut H1Stats,
+        h3: &mut H3Stats,
         mut flight: Option<&mut origin_obs::FlightRecorder>,
     ) -> PageLoad {
         let n = page.resources.len();
         h1.pages += u64::from(page.legacy);
+        h3.pages += u64::from(page.h3);
         arena.pool.clear();
         arena.h1_sessions.clear();
+        arena.h3_conns.clear();
+        arena.h3_session.recycle();
         let mut timings = std::mem::take(&mut arena.timings);
         timings.clear();
         timings.reserve(n);
@@ -487,10 +525,25 @@ impl PageLoader {
                 &mut arena.conn_open_us,
                 &mut arena.h1_sessions,
                 h1,
+                &mut arena.h3_session,
+                &mut arena.h3_conns,
+                h3,
                 flight.as_deref_mut(),
             );
             arena.ready[idx] = timing.end();
             timings.push(timing);
+        }
+
+        if page.h3 {
+            // Fold the visit's session counters and per-connection
+            // QPACK/CID totals into the stats the registry sees.
+            h3.counts = arena.h3_session.counts;
+            for conn in arena.h3_conns.iter().flatten() {
+                h3.qpack_instructions += conn.qpack_instructions();
+                h3.qpack_evictions += conn.qpack_evictions();
+                h3.cids_issued += conn.cids_issued();
+                h3.cids_retired += conn.cids_retired();
+            }
         }
 
         PageLoad {
@@ -514,9 +567,17 @@ impl PageLoader {
         conn_open_us: &mut Vec<u64>,
         h1_sessions: &mut Vec<Option<H1Connection>>,
         h1: &mut H1Stats,
+        h3_session: &mut H3Session,
+        h3_conns: &mut Vec<Option<H3Conn>>,
+        h3: &mut H3Stats,
         mut flight: Option<&mut origin_obs::FlightRecorder>,
     ) -> RequestTiming {
         let res = &page.resources[idx];
+        // h3 participation gate: only secure h2 resources on a page
+        // whose origins deploy h3 can upgrade to QUIC. Never true
+        // outside an h3 universe, so the pure-h2 paths below are
+        // untouched at `h3_share = 0`.
+        let h3_eligible = page.h3 && res.secure && res.protocol == Protocol::H2;
         // A legacy page's HTTP/1.1 requests drive the sans-IO state
         // machine; the gate is the page's legacy flag — never the
         // protocol alone — so the default universe's sampled-H11
@@ -759,201 +820,248 @@ impl PageLoader {
                 new_connection = true;
                 let ip = addrs.first().copied().unwrap_or(placeholder_ip);
                 let cert = env.cert_shared(&host);
-                // ALPN (RFC 7301) selects what the fresh connection
-                // speaks: the client always offers `h2, http/1.1`,
-                // the origin's advertisement — its deployment fact —
-                // wins. Pure computation, so running it on every
-                // setup perturbs nothing.
-                let alpn = origin_tls::alpn_negotiate(
-                    origin_tls::alpn::CLIENT_OFFER,
-                    origin_tls::alpn::server_advertisement(res.protocol == Protocol::H2),
-                );
-                debug_assert_eq!(
-                    alpn == Some(origin_tls::AlpnProtocol::H2),
-                    res.protocol == Protocol::H2,
-                    "negotiated ALPN must agree with the deployed protocol"
-                );
-                // CDN edges negotiate TLS 1.3; roughly half the tail
-                // origins still ran TLS 1.2 (2-RTT handshakes) at the
-                // paper's Feb-2021 snapshot.
-                let is_tail_path = link.rtt > origin_netsim::SimDuration::from_millis(40);
-                let tls = if is_tail_path && rng.chance(0.65) {
-                    TlsVersion::Tls12
-                } else {
-                    TlsVersion::Tls13
+                let quic_cert = match &cert {
+                    Some(c) if h3_eligible && h3_session.knows_h3(c.serial) => Some(c.clone()),
+                    _ => None,
                 };
-                let hs = HandshakeModel::for_certificate(
-                    tls,
-                    cert.as_ref().map(|c| c.wire_size()).unwrap_or(1_500),
-                );
-                let mut cost = hs.connect(&link, rng);
-                let mut origin_set = env.origin_set_for(&host);
-                if let Some(f) = faults.as_deref_mut() {
-                    if origin_set.is_some()
-                        && f.rng.chance(f.profile.middlebox)
-                        && f.middlebox.inspect(ORIGIN_FRAME_TYPE) == MiddleboxVerdict::TearDown
-                    {
-                        // §6.7: the handshake succeeded, then the
-                        // ORIGIN frame the edge sent on the fresh
-                        // connection tripped an on-path middlebox,
-                        // which tore the connection down. The wasted
-                        // setup is charged as blocked time and the
-                        // client reconnects with ORIGIN advertisement
-                        // suppressed (the fail-open the CDN shipped).
-                        let wasted = cost.tcp.as_millis_f64()
-                            + if res.secure {
-                                cost.tls.as_millis_f64()
-                            } else {
-                                0.0
-                            };
-                        if let Some(rec) = flight.as_deref_mut() {
-                            rec.record(
-                                ms_us(start + dns_ms + fault_penalty_ms + wasted),
-                                "fault.middlebox_teardown",
-                                u64::from(ORIGIN_FRAME_TYPE),
-                                host.as_str(),
-                            );
+                if let Some(qc) = quic_cert {
+                    open_quic_connection(
+                        qc,
+                        &host,
+                        ip,
+                        &addrs,
+                        partition,
+                        res.protocol,
+                        start + dns_ms + fault_penalty_ms,
+                        &link,
+                        rng,
+                        pool,
+                        conn_open_us,
+                        h1_sessions,
+                        h3_conns,
+                        h3_session,
+                        &mut phase,
+                        &mut cert_issuer,
+                        tracer.as_deref_mut(),
+                        flight.as_deref_mut(),
+                    )
+                } else {
+                    // ALPN (RFC 7301) selects what the fresh connection
+                    // speaks: the client always offers `h2, http/1.1`,
+                    // the origin's advertisement — its deployment fact —
+                    // wins. Pure computation, so running it on every
+                    // setup perturbs nothing.
+                    let alpn = origin_tls::alpn_negotiate(
+                        origin_tls::alpn::CLIENT_OFFER,
+                        origin_tls::alpn::server_advertisement(res.protocol == Protocol::H2),
+                    );
+                    debug_assert_eq!(
+                        alpn == Some(origin_tls::AlpnProtocol::H2),
+                        res.protocol == Protocol::H2,
+                        "negotiated ALPN must agree with the deployed protocol"
+                    );
+                    // CDN edges negotiate TLS 1.3; roughly half the tail
+                    // origins still ran TLS 1.2 (2-RTT handshakes) at the
+                    // paper's Feb-2021 snapshot.
+                    let is_tail_path = link.rtt > origin_netsim::SimDuration::from_millis(40);
+                    let tls = if is_tail_path && rng.chance(0.65) {
+                        TlsVersion::Tls12
+                    } else {
+                        TlsVersion::Tls13
+                    };
+                    let hs = HandshakeModel::for_certificate(
+                        tls,
+                        cert.as_ref().map(|c| c.wire_size()).unwrap_or(1_500),
+                    );
+                    let mut cost = hs.connect(&link, rng);
+                    let mut origin_set = env.origin_set_for(&host);
+                    // Whether the middlebox teardown below also ate
+                    // the origin's `alt-svc: h3` advertisement (the
+                    // reconnect suppresses optional frames/headers).
+                    let mut altsvc_suppressed = false;
+                    if let Some(f) = faults.as_deref_mut() {
+                        if origin_set.is_some()
+                            && f.rng.chance(f.profile.middlebox)
+                            && f.middlebox.inspect(ORIGIN_FRAME_TYPE) == MiddleboxVerdict::TearDown
+                        {
+                            // §6.7: the handshake succeeded, then the
+                            // ORIGIN frame the edge sent on the fresh
+                            // connection tripped an on-path middlebox,
+                            // which tore the connection down. The wasted
+                            // setup is charged as blocked time and the
+                            // client reconnects with ORIGIN advertisement
+                            // suppressed (the fail-open the CDN shipped).
+                            let wasted = cost.tcp.as_millis_f64()
+                                + if res.secure {
+                                    cost.tls.as_millis_f64()
+                                } else {
+                                    0.0
+                                };
+                            if let Some(rec) = flight.as_deref_mut() {
+                                rec.record(
+                                    ms_us(start + dns_ms + fault_penalty_ms + wasted),
+                                    "fault.middlebox_teardown",
+                                    u64::from(ORIGIN_FRAME_TYPE),
+                                    host.as_str(),
+                                );
+                            }
+                            if let Some(t) = tracer.as_deref_mut() {
+                                t.set_tid(1 + pool.len() as u64);
+                                t.instant_at(
+                                    "fault.middlebox_teardown",
+                                    "fault",
+                                    ms_us(start + dns_ms + fault_penalty_ms + wasted),
+                                    vec![
+                                        ("host", host.as_str().into()),
+                                        ("frame_type", u64::from(ORIGIN_FRAME_TYPE).into()),
+                                        ("origin_suppressed", true.into()),
+                                    ],
+                                );
+                            }
+                            fault_penalty_ms += wasted;
+                            cost = hs.connect(&link, &mut f.rng);
+                            origin_set = None;
+                            altsvc_suppressed = true;
+                            f.counts.middlebox_teardowns += 1;
+                            f.counts.origin_suppressed += 1;
+                            f.counts.retries += 1;
                         }
-                        if let Some(t) = tracer.as_deref_mut() {
-                            t.set_tid(1 + pool.len() as u64);
+                    }
+                    let setup_start = start + dns_ms + fault_penalty_ms;
+                    phase.connect = cost.tcp.as_millis_f64();
+                    if res.secure {
+                        phase.ssl = cost.tls.as_millis_f64();
+                    } else {
+                        phase.ssl = 0.0;
+                    }
+                    if rng.chance(self.config.happy_eyeballs_dup_rate) {
+                        extra_connections = 1;
+                    }
+                    cert_issuer = cert.as_ref().map(|c| c.issuer.clone());
+                    if let Some(t) = tracer.as_deref_mut() {
+                        let conn_no = pool.len();
+                        let conn_tid = 1 + conn_no as u64;
+                        t.name_thread(conn_tid, &format!("conn {} {}", conn_no, host.as_str()));
+                        t.set_tid(conn_tid);
+                        t.complete(
+                            "tcp.connect",
+                            "net",
+                            ms_us(setup_start),
+                            ms_us(phase.connect),
+                            vec![("ip", ip.to_string().into())],
+                        );
+                        if res.secure {
+                            let hs_start = setup_start + phase.connect;
+                            let mut hs_args: Vec<(&'static str, origin_trace::ArgValue)> = vec![
+                                (
+                                    "version",
+                                    match tls {
+                                        TlsVersion::Tls12 => "TLS 1.2",
+                                        TlsVersion::Tls13 => "TLS 1.3",
+                                        TlsVersion::Tls13ZeroRtt => "TLS 1.3 0-RTT",
+                                    }
+                                    .into(),
+                                ),
+                                ("sni", host.as_str().into()),
+                                ("issuer", cert_issuer.clone().unwrap_or_default().into()),
+                            ];
+                            // Annotated only on legacy pages so pure-h2
+                            // traces stay byte-identical to the committed
+                            // baselines.
+                            if page.legacy {
+                                hs_args.push((
+                                    "alpn",
+                                    alpn.map(|p| p.to_string())
+                                        .unwrap_or_else(|| "none".into())
+                                        .into(),
+                                ));
+                            }
+                            t.complete(
+                                "tls.handshake",
+                                "tls",
+                                ms_us(hs_start),
+                                ms_us(phase.ssl),
+                                hs_args,
+                            );
+                            // The SAN check the pool's coalescing logic
+                            // relies on: the presented certificate covers
+                            // the requested name.
                             t.instant_at(
-                                "fault.middlebox_teardown",
-                                "fault",
-                                ms_us(start + dns_ms + fault_penalty_ms + wasted),
+                                "tls.san_validated",
+                                "tls",
+                                ms_us(hs_start + phase.ssl),
                                 vec![
                                     ("host", host.as_str().into()),
-                                    ("frame_type", u64::from(ORIGIN_FRAME_TYPE).into()),
-                                    ("origin_suppressed", true.into()),
+                                    (
+                                        "covered",
+                                        cert.as_ref()
+                                            .map(|c| c.covers(&host))
+                                            .unwrap_or(false)
+                                            .into(),
+                                    ),
                                 ],
                             );
                         }
-                        fault_penalty_ms += wasted;
-                        cost = hs.connect(&link, &mut f.rng);
-                        origin_set = None;
-                        f.counts.middlebox_teardowns += 1;
-                        f.counts.origin_suppressed += 1;
-                        f.counts.retries += 1;
                     }
-                }
-                let setup_start = start + dns_ms + fault_penalty_ms;
-                phase.connect = cost.tcp.as_millis_f64();
-                if res.secure {
-                    phase.ssl = cost.tls.as_millis_f64();
-                } else {
-                    phase.ssl = 0.0;
-                }
-                if rng.chance(self.config.happy_eyeballs_dup_rate) {
-                    extra_connections = 1;
-                }
-                cert_issuer = cert.as_ref().map(|c| c.issuer.clone());
-                if let Some(t) = tracer.as_deref_mut() {
-                    let conn_no = pool.len();
-                    let conn_tid = 1 + conn_no as u64;
-                    t.name_thread(conn_tid, &format!("conn {} {}", conn_no, host.as_str()));
-                    t.set_tid(conn_tid);
-                    t.complete(
-                        "tcp.connect",
-                        "net",
-                        ms_us(setup_start),
-                        ms_us(phase.connect),
-                        vec![("ip", ip.to_string().into())],
-                    );
-                    if res.secure {
-                        let hs_start = setup_start + phase.connect;
-                        let mut hs_args: Vec<(&'static str, origin_trace::ArgValue)> = vec![
-                            (
-                                "version",
-                                match tls {
-                                    TlsVersion::Tls12 => "TLS 1.2",
-                                    TlsVersion::Tls13 => "TLS 1.3",
-                                    TlsVersion::Tls13ZeroRtt => "TLS 1.3 0-RTT",
-                                }
-                                .into(),
-                            ),
-                            ("sni", host.as_str().into()),
-                            ("issuer", cert_issuer.clone().unwrap_or_default().into()),
-                        ];
-                        // Annotated only on legacy pages so pure-h2
-                        // traces stay byte-identical to the committed
-                        // baselines.
-                        if page.legacy {
-                            hs_args.push((
-                                "alpn",
-                                alpn.map(|p| p.to_string())
-                                    .unwrap_or_else(|| "none".into())
-                                    .into(),
-                            ));
-                        }
-                        t.complete(
-                            "tls.handshake",
-                            "tls",
-                            ms_us(hs_start),
-                            ms_us(phase.ssl),
-                            hs_args,
-                        );
-                        // The SAN check the pool's coalescing logic
-                        // relies on: the presented certificate covers
-                        // the requested name.
-                        t.instant_at(
-                            "tls.san_validated",
-                            "tls",
-                            ms_us(hs_start + phase.ssl),
-                            vec![
-                                ("host", host.as_str().into()),
-                                (
-                                    "covered",
-                                    cert.as_ref()
-                                        .map(|c| c.covers(&host))
-                                        .unwrap_or(false)
-                                        .into(),
-                                ),
-                            ],
-                        );
-                    }
-                }
-                if legacy_h1 {
-                    h1.connections_opened += 1;
-                    // This connection opens because HTTP/1.1 cannot
-                    // multiplex or coalesce. Before it enters the
-                    // pool, ask each policy whether its *h2* rules
-                    // would have merged the request onto an existing
-                    // connection — Sander et al.'s redundant
-                    // connections, the setups an all-h2 deployment
-                    // would have avoided.
-                    for (slot, (kind, _)) in REDUNDANCY_KINDS.iter().enumerate() {
-                        if pool.redundant_if_h2(*kind, &host, &addrs, partition, |ch| {
-                            env.colocated(ch, &host)
-                        }) {
-                            h1.redundant[slot] += 1;
+                    if legacy_h1 {
+                        h1.connections_opened += 1;
+                        // This connection opens because HTTP/1.1 cannot
+                        // multiplex or coalesce. Before it enters the
+                        // pool, ask each policy whether its *h2* rules
+                        // would have merged the request onto an existing
+                        // connection — Sander et al.'s redundant
+                        // connections, the setups an all-h2 deployment
+                        // would have avoided.
+                        for (slot, (kind, _)) in REDUNDANCY_KINDS.iter().enumerate() {
+                            if pool.redundant_if_h2(*kind, &host, &addrs, partition, |ch| {
+                                env.colocated(ch, &host)
+                            }) {
+                                h1.redundant[slot] += 1;
+                            }
                         }
                     }
+                    if h3_eligible {
+                        if let Some(c) = cert.as_ref() {
+                            // The h2 response from an h3 origin
+                            // advertises `alt-svc: h3` for its whole
+                            // certificate scope, and a TLS 1.3
+                            // handshake banks a session ticket the
+                            // scope's QUIC handshakes can redeem.
+                            h3_session.learn_alt_svc(c.serial, altsvc_suppressed);
+                            if tls == TlsVersion::Tls13 {
+                                h3_session.bank_ticket(host.as_str(), c.serial);
+                            }
+                        }
+                    }
+                    let conn = PooledConnection {
+                        host: host.clone(),
+                        ip,
+                        available_set: addrs.clone(),
+                        cert: cert.unwrap_or_else(|| {
+                            // Plain-HTTP hosts have no certificate; a
+                            // subject-only stand-in keeps the pool typed.
+                            std::sync::Arc::new(
+                                origin_tls::CertificateBuilder::new(host.clone()).build(),
+                            )
+                        }),
+                        origin_set,
+                        protocol: res.protocol,
+                        partition,
+                        bytes_transferred: 0,
+                        in_flight: 0,
+                        busy_until: 0.0,
+                        closed: false,
+                        quic: false,
+                    };
+                    let i = pool.insert(conn);
+                    conn_open_us.push(ms_us(setup_start));
+                    h1_sessions.push(None);
+                    h3_conns.push(None);
+                    if let Some(rec) = flight.as_deref_mut() {
+                        rec.record(ms_us(setup_start), "conn.open", i as u64, host.as_str());
+                    }
+                    i
                 }
-                let conn = PooledConnection {
-                    host: host.clone(),
-                    ip,
-                    available_set: addrs.clone(),
-                    cert: cert.unwrap_or_else(|| {
-                        // Plain-HTTP hosts have no certificate; a
-                        // subject-only stand-in keeps the pool typed.
-                        std::sync::Arc::new(
-                            origin_tls::CertificateBuilder::new(host.clone()).build(),
-                        )
-                    }),
-                    origin_set,
-                    protocol: res.protocol,
-                    partition,
-                    bytes_transferred: 0,
-                    in_flight: 0,
-                    busy_until: 0.0,
-                    closed: false,
-                };
-                let i = pool.insert(conn);
-                conn_open_us.push(ms_us(setup_start));
-                h1_sessions.push(None);
-                if let Some(rec) = flight.as_deref_mut() {
-                    rec.record(ms_us(setup_start), "conn.open", i as u64, host.as_str());
-                }
-                i
             }
         };
         phase.blocked += fault_penalty_ms;
@@ -1035,6 +1143,18 @@ impl PageLoader {
         // only charges timings. Coalesced rides are excluded — only
         // the ideal (protocol-blind) models ever coalesce h1, and
         // they model structure, not wire protocol.
+        // Requests riding a QUIC connection drive its QPACK
+        // encoder/decoder pair (static/dynamic compression replaces
+        // HPACK) and periodic connection-ID rotation. Only h3 pages
+        // ever mark a connection `quic`, so this block is dead at
+        // `h3_share = 0`.
+        let mut h3_qpack: Option<H3RequestStats> = None;
+        if conn.quic {
+            h3.requests += 1;
+            let sess = h3_conns[conn_idx].get_or_insert_with(H3Conn::new);
+            h3_qpack = Some(sess.drive_request(host.as_str(), &res.path));
+        }
+
         let mut h1_framing: Option<(&'static str, u64)> = None;
         if legacy_h1 {
             h1.requests += 1;
@@ -1127,6 +1247,21 @@ impl PageLoader {
                 phase.total_us(),
                 args,
             );
+            // h3 requests additionally record the QPACK view: how
+            // many bytes the header block and its table-mutating
+            // instructions took on this connection's streams.
+            if let Some(q) = h3_qpack {
+                t.instant_at(
+                    "h3.request",
+                    "h3",
+                    start_ts,
+                    vec![
+                        ("section_bytes", q.section_bytes.into()),
+                        ("instruction_bytes", q.instruction_bytes.into()),
+                        ("conn", (conn_idx as u64).into()),
+                    ],
+                );
+            }
             // Legacy requests additionally record the h1 machine's
             // view: the response framing and which keep-alive cycle
             // of its connection this request rode.
@@ -1172,6 +1307,95 @@ impl PageLoader {
             extra_dns,
         }
     }
+}
+
+/// Open one QUIC connection in a certificate scope that has already
+/// advertised h3 this visit. QUIC folds transport and TLS
+/// establishment into one exchange, so there is no TCP round trip:
+/// the whole handshake cost (0-RTT resumption, full 1-RTT, or the
+/// anti-amplification stall a bloated chain forces) lands in the
+/// `ssl` phase and `connect` stays zero. The pooled connection
+/// carries no ORIGIN set — RFC 8336 frames are h2-only — so SAN/IP
+/// matching alone gates coalescing onto it.
+#[allow(clippy::too_many_arguments)] // one connection, its world, and an observer
+fn open_quic_connection(
+    cert: std::sync::Arc<origin_tls::Certificate>,
+    host: &origin_dns::DnsName,
+    ip: IpAddr,
+    addrs: &std::sync::Arc<[IpAddr]>,
+    partition: PoolPartition,
+    protocol: Protocol,
+    setup_start: f64,
+    link: &origin_netsim::LinkProfile,
+    rng: &mut SimRng,
+    pool: &mut ConnectionPool,
+    conn_open_us: &mut Vec<u64>,
+    h1_sessions: &mut Vec<Option<H1Connection>>,
+    h3_conns: &mut Vec<Option<H3Conn>>,
+    h3_session: &mut H3Session,
+    phase: &mut Phase,
+    cert_issuer: &mut Option<String>,
+    tracer: Option<&mut origin_trace::Tracer>,
+    flight: Option<&mut origin_obs::FlightRecorder>,
+) -> usize {
+    let outcome = h3_session.connect(host.as_str(), cert.serial, cert.wire_size(), ip, link, rng);
+    phase.connect = 0.0;
+    phase.ssl = outcome.cost.as_millis_f64();
+    *cert_issuer = Some(cert.issuer.clone());
+    if let Some(t) = tracer {
+        let conn_no = pool.len();
+        let conn_tid = 1 + conn_no as u64;
+        t.name_thread(conn_tid, &format!("conn {} {}", conn_no, host.as_str()));
+        t.set_tid(conn_tid);
+        t.complete(
+            "quic.handshake",
+            "tls",
+            ms_us(setup_start),
+            ms_us(phase.ssl),
+            vec![
+                ("mode", outcome.mode.label().into()),
+                ("sni", host.as_str().into()),
+                ("issuer", cert.issuer.clone().into()),
+                (
+                    "amplification_rtts",
+                    u64::from(outcome.amplification_rtts).into(),
+                ),
+                ("cross_host", outcome.cross_host.into()),
+            ],
+        );
+        // The same SAN check every TCP+TLS setup records: h3
+        // coalescing hangs off certificate coverage exactly like h2's.
+        t.instant_at(
+            "tls.san_validated",
+            "tls",
+            ms_us(setup_start + phase.ssl),
+            vec![
+                ("host", host.as_str().into()),
+                ("covered", cert.covers(host).into()),
+            ],
+        );
+    }
+    let i = pool.insert(PooledConnection {
+        host: host.clone(),
+        ip,
+        available_set: addrs.clone(),
+        cert,
+        origin_set: None,
+        protocol,
+        partition,
+        bytes_transferred: 0,
+        in_flight: 0,
+        busy_until: 0.0,
+        closed: false,
+        quic: true,
+    });
+    conn_open_us.push(ms_us(setup_start));
+    h1_sessions.push(None);
+    h3_conns.push(None);
+    if let Some(rec) = flight {
+        rec.record(ms_us(setup_start), "quic.open", i as u64, host.as_str());
+    }
+    i
 }
 
 /// Quantise simulated milliseconds to integer microseconds for trace
@@ -1336,6 +1560,35 @@ fn record_h1_metrics(stats: &H1Stats, metrics: &mut origin_metrics::Registry) {
     for (slot, (_, name)) in REDUNDANCY_KINDS.iter().enumerate() {
         if stats.redundant[slot] > 0 {
             metrics.add(name, stats.redundant[slot]);
+        }
+    }
+}
+
+/// Fold one visit's HTTP/3 counters into the registry. Zero values
+/// are skipped — `Registry::add` materializes keys, and a pure-h2
+/// crawl (h3 share 0) must serialize exactly as it did before the
+/// QUIC path existed.
+fn record_h3_metrics(stats: &H3Stats, metrics: &mut origin_metrics::Registry) {
+    for (name, value) in [
+        ("h3.pages", stats.pages),
+        ("h3.requests", stats.requests),
+        ("h3.connections", stats.counts.connections),
+        ("h3.handshakes_1rtt", stats.counts.handshakes_1rtt),
+        ("h3.handshakes_0rtt", stats.counts.handshakes_0rtt),
+        ("h3.zero_rtt_rejected", stats.counts.zero_rtt_rejected),
+        ("h3.tickets_issued", stats.counts.tickets_issued),
+        ("h3.resumed_cross_host", stats.counts.resumed_cross_host),
+        ("h3.altsvc_learned", stats.counts.altsvc_learned),
+        ("h3.altsvc_suppressed", stats.counts.altsvc_suppressed),
+        ("h3.amplification_rtts", stats.counts.amplification_rtts),
+        ("h3.addr_validated_skips", stats.counts.addr_validated_skips),
+        ("h3.qpack_instructions", stats.qpack_instructions),
+        ("h3.qpack_evictions", stats.qpack_evictions),
+        ("h3.cids_issued", stats.cids_issued),
+        ("h3.cids_retired", stats.cids_retired),
+    ] {
+        if value > 0 {
+            metrics.add(name, value);
         }
     }
 }
@@ -1607,6 +1860,100 @@ mod tests {
         let mut metrics = origin_metrics::Registry::new();
         loader.load_instrumented(&page, &mut env, &mut rng, Some(&mut metrics));
         assert!(metrics.counters().all(|(name, _)| !name.starts_with("h1.")));
+        assert!(metrics.counters().all(|(name, _)| !name.starts_with("h3.")));
+    }
+
+    #[test]
+    fn h3_pages_upgrade_connections_to_quic() {
+        let d = Dataset::generate(DatasetConfig {
+            sites: 40,
+            tranco_total: 500_000,
+            seed: 11,
+            legacy_share: 0.0,
+            h3_share: 1.0,
+        });
+        let mut env = UniverseEnv::new(&d);
+        let loader = PageLoader::new(BrowserKind::Firefox);
+        let mut metrics = origin_metrics::Registry::new();
+        let mut arena = VisitArena::new();
+        let mut pages = 0u64;
+        for site in d.sites().iter().filter(|s| !s.failed).take(12) {
+            let page = d.page_for(site);
+            assert!(page.h3, "share 1.0 makes every site deploy h3");
+            env.flush_dns();
+            let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+            let load = loader.load_faulted_with(
+                &page,
+                &mut env,
+                &mut rng,
+                None,
+                Some(&mut metrics),
+                None,
+                &mut arena,
+            );
+            pages += 1;
+            arena.recycle(load);
+        }
+        assert_eq!(metrics.counter("h3.pages"), pages);
+        // Alt-Svc is learned from the first (h2) connection per cert
+        // scope; later New decisions in a known scope open QUIC.
+        assert!(metrics.counter("h3.altsvc_learned") > 0);
+        assert!(metrics.counter("h3.connections") > 0);
+        // Every QUIC connection ran exactly one handshake.
+        assert_eq!(
+            metrics.counter("h3.connections"),
+            metrics.counter("h3.handshakes_1rtt") + metrics.counter("h3.handshakes_0rtt"),
+        );
+        // 0-RTT attempts can only spend tickets that TLS 1.3 or a
+        // prior full handshake banked.
+        assert!(
+            metrics.counter("h3.handshakes_0rtt") + metrics.counter("h3.zero_rtt_rejected")
+                <= metrics.counter("h3.tickets_issued")
+        );
+        // Requests rode the QUIC connections and drove QPACK.
+        assert!(metrics.counter("h3.requests") > 0);
+        assert!(metrics.counter("h3.qpack_instructions") > 0);
+        assert!(metrics.counter("h3.cids_issued") >= metrics.counter("h3.connections"));
+    }
+
+    #[test]
+    fn h3_visit_is_deterministic_and_arena_invariant() {
+        let d = Dataset::generate(DatasetConfig {
+            sites: 20,
+            tranco_total: 500_000,
+            seed: 7,
+            legacy_share: 0.0,
+            h3_share: 1.0,
+        });
+        let loader = PageLoader::new(BrowserKind::Firefox);
+        let run = |arena: &mut VisitArena| {
+            let mut env = UniverseEnv::new(&d);
+            let mut metrics = origin_metrics::Registry::new();
+            let mut digest = Vec::new();
+            for site in d.sites().iter().filter(|s| !s.failed).take(8) {
+                let page = d.page_for(site);
+                env.flush_dns();
+                let mut rng = SimRng::seed_from_u64(site.page_seed ^ 0xC0A1E5CE);
+                let load = loader.load_faulted_with(
+                    &page,
+                    &mut env,
+                    &mut rng,
+                    None,
+                    Some(&mut metrics),
+                    None,
+                    arena,
+                );
+                digest.push((load.plt_us(), load.request_count()));
+                arena.recycle(load);
+            }
+            (digest, metrics.to_json())
+        };
+        let fresh = run(&mut VisitArena::new());
+        let mut reused = VisitArena::new();
+        let first = run(&mut reused);
+        let second = run(&mut reused);
+        assert_eq!(fresh, first);
+        assert_eq!(first, second, "arena reuse must not leak h3 state");
     }
 
     #[test]
@@ -1616,6 +1963,7 @@ mod tests {
             tranco_total: 500_000,
             seed: 11,
             legacy_share: 1.0,
+            h3_share: 0.0,
         });
         let mut env = UniverseEnv::new(&d);
         let loader = PageLoader::new(BrowserKind::Firefox);
@@ -1680,6 +2028,7 @@ mod tests {
             tranco_total: 500_000,
             seed: 7,
             legacy_share: 0.5,
+            h3_share: 0.0,
         });
         let loader = PageLoader::new(BrowserKind::Firefox);
         let run = |arena: &mut VisitArena| {

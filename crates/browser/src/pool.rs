@@ -76,6 +76,12 @@ pub struct PooledConnection {
     /// reused and no longer occupies a per-host slot; always `false`
     /// for h2 connections, so the pure-h2 universe never consults it.
     pub closed: bool,
+    /// The connection runs over QUIC (an h3 upgrade). QUIC
+    /// multiplexes like h2 and coalesces by certificate/IP the same
+    /// way, but carries no ORIGIN frame (RFC 8336 is h2-only), so
+    /// `origin_set` is always `None` for it; always `false` outside
+    /// an h3 universe, so the pure-h2 pool never consults it.
+    pub quic: bool,
 }
 
 impl PooledConnection {
@@ -676,6 +682,7 @@ mod tests {
             in_flight: 0,
             busy_until: 0.0,
             closed: false,
+            quic: false,
         }
     }
 

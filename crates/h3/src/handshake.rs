@@ -1,0 +1,269 @@
+//! The QUIC handshake: an explicit client-side state machine plus the
+//! cost model that turns a completed handshake into blocking time on a
+//! [`LinkProfile`].
+//!
+//! QUIC folds transport and TLS establishment into one exchange
+//! (RFC 9000/9001): a full handshake costs a single round trip where
+//! TCP+TLS 1.3 costs two, and a resumed handshake can carry the first
+//! request in the client's first flight (0-RTT). The state machine
+//! models the transitions the wire tests pin down — 1-RTT vs 0-RTT,
+//! and a server rejecting early data, which falls the connection back
+//! to a full 1-RTT handshake rather than failing it.
+//!
+//! The cost model also carries the anti-amplification interaction
+//! (Nawrocki et al.): before the client's address is validated, a
+//! server may send at most [`AMPLIFICATION_FACTOR`]× the bytes it
+//! received (RFC 9000 §8.1). A certificate chain that overflows that
+//! budget stalls the handshake for one extra round trip — unless the
+//! client presented an address-validation token from a previous
+//! connection to the same address (shared address validation,
+//! Sy et al.).
+
+use origin_netsim::{LinkProfile, SimDuration, SimRng};
+
+/// How an established QUIC connection's handshake completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeMode {
+    /// Full handshake: one round trip before the first request.
+    OneRtt,
+    /// Accepted 0-RTT resumption: the first request rode the client's
+    /// first flight.
+    ZeroRtt,
+    /// The server rejected the early data; the handshake completed as
+    /// a full 1-RTT exchange and the 0-RTT request was replayed.
+    ZeroRttRejected,
+}
+
+impl HandshakeMode {
+    /// Stable label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HandshakeMode::OneRtt => "1-rtt",
+            HandshakeMode::ZeroRtt => "0-rtt",
+            HandshakeMode::ZeroRttRejected => "0-rtt-rejected",
+        }
+    }
+}
+
+/// Client-side handshake states. The wire tests walk every legal
+/// transition; illegal ones are [`HandshakeError`]s, not panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeState {
+    /// Nothing sent yet.
+    Initial,
+    /// First flight sent without early data (full handshake pending).
+    Handshaking,
+    /// First flight sent with 0-RTT early data (resumption pending).
+    ZeroRttSent,
+    /// Handshake confirmed; application data flows.
+    Established,
+}
+
+/// An illegal transition: the event is not valid in the current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandshakeError {
+    /// State the machine was in.
+    pub state: HandshakeState,
+    /// What was attempted.
+    pub event: &'static str,
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} invalid in {:?}", self.event, self.state)
+    }
+}
+
+/// The client half of one QUIC handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuicHandshake {
+    state: HandshakeState,
+    zero_rtt_rejected: bool,
+}
+
+impl QuicHandshake {
+    /// A handshake that has sent nothing.
+    pub fn new() -> Self {
+        QuicHandshake {
+            state: HandshakeState::Initial,
+            zero_rtt_rejected: false,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HandshakeState {
+        self.state
+    }
+
+    /// Send the first flight without early data (no usable ticket).
+    pub fn send_initial(&mut self) -> Result<(), HandshakeError> {
+        match self.state {
+            HandshakeState::Initial => {
+                self.state = HandshakeState::Handshaking;
+                Ok(())
+            }
+            state => Err(HandshakeError {
+                state,
+                event: "send_initial",
+            }),
+        }
+    }
+
+    /// Send the first flight with 0-RTT early data under a resumption
+    /// ticket.
+    pub fn send_zero_rtt(&mut self) -> Result<(), HandshakeError> {
+        match self.state {
+            HandshakeState::Initial => {
+                self.state = HandshakeState::ZeroRttSent;
+                Ok(())
+            }
+            state => Err(HandshakeError {
+                state,
+                event: "send_zero_rtt",
+            }),
+        }
+    }
+
+    /// The server rejected the early data. The connection is not dead:
+    /// the handshake continues as a full exchange (RFC 9001 §4.6.2),
+    /// and the early request is replayed after establishment.
+    pub fn reject_zero_rtt(&mut self) -> Result<(), HandshakeError> {
+        match self.state {
+            HandshakeState::ZeroRttSent => {
+                self.state = HandshakeState::Handshaking;
+                self.zero_rtt_rejected = true;
+                Ok(())
+            }
+            state => Err(HandshakeError {
+                state,
+                event: "reject_zero_rtt",
+            }),
+        }
+    }
+
+    /// The server's flight completed the handshake.
+    pub fn confirm(&mut self) -> Result<HandshakeMode, HandshakeError> {
+        match self.state {
+            HandshakeState::Handshaking => {
+                self.state = HandshakeState::Established;
+                Ok(if self.zero_rtt_rejected {
+                    HandshakeMode::ZeroRttRejected
+                } else {
+                    HandshakeMode::OneRtt
+                })
+            }
+            HandshakeState::ZeroRttSent => {
+                self.state = HandshakeState::Established;
+                Ok(HandshakeMode::ZeroRtt)
+            }
+            state => Err(HandshakeError {
+                state,
+                event: "confirm",
+            }),
+        }
+    }
+}
+
+impl Default for QuicHandshake {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bytes of the client's padded first datagram (RFC 9000 §14.1 makes
+/// Initial packets at least 1200 bytes precisely to widen the server's
+/// amplification budget).
+pub const CLIENT_INITIAL_BYTES: u64 = 1_200;
+
+/// Pre-validation send allowance multiplier (RFC 9000 §8.1).
+pub const AMPLIFICATION_FACTOR: u64 = 3;
+
+/// Server handshake bytes that accompany the certificate chain
+/// (ServerHello, EncryptedExtensions, CertificateVerify, Finished).
+pub const HANDSHAKE_OVERHEAD_BYTES: u64 = 900;
+
+/// Cost shape of one QUIC handshake over a given certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuicCostModel {
+    /// Extra round trips the anti-amplification limit forces before
+    /// the server can finish its first flight (0 when the address is
+    /// already validated, or the chain fits the budget).
+    pub amplification_rtts: u32,
+}
+
+impl QuicCostModel {
+    /// Model for a server whose certificate chain is `cert_bytes` on
+    /// the wire. With `address_validated` (a token from a previous
+    /// connection to this address), the amplification limit does not
+    /// apply.
+    pub fn for_certificate(cert_bytes: u64, address_validated: bool) -> Self {
+        let first_flight = cert_bytes + HANDSHAKE_OVERHEAD_BYTES;
+        let budget = AMPLIFICATION_FACTOR * CLIENT_INITIAL_BYTES;
+        QuicCostModel {
+            amplification_rtts: u32::from(!address_validated && first_flight > budget),
+        }
+    }
+
+    /// Round trips a completed handshake blocked for. A full handshake
+    /// costs one RTT (transport and TLS share the exchange — no TCP
+    /// round trip precedes it); accepted 0-RTT costs none; a rejected
+    /// 0-RTT completes as a full handshake. The amplification stall
+    /// applies to the full-handshake shapes only — an accepted 0-RTT
+    /// ticket carries the server's address-validation token.
+    pub fn round_trips(&self, mode: HandshakeMode) -> f64 {
+        match mode {
+            HandshakeMode::ZeroRtt => 0.0,
+            HandshakeMode::OneRtt | HandshakeMode::ZeroRttRejected => {
+                1.0 + f64::from(self.amplification_rtts)
+            }
+        }
+    }
+
+    /// Blocking handshake time over `link`, jittered like every other
+    /// handshake in the simulation.
+    pub fn handshake_cost(
+        &self,
+        mode: HandshakeMode,
+        link: &LinkProfile,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let rtts = self.round_trips(mode);
+        if rtts == 0.0 {
+            return SimDuration::ZERO;
+        }
+        let base = SimDuration::from_millis_f64(link.rtt.as_millis_f64() * rtts);
+        link.jittered(base, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplification_threshold() {
+        // Small chain fits 3 × 1200 even with overhead.
+        assert_eq!(
+            QuicCostModel::for_certificate(1_500, false).amplification_rtts,
+            0
+        );
+        // A bloated chain overflows the pre-validation budget…
+        assert_eq!(
+            QuicCostModel::for_certificate(6_000, false).amplification_rtts,
+            1
+        );
+        // …unless the address is already validated.
+        assert_eq!(
+            QuicCostModel::for_certificate(6_000, true).amplification_rtts,
+            0
+        );
+    }
+
+    #[test]
+    fn zero_rtt_is_free_and_rejection_is_not() {
+        let m = QuicCostModel::for_certificate(6_000, false);
+        assert_eq!(m.round_trips(HandshakeMode::ZeroRtt), 0.0);
+        assert_eq!(m.round_trips(HandshakeMode::OneRtt), 2.0);
+        assert_eq!(m.round_trips(HandshakeMode::ZeroRttRejected), 2.0);
+    }
+}

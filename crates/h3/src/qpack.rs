@@ -1,0 +1,793 @@
+//! QPACK field compression (RFC 9204) — HTTP/3's replacement for
+//! HPACK.
+//!
+//! Same architecture as `origin_h2::hpack`, different address space:
+//! the static table is 0-indexed and fixed (Appendix A), and dynamic
+//! entries are identified by *absolute* insertion indices — exactly
+//! the monotonic-id scheme the h2 dynamic table already uses
+//! internally, so the name/value buckets, FIFO eviction sync, and the
+//! one-pass [`find_indices`] (the h2 double-scan regression fix)
+//! carry over entry-for-entry. Field sections reference dynamic
+//! entries relative to a Base carried in the section prefix.
+//!
+//! QPACK splits the wire into two streams: *encoder instructions*
+//! (inserts, which mutate the dynamic table) and *field sections*
+//! (the per-request header block, which only references it).
+//! [`Encoder::encode`] returns both; the model emits all inserts
+//! before the section so no post-base references are needed.
+//!
+//! Simplifications relative to the RFC, shared by both ends here:
+//! strings are raw (the Huffman bit is always 0), the Required Insert
+//! Count wraps are not exercised (sections are decoded in insertion
+//! order), and blocked-stream accounting is out of scope.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
+
+/// The RFC 9204 Appendix A static table (0-indexed on the wire).
+pub const STATIC_TABLE: [(&str, &str); 99] = [
+    (":authority", ""),
+    (":path", "/"),
+    ("age", "0"),
+    ("content-disposition", ""),
+    ("content-length", "0"),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("referer", ""),
+    ("set-cookie", ""),
+    (":method", "CONNECT"),
+    (":method", "DELETE"),
+    (":method", "GET"),
+    (":method", "HEAD"),
+    (":method", "OPTIONS"),
+    (":method", "POST"),
+    (":method", "PUT"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "103"),
+    (":status", "200"),
+    (":status", "304"),
+    (":status", "404"),
+    (":status", "503"),
+    ("accept", "*/*"),
+    ("accept", "application/dns-message"),
+    ("accept-encoding", "gzip, deflate, br"),
+    ("accept-ranges", "bytes"),
+    ("access-control-allow-headers", "cache-control"),
+    ("access-control-allow-headers", "content-type"),
+    ("access-control-allow-origin", "*"),
+    ("cache-control", "max-age=0"),
+    ("cache-control", "max-age=2592000"),
+    ("cache-control", "max-age=604800"),
+    ("cache-control", "no-cache"),
+    ("cache-control", "no-store"),
+    ("cache-control", "public, max-age=31536000"),
+    ("content-encoding", "br"),
+    ("content-encoding", "gzip"),
+    ("content-type", "application/dns-message"),
+    ("content-type", "application/javascript"),
+    ("content-type", "application/json"),
+    ("content-type", "application/x-www-form-urlencoded"),
+    ("content-type", "image/gif"),
+    ("content-type", "image/jpeg"),
+    ("content-type", "image/png"),
+    ("content-type", "text/css"),
+    ("content-type", "text/html; charset=utf-8"),
+    ("content-type", "text/plain"),
+    ("content-type", "text/plain;charset=utf-8"),
+    ("range", "bytes=0-"),
+    ("strict-transport-security", "max-age=31536000"),
+    (
+        "strict-transport-security",
+        "max-age=31536000; includesubdomains",
+    ),
+    (
+        "strict-transport-security",
+        "max-age=31536000; includesubdomains; preload",
+    ),
+    ("vary", "accept-encoding"),
+    ("vary", "origin"),
+    ("x-content-type-options", "nosniff"),
+    ("x-xss-protection", "1; mode=block"),
+    (":status", "100"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "302"),
+    (":status", "400"),
+    (":status", "403"),
+    (":status", "421"),
+    (":status", "425"),
+    (":status", "500"),
+    ("accept-language", ""),
+    ("access-control-allow-credentials", "FALSE"),
+    ("access-control-allow-credentials", "TRUE"),
+    ("access-control-allow-headers", "*"),
+    ("access-control-allow-methods", "get"),
+    ("access-control-allow-methods", "get, post, options"),
+    ("access-control-allow-methods", "options"),
+    ("access-control-expose-headers", "content-length"),
+    ("access-control-request-headers", "content-type"),
+    ("access-control-request-method", "get"),
+    ("access-control-request-method", "post"),
+    ("alt-svc", "clear"),
+    ("authorization", ""),
+    (
+        "content-security-policy",
+        "script-src 'none'; object-src 'none'; base-uri 'none'",
+    ),
+    ("early-data", "1"),
+    ("expect-ct", ""),
+    ("forwarded", ""),
+    ("if-range", ""),
+    ("origin", ""),
+    ("purpose", "prefetch"),
+    ("server", ""),
+    ("timing-allow-origin", "*"),
+    ("upgrade-insecure-requests", "1"),
+    ("user-agent", ""),
+    ("x-forwarded-for", ""),
+    ("x-frame-options", "deny"),
+    ("x-frame-options", "sameorigin"),
+];
+
+/// A header field as stored in the tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Header name (lowercase).
+    pub name: String,
+    /// Header value.
+    pub value: String,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: &str, value: &str) -> Self {
+        Field {
+            name: name.into(),
+            value: value.into(),
+        }
+    }
+
+    /// RFC 9204 §3.2.1 size: name + value + 32 octets of overhead
+    /// (identical to HPACK's §4.1 accounting).
+    pub fn size(&self) -> usize {
+        self.name.len() + self.value.len() + 32
+    }
+}
+
+/// Per-name index bucket: live absolute indices, ascending (most
+/// recent match is `last()`), with a value-keyed refinement — the
+/// same structure whose eviction sync fixed the h2 double-scan.
+#[derive(Debug, Clone, Default)]
+struct NameBucket {
+    ids: Vec<u64>,
+    by_value: HashMap<String, Vec<u64>>,
+}
+
+/// The QPACK dynamic table: FIFO with size-based eviction, entries
+/// identified by absolute insertion index.
+///
+/// Invariant: live absolute indices are always the contiguous range
+/// `[insert_count - len, insert_count - 1]` — inserts mint at the top,
+/// eviction removes the smallest — so a bucket id resolves to a deque
+/// position arithmetically and nothing renumbers on insert/evict.
+#[derive(Debug, Clone)]
+pub struct DynamicTable {
+    /// Most recent first.
+    entries: VecDeque<Field>,
+    size: usize,
+    max_size: usize,
+    evictions: u64,
+    insert_count: u64,
+    by_name: HashMap<String, NameBucket>,
+}
+
+impl DynamicTable {
+    /// New table with the given capacity.
+    pub fn new(max_size: usize) -> Self {
+        DynamicTable {
+            entries: VecDeque::new(),
+            size: 0,
+            max_size,
+            evictions: 0,
+            insert_count: 0,
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Total insertions over the table's lifetime (the QPACK Insert
+    /// Count).
+    pub fn insert_count(&self) -> u64 {
+        self.insert_count
+    }
+
+    /// Entries dropped by size-based eviction over the lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Current occupied size in octets.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a field. Unlike HPACK there is no oversized-entry
+    /// whole-table clear in QPACK: an entry that cannot fit even an
+    /// empty table is refused (the encoder then emits a literal
+    /// without inserting). Returns the new absolute index, or `None`
+    /// if refused.
+    pub fn insert(&mut self, field: Field) -> Option<u64> {
+        let sz = field.size();
+        if sz > self.max_size {
+            return None;
+        }
+        let id = self.insert_count;
+        self.insert_count += 1;
+        let bucket = self.by_name.entry(field.name.clone()).or_default();
+        bucket.ids.push(id);
+        bucket
+            .by_value
+            .entry(field.value.clone())
+            .or_default()
+            .push(id);
+        self.size += sz;
+        self.entries.push_front(field);
+        self.evict();
+        Some(id)
+    }
+
+    /// Entry by absolute index.
+    pub fn get_absolute(&self, abs: u64) -> Option<&Field> {
+        let newest = self.insert_count.checked_sub(1)?;
+        let pos = newest.checked_sub(abs)?;
+        self.entries.get(pos as usize)
+    }
+
+    /// Absolute index of the most recent exact (name, value) match.
+    pub fn find(&self, name: &str, value: &str) -> Option<u64> {
+        self.by_name.get(name)?.by_value.get(value)?.last().copied()
+    }
+
+    /// Absolute index of the most recent name-only match.
+    pub fn find_name(&self, name: &str) -> Option<u64> {
+        self.by_name.get(name)?.ids.last().copied()
+    }
+
+    fn evict(&mut self) {
+        while self.size > self.max_size {
+            // The oldest live entry has the smallest absolute index,
+            // which sits at the front of both of its buckets.
+            let id = self.insert_count - self.entries.len() as u64;
+            let e = self.entries.pop_back().expect("size>0 implies entries");
+            self.size -= e.size();
+            self.evictions += 1;
+            if let Some(bucket) = self.by_name.get_mut(&e.name) {
+                debug_assert_eq!(bucket.ids.first(), Some(&id));
+                bucket.ids.remove(0);
+                if let Some(ids) = bucket.by_value.get_mut(&e.value) {
+                    debug_assert_eq!(ids.first(), Some(&id));
+                    ids.remove(0);
+                    if ids.is_empty() {
+                        bucket.by_value.remove(&e.value);
+                    }
+                }
+                if bucket.ids.is_empty() {
+                    self.by_name.remove(&e.name);
+                }
+            }
+        }
+    }
+}
+
+/// Where [`find_indices`] found a match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableRef {
+    /// 0-based index into [`STATIC_TABLE`].
+    Static(usize),
+    /// Absolute index into the dynamic table.
+    Dynamic(u64),
+}
+
+/// Hash index over [`STATIC_TABLE`], built once. `name_first` keeps
+/// first-occurrence semantics for name-only references; `pairs` keeps
+/// per-name value lists in table order.
+struct StaticIndex {
+    name_first: HashMap<&'static str, usize>,
+    pairs: HashMap<&'static str, Vec<(&'static str, usize)>>,
+}
+
+fn static_index() -> &'static StaticIndex {
+    static IDX: OnceLock<StaticIndex> = OnceLock::new();
+    IDX.get_or_init(|| {
+        let mut name_first = HashMap::new();
+        let mut pairs: HashMap<&'static str, Vec<(&'static str, usize)>> = HashMap::new();
+        for (i, (n, v)) in STATIC_TABLE.iter().enumerate() {
+            name_first.entry(*n).or_insert(i);
+            let values = pairs.entry(*n).or_default();
+            if !values.iter().any(|&(val, _)| val == *v) {
+                values.push((*v, i));
+            }
+        }
+        StaticIndex { name_first, pairs }
+    })
+}
+
+fn static_pair_index(name: &str, value: &str) -> Option<usize> {
+    static_index()
+        .pairs
+        .get(name)?
+        .iter()
+        .find(|&&(v, _)| v == value)
+        .map(|&(_, i)| i)
+}
+
+/// Exact-match and name-only references resolved in one pass — static
+/// preferred, then dynamic via the name buckets. The QPACK analogue of
+/// the h2 `find_indices` double-scan fix: the encoder needs both
+/// answers on every literal path and never walks a table twice.
+pub fn find_indices(
+    dynamic: &DynamicTable,
+    name: &str,
+    value: &str,
+) -> (Option<TableRef>, Option<TableRef>) {
+    let exact = static_pair_index(name, value)
+        .map(TableRef::Static)
+        .or_else(|| dynamic.find(name, value).map(TableRef::Dynamic));
+    let by_name = static_index()
+        .name_first
+        .get(name)
+        .copied()
+        .map(TableRef::Static)
+        .or_else(|| dynamic.find_name(name).map(TableRef::Dynamic));
+    (exact, by_name)
+}
+
+/// A malformed encoder stream or field section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QpackError {
+    /// Input ended inside an instruction or field line.
+    Truncated,
+    /// A reference pointed outside the live table.
+    InvalidReference,
+    /// A prefix integer overflowed.
+    IntegerOverflow,
+}
+
+impl std::fmt::Display for QpackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QpackError::Truncated => write!(f, "truncated qpack input"),
+            QpackError::InvalidReference => write!(f, "invalid table reference"),
+            QpackError::IntegerOverflow => write!(f, "prefix integer overflow"),
+        }
+    }
+}
+
+/// Encode `value` with an N-bit prefix integer (RFC 7541 §5.1, shared
+/// by QPACK). `flags` carries the high bits of the first octet.
+fn encode_prefix_int(out: &mut Vec<u8>, flags: u8, prefix_bits: u8, mut value: u64) {
+    let max = (1u64 << prefix_bits) - 1;
+    if value < max {
+        out.push(flags | value as u8);
+        return;
+    }
+    out.push(flags | max as u8);
+    value -= max;
+    while value >= 128 {
+        out.push((value % 128) as u8 | 0x80);
+        value /= 128;
+    }
+    out.push(value as u8);
+}
+
+/// Decode an N-bit prefix integer; returns (first-octet flags, value).
+fn decode_prefix_int(
+    input: &[u8],
+    pos: &mut usize,
+    prefix_bits: u8,
+) -> Result<(u8, u64), QpackError> {
+    let first = *input.get(*pos).ok_or(QpackError::Truncated)?;
+    *pos += 1;
+    let max = (1u64 << prefix_bits) - 1;
+    let flags = first & !(max as u8);
+    let mut value = u64::from(first) & max;
+    if value < max {
+        return Ok((flags, value));
+    }
+    let mut shift = 0u32;
+    loop {
+        let b = *input.get(*pos).ok_or(QpackError::Truncated)?;
+        *pos += 1;
+        let add = u64::from(b & 0x7f)
+            .checked_shl(shift)
+            .ok_or(QpackError::IntegerOverflow)?;
+        value = value.checked_add(add).ok_or(QpackError::IntegerOverflow)?;
+        if b & 0x80 == 0 {
+            return Ok((flags, value));
+        }
+        shift += 7;
+        if shift > 62 {
+            return Err(QpackError::IntegerOverflow);
+        }
+    }
+}
+
+/// Raw (never Huffman-coded) string literal with an N-bit length
+/// prefix; the Huffman bit is the lowest flag bit above the prefix.
+fn encode_string(out: &mut Vec<u8>, flags: u8, prefix_bits: u8, s: &str) {
+    encode_prefix_int(out, flags, prefix_bits, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_string(input: &[u8], pos: &mut usize, prefix_bits: u8) -> Result<String, QpackError> {
+    let (_, len) = decode_prefix_int(input, pos, prefix_bits)?;
+    let len = len as usize;
+    let bytes = input
+        .get(*pos..*pos + len)
+        .ok_or(QpackError::Truncated)?
+        .to_vec();
+    *pos += len;
+    String::from_utf8(bytes).map_err(|_| QpackError::Truncated)
+}
+
+/// One request's encoded output: the encoder-stream instructions that
+/// mutate the dynamic table, and the field section that references it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EncodedRequest {
+    /// Encoder-stream bytes (table inserts), possibly empty.
+    pub instructions: Vec<u8>,
+    /// The encoded field section (prefix + field lines).
+    pub section: Vec<u8>,
+}
+
+/// Default dynamic-table capacity, matching the h2 stack's
+/// SETTINGS_HEADER_TABLE_SIZE default.
+pub const DEFAULT_TABLE_SIZE: usize = 4096;
+
+/// The QPACK encoder half of one connection.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    table: DynamicTable,
+    instructions: u64,
+}
+
+impl Encoder {
+    /// Encoder with the default table capacity.
+    pub fn new() -> Self {
+        Self::with_table_size(DEFAULT_TABLE_SIZE)
+    }
+
+    /// Encoder with an explicit table capacity.
+    pub fn with_table_size(max: usize) -> Self {
+        Encoder {
+            table: DynamicTable::new(max),
+            instructions: 0,
+        }
+    }
+
+    /// Encoder-stream instructions emitted over the lifetime.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Dynamic-table evictions over the lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.table.evictions()
+    }
+
+    /// Current dynamic-table occupancy in octets.
+    pub fn table_size(&self) -> usize {
+        self.table.size()
+    }
+
+    /// Encode one field list. All table inserts are emitted on the
+    /// encoder stream first, then the section references the settled
+    /// table — no post-base references.
+    pub fn encode(&mut self, fields: &[Field]) -> EncodedRequest {
+        let mut out = EncodedRequest::default();
+        // Pass 1: table mutations (encoder stream).
+        let mut refs: Vec<TableRef> = Vec::with_capacity(fields.len());
+        for f in fields {
+            let (exact, by_name) = find_indices(&self.table, &f.name, &f.value);
+            let r = match exact {
+                Some(r) => r,
+                None => match self.insert_instruction(f, by_name, &mut out.instructions) {
+                    Some(abs) => TableRef::Dynamic(abs),
+                    // Refused (larger than the whole table): the
+                    // section carries a plain literal.
+                    None => TableRef::Static(usize::MAX),
+                },
+            };
+            refs.push(r);
+        }
+        // A later insert in this very request may have evicted an
+        // entry referenced earlier (tiny tables); dead references
+        // travel as literals instead.
+        let refs: Vec<TableRef> = refs
+            .into_iter()
+            .map(|r| match r {
+                TableRef::Dynamic(abs) if self.table.get_absolute(abs).is_none() => {
+                    TableRef::Static(usize::MAX)
+                }
+                r => r,
+            })
+            .collect();
+        // Pass 2: the field section. Base = insert count after the
+        // mutations above, so every dynamic reference is `base - 1 -
+        // absolute` and the Required Insert Count is the base itself
+        // whenever any dynamic entry is referenced.
+        let base = self.table.insert_count();
+        let required = refs
+            .iter()
+            .filter_map(|r| match r {
+                TableRef::Dynamic(abs) => Some(abs + 1),
+                TableRef::Static(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        // §4.5.1.1: 0 encodes as 0, anything else as value + 1 (the
+        // wrap arithmetic is not exercised here).
+        encode_prefix_int(
+            &mut out.section,
+            0,
+            8,
+            if required == 0 { 0 } else { required + 1 },
+        );
+        // Delta Base, sign bit 0: base = required + delta.
+        encode_prefix_int(&mut out.section, 0, 7, base - required);
+        for (f, r) in fields.iter().zip(&refs) {
+            match *r {
+                TableRef::Static(idx) if idx != usize::MAX => {
+                    // Indexed field line, static (1 T=1 ......).
+                    encode_prefix_int(&mut out.section, 0xc0, 6, idx as u64);
+                }
+                TableRef::Dynamic(abs) => {
+                    // Indexed field line, dynamic (1 T=0), relative to
+                    // the base.
+                    encode_prefix_int(&mut out.section, 0x80, 6, base - 1 - abs);
+                }
+                TableRef::Static(_) => {
+                    // Literal field line with literal name (001 N H).
+                    encode_string(&mut out.section, 0x20, 3, &f.name);
+                    encode_string(&mut out.section, 0x00, 7, &f.value);
+                }
+            }
+        }
+        out
+    }
+
+    /// Emit the cheapest insert instruction for `f` and perform it.
+    fn insert_instruction(
+        &mut self,
+        f: &Field,
+        by_name: Option<TableRef>,
+        stream: &mut Vec<u8>,
+    ) -> Option<u64> {
+        let abs = self.table.insert(f.clone())?;
+        self.instructions += 1;
+        match by_name {
+            // Insert with name reference (1 T nnnnnn): static table.
+            Some(TableRef::Static(idx)) => {
+                encode_prefix_int(stream, 0xc0, 6, idx as u64);
+                encode_string(stream, 0x00, 7, &f.value);
+            }
+            // Insert with name reference, dynamic: relative to the
+            // current insert count (which already includes this
+            // insert, hence -2: the referenced entry predates it).
+            Some(TableRef::Dynamic(name_abs)) => {
+                encode_prefix_int(stream, 0x80, 6, self.table.insert_count() - 2 - name_abs);
+                encode_string(stream, 0x00, 7, &f.value);
+            }
+            // Insert with literal name (01 H nnnnn).
+            None => {
+                encode_string(stream, 0x40, 5, &f.name);
+                encode_string(stream, 0x00, 7, &f.value);
+            }
+        }
+        Some(abs)
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The QPACK decoder half of one connection.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    table: DynamicTable,
+}
+
+impl Decoder {
+    /// Decoder with the default table capacity.
+    pub fn new() -> Self {
+        Self::with_table_size(DEFAULT_TABLE_SIZE)
+    }
+
+    /// Decoder with an explicit table capacity (must match the
+    /// encoder's).
+    pub fn with_table_size(max: usize) -> Self {
+        Decoder {
+            table: DynamicTable::new(max),
+        }
+    }
+
+    /// Dynamic-table evictions over the lifetime (tracks the encoder
+    /// exactly when both saw the same instruction stream).
+    pub fn evictions(&self) -> u64 {
+        self.table.evictions()
+    }
+
+    /// Insert count applied so far.
+    pub fn insert_count(&self) -> u64 {
+        self.table.insert_count()
+    }
+
+    /// Apply encoder-stream instructions.
+    pub fn apply_instructions(&mut self, input: &[u8]) -> Result<(), QpackError> {
+        let mut pos = 0;
+        while pos < input.len() {
+            let first = input[pos];
+            if first & 0x80 != 0 {
+                // Insert with name reference.
+                let (flags, idx) = decode_prefix_int(input, &mut pos, 6)?;
+                let name = if flags & 0x40 != 0 {
+                    STATIC_TABLE
+                        .get(idx as usize)
+                        .ok_or(QpackError::InvalidReference)?
+                        .0
+                        .to_string()
+                } else {
+                    let abs = self
+                        .table
+                        .insert_count()
+                        .checked_sub(1 + idx)
+                        .ok_or(QpackError::InvalidReference)?;
+                    self.table
+                        .get_absolute(abs)
+                        .ok_or(QpackError::InvalidReference)?
+                        .name
+                        .clone()
+                };
+                let value = decode_string(input, &mut pos, 7)?;
+                self.table.insert(Field { name, value });
+            } else if first & 0x40 != 0 {
+                // Insert with literal name.
+                let name = decode_string(input, &mut pos, 5)?;
+                let value = decode_string(input, &mut pos, 7)?;
+                self.table.insert(Field { name, value });
+            } else {
+                return Err(QpackError::InvalidReference);
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode a field section against the current table.
+    pub fn decode(&mut self, section: &[u8]) -> Result<Vec<Field>, QpackError> {
+        let mut pos = 0;
+        let (_, encoded_ric) = decode_prefix_int(section, &mut pos, 8)?;
+        let required = encoded_ric.saturating_sub(1);
+        if required > self.table.insert_count() {
+            return Err(QpackError::InvalidReference);
+        }
+        let (_, delta) = decode_prefix_int(section, &mut pos, 7)?;
+        let base = required + delta;
+        let mut fields = Vec::new();
+        while pos < section.len() {
+            let first = section[pos];
+            if first & 0x80 != 0 {
+                // Indexed field line.
+                let (flags, idx) = decode_prefix_int(section, &mut pos, 6)?;
+                let f = if flags & 0x40 != 0 {
+                    let (n, v) = STATIC_TABLE
+                        .get(idx as usize)
+                        .ok_or(QpackError::InvalidReference)?;
+                    Field::new(n, v)
+                } else {
+                    let abs = base
+                        .checked_sub(1 + idx)
+                        .ok_or(QpackError::InvalidReference)?;
+                    self.table
+                        .get_absolute(abs)
+                        .ok_or(QpackError::InvalidReference)?
+                        .clone()
+                };
+                fields.push(f);
+            } else if first & 0x20 != 0 {
+                // Literal field line with literal name.
+                let name = decode_string(section, &mut pos, 3)?;
+                let value = decode_string(section, &mut pos, 7)?;
+                fields.push(Field { name, value });
+            } else {
+                return Err(QpackError::InvalidReference);
+            }
+        }
+        Ok(fields)
+    }
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(name: &str, value: &str) -> Field {
+        Field::new(name, value)
+    }
+
+    #[test]
+    fn static_table_spot_checks() {
+        assert_eq!(STATIC_TABLE[0], (":authority", ""));
+        assert_eq!(STATIC_TABLE[17], (":method", "GET"));
+        assert_eq!(STATIC_TABLE[23], (":scheme", "https"));
+        assert_eq!(STATIC_TABLE[25], (":status", "200"));
+        assert_eq!(STATIC_TABLE[98], ("x-frame-options", "sameorigin"));
+        assert_eq!(STATIC_TABLE.len(), 99);
+    }
+
+    #[test]
+    fn prefix_int_round_trip() {
+        for (prefix, value) in [(6u8, 0u64), (6, 62), (6, 63), (6, 1337), (8, 255), (3, 9)] {
+            let mut out = Vec::new();
+            encode_prefix_int(&mut out, 0, prefix, value);
+            let mut pos = 0;
+            let (_, got) = decode_prefix_int(&out, &mut pos, prefix).unwrap();
+            assert_eq!(got, value, "prefix {prefix} value {value}");
+            assert_eq!(pos, out.len());
+        }
+    }
+
+    #[test]
+    fn find_indices_matches_separate_lookups() {
+        // The QPACK mirror of the h2 double-scan regression test: the
+        // fused lookup must agree with running the exact-match and
+        // name-only searches independently, before and after inserts.
+        let mut t = DynamicTable::new(4096);
+        t.insert(f("x-a", "1"));
+        for (name, value) in [
+            (":method", "GET"),
+            (":method", "TRACE"),
+            ("x-a", "1"),
+            ("x-a", "2"),
+            ("nope", "v"),
+        ] {
+            let separate_exact = static_pair_index(name, value)
+                .map(TableRef::Static)
+                .or_else(|| t.find(name, value).map(TableRef::Dynamic));
+            let separate_name = static_index()
+                .name_first
+                .get(name)
+                .copied()
+                .map(TableRef::Static)
+                .or_else(|| t.find_name(name).map(TableRef::Dynamic));
+            assert_eq!(
+                find_indices(&t, name, value),
+                (separate_exact, separate_name)
+            );
+        }
+    }
+}

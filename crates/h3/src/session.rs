@@ -1,0 +1,386 @@
+//! Per-visit HTTP/3 session state and the per-connection driver.
+//!
+//! [`H3Session`] is what one browser visit remembers across
+//! connections: which certificate scopes have advertised h3
+//! ([`AltSvcCache`]), the TLS session tickets banked by completed full
+//! handshakes (certificate-scoped, so resumption crosses hostnames —
+//! Sy et al.), and which server addresses have been validated (so
+//! later handshakes to the same address skip the anti-amplification
+//! stall — shared address validation). [`connect`] folds all three
+//! into one deterministic handshake decision.
+//!
+//! [`H3Conn`] is one QUIC connection's request machinery: QPACK
+//! encoder/decoder pair (the instruction stream is applied to the
+//! decoder and the section round-tripped, so compression state
+//! actually exercises both ends) and the connection-ID registry,
+//! rotated periodically the way migrating clients do.
+//!
+//! [`connect`]: H3Session::connect
+
+use std::net::IpAddr;
+
+use origin_netsim::{LinkProfile, SimDuration, SimRng};
+use origin_tls::{ResumptionScope, SessionTicketCache};
+
+use crate::altsvc::AltSvcCache;
+use crate::cid::{ConnectionIdRegistry, DEFAULT_ACTIVE_CID_LIMIT};
+use crate::handshake::{HandshakeMode, QuicCostModel, QuicHandshake};
+use crate::qpack::{Decoder, Encoder, Field};
+
+/// Probability a server rejects offered 0-RTT early data (key
+/// rotation, anti-replay windows); the rejected handshake completes as
+/// a full exchange.
+pub const ZERO_RTT_REJECT_RATE: f64 = 0.05;
+
+/// Requests between connection-ID rotations on a live connection.
+pub const CID_ROTATION_PERIOD: u64 = 16;
+
+/// Counters one visit accumulates; drained into `h3.*` metrics by the
+/// loader (nonzero-gated, like every other feature family).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct H3Counts {
+    /// QUIC connections established.
+    pub connections: u64,
+    /// Full 1-RTT handshakes (including 0-RTT rejections that fell
+    /// back).
+    pub handshakes_1rtt: u64,
+    /// Accepted 0-RTT handshakes.
+    pub handshakes_0rtt: u64,
+    /// 0-RTT offers the server rejected.
+    pub zero_rtt_rejected: u64,
+    /// Session tickets banked (h2 TLS 1.3 and QUIC 1-RTT handshakes).
+    pub tickets_issued: u64,
+    /// Redemptions whose issuing host differed from the redeeming
+    /// host — the cross-hostname resumption treatment.
+    pub resumed_cross_host: u64,
+    /// Certificate scopes that advertised h3.
+    pub altsvc_learned: u64,
+    /// Advertisements lost to middlebox connection teardown.
+    pub altsvc_suppressed: u64,
+    /// Extra round trips paid to the anti-amplification limit.
+    pub amplification_rtts: u64,
+    /// Handshakes that skipped the amplification stall because the
+    /// address was already validated.
+    pub addr_validated_skips: u64,
+}
+
+/// What one QUIC connection establishment cost and why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuicConnectOutcome {
+    /// How the handshake completed.
+    pub mode: HandshakeMode,
+    /// Blocking handshake time (replaces both `connect` and `ssl`
+    /// phases — QUIC has no separate transport round trip).
+    pub cost: SimDuration,
+    /// The redeemed ticket came from a different hostname.
+    pub cross_host: bool,
+    /// Extra round trips the amplification limit charged.
+    pub amplification_rtts: u32,
+}
+
+/// One visit's h3 memory.
+#[derive(Debug, Clone)]
+pub struct H3Session {
+    altsvc: AltSvcCache,
+    tickets: SessionTicketCache,
+    validated: Vec<IpAddr>,
+    /// Running counters, drained by the loader.
+    pub counts: H3Counts,
+}
+
+impl Default for H3Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl H3Session {
+    /// Fresh session: nothing learned, certificate-scoped tickets.
+    pub fn new() -> Self {
+        H3Session {
+            altsvc: AltSvcCache::new(),
+            tickets: SessionTicketCache::new(ResumptionScope::Certificate),
+            validated: Vec::new(),
+            counts: H3Counts::default(),
+        }
+    }
+
+    /// Reset for arena reuse — equivalent to [`new`], keeping
+    /// allocations is not worth the bookkeeping here because the
+    /// backing maps are tiny.
+    ///
+    /// [`new`]: Self::new
+    pub fn recycle(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Has this certificate scope advertised h3?
+    pub fn knows_h3(&self, cert_serial: u64) -> bool {
+        self.altsvc.knows(cert_serial)
+    }
+
+    /// An h2 response from this scope carried (or, when `suppressed`,
+    /// would have carried — middleboxes that tear down long-lived
+    /// connections also eat the advertisement) an `alt-svc: h3` value.
+    pub fn learn_alt_svc(&mut self, cert_serial: u64, suppressed: bool) {
+        if suppressed {
+            self.counts.altsvc_suppressed += 1;
+            return;
+        }
+        if self.altsvc.learn(cert_serial) {
+            self.counts.altsvc_learned += 1;
+        }
+    }
+
+    /// A full TLS 1.3 handshake (h2 path) with `host` completed and
+    /// issued a session ticket into the certificate scope.
+    pub fn bank_ticket(&mut self, host: &str, cert_serial: u64) {
+        self.tickets.issue(host, cert_serial);
+        self.counts.tickets_issued += 1;
+    }
+
+    /// Tickets banked over the session (for invariant checks).
+    pub fn tickets_issued(&self) -> u64 {
+        self.tickets.issued()
+    }
+
+    /// Tickets redeemed over the session (≤ issued, single-use).
+    pub fn tickets_redeemed(&self) -> u64 {
+        self.tickets.redeemed()
+    }
+
+    /// Establish one QUIC connection to `host` at `ip` under the
+    /// certificate with `cert_serial` / `cert_bytes` on the wire.
+    ///
+    /// Deterministic given the rng: a banked ticket is redeemed for a
+    /// 0-RTT offer (one `chance` draw decides rejection); otherwise a
+    /// full 1-RTT handshake runs, paying the amplification stall
+    /// unless `ip` was validated by an earlier handshake this visit.
+    /// Every completed full handshake issues a fresh ticket and
+    /// validates `ip`.
+    pub fn connect(
+        &mut self,
+        host: &str,
+        cert_serial: u64,
+        cert_bytes: u64,
+        ip: IpAddr,
+        link: &LinkProfile,
+        rng: &mut SimRng,
+    ) -> QuicConnectOutcome {
+        let mut hs = QuicHandshake::new();
+        let ticket = self.tickets.redeem(host, cert_serial);
+        let mut cross_host = false;
+        if let Some(t) = &ticket {
+            cross_host = t.issuing_host != host;
+            hs.send_zero_rtt().expect("fresh handshake accepts 0-RTT");
+            if rng.chance(ZERO_RTT_REJECT_RATE) {
+                hs.reject_zero_rtt().expect("0-RTT sent admits rejection");
+            }
+        } else {
+            hs.send_initial().expect("fresh handshake accepts initial");
+        }
+        let mode = hs.confirm().expect("first flight admits confirmation");
+        let address_validated = self.validated.contains(&ip);
+        let model = QuicCostModel::for_certificate(cert_bytes, address_validated);
+        let cost = model.handshake_cost(mode, link, rng);
+
+        self.counts.connections += 1;
+        match mode {
+            HandshakeMode::ZeroRtt => {
+                self.counts.handshakes_0rtt += 1;
+                if cross_host {
+                    self.counts.resumed_cross_host += 1;
+                }
+            }
+            HandshakeMode::OneRtt | HandshakeMode::ZeroRttRejected => {
+                self.counts.handshakes_1rtt += 1;
+                if mode == HandshakeMode::ZeroRttRejected {
+                    self.counts.zero_rtt_rejected += 1;
+                }
+                if address_validated {
+                    self.counts.addr_validated_skips += 1;
+                } else {
+                    self.counts.amplification_rtts += u64::from(model.amplification_rtts);
+                }
+                // Full handshakes reissue a ticket and validate the
+                // path (RFC 9000 §8.1: a completed handshake is
+                // address validation).
+                self.bank_ticket(host, cert_serial);
+                if !address_validated {
+                    self.validated.push(ip);
+                }
+            }
+        }
+        QuicConnectOutcome {
+            mode,
+            cost,
+            cross_host,
+            amplification_rtts: match mode {
+                HandshakeMode::ZeroRtt => 0,
+                _ if address_validated => 0,
+                _ => model.amplification_rtts,
+            },
+        }
+    }
+}
+
+/// Per-request QPACK byte counts, for trace spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct H3RequestStats {
+    /// Encoder-stream bytes emitted for this request's inserts.
+    pub instruction_bytes: u64,
+    /// Field-section bytes for the request headers.
+    pub section_bytes: u64,
+}
+
+/// One QUIC connection's request machinery.
+#[derive(Debug, Clone)]
+pub struct H3Conn {
+    encoder: Encoder,
+    decoder: Decoder,
+    cids: ConnectionIdRegistry,
+    requests: u64,
+}
+
+impl Default for H3Conn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl H3Conn {
+    /// Fresh connection state.
+    pub fn new() -> Self {
+        H3Conn {
+            encoder: Encoder::new(),
+            decoder: Decoder::new(),
+            cids: ConnectionIdRegistry::new(DEFAULT_ACTIVE_CID_LIMIT),
+            requests: 0,
+        }
+    }
+
+    /// Encode one request's header block through QPACK, apply the
+    /// instruction stream, and round-trip the field section through
+    /// the decoder. Rotates a connection ID every
+    /// [`CID_ROTATION_PERIOD`] requests.
+    pub fn drive_request(&mut self, authority: &str, path: &str) -> H3RequestStats {
+        let fields = [
+            Field::new(":method", "GET"),
+            Field::new(":scheme", "https"),
+            Field::new(":authority", authority),
+            Field::new(":path", path),
+        ];
+        let encoded = self.encoder.encode(&fields);
+        self.decoder
+            .apply_instructions(&encoded.instructions)
+            .expect("own encoder stream is well-formed");
+        let decoded = self
+            .decoder
+            .decode(&encoded.section)
+            .expect("own field section is well-formed");
+        debug_assert_eq!(decoded.as_slice(), &fields);
+        self.requests += 1;
+        if self.requests.is_multiple_of(CID_ROTATION_PERIOD) {
+            self.cids.rotate().expect("rotation below the CID limit");
+        }
+        H3RequestStats {
+            instruction_bytes: encoded.instructions.len() as u64,
+            section_bytes: encoded.section.len() as u64,
+        }
+    }
+
+    /// Requests driven on this connection.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// QPACK encoder-stream instructions emitted.
+    pub fn qpack_instructions(&self) -> u64 {
+        self.encoder.instructions()
+    }
+
+    /// QPACK dynamic-table evictions on the encoder side.
+    pub fn qpack_evictions(&self) -> u64 {
+        self.encoder.evictions()
+    }
+
+    /// Connection IDs issued (including the handshake's sequence 0).
+    pub fn cids_issued(&self) -> u64 {
+        self.cids.issued()
+    }
+
+    /// Connection IDs retired.
+    pub fn cids_retired(&self) -> u64 {
+        self.cids.retired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use origin_netsim::SimRng;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from([198, 51, 100, last])
+    }
+
+    fn link() -> LinkProfile {
+        LinkProfile::broadband_edge()
+    }
+
+    #[test]
+    fn first_connect_is_1rtt_then_tickets_enable_0rtt() {
+        let mut s = H3Session::new();
+        let mut rng = SimRng::seed_from_u64(7);
+        let l = link();
+        let first = s.connect("a.example.com", 9, 1_500, ip(1), &l, &mut rng);
+        assert_eq!(first.mode, HandshakeMode::OneRtt);
+        assert!(first.cost > SimDuration::ZERO);
+        // The 1-RTT handshake banked a ticket; the next connection in
+        // the scope — different hostname — resumes across hosts.
+        let second = s.connect("b.example.com", 9, 1_500, ip(2), &l, &mut rng);
+        assert!(matches!(
+            second.mode,
+            HandshakeMode::ZeroRtt | HandshakeMode::ZeroRttRejected
+        ));
+        if second.mode == HandshakeMode::ZeroRtt {
+            assert!(second.cross_host);
+            assert_eq!(second.cost, SimDuration::ZERO);
+        }
+        let c = s.counts;
+        assert_eq!(c.handshakes_1rtt + c.handshakes_0rtt, c.connections);
+        assert!(c.handshakes_0rtt + c.zero_rtt_rejected <= c.tickets_issued);
+        assert!(s.tickets_redeemed() <= s.tickets_issued());
+    }
+
+    #[test]
+    fn shared_address_validation_skips_amplification() {
+        let mut s = H3Session::new();
+        let mut rng = SimRng::seed_from_u64(7);
+        let l = link();
+        // Bloated chain to a fresh address: the stall applies.
+        let first = s.connect("a.example.com", 9, 6_000, ip(1), &l, &mut rng);
+        assert_eq!(first.amplification_rtts, 1);
+        // Exhaust the banked ticket so the next handshake is full.
+        s.tickets.clear();
+        // Same address: validated by the first handshake, no stall.
+        let again = s.connect("other.example.com", 9, 6_000, ip(1), &l, &mut rng);
+        assert_eq!(again.amplification_rtts, 0);
+        assert!(s.counts.addr_validated_skips >= 1);
+    }
+
+    #[test]
+    fn conn_drives_qpack_and_rotates_cids() {
+        let mut conn = H3Conn::new();
+        for i in 0..(CID_ROTATION_PERIOD * 2) {
+            let stats = conn.drive_request("a.example.com", &format!("/asset/{i}"));
+            assert!(stats.section_bytes > 0);
+        }
+        assert_eq!(conn.requests(), CID_ROTATION_PERIOD * 2);
+        assert!(conn.qpack_instructions() > 0);
+        // Two rotations: sequence 0 plus two fresh IDs issued, two
+        // retired.
+        assert_eq!(conn.cids_issued(), 3);
+        assert_eq!(conn.cids_retired(), 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Golden wire-level tests for the QUIC/h3 building blocks: the
+//! handshake state machine (every legal 1-RTT/0-RTT transition and the
+//! rejected-0-RTT fallback), connection-ID issuance/retirement, and
+//! QPACK encode/decode down to exact bytes — including dynamic-table
+//! eviction parity with the h2 HPACK double-scan regression.
+
+use origin_h3::cid::{CidError, ConnectionIdRegistry};
+use origin_h3::handshake::{HandshakeMode, HandshakeState, QuicCostModel, QuicHandshake};
+use origin_h3::qpack::{self, Decoder, Encoder, Field};
+
+fn f(name: &str, value: &str) -> Field {
+    Field::new(name, value)
+}
+
+// ---------------------------------------------------------------- //
+// Handshake state machine
+// ---------------------------------------------------------------- //
+
+#[test]
+fn one_rtt_walks_initial_handshaking_established() {
+    let mut hs = QuicHandshake::new();
+    assert_eq!(hs.state(), HandshakeState::Initial);
+    hs.send_initial().unwrap();
+    assert_eq!(hs.state(), HandshakeState::Handshaking);
+    assert_eq!(hs.confirm().unwrap(), HandshakeMode::OneRtt);
+    assert_eq!(hs.state(), HandshakeState::Established);
+}
+
+#[test]
+fn zero_rtt_walks_initial_zero_rtt_sent_established() {
+    let mut hs = QuicHandshake::new();
+    hs.send_zero_rtt().unwrap();
+    assert_eq!(hs.state(), HandshakeState::ZeroRttSent);
+    assert_eq!(hs.confirm().unwrap(), HandshakeMode::ZeroRtt);
+    assert_eq!(hs.state(), HandshakeState::Established);
+}
+
+#[test]
+fn rejected_zero_rtt_falls_back_to_full_handshake() {
+    let mut hs = QuicHandshake::new();
+    hs.send_zero_rtt().unwrap();
+    hs.reject_zero_rtt().unwrap();
+    // The connection is not dead — it is mid full handshake.
+    assert_eq!(hs.state(), HandshakeState::Handshaking);
+    assert_eq!(hs.confirm().unwrap(), HandshakeMode::ZeroRttRejected);
+    // And the rejected shape costs what a full handshake costs.
+    let m = QuicCostModel::for_certificate(1_500, false);
+    assert_eq!(
+        m.round_trips(HandshakeMode::ZeroRttRejected),
+        m.round_trips(HandshakeMode::OneRtt)
+    );
+}
+
+#[test]
+fn illegal_transitions_error_instead_of_panicking() {
+    let mut hs = QuicHandshake::new();
+    // Cannot confirm or reject before sending anything.
+    assert!(hs.confirm().is_err());
+    assert!(hs.reject_zero_rtt().is_err());
+    hs.send_initial().unwrap();
+    // Cannot send again, and cannot reject 0-RTT that was never sent.
+    assert!(hs.send_initial().is_err());
+    assert!(hs.send_zero_rtt().is_err());
+    assert!(hs.reject_zero_rtt().is_err());
+    hs.confirm().unwrap();
+    assert!(hs.confirm().is_err());
+}
+
+#[test]
+fn handshake_mode_labels_are_stable() {
+    // Trace/report vocabulary — changing these breaks committed
+    // artifacts.
+    assert_eq!(HandshakeMode::OneRtt.label(), "1-rtt");
+    assert_eq!(HandshakeMode::ZeroRtt.label(), "0-rtt");
+    assert_eq!(HandshakeMode::ZeroRttRejected.label(), "0-rtt-rejected");
+}
+
+// ---------------------------------------------------------------- //
+// Connection IDs
+// ---------------------------------------------------------------- //
+
+#[test]
+fn cid_issuance_respects_the_active_limit() {
+    let mut r = ConnectionIdRegistry::new(2);
+    // Sequence 0 exists from the handshake.
+    assert_eq!(r.active(), &[0]);
+    assert_eq!(r.issue().unwrap(), 1);
+    assert_eq!(r.issue(), Err(CidError::LimitExceeded));
+    assert_eq!(r.active(), &[0, 1]);
+}
+
+#[test]
+fn cid_retirement_is_permanent_and_checked() {
+    let mut r = ConnectionIdRegistry::new(2);
+    r.issue().unwrap();
+    r.retire(0).unwrap();
+    // A retired sequence number never comes back.
+    assert_eq!(r.retire(0), Err(CidError::UnknownSequence(0)));
+    assert_eq!(r.active(), &[1]);
+    assert_eq!(r.issued(), 2);
+    assert_eq!(r.retired(), 1);
+}
+
+#[test]
+fn cid_rotation_at_the_limit_retires_first() {
+    let mut r = ConnectionIdRegistry::new(2);
+    r.issue().unwrap(); // at limit: [0, 1]
+    let (old, new) = r.rotate().unwrap();
+    assert_eq!((old, new), (0, 2));
+    assert_eq!(r.active(), &[1, 2]);
+    // Below the limit the fresh ID is issued before the retirement,
+    // so the connection never momentarily holds zero IDs.
+    let mut r = ConnectionIdRegistry::new(4);
+    let (old, new) = r.rotate().unwrap();
+    assert_eq!((old, new), (0, 1));
+    assert_eq!(r.active(), &[1]);
+}
+
+// ---------------------------------------------------------------- //
+// QPACK: golden bytes
+// ---------------------------------------------------------------- //
+
+#[test]
+fn static_only_request_has_no_instructions_and_golden_section() {
+    let mut enc = Encoder::new();
+    let out = enc.encode(&[
+        f(":method", "GET"),
+        f(":scheme", "https"),
+        f(":path", "/"),
+        f("accept", "*/*"),
+    ]);
+    assert!(out.instructions.is_empty());
+    // Prefix: Required Insert Count 0, Delta Base 0; then four
+    // indexed-static lines (0b11xxxxxx | index).
+    assert_eq!(out.section, vec![0x00, 0x00, 0xd1, 0xd7, 0xc1, 0xdd]);
+    assert_eq!(enc.instructions(), 0);
+}
+
+#[test]
+fn authority_inserts_once_then_rides_the_dynamic_table() {
+    let mut enc = Encoder::new();
+    let fields = [
+        f(":method", "GET"),
+        f(":scheme", "https"),
+        f(":authority", "x.y"),
+        f(":path", "/"),
+    ];
+    let first = enc.encode(&fields);
+    // One encoder-stream instruction: insert-with-name-reference to
+    // static index 0 (:authority), value "x.y" raw.
+    assert_eq!(first.instructions, vec![0xc0, 0x03, b'x', b'.', b'y']);
+    // Section: RIC = 1 encoded as 2, Delta Base 0, then GET / https
+    // static, the dynamic reference (relative 0), and :path static.
+    assert_eq!(first.section, vec![0x02, 0x00, 0xd1, 0xd7, 0x80, 0xc1]);
+
+    // The second identical request needs no instructions and produces
+    // the identical section — the table state is settled.
+    let second = enc.encode(&fields);
+    assert!(second.instructions.is_empty());
+    assert_eq!(second.section, first.section);
+    assert_eq!(enc.instructions(), 1);
+
+    // And the decoder round-trips both from the wire bytes alone.
+    let mut dec = Decoder::new();
+    dec.apply_instructions(&first.instructions).unwrap();
+    assert_eq!(dec.decode(&first.section).unwrap(), fields);
+    assert_eq!(dec.decode(&second.section).unwrap(), fields);
+}
+
+#[test]
+fn unknown_name_uses_a_literal_name_insert() {
+    let mut enc = Encoder::new();
+    let out = enc.encode(&[f("x-custom", "v")]);
+    // Insert with literal name: 0b01H nnnnn (len 8 fits 5 bits), the
+    // name, then the raw value.
+    let mut want = vec![0x40 | 8];
+    want.extend_from_slice(b"x-custom");
+    want.extend_from_slice(&[0x01, b'v']);
+    assert_eq!(out.instructions, want);
+    let mut dec = Decoder::new();
+    dec.apply_instructions(&out.instructions).unwrap();
+    assert_eq!(dec.decode(&out.section).unwrap(), vec![f("x-custom", "v")]);
+}
+
+#[test]
+fn oversized_field_falls_back_to_a_section_literal() {
+    // A field larger than the entire table is refused by the dynamic
+    // table (QPACK has no HPACK-style whole-table clear) and travels
+    // as a literal field line instead.
+    let mut enc = Encoder::with_table_size(64);
+    let big = "v".repeat(64);
+    let out = enc.encode(&[f("x-big", &big)]);
+    assert!(out.instructions.is_empty());
+    assert_eq!(enc.table_size(), 0);
+    let mut dec = Decoder::with_table_size(64);
+    assert_eq!(dec.decode(&out.section).unwrap(), vec![f("x-big", &big)]);
+}
+
+#[test]
+fn intra_request_eviction_demotes_dead_references_to_literals() {
+    // One-slot table (each entry is 2+1+32 = 35 octets), three
+    // distinct fields in one request: each insert evicts its
+    // predecessor, so the first two section lines must travel as
+    // literals rather than referencing evicted entries.
+    let mut enc = Encoder::with_table_size(68);
+    let fields = [f("aa", "1"), f("bb", "2"), f("cc", "3")];
+    let out = enc.encode(&fields);
+    let mut dec = Decoder::with_table_size(68);
+    dec.apply_instructions(&out.instructions).unwrap();
+    assert_eq!(dec.decode(&out.section).unwrap(), fields);
+    assert_eq!(enc.evictions(), 2);
+}
+
+#[test]
+fn round_trip_survives_many_requests_with_shared_state() {
+    let mut enc = Encoder::new();
+    let mut dec = Decoder::new();
+    for i in 0..100 {
+        let fields = [
+            f(":method", "GET"),
+            f(":scheme", "https"),
+            f(
+                ":authority",
+                if i % 3 == 0 { "a.example" } else { "b.example" },
+            ),
+            f(":path", &format!("/asset/{}", i % 7)),
+        ];
+        let out = enc.encode(&fields);
+        dec.apply_instructions(&out.instructions).unwrap();
+        assert_eq!(dec.decode(&out.section).unwrap(), fields, "request {i}");
+    }
+    // Steady state: names and the recurring paths are table hits, so
+    // instruction volume converges (2 authorities + 7 paths).
+    assert_eq!(enc.instructions(), 9);
+}
+
+// ---------------------------------------------------------------- //
+// QPACK: eviction parity with the h2 HPACK double-scan regression
+// ---------------------------------------------------------------- //
+
+#[test]
+fn eviction_keeps_encoder_and_decoder_in_lockstep() {
+    // 68 octets fit exactly two 34-octet entries — the same capacity
+    // the h2 hpack eviction tests pin. Streaming many distinct fields
+    // through forces continuous eviction on both ends.
+    let mut enc = Encoder::with_table_size(68);
+    let mut dec = Decoder::with_table_size(68);
+    for i in 0..26 {
+        let name = ((b'a' + i) as char).to_string();
+        let fields = [f(&name, "1")];
+        let out = enc.encode(&fields);
+        dec.apply_instructions(&out.instructions).unwrap();
+        assert_eq!(dec.decode(&out.section).unwrap(), fields);
+    }
+    // 26 inserts into a 2-slot table: 24 evictions, mirrored exactly.
+    assert_eq!(enc.evictions(), 24);
+    assert_eq!(dec.evictions(), 24);
+    assert_eq!(dec.insert_count(), 26);
+}
+
+#[test]
+fn find_indices_stays_correct_under_continuous_eviction() {
+    // The h2 double-scan regression, ported: the fused one-pass
+    // exact+name lookup must agree with a linear-scan oracle while
+    // eviction continuously rewrites the name buckets.
+    use origin_h3::qpack::{DynamicTable, TableRef};
+
+    let mut table = DynamicTable::new(3 * 34);
+    let mut oracle: Vec<Field> = Vec::new(); // most recent first
+    for i in 0u32..40 {
+        let name = format!("{}", (b'a' + (i % 5) as u8) as char);
+        let value = format!("{}", i % 3);
+        let field = f(&name, &value);
+        if table.insert(field.clone()).is_some() {
+            oracle.insert(0, field);
+            while oracle.len() > 3 {
+                oracle.pop();
+            }
+        }
+        // Probe every (name, value) in play plus misses.
+        for pn in ["a", "b", "c", "d", "e", "zz"] {
+            for pv in ["0", "1", "2", "9"] {
+                let (exact, by_name) = qpack::find_indices(&table, pn, pv);
+                let newest = table.insert_count() - 1;
+                let scan_exact = oracle
+                    .iter()
+                    .position(|e| e.name == pn && e.value == pv)
+                    .map(|pos| TableRef::Dynamic(newest - pos as u64));
+                let scan_name = oracle
+                    .iter()
+                    .position(|e| e.name == pn)
+                    .map(|pos| TableRef::Dynamic(newest - pos as u64));
+                // No probe name collides with the static table, so
+                // the dynamic answers must match the oracle exactly.
+                assert_eq!(exact, scan_exact, "exact {pn}={pv} after insert {i}");
+                assert_eq!(by_name, scan_name, "name {pn} after insert {i}");
+            }
+        }
+    }
+    assert!(table.evictions() > 30);
+}

@@ -23,6 +23,8 @@
 //!   per-operator load accounting.
 //! - [`validate`] — trust-store chain validation and a validation
 //!   counter (the paper's "certificate validations" metric).
+//! - [`resumption`] — TLS 1.3 session-ticket cache with per-policy
+//!   redemption scope (exact host vs certificate-wide, Sy et al.).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +33,7 @@ pub mod alpn;
 pub mod ca;
 pub mod cert;
 pub mod ctlog;
+pub mod resumption;
 pub mod san;
 pub mod strategy;
 pub mod validate;
@@ -39,6 +42,7 @@ pub use alpn::{negotiate as alpn_negotiate, AlpnProtocol};
 pub use ca::{CaError, CertificateAuthority, KnownIssuer};
 pub use cert::{Certificate, CertificateBuilder, KeyType};
 pub use ctlog::{CtLog, CtLogSet};
+pub use resumption::{ResumptionScope, SessionTicket, SessionTicketCache};
 pub use san::{covers, wildcard_matches};
 pub use strategy::{cost as strategy_cost, CertStrategy, StrategyCost};
 pub use validate::{ValidationError, Validator};

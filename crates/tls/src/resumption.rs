@@ -1,0 +1,156 @@
+//! TLS 1.3 session-ticket cache with configurable resumption scope.
+//!
+//! Sy et al. ("Enhanced Performance for the encrypted Web through TLS
+//! Resumption across Hostnames") observe that a client may resume a
+//! session with any server that can prove authority over the ticket's
+//! origin — in practice, any host covered by the same certificate.
+//! That turns resumption into a coalescing-like treatment: the scope
+//! at which tickets are shared is a policy knob, not a protocol
+//! constant.
+//!
+//! [`SessionTicketCache`] models the client side of that policy. A
+//! ticket is banked when a full TLS 1.3 (or QUIC 1-RTT) handshake
+//! completes, filed under a key derived from the configured
+//! [`ResumptionScope`]; redeeming one removes it (tickets are
+//! single-use, per RFC 8446 §C.4's reuse guidance), and a redemption
+//! whose issuing host differs from the redeeming host is the
+//! cross-hostname case the policy exists to enable.
+
+use std::collections::HashMap;
+
+/// How widely a banked session ticket may be redeemed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumptionScope {
+    /// Classic behavior: a ticket resumes only the exact host that
+    /// issued it.
+    ExactHost,
+    /// Cross-hostname resumption: a ticket resumes any host presenting
+    /// the same certificate (keyed by serial), per Sy et al.
+    Certificate,
+}
+
+/// Cache key under a given scope.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TicketKey {
+    Host(String),
+    Cert(u64),
+}
+
+/// One banked ticket: enough to tell who issued it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionTicket {
+    /// Host whose handshake issued the ticket.
+    pub issuing_host: String,
+}
+
+/// A client-side session-ticket store.
+#[derive(Debug, Clone)]
+pub struct SessionTicketCache {
+    scope: ResumptionScope,
+    tickets: HashMap<TicketKey, Vec<SessionTicket>>,
+    issued: u64,
+    redeemed: u64,
+}
+
+impl SessionTicketCache {
+    /// Empty cache with the given redemption scope.
+    pub fn new(scope: ResumptionScope) -> Self {
+        SessionTicketCache {
+            scope,
+            tickets: HashMap::new(),
+            issued: 0,
+            redeemed: 0,
+        }
+    }
+
+    /// The configured scope.
+    pub fn scope(&self) -> ResumptionScope {
+        self.scope
+    }
+
+    fn key(&self, host: &str, cert_serial: u64) -> TicketKey {
+        match self.scope {
+            ResumptionScope::ExactHost => TicketKey::Host(host.to_string()),
+            ResumptionScope::Certificate => TicketKey::Cert(cert_serial),
+        }
+    }
+
+    /// Bank a ticket issued by a completed full handshake with `host`,
+    /// which presented the certificate with `cert_serial`.
+    pub fn issue(&mut self, host: &str, cert_serial: u64) {
+        self.issued += 1;
+        self.tickets
+            .entry(self.key(host, cert_serial))
+            .or_default()
+            .push(SessionTicket {
+                issuing_host: host.to_string(),
+            });
+    }
+
+    /// Redeem (and consume) the most recently banked ticket usable for
+    /// a handshake with `host` under `cert_serial`, if any.
+    pub fn redeem(&mut self, host: &str, cert_serial: u64) -> Option<SessionTicket> {
+        let key = self.key(host, cert_serial);
+        let bucket = self.tickets.get_mut(&key)?;
+        let ticket = bucket.pop()?;
+        if bucket.is_empty() {
+            self.tickets.remove(&key);
+        }
+        self.redeemed += 1;
+        Some(ticket)
+    }
+
+    /// Tickets currently usable for `host` under `cert_serial`.
+    pub fn available(&self, host: &str, cert_serial: u64) -> usize {
+        self.tickets
+            .get(&self.key(host, cert_serial))
+            .map_or(0, Vec::len)
+    }
+
+    /// Tickets banked over the cache's lifetime.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Tickets redeemed over the cache's lifetime (≤ [`issued`]
+    /// always — tickets are single-use).
+    ///
+    /// [`issued`]: Self::issued
+    pub fn redeemed(&self) -> u64 {
+        self.redeemed
+    }
+
+    /// Drop every banked ticket (counters persist).
+    pub fn clear(&mut self) {
+        self.tickets.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_host_scope_does_not_cross_hostnames() {
+        let mut cache = SessionTicketCache::new(ResumptionScope::ExactHost);
+        cache.issue("a.example.com", 7);
+        assert_eq!(cache.available("b.example.com", 7), 0);
+        assert!(cache.redeem("b.example.com", 7).is_none());
+        let t = cache.redeem("a.example.com", 7).unwrap();
+        assert_eq!(t.issuing_host, "a.example.com");
+    }
+
+    #[test]
+    fn certificate_scope_resumes_across_hostnames_single_use() {
+        let mut cache = SessionTicketCache::new(ResumptionScope::Certificate);
+        cache.issue("a.example.com", 7);
+        let t = cache.redeem("b.example.com", 7).unwrap();
+        assert_eq!(t.issuing_host, "a.example.com");
+        // Single-use: the ticket is gone.
+        assert!(cache.redeem("b.example.com", 7).is_none());
+        // Different certificate, different scope.
+        cache.issue("a.example.com", 7);
+        assert!(cache.redeem("a.example.com", 8).is_none());
+        assert!(cache.redeemed() <= cache.issued());
+    }
+}

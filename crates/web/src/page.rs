@@ -153,6 +153,12 @@ pub struct Page {
     /// outside a mixed-protocol universe (`legacy_share > 0`), so
     /// the default universe is byte-identical with the flag ignored.
     pub legacy: bool,
+    /// Whether this site's origins deploy HTTP/3: they advertise
+    /// `alt-svc: h3`, and the loader upgrades eligible connections to
+    /// QUIC once a certificate scope has been learned. Always `false`
+    /// outside an h3 universe (`h3_share > 0`), so the default
+    /// universe is byte-identical with the flag ignored.
+    pub h3: bool,
 }
 
 impl Page {
@@ -164,6 +170,7 @@ impl Page {
             root_host,
             resources: vec![root],
             legacy: false,
+            h3: false,
         }
     }
 

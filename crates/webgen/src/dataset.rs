@@ -30,6 +30,16 @@ pub struct DatasetConfig {
     /// (the default) generates a byte-identical dataset to one that
     /// has never heard of the knob.
     pub legacy_share: f64,
+    /// Share of non-legacy sites in `[0, 1]` whose origins deploy
+    /// HTTP/3: every host behind the site's certificates advertises
+    /// `alt-svc: h3`, so visits upgrade eligible connections to QUIC.
+    /// Assigned by the same draw-free `(seed, rank)` hash as
+    /// [`legacy_share`] under a distinct salt, so `h3_share = 0.0`
+    /// (the default) is byte-identical to a build without the knob.
+    /// Legacy sites never deploy h3 (no h2, let alone QUIC).
+    ///
+    /// [`legacy_share`]: Self::legacy_share
+    pub h3_share: f64,
 }
 
 impl Default for DatasetConfig {
@@ -39,6 +49,7 @@ impl Default for DatasetConfig {
             tranco_total: 500_000,
             seed: 0x0516,
             legacy_share: 0.0,
+            h3_share: 0.0,
         }
     }
 }
@@ -57,6 +68,21 @@ fn is_legacy_site(seed: u64, rank: u32, legacy_share: f64) -> bool {
     z ^= z >> 31;
     let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
     unit < legacy_share
+}
+
+/// Deterministic h3 deployment assignment: the same draw-free hash as
+/// [`is_legacy_site`] under a distinct seed salt, so the two
+/// populations are independent and neither perturbs any RNG stream.
+fn is_h3_site(seed: u64, rank: u32, h3_share: f64) -> bool {
+    if h3_share <= 0.0 {
+        return false;
+    }
+    let mut z = (seed ^ 0x4833_5F51_C0A1_E5CE) ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let unit = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < h3_share
 }
 
 /// A reference to a third-party service used by a page.
@@ -158,6 +184,9 @@ pub struct SiteConfig {
     /// Whether the origin is legacy (HTTP/1.1-only ALPN, sharded
     /// asset layout). See [`DatasetConfig::legacy_share`].
     pub legacy: bool,
+    /// Whether the origin deploys HTTP/3 (advertises `alt-svc: h3`).
+    /// See [`DatasetConfig::h3_share`]; always false for legacy sites.
+    pub h3: bool,
 }
 
 impl SiteConfig {
@@ -367,6 +396,8 @@ impl Dataset {
             page_seed: rng.next_u64(),
             shards_share_ip,
             legacy: is_legacy_site(config.seed, rank, config.legacy_share),
+            h3: !is_legacy_site(config.seed, rank, config.legacy_share)
+                && is_h3_site(config.seed, rank, config.h3_share),
         }
     }
 
@@ -621,6 +652,7 @@ impl Dataset {
             root_host: site.root_host.clone(),
             resources,
             legacy: site.legacy,
+            h3: site.h3,
         }
     }
 }

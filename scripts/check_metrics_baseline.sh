@@ -24,7 +24,7 @@ baseline=${2:-$(dirname "$0")/../reports/metrics_baseline.json}
 # The one list of optional counter-family prefixes. Extend it when a
 # new gated-when-silent subsystem appears; never special-case one
 # family in the jq below.
-optional_prefixes='["h1.", "fault.", "obs."]'
+optional_prefixes='["h1.", "h3.", "fault.", "obs."]'
 
 strip="del(.runtime_ms) | .counters |= with_entries(select(.key as \$k | ${optional_prefixes} | map(\$k | startswith(.)) | any | not))"
 if diff -u \

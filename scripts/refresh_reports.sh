@@ -19,6 +19,9 @@
 #                                 observed reference crawl, gated by
 #                                 scripts/check_slo.sh in CI
 #                                 (EXPERIMENTS.md time series)
+#   reports/h3_reference.json     h2-vs-h3 comparison for the
+#                                 reference h3 universe (50% h3 share;
+#                                 EXPERIMENTS.md h3)
 #
 # The full reference run matches EXPERIMENTS.md (6,000 sites, seed
 # 0x0516, one thread — thread count only affects wall clock, but the
@@ -63,5 +66,10 @@ target/release/repro --sites 2000 --threads 1 --legacy-share 0.25 \
 # The fresh reference must clear its own SLO gate (drift layer is a
 # self-compare here; the thresholds are the real check).
 scripts/check_slo.sh reports/timeline_reference.json reports/timeline_reference.json >/dev/null
+
+echo "refresh: h3 report (reference h3 universe, 50% share)…" >&2
+target/release/repro --sites 2000 --h3-share 0.5 \
+    --h3-report reports/h3_reference.json --only t3 >/dev/null 2>&1
+jq -e '.h3_counters."h3.connections" > 0' reports/h3_reference.json >/dev/null
 
 echo "refresh: done — review the diff, then commit reports/" >&2

@@ -8,6 +8,8 @@
 //! downstream users depend on a single crate:
 //!
 //! - [`h2`] — from-scratch HTTP/2 framing with RFC 8336 ORIGIN frames.
+//! - [`h3`] — QUIC-ish HTTP/3 model: 1-RTT/0-RTT handshakes, QPACK,
+//!   Alt-Svc, cross-hostname resumption, shared address validation.
 //! - [`tls`] — certificate/SAN model, CA issuance, CT logs.
 //! - [`dns`] — simulated zones and a caching recursive resolver.
 //! - [`netsim`] — deterministic discrete-event network simulator.
@@ -25,6 +27,7 @@ pub use origin_cdn as cdn;
 pub use origin_core as model;
 pub use origin_dns as dns;
 pub use origin_h2 as h2;
+pub use origin_h3 as h3;
 pub use origin_netsim as netsim;
 pub use origin_stats as stats;
 pub use origin_tls as tls;

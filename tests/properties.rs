@@ -579,3 +579,74 @@ fn mixed_crawls_terminate_and_stay_deterministic() {
         );
     }
 }
+
+// ---- h3 universe ----
+
+/// Seeded sweep over h3 shares × thread counts: every h3 crawl
+/// terminates, deploying QUIC never adds or drops a request (an
+/// upgraded request is still ONE request in the characterization), the
+/// `h3.*` bookkeeping balances (one handshake per connection, 0-RTT
+/// attempts never outrun the banked tickets), and the merged output —
+/// metrics and H3 report included — is byte-identical at 1, 2, and 8
+/// workers.
+#[test]
+fn h3_crawls_terminate_and_stay_deterministic() {
+    use origin_bench::{run_crawl_h3, H3Report};
+    const SITES: u32 = 80;
+    const SEED: u64 = 0x4833;
+
+    let clean = run_crawl_h3(SITES, SEED, 2, None, None, 0.0, 0.0);
+    let mut rng = SimRng::seed_from_u64(0x5EED_4833);
+    let mut shares = vec![0.0, 1.0];
+    for _ in 0..3 {
+        shares.push(rng.range_f64(0.05, 0.95));
+    }
+    for &share in &shares {
+        let one = run_crawl_h3(SITES, SEED, 1, None, None, 0.0, share);
+        let two = run_crawl_h3(SITES, SEED, 2, None, None, 0.0, share);
+        let eight = run_crawl_h3(SITES, SEED, 8, None, None, 0.0, share);
+        // Upgrading connections to QUIC changes how requests travel,
+        // never how many there are.
+        assert_eq!(
+            one.characterization.total_requests, clean.characterization.total_requests,
+            "share {share}: request count changed"
+        );
+        assert_eq!(one.characterization.pages, clean.characterization.pages);
+        assert_eq!(one.measured.plt.len(), clean.measured.plt.len());
+        // The h3 bookkeeping balances: every QUIC connection ran
+        // exactly one handshake, 0-RTT spends only banked tickets,
+        // and rejected 0-RTT attempts fell back to full handshakes.
+        let report = H3Report::build(&clean, &one, share);
+        assert_eq!(
+            report.counter("h3.connections"),
+            report.counter("h3.handshakes_1rtt") + report.counter("h3.handshakes_0rtt"),
+            "share {share}: handshake ledger out of balance"
+        );
+        assert!(
+            report.counter("h3.handshakes_0rtt") + report.counter("h3.zero_rtt_rejected")
+                <= report.counter("h3.tickets_issued"),
+            "share {share}: 0-rtt attempts outran the ticket supply"
+        );
+        assert!(
+            report.counter("h3.zero_rtt_rejected") <= report.counter("h3.handshakes_1rtt"),
+            "share {share}: a rejected 0-rtt must land as a 1-rtt handshake"
+        );
+        if share == 0.0 {
+            assert_eq!(report.h3_pages, 0);
+            assert!(report.counters.iter().all(|&(_, v)| v == 0));
+        } else {
+            assert!(report.h3_pages > 0, "share {share}: no h3 pages");
+            assert!(report.counter("h3.altsvc_learned") > 0);
+        }
+        // Thread-count invariance, down to the serialized bytes.
+        let json = one.metrics.to_json();
+        assert_eq!(json, two.metrics.to_json(), "share {share}: 1 vs 2");
+        assert_eq!(json, eight.metrics.to_json(), "share {share}: 1 vs 8");
+        assert_eq!(one.measured.plt, eight.measured.plt, "share {share}");
+        assert_eq!(
+            report.to_json(),
+            H3Report::build(&clean, &eight, share).to_json(),
+            "share {share}: h3 report diverged"
+        );
+    }
+}
